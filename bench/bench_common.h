@@ -1,0 +1,69 @@
+// Shared utilities for the figure-reproduction benchmark binaries: a tiny
+// --flag=value parser and common printing helpers. Every bench binary
+// prints the rows/series of the paper figure it reproduces; absolute times
+// come from the simulated I/O model plus measured CPU, so shapes (who wins,
+// where the crossover falls) are the comparable quantity.
+
+#ifndef SSR_BENCH_BENCH_COMMON_H_
+#define SSR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace ssr {
+namespace bench {
+
+/// Parses --key=value arguments into a map; everything else is ignored.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& key, bool fallback = false) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace bench
+}  // namespace ssr
+
+#endif  // SSR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,111 @@
+// Reproduces the Section 6 crossover analysis: index response time grows
+// with the candidate result size while the sequential scan stays flat, and
+// the index wins while the result is below |S| * a / rtn (about 23% of the
+// collection for the paper's record sizes). Sweeps query ranges that
+// produce increasing result sizes and prints both times per query along
+// with the analytic bound.
+//
+// Flags: --scale=0.05 --dataset=set1 --budget=300 --queries=150
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "baseline/sequential_scan.h"
+#include "bench_common.h"
+#include "eval/harness.h"
+#include "eval/table_printer.h"
+#include "util/logging.h"
+
+namespace ssr {
+namespace {
+
+int Run(const bench::Flags& flags) {
+  ExperimentConfig config;
+  config.dataset = flags.GetString("dataset", "set1");
+  config.scale = flags.GetDouble("scale", 0.05);
+  config.table_budget =
+      static_cast<std::size_t>(flags.GetInt("budget", 300));
+  config.recall_threshold = flags.GetDouble("recall_target", 0.7);
+  config.run_scan = true;
+
+  auto harness = ExperimentHarness::Create(config);
+  if (!harness.ok()) {
+    std::printf("harness failed: %s\n", harness.status().ToString().c_str());
+    return 1;
+  }
+  ExperimentHarness& h = **harness;
+  const double crossover = ScanCrossoverResultSize(h.store());
+  const std::size_t n = h.store().size();
+
+  bench::PrintHeader(
+      "Section 6 crossover sweep: index vs scan simulated response time "
+      "as result size grows");
+  std::printf("collection: %zu sets, %zu pages, avg %.2f pages/set\n",
+              n, h.store().num_pages(), h.store().AvgSetPages());
+  std::printf("analytic crossover |S|*a/rtn = %.0f candidate sets "
+              "(%.1f%% of the collection)\n\n",
+              crossover, 100.0 * crossover / static_cast<double>(n));
+
+  // Sweep queries and bucket them by measured candidate count.
+  QueryGeneratorParams qparams;
+  qparams.max_width = 0.7;
+  QueryGenerator generator(h.collection(), qparams);
+  struct Sample {
+    std::size_t fetched;
+    double index_seconds;
+    double scan_seconds;
+  };
+  std::vector<Sample> samples;
+  const int queries = static_cast<int>(flags.GetInt("queries", 150));
+  for (int i = 0; i < queries; ++i) {
+    auto outcome = h.RunOne(generator.Next(), /*with_scan=*/true);
+    if (!outcome.ok()) continue;
+    samples.push_back({outcome->index.stats.sets_fetched,
+                       outcome->index.stats.io_seconds +
+                           outcome->index.stats.cpu_seconds,
+                       outcome->scan_io_seconds + outcome->scan_cpu_seconds});
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) {
+              return a.fetched < b.fetched;
+            });
+
+  // Aggregate into deciles of fetched volume for a readable series.
+  TablePrinter table({"fetched sets (avg)", "% of collection",
+                      "index time (s)", "scan time (s)", "winner"});
+  const std::size_t per_bin =
+      samples.empty() ? 1 : std::max<std::size_t>(1, samples.size() / 10);
+  for (std::size_t start = 0; start < samples.size(); start += per_bin) {
+    const std::size_t end = std::min(samples.size(), start + per_bin);
+    double fetched = 0.0, index_s = 0.0, scan_s = 0.0;
+    for (std::size_t i = start; i < end; ++i) {
+      fetched += static_cast<double>(samples[i].fetched);
+      index_s += samples[i].index_seconds;
+      scan_s += samples[i].scan_seconds;
+    }
+    const double count = static_cast<double>(end - start);
+    fetched /= count;
+    index_s /= count;
+    scan_s /= count;
+    table.AddRow({TablePrinter::Num(fetched, 0),
+                  TablePrinter::Pct(fetched / static_cast<double>(n)),
+                  TablePrinter::Num(index_s),
+                  TablePrinter::Num(scan_s),
+                  index_s < scan_s ? "index" : "scan"});
+  }
+  std::ostringstream out;
+  table.Print(out);
+  std::printf("%s", out.str().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ssr
+
+int main(int argc, char** argv) {
+  ssr::SetLogLevel(ssr::LogLevel::kWarning);
+  ssr::bench::Flags flags(argc, argv);
+  return ssr::Run(flags);
+}

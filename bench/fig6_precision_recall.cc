@@ -1,0 +1,114 @@
+// Reproduces Figure 6(a)/(b): precision and recall of the optimized index
+// per result-size bucket, for hash-table budgets 500 (6a) and 1000 (6b),
+// on both datasets. The optimizer targets 90% average recall, as in the
+// paper's experiments.
+//
+// Flags: --scale (default 0.02 = 4,000 sets; the paper's full size is 1.0 =
+// 200,000), --budgets=500,1000  --datasets=set1,set2
+// --queries_per_bucket=60 --recall_target=0.9 --minhashes=100
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/harness.h"
+#include "eval/table_printer.h"
+#include "util/logging.h"
+
+namespace ssr {
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int Run(const bench::Flags& flags) {
+  const double scale = flags.GetDouble("scale", 0.02);
+  const auto budgets = SplitCsv(flags.GetString("budgets", "500,1000"));
+  const auto datasets = SplitCsv(flags.GetString("datasets", "set1,set2"));
+  const double recall_target = flags.GetDouble("recall_target", 0.9);
+
+  for (const std::string& budget_str : budgets) {
+    const std::size_t budget =
+        static_cast<std::size_t>(std::atol(budget_str.c_str()));
+    bench::PrintHeader(
+        "Figure 6" + std::string(budget == 500 ? "(a)" : "(b)") +
+        ": precision/recall per result-size bucket, budget " + budget_str +
+        " hash tables, recall target " + TablePrinter::Pct(recall_target));
+    for (const std::string& dataset : datasets) {
+      ExperimentConfig config;
+      config.dataset = dataset;
+      config.scale = scale;
+      config.table_budget = budget;
+      config.recall_threshold = recall_target;
+      config.num_minhashes =
+          static_cast<std::size_t>(flags.GetInt("minhashes", 100));
+      config.queries_per_bucket =
+          static_cast<std::size_t>(flags.GetInt("queries_per_bucket", 60));
+      config.max_attempts_factor = 12;
+      config.run_scan = false;  // Figure 6 reports accuracy only
+
+      auto harness = ExperimentHarness::Create(config);
+      if (!harness.ok()) {
+        std::printf("[%s] harness failed: %s\n", dataset.c_str(),
+                    harness.status().ToString().c_str());
+        continue;
+      }
+      auto result = (*harness)->RunBucketedQueries();
+      if (!result.ok()) {
+        std::printf("[%s] sweep failed: %s\n", dataset.c_str(),
+                    result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("\ndataset %s: %zu sets, %zu pages, optimizer chose %zu "
+                  "FIs (achieved threshold %s; predicted avg recall %s, "
+                  "precision %s)\n",
+                  dataset.c_str(), result->collection_size,
+                  result->heap_pages, result->layout.layout.points.size(),
+                  TablePrinter::Pct((*harness)->achieved_threshold()).c_str(),
+                  TablePrinter::Pct(result->layout.predicted_recall).c_str(),
+                  TablePrinter::Pct(result->layout.predicted_precision)
+                      .c_str());
+      TablePrinter table({"bucket", "queries", "recall", "precision",
+                          "avg candidates", "avg answer"});
+      for (const auto& bucket : result->buckets) {
+        table.AddRow({bucket.label, TablePrinter::Count(bucket.query_count),
+                      TablePrinter::Pct(bucket.avg_recall),
+                      TablePrinter::Pct(bucket.avg_precision),
+                      TablePrinter::Num(bucket.avg_candidates, 1),
+                      TablePrinter::Num(bucket.avg_results, 1)});
+      }
+      std::ostringstream out;
+      table.Print(out);
+      std::printf("%s", out.str().c_str());
+      std::printf("unconditioned averages over all %zu random queries:\n"
+                  "  per-query mean:     recall %s, precision %s\n"
+                  "  Definition 8/9 form: recall %s, precision %s "
+                  "(optimizer objective: recall >= %s)\n",
+                  result->total_queries_run,
+                  TablePrinter::Pct(result->overall_avg_recall).c_str(),
+                  TablePrinter::Pct(result->overall_avg_precision).c_str(),
+                  TablePrinter::Pct(result->overall_weighted_recall).c_str(),
+                  TablePrinter::Pct(result->overall_weighted_precision)
+                      .c_str(),
+                  TablePrinter::Pct(recall_target).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ssr
+
+int main(int argc, char** argv) {
+  ssr::SetLogLevel(ssr::LogLevel::kWarning);
+  ssr::bench::Flags flags(argc, argv);
+  return ssr::Run(flags);
+}

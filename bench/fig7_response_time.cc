@@ -1,0 +1,113 @@
+// Reproduces Figure 7(a)/(b): average query response time per result-size
+// bucket for the index (I/O + CPU, reported separately) against the
+// sequential-scan comparator, with 1000 hash tables and 100 min-hash
+// values (the paper's configuration). Times are simulated-I/O seconds plus
+// measured CPU seconds; the shape to compare with the paper is the
+// index-vs-scan ordering per bucket and the growth of index time with
+// result size.
+//
+// Flags: --scale (default 0.05), --dataset=set1|set2|both, --budget=300,
+// --queries_per_bucket=40
+//
+// Scale note: the paper runs 1000 hash tables against a ~100,000-page
+// collection, so per-query bucket probes are negligible next to a scan. A
+// scaled-down collection must scale the budget too or probe I/O dominates;
+// the defaults keep the paper's budget:pages ratio. Use --scale=1
+// --budget=1000 for the full-size configuration.
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/harness.h"
+#include "eval/table_printer.h"
+#include "util/logging.h"
+
+namespace ssr {
+namespace {
+
+void RunDataset(const bench::Flags& flags, const std::string& dataset,
+                const char* figure_label) {
+  ExperimentConfig config;
+  config.dataset = dataset;
+  config.scale = flags.GetDouble("scale", 0.05);
+  config.table_budget =
+      static_cast<std::size_t>(flags.GetInt("budget", 300));
+  // The analytic acceptance model is conservative at scaled sizes
+  // (measured recall runs ~10 points above prediction, see EXPERIMENTS.md);
+  // a 0.7 predicted target admits the finer multi-FI layouts this figure
+  // needs and measures ~85-90% recall.
+  config.recall_threshold = flags.GetDouble("recall_target", 0.7);
+  config.num_minhashes =
+      static_cast<std::size_t>(flags.GetInt("minhashes", 100));
+  config.queries_per_bucket =
+      static_cast<std::size_t>(flags.GetInt("queries_per_bucket", 40));
+  config.max_attempts_factor = 12;
+  config.run_scan = true;
+
+  bench::PrintHeader(std::string("Figure 7") + figure_label +
+                     ": avg response time per bucket, dataset " + dataset +
+                     ", budget " + std::to_string(config.table_budget) +
+                     ", " + std::to_string(config.num_minhashes) +
+                     " min-hashes");
+
+  auto harness = ExperimentHarness::Create(config);
+  if (!harness.ok()) {
+    std::printf("harness failed: %s\n", harness.status().ToString().c_str());
+    return;
+  }
+  auto result = (*harness)->RunBucketedQueries();
+  if (!result.ok()) {
+    std::printf("sweep failed: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("\n%zu sets, %zu heap pages; analytic crossover at %.0f "
+              "candidate sets (%.1f%% of the collection)\n",
+              result->collection_size, result->heap_pages,
+              result->crossover_result_size,
+              100.0 * result->crossover_result_size /
+                  static_cast<double>(result->collection_size));
+  TablePrinter table({"bucket", "queries", "index IO (s)", "index CPU (s)",
+                      "index total (s)", "scan IO (s)", "scan CPU (s)",
+                      "scan total (s)", "winner"});
+  for (const auto& bucket : result->buckets) {
+    if (bucket.query_count == 0) {
+      table.AddRow({bucket.label, "0"});
+      continue;
+    }
+    const double index_total = bucket.avg_index_total_seconds();
+    const double scan_total = bucket.avg_scan_total_seconds();
+    table.AddRow({bucket.label, TablePrinter::Count(bucket.query_count),
+                  TablePrinter::Num(bucket.avg_index_io_seconds),
+                  TablePrinter::Num(bucket.avg_index_cpu_seconds),
+                  TablePrinter::Num(index_total),
+                  TablePrinter::Num(bucket.avg_scan_io_seconds),
+                  TablePrinter::Num(bucket.avg_scan_cpu_seconds),
+                  TablePrinter::Num(scan_total),
+                  index_total < scan_total ? "index" : "scan"});
+  }
+  std::ostringstream out;
+  table.Print(out);
+  std::printf("%s", out.str().c_str());
+}
+
+int Run(const bench::Flags& flags) {
+  const std::string dataset = flags.GetString("dataset", "both");
+  if (dataset == "both") {
+    RunDataset(flags, "set1", "(a)");
+    RunDataset(flags, "set2", "(b)");
+  } else {
+    RunDataset(flags, dataset, dataset == "set2" ? "(b)" : "(a)");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ssr
+
+int main(int argc, char** argv) {
+  ssr::SetLogLevel(ssr::LogLevel::kWarning);
+  ssr::bench::Flags flags(argc, argv);
+  return ssr::Run(flags);
+}

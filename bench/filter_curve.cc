@@ -1,0 +1,104 @@
+// Reproduces the Section 4.1 filter-function analysis (Equation 4): the
+// S-shaped collision probability p_{r,l}(s) = 1 − (1 − s^r)^l, measured
+// empirically against the analytic curve, and the r-l tradeoff table (for a
+// fixed turning point, more tables -> larger r -> sharper filter).
+//
+// Flags: --trials=400 --minhashes=100 --tables=15 --s_star=0.85
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+#include "core/filter_function.h"
+#include "core/sfi.h"
+#include "eval/table_printer.h"
+#include "hamming/embedding.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+int Run(const bench::Flags& flags) {
+  const int trials = static_cast<int>(flags.GetInt("trials", 400));
+  const double s_star = flags.GetDouble("s_star", 0.85);
+  const std::size_t tables =
+      static_cast<std::size_t>(flags.GetInt("tables", 15));
+
+  EmbeddingParams params;
+  params.minhash.num_hashes =
+      static_cast<std::size_t>(flags.GetInt("minhashes", 100));
+  params.minhash.value_bits = 8;
+  params.minhash.seed = 0xf117e8;
+  auto embedding = Embedding::Create(params);
+  if (!embedding.ok()) {
+    std::printf("embedding failed: %s\n",
+                embedding.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintHeader(
+      "Equation 4: p_{r,l}(s) analytic vs measured (turning point s* = " +
+      TablePrinter::Num(s_star, 2) + " in Hamming space, l = " +
+      std::to_string(tables) + ")");
+
+  SfiParams sfi_params;
+  sfi_params.s_star = s_star;
+  sfi_params.l = tables;
+  auto sfi = SimilarityFilterIndex::Create(*embedding, sfi_params, 10000);
+  if (!sfi.ok()) return 1;
+  const FilterFunction& filter = sfi->filter();
+  std::printf("solved r = %zu for l = %zu\n", filter.r(), filter.l());
+
+  // Query of 100 elements; populations at controlled set overlap.
+  ElementSet query;
+  for (ElementId x = 0; x < 100; ++x) query.push_back(x);
+  TablePrinter table({"set sim", "Hamming sim", "analytic p", "measured p"});
+  for (std::size_t inter : {20u, 40u, 55u, 70u, 80u, 88u, 95u, 99u}) {
+    const double sim =
+        static_cast<double>(inter) / static_cast<double>(200 - inter);
+    const double s_h = embedding->SetToHammingSimilarity(sim);
+    auto level = SimilarityFilterIndex::Create(*embedding, sfi_params,
+                                               static_cast<std::size_t>(trials));
+    for (int c = 0; c < trials; ++c) {
+      ElementSet s(query.begin(),
+                   query.begin() + static_cast<std::ptrdiff_t>(inter));
+      for (std::size_t i = 0; i < 100 - inter; ++i) {
+        s.push_back(1000000 + static_cast<ElementId>(c) * 1000 + i);
+      }
+      NormalizeSet(s);
+      level->Insert(static_cast<SetId>(c), embedding->Sign(s));
+    }
+    const auto found = level->SimVector(embedding->Sign(query));
+    const double measured =
+        static_cast<double>(found.size()) / static_cast<double>(trials);
+    table.AddRow({TablePrinter::Num(sim, 3), TablePrinter::Num(s_h, 3),
+                  TablePrinter::Num(filter.Collision(s_h), 3),
+                  TablePrinter::Num(measured, 3)});
+  }
+  std::ostringstream out1;
+  table.Print(out1);
+  std::printf("%s", out1.str().c_str());
+
+  bench::PrintHeader(
+      "Section 4.1 r-l tradeoff: fixed turning point, varying table count");
+  TablePrinter tradeoff(
+      {"l", "solved r", "turning point", "0.1->0.9 width"});
+  for (std::size_t l : {1u, 2u, 5u, 10u, 25u, 50u, 100u, 250u, 500u}) {
+    const FilterFunction f = FilterFunction::ForTurningPoint(s_star, l);
+    tradeoff.AddRow({TablePrinter::Count(l), TablePrinter::Count(f.r()),
+                     TablePrinter::Num(f.TurningPoint(), 3),
+                     TablePrinter::Num(f.TransitionWidth(), 3)});
+  }
+  std::ostringstream out2;
+  tradeoff.Print(out2);
+  std::printf("%s", out2.str().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ssr
+
+int main(int argc, char** argv) {
+  ssr::bench::Flags flags(argc, argv);
+  return ssr::Run(flags);
+}

@@ -1,0 +1,148 @@
+// Google-benchmark microbenchmarks of the core primitives: exact Jaccard,
+// min-hash signing, ECC encoding, on-the-fly sampled-bit key extraction,
+// Hamming distance, SFI probe, and B+-tree operations. These quantify the
+// CPU-side costs that the paper folds into "processor time" in Figure 7.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sfi.h"
+#include "hamming/embedding.h"
+#include "storage/bplus_tree.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+ElementSet RandomSet(Rng& rng, std::size_t size, std::uint64_t universe) {
+  ElementSet s;
+  s.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) s.push_back(rng.Uniform(universe));
+  NormalizeSet(s);
+  return s;
+}
+
+Embedding DefaultEmbedding(std::size_t k = 100) {
+  EmbeddingParams p;
+  p.minhash.num_hashes = k;
+  p.minhash.value_bits = 8;
+  auto e = Embedding::Create(p);
+  return std::move(e).value();
+}
+
+void BM_Jaccard(benchmark::State& state) {
+  Rng rng(1);
+  const ElementSet a = RandomSet(rng, static_cast<std::size_t>(state.range(0)), 1 << 20);
+  const ElementSet b = RandomSet(rng, static_cast<std::size_t>(state.range(0)), 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Jaccard(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Jaccard)->Arg(50)->Arg(250)->Arg(1000);
+
+void BM_MinHashSign(benchmark::State& state) {
+  Rng rng(2);
+  Embedding e = DefaultEmbedding(static_cast<std::size_t>(state.range(1)));
+  const ElementSet set = RandomSet(rng, static_cast<std::size_t>(state.range(0)), 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.Sign(set));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_MinHashSign)->Args({250, 50})->Args({250, 100})->Args({1000, 100});
+
+void BM_HadamardEncode(benchmark::State& state) {
+  Embedding e = DefaultEmbedding();
+  std::vector<std::uint64_t> scratch(e.code().codeword_words());
+  std::uint16_t msg = 0;
+  for (auto _ : state) {
+    e.code().Encode(msg++, scratch.data());
+    benchmark::DoNotOptimize(scratch.data());
+  }
+}
+BENCHMARK(BM_HadamardEncode);
+
+void BM_EmbedSignature(benchmark::State& state) {
+  Rng rng(3);
+  Embedding e = DefaultEmbedding();
+  const Signature sig = e.Sign(RandomSet(rng, 250, 1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.EmbedSignature(sig));
+  }
+}
+BENCHMARK(BM_EmbedSignature);
+
+void BM_SampledKeyExtraction(benchmark::State& state) {
+  Rng rng(4);
+  Embedding e = DefaultEmbedding();
+  BitSampler sampler(e, static_cast<std::size_t>(state.range(0)), rng);
+  const Signature sig = e.Sign(RandomSet(rng, 250, 1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.ExtractKeyHash(sig));
+  }
+}
+BENCHMARK(BM_SampledKeyExtraction)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HammingDistance(benchmark::State& state) {
+  Rng rng(5);
+  Embedding e = DefaultEmbedding();
+  const BitVector a = e.Embed(RandomSet(rng, 250, 1 << 20));
+  const BitVector b = e.Embed(RandomSet(rng, 250, 1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HammingDistance(a, b));
+  }
+}
+BENCHMARK(BM_HammingDistance);
+
+void BM_SfiProbe(benchmark::State& state) {
+  Rng rng(6);
+  Embedding e = DefaultEmbedding();
+  SfiParams params;
+  params.s_star = 0.9;
+  params.l = static_cast<std::size_t>(state.range(0));
+  auto sfi = SimilarityFilterIndex::Create(e, params, 10000);
+  for (int i = 0; i < 10000; ++i) {
+    sfi->Insert(static_cast<SetId>(i), e.Sign(RandomSet(rng, 30, 1 << 16)));
+  }
+  const Signature query = e.Sign(RandomSet(rng, 30, 1 << 16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sfi->SimVector(query));
+  }
+}
+BENCHMARK(BM_SfiProbe)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree tree(256);
+    state.ResumeTiming();
+    for (SetId k = 0; k < 10000; ++k) {
+      tree.Upsert(static_cast<SetId>(rng.Uniform(1 << 20)),
+                  RecordLocator{k, 0});
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_BPlusTreeFind(benchmark::State& state) {
+  Rng rng(8);
+  BPlusTree tree(256);
+  for (SetId k = 0; k < 100000; ++k) {
+    tree.Upsert(k, RecordLocator{k, 0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Find(static_cast<SetId>(rng.Uniform(100000))));
+  }
+}
+BENCHMARK(BM_BPlusTreeFind);
+
+}  // namespace
+}  // namespace ssr
+
+BENCHMARK_MAIN();

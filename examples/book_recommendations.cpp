@@ -1,0 +1,169 @@
+// The paper's introduction scenario (Figures 1 and 2): a bookstore tracks
+// the set of books each user bought. Two capabilities are shown:
+//
+//   1. Recommendations: for a user u, find the users whose purchases are
+//      more than 90% similar to u's — the Figure 2 query
+//      "Similar(u.books_bought, books_bought) > 0.9".
+//   2. Campaign targeting: for a themed sale, find users who already own
+//      between 40% and 70% of the sale bundle — interested, but not
+//      saturated (the paper's e-mail campaign example).
+//
+// Build & run:  ./build/examples/book_recommendations
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/set_similarity_index.h"
+#include "optimizer/index_builder.h"
+#include "optimizer/similarity_distribution.h"
+#include "util/dictionary.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace {
+
+using namespace ssr;
+
+// Synthesizes a purchase history: genres act as browsing profiles.
+struct Bookstore {
+  Dictionary titles;
+  SetCollection purchases;  // by user id
+  std::vector<std::string> user_names;
+};
+
+Bookstore MakeBookstore(std::size_t users) {
+  Bookstore shop;
+  const std::vector<std::string> genres = {"databases", "sailing", "poetry",
+                                           "cooking", "astronomy"};
+  // 60 titles per genre.
+  std::vector<std::vector<ElementId>> genre_titles(genres.size());
+  for (std::size_t g = 0; g < genres.size(); ++g) {
+    for (int t = 0; t < 60; ++t) {
+      genre_titles[g].push_back(shop.titles.Intern(
+          genres[g] + "-vol-" + std::to_string(t)));
+    }
+  }
+  Rng rng(0xb00c5);
+  for (std::size_t u = 0; u < users; ++u) {
+    const std::size_t favourite = rng.Uniform(genres.size());
+    ElementSet bought;
+    const std::size_t count = 8 + rng.Uniform(25);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t genre =
+          rng.Bernoulli(0.8) ? favourite : rng.Uniform(genres.size());
+      bought.push_back(
+          genre_titles[genre][rng.Uniform(genre_titles[genre].size())]);
+    }
+    NormalizeSet(bought);
+    shop.purchases.push_back(bought);
+    shop.user_names.push_back("user-" + std::to_string(u) + " (" +
+                              genres[favourite] + ")");
+  }
+  // Clone a few users to create highly similar purchase histories.
+  for (int c = 0; c < 8; ++c) {
+    const std::size_t base = rng.Uniform(users);
+    ElementSet clone = shop.purchases[base];
+    if (!clone.empty() && rng.Bernoulli(0.7)) {
+      clone[rng.Uniform(clone.size())] =
+          shop.titles.Intern("bestseller-" + std::to_string(c));
+      NormalizeSet(clone);
+    }
+    shop.purchases.push_back(clone);
+    shop.user_names.push_back("user-" + std::to_string(users + c) +
+                              " (twin of user-" + std::to_string(base) + ")");
+  }
+  return shop;
+}
+
+}  // namespace
+
+int main() {
+  Bookstore shop = MakeBookstore(600);
+  std::printf("bookstore: %zu users, %zu distinct titles\n",
+              shop.purchases.size(), shop.titles.size());
+
+  // Load the store and let the Section 5 optimizer design the index from
+  // the (sampled) similarity distribution.
+  SetStore store;
+  for (const ElementSet& bought : shop.purchases) {
+    if (!store.Add(bought).ok()) return 1;
+  }
+  Rng rng(0xd15c);
+  SimilarityHistogram hist =
+      ComputeSampledDistribution(shop.purchases, 40000, 100, rng);
+
+  EmbeddingParams embedding_params;
+  embedding_params.minhash.num_hashes = 100;
+  auto embedding = Embedding::Create(embedding_params);
+  IndexBuilderOptions builder_options;
+  builder_options.table_budget = 120;
+  // Ask for the best achievable average recall: step the target down until
+  // the construction accepts (the analytic model is conservative).
+  Result<BuiltLayout> layout = Status::Internal("unreached");
+  for (double target = 0.85; target >= 0.55; target -= 0.05) {
+    builder_options.recall_threshold = target;
+    layout = ConstructIndexLayout(hist, *embedding, builder_options);
+    if (layout.ok()) break;
+  }
+  if (!layout.ok()) {
+    std::printf("optimizer failed: %s\n",
+                layout.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("optimizer chose %zu filter indices (predicted recall %.1f%%)\n",
+              layout->layout.points.size(),
+              layout->predicted_recall * 100.0);
+
+  IndexOptions index_options;
+  index_options.embedding = embedding_params;
+  auto index = SetSimilarityIndex::Build(store, layout->layout,
+                                         index_options);
+  if (!index.ok()) return 1;
+
+  // 1. Recommendations: users >90% similar to a twin user (the Figure 2
+  //    query). Twins were injected above, so the answer is non-empty.
+  const SetId target_user = 602;
+  auto similar = index->Query(shop.purchases[target_user], 0.9, 1.0);
+  if (!similar.ok()) return 1;
+  std::printf("\nusers with purchases >90%% similar to %s:\n",
+              shop.user_names[target_user].c_str());
+  for (SetId sid : similar->sids) {
+    if (sid == target_user) continue;
+    std::printf("  %s (similarity %.2f)\n", shop.user_names[sid].c_str(),
+                Jaccard(shop.purchases[sid], shop.purchases[target_user]));
+  }
+  if (similar->sids.size() <= 1) {
+    std::printf("  (none this similar — recommend from genre neighbours "
+                "instead)\n");
+  }
+
+  // 2. Campaign targeting: a "databases" sale bundle; target users whose
+  //    purchases overlap the bundle moderately — interested in the topic
+  //    but far from owning it all (the paper's 40-70%-of-the-sale example,
+  //    expressed as a Jaccard range on the bundle).
+  std::vector<std::string> bundle_titles;
+  for (int t = 0; t < 12; ++t) {
+    bundle_titles.push_back("databases-vol-" + std::to_string(t));
+  }
+  const ElementSet bundle = shop.titles.InternSet(bundle_titles);
+  auto interested = index->Query(bundle, 0.12, 0.45);
+  if (!interested.ok()) return 1;
+  std::printf("\nsale bundle of %zu database books; users moderately "
+              "overlapping it (good campaign targets): %zu users\n",
+              bundle.size(), interested->sids.size());
+  int shown = 0;
+  for (SetId sid : interested->sids) {
+    if (++shown > 5) break;
+    const double owned_fraction =
+        static_cast<double>(IntersectionSize(shop.purchases[sid], bundle)) /
+        static_cast<double>(bundle.size());
+    std::printf("  %s (owns %.0f%% of the bundle, Jaccard %.2f)\n",
+                shop.user_names[sid].c_str(), 100.0 * owned_fraction,
+                Jaccard(shop.purchases[sid], bundle));
+  }
+  std::printf("query stats: %zu candidates fetched, %.2f ms simulated I/O\n",
+              interested->stats.sets_fetched,
+              interested->stats.io_seconds * 1e3);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: the minimal end-to-end use of the library.
+//   1. Put sets into a SetStore.
+//   2. Describe (or optimize) an index layout.
+//   3. Build the SetSimilarityIndex.
+//   4. Ask range-similarity queries.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/set_similarity_index.h"
+#include "util/set_ops.h"
+
+int main() {
+  using namespace ssr;
+
+  // 1. A tiny collection. Sets are sorted vectors of 64-bit element ids;
+  //    use util/dictionary.h to map strings to ids (see the other
+  //    examples).
+  SetStore store;
+  SetCollection sets = {
+      {1, 2, 3, 4, 5},        // sid 0
+      {1, 2, 3, 4, 6},        // sid 1: 4/6 similar to sid 0
+      {1, 2, 3, 4, 5, 6, 7},  // sid 2
+      {10, 11, 12},           // sid 3: disjoint from the others
+      {10, 11, 12, 13},       // sid 4
+  };
+  for (ElementSet& s : sets) {
+    NormalizeSet(s);
+    auto sid = store.Add(s);
+    if (!sid.ok()) {
+      std::printf("add failed: %s\n", sid.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 2. A hand-written layout: one DFI for dissimilarity queries below 0.4,
+  //    one SFI for similarity queries above it. (Production code lets the
+  //    optimizer choose the layout: see tunable_index_tour.cpp.)
+  IndexLayout layout;
+  layout.delta = 0.4;
+  layout.points = {
+      {0.4, FilterKind::kDissimilarity, /*tables=*/8, /*r=*/0},
+      {0.4, FilterKind::kSimilarity, /*tables=*/8, /*r=*/0},
+      {0.7, FilterKind::kSimilarity, /*tables=*/8, /*r=*/0},
+  };
+
+  // 3. Build. IndexOptions controls the min-hash embedding.
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 100;
+  auto index = SetSimilarityIndex::Build(store, layout, options);
+  if (!index.ok()) {
+    std::printf("build failed: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Query: "which sets are 60%-100% similar to {1,2,3,4,5}?"
+  const ElementSet query = {1, 2, 3, 4, 5};
+  auto result = index->Query(query, 0.6, 1.0);
+  if (!result.ok()) {
+    std::printf("query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sets 60%%-100%% similar to {1,2,3,4,5}:\n");
+  for (SetId sid : result->sids) {
+    std::printf("  sid %u (exact similarity %.3f)\n", sid,
+                Jaccard(sets[sid], query));
+  }
+  std::printf("stats: %zu candidates fetched, %zu bucket accesses, "
+              "%.2f ms simulated I/O\n",
+              result->stats.sets_fetched, result->stats.bucket_accesses,
+              result->stats.io_seconds * 1e3);
+
+  // Dissimilarity query: "which sets are at most 10% similar?"
+  auto dissimilar = index->Query(query, 0.0, 0.1);
+  if (dissimilar.ok()) {
+    std::printf("sets at most 10%% similar:\n");
+    for (SetId sid : dissimilar->sids) {
+      std::printf("  sid %u (exact similarity %.3f)\n", sid,
+                  Jaccard(sets[sid], query));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// A tour of the Section 5 tunability story: the same collection indexed
+// under different space budgets and recall targets, showing how the
+// optimizer trades structures, tables, precision, and recall — the
+// "tunable" in the paper's title.
+//
+// Build & run:  ./build/examples/tunable_index_tour
+
+#include <cstdio>
+
+#include "baseline/exact_evaluator.h"
+#include "core/set_similarity_index.h"
+#include "eval/metrics.h"
+#include "optimizer/error_model.h"
+#include "optimizer/index_builder.h"
+#include "optimizer/similarity_distribution.h"
+#include "util/random.h"
+#include "workload/datasets.h"
+#include "workload/query_generator.h"
+
+int main() {
+  using namespace ssr;
+
+  const SetCollection sets = MakeDataset("set2", 0.003);  // 600 sets
+  std::printf("collection: %zu sets (Set2-like web log)\n\n", sets.size());
+
+  Rng rng(0x7007);
+  SimilarityHistogram hist = ComputeSampledDistribution(sets, 40000, 100, rng);
+  std::printf("similarity distribution: mass median (Eq. 15 delta) = %.3f, "
+              "90th percentile = %.3f\n\n",
+              hist.MassMedian(), hist.Quantile(0.9));
+
+  EmbeddingParams embedding_params;
+  embedding_params.minhash.num_hashes = 100;
+  auto embedding = Embedding::Create(embedding_params);
+
+  struct Config {
+    std::size_t budget;
+    double recall_target;
+  };
+  for (const Config config : {Config{60, 0.75}, Config{150, 0.8},
+                              Config{400, 0.85}, Config{400, 0.7}}) {
+    IndexBuilderOptions options;
+    options.table_budget = config.budget;
+    options.recall_threshold = config.recall_target;
+    auto built = ConstructIndexLayout(hist, *embedding, options);
+    std::printf("--- budget %zu tables, recall target %.0f%% ---\n",
+                config.budget, config.recall_target * 100.0);
+    if (!built.ok()) {
+      std::printf("  infeasible: %s\n\n",
+                  built.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %zu filter indices, predicted recall %.1f%%, predicted "
+                "precision %.1f%%\n",
+                built->layout.points.size(), built->predicted_recall * 100.0,
+                built->predicted_precision * 100.0);
+    for (const FilterPoint& p : built->layout.points) {
+      std::printf("    %s(%.3f) with %zu tables, r=%zu\n",
+                  p.kind == FilterKind::kSimilarity ? "SFI" : "DFI",
+                  p.similarity, p.tables, p.r);
+    }
+
+    // Measure against ground truth on a small random workload.
+    SetStore store;
+    for (const ElementSet& s : sets) {
+      if (!store.Add(s).ok()) return 1;
+    }
+    IndexOptions index_options;
+    index_options.embedding = embedding_params;
+    auto index = SetSimilarityIndex::Build(store, built->layout,
+                                           index_options);
+    if (!index.ok()) return 1;
+    ExactEvaluator exact(sets);
+    QueryGeneratorParams qparams;
+    QueryGenerator generator(sets, qparams);
+    double recall = 0.0, precision = 0.0;
+    const int kQueries = 60;
+    for (int q = 0; q < kQueries; ++q) {
+      const RangeQuery query = generator.Next();
+      auto result = index->Query(sets[query.query_sid], query.sigma1,
+                                 query.sigma2);
+      if (!result.ok()) continue;
+      recall += Recall(result->sids,
+                       exact.Query(sets[query.query_sid], query.sigma1,
+                                   query.sigma2));
+      precision += CandidatePrecision(result->stats.results,
+                                      result->stats.candidates);
+    }
+    std::printf("  measured over %d random queries: recall %.1f%%, "
+                "precision %.1f%%\n\n",
+                kQueries, recall / kQueries * 100.0,
+                precision / kQueries * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "baseline/exact_evaluator.h"
+
+#include <tuple>
+
+#include "util/set_ops.h"
+
+namespace ssr {
+
+std::vector<SetId> ExactEvaluator::Query(const ElementSet& query,
+                                         double sigma1, double sigma2) const {
+  std::vector<SetId> out;
+  constexpr double kEps = 1e-12;
+  for (std::size_t i = 0; i < sets_->size(); ++i) {
+    const double sim = Jaccard((*sets_)[i], query);
+    if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
+      out.push_back(static_cast<SetId>(i));
+    }
+  }
+  return out;
+}
+
+double ExactEvaluator::SimilarityTo(SetId sid, const ElementSet& query) const {
+  return Jaccard((*sets_)[sid], query);
+}
+
+std::vector<std::tuple<SetId, SetId, double>> ExactEvaluator::SimilarPairs(
+    double threshold) const {
+  std::vector<std::tuple<SetId, SetId, double>> out;
+  for (std::size_t i = 0; i < sets_->size(); ++i) {
+    for (std::size_t j = i + 1; j < sets_->size(); ++j) {
+      const double sim = Jaccard((*sets_)[i], (*sets_)[j]);
+      if (sim >= threshold) {
+        out.emplace_back(static_cast<SetId>(i), static_cast<SetId>(j), sim);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ssr

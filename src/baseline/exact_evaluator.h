@@ -1,0 +1,41 @@
+// Exact in-memory ground truth: the reference answer a(q) every approximate
+// result is scored against (recall/precision in Section 5 are defined
+// relative to it). No I/O accounting — this is the oracle, not a contender.
+
+#ifndef SSR_BASELINE_EXACT_EVALUATOR_H_
+#define SSR_BASELINE_EXACT_EVALUATOR_H_
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace ssr {
+
+/// Holds a reference to an in-memory collection and answers range queries
+/// exactly by brute force.
+class ExactEvaluator {
+ public:
+  /// `sets` must outlive the evaluator; sid i is sets[i].
+  explicit ExactEvaluator(const SetCollection& sets) : sets_(&sets) {}
+
+  /// All sids with σ1 <= sim(set, query) <= σ2, ascending.
+  std::vector<SetId> Query(const ElementSet& query, double sigma1,
+                           double sigma2) const;
+
+  /// Exact similarity of sid's set with the query.
+  double SimilarityTo(SetId sid, const ElementSet& query) const;
+
+  /// All pairwise similarities >= `threshold` as (i, j, sim) triples
+  /// (i < j). O(N²); utility for tests and small analyses.
+  std::vector<std::tuple<SetId, SetId, double>> SimilarPairs(
+      double threshold) const;
+
+  std::size_t size() const { return sets_->size(); }
+
+ private:
+  const SetCollection* sets_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_BASELINE_EXACT_EVALUATOR_H_

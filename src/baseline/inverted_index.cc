@@ -1,0 +1,51 @@
+#include "baseline/inverted_index.h"
+
+#include <algorithm>
+
+#include "util/set_ops.h"
+
+namespace ssr {
+
+InvertedIndex::InvertedIndex(const SetCollection& sets) : sets_(&sets) {
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (ElementId e : sets[i]) {
+      postings_[e].push_back(static_cast<SetId>(i));
+      ++total_postings_;
+    }
+  }
+}
+
+std::vector<SetId> InvertedIndex::Query(const ElementSet& query, double sigma1,
+                                        double sigma2) const {
+  constexpr double kEps = 1e-12;
+  std::vector<SetId> out;
+  if (sigma1 <= kEps) {
+    // Similarity-0 sets (disjoint) qualify; no pruning possible.
+    for (std::size_t i = 0; i < sets_->size(); ++i) {
+      const double sim = Jaccard((*sets_)[i], query);
+      if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
+        out.push_back(static_cast<SetId>(i));
+      }
+    }
+    return out;
+  }
+  // Count intersections by merging posting lists.
+  std::unordered_map<SetId, std::size_t> overlap;
+  for (ElementId e : query) {
+    auto it = postings_.find(e);
+    if (it == postings_.end()) continue;
+    for (SetId sid : it->second) ++overlap[sid];
+  }
+  for (const auto& [sid, inter] : overlap) {
+    const std::size_t uni =
+        (*sets_)[sid].size() + query.size() - inter;
+    const double sim = static_cast<double>(inter) / static_cast<double>(uni);
+    if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
+      out.push_back(sid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ssr

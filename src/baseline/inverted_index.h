@@ -1,0 +1,46 @@
+// Inverted-list exact baseline: element -> posting list of sids. A range
+// query with σ1 > 0 only needs sets sharing at least one element with the
+// query (sim > 0 requires a nonempty intersection), so candidate generation
+// merges the query elements' posting lists and similarity is computed from
+// the exact intersection counts. Exact like the scan, but avoids touching
+// disjoint sets; degenerates to a scan-equivalent for σ1 = 0. Included as
+// the extra comparator the paper's related work (signature files) gestures
+// at.
+
+#ifndef SSR_BASELINE_INVERTED_INDEX_H_
+#define SSR_BASELINE_INVERTED_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// In-memory inverted index over a set collection.
+class InvertedIndex {
+ public:
+  /// Builds postings for every element of every set. sid i is sets[i].
+  explicit InvertedIndex(const SetCollection& sets);
+
+  /// Exact answer to (q, [σ1, σ2]). For σ1 <= 0 falls back to scoring
+  /// every set (disjoint sets qualify at similarity 0).
+  std::vector<SetId> Query(const ElementSet& query, double sigma1,
+                           double sigma2) const;
+
+  /// Number of distinct indexed elements.
+  std::size_t vocabulary_size() const { return postings_.size(); }
+
+  /// Total posting entries (sum of set cardinalities).
+  std::size_t total_postings() const { return total_postings_; }
+
+ private:
+  const SetCollection* sets_;
+  std::unordered_map<ElementId, std::vector<SetId>> postings_;
+  std::size_t total_postings_ = 0;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_BASELINE_INVERTED_INDEX_H_

@@ -1,0 +1,44 @@
+#include "baseline/sequential_scan.h"
+
+#include "util/set_ops.h"
+#include "util/stopwatch.h"
+
+namespace ssr {
+
+Result<ScanResult> SequentialScanQuery(SetStore& store,
+                                       const ElementSet& query, double sigma1,
+                                       double sigma2) {
+  if (!(sigma1 >= 0.0 && sigma1 <= sigma2 && sigma2 <= 1.0)) {
+    return Status::InvalidArgument("require 0 <= sigma1 <= sigma2 <= 1");
+  }
+  if (!IsNormalizedSet(query)) {
+    return Status::InvalidArgument("query set must be sorted and unique");
+  }
+  Stopwatch watch;
+  const IoStats before = store.io().stats();
+  ScanResult result;
+  constexpr double kEps = 1e-12;
+  store.ScanAll([&](SetId sid, const ElementSet& set) {
+    ++result.stats.sets_examined;
+    const double sim = Jaccard(set, query);
+    if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
+      result.sids.push_back(sid);
+    }
+    return true;
+  });
+  result.stats.results = result.sids.size();
+  result.stats.io = store.io().stats() - before;
+  result.stats.io_seconds =
+      result.stats.io.SimulatedSeconds(store.io().params());
+  result.stats.cpu_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+double ScanCrossoverResultSize(const SetStore& store) {
+  const double a = store.AvgSetPages();
+  const double rtn = store.io().params().random_multiplier;
+  if (rtn <= 0.0) return 0.0;
+  return static_cast<double>(store.size()) * a / rtn;
+}
+
+}  // namespace ssr

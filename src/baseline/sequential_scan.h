@@ -1,0 +1,47 @@
+// Sequential scan: the paper's comparator (Section 6). Reads every page of
+// the collection sequentially, evaluates exact Jaccard similarity of every
+// live set against the query, and returns the ones inside the range. Exact
+// (recall 1) but pays the full file read plus per-set CPU on every query.
+
+#ifndef SSR_BASELINE_SEQUENTIAL_SCAN_H_
+#define SSR_BASELINE_SEQUENTIAL_SCAN_H_
+
+#include <vector>
+
+#include "storage/io_cost_model.h"
+#include "storage/set_store.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// Per-query scan statistics.
+struct ScanStats {
+  std::size_t sets_examined = 0;
+  std::size_t results = 0;
+  IoStats io;
+  double io_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+/// Scan answer.
+struct ScanResult {
+  std::vector<SetId> sids;
+  ScanStats stats;
+};
+
+/// Answers (q, [σ1, σ2]) by scanning `store` in full.
+/// Requires 0 <= σ1 <= σ2 <= 1 and a normalized query set.
+Result<ScanResult> SequentialScanQuery(SetStore& store,
+                                       const ElementSet& query, double sigma1,
+                                       double sigma2);
+
+/// Analytic crossover bound of Section 6: the query result size (in sets)
+/// below which the index is expected to beat the scan,
+/// |Q| < |S| · a / rtn, with a = average set size in pages and
+/// rtn = random/sequential cost ratio.
+double ScanCrossoverResultSize(const SetStore& store);
+
+}  // namespace ssr
+
+#endif  // SSR_BASELINE_SEQUENTIAL_SCAN_H_

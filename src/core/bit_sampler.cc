@@ -1,0 +1,65 @@
+#include "core/bit_sampler.h"
+
+#include "util/hash.h"
+
+namespace ssr {
+
+BitSampler::BitSampler(const Embedding& embedding, std::size_t r, Rng& rng)
+    : embedding_(&embedding) {
+  const std::size_t dim = embedding.dimension();
+  const unsigned m = embedding.code().codeword_bits();
+  positions_.reserve(r);
+  if (r <= dim) {
+    for (std::uint64_t global : rng.SampleWithoutReplacement(dim, r)) {
+      positions_.push_back(
+          {static_cast<std::uint32_t>(global / m),
+           static_cast<std::uint32_t>(global % m)});
+    }
+  } else {
+    for (std::size_t i = 0; i < r; ++i) {
+      const std::uint64_t global = rng.Uniform(dim);
+      positions_.push_back(
+          {static_cast<std::uint32_t>(global / m),
+           static_cast<std::uint32_t>(global % m)});
+    }
+  }
+}
+
+BitSampler::BitSampler(const Embedding& embedding,
+                       std::vector<BitPosition> positions)
+    : embedding_(&embedding), positions_(std::move(positions)) {}
+
+BitVector BitSampler::ExtractKey(const Signature& sig,
+                                 bool complemented) const {
+  BitVector key(positions_.size());
+  const Code& code = embedding_->code();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const BitPosition& p = positions_[i];
+    bool bit = code.Bit(sig[p.coordinate], p.code_pos);
+    if (complemented) bit = !bit;
+    if (bit) key.Set(i, true);
+  }
+  return key;
+}
+
+std::uint64_t BitSampler::ExtractKeyHash(const Signature& sig,
+                                         bool complemented) const {
+  const Code& code = embedding_->code();
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  std::uint64_t word = 0;
+  unsigned filled = 0;
+  for (const BitPosition& p : positions_) {
+    bool bit = code.Bit(sig[p.coordinate], p.code_pos);
+    if (complemented) bit = !bit;
+    word = (word << 1) | static_cast<std::uint64_t>(bit);
+    if (++filled == 64) {
+      h = HashCombine(h, word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) h = HashCombine(h, word | (1ULL << filled));
+  return h;
+}
+
+}  // namespace ssr

@@ -1,0 +1,60 @@
+// Random bit sampling from the embedded Hamming space (Section 4.1): each
+// hash table of a filter index is keyed on r bit positions chosen at random
+// from the D = m*k positions of H^{mk}.
+//
+// A sampled position is a pair (signature coordinate, codeword bit), so the
+// r-bit key of a vector is computed directly from its min-hash signature via
+// Code::Bit — the D-dimensional vector is never materialized.
+
+#ifndef SSR_CORE_BIT_SAMPLER_H_
+#define SSR_CORE_BIT_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hamming/bitvector.h"
+#include "hamming/embedding.h"
+#include "minhash/signature.h"
+#include "util/random.h"
+
+namespace ssr {
+
+/// One sampled bit position of the embedded space.
+struct BitPosition {
+  std::uint32_t coordinate;  // which min-hash value (0 <= . < k)
+  std::uint32_t code_pos;    // which bit of its codeword (0 <= . < m)
+
+  bool operator==(const BitPosition&) const = default;
+};
+
+/// An immutable sample of r bit positions with key-extraction routines.
+class BitSampler {
+ public:
+  /// Samples `r` distinct positions from the embedding's D positions.
+  /// If r > D the sample is drawn with replacement (degenerate but legal).
+  BitSampler(const Embedding& embedding, std::size_t r, Rng& rng);
+
+  /// Constructs from explicit positions (tests).
+  BitSampler(const Embedding& embedding, std::vector<BitPosition> positions);
+
+  std::size_t r() const { return positions_.size(); }
+  const std::vector<BitPosition>& positions() const { return positions_; }
+
+  /// The r sampled bits of the embedded vector of `sig`, packed LSB-first.
+  /// If `complemented`, every bit is flipped — this implements querying with
+  /// the complement vector q̄_b (Theorem 2 / DFI) without materializing it.
+  BitVector ExtractKey(const Signature& sig, bool complemented = false) const;
+
+  /// 64-bit hash of the extracted key (the value the hash table buckets
+  /// on). Exactly equal keys always produce equal hashes.
+  std::uint64_t ExtractKeyHash(const Signature& sig,
+                               bool complemented = false) const;
+
+ private:
+  const Embedding* embedding_;  // not owned; outlives the sampler
+  std::vector<BitPosition> positions_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_CORE_BIT_SAMPLER_H_

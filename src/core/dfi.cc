@@ -1,0 +1,18 @@
+#include "core/dfi.h"
+
+namespace ssr {
+
+Result<DissimilarityFilterIndex> DissimilarityFilterIndex::Create(
+    const Embedding& embedding, const SfiParams& params,
+    std::size_t expected_sets) {
+  if (params.s_star <= 0.0 || params.s_star >= 1.0) {
+    return Status::InvalidArgument("DFI s_star must be in (0, 1)");
+  }
+  SfiParams inner = params;
+  inner.s_star = 1.0 - params.s_star;  // Theorem 2
+  auto sfi = SimilarityFilterIndex::Create(embedding, inner, expected_sets);
+  if (!sfi.ok()) return sfi.status();
+  return DissimilarityFilterIndex(params.s_star, std::move(sfi).value());
+}
+
+}  // namespace ssr

@@ -1,0 +1,59 @@
+// Dissimilarity Filter Index DFI(s*) — Section 4.2. By Theorem 2, a vector
+// is at most s*-similar to q iff it is at least (1−s*)-similar to the bit
+// complement q̄. So DFI(s*) is an SFI with turning point 1−s* whose probes
+// complement the query's sampled bits. DissimVector(q) returns, with high
+// probability, the sids of all vectors at most s*-similar to q.
+
+#ifndef SSR_CORE_DFI_H_
+#define SSR_CORE_DFI_H_
+
+#include <vector>
+
+#include "core/sfi.h"
+
+namespace ssr {
+
+/// The Dissimilarity Filter Index primitive.
+class DissimilarityFilterIndex {
+ public:
+  /// Creates a DFI with dissimilarity threshold `params.s_star` (in Hamming-
+  /// similarity space): retrieves vectors with S_H <= s_star. Internally
+  /// builds SFI(1 − s_star).
+  static Result<DissimilarityFilterIndex> Create(const Embedding& embedding,
+                                                 const SfiParams& params,
+                                                 std::size_t expected_sets);
+
+  /// Inserts a data vector (NOT complemented; only queries are).
+  void Insert(SetId sid, const Signature& sig) { sfi_.Insert(sid, sig); }
+
+  /// Removes `sid`.
+  std::size_t Erase(SetId sid, const Signature& sig) {
+    return sfi_.Erase(sid, sig);
+  }
+
+  /// DissimVector(s*, q): sids of vectors at most s*-similar to the query.
+  std::vector<SetId> DissimVector(const Signature& query,
+                                  SfiProbeStats* stats = nullptr) const {
+    return sfi_.SimVector(query, /*complemented=*/true, stats);
+  }
+
+  /// The dissimilarity threshold s* this DFI was created for.
+  double s_star() const { return s_star_; }
+
+  /// The underlying SFI (turning point 1 − s*).
+  const SimilarityFilterIndex& sfi() const { return sfi_; }
+
+  std::size_t l() const { return sfi_.l(); }
+  std::size_t size() const { return sfi_.size(); }
+
+ private:
+  DissimilarityFilterIndex(double s_star, SimilarityFilterIndex sfi)
+      : s_star_(s_star), sfi_(std::move(sfi)) {}
+
+  double s_star_;
+  SimilarityFilterIndex sfi_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_CORE_DFI_H_

@@ -1,0 +1,68 @@
+#include "core/filter_function.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/mathutil.h"
+
+namespace ssr {
+
+FilterFunction::FilterFunction(std::size_t r, std::size_t l)
+    : r_(r < 1 ? 1 : r), l_(l < 1 ? 1 : l) {}
+
+FilterFunction FilterFunction::ForTurningPoint(double s_star, std::size_t l) {
+  s_star = Clamp(s_star, 1e-6, 1.0 - 1e-6);
+  if (l < 1) l = 1;
+  // p(s*) = 1/2  <=>  (1 - s*^r)^l = 1/2  <=>  s*^r = 1 - 2^{-1/l}.
+  const double target = 1.0 - std::pow(2.0, -1.0 / static_cast<double>(l));
+  const double r_exact = std::log(target) / std::log(s_star);
+  std::size_t r = static_cast<std::size_t>(std::lround(r_exact));
+  if (r < 1) r = 1;
+  return FilterFunction(r, l);
+}
+
+std::size_t FilterFunction::TablesForTurningPoint(double s_star,
+                                                  std::size_t r) {
+  s_star = Clamp(s_star, 1e-6, 1.0 - 1e-6);
+  if (r < 1) r = 1;
+  const double sr = std::pow(s_star, static_cast<double>(r));
+  if (sr >= 1.0) return 1;
+  const double l_exact = std::log(0.5) / std::log(1.0 - sr);
+  const std::size_t l = static_cast<std::size_t>(std::ceil(l_exact));
+  return l < 1 ? 1 : l;
+}
+
+double FilterFunction::Collision(double s) const {
+  s = Clamp(s, 0.0, 1.0);
+  const double sr = std::pow(s, static_cast<double>(r_));
+  return 1.0 - std::pow(1.0 - sr, static_cast<double>(l_));
+}
+
+double FilterFunction::TurningPoint() const {
+  const double target = 1.0 - std::pow(2.0, -1.0 / static_cast<double>(l_));
+  return std::pow(target, 1.0 / static_cast<double>(r_));
+}
+
+double FilterFunction::Slope(double s) const {
+  s = Clamp(s, 1e-12, 1.0);
+  const double sr = std::pow(s, static_cast<double>(r_));
+  const double inner = Clamp(1.0 - sr, 0.0, 1.0);
+  // d/ds [1 - (1 - s^r)^l] = l (1 - s^r)^{l-1} r s^{r-1}.
+  return static_cast<double>(l_) *
+         std::pow(inner, static_cast<double>(l_) - 1.0) *
+         static_cast<double>(r_) * std::pow(s, static_cast<double>(r_) - 1.0);
+}
+
+double FilterFunction::InverseCollision(double p) const {
+  p = Clamp(p, 1e-12, 1.0 - 1e-12);
+  // p = 1 - (1 - s^r)^l  =>  s = (1 - (1-p)^{1/l})^{1/r}.
+  const double sr = 1.0 - std::pow(1.0 - p, 1.0 / static_cast<double>(l_));
+  return std::pow(sr, 1.0 / static_cast<double>(r_));
+}
+
+double FilterFunction::TransitionWidth(double low, double high) const {
+  assert(low < high);
+  return InverseCollision(high) - InverseCollision(low);
+}
+
+}  // namespace ssr

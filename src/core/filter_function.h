@@ -1,0 +1,58 @@
+// The probabilistic filter function of Section 4.1:
+//     p_{r,l}(s) = 1 − (1 − s^r)^l
+// — the probability that two vectors with Hamming similarity s collide in at
+// least one of l hash tables keyed on r sampled bits each. An S-curve in s
+// whose turning point s* satisfies p_{r,l}(s*) = 1/2; for fixed s* the pair
+// (r, l) trades table count against steepness (more tables -> larger r ->
+// sharper filter), the tradeoff the optimizer exploits (Section 5).
+
+#ifndef SSR_CORE_FILTER_FUNCTION_H_
+#define SSR_CORE_FILTER_FUNCTION_H_
+
+#include <cstddef>
+
+namespace ssr {
+
+/// Immutable (r, l) filter-function parameters with analysis helpers.
+class FilterFunction {
+ public:
+  /// Direct construction from r >= 1 and l >= 1.
+  FilterFunction(std::size_t r, std::size_t l);
+
+  /// Solves p_{r,l}(s_star) = 1/2 for r given l and a turning point
+  /// s_star in (0, 1): r = ln(1 − 2^{−1/l}) / ln(s_star), rounded to the
+  /// nearest integer >= 1.
+  static FilterFunction ForTurningPoint(double s_star, std::size_t l);
+
+  /// Solves for the minimum l achieving turning point <= s_star for a given
+  /// r: l = ceil(ln(1/2) / ln(1 − s_star^r)).
+  static std::size_t TablesForTurningPoint(double s_star, std::size_t r);
+
+  /// p_{r,l}(s): collision probability at similarity s.
+  double Collision(double s) const;
+
+  /// The turning point: the s with p_{r,l}(s) = 1/2, i.e.
+  /// (1 − 2^{−1/l})^{1/r}.
+  double TurningPoint() const;
+
+  /// Derivative dp/ds at similarity s (steepness diagnostic).
+  double Slope(double s) const;
+
+  /// Width of the "uncertainty band": the s-interval over which p rises
+  /// from `low` to `high` (default 0.1 to 0.9). Smaller is sharper.
+  double TransitionWidth(double low = 0.1, double high = 0.9) const;
+
+  /// Inverse: the s with p_{r,l}(s) = p, for p in (0, 1).
+  double InverseCollision(double p) const;
+
+  std::size_t r() const { return r_; }
+  std::size_t l() const { return l_; }
+
+ private:
+  std::size_t r_;
+  std::size_t l_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_CORE_FILTER_FUNCTION_H_

@@ -1,0 +1,52 @@
+#include "core/hash_table.h"
+
+#include <algorithm>
+
+#include "util/mathutil.h"
+
+namespace ssr {
+
+SidHashTable::SidHashTable(std::size_t num_buckets) {
+  const std::size_t n = static_cast<std::size_t>(
+      NextPowerOfTwo(num_buckets == 0 ? 1 : num_buckets));
+  buckets_.resize(n);
+  mask_ = n - 1;
+}
+
+void SidHashTable::Insert(std::uint64_t key_hash, SetId sid) {
+  buckets_[BucketIndex(key_hash)].push_back({Fingerprint(key_hash), sid});
+  ++size_;
+}
+
+bool SidHashTable::Erase(std::uint64_t key_hash, SetId sid) {
+  auto& bucket = buckets_[BucketIndex(key_hash)];
+  const std::uint16_t fp = Fingerprint(key_hash);
+  auto it = std::find_if(bucket.begin(), bucket.end(), [&](const Entry& e) {
+    return e.sid == sid && e.fingerprint == fp;
+  });
+  if (it == bucket.end()) return false;
+  bucket.erase(it);
+  --size_;
+  return true;
+}
+
+std::size_t SidHashTable::Probe(std::uint64_t key_hash,
+                                std::vector<SetId>* out) const {
+  ++bucket_accesses_;
+  const auto& bucket = buckets_[BucketIndex(key_hash)];
+  const std::uint16_t fp = Fingerprint(key_hash);
+  for (const Entry& e : bucket) {
+    if (e.fingerprint == fp) out->push_back(e.sid);
+  }
+  return bucket.size();
+}
+
+std::size_t SidHashTable::max_bucket_size() const {
+  std::size_t max_size = 0;
+  for (const auto& b : buckets_) {
+    max_size = std::max(max_size, b.size());
+  }
+  return max_size;
+}
+
+}  // namespace ssr

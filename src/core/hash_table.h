@@ -1,0 +1,75 @@
+// The hash-table primitive of the filter indices (Section 4.1): buckets of
+// set identifiers keyed by the hash of an r-bit sampled key. Bucket accesses
+// are counted — each probe of a disk-resident table costs one random page
+// read in the paper's cost model, and SFI answers a query with O(l) bucket
+// accesses.
+
+#ifndef SSR_CORE_HASH_TABLE_H_
+#define SSR_CORE_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace ssr {
+
+/// A bucketed hash table of sids. The number of buckets is fixed at build
+/// time (power of two). Distinct r-bit keys that land in the same bucket
+/// are disambiguated by a 16-bit key fingerprint stored with each entry, so
+/// a probe returns (apart from a 2^-16 residual) only sids inserted under
+/// the same key — bucket-index collisions otherwise flood every probe with
+/// one random sid per table.
+class SidHashTable {
+ public:
+  /// One stored entry: the key fingerprint plus the set identifier.
+  struct Entry {
+    std::uint16_t fingerprint;
+    SetId sid;
+  };
+
+  /// `num_buckets` is rounded up to a power of two (>= 1).
+  explicit SidHashTable(std::size_t num_buckets);
+
+  /// Inserts `sid` under `key_hash`.
+  void Insert(std::uint64_t key_hash, SetId sid);
+
+  /// Removes one occurrence of `sid` inserted under `key_hash`.
+  /// Returns true if found.
+  bool Erase(std::uint64_t key_hash, SetId sid);
+
+  /// Appends the sids stored under `key_hash` to `out` and returns the
+  /// physical size of the bucket scanned (the I/O-relevant quantity: a
+  /// disk-resident probe reads the whole bucket before filtering). Also
+  /// bumps the bucket-access counter.
+  std::size_t Probe(std::uint64_t key_hash, std::vector<SetId>* out) const;
+
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::size_t size() const { return size_; }
+
+  /// Number of Probe() calls since construction/reset (one bucket access
+  /// each; the paper charges one random I/O per access for disk-resident
+  /// tables).
+  std::uint64_t bucket_accesses() const { return bucket_accesses_; }
+  void ResetCounters() const { bucket_accesses_ = 0; }
+
+  /// Occupancy diagnostics: size of the largest bucket.
+  std::size_t max_bucket_size() const;
+
+ private:
+  std::size_t BucketIndex(std::uint64_t key_hash) const {
+    return key_hash & mask_;
+  }
+  static std::uint16_t Fingerprint(std::uint64_t key_hash) {
+    return static_cast<std::uint16_t>(key_hash >> 48);
+  }
+
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t mask_;
+  std::size_t size_ = 0;
+  mutable std::uint64_t bucket_accesses_ = 0;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_CORE_HASH_TABLE_H_

@@ -1,0 +1,68 @@
+#include "core/index_layout.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ssr {
+
+std::size_t IndexLayout::total_tables() const {
+  std::size_t total = 0;
+  for (const auto& p : points) total += p.tables;
+  return total;
+}
+
+Status IndexLayout::Validate() const {
+  double prev_sim = -1.0;
+  bool seen_sfi = false;
+  for (const auto& p : points) {
+    if (p.similarity <= 0.0 || p.similarity >= 1.0) {
+      return Status::InvalidArgument(
+          "filter point similarity must be in (0, 1)");
+    }
+    if (p.similarity < prev_sim) {
+      return Status::InvalidArgument("filter points must be sorted");
+    }
+    if (p.similarity == prev_sim && p.kind == FilterKind::kDissimilarity &&
+        seen_sfi) {
+      return Status::InvalidArgument(
+          "at a shared location the DFI must precede the SFI");
+    }
+    if (p.kind == FilterKind::kDissimilarity && seen_sfi &&
+        p.similarity > prev_sim) {
+      return Status::InvalidArgument("DFI above an SFI location");
+    }
+    if (p.tables < 1) {
+      return Status::InvalidArgument("filter point with zero tables");
+    }
+    if (p.kind == FilterKind::kSimilarity) seen_sfi = true;
+    prev_sim = p.similarity;
+  }
+  if (delta < 0.0 || delta > 1.0) {
+    return Status::InvalidArgument("delta must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+IndexLayout IndexLayout::UniformSfi(const std::vector<double>& similarities,
+                                    std::size_t tables_each) {
+  IndexLayout layout;
+  layout.delta = 0.0;  // no DFIs
+  for (double s : similarities) {
+    layout.points.push_back(
+        {s, FilterKind::kSimilarity, tables_each, /*r=*/0});
+  }
+  return layout;
+}
+
+std::string IndexLayout::ToString() const {
+  std::ostringstream out;
+  out << "IndexLayout(delta=" << delta << ")";
+  for (const auto& p : points) {
+    out << "\n  " << (p.kind == FilterKind::kSimilarity ? "SFI" : "DFI")
+        << "(" << p.similarity << ") l=" << p.tables;
+    if (p.r != 0) out << " r=" << p.r;
+  }
+  return out.str();
+}
+
+}  // namespace ssr

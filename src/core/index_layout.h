@@ -1,0 +1,66 @@
+// Index layout: the k+1 points of Section 4.3 — where the filter indices
+// sit on the set-similarity range [0,1], what kind each is (DFI below the
+// mass-median δ of Eq. 15, SFI above, both at the point closest to δ), and
+// how many hash tables each gets. Produced by the optimizer (Section 5) or
+// specified manually.
+
+#ifndef SSR_CORE_INDEX_LAYOUT_H_
+#define SSR_CORE_INDEX_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssr {
+
+/// The kind of a filter index (Section 4).
+enum class FilterKind {
+  kSimilarity,     // SFI: retrieves sids at least σ-similar
+  kDissimilarity,  // DFI: retrieves sids at most σ-similar
+};
+
+/// One filter index of the composite scheme.
+struct FilterPoint {
+  /// Location σ in set-similarity space, in (0, 1).
+  double similarity = 0.5;
+
+  /// SFI or DFI.
+  FilterKind kind = FilterKind::kSimilarity;
+
+  /// Number of hash tables l allocated to this FI (the space unit).
+  std::size_t tables = 10;
+
+  /// Bits per table; 0 = solve from (turning point, tables).
+  std::size_t r = 0;
+};
+
+/// The complete layout. Points are sorted by (similarity, kind) with all
+/// DFIs at or below every SFI location; at one location (nearest δ) both a
+/// DFI and an SFI may coexist.
+struct IndexLayout {
+  std::vector<FilterPoint> points;
+
+  /// The Eq. 15 split: DFIs serve [0, δ], SFIs serve [δ, 1].
+  double delta = 0.5;
+
+  /// Sum of tables over all points (the consumed space budget).
+  std::size_t total_tables() const;
+
+  /// Checks ordering, ranges, kind partitioning (no SFI strictly below a
+  /// DFI), and positive table counts.
+  Status Validate() const;
+
+  /// Convenience: n SFIs at the given similarities, `tables_each` tables
+  /// each (the paper's "first attempt" layout, Section 4.1).
+  static IndexLayout UniformSfi(const std::vector<double>& similarities,
+                                std::size_t tables_each);
+
+  /// Human-readable one-line-per-FI description.
+  std::string ToString() const;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_CORE_INDEX_LAYOUT_H_

@@ -1,0 +1,484 @@
+#include "core/set_similarity_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.h"
+#include "util/serialize.h"
+#include "util/set_ops.h"
+#include "util/stopwatch.h"
+
+namespace ssr {
+
+namespace {
+
+std::vector<SetId> SortedDifference(const std::vector<SetId>& a,
+                                    const std::vector<SetId>& b) {
+  std::vector<SetId> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<SetId> SortedUnion(const std::vector<SetId>& a,
+                               const std::vector<SetId>& b) {
+  std::vector<SetId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+Result<SetSimilarityIndex> SetSimilarityIndex::Build(
+    SetStore& store, const IndexLayout& layout, const IndexOptions& options) {
+  SSR_RETURN_IF_ERROR(layout.Validate());
+  if (layout.points.empty()) {
+    return Status::InvalidArgument("layout must have at least one FI");
+  }
+  auto embedding = Embedding::Create(options.embedding);
+  if (!embedding.ok()) return embedding.status();
+  SetSimilarityIndex index(store, layout, options,
+                           std::move(embedding).value());
+  SSR_RETURN_IF_ERROR(index.BuildFilterIndices());
+  // Preprocessing I/O (the full-collection scan) must not pollute the
+  // per-query measurements.
+  store.ResetIoAccounting();
+  return index;
+}
+
+SetSimilarityIndex::SetSimilarityIndex(SetStore& store, IndexLayout layout,
+                                       IndexOptions options,
+                                       Embedding embedding)
+    : store_(&store),
+      layout_(std::move(layout)),
+      options_(std::move(options)),
+      embedding_(std::make_unique<Embedding>(std::move(embedding))) {}
+
+Status SetSimilarityIndex::BuildFilterIndices() {
+  SSR_RETURN_IF_ERROR(CreateFilterIndices());
+  // Embed and insert every live set.
+  Status status;
+  store_->ScanAll([&](SetId sid, const ElementSet& set) {
+    Status s = Insert(sid, set);
+    if (!s.ok()) {
+      status = s;
+      return false;
+    }
+    return true;
+  });
+  return status;
+}
+
+Status SetSimilarityIndex::CreateFilterIndices() {
+  const std::size_t expected = store_->size();
+  std::size_t buckets = options_.buckets_per_table;
+  if (buckets == 0) buckets = expected < 16 ? 16 : expected;
+
+  for (std::size_t i = 0; i < layout_.points.size(); ++i) {
+    const FilterPoint& p = layout_.points[i];
+    SfiParams params;
+    params.l = p.tables;
+    params.r = p.r;
+    params.num_buckets = buckets;
+    params.seed = HashCombine(options_.seed, i * 0x9e37 + 1);
+    BuiltFi built;
+    built.point = p;
+    // Theorem 1 converts the set-similarity location to Hamming similarity.
+    const double s_hamming =
+        embedding_->SetToHammingSimilarity(p.similarity);
+    if (p.kind == FilterKind::kSimilarity) {
+      params.s_star = s_hamming;
+      auto sfi = SimilarityFilterIndex::Create(*embedding_, params, expected);
+      if (!sfi.ok()) return sfi.status();
+      built.sfi = std::make_unique<SimilarityFilterIndex>(
+          std::move(sfi).value());
+    } else {
+      params.s_star = s_hamming;
+      auto dfi =
+          DissimilarityFilterIndex::Create(*embedding_, params, expected);
+      if (!dfi.ok()) return dfi.status();
+      built.dfi = std::make_unique<DissimilarityFilterIndex>(
+          std::move(dfi).value());
+    }
+    fis_.push_back(std::move(built));
+  }
+  return Status::OK();
+}
+
+Status SetSimilarityIndex::Insert(SetId sid, const ElementSet& set) {
+  if (!IsNormalizedSet(set)) {
+    return Status::InvalidArgument("set must be sorted and duplicate-free");
+  }
+  return InsertSignature(sid, embedding_->Sign(set));
+}
+
+Status SetSimilarityIndex::InsertSignature(SetId sid, Signature sig) {
+  if (sid < live_.size() && live_[sid]) {
+    return Status::AlreadyExists("sid already indexed");
+  }
+  if (sig.size() != embedding_->hasher().params().num_hashes) {
+    return Status::InvalidArgument("signature dimension mismatch");
+  }
+  if (sid >= live_.size()) {
+    live_.resize(sid + 1, false);
+    signatures_.resize(sid + 1);
+  }
+  for (auto& fi : fis_) {
+    if (fi.sfi != nullptr) {
+      fi.sfi->Insert(sid, sig);
+    } else {
+      fi.dfi->Insert(sid, sig);
+    }
+  }
+  signatures_[sid] = std::move(sig);
+  live_[sid] = true;
+  ++num_live_;
+  return Status::OK();
+}
+
+Status SetSimilarityIndex::Erase(SetId sid) {
+  if (sid >= live_.size() || !live_[sid]) {
+    return Status::NotFound("sid not indexed");
+  }
+  const Signature& sig = signatures_[sid];
+  for (auto& fi : fis_) {
+    if (fi.sfi != nullptr) {
+      fi.sfi->Erase(sid, sig);
+    } else {
+      fi.dfi->Erase(sid, sig);
+    }
+  }
+  live_[sid] = false;
+  signatures_[sid] = Signature();
+  --num_live_;
+  return Status::OK();
+}
+
+std::optional<Signature> SetSimilarityIndex::signature(SetId sid) const {
+  if (sid >= live_.size() || !live_[sid]) return std::nullopt;
+  return signatures_[sid];
+}
+
+bool SetSimilarityIndex::HasDfi() const {
+  for (const auto& fi : fis_) {
+    if (fi.point.kind == FilterKind::kDissimilarity) return true;
+  }
+  return false;
+}
+
+std::vector<SetId> SetSimilarityIndex::LiveSids() const {
+  std::vector<SetId> out;
+  out.reserve(num_live_);
+  for (SetId sid = 0; sid < live_.size(); ++sid) {
+    if (live_[sid]) out.push_back(sid);
+  }
+  return out;
+}
+
+std::vector<SetId> SetSimilarityIndex::ProbeFi(std::size_t fi_idx,
+                                               const Signature& query,
+                                               QueryStats* stats) const {
+  const BuiltFi& fi = fis_[fi_idx];
+  SfiProbeStats probe;
+  std::vector<SetId> out;
+  if (fi.sfi != nullptr) {
+    out = fi.sfi->SimVector(query, /*complemented=*/false, &probe);
+  } else {
+    out = fi.dfi->DissimVector(query, &probe);
+  }
+  stats->bucket_accesses += probe.bucket_accesses;
+  stats->bucket_pages += probe.bucket_pages;
+  stats->sids_scanned += probe.sids_scanned;
+  if (options_.charge_bucket_io) {
+    store_->io().ChargeRandomRead(probe.bucket_pages);
+  }
+  return out;
+}
+
+std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
+    const Signature& query, double sigma1, double sigma2,
+    QueryStats* stats) const {
+  // Virtual enclosing-point selection over [0 | layout points | 1].
+  // lo = highest point <= σ1 (virtual 0 if none);
+  // up = lowest point >= σ2 (virtual 1 if none).
+  constexpr std::size_t kVirtual = static_cast<std::size_t>(-1);
+  std::size_t lo_idx = kVirtual, up_idx = kVirtual;
+  for (std::size_t i = 0; i < fis_.size(); ++i) {
+    if (fis_[i].point.similarity <= sigma1) lo_idx = i;
+  }
+  for (std::size_t i = fis_.size(); i-- > 0;) {
+    if (fis_[i].point.similarity >= sigma2) up_idx = i;
+  }
+  // If both land on the same point (σ1 <= p <= σ2 with one point in range),
+  // widen lo downward so the enclosure is proper.
+  if (lo_idx != kVirtual && lo_idx == up_idx) {
+    lo_idx = lo_idx == 0 ? kVirtual : lo_idx - 1;
+  }
+
+  stats->lo_point = lo_idx == kVirtual ? 0.0 : fis_[lo_idx].point.similarity;
+  stats->up_point = up_idx == kVirtual ? 1.0 : fis_[up_idx].point.similarity;
+
+  const bool lo_virtual = lo_idx == kVirtual;
+  const bool up_virtual = up_idx == kVirtual;
+
+  if (lo_virtual && up_virtual) {
+    stats->plan = QueryPlanKind::kFullCollection;
+    return LiveSids();
+  }
+
+  const auto kind_of = [&](std::size_t idx) { return fis_[idx].point.kind; };
+
+  // Case 1: both enclosing points are DFIs (or lo is virtual 0, an empty
+  // DissimVector): A = Dissim(up) \ Dissim(lo).
+  if (!up_virtual && kind_of(up_idx) == FilterKind::kDissimilarity) {
+    stats->plan = QueryPlanKind::kDfiPair;
+    std::vector<SetId> up_set = ProbeFi(up_idx, query, stats);
+    if (lo_virtual) return up_set;
+    assert(kind_of(lo_idx) == FilterKind::kDissimilarity);
+    std::vector<SetId> lo_set = ProbeFi(lo_idx, query, stats);
+    return SortedDifference(up_set, lo_set);
+  }
+
+  // Case 2: both enclosing points are SFIs (or up is virtual 1, an empty
+  // SimVector): A = Sim(lo) \ Sim(up). A virtual-0 lo with an SFI-side up
+  // degenerates to "all live sids minus Sim(up)" — the expensive plan the
+  // paper's first-attempt scheme suffers from; the optimizer's layouts
+  // avoid it by covering [0, δ] with DFIs.
+  const bool lo_is_sfi =
+      !lo_virtual && kind_of(lo_idx) == FilterKind::kSimilarity;
+  const bool lo_dfi_side =
+      !lo_virtual && kind_of(lo_idx) == FilterKind::kDissimilarity;
+  if (lo_is_sfi || (lo_virtual && !up_virtual &&
+                    kind_of(up_idx) == FilterKind::kSimilarity &&
+                    !HasDfi())) {
+    stats->plan = QueryPlanKind::kSfiPair;
+    std::vector<SetId> lo_set =
+        lo_is_sfi ? ProbeFi(lo_idx, query, stats) : LiveSids();
+    if (up_virtual) return lo_set;
+    std::vector<SetId> up_set = ProbeFi(up_idx, query, stats);
+    return SortedDifference(lo_set, up_set);
+  }
+
+  // Case 3: lo on the DFI side (a real DFI or virtual 0 with DFIs present),
+  // up on the SFI side (a real SFI or virtual 1). Uses the two FIs nearest
+  // δ: A = (Dissim(r_m) \ Dissim(lo)) ∪ (Sim(t_m) \ Sim(up)).
+  stats->plan = QueryPlanKind::kMixed;
+  std::size_t dfi_mid = kVirtual, sfi_mid = kVirtual;
+  for (std::size_t i = 0; i < fis_.size(); ++i) {
+    if (fis_[i].point.kind == FilterKind::kDissimilarity) dfi_mid = i;
+  }
+  for (std::size_t i = fis_.size(); i-- > 0;) {
+    if (fis_[i].point.kind == FilterKind::kSimilarity) sfi_mid = i;
+  }
+
+  if (sfi_mid == kVirtual) {
+    // DFI-only layout with the range extending above every DFI point: the
+    // only sound superset is everything not excluded below lo.
+    std::vector<SetId> all = LiveSids();
+    if (lo_dfi_side) {
+      return SortedDifference(all, ProbeFi(lo_idx, query, stats));
+    }
+    return all;
+  }
+
+  std::vector<SetId> left;
+  if (dfi_mid != kVirtual) {
+    left = ProbeFi(dfi_mid, query, stats);
+    if (lo_dfi_side && lo_idx != dfi_mid) {
+      left = SortedDifference(left, ProbeFi(lo_idx, query, stats));
+    }
+  }
+  std::vector<SetId> right;
+  if (sfi_mid != kVirtual) {
+    right = ProbeFi(sfi_mid, query, stats);
+    if (!up_virtual && up_idx != sfi_mid &&
+        kind_of(up_idx) == FilterKind::kSimilarity) {
+      right = SortedDifference(right, ProbeFi(up_idx, query, stats));
+    }
+  }
+  return SortedUnion(left, right);
+}
+
+namespace {
+constexpr std::uint32_t kIndexVersion = 1;
+}  // namespace
+
+Status SetSimilarityIndex::SaveTo(std::ostream& out) const {
+  BinaryWriter writer(out);
+  writer.WriteString("SSRINDEX");
+  writer.WriteU32(kIndexVersion);
+  // Options.
+  writer.WriteU64(options_.embedding.minhash.num_hashes);
+  writer.WriteU32(options_.embedding.minhash.value_bits);
+  writer.WriteU64(options_.embedding.minhash.seed);
+  writer.WriteU8(static_cast<std::uint8_t>(options_.embedding.code_kind));
+  writer.WriteU64(options_.buckets_per_table);
+  writer.WriteU64(options_.seed);
+  writer.WriteBool(options_.charge_bucket_io);
+  // Layout.
+  writer.WriteDouble(layout_.delta);
+  writer.WriteU64(layout_.points.size());
+  for (const FilterPoint& p : layout_.points) {
+    writer.WriteDouble(p.similarity);
+    writer.WriteU8(static_cast<std::uint8_t>(p.kind));
+    writer.WriteU64(p.tables);
+    writer.WriteU64(p.r);
+  }
+  // Signatures of live sids.
+  writer.WriteU64(live_.size());
+  writer.WriteU64(num_live_);
+  for (SetId sid = 0; sid < live_.size(); ++sid) {
+    if (!live_[sid]) continue;
+    writer.WriteU32(sid);
+    writer.WriteVector(signatures_[sid].values());
+  }
+  if (!writer.ok()) return Status::Internal("index write failed");
+  return Status::OK();
+}
+
+Result<SetSimilarityIndex> SetSimilarityIndex::Load(SetStore& store,
+                                                    std::istream& in) {
+  BinaryReader reader(in);
+  std::string magic;
+  SSR_RETURN_IF_ERROR(reader.ReadString(&magic));
+  if (magic != "SSRINDEX") return Status::Corruption("bad index magic");
+  std::uint32_t version = 0;
+  SSR_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kIndexVersion) {
+    return Status::NotSupported("unknown index version");
+  }
+  IndexOptions options;
+  std::uint64_t num_hashes = 0;
+  std::uint32_t value_bits = 0;
+  std::uint8_t code_kind = 0;
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&num_hashes));
+  SSR_RETURN_IF_ERROR(reader.ReadU32(&value_bits));
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&options.embedding.minhash.seed));
+  SSR_RETURN_IF_ERROR(reader.ReadU8(&code_kind));
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&options.buckets_per_table));
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&options.seed));
+  SSR_RETURN_IF_ERROR(reader.ReadBool(&options.charge_bucket_io));
+  options.embedding.minhash.num_hashes =
+      static_cast<std::size_t>(num_hashes);
+  options.embedding.minhash.value_bits = value_bits;
+  if (code_kind > static_cast<std::uint8_t>(CodeKind::kNaiveBinary)) {
+    return Status::Corruption("unknown code kind");
+  }
+  options.embedding.code_kind = static_cast<CodeKind>(code_kind);
+
+  IndexLayout layout;
+  SSR_RETURN_IF_ERROR(reader.ReadDouble(&layout.delta));
+  std::uint64_t num_points = 0;
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&num_points));
+  if (num_points > 100000) return Status::Corruption("absurd point count");
+  for (std::uint64_t i = 0; i < num_points; ++i) {
+    FilterPoint p;
+    std::uint8_t kind = 0;
+    std::uint64_t tables = 0, r = 0;
+    SSR_RETURN_IF_ERROR(reader.ReadDouble(&p.similarity));
+    SSR_RETURN_IF_ERROR(reader.ReadU8(&kind));
+    SSR_RETURN_IF_ERROR(reader.ReadU64(&tables));
+    SSR_RETURN_IF_ERROR(reader.ReadU64(&r));
+    p.kind = kind == 0 ? FilterKind::kSimilarity : FilterKind::kDissimilarity;
+    p.tables = static_cast<std::size_t>(tables);
+    p.r = static_cast<std::size_t>(r);
+    layout.points.push_back(p);
+  }
+  SSR_RETURN_IF_ERROR(layout.Validate());
+  if (layout.points.empty()) {
+    return Status::Corruption("persisted layout has no points");
+  }
+
+  auto embedding = Embedding::Create(options.embedding);
+  if (!embedding.ok()) return embedding.status();
+  SetSimilarityIndex index(store, std::move(layout), options,
+                           std::move(embedding).value());
+  SSR_RETURN_IF_ERROR(index.CreateFilterIndices());
+
+  std::uint64_t capacity = 0, live_count = 0;
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&capacity));
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&live_count));
+  for (std::uint64_t i = 0; i < live_count; ++i) {
+    std::uint32_t sid = 0;
+    std::vector<std::uint16_t> values;
+    SSR_RETURN_IF_ERROR(reader.ReadU32(&sid));
+    SSR_RETURN_IF_ERROR(reader.ReadVector(&values));
+    SSR_RETURN_IF_ERROR(
+        index.InsertSignature(sid, Signature(std::move(values))));
+  }
+  if (index.live_.size() < capacity) {
+    index.live_.resize(capacity, false);
+    index.signatures_.resize(capacity);
+  }
+  return index;
+}
+
+Result<QueryResult> SetSimilarityIndex::QueryCandidates(
+    const ElementSet& query, double sigma1, double sigma2) {
+  if (!(sigma1 >= 0.0 && sigma1 <= sigma2 && sigma2 <= 1.0)) {
+    return Status::InvalidArgument("require 0 <= sigma1 <= sigma2 <= 1");
+  }
+  if (!IsNormalizedSet(query)) {
+    return Status::InvalidArgument("query set must be sorted and unique");
+  }
+  Stopwatch watch;
+  const IoStats io_before = store_->io().stats();
+  QueryResult result;
+  const Signature sig = embedding_->Sign(query);
+  result.sids = ComputeCandidates(sig, sigma1, sigma2, &result.stats);
+  result.stats.candidates = result.sids.size();
+  result.stats.results = result.sids.size();
+  result.stats.io = store_->io().stats() - io_before;
+  result.stats.io_seconds =
+      result.stats.io.SimulatedSeconds(store_->io().params());
+  result.stats.cpu_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
+                                              double sigma1, double sigma2) {
+  if (!(sigma1 >= 0.0 && sigma1 <= sigma2 && sigma2 <= 1.0)) {
+    return Status::InvalidArgument("require 0 <= sigma1 <= sigma2 <= 1");
+  }
+  if (!IsNormalizedSet(query)) {
+    return Status::InvalidArgument("query set must be sorted and unique");
+  }
+  Stopwatch watch;
+  const IoStats io_before = store_->io().stats();
+  QueryResult result;
+  const Signature sig = embedding_->Sign(query);
+  std::vector<SetId> candidates =
+      ComputeCandidates(sig, sigma1, sigma2, &result.stats);
+  result.stats.candidates = candidates.size();
+
+  if (result.stats.plan == QueryPlanKind::kFullCollection && sigma1 <= 0.0 &&
+      sigma2 >= 1.0) {
+    // [0, 1] covers every set by definition; no verification needed. Any
+    // narrower range that still fell through to the full-collection plan
+    // (no enclosing filter points) must be verified like any other.
+    result.sids = std::move(candidates);
+  } else {
+    // Verification: fetch each candidate and keep exact-similarity matches.
+    constexpr double kEps = 1e-12;
+    for (SetId sid : candidates) {
+      auto set = store_->Get(sid);
+      if (!set.ok()) continue;  // deleted concurrently; skip
+      ++result.stats.sets_fetched;
+      const double sim = Jaccard(set.value(), query);
+      if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
+        result.sids.push_back(sid);
+      }
+    }
+  }
+  result.stats.results = result.sids.size();
+  result.stats.io = store_->io().stats() - io_before;
+  result.stats.io_seconds =
+      result.stats.io.SimulatedSeconds(store_->io().params());
+  result.stats.cpu_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ssr

@@ -1,0 +1,165 @@
+// The composite tunable index of Section 4.3: filter indices (SFIs and DFIs)
+// at the layout's points over [0,1], a query planner implementing the four
+// lo/up enclosing cases, and a verification step that fetches candidate sets
+// from the SetStore and removes false positives with exact Jaccard.
+
+#ifndef SSR_CORE_SET_SIMILARITY_INDEX_H_
+#define SSR_CORE_SET_SIMILARITY_INDEX_H_
+
+#include <istream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "core/dfi.h"
+#include "core/index_layout.h"
+#include "core/sfi.h"
+#include "hamming/embedding.h"
+#include "storage/set_store.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// Composite index construction options.
+struct IndexOptions {
+  /// The set -> Hamming embedding (min-hash + ECC) parameters.
+  EmbeddingParams embedding;
+
+  /// Buckets per hash table; 0 = sized to the collection.
+  std::size_t buckets_per_table = 0;
+
+  /// Master seed for all per-table bit samples.
+  std::uint64_t seed = 0xc0a1e5ce0db5ULL;
+
+  /// Charge one random page read per bucket page probed (disk-resident
+  /// tables, the paper's model).
+  bool charge_bucket_io = true;
+};
+
+/// Which of the Section 4.3 cases answered a query.
+enum class QueryPlanKind {
+  kDfiPair,         // lo, up both on the DFI side
+  kSfiPair,         // lo, up both on the SFI side
+  kMixed,           // lo on DFI side, up on SFI side (uses both δ FIs)
+  kFullCollection,  // [0, 1]: every live set, no probing needed
+};
+
+/// Per-query execution statistics.
+struct QueryStats {
+  QueryPlanKind plan = QueryPlanKind::kSfiPair;
+  double lo_point = 0.0;  // enclosing layout point below σ1 (0 = virtual)
+  double up_point = 1.0;  // enclosing layout point above σ2 (1 = virtual)
+  std::size_t candidates = 0;       // |A| before verification
+  std::size_t results = 0;          // answer size after verification
+  std::size_t bucket_accesses = 0;  // hash-table probes (l per FI probed)
+  std::size_t bucket_pages = 0;     // pages those probes cost
+  std::size_t sids_scanned = 0;     // bucket entries read before dedup
+  std::size_t sets_fetched = 0;     // candidate sets fetched for verification
+  IoStats io;                       // store I/O delta for this query
+  double io_seconds = 0.0;          // simulated I/O time
+  double cpu_seconds = 0.0;         // measured CPU time
+};
+
+/// A verified query answer: sids whose exact Jaccard similarity with the
+/// query lies in [σ1, σ2].
+struct QueryResult {
+  std::vector<SetId> sids;
+  QueryStats stats;
+};
+
+/// The composite set-similarity range index.
+class SetSimilarityIndex {
+ public:
+  /// Builds the index over every live set in `store`. The layout must
+  /// validate OK and have at least one point. I/O accounting in `store` is
+  /// reset after the build so query measurements start clean.
+  static Result<SetSimilarityIndex> Build(SetStore& store,
+                                          const IndexLayout& layout,
+                                          const IndexOptions& options);
+
+  /// Answers (q, [σ1, σ2]): probes the enclosing filter indices, applies
+  /// the Section 4.3 set algebra, verifies candidates against the store.
+  /// Requires 0 <= σ1 <= σ2 <= 1.
+  Result<QueryResult> Query(const ElementSet& query, double sigma1,
+                            double sigma2);
+
+  /// Like Query but skips verification: returns the raw candidate sids
+  /// (useful for measuring filter quality and for the paper's result-size
+  /// bucketing, which classifies queries by candidate count).
+  Result<QueryResult> QueryCandidates(const ElementSet& query, double sigma1,
+                                      double sigma2);
+
+  /// Dynamic maintenance (Section 4.3 notes hash indices are fully
+  /// dynamic): registers a set already added to the store under `sid`.
+  Status Insert(SetId sid, const ElementSet& set);
+
+  /// Unregisters a deleted set from all filter indices.
+  Status Erase(SetId sid);
+
+  const IndexLayout& layout() const { return layout_; }
+  const Embedding& embedding() const { return *embedding_; }
+  std::size_t num_filter_indices() const { return fis_.size(); }
+  std::size_t num_live_sets() const { return num_live_; }
+  SetStore& store() { return *store_; }
+
+  /// The signature stored for `sid` (for tests; empty optional if dead).
+  std::optional<Signature> signature(SetId sid) const;
+
+  /// Persists the index (options, layout, signatures) to a binary stream.
+  /// The SetStore is persisted separately (SetStore::SaveTo); Load attaches
+  /// the deserialized index to `store`, rebuilding the hash tables from the
+  /// saved signatures without touching set data — construction is
+  /// deterministic under the saved seeds, so the loaded index answers
+  /// queries identically to the saved one.
+  Status SaveTo(std::ostream& out) const;
+  static Result<SetSimilarityIndex> Load(SetStore& store, std::istream& in);
+
+ private:
+  struct BuiltFi {
+    FilterPoint point;
+    std::unique_ptr<SimilarityFilterIndex> sfi;   // set iff kind == SFI
+    std::unique_ptr<DissimilarityFilterIndex> dfi;  // set iff kind == DFI
+  };
+
+  SetSimilarityIndex(SetStore& store, IndexLayout layout,
+                     IndexOptions options, Embedding embedding);
+
+  /// Creates the (empty) filter-index structures for the layout.
+  Status CreateFilterIndices();
+
+  /// CreateFilterIndices + embed-and-insert every live set in the store.
+  Status BuildFilterIndices();
+
+  /// Registers a precomputed signature under `sid` (shared by Insert and
+  /// Load).
+  Status InsertSignature(SetId sid, Signature sig);
+
+  /// Union of the probed buckets for the FI at index `fi_idx`.
+  std::vector<SetId> ProbeFi(std::size_t fi_idx, const Signature& query,
+                             QueryStats* stats) const;
+
+  /// All currently live sids, sorted.
+  std::vector<SetId> LiveSids() const;
+
+  /// True iff the layout contains at least one DFI.
+  bool HasDfi() const;
+
+  /// Computes the candidate set A for [σ1, σ2] per Section 4.3.
+  std::vector<SetId> ComputeCandidates(const Signature& query, double sigma1,
+                                       double sigma2, QueryStats* stats) const;
+
+  SetStore* store_;  // not owned
+  IndexLayout layout_;
+  IndexOptions options_;
+  std::unique_ptr<Embedding> embedding_;
+  std::vector<BuiltFi> fis_;
+  std::vector<Signature> signatures_;  // by sid
+  std::vector<bool> live_;             // by sid
+  std::size_t num_live_ = 0;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_CORE_SET_SIMILARITY_INDEX_H_

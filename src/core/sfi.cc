@@ -1,0 +1,90 @@
+#include "core/sfi.h"
+
+#include <algorithm>
+
+#include "storage/page.h"
+#include "util/mathutil.h"
+
+namespace ssr {
+
+std::size_t SimilarityFilterIndex::SidsPerPage() {
+  return kPageSize / sizeof(SetId);
+}
+
+Result<SimilarityFilterIndex> SimilarityFilterIndex::Create(
+    const Embedding& embedding, const SfiParams& params,
+    std::size_t expected_sets) {
+  if (params.s_star <= 0.0 || params.s_star >= 1.0) {
+    return Status::InvalidArgument("s_star must be in (0, 1)");
+  }
+  if (params.l < 1) {
+    return Status::InvalidArgument("l must be >= 1");
+  }
+  FilterFunction filter =
+      params.r == 0 ? FilterFunction::ForTurningPoint(params.s_star, params.l)
+                    : FilterFunction(params.r, params.l);
+  std::size_t num_buckets = params.num_buckets;
+  if (num_buckets == 0) {
+    // One expected sid per bucket keeps chains short; the paper sizes
+    // buckets so no overflow chains are needed.
+    num_buckets = expected_sets < 16 ? 16 : expected_sets;
+  }
+  return SimilarityFilterIndex(embedding, params, filter, num_buckets,
+                               params.seed);
+}
+
+SimilarityFilterIndex::SimilarityFilterIndex(const Embedding& embedding,
+                                             SfiParams params,
+                                             FilterFunction filter,
+                                             std::size_t num_buckets,
+                                             std::uint64_t seed)
+    : embedding_(&embedding), params_(params), filter_(filter) {
+  Rng rng(seed);
+  samplers_.reserve(filter_.l());
+  tables_.reserve(filter_.l());
+  for (std::size_t i = 0; i < filter_.l(); ++i) {
+    samplers_.emplace_back(embedding, filter_.r(), rng);
+    tables_.emplace_back(num_buckets);
+  }
+}
+
+void SimilarityFilterIndex::Insert(SetId sid, const Signature& sig) {
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    tables_[i].Insert(samplers_[i].ExtractKeyHash(sig), sid);
+  }
+  ++num_entries_;
+}
+
+std::size_t SimilarityFilterIndex::Erase(SetId sid, const Signature& sig) {
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].Erase(samplers_[i].ExtractKeyHash(sig), sid)) ++removed;
+  }
+  if (removed == tables_.size() && num_entries_ > 0) --num_entries_;
+  return removed;
+}
+
+std::vector<SetId> SimilarityFilterIndex::SimVector(
+    const Signature& query, bool complemented, SfiProbeStats* stats) const {
+  std::vector<SetId> out;
+  const std::size_t sids_per_page = SidsPerPage();
+  std::size_t pages = 0;
+  std::size_t scanned = 0;
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const std::uint64_t key =
+        samplers_[i].ExtractKeyHash(query, complemented);
+    const std::size_t bucket_size = tables_[i].Probe(key, &out);
+    scanned += bucket_size;
+    pages += 1 + (bucket_size > 0 ? (bucket_size - 1) / sids_per_page : 0);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (stats != nullptr) {
+    stats->bucket_accesses = tables_.size();
+    stats->bucket_pages = pages;
+    stats->sids_scanned = scanned;
+  }
+  return out;
+}
+
+}  // namespace ssr

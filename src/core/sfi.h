@@ -1,0 +1,101 @@
+// Similarity Filter Index SFI(s*) — Section 4.1. A bank of l hash tables,
+// each keyed on r randomly sampled bits of the embedded vectors. Two vectors
+// with Hamming similarity s collide in at least one table with probability
+// p_{r,l}(s) = 1 − (1 − s^r)^l, an S-curve turning at s*. SimVector(q)
+// returns the union of the l probed buckets: with high probability, the sids
+// of all vectors at least s*-similar to q.
+
+#ifndef SSR_CORE_SFI_H_
+#define SSR_CORE_SFI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bit_sampler.h"
+#include "core/filter_function.h"
+#include "core/hash_table.h"
+#include "hamming/embedding.h"
+#include "minhash/signature.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// SFI construction parameters.
+struct SfiParams {
+  /// Turning point s* in Hamming-similarity space (the composite index
+  /// converts from set-similarity space via Theorem 1 before building).
+  double s_star = 0.9;
+
+  /// Number of hash tables l (the unit of the space budget).
+  std::size_t l = 10;
+
+  /// Bits sampled per table. 0 = solve from (s_star, l) via
+  /// p_{r,l}(s*) = 1/2.
+  std::size_t r = 0;
+
+  /// Buckets per table. 0 = sized to the expected number of sets.
+  std::size_t num_buckets = 0;
+
+  /// Seed for the bit-position samples.
+  std::uint64_t seed = 0x5f1ca7b1e5ULL;
+};
+
+/// Probe-side statistics of one SimVector call.
+struct SfiProbeStats {
+  std::size_t bucket_accesses = 0;  // == l
+  std::size_t bucket_pages = 0;     // pages read if tables are disk-resident
+  std::size_t sids_scanned = 0;     // total bucket entries before dedup
+};
+
+/// The Similarity Filter Index primitive.
+class SimilarityFilterIndex {
+ public:
+  /// Creates an empty SFI over `embedding` expecting ~`expected_sets`
+  /// entries (drives default bucket count). Fails on parameter errors.
+  static Result<SimilarityFilterIndex> Create(const Embedding& embedding,
+                                              const SfiParams& params,
+                                              std::size_t expected_sets);
+
+  /// Inserts a set's signature under `sid` into all l tables.
+  void Insert(SetId sid, const Signature& sig);
+
+  /// Removes `sid` (signature must match the inserted one). Returns the
+  /// number of tables it was removed from (== l if present).
+  std::size_t Erase(SetId sid, const Signature& sig);
+
+  /// SimVector(s*, q): the union of the l probed buckets, sorted and
+  /// deduplicated. If `complemented`, probes with the complement of the
+  /// query's embedded vector (the DFI path, Theorem 2).
+  std::vector<SetId> SimVector(const Signature& query,
+                               bool complemented = false,
+                               SfiProbeStats* stats = nullptr) const;
+
+  /// The analytical filter function of this instance.
+  const FilterFunction& filter() const { return filter_; }
+
+  const SfiParams& params() const { return params_; }
+  std::size_t l() const { return tables_.size(); }
+  std::size_t r() const { return filter_.r(); }
+  std::size_t size() const { return num_entries_; }
+
+  /// How many sids fit in one bucket page (for I/O accounting of
+  /// disk-resident tables; "sid_count" in Section 4.1).
+  static std::size_t SidsPerPage();
+
+ private:
+  SimilarityFilterIndex(const Embedding& embedding, SfiParams params,
+                        FilterFunction filter, std::size_t num_buckets,
+                        std::uint64_t seed);
+
+  const Embedding* embedding_;  // not owned; outlives the index
+  SfiParams params_;
+  FilterFunction filter_;
+  std::vector<BitSampler> samplers_;
+  std::vector<SidHashTable> tables_;
+  std::size_t num_entries_ = 0;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_CORE_SFI_H_

@@ -1,0 +1,94 @@
+#include "core/similarity_ops.h"
+
+#include <algorithm>
+
+#include "util/set_ops.h"
+
+namespace ssr {
+
+Result<std::vector<SimilarPair>> SimilaritySelfJoin(SetSimilarityIndex& index,
+                                                    double threshold,
+                                                    JoinStats* stats) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("join threshold must be in (0, 1]");
+  }
+  std::vector<SimilarPair> pairs;
+  JoinStats local;
+  SetStore& store = index.store();
+  // Snapshot live sids first: probing mutates nothing, but iteration order
+  // should not depend on bucket internals.
+  std::vector<SetId> sids;
+  store.ScanAll([&](SetId sid, const ElementSet&) {
+    sids.push_back(sid);
+    return true;
+  });
+  for (SetId sid : sids) {
+    auto set = store.Get(sid);
+    if (!set.ok()) continue;  // deleted concurrently
+    auto result = index.Query(set.value(), threshold, 1.0);
+    if (!result.ok()) return result.status();
+    ++local.probes;
+    local.candidate_pairs += result->stats.candidates;
+    for (SetId other : result->sids) {
+      if (other <= sid) continue;  // emit each unordered pair once
+      auto other_set = store.Get(other);
+      if (!other_set.ok()) continue;
+      pairs.push_back(
+          {sid, other, Jaccard(set.value(), other_set.value())});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const SimilarPair& x, const SimilarPair& y) {
+              return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+            });
+  local.result_pairs = pairs.size();
+  if (stats != nullptr) *stats = local;
+  return pairs;
+}
+
+Result<std::vector<RankedSet>> TopKSimilar(SetSimilarityIndex& index,
+                                           const ElementSet& query,
+                                           std::size_t k, SetId exclude_sid,
+                                           double floor) {
+  if (k == 0) return std::vector<RankedSet>();
+  if (floor < 0.0 || floor >= 1.0) {
+    return Status::InvalidArgument("floor must be in [0, 1)");
+  }
+  std::vector<RankedSet> ranked;
+  std::vector<bool> seen;
+  double upper = 1.0;
+  // Descending threshold ladder; each rung only re-probes the band
+  // [lower, upper) so already-found answers are not refetched.
+  const double ladder[] = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2,
+                           0.1, 0.05, 0.0};
+  for (double lower : ladder) {
+    if (upper <= floor) break;
+    if (lower < floor) lower = floor;
+    auto result = index.Query(query, lower, upper);
+    if (!result.ok()) return result.status();
+    SetStore& store = index.store();
+    for (SetId sid : result->sids) {
+      if (sid == exclude_sid) continue;
+      if (sid < seen.size() && seen[sid]) continue;
+      if (sid >= seen.size()) seen.resize(sid + 1, false);
+      seen[sid] = true;
+      auto set = store.Get(sid);
+      if (!set.ok()) continue;
+      ranked.push_back({sid, Jaccard(set.value(), query)});
+    }
+    if (ranked.size() >= k) break;
+    upper = lower;
+    if (lower <= floor) break;
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedSet& x, const RankedSet& y) {
+              if (x.similarity != y.similarity) {
+                return x.similarity > y.similarity;
+              }
+              return x.sid < y.sid;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace ssr

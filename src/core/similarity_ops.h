@@ -1,0 +1,67 @@
+// Set-mining operations built on the range-query primitive — the paper's
+// introduction positions range similarity retrieval as "a primitive for
+// effective similarity based query processing on sets ... a basis for the
+// development of efficient set mining algorithms such as clustering
+// algorithms ... as well as join algorithms". This module provides two such
+// algorithms:
+//
+//   * SimilaritySelfJoin: all pairs of indexed sets with similarity >= t,
+//     one index probe per set instead of the O(N^2) nested loop.
+//   * TopKSimilar: the k most similar sets to a query, found by probing
+//     descending similarity ranges until k verified answers accumulate.
+
+#ifndef SSR_CORE_SIMILARITY_OPS_H_
+#define SSR_CORE_SIMILARITY_OPS_H_
+
+#include <tuple>
+#include <vector>
+
+#include "core/set_similarity_index.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// One joined pair (a < b) with its exact similarity.
+struct SimilarPair {
+  SetId a = kInvalidSetId;
+  SetId b = kInvalidSetId;
+  double similarity = 0.0;
+
+  bool operator==(const SimilarPair&) const = default;
+};
+
+/// Statistics of a join run.
+struct JoinStats {
+  std::size_t probes = 0;           // index queries issued
+  std::size_t candidate_pairs = 0;  // pairs fetched before verification
+  std::size_t result_pairs = 0;
+};
+
+/// All pairs of live sets with sim >= `threshold` (0 < threshold <= 1),
+/// sorted by (a, b). Approximate with the index's recall; every returned
+/// pair is exact (verified). One Query per live set.
+Result<std::vector<SimilarPair>> SimilaritySelfJoin(SetSimilarityIndex& index,
+                                                    double threshold,
+                                                    JoinStats* stats = nullptr);
+
+/// One ranked answer of a top-k query.
+struct RankedSet {
+  SetId sid = kInvalidSetId;
+  double similarity = 0.0;
+};
+
+/// The `k` sets most similar to `query`, descending by exact similarity
+/// (ties by sid). Probes ranges [t, prev_t) for a descending threshold
+/// ladder until k answers accumulate or the floor is reached.
+/// `exclude_sid`, if valid, drops that sid from the result (self-queries).
+/// `floor` bounds the search: sets below it are never returned.
+Result<std::vector<RankedSet>> TopKSimilar(SetSimilarityIndex& index,
+                                           const ElementSet& query,
+                                           std::size_t k,
+                                           SetId exclude_sid = kInvalidSetId,
+                                           double floor = 0.05);
+
+}  // namespace ssr
+
+#endif  // SSR_CORE_SIMILARITY_OPS_H_

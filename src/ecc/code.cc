@@ -1,0 +1,71 @@
+#include "ecc/code.h"
+
+#include <vector>
+
+#include "ecc/hadamard.h"
+#include "ecc/naive.h"
+#include "ecc/simplex.h"
+
+namespace ssr {
+
+void Code::Encode(std::uint16_t message, std::uint64_t* out) const {
+  const unsigned m = codeword_bits();
+  const std::size_t words = codeword_words();
+  for (std::size_t w = 0; w < words; ++w) out[w] = 0;
+  for (unsigned p = 0; p < m; ++p) {
+    if (Bit(message, p)) {
+      out[p >> 6] |= (1ULL << (p & 63));
+    }
+  }
+}
+
+Result<std::unique_ptr<Code>> MakeCode(CodeKind kind, unsigned message_bits) {
+  if (message_bits < 1 || message_bits > 16) {
+    return Status::InvalidArgument("message_bits must be in [1, 16]");
+  }
+  switch (kind) {
+    case CodeKind::kHadamard:
+      return std::unique_ptr<Code>(new HadamardCode(message_bits));
+    case CodeKind::kSimplex:
+      return std::unique_ptr<Code>(new SimplexCode(message_bits));
+    case CodeKind::kNaiveBinary:
+      return std::unique_ptr<Code>(new NaiveBinaryCode(message_bits));
+  }
+  return Status::InvalidArgument("unknown code kind");
+}
+
+Status VerifyEquidistant(const Code& code) {
+  if (!code.is_equidistant()) {
+    return Status::FailedPrecondition(code.name() +
+                                      " does not claim equidistance");
+  }
+  const unsigned b = code.message_bits();
+  const unsigned m = code.codeword_bits();
+  const unsigned expected = code.pairwise_distance();
+  const std::uint32_t count = 1u << b;
+  const std::size_t words = code.codeword_words();
+  // Materialize all codewords once, then check all pairs.
+  std::vector<std::uint64_t> table(count * words);
+  for (std::uint32_t u = 0; u < count; ++u) {
+    code.Encode(static_cast<std::uint16_t>(u), &table[u * words]);
+  }
+  for (std::uint32_t u = 0; u < count; ++u) {
+    for (std::uint32_t v = u + 1; v < count; ++v) {
+      unsigned dist = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        dist += static_cast<unsigned>(
+            __builtin_popcountll(table[u * words + w] ^ table[v * words + w]));
+      }
+      if (dist != expected) {
+        return Status::Corruption(
+            code.name() + ": codewords " + std::to_string(u) + "," +
+            std::to_string(v) + " at distance " + std::to_string(dist) +
+            ", expected " + std::to_string(expected) + " (m=" +
+            std::to_string(m) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ssr

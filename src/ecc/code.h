@@ -1,0 +1,83 @@
+// Binary code interface for the V -> Hamming embedding (Section 3.2).
+// A code maps each b-bit min-hash value to an m-bit codeword; Theorem 1
+// requires every pair of *distinct* codewords to be at Hamming distance
+// exactly m/2, which makes the embedded Hamming similarity an affine
+// function of signature agreement: S_H = (1 + s) / 2.
+//
+// Implementations:
+//   - HadamardCode (m = 2^b): distance exactly m/2 between any two distinct
+//     codewords — the property Theorem 1 needs. Default.
+//   - SimplexCode (m = 2^b - 1): the code family the paper cites; all
+//     distinct codewords at distance exactly 2^(b-1) (= (m+1)/2, slightly
+//     more than m/2; equidistant, so the embedding is still affine).
+//   - NaiveBinaryCode (m = b): the identity "straw man" of the paper's
+//     Example 1; does NOT preserve similarity. Included for the
+//     embedding-fidelity experiment.
+
+#ifndef SSR_ECC_CODE_H_
+#define SSR_ECC_CODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace ssr {
+
+/// Abstract binary code over b-bit messages.
+class Code {
+ public:
+  virtual ~Code() = default;
+
+  /// Message length b in bits.
+  virtual unsigned message_bits() const = 0;
+
+  /// Codeword length m in bits.
+  virtual unsigned codeword_bits() const = 0;
+
+  /// Bit `pos` (0 <= pos < codeword_bits()) of the codeword for `message`.
+  /// This on-the-fly form is the one the filter indices use: a sampled bit
+  /// of the embedded vector is computed directly from the signature without
+  /// ever materializing the (huge) D-dimensional vector.
+  virtual bool Bit(std::uint16_t message, unsigned pos) const = 0;
+
+  /// Full codeword of `message`, packed little-endian into a uint64_t block
+  /// sequence of ceil(m/64) words written into `out` (which must have space).
+  /// Default implementation calls Bit() m times; subclasses may override.
+  virtual void Encode(std::uint16_t message, std::uint64_t* out) const;
+
+  /// True iff all pairs of distinct codewords are at one single distance
+  /// (an "equidistant" code). Hadamard and simplex are; naive is not.
+  virtual bool is_equidistant() const = 0;
+
+  /// The pairwise distance of distinct codewords for equidistant codes
+  /// (m/2 for Hadamard, 2^(b-1) for simplex); 0 otherwise.
+  virtual unsigned pairwise_distance() const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+
+  /// Number of uint64_t words a packed codeword occupies.
+  std::size_t codeword_words() const { return (codeword_bits() + 63) / 64; }
+};
+
+/// Kinds for the factory.
+enum class CodeKind {
+  kHadamard,
+  kSimplex,
+  kNaiveBinary,
+};
+
+/// Creates a code for b-bit messages. Fails for b outside [1, 16].
+Result<std::unique_ptr<Code>> MakeCode(CodeKind kind, unsigned message_bits);
+
+/// Exhaustively verifies the equidistance property of `code` over all
+/// 2^b * (2^b - 1) / 2 message pairs. Intended for tests and small b.
+/// Returns OK iff every pair of distinct codewords is at distance
+/// code.pairwise_distance().
+Status VerifyEquidistant(const Code& code);
+
+}  // namespace ssr
+
+#endif  // SSR_ECC_CODE_H_

@@ -1,0 +1,27 @@
+#include "ecc/hadamard.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ssr {
+
+HadamardCode::HadamardCode(unsigned message_bits) : b_(message_bits) {
+  assert(b_ >= 1 && b_ <= 16);
+  m_ = 1u << b_;
+}
+
+void HadamardCode::Encode(std::uint16_t message, std::uint64_t* out) const {
+  const std::size_t words = codeword_words();
+  std::memset(out, 0, words * sizeof(std::uint64_t));
+  for (unsigned p = 0; p < m_; ++p) {
+    if (Bit(message, p)) {
+      out[p >> 6] |= (1ULL << (p & 63));
+    }
+  }
+}
+
+std::string HadamardCode::name() const {
+  return "hadamard(b=" + std::to_string(b_) + ",m=" + std::to_string(m_) + ")";
+}
+
+}  // namespace ssr

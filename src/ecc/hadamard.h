@@ -1,0 +1,42 @@
+// Hadamard (first-order Reed-Muller, punctured-at-nothing) code: the codeword
+// of a b-bit message u has bit <u, p> (GF(2) inner product) at position p,
+// for p = 0 .. 2^b - 1. Any two distinct codewords differ in exactly 2^(b-1)
+// = m/2 positions — precisely the property required by Theorem 1.
+
+#ifndef SSR_ECC_HADAMARD_H_
+#define SSR_ECC_HADAMARD_H_
+
+#include "ecc/code.h"
+
+namespace ssr {
+
+/// Hadamard code over b-bit messages; m = 2^b.
+class HadamardCode : public Code {
+ public:
+  /// `message_bits` in [1, 16].
+  explicit HadamardCode(unsigned message_bits);
+
+  unsigned message_bits() const override { return b_; }
+  unsigned codeword_bits() const override { return m_; }
+
+  bool Bit(std::uint16_t message, unsigned pos) const override {
+    // <u, p> over GF(2) = parity of popcount(u & p).
+    return (__builtin_popcount(static_cast<unsigned>(message) &
+                               static_cast<unsigned>(pos)) &
+            1) != 0;
+  }
+
+  void Encode(std::uint16_t message, std::uint64_t* out) const override;
+
+  bool is_equidistant() const override { return true; }
+  unsigned pairwise_distance() const override { return m_ / 2; }
+  std::string name() const override;
+
+ private:
+  unsigned b_;
+  unsigned m_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_ECC_HADAMARD_H_

@@ -1,0 +1,15 @@
+#include "ecc/naive.h"
+
+#include <cassert>
+
+namespace ssr {
+
+NaiveBinaryCode::NaiveBinaryCode(unsigned message_bits) : b_(message_bits) {
+  assert(b_ >= 1 && b_ <= 16);
+}
+
+std::string NaiveBinaryCode::name() const {
+  return "naive(b=" + std::to_string(b_) + ")";
+}
+
+}  // namespace ssr

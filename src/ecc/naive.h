@@ -1,0 +1,38 @@
+// The "straw man" embedding of the paper's Example 1: concatenate the plain
+// b-bit binary representations of the min-hash values. Distinct values may
+// differ in as little as 1 of b bits, so Hamming similarity is NOT a
+// function of signature agreement and the embedding distorts similarity
+// (Example 1: sim 0.5 maps to bit agreement 0.83). Provided for the
+// embedding-fidelity experiment and tests.
+
+#ifndef SSR_ECC_NAIVE_H_
+#define SSR_ECC_NAIVE_H_
+
+#include "ecc/code.h"
+
+namespace ssr {
+
+/// Identity "code": codeword = message, m = b.
+class NaiveBinaryCode : public Code {
+ public:
+  /// `message_bits` in [1, 16].
+  explicit NaiveBinaryCode(unsigned message_bits);
+
+  unsigned message_bits() const override { return b_; }
+  unsigned codeword_bits() const override { return b_; }
+
+  bool Bit(std::uint16_t message, unsigned pos) const override {
+    return ((message >> pos) & 1u) != 0;
+  }
+
+  bool is_equidistant() const override { return false; }
+  unsigned pairwise_distance() const override { return 0; }
+  std::string name() const override;
+
+ private:
+  unsigned b_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_ECC_NAIVE_H_

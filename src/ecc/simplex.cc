@@ -1,0 +1,16 @@
+#include "ecc/simplex.h"
+
+#include <cassert>
+
+namespace ssr {
+
+SimplexCode::SimplexCode(unsigned message_bits) : b_(message_bits) {
+  assert(b_ >= 1 && b_ <= 16);
+  m_ = (1u << b_) - 1u;
+}
+
+std::string SimplexCode::name() const {
+  return "simplex(b=" + std::to_string(b_) + ",m=" + std::to_string(m_) + ")";
+}
+
+}  // namespace ssr

@@ -1,0 +1,42 @@
+// Simplex code (the family the paper cites, [MS93]): the Hadamard code with
+// the all-zero position punctured, m = 2^b - 1. Any two distinct codewords
+// are at distance exactly 2^(b-1) = (m+1)/2 — an equidistant code, so the
+// embedded Hamming similarity is still an affine function of signature
+// agreement: S_H = s + (1 - s) * (m - d) / m with d = 2^(b-1).
+
+#ifndef SSR_ECC_SIMPLEX_H_
+#define SSR_ECC_SIMPLEX_H_
+
+#include "ecc/code.h"
+
+namespace ssr {
+
+/// Simplex code over b-bit messages; m = 2^b - 1.
+class SimplexCode : public Code {
+ public:
+  /// `message_bits` in [1, 16].
+  explicit SimplexCode(unsigned message_bits);
+
+  unsigned message_bits() const override { return b_; }
+  unsigned codeword_bits() const override { return m_; }
+
+  bool Bit(std::uint16_t message, unsigned pos) const override {
+    // Position `pos` corresponds to the Hadamard position p = pos + 1
+    // (puncture position 0, whose bit is identically zero).
+    return (__builtin_popcount(static_cast<unsigned>(message) &
+                               static_cast<unsigned>(pos + 1)) &
+            1) != 0;
+  }
+
+  bool is_equidistant() const override { return true; }
+  unsigned pairwise_distance() const override { return 1u << (b_ - 1); }
+  std::string name() const override;
+
+ private:
+  unsigned b_;
+  unsigned m_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_ECC_SIMPLEX_H_

@@ -1,0 +1,37 @@
+#include "eval/metrics.h"
+
+namespace ssr {
+
+std::size_t SortedIntersectionCount(const std::vector<SetId>& a,
+                                    const std::vector<SetId>& b) {
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double Recall(const std::vector<SetId>& answer,
+              const std::vector<SetId>& truth) {
+  if (truth.empty()) return 1.0;
+  return static_cast<double>(SortedIntersectionCount(answer, truth)) /
+         static_cast<double>(truth.size());
+}
+
+double CandidatePrecision(std::size_t verified_count,
+                          std::size_t candidate_count) {
+  if (candidate_count == 0) return 1.0;
+  return static_cast<double>(verified_count) /
+         static_cast<double>(candidate_count);
+}
+
+}  // namespace ssr

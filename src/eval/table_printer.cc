@@ -1,0 +1,56 @@
+#include "eval/table_printer.h"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace ssr {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string TablePrinter::Pct(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v * 100.0 << "%";
+  return out.str();
+}
+
+std::string TablePrinter::Count(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string underline;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    underline += std::string(widths[c], '-') + "  ";
+  }
+  os << underline << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ssr

@@ -1,0 +1,38 @@
+// Console table rendering for the benchmark harness: fixed-width aligned
+// columns, so every bench binary prints the same rows/series the paper's
+// figures report in a readable form.
+
+#ifndef SSR_EVAL_TABLE_PRINTER_H_
+#define SSR_EVAL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssr {
+
+/// Accumulates rows of string cells and prints them aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Num(double v, int precision = 4);
+  static std::string Pct(double v, int precision = 1);  // 0.873 -> "87.3%"
+  static std::string Count(std::uint64_t v);
+
+  /// Renders the table with a header underline.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,92 @@
+#include "hamming/bitvector.h"
+
+#include <cassert>
+
+namespace ssr {
+
+BitVector::BitVector(std::size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+BitVector BitVector::FromString(const std::string& bits) {
+  BitVector v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') v.Set(i, true);
+  }
+  return v;
+}
+
+std::size_t BitVector::PopCount() const {
+  std::size_t count = 0;
+  for (std::uint64_t w : words_) {
+    count += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return count;
+}
+
+void BitVector::ComplementInPlace() {
+  for (std::uint64_t& w : words_) w = ~w;
+  // Re-zero the bits past num_bits_ to preserve the class invariant.
+  const unsigned tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+BitVector BitVector::Complement() const {
+  BitVector out = *this;
+  out.ComplementInPlace();
+  return out;
+}
+
+void BitVector::AppendBits(std::uint64_t bits, unsigned count) {
+  assert(count <= 64);
+  for (unsigned i = 0; i < count; ++i) {
+    const std::size_t pos = num_bits_ + i;
+    if ((pos >> 6) >= words_.size()) words_.push_back(0);
+    if ((bits >> i) & 1u) {
+      words_[pos >> 6] |= (1ULL << (pos & 63));
+    }
+  }
+  num_bits_ += count;
+}
+
+void BitVector::AppendWords(const std::uint64_t* words, std::size_t count) {
+  std::size_t remaining = count;
+  std::size_t w = 0;
+  while (remaining > 0) {
+    const unsigned chunk = remaining >= 64 ? 64u : static_cast<unsigned>(remaining);
+    AppendBits(words[w], chunk);
+    remaining -= chunk;
+    ++w;
+  }
+}
+
+std::string BitVector::ToString() const {
+  std::string out(num_bits_, '0');
+  for (std::size_t i = 0; i < num_bits_; ++i) {
+    if (Get(i)) out[i] = '1';
+  }
+  return out;
+}
+
+std::size_t HammingDistance(const BitVector& a, const BitVector& b) {
+  assert(a.size() == b.size());
+  if (a.size() != b.size()) return a.size() > b.size() ? a.size() : b.size();
+  std::size_t dist = 0;
+  const auto& aw = a.words();
+  const auto& bw = b.words();
+  for (std::size_t i = 0; i < aw.size(); ++i) {
+    dist += static_cast<std::size_t>(__builtin_popcountll(aw[i] ^ bw[i]));
+  }
+  return dist;
+}
+
+double HammingSimilarity(const BitVector& a, const BitVector& b) {
+  if (a.size() == 0 && b.size() == 0) return 1.0;
+  const std::size_t t = a.size();
+  if (t == 0 || t != b.size()) return 0.0;
+  return 1.0 -
+         static_cast<double>(HammingDistance(a, b)) / static_cast<double>(t);
+}
+
+}  // namespace ssr

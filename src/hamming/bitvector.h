@@ -1,0 +1,81 @@
+// Packed binary vectors: the points of the Hamming space H^{mk}
+// (Section 3.2). Backed by 64-bit words with popcount-based distance.
+
+#ifndef SSR_HAMMING_BITVECTOR_H_
+#define SSR_HAMMING_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssr {
+
+/// Fixed-length bit vector. Bits beyond size() in the last word are kept
+/// zero (class invariant), so word-wise operations are exact.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a vector of `num_bits` zero bits.
+  explicit BitVector(std::size_t num_bits);
+
+  /// Creates from a "0101..." string (for tests and examples).
+  static BitVector FromString(const std::string& bits);
+
+  std::size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool Get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(std::size_t i, bool value) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Number of set bits.
+  std::size_t PopCount() const;
+
+  /// Flips every bit in place (used by the Dissimilarity Filter Index,
+  /// Theorem 2).
+  void ComplementInPlace();
+
+  /// Returns the complement without modifying this vector.
+  BitVector Complement() const;
+
+  /// Appends the low `count` bits of `bits` (LSB first). Grows the vector.
+  void AppendBits(std::uint64_t bits, unsigned count);
+
+  /// Appends `count` bits from a packed word array (LSB-first within words).
+  void AppendWords(const std::uint64_t* words, std::size_t count);
+
+  /// Direct word access (read-only; (size()+63)/64 words).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  bool operator==(const BitVector& other) const = default;
+
+  /// "0101..." rendering (for tests and debugging).
+  std::string ToString() const;
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Hamming distance: number of differing bits (Definition 3). Requires equal
+/// sizes; asserts in debug builds, returns max(size) mismatch-tolerant
+/// otherwise.
+std::size_t HammingDistance(const BitVector& a, const BitVector& b);
+
+/// Hamming similarity: fraction of agreeing bits, 1 - d_H/t (Definition 4).
+/// Two empty vectors have similarity 1.
+double HammingSimilarity(const BitVector& a, const BitVector& b);
+
+}  // namespace ssr
+
+#endif  // SSR_HAMMING_BITVECTOR_H_

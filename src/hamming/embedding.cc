@@ -1,0 +1,60 @@
+#include "hamming/embedding.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/mathutil.h"
+
+namespace ssr {
+
+Result<Embedding> Embedding::Create(const EmbeddingParams& params) {
+  SSR_RETURN_IF_ERROR(params.minhash.Validate());
+  auto code_result = MakeCode(params.code_kind, params.minhash.value_bits);
+  if (!code_result.ok()) return code_result.status();
+  auto hasher = std::make_shared<MinHasher>(params.minhash);
+  return Embedding(params, std::move(hasher),
+                   std::shared_ptr<Code>(std::move(code_result).value()));
+}
+
+Embedding::Embedding(EmbeddingParams params, std::shared_ptr<MinHasher> hasher,
+                     std::shared_ptr<Code> code)
+    : params_(std::move(params)),
+      hasher_(std::move(hasher)),
+      code_(std::move(code)) {
+  rho_ = code_->is_equidistant()
+             ? static_cast<double>(code_->pairwise_distance()) /
+                   static_cast<double>(code_->codeword_bits())
+             : 0.0;
+}
+
+BitVector Embedding::EmbedSignature(const Signature& sig) const {
+  BitVector out;
+  const unsigned m = code_->codeword_bits();
+  std::vector<std::uint64_t> scratch(code_->codeword_words());
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    code_->Encode(sig[i], scratch.data());
+    out.AppendWords(scratch.data(), m);
+  }
+  return out;
+}
+
+double Embedding::SetToHammingSimilarity(double s) const {
+  if (rho_ == 0.0) return s;  // non-equidistant: no affine mapping exists
+  return 1.0 - (1.0 - Clamp(s, 0.0, 1.0)) * rho_;
+}
+
+double Embedding::HammingToSetSimilarity(double s_h) const {
+  if (rho_ == 0.0) return s_h;
+  return Clamp(1.0 - (1.0 - s_h) / rho_, 0.0, 1.0);
+}
+
+std::pair<std::size_t, std::size_t> Embedding::SimilarityRangeToDistanceRange(
+    double s1, double s2) const {
+  const double d_max = (1.0 - Clamp(s1, 0.0, 1.0)) * rho_;
+  const double d_min = (1.0 - Clamp(s2, 0.0, 1.0)) * rho_;
+  const double dim = static_cast<double>(dimension());
+  return {static_cast<std::size_t>(std::floor(d_min * dim)),
+          static_cast<std::size_t>(std::ceil(d_max * dim))};
+}
+
+}  // namespace ssr

@@ -1,0 +1,59 @@
+#include "minhash/min_hasher.h"
+
+#include <cassert>
+#include <limits>
+
+namespace ssr {
+
+Status MinHashParams::Validate() const {
+  if (num_hashes == 0) {
+    return Status::InvalidArgument("num_hashes must be >= 1");
+  }
+  if (value_bits < 1 || value_bits > 16) {
+    return Status::InvalidArgument("value_bits must be in [1, 16]");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+MinHashParams Sanitize(MinHashParams p) {
+  assert(p.Validate().ok());
+  if (p.num_hashes == 0) p.num_hashes = 1;
+  if (p.value_bits < 1) p.value_bits = 1;
+  if (p.value_bits > 16) p.value_bits = 16;
+  return p;
+}
+
+}  // namespace
+
+MinHasher::MinHasher(const MinHashParams& params)
+    : params_(Sanitize(params)),
+      family_(params_.num_hashes, params_.seed),
+      value_mask_(static_cast<std::uint16_t>(
+          (1u << params_.value_bits) - 1u)) {}
+
+Signature MinHasher::Sign(const ElementSet& set) const {
+  Signature sig(params_.num_hashes);
+  for (std::size_t i = 0; i < params_.num_hashes; ++i) {
+    sig[i] = SignOne(set, i);
+  }
+  return sig;
+}
+
+std::uint16_t MinHasher::SignOne(const ElementSet& set, std::size_t i) const {
+  if (set.empty()) return value_mask_;  // reserved empty-set sentinel
+  // The permutation of the (unknown) universe is the hash ordering; the
+  // minimum is taken over full 64-bit hash values and only then truncated to
+  // b bits, so truncation cannot change which element is minimal.
+  std::uint64_t min_hash = std::numeric_limits<std::uint64_t>::max();
+  for (ElementId e : set) {
+    const std::uint64_t h = family_.Hash(i, e);
+    if (h < min_hash) min_hash = h;
+  }
+  // Remix before truncation: the b-bit fingerprint of the minimum must look
+  // uniform even though minima are biased toward small hash values.
+  return static_cast<std::uint16_t>(Fmix64(min_hash) & value_mask_);
+}
+
+}  // namespace ssr

@@ -1,0 +1,14 @@
+#include "minhash/signature.h"
+
+namespace ssr {
+
+double Signature::AgreementFraction(const Signature& other) const {
+  if (values_.empty() || values_.size() != other.values_.size()) return 0.0;
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == other.values_[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(values_.size());
+}
+
+}  // namespace ssr

@@ -1,0 +1,47 @@
+// Min-hash signature: a point of the intermediate space V (Section 3.1).
+
+#ifndef SSR_MINHASH_SIGNATURE_H_
+#define SSR_MINHASH_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ssr {
+
+/// A k-dimensional vector of b-bit min-hash values. Stored as uint16_t
+/// regardless of b (<= 16) for simplicity; only the low b bits are
+/// meaningful.
+class Signature {
+ public:
+  Signature() = default;
+
+  /// Creates a signature of `k` coordinates, zero-initialized.
+  explicit Signature(std::size_t k) : values_(k, 0) {}
+
+  /// Creates a signature from explicit values.
+  explicit Signature(std::vector<std::uint16_t> values)
+      : values_(std::move(values)) {}
+
+  /// Number of coordinates k.
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  std::uint16_t operator[](std::size_t i) const { return values_[i]; }
+  std::uint16_t& operator[](std::size_t i) { return values_[i]; }
+
+  const std::vector<std::uint16_t>& values() const { return values_; }
+
+  bool operator==(const Signature& other) const = default;
+
+  /// Fraction of coordinates on which the two signatures agree: the unbiased
+  /// estimator of Jaccard similarity (before b-bit collision correction).
+  /// Requires equal sizes; returns 0 for mismatched or empty signatures.
+  double AgreementFraction(const Signature& other) const;
+
+ private:
+  std::vector<std::uint16_t> values_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_MINHASH_SIGNATURE_H_

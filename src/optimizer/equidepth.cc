@@ -1,0 +1,89 @@
+#include "optimizer/equidepth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathutil.h"
+
+namespace ssr {
+
+std::vector<double> EquidepthBoundaries(const SimilarityHistogram& hist,
+                                        std::size_t num_intervals) {
+  if (num_intervals < 1) num_intervals = 1;
+  std::vector<double> bounds;
+  bounds.reserve(num_intervals + 1);
+  bounds.push_back(0.0);
+  double prev = 0.0;
+  for (std::size_t j = 1; j < num_intervals; ++j) {
+    double c = hist.Quantile(static_cast<double>(j) /
+                             static_cast<double>(num_intervals));
+    // Enforce strict monotonicity even for spiky distributions.
+    const double uniform = static_cast<double>(j) /
+                           static_cast<double>(num_intervals);
+    if (c <= prev) c = prev + (uniform - prev) * 0.5;
+    c = Clamp(c, prev + 1e-9, 1.0 - 1e-9);
+    bounds.push_back(c);
+    prev = c;
+  }
+  bounds.push_back(1.0);
+  return bounds;
+}
+
+IndexLayout PlaceFilterIndices(const SimilarityHistogram& hist,
+                               std::size_t num_fis, double coverage_blend) {
+  if (num_fis < 1) num_fis = 1;
+  IndexLayout layout;
+  layout.delta = Clamp(hist.MassMedian(), 1e-6, 1.0 - 1e-6);
+
+  // Interior equidepth points (boundaries minus the virtual 0 and 1),
+  // against the coverage-blended distribution.
+  SimilarityHistogram blended = hist;
+  coverage_blend = Clamp(coverage_blend, 0.0, 1.0);
+  if (coverage_blend > 0.0 && hist.total_mass() > 0.0) {
+    const double uniform_per_bin = hist.total_mass() * coverage_blend /
+                                   static_cast<double>(hist.num_bins());
+    const double n = static_cast<double>(hist.num_bins());
+    for (std::size_t b = 0; b < hist.num_bins(); ++b) {
+      blended.Add((static_cast<double>(b) + 0.5) / n, uniform_per_bin);
+    }
+  }
+  const std::vector<double> bounds =
+      EquidepthBoundaries(blended, num_fis + 1);
+  std::vector<double> points(bounds.begin() + 1, bounds.end() - 1);
+
+  // The point closest to δ hosts both a DFI and an SFI (Section 5.3).
+  std::size_t closest = 0;
+  double best = 2.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = std::fabs(points[i] - layout.delta);
+    if (d < best) {
+      best = d;
+      closest = i;
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double s = points[i];
+    if (i == closest) {
+      layout.points.push_back({s, FilterKind::kDissimilarity, 1, 0});
+      layout.points.push_back({s, FilterKind::kSimilarity, 1, 0});
+      continue;
+    }
+    const FilterKind kind = s < layout.delta ? FilterKind::kDissimilarity
+                                             : FilterKind::kSimilarity;
+    layout.points.push_back({s, kind, 1, 0});
+  }
+  // Kinds must be partitioned (all DFIs below all SFIs); the dual point is
+  // the only location with both. Placement above guarantees this as long as
+  // the dual point separates the kinds; enforce by re-sorting defensively.
+  std::stable_sort(layout.points.begin(), layout.points.end(),
+                   [](const FilterPoint& a, const FilterPoint& b) {
+                     if (a.similarity != b.similarity) {
+                       return a.similarity < b.similarity;
+                     }
+                     return a.kind == FilterKind::kDissimilarity &&
+                            b.kind == FilterKind::kSimilarity;
+                   });
+  return layout;
+}
+
+}  // namespace ssr

@@ -1,0 +1,44 @@
+// Equidepth decomposition of the similarity range (Definition 10): interval
+// boundaries chosen as quantiles of D_S so each interval carries the same
+// expected answer mass. Lemma 4: this placement optimizes expected worst-
+// case precision. Also computes the Eq. 15 split point δ and assigns
+// DFI/SFI kinds to the chosen points (Section 5.3).
+
+#ifndef SSR_OPTIMIZER_EQUIDEPTH_H_
+#define SSR_OPTIMIZER_EQUIDEPTH_H_
+
+#include <vector>
+
+#include "core/index_layout.h"
+#include "optimizer/similarity_distribution.h"
+
+namespace ssr {
+
+/// The `num_intervals`-wise equidepth boundary points of Definition 10:
+/// num_intervals + 1 values 0 = c_0 < c_1 < ... < c_k = 1 with equal D_S
+/// mass between consecutive points. Degenerate (empty/point-mass)
+/// distributions fall back to uniform spacing.
+std::vector<double> EquidepthBoundaries(const SimilarityHistogram& hist,
+                                        std::size_t num_intervals);
+
+/// Places `num_fis` filter points at the equidepth quantiles j/(num_fis+1),
+/// j = 1..num_fis (splitting [0, 1] into num_fis + 1 equal-mass intervals),
+/// and assigns kinds per Section 5.3: DFIs at points below δ = MassMedian,
+/// SFIs above, and both a DFI and an SFI at the point closest to δ (so the
+/// layout may contain num_fis + 1 structures). Table counts are left at 1
+/// per structure; the greedy allocator distributes the budget.
+///
+/// `coverage_blend` regularizes the placement for the paper's query model
+/// (ranges uniform over [0, 1]): quantiles are taken against
+/// D_S + blend·uniform, so a fraction of the points always covers
+/// low-mass regions. Web-log similarity distributions concentrate nearly
+/// all pair mass near zero; pure equidepth (blend = 0) then puts every FI
+/// below ~0.2 and high-similarity queries degenerate to scanning everything
+/// above the topmost point.
+IndexLayout PlaceFilterIndices(const SimilarityHistogram& hist,
+                               std::size_t num_fis,
+                               double coverage_blend = 0.25);
+
+}  // namespace ssr
+
+#endif  // SSR_OPTIMIZER_EQUIDEPTH_H_

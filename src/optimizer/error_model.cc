@@ -1,0 +1,330 @@
+#include "optimizer/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathutil.h"
+
+namespace ssr {
+
+namespace {
+
+/// ∫_{lo}^{hi} D(s)·f(s) ds approximated over histogram bins with partial
+/// overlap weighting; f is evaluated at the center of each overlap.
+template <typename F>
+double IntegrateAgainstHist(const SimilarityHistogram& hist, double lo,
+                            double hi, F&& f) {
+  lo = Clamp(lo, 0.0, 1.0);
+  hi = Clamp(hi, 0.0, 1.0);
+  if (hi <= lo) return 0.0;
+  const std::size_t n = hist.num_bins();
+  const double width = 1.0 / static_cast<double>(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double bin_lo = static_cast<double>(i) * width;
+    const double bin_hi = bin_lo + width;
+    const double a = std::max(lo, bin_lo);
+    const double b = std::min(hi, bin_hi);
+    if (b <= a) continue;
+    const double fraction = (b - a) / width;
+    acc += hist.bin_mass(i) * fraction * f(0.5 * (a + b));
+  }
+  return acc;
+}
+
+}  // namespace
+
+namespace {
+
+FilterFunction SolveFilter(FilterKind kind, double sigma_star,
+                           std::size_t tables, double rho, std::size_t r) {
+  if (r != 0) return FilterFunction(r, tables);
+  const double turning =
+      kind == FilterKind::kSimilarity ? 1.0 - (1.0 - sigma_star) * rho
+                                      : (1.0 - sigma_star) * rho;
+  return FilterFunction::ForTurningPoint(turning, tables);
+}
+
+}  // namespace
+
+FilterErrorModel::FilterErrorModel(FilterKind kind, double sigma_star,
+                                   std::size_t tables, double rho,
+                                   std::size_t r,
+                                   std::size_t signature_hashes)
+    : kind_(kind),
+      sigma_star_(sigma_star),
+      rho_(rho <= 0.0 ? 0.5 : rho),
+      signature_hashes_(signature_hashes),
+      filter_(SolveFilter(kind, sigma_star, tables, rho_, r)) {}
+
+std::size_t ChooseOptimalR(FilterKind kind, double sigma_star,
+                           std::size_t tables, double rho,
+                           const SimilarityHistogram& hist,
+                           std::size_t signature_hashes) {
+  if (rho <= 0.0) rho = 0.5;
+  const double turning = kind == FilterKind::kSimilarity
+                             ? 1.0 - (1.0 - sigma_star) * rho
+                             : (1.0 - sigma_star) * rho;
+  const std::size_t r0 =
+      FilterFunction::ForTurningPoint(turning, tables).r();
+  std::size_t best_r = r0;
+  double best_error =
+      FilterErrorModel(kind, sigma_star, tables, rho, r0, signature_hashes)
+          .NormalizedError(hist);
+  for (double factor :
+       {0.25, 0.35, 0.5, 0.7, 0.85, 1.2, 1.5, 2.0, 2.8, 4.0}) {
+    std::size_t r = static_cast<std::size_t>(
+        std::lround(static_cast<double>(r0) * factor));
+    if (r < 1) r = 1;
+    if (r == r0) continue;
+    const double error =
+        FilterErrorModel(kind, sigma_star, tables, rho, r, signature_hashes)
+            .NormalizedError(hist);
+    if (error < best_error) {
+      best_error = error;
+      best_r = r;
+    }
+  }
+  return best_r;
+}
+
+double FilterErrorModel::Collision(double s) const {
+  s = Clamp(s, 0.0, 1.0);
+  const auto raw = [&](double agreement) {
+    const double phi = 1.0 - (1.0 - agreement) * rho_;  // Theorem 1
+    if (kind_ == FilterKind::kSimilarity) {
+      return filter_.Collision(phi);
+    }
+    return filter_.Collision(1.0 - phi);  // Theorem 2: probe vs complement
+  };
+  if (signature_hashes_ == 0) return raw(s);
+  // Min-hash noise: the observed agreement is Binomial(k, s)/k. Smooth the
+  // collision curve with 3-point Gauss-Hermite quadrature over that noise
+  // (sd = sqrt(s(1-s)/k)); nodes at s, s ± sd*sqrt(3), weights 2/3, 1/6,
+  // 1/6.
+  const double sd = std::sqrt(
+      s * (1.0 - s) / static_cast<double>(signature_hashes_));
+  if (sd <= 0.0) return raw(s);
+  const double offset = sd * 1.7320508075688772;
+  return (2.0 / 3.0) * raw(s) +
+         (1.0 / 6.0) * raw(Clamp(s - offset, 0.0, 1.0)) +
+         (1.0 / 6.0) * raw(Clamp(s + offset, 0.0, 1.0));
+}
+
+double FilterErrorModel::ExpectedFalsePositives(
+    const SimilarityHistogram& hist) const {
+  if (kind_ == FilterKind::kSimilarity) {
+    return IntegrateAgainstHist(hist, 0.0, sigma_star_,
+                                [&](double s) { return Collision(s); });
+  }
+  return IntegrateAgainstHist(hist, sigma_star_, 1.0,
+                              [&](double s) { return Collision(s); });
+}
+
+double FilterErrorModel::ExpectedFalseNegatives(
+    const SimilarityHistogram& hist) const {
+  if (kind_ == FilterKind::kSimilarity) {
+    return IntegrateAgainstHist(hist, sigma_star_, 1.0,
+                                [&](double s) { return 1.0 - Collision(s); });
+  }
+  return IntegrateAgainstHist(hist, 0.0, sigma_star_,
+                              [&](double s) { return 1.0 - Collision(s); });
+}
+
+double FilterErrorModel::NormalizedError(
+    const SimilarityHistogram& hist) const {
+  const double below = hist.MassInRange(0.0, sigma_star_);
+  const double above = hist.MassInRange(sigma_star_, 1.0);
+  const double fp = ExpectedFalsePositives(hist);
+  const double fn = ExpectedFalseNegatives(hist);
+  double error = 0.0;
+  if (kind_ == FilterKind::kSimilarity) {
+    if (below > 0.0) error += fp / below;
+    if (above > 0.0) error += fn / above;
+  } else {
+    if (above > 0.0) error += fp / above;
+    if (below > 0.0) error += fn / below;
+  }
+  return error;
+}
+
+LayoutErrorModel::LayoutErrorModel(const IndexLayout& layout,
+                                   const Embedding& embedding,
+                                   const SimilarityHistogram& hist)
+    : hist_(&hist), rho_(embedding.distance_ratio()) {
+  const std::size_t k = embedding.hasher().params().num_hashes;
+  for (const FilterPoint& p : layout.points) {
+    fis_.push_back(
+        {p, FilterErrorModel(p.kind, p.similarity, p.tables, rho_, p.r, k)});
+  }
+}
+
+double LayoutErrorModel::RetrievalProbability(double s, double sigma1,
+                                              double sigma2) const {
+  // Mirror SetSimilarityIndex::ComputeCandidates' plan selection.
+  constexpr std::size_t kVirtual = static_cast<std::size_t>(-1);
+  std::size_t lo_idx = kVirtual, up_idx = kVirtual;
+  for (std::size_t i = 0; i < fis_.size(); ++i) {
+    if (fis_[i].point.similarity <= sigma1) lo_idx = i;
+  }
+  for (std::size_t i = fis_.size(); i-- > 0;) {
+    if (fis_[i].point.similarity >= sigma2) up_idx = i;
+  }
+  if (lo_idx != kVirtual && lo_idx == up_idx) {
+    lo_idx = lo_idx == 0 ? kVirtual : lo_idx - 1;
+  }
+  const bool lo_virtual = lo_idx == kVirtual;
+  const bool up_virtual = up_idx == kVirtual;
+  if (lo_virtual && up_virtual) return 1.0;
+
+  const auto collide = [&](std::size_t idx) {
+    return fis_[idx].model.Collision(s);
+  };
+  const auto kind_of = [&](std::size_t idx) { return fis_[idx].point.kind; };
+  bool has_dfi = false, has_sfi = false;
+  std::size_t dfi_mid = kVirtual, sfi_mid = kVirtual;
+  for (std::size_t i = 0; i < fis_.size(); ++i) {
+    if (fis_[i].point.kind == FilterKind::kDissimilarity) {
+      has_dfi = true;
+      dfi_mid = i;
+    } else {
+      has_sfi = true;
+      if (sfi_mid == kVirtual) sfi_mid = i;
+    }
+  }
+
+  // DFI pair.
+  if (!up_virtual && kind_of(up_idx) == FilterKind::kDissimilarity) {
+    const double c_up = collide(up_idx);
+    const double c_lo = lo_virtual ? 0.0 : collide(lo_idx);
+    return c_up * (1.0 - c_lo);
+  }
+  // SFI pair.
+  const bool lo_is_sfi =
+      !lo_virtual && kind_of(lo_idx) == FilterKind::kSimilarity;
+  if (lo_is_sfi || (lo_virtual && !up_virtual && !has_dfi)) {
+    const double c_lo = lo_is_sfi ? collide(lo_idx) : 1.0;
+    const double c_up = up_virtual ? 0.0 : collide(up_idx);
+    return c_lo * (1.0 - c_up);
+  }
+  // Mixed.
+  if (!has_sfi) {
+    const double c_lo = lo_virtual ? 0.0 : collide(lo_idx);
+    return 1.0 - c_lo;
+  }
+  double p_left = 0.0;
+  if (has_dfi) {
+    const double c_mid = collide(dfi_mid);
+    const double c_lo =
+        (!lo_virtual && lo_idx != dfi_mid) ? collide(lo_idx) : 0.0;
+    p_left = c_mid * (1.0 - c_lo);
+  }
+  const double c_smid = collide(sfi_mid);
+  const double c_up = (!up_virtual && up_idx != sfi_mid &&
+                       kind_of(up_idx) == FilterKind::kSimilarity)
+                          ? collide(up_idx)
+                          : 0.0;
+  const double p_right = c_smid * (1.0 - c_up);
+  return 1.0 - (1.0 - p_left) * (1.0 - p_right);
+}
+
+double LayoutErrorModel::ExpectedRecall(double sigma1, double sigma2) const {
+  const double answer = hist_->MassInRange(sigma1, sigma2);
+  if (answer <= 0.0) return 1.0;
+  const double retrieved_in_range = IntegrateAgainstHist(
+      *hist_, sigma1, sigma2,
+      [&](double s) { return RetrievalProbability(s, sigma1, sigma2); });
+  return Clamp(retrieved_in_range / answer, 0.0, 1.0);
+}
+
+double LayoutErrorModel::ExpectedPrecision(double sigma1,
+                                           double sigma2) const {
+  const double in_range = IntegrateAgainstHist(
+      *hist_, sigma1, sigma2,
+      [&](double s) { return RetrievalProbability(s, sigma1, sigma2); });
+  const double below = IntegrateAgainstHist(
+      *hist_, 0.0, sigma1,
+      [&](double s) { return RetrievalProbability(s, sigma1, sigma2); });
+  const double above = IntegrateAgainstHist(
+      *hist_, sigma2, 1.0,
+      [&](double s) { return RetrievalProbability(s, sigma1, sigma2); });
+  const double total = in_range + below + above;
+  if (total <= 0.0) return 1.0;
+  return Clamp(in_range / total, 0.0, 1.0);
+}
+
+std::vector<std::pair<double, double>> LayoutErrorModel::DecompositionIntervals()
+    const {
+  std::vector<std::pair<double, double>> ranges;
+  std::vector<double> points;
+  for (const auto& fi : fis_) points.push_back(fi.point.similarity);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  double prev = 0.0;
+  for (double p : points) {
+    if (p > prev) ranges.emplace_back(prev, p);
+    prev = p;
+  }
+  if (prev < 1.0) ranges.emplace_back(prev, 1.0);
+  return ranges;
+}
+
+double LayoutErrorModel::WorstCaseRecall() const {
+  double worst = 1.0;
+  for (const auto& [lo, hi] : DecompositionIntervals()) {
+    worst = std::min(worst, ExpectedRecall(lo, hi));
+  }
+  return worst;
+}
+
+double LayoutErrorModel::WorkloadAverageRecall(std::size_t grid) const {
+  // Grid endpoints are interior midpoints (i + 0.5)/grid: a range starting
+  // exactly at 0 or ending exactly at 1 is answered by the trivial virtual
+  // endpoint plan (no subtraction) and is far easier than the generic
+  // ranges the workload actually asks, so including the exact endpoints
+  // makes the average wildly optimistic.
+  if (grid < 2) grid = 2;
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < grid; ++i) {
+    for (std::size_t j = i + 1; j < grid; ++j) {
+      const double lo =
+          (static_cast<double>(i) + 0.5) / static_cast<double>(grid);
+      const double hi =
+          (static_cast<double>(j) + 0.5) / static_cast<double>(grid);
+      const double mass = hist_->MassInRange(lo, hi);
+      if (mass <= 0.0) continue;
+      weighted += mass * ExpectedRecall(lo, hi);
+      weight += mass;
+    }
+  }
+  return weight <= 0.0 ? 1.0 : weighted / weight;
+}
+
+double LayoutErrorModel::WorkloadAveragePrecision(std::size_t grid) const {
+  if (grid < 2) grid = 2;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < grid; ++i) {
+    for (std::size_t j = i + 1; j < grid; ++j) {
+      const double lo =
+          (static_cast<double>(i) + 0.5) / static_cast<double>(grid);
+      const double hi =
+          (static_cast<double>(j) + 0.5) / static_cast<double>(grid);
+      sum += ExpectedPrecision(lo, hi);
+      ++count;
+    }
+  }
+  return count == 0 ? 1.0 : sum / static_cast<double>(count);
+}
+
+double LayoutErrorModel::WorstCasePrecision(double min_answer_mass) const {
+  double worst = 1.0;
+  for (const auto& [lo, hi] : DecompositionIntervals()) {
+    if (hist_->MassInRange(lo, hi) < min_answer_mass) continue;
+    worst = std::min(worst, ExpectedPrecision(lo, hi));
+  }
+  return worst;
+}
+
+}  // namespace ssr

@@ -1,0 +1,153 @@
+// Analytical error model of the filter indices (Definitions 6-9): expected
+// false positives/negatives of a filter function against the similarity
+// distribution D_S, and expected recall/precision of a composite layout for
+// a query range. The greedy allocator and the index-construction loop
+// optimize these quantities.
+//
+// All integrals are taken in set-similarity space; collision probabilities
+// are evaluated after mapping through the embedding (Theorem 1):
+//   SFI at σ*: collision(s) = p_{r,l}( φ(s) ),        φ(s) = 1 − (1−s)ρ
+//   DFI at σ*: collision(s) = p_{r,l}( 1 − φ(s) )     (Theorem 2)
+
+#ifndef SSR_OPTIMIZER_ERROR_MODEL_H_
+#define SSR_OPTIMIZER_ERROR_MODEL_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/filter_function.h"
+#include "core/index_layout.h"
+#include "hamming/embedding.h"
+#include "optimizer/similarity_distribution.h"
+
+namespace ssr {
+
+/// The analytic model for one filter index at a layout point.
+class FilterErrorModel {
+ public:
+  /// Builds the model for a filter of `kind` at set-similarity `sigma_star`
+  /// with `tables` hash tables. `rho` is the embedding's distance ratio
+  /// (1/2 for Hadamard). `r` = 0 solves r from the canonical turning-point
+  /// condition p_{r,l}(s*) = 1/2; a nonzero `r` overrides it (the optimizer
+  /// tunes r per point, see ChooseOptimalR). `signature_hashes` (k) models
+  /// min-hash estimation noise: a set at similarity s presents a signature
+  /// agreement distributed Binomial(k, s)/k, so the effective collision
+  /// curve is the S-curve smoothed by that noise; 0 disables (idealized
+  /// infinite-precision signatures).
+  FilterErrorModel(FilterKind kind, double sigma_star, std::size_t tables,
+                   double rho, std::size_t r = 0,
+                   std::size_t signature_hashes = 0);
+
+  /// Probability that a set at similarity s with the query lands in this
+  /// filter's output.
+  double Collision(double s) const;
+
+  /// Definition 6: expected false positives against `hist` — mass on the
+  /// wrong side of σ* that the filter nevertheless returns.
+  double ExpectedFalsePositives(const SimilarityHistogram& hist) const;
+
+  /// Definition 7: expected false negatives — mass on the right side of σ*
+  /// that the filter misses.
+  double ExpectedFalseNegatives(const SimilarityHistogram& hist) const;
+
+  /// FP + FN: the total expected error in absolute pair counts.
+  double ExpectedError(const SimilarityHistogram& hist) const {
+    return ExpectedFalsePositives(hist) + ExpectedFalseNegatives(hist);
+  }
+
+  /// Mass-normalized error: FP as a fraction of the mass the filter should
+  /// reject plus FN as a fraction of the mass it should return. Because
+  /// recall/precision are ratios, this is the quantity whose equalization
+  /// across FIs maximizes expected worst-case recall (Lemma 2) — absolute
+  /// counts would let the mass-heavy low-similarity region dominate every
+  /// allocation decision.
+  double NormalizedError(const SimilarityHistogram& hist) const;
+
+  const FilterFunction& filter() const { return filter_; }
+  double sigma_star() const { return sigma_star_; }
+  FilterKind kind() const { return kind_; }
+
+ private:
+  FilterKind kind_;
+  double sigma_star_;
+  double rho_;
+  std::size_t signature_hashes_ = 0;
+  FilterFunction filter_;
+};
+
+/// Picks the bits-per-table r that minimizes the filter's normalized error
+/// against `hist` for a given table count, searching a multiplicative grid
+/// around the canonical p = 1/2 solution. The canonical solve fixes the
+/// turning point but rounds r to an integer, which makes error jagged in l
+/// and starves low-similarity filters; tuning r directly smooths both.
+std::size_t ChooseOptimalR(FilterKind kind, double sigma_star,
+                           std::size_t tables, double rho,
+                           const SimilarityHistogram& hist,
+                           std::size_t signature_hashes = 0);
+
+/// The analytic model for a whole layout (respects per-point r overrides).
+class LayoutErrorModel {
+ public:
+  LayoutErrorModel(const IndexLayout& layout, const Embedding& embedding,
+                   const SimilarityHistogram& hist);
+
+  /// Probability that a set at similarity s appears among the candidates of
+  /// a query range whose enclosing points are the layout points nearest
+  /// [σ1, σ2] (the Section 4.3 plan, with independent FIs).
+  double RetrievalProbability(double s, double sigma1, double sigma2) const;
+
+  /// Definition 8: expected recall over the query range [σ1, σ2].
+  double ExpectedRecall(double sigma1, double sigma2) const;
+
+  /// Definition 9: expected precision over the query range [σ1, σ2]
+  /// (candidate efficiency: answer mass / retrieved mass).
+  double ExpectedPrecision(double sigma1, double sigma2) const;
+
+  /// The decomposition intervals: consecutive ranges between the distinct
+  /// filter points, including the virtual endpoints [0, first] and
+  /// [last, 1]. The paper optimizes "the expected worst case of recall (or
+  /// precision) over all similarity intervals"; these are those intervals —
+  /// interval-aligned queries are answered by exactly the interval's edge
+  /// FIs, so interval recall isolates those FIs' errors.
+  std::vector<std::pair<double, double>> DecompositionIntervals() const;
+
+  /// Expected worst-case recall: the minimum expected recall over the
+  /// decomposition intervals. Note that for layouts whose adjacent points
+  /// sit close together in embedded (Hamming) similarity, narrow intervals
+  /// are intrinsically hard — the difference plan multiplies two nearly
+  /// identical S-curves, capping recall near 1/4 — so this metric is a
+  /// pessimistic diagnostic, not the construction's acceptance criterion.
+  double WorstCaseRecall() const;
+
+  /// Expected recall over the paper's uniform query workload ("all queries
+  /// equally likely ... both in terms of set queries and similarity
+  /// values"): the mean of ExpectedRecall over a grid of (σ1, σ2) ranges
+  /// with σ1 < σ2, each range weighted by its expected answer mass (a
+  /// query's recall counts per answer pair, matching the measured average
+  /// over random queries). `grid` subdivides [0, 1].
+  double WorkloadAverageRecall(std::size_t grid = 10) const;
+
+  /// Same workload average for precision (candidate efficiency).
+  double WorkloadAveragePrecision(std::size_t grid = 10) const;
+
+  /// Expected worst-case precision over the decomposition intervals,
+  /// ignoring intervals whose expected answer mass is below
+  /// `min_answer_mass` (Lemmas 4/5 consider "queries with expected answer
+  /// size at least a").
+  double WorstCasePrecision(double min_answer_mass = 1.0) const;
+
+ private:
+  struct ModeledFi {
+    FilterPoint point;
+    FilterErrorModel model;
+  };
+
+  const SimilarityHistogram* hist_;
+  double rho_;
+  std::vector<ModeledFi> fis_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_OPTIMIZER_ERROR_MODEL_H_

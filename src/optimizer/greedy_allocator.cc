@@ -1,0 +1,207 @@
+#include "optimizer/greedy_allocator.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "optimizer/error_model.h"
+
+namespace ssr {
+
+namespace {
+
+double PointError(const FilterPoint& p, std::size_t tables,
+                  const SimilarityHistogram& hist, double rho) {
+  FilterErrorModel model(p.kind, p.similarity, tables, rho, p.r);
+  return model.NormalizedError(hist);
+}
+
+AllocationReport FinishReport(IndexLayout* layout,
+                              std::vector<std::size_t> tables,
+                              const SimilarityHistogram& hist, double rho) {
+  AllocationReport report;
+  report.tables = std::move(tables);
+  report.errors.reserve(layout->points.size());
+  for (std::size_t i = 0; i < layout->points.size(); ++i) {
+    layout->points[i].tables = report.tables[i];
+    const double err =
+        PointError(layout->points[i], report.tables[i], hist, rho);
+    report.errors.push_back(err);
+    report.total_error += err;
+    report.max_error = std::max(report.max_error, err);
+  }
+  return report;
+}
+
+// Scalar score of an allocation: workload-average recall (the paper's
+// objective — "all queries equally likely ... uniformly distributed") with
+// a small worst-interval term to break ties toward balanced layouts.
+double Evaluate(const IndexLayout& layout, const SimilarityHistogram& hist,
+                const Embedding& embedding) {
+  LayoutErrorModel model(layout, embedding, hist);
+  return model.WorkloadAverageRecall(/*grid=*/8) +
+         0.05 * model.WorstCaseRecall();
+}
+
+}  // namespace
+
+Result<AllocationReport> GreedyAllocateTables(IndexLayout* layout,
+                                              std::size_t budget,
+                                              const SimilarityHistogram& hist,
+                                              const Embedding& embedding) {
+  const std::size_t n = layout->points.size();
+  if (n == 0) return Status::InvalidArgument("layout has no filter points");
+  if (budget < n) {
+    return Status::InvalidArgument(
+        "budget smaller than the number of filter indices");
+  }
+  // Start every FI at one table; hand out the rest one at a time to the FI
+  // whose extra table most improves (worst, mean) expected interval recall.
+  // Each (point, table-count) pair gets its bits-per-table r tuned by
+  // ChooseOptimalR; the tuned r is memoized and written into the layout so
+  // the built index matches the model exactly.
+  const double rho = embedding.distance_ratio();
+  std::vector<std::unordered_map<std::size_t, std::size_t>> r_cache(n);
+  const auto tuned_r = [&](std::size_t i, std::size_t l) {
+    auto it = r_cache[i].find(l);
+    if (it != r_cache[i].end()) return it->second;
+    const std::size_t r = ChooseOptimalR(
+        layout->points[i].kind, layout->points[i].similarity, l, rho, hist,
+        embedding.hasher().params().num_hashes);
+    r_cache[i].emplace(l, r);
+    return r;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    layout->points[i].tables = 1;
+    layout->points[i].r = tuned_r(i, 1);
+  }
+  // Chunked greedy: candidate increments of 1, 2, 4, ... tables, scored by
+  // gain per table. Single-table steps get trapped on the plateaus of the
+  // rounded-r error curve (an FI may need several more tables before its
+  // tuned filter improves at all); chunks step over them.
+  std::size_t remaining = budget - n;
+  double current_score = Evaluate(*layout, hist, embedding);
+  while (remaining > 0) {
+    std::size_t best_fi = n;
+    std::size_t best_chunk = 1;
+    double best_rate = -std::numeric_limits<double>::infinity();
+    double best_score = current_score;
+    for (std::size_t i = 0; i < n; ++i) {
+      FilterPoint saved = layout->points[i];
+      for (std::size_t chunk = 1; chunk <= remaining; chunk *= 2) {
+        layout->points[i].tables = saved.tables + chunk;
+        layout->points[i].r = tuned_r(i, layout->points[i].tables);
+        const double score = Evaluate(*layout, hist, embedding);
+        const double rate =
+            (score - current_score) / static_cast<double>(chunk);
+        if (rate > best_rate) {
+          best_rate = rate;
+          best_fi = i;
+          best_chunk = chunk;
+          best_score = score;
+        }
+      }
+      layout->points[i] = saved;
+    }
+    if (best_fi == n) break;  // defensive; cannot happen with n >= 1
+    layout->points[best_fi].tables += best_chunk;
+    layout->points[best_fi].r =
+        tuned_r(best_fi, layout->points[best_fi].tables);
+    current_score = best_score;
+    remaining -= best_chunk;
+  }
+  std::vector<std::size_t> tables;
+  tables.reserve(n);
+  for (const auto& p : layout->points) tables.push_back(p.tables);
+  return FinishReport(layout, std::move(tables), hist, rho);
+}
+
+Result<AllocationReport> GreedyAllocateTablesByError(
+    IndexLayout* layout, std::size_t budget, const SimilarityHistogram& hist,
+    double rho) {
+  const std::size_t n = layout->points.size();
+  if (n == 0) return Status::InvalidArgument("layout has no filter points");
+  if (budget < n) {
+    return Status::InvalidArgument(
+        "budget smaller than the number of filter indices");
+  }
+  // The literal Figure 5 rule: each table goes to the FI whose normalized
+  // expected error drops the most.
+  std::vector<std::size_t> tables(n, 1);
+  std::vector<double> current(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    current[i] = PointError(layout->points[i], 1, hist, rho);
+  }
+  for (std::size_t step = n; step < budget; ++step) {
+    std::size_t best = 0;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    double best_next = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double next =
+          PointError(layout->points[i], tables[i] + 1, hist, rho);
+      const double gain = current[i] - next;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+        best_next = next;
+      }
+    }
+    tables[best] += 1;
+    current[best] = best_next;
+  }
+  return FinishReport(layout, std::move(tables), hist, rho);
+}
+
+std::pair<double, double> RefineForPrecision(IndexLayout* layout,
+                                             const SimilarityHistogram& hist,
+                                             const Embedding& embedding,
+                                             double recall_threshold) {
+  const auto evaluate = [&] {
+    LayoutErrorModel model(*layout, embedding, hist);
+    return std::make_pair(model.WorkloadAverageRecall(),
+                          model.WorkloadAveragePrecision());
+  };
+  auto [recall, precision] = evaluate();
+  // Round-robin over FIs, bumping r one step at a time (multiplicatively
+  // for large r so progress is budget-independent), while the recall
+  // prediction stays at or above the threshold and precision improves.
+  bool progressed = true;
+  int rounds = 0;
+  while (progressed && rounds < 32) {
+    progressed = false;
+    ++rounds;
+    for (FilterPoint& point : layout->points) {
+      if (point.r == 0) continue;  // canonical solve: leave untouched
+      const std::size_t old_r = point.r;
+      const std::size_t step = old_r >= 8 ? old_r / 8 : 1;
+      point.r = old_r + step;
+      const auto [new_recall, new_precision] = evaluate();
+      if (new_recall >= recall_threshold &&
+          new_precision > precision + 1e-9) {
+        recall = new_recall;
+        precision = new_precision;
+        progressed = true;
+      } else {
+        point.r = old_r;
+      }
+    }
+  }
+  return {recall, precision};
+}
+
+Result<AllocationReport> UniformAllocateTables(IndexLayout* layout,
+                                               std::size_t budget,
+                                               const SimilarityHistogram& hist,
+                                               double rho) {
+  const std::size_t n = layout->points.size();
+  if (n == 0) return Status::InvalidArgument("layout has no filter points");
+  if (budget < n) {
+    return Status::InvalidArgument(
+        "budget smaller than the number of filter indices");
+  }
+  std::vector<std::size_t> tables(n, budget / n);
+  for (std::size_t i = 0; i < budget % n; ++i) tables[i] += 1;
+  return FinishReport(layout, std::move(tables), hist, rho);
+}
+
+}  // namespace ssr

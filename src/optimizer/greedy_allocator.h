@@ -1,0 +1,79 @@
+// The Greedy algorithm of Figure 5: distribute a budget of b hash tables
+// over the layout's filter indices one table at a time, always to the FI
+// with the largest remaining expected error (false positives + false
+// negatives, Definitions 6/7, normalized by the mass each filter is
+// responsible for). Equalizing per-FI error is exactly the Lemma 2
+// optimality condition, and Lemma 6 states the greedy allocation maximizes
+// expected worst-case recall.
+
+#ifndef SSR_OPTIMIZER_GREEDY_ALLOCATOR_H_
+#define SSR_OPTIMIZER_GREEDY_ALLOCATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/index_layout.h"
+#include "hamming/embedding.h"
+#include "optimizer/similarity_distribution.h"
+#include "util/result.h"
+
+namespace ssr {
+
+/// Result of an allocation run.
+struct AllocationReport {
+  /// Tables per layout point, parallel to layout.points.
+  std::vector<std::size_t> tables;
+
+  /// Normalized expected error (FP rate + FN rate; see
+  /// FilterErrorModel::NormalizedError) per point under the final
+  /// allocation.
+  std::vector<double> errors;
+
+  /// Sum of per-point normalized errors.
+  double total_error = 0.0;
+
+  /// Largest per-point normalized error — the quantity greedy equalizes
+  /// (Lemma 2: worst-case recall is maximized when FI errors are equal).
+  double max_error = 0.0;
+};
+
+/// Allocates `budget` hash tables to the points of `layout` (each point
+/// receives at least one), maximizing (worst, mean) expected recall over
+/// the decomposition intervals — the Lemma 2 evaluation the Index
+/// Construction loop accepts layouts by. Fails if budget < number of
+/// points. On success, `layout->points[i].tables` is updated in place and
+/// a report is returned.
+Result<AllocationReport> GreedyAllocateTables(IndexLayout* layout,
+                                              std::size_t budget,
+                                              const SimilarityHistogram& hist,
+                                              const Embedding& embedding);
+
+/// The literal Figure 5 rule — each table to the FI whose normalized
+/// expected error (Definitions 6/7) drops the most. Kept for the ablation
+/// bench; the recall-driven variant above dominates it on worst-case
+/// recall because per-FI error ignores how intervals combine two FIs.
+Result<AllocationReport> GreedyAllocateTablesByError(
+    IndexLayout* layout, std::size_t budget, const SimilarityHistogram& hist,
+    double rho);
+
+/// Baseline for the ablation bench: spreads the budget uniformly
+/// (remainder to the lowest-index points). Same failure condition.
+Result<AllocationReport> UniformAllocateTables(
+    IndexLayout* layout, std::size_t budget,
+    const SimilarityHistogram& hist, double rho);
+
+/// Objective 2's precision pass: after the allocation meets the recall
+/// threshold, sharpen each filter (increase its bits-per-table r) as far
+/// as the predicted workload-average recall allows while staying at or
+/// above `recall_threshold`. Sharper filters collide less with
+/// out-of-range sets, directly cutting the candidate overhead that
+/// precision measures. Returns the achieved (recall, precision)
+/// prediction.
+std::pair<double, double> RefineForPrecision(IndexLayout* layout,
+                                             const SimilarityHistogram& hist,
+                                             const Embedding& embedding,
+                                             double recall_threshold);
+
+}  // namespace ssr
+
+#endif  // SSR_OPTIMIZER_GREEDY_ALLOCATOR_H_

@@ -1,0 +1,94 @@
+#include "optimizer/index_builder.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "optimizer/equidepth.h"
+#include "optimizer/error_model.h"
+#include "optimizer/greedy_allocator.h"
+#include "util/logging.h"
+#include "util/mathutil.h"
+
+namespace ssr {
+
+std::string BuiltLayout::ToString() const {
+  std::ostringstream out;
+  out << layout.ToString() << "\npredicted workload-average recall "
+      << predicted_recall << ", precision " << predicted_precision
+      << "\npredicted worst-case interval recall " << predicted_worst_recall
+      << ", precision " << predicted_worst_precision;
+  return out.str();
+}
+
+Result<BuiltLayout> ConstructIndexLayout(const SimilarityHistogram& hist,
+                                         const Embedding& embedding,
+                                         const IndexBuilderOptions& options) {
+  if (options.table_budget < 2) {
+    return Status::InvalidArgument(
+        "table budget must be >= 2 (the dual point at delta needs both an "
+        "SFI and a DFI)");
+  }
+  if (options.recall_threshold <= 0.0 || options.recall_threshold > 1.0) {
+    return Status::InvalidArgument("recall threshold must be in (0, 1]");
+  }
+
+  // Lemma 5 interval cap: m < T / (1 − a).
+  std::size_t cap = options.max_fis;
+  const double a = Clamp(options.precision_answer_fraction, 0.0, 0.999);
+  const double lemma5 = options.recall_threshold / (1.0 - a);
+  if (lemma5 < static_cast<double>(cap)) {
+    cap = static_cast<std::size_t>(std::floor(lemma5));
+  }
+  if (cap < 1) cap = 1;
+
+  BuiltLayout best;
+  bool have_best = false;
+  Result<BuiltLayout> first_failure =
+      Status::Internal("index construction produced no layout");
+
+  for (std::size_t i = 1; i <= cap; ++i) {
+    IndexLayout candidate = PlaceFilterIndices(hist, i);
+    if (candidate.total_tables() > options.table_budget ||
+        candidate.points.size() > options.table_budget) {
+      break;  // not enough tables for one per structure
+    }
+    auto allocation = GreedyAllocateTables(&candidate, options.table_budget,
+                                           hist, embedding);
+    if (!allocation.ok()) break;
+    // Objective 2: with the recall threshold met, spend remaining recall
+    // slack on precision by sharpening the filters.
+    RefineForPrecision(&candidate, hist, embedding,
+                       options.recall_threshold);
+    LayoutErrorModel model(candidate, embedding, hist);
+    BuilderIteration iter;
+    iter.num_fis = i;
+    iter.average_recall = model.WorkloadAverageRecall();
+    iter.average_precision = model.WorkloadAveragePrecision();
+    iter.worst_case_recall = model.WorstCaseRecall();
+    iter.worst_case_precision = model.WorstCasePrecision();
+    iter.accepted = iter.average_recall >= options.recall_threshold;
+    SSR_LOG(kInfo) << "construction i=" << i << " avg recall="
+                   << iter.average_recall << " avg precision="
+                   << iter.average_precision
+                   << (iter.accepted ? " (accepted)" : " (rejected)");
+    if (iter.accepted) {
+      best.layout = candidate;
+      best.predicted_recall = iter.average_recall;
+      best.predicted_precision = iter.average_precision;
+      best.predicted_worst_recall = iter.worst_case_recall;
+      best.predicted_worst_precision = iter.worst_case_precision;
+      have_best = true;
+    }
+    best.trace.push_back(iter);
+    if (!iter.accepted) break;  // Lemma 3: recall only degrades from here
+  }
+
+  if (!have_best) {
+    return Status::FailedPrecondition(
+        "no layout meets the recall threshold under the given budget; "
+        "increase the budget or lower the threshold");
+  }
+  return best;
+}
+
+}  // namespace ssr

@@ -1,0 +1,70 @@
+// The Index Construction algorithm of Figure 4: grow the number of
+// equidepth-placed filter indices while the expected worst-case recall
+// stays above the user threshold T and the interval count stays below the
+// Lemma 5 bound, allocating the hash-table budget greedily at every step.
+// The result is the layout with the most intervals (best expected
+// precision, Lemma 5) that still meets the recall target (Objective 2).
+
+#ifndef SSR_OPTIMIZER_INDEX_BUILDER_H_
+#define SSR_OPTIMIZER_INDEX_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/index_layout.h"
+#include "hamming/embedding.h"
+#include "optimizer/similarity_distribution.h"
+#include "util/result.h"
+
+namespace ssr {
+
+/// Inputs of the construction algorithm.
+struct IndexBuilderOptions {
+  /// Space bound b: total hash tables available.
+  std::size_t table_budget = 500;
+
+  /// Recall threshold T (Objective 2), applied to the expected recall over
+  /// the uniform query workload (the paper's "average recall" objective).
+  double recall_threshold = 0.9;
+
+  /// The Lemma 5 precision parameter `a` (queries with expected answer of
+  /// at least this fraction are considered); caps the interval count at
+  /// T / (1 − a).
+  double precision_answer_fraction = 0.9;
+
+  /// Hard cap on filter points regardless of the Lemma 5 bound.
+  std::size_t max_fis = 64;
+};
+
+/// One iteration of the construction loop, for diagnostics.
+struct BuilderIteration {
+  std::size_t num_fis = 0;
+  double average_recall = 0.0;
+  double average_precision = 0.0;
+  double worst_case_recall = 0.0;
+  double worst_case_precision = 0.0;
+  bool accepted = false;
+};
+
+/// The chosen layout plus the decision trace.
+struct BuiltLayout {
+  IndexLayout layout;
+  double predicted_recall = 0.0;
+  double predicted_precision = 0.0;
+  double predicted_worst_recall = 0.0;
+  double predicted_worst_precision = 0.0;
+  std::vector<BuilderIteration> trace;
+
+  std::string ToString() const;
+};
+
+/// Runs the Figure 4 algorithm against a (possibly sampled, Lemma 1)
+/// similarity distribution. Fails if even a single FI cannot meet the
+/// budget (budget < 2: the dual point at δ needs two structures).
+Result<BuiltLayout> ConstructIndexLayout(const SimilarityHistogram& hist,
+                                         const Embedding& embedding,
+                                         const IndexBuilderOptions& options);
+
+}  // namespace ssr
+
+#endif  // SSR_OPTIMIZER_INDEX_BUILDER_H_

@@ -1,0 +1,106 @@
+#include "optimizer/similarity_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathutil.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+
+SimilarityHistogram::SimilarityHistogram(std::size_t num_bins)
+    : bins_(num_bins < 1 ? 1 : num_bins, 0.0) {}
+
+void SimilarityHistogram::Add(double s, double weight) {
+  s = Clamp(s, 0.0, 1.0);
+  std::size_t bin = static_cast<std::size_t>(s * static_cast<double>(bins_.size()));
+  if (bin >= bins_.size()) bin = bins_.size() - 1;  // s == 1.0
+  bins_[bin] += weight;
+}
+
+void SimilarityHistogram::Scale(double factor) {
+  for (double& b : bins_) b *= factor;
+}
+
+double SimilarityHistogram::total_mass() const {
+  double total = 0.0;
+  for (double b : bins_) total += b;
+  return total;
+}
+
+double SimilarityHistogram::MassInRange(double lo, double hi) const {
+  lo = Clamp(lo, 0.0, 1.0);
+  hi = Clamp(hi, 0.0, 1.0);
+  if (hi <= lo) return 0.0;
+  const double n = static_cast<double>(bins_.size());
+  double mass = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double bin_lo = static_cast<double>(i) / n;
+    const double bin_hi = static_cast<double>(i + 1) / n;
+    const double overlap =
+        std::min(hi, bin_hi) - std::max(lo, bin_lo);
+    if (overlap <= 0.0) continue;
+    mass += bins_[i] * overlap / (bin_hi - bin_lo);
+  }
+  return mass;
+}
+
+double SimilarityHistogram::Density(double s) const {
+  s = Clamp(s, 0.0, 1.0);
+  std::size_t bin = static_cast<std::size_t>(s * static_cast<double>(bins_.size()));
+  if (bin >= bins_.size()) bin = bins_.size() - 1;
+  // Mass per unit similarity: bin mass divided by bin width.
+  return bins_[bin] * static_cast<double>(bins_.size());
+}
+
+double SimilarityHistogram::Quantile(double q) const {
+  q = Clamp(q, 0.0, 1.0);
+  const double total = total_mass();
+  if (total <= 0.0) return q;  // degenerate: uniform fallback
+  const double target = q * total;
+  double acc = 0.0;
+  const double n = static_cast<double>(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (acc + bins_[i] >= target) {
+      const double within =
+          bins_[i] > 0.0 ? (target - acc) / bins_[i] : 0.0;
+      return (static_cast<double>(i) + within) / n;
+    }
+    acc += bins_[i];
+  }
+  return 1.0;
+}
+
+SimilarityHistogram ComputeExactDistribution(const SetCollection& sets,
+                                             std::size_t num_bins) {
+  SimilarityHistogram hist(num_bins);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets.size(); ++j) {
+      hist.Add(Jaccard(sets[i], sets[j]));
+    }
+  }
+  return hist;
+}
+
+SimilarityHistogram ComputeSampledDistribution(const SetCollection& sets,
+                                               std::size_t sample_pairs,
+                                               std::size_t num_bins,
+                                               Rng& rng) {
+  const std::size_t n = sets.size();
+  const double total_pairs =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  if (n < 2 || total_pairs <= static_cast<double>(sample_pairs)) {
+    return ComputeExactDistribution(sets, num_bins);
+  }
+  SimilarityHistogram hist(num_bins);
+  for (std::size_t t = 0; t < sample_pairs; ++t) {
+    const std::size_t i = static_cast<std::size_t>(rng.Uniform(n));
+    std::size_t j = static_cast<std::size_t>(rng.Uniform(n - 1));
+    if (j >= i) ++j;
+    hist.Add(Jaccard(sets[i], sets[j]));
+  }
+  hist.Scale(total_pairs / static_cast<double>(sample_pairs));
+  return hist;
+}
+
+}  // namespace ssr

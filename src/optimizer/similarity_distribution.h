@@ -1,0 +1,78 @@
+// The similarity distribution function D_S(s) of Section 4.1/5: for every
+// similarity value s, the number of set pairs in the collection that are
+// s-similar. Represented as a histogram over [0, 1]. Computable exactly
+// (all pairs) or approximately via one-pass pair sampling (Lemma 1).
+// Everything the optimizer does — expected false positives/negatives,
+// equidepth decomposition, the δ split of Eq. 15 — is an integral against
+// this distribution.
+
+#ifndef SSR_OPTIMIZER_SIMILARITY_DISTRIBUTION_H_
+#define SSR_OPTIMIZER_SIMILARITY_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// Histogram of pairwise similarities. Bin i covers
+/// [i/bins, (i+1)/bins) (last bin closed). Masses are pair counts, possibly
+/// fractional after sample-based scaling.
+class SimilarityHistogram {
+ public:
+  /// Creates an empty histogram with `num_bins` >= 1 bins.
+  explicit SimilarityHistogram(std::size_t num_bins = 100);
+
+  /// Adds `weight` pairs at similarity `s`.
+  void Add(double s, double weight = 1.0);
+
+  /// Scales all masses by `factor` (used by the sampling estimator).
+  void Scale(double factor);
+
+  std::size_t num_bins() const { return bins_.size(); }
+
+  /// Mass of bin i.
+  double bin_mass(std::size_t i) const { return bins_[i]; }
+
+  /// Total mass (≈ number of pairs represented).
+  double total_mass() const;
+
+  /// Integral of D_S over [lo, hi] (linear interpolation within bins).
+  double MassInRange(double lo, double hi) const;
+
+  /// Density estimate D_S(s) (mass per unit similarity at s).
+  double Density(double s) const;
+
+  /// The q-quantile of the distribution: the smallest s with
+  /// CDF(s) >= q, for q in [0, 1].
+  double Quantile(double q) const;
+
+  /// The paper's Eq. 15 split point δ: mass below equals mass above.
+  double MassMedian() const { return Quantile(0.5); }
+
+ private:
+  std::vector<double> bins_;
+};
+
+/// Computes D_S exactly from all N(N−1)/2 pairs. O(N²) set comparisons —
+/// intended for modest N or offline preprocessing.
+SimilarityHistogram ComputeExactDistribution(const SetCollection& sets,
+                                             std::size_t num_bins = 100);
+
+/// Lemma 1: approximates D_S from `sample_pairs` uniformly sampled pairs
+/// (one conceptual dataset pass: pair indices are drawn up front, then sets
+/// are visited in order). The histogram is scaled so its total mass is
+/// N(N−1)/2. Falls back to the exact computation when the sample budget
+/// covers all pairs.
+SimilarityHistogram ComputeSampledDistribution(const SetCollection& sets,
+                                               std::size_t sample_pairs,
+                                               std::size_t num_bins,
+                                               Rng& rng);
+
+}  // namespace ssr
+
+#endif  // SSR_OPTIMIZER_SIMILARITY_DISTRIBUTION_H_

@@ -1,0 +1,419 @@
+#include "storage/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace ssr {
+
+// Node layout. Internal nodes: keys.size() + 1 == children.size(); subtree
+// children[i] holds keys < keys[i]; subtree children[i+1] holds keys >=
+// keys[i] (separator keys are lower bounds of their right subtree and may be
+// stale after deletions — they remain valid bounds). Leaves: keys/values are
+// parallel arrays; `next` forms the leaf chain for range scans.
+struct BPlusTree::Node {
+  bool leaf = true;
+  std::vector<SetId> keys;
+  std::vector<RecordLocator> values;
+  std::vector<Node*> children;
+  Node* next = nullptr;
+};
+
+struct BPlusTree::InsertResult {
+  Node* new_sibling = nullptr;  // non-null if the node split
+  SetId separator = 0;          // key to insert into the parent
+};
+
+BPlusTree::BPlusTree(std::size_t max_keys)
+    : max_keys_(max_keys < 3 ? 3 : max_keys) {
+  root_ = new Node();
+}
+
+BPlusTree::~BPlusTree() { FreeTree(root_); }
+
+BPlusTree::BPlusTree(BPlusTree&& other) noexcept
+    : root_(other.root_), max_keys_(other.max_keys_), size_(other.size_) {
+  other.root_ = new Node();
+  other.size_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
+  if (this != &other) {
+    FreeTree(root_);
+    root_ = other.root_;
+    max_keys_ = other.max_keys_;
+    size_ = other.size_;
+    other.root_ = new Node();
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void BPlusTree::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  for (Node* c : n->children) FreeTree(c);
+  delete n;
+}
+
+namespace {
+
+// Index of the child to descend into for `key`: first separator > key.
+std::size_t ChildIndex(const std::vector<SetId>& keys, SetId key) {
+  return static_cast<std::size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+// Position of `key` in a leaf, or keys.size() if absent.
+std::size_t LeafFind(const std::vector<SetId>& keys, SetId key) {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it != keys.end() && *it == key) {
+    return static_cast<std::size_t>(it - keys.begin());
+  }
+  return keys.size();
+}
+
+}  // namespace
+
+BPlusTree::InsertResult BPlusTree::InsertInto(Node* n, SetId key,
+                                              const RecordLocator& value,
+                                              bool overwrite, Status* status) {
+  InsertResult result;
+  if (n->leaf) {
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    const std::size_t pos = static_cast<std::size_t>(it - n->keys.begin());
+    if (it != n->keys.end() && *it == key) {
+      if (!overwrite) {
+        *status = Status::AlreadyExists("duplicate key " + std::to_string(key));
+        return result;
+      }
+      n->values[pos] = value;
+      return result;
+    }
+    n->keys.insert(it, key);
+    n->values.insert(n->values.begin() + static_cast<std::ptrdiff_t>(pos),
+                     value);
+    ++size_;
+    if (n->keys.size() <= max_keys_) return result;
+    // Split the leaf: upper half moves to a new right sibling.
+    const std::size_t mid = n->keys.size() / 2;
+    Node* right = new Node();
+    right->leaf = true;
+    right->keys.assign(n->keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                       n->keys.end());
+    right->values.assign(n->values.begin() + static_cast<std::ptrdiff_t>(mid),
+                         n->values.end());
+    n->keys.resize(mid);
+    n->values.resize(mid);
+    right->next = n->next;
+    n->next = right;
+    result.new_sibling = right;
+    result.separator = right->keys.front();
+    return result;
+  }
+  const std::size_t ci = ChildIndex(n->keys, key);
+  InsertResult child = InsertInto(n->children[ci], key, value, overwrite,
+                                  status);
+  if (child.new_sibling == nullptr) return result;
+  n->keys.insert(n->keys.begin() + static_cast<std::ptrdiff_t>(ci),
+                 child.separator);
+  n->children.insert(
+      n->children.begin() + static_cast<std::ptrdiff_t>(ci) + 1,
+      child.new_sibling);
+  if (n->keys.size() <= max_keys_) return result;
+  // Split the internal node: the middle key moves up.
+  const std::size_t mid = n->keys.size() / 2;
+  Node* right = new Node();
+  right->leaf = false;
+  result.separator = n->keys[mid];
+  right->keys.assign(n->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                     n->keys.end());
+  right->children.assign(
+      n->children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+      n->children.end());
+  n->keys.resize(mid);
+  n->children.resize(mid + 1);
+  result.new_sibling = right;
+  return result;
+}
+
+Status BPlusTree::Insert(SetId key, const RecordLocator& value) {
+  Status status;
+  InsertResult top = InsertInto(root_, key, value, /*overwrite=*/false,
+                                &status);
+  if (!status.ok()) return status;
+  if (top.new_sibling != nullptr) {
+    Node* new_root = new Node();
+    new_root->leaf = false;
+    new_root->keys.push_back(top.separator);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(top.new_sibling);
+    root_ = new_root;
+  }
+  return Status::OK();
+}
+
+void BPlusTree::Upsert(SetId key, const RecordLocator& value) {
+  Status status;
+  InsertResult top = InsertInto(root_, key, value, /*overwrite=*/true,
+                                &status);
+  if (top.new_sibling != nullptr) {
+    Node* new_root = new Node();
+    new_root->leaf = false;
+    new_root->keys.push_back(top.separator);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(top.new_sibling);
+    root_ = new_root;
+  }
+}
+
+Result<RecordLocator> BPlusTree::Find(SetId key,
+                                      std::size_t* nodes_visited) const {
+  const Node* n = root_;
+  while (true) {
+    if (nodes_visited != nullptr) ++*nodes_visited;
+    if (n->leaf) break;
+    n = n->children[ChildIndex(n->keys, key)];
+  }
+  const std::size_t pos = LeafFind(n->keys, key);
+  if (pos == n->keys.size()) {
+    return Status::NotFound("key " + std::to_string(key) + " not in tree");
+  }
+  return n->values[pos];
+}
+
+void BPlusTree::RebalanceChild(Node* parent, std::size_t child_idx) {
+  const std::size_t min_keys = max_keys_ / 2;
+  Node* child = parent->children[child_idx];
+  if (child->keys.size() >= min_keys) return;
+
+  Node* left =
+      child_idx > 0 ? parent->children[child_idx - 1] : nullptr;
+  Node* right = child_idx + 1 < parent->children.size()
+                    ? parent->children[child_idx + 1]
+                    : nullptr;
+
+  // Borrow from a sibling with spare keys.
+  if (left != nullptr && left->keys.size() > min_keys) {
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), left->keys.back());
+      child->values.insert(child->values.begin(), left->values.back());
+      left->keys.pop_back();
+      left->values.pop_back();
+      parent->keys[child_idx - 1] = child->keys.front();
+    } else {
+      // Rotate through the parent separator.
+      child->keys.insert(child->keys.begin(), parent->keys[child_idx - 1]);
+      child->children.insert(child->children.begin(), left->children.back());
+      parent->keys[child_idx - 1] = left->keys.back();
+      left->keys.pop_back();
+      left->children.pop_back();
+    }
+    return;
+  }
+  if (right != nullptr && right->keys.size() > min_keys) {
+    if (child->leaf) {
+      child->keys.push_back(right->keys.front());
+      child->values.push_back(right->values.front());
+      right->keys.erase(right->keys.begin());
+      right->values.erase(right->values.begin());
+      parent->keys[child_idx] = right->keys.front();
+    } else {
+      child->keys.push_back(parent->keys[child_idx]);
+      child->children.push_back(right->children.front());
+      parent->keys[child_idx] = right->keys.front();
+      right->keys.erase(right->keys.begin());
+      right->children.erase(right->children.begin());
+    }
+    return;
+  }
+
+  // Merge with a sibling. Normalize so we merge `mergee` into `survivor`
+  // where survivor is the left node.
+  std::size_t sep_idx;
+  Node* survivor;
+  Node* mergee;
+  if (left != nullptr) {
+    survivor = left;
+    mergee = child;
+    sep_idx = child_idx - 1;
+  } else {
+    survivor = child;
+    mergee = right;
+    sep_idx = child_idx;
+  }
+  if (survivor->leaf) {
+    survivor->keys.insert(survivor->keys.end(), mergee->keys.begin(),
+                          mergee->keys.end());
+    survivor->values.insert(survivor->values.end(), mergee->values.begin(),
+                            mergee->values.end());
+    survivor->next = mergee->next;
+  } else {
+    survivor->keys.push_back(parent->keys[sep_idx]);
+    survivor->keys.insert(survivor->keys.end(), mergee->keys.begin(),
+                          mergee->keys.end());
+    survivor->children.insert(survivor->children.end(),
+                              mergee->children.begin(),
+                              mergee->children.end());
+  }
+  parent->keys.erase(parent->keys.begin() +
+                     static_cast<std::ptrdiff_t>(sep_idx));
+  parent->children.erase(parent->children.begin() +
+                         static_cast<std::ptrdiff_t>(sep_idx) + 1);
+  delete mergee;
+}
+
+bool BPlusTree::EraseFrom(Node* n, SetId key) {
+  if (n->leaf) {
+    const std::size_t pos = LeafFind(n->keys, key);
+    if (pos == n->keys.size()) return false;
+    n->keys.erase(n->keys.begin() + static_cast<std::ptrdiff_t>(pos));
+    n->values.erase(n->values.begin() + static_cast<std::ptrdiff_t>(pos));
+    --size_;
+    return true;
+  }
+  const std::size_t ci = ChildIndex(n->keys, key);
+  if (!EraseFrom(n->children[ci], key)) return false;
+  RebalanceChild(n, ci);
+  return true;
+}
+
+Status BPlusTree::Erase(SetId key) {
+  if (!EraseFrom(root_, key)) {
+    return Status::NotFound("key " + std::to_string(key) + " not in tree");
+  }
+  // Shrink the root if it became a passthrough internal node.
+  if (!root_->leaf && root_->keys.empty()) {
+    Node* old = root_;
+    root_ = root_->children.front();
+    old->children.clear();
+    delete old;
+  }
+  return Status::OK();
+}
+
+void BPlusTree::ScanRange(
+    SetId lo, SetId hi,
+    const std::function<bool(SetId, const RecordLocator&)>& visitor) const {
+  // Descend to the leaf that may contain `lo`, then walk the leaf chain.
+  const Node* n = root_;
+  while (!n->leaf) n = n->children[ChildIndex(n->keys, lo)];
+  for (const Node* leaf = n; leaf != nullptr; leaf = leaf->next) {
+    for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      if (leaf->keys[i] > hi) return;
+      if (!visitor(leaf->keys[i], leaf->values[i])) return;
+    }
+  }
+}
+
+std::size_t BPlusTree::height() const {
+  std::size_t h = 1;
+  const Node* n = root_;
+  while (!n->leaf) {
+    n = n->children.front();
+    ++h;
+  }
+  return h;
+}
+
+std::size_t BPlusTree::CountNodes(const Node* n) const {
+  std::size_t count = 1;
+  for (const Node* c : n->children) count += CountNodes(c);
+  return count;
+}
+
+std::size_t BPlusTree::node_count() const { return CountNodes(root_); }
+
+Status BPlusTree::ValidateNode(const Node* n, std::size_t depth,
+                               std::size_t leaf_depth, bool is_root,
+                               SetId* min_key, SetId* max_key) const {
+  const std::size_t min_keys = max_keys_ / 2;
+  if (!std::is_sorted(n->keys.begin(), n->keys.end())) {
+    return Status::Corruption("node keys not sorted");
+  }
+  if (n->keys.size() > max_keys_) {
+    return Status::Corruption("node overflows max_keys");
+  }
+  if (n->leaf) {
+    if (depth != leaf_depth) {
+      return Status::Corruption("leaves at non-uniform depth");
+    }
+    if (!is_root && n->keys.size() < min_keys) {
+      return Status::Corruption("leaf underflow");
+    }
+    if (n->keys.size() != n->values.size()) {
+      return Status::Corruption("leaf keys/values size mismatch");
+    }
+    if (!n->keys.empty()) {
+      *min_key = n->keys.front();
+      *max_key = n->keys.back();
+    }
+    return Status::OK();
+  }
+  if (n->children.size() != n->keys.size() + 1) {
+    return Status::Corruption("internal children/keys arity mismatch");
+  }
+  if (!is_root && n->keys.size() < min_keys) {
+    return Status::Corruption("internal underflow");
+  }
+  if (is_root && n->keys.empty()) {
+    return Status::Corruption("internal root with no keys");
+  }
+  SetId subtree_min = 0, subtree_max = 0;
+  for (std::size_t i = 0; i < n->children.size(); ++i) {
+    SetId cmin = 0, cmax = 0;
+    SSR_RETURN_IF_ERROR(ValidateNode(n->children[i], depth + 1, leaf_depth,
+                                     false, &cmin, &cmax));
+    if (n->children[i]->keys.empty()) {
+      return Status::Corruption("empty non-root node");
+    }
+    // Separator keys[i-1] must lower-bound subtree i; keys[i] must
+    // strictly upper-bound it.
+    if (i > 0 && cmin < n->keys[i - 1]) {
+      return Status::Corruption("subtree violates left separator bound");
+    }
+    if (i < n->keys.size() && cmax >= n->keys[i]) {
+      return Status::Corruption("subtree violates right separator bound");
+    }
+    if (i == 0) subtree_min = cmin;
+    if (i == n->children.size() - 1) subtree_max = cmax;
+  }
+  *min_key = subtree_min;
+  *max_key = subtree_max;
+  return Status::OK();
+}
+
+Status BPlusTree::Validate() const {
+  // Find leaf depth from the leftmost path.
+  std::size_t leaf_depth = 0;
+  const Node* n = root_;
+  while (!n->leaf) {
+    n = n->children.front();
+    ++leaf_depth;
+  }
+  SetId min_key = 0, max_key = 0;
+  SSR_RETURN_IF_ERROR(
+      ValidateNode(root_, 0, leaf_depth, /*is_root=*/true, &min_key, &max_key));
+  // Leaf chain must enumerate exactly size() keys in strictly increasing
+  // order and start at the leftmost leaf.
+  std::size_t count = 0;
+  bool first = true;
+  SetId prev = 0;
+  for (const Node* leaf = n; leaf != nullptr; leaf = leaf->next) {
+    for (SetId k : leaf->keys) {
+      if (!first && k <= prev) {
+        return Status::Corruption("leaf chain out of order");
+      }
+      prev = k;
+      first = false;
+      ++count;
+    }
+  }
+  if (count != size_) {
+    return Status::Corruption("leaf chain count " + std::to_string(count) +
+                              " != size " + std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+}  // namespace ssr

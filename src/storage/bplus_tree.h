@@ -1,0 +1,99 @@
+// B+-tree mapping SetId -> RecordLocator: the "conventional data structure
+// such as a B-tree supporting queries on set identifier" the paper uses to
+// fetch candidate sets after the filter indices produce sids (Section 6).
+//
+// A full implementation with splits, borrow-from-sibling and merge on
+// deletion, range scans, and an exhaustive structural-invariant validator
+// used by the tests. Nodes live in memory; fanout is configurable so tests
+// can force deep trees and exercise every rebalancing path.
+
+#ifndef SSR_STORAGE_BPLUS_TREE_H_
+#define SSR_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "storage/heap_file.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// B+-tree with SetId keys and RecordLocator values. Keys are unique.
+class BPlusTree {
+ public:
+  /// `max_keys` is the maximum number of keys per node (leaf and internal),
+  /// >= 3. The default is sized so a node fills roughly one 4 KiB page
+  /// (4-byte key + 8-byte value/child per entry).
+  explicit BPlusTree(std::size_t max_keys = 256);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  /// Inserts key -> value. Fails with AlreadyExists for duplicate keys.
+  Status Insert(SetId key, const RecordLocator& value);
+
+  /// Inserts or overwrites.
+  void Upsert(SetId key, const RecordLocator& value);
+
+  /// Finds the value of `key`, or NotFound. `nodes_visited`, if non-null,
+  /// is incremented once per node on the search path (used by callers that
+  /// charge I/O for a disk-resident index).
+  Result<RecordLocator> Find(SetId key, std::size_t* nodes_visited = nullptr)
+      const;
+
+  /// True iff the key is present.
+  bool Contains(SetId key) const { return Find(key).ok(); }
+
+  /// Removes `key`, rebalancing as needed. Fails with NotFound if absent.
+  Status Erase(SetId key);
+
+  /// Visits all entries with lo <= key <= hi in key order. Returning false
+  /// from the visitor stops the scan.
+  void ScanRange(SetId lo, SetId hi,
+                 const std::function<bool(SetId, const RecordLocator&)>&
+                     visitor) const;
+
+  /// Number of stored keys.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tree height (1 = the root is a leaf). 0 only conceptually never: an
+  /// empty tree has a single empty leaf root, height 1.
+  std::size_t height() const;
+
+  /// Total number of nodes.
+  std::size_t node_count() const;
+
+  /// Exhaustively checks structural invariants: key ordering, uniform leaf
+  /// depth, node occupancy bounds, separator correctness, and leaf-chain
+  /// consistency. Returns OK or a Corruption status describing the first
+  /// violation. Intended for tests.
+  Status Validate() const;
+
+ private:
+  struct Node;
+  struct InsertResult;
+
+  Node* root_ = nullptr;
+  std::size_t max_keys_;
+  std::size_t size_ = 0;
+
+  void FreeTree(Node* n);
+  InsertResult InsertInto(Node* n, SetId key, const RecordLocator& value,
+                          bool overwrite, Status* status);
+  bool EraseFrom(Node* n, SetId key);
+  void RebalanceChild(Node* parent, std::size_t child_idx);
+  Status ValidateNode(const Node* n, std::size_t depth, std::size_t leaf_depth,
+                      bool is_root, SetId* min_key, SetId* max_key) const;
+  std::size_t CountNodes(const Node* n) const;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_STORAGE_BPLUS_TREE_H_

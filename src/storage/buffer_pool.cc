@@ -1,0 +1,37 @@
+#include "storage/buffer_pool.h"
+
+namespace ssr {
+
+BufferPool::BufferPool(std::size_t capacity_pages)
+    : capacity_(capacity_pages < 1 ? 1 : capacity_pages) {}
+
+bool BufferPool::Access(PageId page_id, bool sequential, IoCostModel& io) {
+  auto it = index_.find(page_id);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++stats_.misses;
+  if (sequential) {
+    io.ChargeSequentialRead();
+  } else {
+    io.ChargeRandomRead();
+  }
+  if (lru_.size() >= capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(page_id);
+  index_[page_id] = lru_.begin();
+  return false;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace ssr

@@ -1,0 +1,209 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "util/serialize.h"
+
+namespace ssr {
+
+std::size_t HeapFile::MaxInlineRecordBytes() {
+  // Header + at least one slot directory entry must fit alongside.
+  return kPageSize - kHeaderBytes - 2;
+}
+
+Page& HeapFile::NewPage() {
+  pages_.emplace_back();
+  is_span_page_.push_back(false);
+  return pages_.back();
+}
+
+PageId HeapFile::CurrentSlottedPage(std::size_t need_bytes) {
+  if (open_slotted_page_ != kInvalidPageId) {
+    const Page& p = pages_[open_slotted_page_];
+    const std::uint16_t slot_count = p.ReadU16(0);
+    const std::uint16_t free_offset = p.ReadU16(2);
+    const std::size_t dir_bytes = 2 * (static_cast<std::size_t>(slot_count) + 1);
+    if (free_offset + need_bytes + dir_bytes <= kPageSize) {
+      return open_slotted_page_;
+    }
+  }
+  Page& p = NewPage();
+  p.WriteU16(0, 0);
+  p.WriteU16(2, kHeaderBytes);
+  open_slotted_page_ = static_cast<PageId>(pages_.size() - 1);
+  return open_slotted_page_;
+}
+
+Result<RecordLocator> HeapFile::Append(SetId sid, const ElementSet& set) {
+  const std::size_t bytes = RecordBytes(set.size());
+  RecordLocator loc;
+  if (bytes <= MaxInlineRecordBytes()) {
+    const PageId pid = CurrentSlottedPage(bytes);
+    Page& p = pages_[pid];
+    const std::uint16_t slot = p.ReadU16(0);
+    const std::uint16_t offset = p.ReadU16(2);
+    p.WriteU32(offset, sid);
+    p.WriteU32(offset + 4, static_cast<std::uint32_t>(set.size()));
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      p.WriteU64(offset + 8 + 8 * i, set[i]);
+    }
+    p.WriteU16(kPageSize - 2 * (static_cast<std::size_t>(slot) + 1), offset);
+    p.WriteU16(0, static_cast<std::uint16_t>(slot + 1));
+    p.WriteU16(2, static_cast<std::uint16_t>(offset + bytes));
+    loc = RecordLocator{pid, slot};
+  } else {
+    // Spanned record: serialize, then copy across dedicated pages.
+    std::vector<std::uint8_t> buf(bytes);
+    std::uint32_t sid32 = sid;
+    std::uint32_t count32 = static_cast<std::uint32_t>(set.size());
+    std::memcpy(buf.data(), &sid32, 4);
+    std::memcpy(buf.data() + 4, &count32, 4);
+    std::memcpy(buf.data() + 8, set.data(), 8 * set.size());
+    const PageId first = static_cast<PageId>(pages_.size());
+    std::size_t written = 0;
+    while (written < bytes) {
+      Page& p = NewPage();
+      is_span_page_.back() = true;
+      const std::size_t chunk =
+          bytes - written < kPageSize ? bytes - written : kPageSize;
+      p.WriteBytes(0, buf.data() + written, chunk);
+      written += chunk;
+    }
+    // A span interrupts the open slotted page only logically; it can still
+    // accept records (pages need not be physically contiguous with it).
+    loc = RecordLocator{first, RecordLocator::kSpannedSlot};
+  }
+  ++num_records_;
+  record_dir_.push_back(loc);
+  return loc;
+}
+
+Result<ElementSet> HeapFile::Read(const RecordLocator& locator, SetId* sid_out,
+                                  std::vector<PageId>* pages_touched) const {
+  if (!locator.valid() || locator.page >= pages_.size()) {
+    return Status::InvalidArgument("record locator out of range");
+  }
+  if (!locator.is_spanned()) {
+    const Page& p = pages_[locator.page];
+    if (is_span_page_[locator.page]) {
+      return Status::Corruption("slotted locator points to span page");
+    }
+    const std::uint16_t slot_count = p.ReadU16(0);
+    if (locator.slot >= slot_count) {
+      return Status::NotFound("slot out of range");
+    }
+    if (pages_touched != nullptr) pages_touched->push_back(locator.page);
+    const std::uint16_t offset =
+        p.ReadU16(kPageSize - 2 * (static_cast<std::size_t>(locator.slot) + 1));
+    const SetId sid = p.ReadU32(offset);
+    const std::uint32_t count = p.ReadU32(offset + 4);
+    if (offset + RecordBytes(count) > kPageSize) {
+      return Status::Corruption("record overruns page");
+    }
+    ElementSet set(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      set[i] = p.ReadU64(offset + 8 + 8 * i);
+    }
+    if (sid_out != nullptr) *sid_out = sid;
+    return set;
+  }
+  // Spanned record.
+  if (!is_span_page_[locator.page]) {
+    return Status::Corruption("spanned locator points to slotted page");
+  }
+  const Page& first = pages_[locator.page];
+  const SetId sid = first.ReadU32(0);
+  const std::uint32_t count = first.ReadU32(4);
+  const std::size_t bytes = RecordBytes(count);
+  const std::size_t num_span_pages = (bytes + kPageSize - 1) / kPageSize;
+  if (locator.page + num_span_pages > pages_.size()) {
+    return Status::Corruption("spanned record overruns file");
+  }
+  std::vector<std::uint8_t> buf(bytes);
+  std::size_t read = 0;
+  for (std::size_t i = 0; i < num_span_pages; ++i) {
+    const PageId pid = locator.page + static_cast<PageId>(i);
+    if (pages_touched != nullptr) pages_touched->push_back(pid);
+    const std::size_t chunk =
+        bytes - read < kPageSize ? bytes - read : kPageSize;
+    pages_[pid].ReadBytes(0, buf.data() + read, chunk);
+    read += chunk;
+  }
+  ElementSet set(count);
+  std::memcpy(set.data(), buf.data() + 8, 8 * count);
+  if (sid_out != nullptr) *sid_out = sid;
+  return set;
+}
+
+namespace {
+constexpr std::uint32_t kHeapFileVersion = 1;
+}  // namespace
+
+Status HeapFile::SaveTo(std::ostream& out) const {
+  BinaryWriter writer(out);
+  writer.WriteString("SSRHEAP");
+  writer.WriteU32(kHeapFileVersion);
+  writer.WriteU64(pages_.size());
+  for (const Page& p : pages_) {
+    out.write(reinterpret_cast<const char*>(p.data()),
+              static_cast<std::streamsize>(kPageSize));
+  }
+  std::vector<std::uint8_t> span_bytes(is_span_page_.size());
+  for (std::size_t i = 0; i < is_span_page_.size(); ++i) {
+    span_bytes[i] = is_span_page_[i] ? 1 : 0;
+  }
+  writer.WriteVector(span_bytes);
+  writer.WriteVector(record_dir_);
+  writer.WriteU32(open_slotted_page_);
+  writer.WriteU64(num_records_);
+  if (!writer.ok()) return Status::Internal("heap file write failed");
+  return Status::OK();
+}
+
+Result<HeapFile> HeapFile::LoadFrom(std::istream& in) {
+  BinaryReader reader(in);
+  std::string magic;
+  SSR_RETURN_IF_ERROR(reader.ReadString(&magic));
+  if (magic != "SSRHEAP") return Status::Corruption("bad heap file magic");
+  std::uint32_t version = 0;
+  SSR_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kHeapFileVersion) {
+    return Status::NotSupported("unknown heap file version");
+  }
+  HeapFile file;
+  std::uint64_t num_pages = 0;
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&num_pages));
+  file.pages_.resize(num_pages);
+  for (Page& p : file.pages_) {
+    in.read(reinterpret_cast<char*>(p.data()),
+            static_cast<std::streamsize>(kPageSize));
+    if (!in.good()) return Status::Corruption("truncated heap pages");
+  }
+  std::vector<std::uint8_t> span_bytes;
+  SSR_RETURN_IF_ERROR(reader.ReadVector(&span_bytes));
+  if (span_bytes.size() != file.pages_.size()) {
+    return Status::Corruption("span bitmap size mismatch");
+  }
+  file.is_span_page_.assign(span_bytes.begin(), span_bytes.end());
+  SSR_RETURN_IF_ERROR(reader.ReadVector(&file.record_dir_));
+  std::uint32_t open_page = 0;
+  SSR_RETURN_IF_ERROR(reader.ReadU32(&open_page));
+  file.open_slotted_page_ = open_page;
+  std::uint64_t num_records = 0;
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&num_records));
+  file.num_records_ = static_cast<std::size_t>(num_records);
+  return file;
+}
+
+void HeapFile::Scan(const std::function<bool(SetId, const ElementSet&,
+                                             const RecordLocator&)>& visitor)
+    const {
+  for (const RecordLocator& loc : record_dir_) {
+    SetId sid = kInvalidSetId;
+    auto result = Read(loc, &sid, nullptr);
+    if (!result.ok()) continue;  // skip corrupt entries defensively
+    if (!visitor(sid, result.value(), loc)) return;
+  }
+}
+
+}  // namespace ssr

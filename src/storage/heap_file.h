@@ -1,0 +1,98 @@
+// Heap file of set records over slotted pages. Records that fit in one page
+// go into shared slotted pages; oversized records get a dedicated run of
+// consecutive pages (TOAST-style spanning), so arbitrary set cardinalities
+// are supported — the paper explicitly refuses to bound set sizes.
+//
+// Record wire format: u32 sid, u32 element_count, element_count * u64.
+
+#ifndef SSR_STORAGE_HEAP_FILE_H_
+#define SSR_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// Where a record lives. slot == kSpannedSlot marks a spanned record whose
+/// bytes start at `page` and continue through consecutive pages.
+struct RecordLocator {
+  PageId page = kInvalidPageId;
+  std::uint16_t slot = 0;
+
+  static constexpr std::uint16_t kSpannedSlot = 0xffff;
+  bool is_spanned() const { return slot == kSpannedSlot; }
+  bool valid() const { return page != kInvalidPageId; }
+  bool operator==(const RecordLocator&) const = default;
+};
+
+/// Append-only heap file (deletes are handled above, in SetStore, by
+/// unlinking from the sid index; space is not reclaimed, as in a classic
+/// heap file without vacuum).
+class HeapFile {
+ public:
+  HeapFile() = default;
+
+  /// Appends a record; returns its locator. Fails only on absurd sizes
+  /// (> 2^32 pages).
+  Result<RecordLocator> Append(SetId sid, const ElementSet& set);
+
+  /// Reads the record at `locator`. `pages_touched`, if non-null, receives
+  /// the ids of every page the read touched (the caller charges I/O through
+  /// its buffer pool). Fails on invalid locators or corrupt slots.
+  Result<ElementSet> Read(const RecordLocator& locator, SetId* sid_out,
+                          std::vector<PageId>* pages_touched) const;
+
+  /// Visits all records in file order (sequential). The visitor sees every
+  /// record ever appended, including ones later deleted by SetStore; the
+  /// caller filters. Returning false from the visitor stops the scan.
+  void Scan(const std::function<bool(SetId, const ElementSet&,
+                                     const RecordLocator&)>& visitor) const;
+
+  /// Number of allocated pages.
+  std::size_t num_pages() const { return pages_.size(); }
+
+  /// Number of records appended.
+  std::size_t num_records() const { return num_records_; }
+
+  /// Direct page access for the buffer pool. `id` must be < num_pages().
+  const Page& page(PageId id) const { return pages_[id]; }
+
+  /// Writes the file (pages + record directory) to a binary stream and
+  /// reads it back. Round-trips exactly; see util/serialize.h.
+  Status SaveTo(std::ostream& out) const;
+  static Result<HeapFile> LoadFrom(std::istream& in);
+
+  /// Serialized size in bytes of a record for a set of `n` elements.
+  static std::size_t RecordBytes(std::size_t n) { return 8 + 8 * n; }
+
+  /// Max record bytes that fit in a shared slotted page.
+  static std::size_t MaxInlineRecordBytes();
+
+ private:
+  // Slotted page layout: [u16 slot_count][u16 free_offset][records...]
+  // [... slot dir grows from page end: u16 record_offset per slot].
+  static constexpr std::size_t kHeaderBytes = 4;
+
+  Page& NewPage();
+  // Returns the page currently open for small-record appends, or creates one.
+  PageId CurrentSlottedPage(std::size_t need_bytes);
+
+  std::vector<Page> pages_;
+  // Pages used as spanned-record storage (not slotted). Parallel to pages_.
+  std::vector<bool> is_span_page_;
+  // Locator of every record in append order, driving Scan().
+  std::vector<RecordLocator> record_dir_;
+  PageId open_slotted_page_ = kInvalidPageId;
+  std::size_t num_records_ = 0;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_STORAGE_HEAP_FILE_H_

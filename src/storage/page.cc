@@ -1,0 +1,54 @@
+#include "storage/page.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ssr {
+
+std::uint16_t Page::ReadU16(std::size_t offset) const {
+  assert(offset + 2 <= kPageSize);
+  std::uint16_t v;
+  std::memcpy(&v, data_.data() + offset, sizeof(v));
+  return v;
+}
+
+std::uint32_t Page::ReadU32(std::size_t offset) const {
+  assert(offset + 4 <= kPageSize);
+  std::uint32_t v;
+  std::memcpy(&v, data_.data() + offset, sizeof(v));
+  return v;
+}
+
+std::uint64_t Page::ReadU64(std::size_t offset) const {
+  assert(offset + 8 <= kPageSize);
+  std::uint64_t v;
+  std::memcpy(&v, data_.data() + offset, sizeof(v));
+  return v;
+}
+
+void Page::WriteU16(std::size_t offset, std::uint16_t v) {
+  assert(offset + 2 <= kPageSize);
+  std::memcpy(data_.data() + offset, &v, sizeof(v));
+}
+
+void Page::WriteU32(std::size_t offset, std::uint32_t v) {
+  assert(offset + 4 <= kPageSize);
+  std::memcpy(data_.data() + offset, &v, sizeof(v));
+}
+
+void Page::WriteU64(std::size_t offset, std::uint64_t v) {
+  assert(offset + 8 <= kPageSize);
+  std::memcpy(data_.data() + offset, &v, sizeof(v));
+}
+
+void Page::ReadBytes(std::size_t offset, void* out, std::size_t len) const {
+  assert(offset + len <= kPageSize);
+  std::memcpy(out, data_.data() + offset, len);
+}
+
+void Page::WriteBytes(std::size_t offset, const void* src, std::size_t len) {
+  assert(offset + len <= kPageSize);
+  std::memcpy(data_.data() + offset, src, len);
+}
+
+}  // namespace ssr

@@ -1,0 +1,161 @@
+#include "storage/set_store.h"
+
+#include "util/serialize.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+
+SetStore::SetStore(SetStoreOptions options)
+    : options_(options),
+      btree_(options.btree_max_keys),
+      pool_(options.buffer_pool_pages),
+      io_(options.io) {}
+
+Result<SetId> SetStore::Add(const ElementSet& set) {
+  if (!IsNormalizedSet(set)) {
+    return Status::InvalidArgument("set must be sorted and duplicate-free");
+  }
+  const SetId sid = next_sid_++;
+  auto loc = file_.Append(sid, set);
+  if (!loc.ok()) return loc.status();
+  SSR_RETURN_IF_ERROR(btree_.Insert(sid, loc.value()));
+  // Appends dirty the tail page(s); charge them as sequential writes.
+  io_.ChargeWrite(1);
+  live_bytes_ += HeapFile::RecordBytes(set.size());
+  return sid;
+}
+
+Result<ElementSet> SetStore::Get(SetId sid) {
+  std::size_t nodes = 0;
+  auto loc = btree_.Find(sid, &nodes);
+  if (!loc.ok()) return loc.status();
+  if (options_.charge_btree_io) {
+    io_.ChargeRandomRead(nodes);
+  }
+  std::vector<PageId> touched;
+  SetId stored_sid = kInvalidSetId;
+  auto set = file_.Read(loc.value(), &stored_sid, &touched);
+  if (!set.ok()) return set.status();
+  if (stored_sid != sid) {
+    return Status::Corruption("sid mismatch in heap record");
+  }
+  for (PageId pid : touched) {
+    pool_.Access(pid, /*sequential=*/false, io_);
+  }
+  return set;
+}
+
+Status SetStore::Delete(SetId sid) {
+  std::size_t dummy = 0;
+  auto loc = btree_.Find(sid, &dummy);
+  if (!loc.ok()) return loc.status();
+  SSR_RETURN_IF_ERROR(btree_.Erase(sid));
+  return Status::OK();
+}
+
+void SetStore::ScanAll(
+    const std::function<bool(SetId, const ElementSet&)>& visitor) {
+  // A full-file scan touches every page once, sequentially. Charge pages as
+  // the record cursor crosses them rather than via the pool: sequential
+  // scans bypass the (small) pool in real systems to avoid cache pollution.
+  PageId last_charged = kInvalidPageId;
+  bool stopped = false;
+  file_.Scan([&](SetId sid, const ElementSet& set, const RecordLocator& loc) {
+    if (stopped) return false;
+    // Charge every page from the previous cursor position through this
+    // record's last page.
+    std::size_t span_pages = 1;
+    if (loc.is_spanned()) {
+      span_pages =
+          (HeapFile::RecordBytes(set.size()) + kPageSize - 1) / kPageSize;
+    }
+    const PageId first = loc.page;
+    const PageId last = loc.page + static_cast<PageId>(span_pages) - 1;
+    if (last_charged == kInvalidPageId || first > last_charged) {
+      io_.ChargeSequentialRead(last - first + 1);
+      last_charged = last;
+    } else if (last > last_charged) {
+      io_.ChargeSequentialRead(last - last_charged);
+      last_charged = last;
+    }
+    if (!btree_.Contains(sid)) return true;  // deleted: skip, keep scanning
+    if (!visitor(sid, set)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  });
+}
+
+double SetStore::AvgSetPages() const {
+  if (btree_.empty()) return 0.0;
+  const double bytes_per_set =
+      static_cast<double>(live_bytes_) / static_cast<double>(next_sid_);
+  return bytes_per_set / static_cast<double>(kPageSize);
+}
+
+namespace {
+constexpr std::uint32_t kSetStoreVersion = 1;
+}  // namespace
+
+Status SetStore::SaveTo(std::ostream& out) const {
+  BinaryWriter writer(out);
+  writer.WriteString("SSRSTORE");
+  writer.WriteU32(kSetStoreVersion);
+  writer.WriteU32(next_sid_);
+  writer.WriteU64(live_bytes_);
+  // Live sids (the B+-tree contents; locators are re-derivable from the
+  // heap's record directory but are stored for integrity checking).
+  std::vector<SetId> live;
+  std::vector<RecordLocator> locators;
+  btree_.ScanRange(0, next_sid_ == 0 ? 0 : next_sid_ - 1,
+                   [&](SetId sid, const RecordLocator& loc) {
+                     live.push_back(sid);
+                     locators.push_back(loc);
+                     return true;
+                   });
+  writer.WriteVector(live);
+  writer.WriteVector(locators);
+  if (!writer.ok()) return Status::Internal("store header write failed");
+  return file_.SaveTo(out);
+}
+
+Result<SetStore> SetStore::Load(std::istream& in, SetStoreOptions options) {
+  BinaryReader reader(in);
+  std::string magic;
+  SSR_RETURN_IF_ERROR(reader.ReadString(&magic));
+  if (magic != "SSRSTORE") return Status::Corruption("bad store magic");
+  std::uint32_t version = 0;
+  SSR_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kSetStoreVersion) {
+    return Status::NotSupported("unknown store version");
+  }
+  SetStore store(options);
+  SSR_RETURN_IF_ERROR(reader.ReadU32(&store.next_sid_));
+  SSR_RETURN_IF_ERROR(reader.ReadU64(&store.live_bytes_));
+  std::vector<SetId> live;
+  std::vector<RecordLocator> locators;
+  SSR_RETURN_IF_ERROR(reader.ReadVector(&live));
+  SSR_RETURN_IF_ERROR(reader.ReadVector(&locators));
+  if (live.size() != locators.size()) {
+    return Status::Corruption("live/locator size mismatch");
+  }
+  auto file = HeapFile::LoadFrom(in);
+  if (!file.ok()) return file.status();
+  store.file_ = std::move(file).value();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i] >= store.next_sid_) {
+      return Status::Corruption("live sid beyond next_sid");
+    }
+    SSR_RETURN_IF_ERROR(store.btree_.Insert(live[i], locators[i]));
+  }
+  return store;
+}
+
+void SetStore::ResetIoAccounting() {
+  pool_.Clear();
+  pool_.ResetStats();
+  io_.Reset();
+}
+
+}  // namespace ssr

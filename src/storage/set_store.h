@@ -1,0 +1,108 @@
+// SetStore: the disk-resident set collection. Composes the heap file (record
+// storage), the B+-tree (sid -> record locator, the "conventional data
+// structure supporting queries on set identifier" of Section 6), the buffer
+// pool, and the I/O cost model. This is what both query paths touch:
+//   - the index path fetches candidate sets by sid (random reads), and
+//   - the sequential-scan baseline reads every page in file order.
+
+#ifndef SSR_STORAGE_SET_STORE_H_
+#define SSR_STORAGE_SET_STORE_H_
+
+#include <functional>
+#include <istream>
+#include <ostream>
+
+#include "storage/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/io_cost_model.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// SetStore construction options.
+struct SetStoreOptions {
+  /// Buffer pool capacity in pages. Small relative to the collection keeps
+  /// the workload disk-bound, as in the paper's setup.
+  std::size_t buffer_pool_pages = 256;
+
+  /// Simulated I/O cost parameters (seq/random page cost).
+  IoCostParams io;
+
+  /// Max keys per B+-tree node.
+  std::size_t btree_max_keys = 256;
+
+  /// Whether B+-tree traversals charge random reads per node visited
+  /// (index assumed disk-resident). Default false: the paper keeps the sid
+  /// index hot and counts data-page I/O only.
+  bool charge_btree_io = false;
+};
+
+/// Mutable collection of sets with paged storage and I/O accounting.
+/// Not thread-safe.
+class SetStore {
+ public:
+  explicit SetStore(SetStoreOptions options = SetStoreOptions());
+
+  /// Adds a set, assigning the next dense SetId. `set` must be normalized
+  /// (sorted unique); InvalidArgument otherwise.
+  Result<SetId> Add(const ElementSet& set);
+
+  /// Fetches a set by sid through the buffer pool, charging random reads
+  /// on misses. NotFound for deleted/unknown sids.
+  Result<ElementSet> Get(SetId sid);
+
+  /// Removes a set from the collection (unlinks it from the sid index; heap
+  /// space is not reclaimed, as in a heap file without vacuum).
+  Status Delete(SetId sid);
+
+  /// True iff sid currently maps to a live record.
+  bool Contains(SetId sid) const { return btree_.Contains(sid); }
+
+  /// Visits every live set in file order, charging one sequential read per
+  /// distinct page in file order (the cost of a full-file scan). Returning
+  /// false stops the scan early (the cost of remaining pages is not
+  /// charged).
+  void ScanAll(const std::function<bool(SetId, const ElementSet&)>& visitor);
+
+  /// Number of live sets.
+  std::size_t size() const { return btree_.size(); }
+
+  /// Total heap-file pages (the sequential-scan cost in pages).
+  std::size_t num_pages() const { return file_.num_pages(); }
+
+  /// Average live-record size in pages (fractional); the paper's crossover
+  /// bound |Q| < |S| * a / rtn uses this "a".
+  double AvgSetPages() const;
+
+  IoCostModel& io() { return io_; }
+  const IoCostModel& io() const { return io_; }
+  BufferPool& buffer_pool() { return pool_; }
+  const BPlusTree& btree() const { return btree_; }
+  const HeapFile& file() const { return file_; }
+
+  /// Drops the buffer pool contents and zeroes I/O counters (between
+  /// experiment phases).
+  void ResetIoAccounting();
+
+  /// Persists the collection (heap file + live-set index) to a binary
+  /// stream; Load reconstructs it under fresh `options` (buffer pool and
+  /// I/O accounting start empty). Round-trips all live and deleted state.
+  Status SaveTo(std::ostream& out) const;
+  static Result<SetStore> Load(std::istream& in,
+                               SetStoreOptions options = SetStoreOptions());
+
+ private:
+  SetStoreOptions options_;
+  HeapFile file_;
+  BPlusTree btree_;
+  BufferPool pool_;
+  IoCostModel io_;
+  SetId next_sid_ = 0;
+  std::uint64_t live_bytes_ = 0;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_STORAGE_SET_STORE_H_

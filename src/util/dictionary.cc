@@ -1,0 +1,39 @@
+#include "util/dictionary.h"
+
+#include "util/set_ops.h"
+
+namespace ssr {
+
+ElementId Dictionary::Intern(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  const ElementId id = static_cast<ElementId>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+Result<ElementId> Dictionary::Lookup(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  if (it == ids_.end()) {
+    return Status::NotFound("token not interned: " + std::string(token));
+  }
+  return it->second;
+}
+
+Result<std::string> Dictionary::Resolve(ElementId id) const {
+  if (id >= tokens_.size()) {
+    return Status::NotFound("element id out of range");
+  }
+  return tokens_[static_cast<std::size_t>(id)];
+}
+
+ElementSet Dictionary::InternSet(const std::vector<std::string>& tokens) {
+  ElementSet out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(Intern(t));
+  NormalizeSet(out);
+  return out;
+}
+
+}  // namespace ssr

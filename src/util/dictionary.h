@@ -1,0 +1,48 @@
+// Dictionary: bidirectional mapping between external element representations
+// (strings: URLs, book titles, words) and dense ElementIds. The paper does
+// not assume the element universe is known in advance; the dictionary grows
+// as elements are first seen, which is exactly that model.
+
+#ifndef SSR_UTIL_DICTIONARY_H_
+#define SSR_UTIL_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// Interns strings to ElementIds (dense, assigned in first-seen order) and
+/// resolves ids back to strings. Not thread-safe.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id of `token`, interning it if unseen.
+  ElementId Intern(std::string_view token);
+
+  /// Returns the id of `token` if present, or NotFound.
+  Result<ElementId> Lookup(std::string_view token) const;
+
+  /// Returns the token for `id`, or NotFound if out of range.
+  Result<std::string> Resolve(ElementId id) const;
+
+  /// Converts a list of tokens into a normalized ElementSet, interning all
+  /// unseen tokens.
+  ElementSet InternSet(const std::vector<std::string>& tokens);
+
+  /// Number of distinct interned tokens.
+  std::size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, ElementId> ids_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_DICTIONARY_H_

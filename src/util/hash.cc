@@ -1,0 +1,34 @@
+#include "util/hash.h"
+
+namespace ssr {
+
+std::uint64_t HashBytes(std::string_view bytes, std::uint64_t seed) {
+  // FNV-1a over the bytes, then a strong final mix so short keys avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ SplitMix64(seed);
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Fmix64(h);
+}
+
+HashFamily::HashFamily(std::size_t count, std::uint64_t master_seed) {
+  seeds_.reserve(count);
+  std::uint64_t state = master_seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    state = SplitMix64(state + 0x632be59bd9b4e019ULL);
+    seeds_.push_back(state);
+  }
+}
+
+TabulationHash::TabulationHash(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& table : table_) {
+    for (auto& entry : table) {
+      state = SplitMix64(state + 0x9e3779b97f4a7c15ULL);
+      entry = state;
+    }
+  }
+}
+
+}  // namespace ssr

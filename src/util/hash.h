@@ -1,0 +1,98 @@
+// Hashing substrate: 64-bit mixers and seeded hash families. Min-wise
+// permutations (minhash/) and the filter-index hash tables (core/) are both
+// built on these primitives, so their statistical quality matters: all mixers
+// here pass avalanche sanity tests (tests/util/hash_test.cc).
+
+#ifndef SSR_UTIL_HASH_H_
+#define SSR_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ssr {
+
+/// SplitMix64 finalizer: a strong 64->64 bit mixer (Vigna, 2015). Stateless
+/// and invertible; the workhorse for seed derivation and integer hashing.
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Murmur3-style 64-bit finalizer (fmix64). Used where an independent mixing
+/// family from SplitMix64 is desirable.
+inline std::uint64_t Fmix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hashes a 64-bit key under a 64-bit seed. Different seeds give hash
+/// functions that behave as if drawn independently from a universal family.
+inline std::uint64_t HashU64(std::uint64_t key, std::uint64_t seed) {
+  return Fmix64(key ^ SplitMix64(seed));
+}
+
+/// Combines two hash values (boost::hash_combine-style, 64-bit).
+inline std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
+  return h ^ (SplitMix64(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// Hashes an arbitrary byte string (FNV-1a core + final mixing). Used by
+/// Dictionary to map external element representations to ElementIds.
+std::uint64_t HashBytes(std::string_view bytes, std::uint64_t seed = 0);
+
+/// A seeded family of hash functions over 64-bit keys. Instance i of the
+/// family is HashU64(key, seed_i) with seeds derived from a master seed.
+/// MinHasher uses one instance per min-wise permutation.
+class HashFamily {
+ public:
+  /// Creates `count` hash functions derived from `master_seed`.
+  HashFamily(std::size_t count, std::uint64_t master_seed);
+
+  /// Number of functions in the family.
+  std::size_t size() const { return seeds_.size(); }
+
+  /// Evaluates function `i` on `key`.
+  std::uint64_t Hash(std::size_t i, std::uint64_t key) const {
+    return HashU64(key, seeds_[i]);
+  }
+
+  /// The seed of function `i` (exposed for serialization/tests).
+  std::uint64_t seed(std::size_t i) const { return seeds_[i]; }
+
+ private:
+  std::vector<std::uint64_t> seeds_;
+};
+
+/// Tabulation hashing over 64-bit keys: 8 lookup tables of 256 random 64-bit
+/// entries, XORed per input byte. 3-independent and extremely fast; provided
+/// as an alternative implementation of "random permutation via hashing" with
+/// stronger independence guarantees than multiplicative mixing.
+class TabulationHash {
+ public:
+  /// Builds the 8x256 tables deterministically from `seed`.
+  explicit TabulationHash(std::uint64_t seed);
+
+  /// Hashes a 64-bit key.
+  std::uint64_t Hash(std::uint64_t key) const {
+    std::uint64_t h = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= table_[byte][(key >> (8 * byte)) & 0xff];
+    }
+    return h;
+  }
+
+ private:
+  std::uint64_t table_[8][256];
+};
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_HASH_H_

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Benchmarks and the optimizer use it to narrate
+// construction decisions; default level is kWarning so library use is quiet.
+
+#ifndef SSR_UTIL_LOGGING_H_
+#define SSR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ssr {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line to stderr if `level` >= the global level.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style builder used by the SSR_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: SSR_LOG(kInfo) << "built " << n << " tables";
+#define SSR_LOG(severity) \
+  ::ssr::internal::LogLine(::ssr::LogLevel::severity)
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_LOGGING_H_

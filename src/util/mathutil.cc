@@ -1,0 +1,79 @@
+#include "util/mathutil.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssr {
+
+std::uint64_t NextPowerOfTwo(std::uint64_t x) {
+  if (x <= 1) return 1;
+  --x;
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  x |= x >> 32;
+  return x + 1;
+}
+
+int FloorLog2(std::uint64_t x) {
+  int r = -1;
+  while (x != 0) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+double IntegrateMidpoint(const std::function<double(double)>& f, double a,
+                         double b, std::size_t steps) {
+  if (steps == 0 || b <= a) return 0.0;
+  const double h = (b - a) / static_cast<double>(steps);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    acc += f(a + (static_cast<double>(i) + 0.5) * h);
+  }
+  return acc * h;
+}
+
+double ChernoffTwoSidedBound(std::size_t n, double p, double eps) {
+  const double mu = static_cast<double>(n) * p;
+  return std::min(1.0, 2.0 * std::exp(-mu * eps * eps / 3.0));
+}
+
+std::size_t MinHashesForAccuracy(double s, double eps, double delta) {
+  // Solve 2·exp(−k·s·(eps/s)²/3) <= delta for k where the deviation is an
+  // absolute ±eps around mean k·s: relative factor eps/s.
+  s = Clamp(s, 1e-9, 1.0);
+  eps = std::max(eps, 1e-9);
+  delta = Clamp(delta, 1e-12, 1.0);
+  const double rel = eps / s;
+  const double k = 3.0 * std::log(2.0 / delta) / (s * rel * rel);
+  return static_cast<std::size_t>(std::ceil(k));
+}
+
+double BinomialUpperTail(std::size_t n, double p, std::size_t t) {
+  if (t == 0) return 1.0;
+  if (t > n) return 0.0;
+  p = Clamp(p, 0.0, 1.0);
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // Incremental pmf: pmf(0) = (1-p)^n, pmf(i+1) = pmf(i)·(n-i)/(i+1)·p/(1-p).
+  // Work in log space to start, then accumulate linearly.
+  double log_pmf = static_cast<double>(n) * std::log1p(-p);
+  double pmf = std::exp(log_pmf);
+  double below = 0.0;  // P(X < t)
+  const double ratio = p / (1.0 - p);
+  for (std::size_t i = 0; i < t; ++i) {
+    below += pmf;
+    pmf *= ratio * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return Clamp(1.0 - below, 0.0, 1.0);
+}
+
+}  // namespace ssr

@@ -1,0 +1,48 @@
+// Small numeric helpers shared by the optimizer and the filter-function
+// analysis: numeric integration over histograms, binomial/Chernoff tails,
+// power-of-two utilities.
+
+#ifndef SSR_UTIL_MATHUTIL_H_
+#define SSR_UTIL_MATHUTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ssr {
+
+/// Smallest power of two >= x (x = 0 maps to 1).
+std::uint64_t NextPowerOfTwo(std::uint64_t x);
+
+/// True iff x is a power of two (x > 0).
+inline bool IsPowerOfTwo(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x > 0.
+int FloorLog2(std::uint64_t x);
+
+/// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// Numerically integrates f over [a, b] with `steps` midpoint-rule panels.
+/// The optimizer uses this for the expected false positive/negative
+/// integrals (Definitions 6 and 7 of the paper).
+double IntegrateMidpoint(const std::function<double(double)>& f, double a,
+                         double b, std::size_t steps = 256);
+
+/// Two-sided Chernoff bound for a Binomial(n, p) deviating from its mean by
+/// a relative factor eps: P(|X − np| >= eps·np) <= 2·exp(−np·eps²/3).
+/// Used to bound min-hash signature estimation error (Section 3.1).
+double ChernoffTwoSidedBound(std::size_t n, double p, double eps);
+
+/// Number of min-hash values k needed so the signature-based similarity
+/// estimate is within ±eps of the true similarity s with probability at
+/// least 1 − delta (inverted Chernoff bound, conservative).
+std::size_t MinHashesForAccuracy(double s, double eps, double delta);
+
+/// Exact binomial tail P(X >= t) for X ~ Binomial(n, p); O(n) time with
+/// incremental pmf evaluation. n is expected to be small (<= a few thousand).
+double BinomialUpperTail(std::size_t n, double p, std::size_t t);
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_MATHUTIL_H_

@@ -1,0 +1,124 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace ssr {
+
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the seed through SplitMix64 as recommended by the xoshiro authors;
+  // guarantees a nonzero state.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    sm += 0x9e3779b97f4a7c15ULL;
+    word = SplitMix64(sm);
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Uniform(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with rejection to remove bias.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInRange(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+  return lo + static_cast<std::int64_t>(Uniform(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
+                                                         std::size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: k iterations, set membership via sorted probing of a
+  // small vector (k is small in all our uses).
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = Uniform(j + 1);
+    bool seen = false;
+    for (std::uint64_t v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  Shuffle(out);
+  return out;
+}
+
+Rng Rng::Fork() {
+  return Rng(Next() ^ 0x5851f42d4c957f2dULL);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha)
+    : alpha_(alpha) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf_[r] = acc;
+  }
+  const double total = acc;
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against floating point shortfall
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // Binary search for the first rank whose CDF covers u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ssr

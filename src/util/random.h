@@ -1,0 +1,87 @@
+// Deterministic random number generation. Everything in this library that is
+// randomized (min-wise permutations, bit sampling, workload synthesis) is
+// seeded explicitly so experiments are reproducible bit-for-bit.
+
+#ifndef SSR_UTIL_RANDOM_H_
+#define SSR_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssr {
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, 2^256-1 period.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(std::uint64_t seed = 0xbadc0ffee0ddf00dULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next 64 random bits.
+  std::uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// nearly-divisionless technique (unbiased).
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Samples `k` distinct values from [0, n) (floyd's algorithm; returned in
+  /// random order). Requires k <= n.
+  std::vector<std::uint64_t> SampleWithoutReplacement(std::uint64_t n,
+                                                      std::size_t k);
+
+  /// Fisher-Yates shuffle of a vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Forks an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(N, alpha) sampler over ranks {0, .., n-1}: rank r is drawn with
+/// probability proportional to 1/(r+1)^alpha. Used by the web-log workload
+/// generator to model heavy-tailed URL popularity. Precomputes the CDF once
+/// (O(n) space) and samples by binary search (O(log n)).
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1, `alpha` >= 0 (alpha = 0 degenerates to uniform).
+  ZipfDistribution(std::size_t n, double alpha);
+
+  /// Draws one rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_RANDOM_H_

@@ -1,0 +1,76 @@
+// Result<T>: a Status, or a value of type T. The value-or-error companion of
+// status.h (analogous to absl::StatusOr / rocksdb's StatusOr patterns).
+
+#ifndef SSR_UTIL_RESULT_H_
+#define SSR_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ssr {
+
+/// Holds either a value of type T (status is OK) or a non-OK Status.
+/// Accessing the value of a failed Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Value accessors; valid only when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when the result failed.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+/// Usable only in functions returning Status.
+#define SSR_ASSIGN_OR_RETURN(lhs, expr)              \
+  do {                                               \
+    auto _ssr_result = (expr);                       \
+    if (!_ssr_result.ok()) return _ssr_result.status(); \
+    lhs = std::move(_ssr_result).value();            \
+  } while (0)
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_RESULT_H_

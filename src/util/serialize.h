@@ -1,0 +1,115 @@
+// Minimal binary (de)serialization: little-endian scalars, length-prefixed
+// vectors and strings, over std::ostream/std::istream. Used by the storage
+// and index persistence layers (SetStore::SaveTo / SetSimilarityIndex::
+// SaveTo). Deliberately simple: fixed-width integers only, explicit
+// versioned headers at the call sites, no reflection.
+
+#ifndef SSR_UTIL_SERIALIZE_H_
+#define SSR_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <type_traits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssr {
+
+/// Writes little-endian scalars and length-prefixed containers.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(&out) {}
+
+  void WriteU8(std::uint8_t v) { WriteRaw(&v, 1); }
+  void WriteU16(std::uint16_t v) { WriteRaw(&v, 2); }
+  void WriteU32(std::uint32_t v) { WriteRaw(&v, 4); }
+  void WriteU64(std::uint64_t v) { WriteRaw(&v, 8); }
+  void WriteDouble(double v) { WriteRaw(&v, 8); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "WriteVector needs a trivially copyable element type");
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// True iff every write so far succeeded.
+  bool ok() const { return out_->good(); }
+
+ private:
+  void WriteRaw(const void* data, std::size_t len) {
+    out_->write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(len));
+  }
+  std::ostream* out_;
+};
+
+/// Reads what BinaryWriter wrote. Every accessor returns a Status-checked
+/// value via output parameter so truncated/corrupt streams surface as
+/// errors, not garbage.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(&in) {}
+
+  Status ReadU8(std::uint8_t* v) { return ReadRaw(v, 1); }
+  Status ReadU16(std::uint16_t* v) { return ReadRaw(v, 2); }
+  Status ReadU32(std::uint32_t* v) { return ReadRaw(v, 4); }
+  Status ReadU64(std::uint64_t* v) { return ReadRaw(v, 8); }
+  Status ReadDouble(double* v) { return ReadRaw(v, 8); }
+  Status ReadBool(bool* v) {
+    std::uint8_t byte = 0;
+    SSR_RETURN_IF_ERROR(ReadU8(&byte));
+    *v = byte != 0;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* s) {
+    std::uint64_t size = 0;
+    SSR_RETURN_IF_ERROR(ReadU64(&size));
+    if (size > kSanityLimit) {
+      return Status::Corruption("string length exceeds sanity limit");
+    }
+    s->resize(static_cast<std::size_t>(size));
+    return ReadRaw(s->data(), s->size());
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ReadVector needs a trivially copyable element type");
+    std::uint64_t size = 0;
+    SSR_RETURN_IF_ERROR(ReadU64(&size));
+    if (size * sizeof(T) > kSanityLimit) {
+      return Status::Corruption("vector length exceeds sanity limit");
+    }
+    v->resize(static_cast<std::size_t>(size));
+    return ReadRaw(v->data(), v->size() * sizeof(T));
+  }
+
+ private:
+  // 16 GiB: anything larger in a single field is corruption, not data.
+  static constexpr std::uint64_t kSanityLimit = 16ULL << 30;
+
+  Status ReadRaw(void* data, std::size_t len) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+    if (!in_->good() && len > 0) {
+      return Status::Corruption("unexpected end of stream");
+    }
+    return Status::OK();
+  }
+  std::istream* in_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_SERIALIZE_H_

@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace ssr {
+
+std::string_view StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kInternal:
+      return "Internal";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kCorruption:
+      return "Corruption";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace ssr

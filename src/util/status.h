@@ -1,0 +1,109 @@
+// RocksDB-style Status: cheap, exception-free error propagation across the
+// public API. Functions that can fail return Status (or Result<T>, see
+// result.h) instead of throwing.
+
+#ifndef SSR_UTIL_STATUS_H_
+#define SSR_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ssr {
+
+/// Outcome of an operation. Default-constructed Status is OK. Non-OK
+/// statuses carry a code and a human-readable message.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kAlreadyExists,
+    kFailedPrecondition,
+    kResourceExhausted,
+    kInternal,
+    kNotSupported,
+    kCorruption,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(Code code, std::string_view message)
+      : code_(code), message_(message) {}
+
+  // Named constructors, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Human-readable name of a status code ("InvalidArgument", ...).
+std::string_view StatusCodeName(Status::Code code);
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning Status.
+#define SSR_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::ssr::Status _ssr_status = (expr);      \
+    if (!_ssr_status.ok()) return _ssr_status; \
+  } while (0)
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_STATUS_H_

@@ -1,0 +1,16 @@
+#include "util/stopwatch.h"
+
+namespace ssr {
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+std::uint64_t Stopwatch::ElapsedMicros() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start_)
+          .count());
+}
+
+}  // namespace ssr

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for the evaluation harness (CPU-side timing of query
+// processing; simulated I/O time comes from storage/io_cost_model.h).
+
+#ifndef SSR_UTIL_STOPWATCH_H_
+#define SSR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ssr {
+
+/// Measures elapsed wall time with steady_clock resolution. Start() resets.
+class Stopwatch {
+ public:
+  Stopwatch() { Start(); }
+
+  /// (Re)starts the stopwatch.
+  void Start() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since Start().
+  double ElapsedSeconds() const;
+
+  /// Elapsed microseconds since Start().
+  std::uint64_t ElapsedMicros() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_STOPWATCH_H_

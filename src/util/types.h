@@ -1,0 +1,36 @@
+// Core value types shared across the whole library.
+
+#ifndef SSR_UTIL_TYPES_H_
+#define SSR_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ssr {
+
+/// Identifier of a set in a collection ("sid" in the paper). Dense, assigned
+/// in insertion order by SetStore / in-memory collections.
+using SetId = std::uint32_t;
+
+/// Sentinel for "no set".
+inline constexpr SetId kInvalidSetId = static_cast<SetId>(-1);
+
+/// Identifier of a set element. Elements from arbitrary domains (strings,
+/// URLs, numbers) are mapped to 64-bit ids via util::Dictionary or any
+/// user-supplied hash; the library never assumes a known universe.
+using ElementId = std::uint64_t;
+
+/// A set is represented as a sorted, duplicate-free vector of element ids.
+/// Sortedness is an invariant relied upon by set_ops.h; use NormalizeSet()
+/// to establish it.
+using ElementSet = std::vector<ElementId>;
+
+/// A collection of sets, indexed by SetId.
+using SetCollection = std::vector<ElementSet>;
+
+/// Similarity values (Jaccard or Hamming similarity) live in [0, 1].
+using Similarity = double;
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_TYPES_H_

@@ -1,0 +1,30 @@
+#include "workload/buckets.h"
+
+namespace ssr {
+
+std::vector<ResultSizeBucket> PaperResultSizeBuckets() {
+  return {
+      {0.0, 0.005, "<0.5%"},
+      {0.005, 0.05, "0.5-5%"},
+      {0.05, 0.10, "5-10%"},
+      {0.10, 0.25, "10-25%"},
+      {0.25, 0.35, "25-35%"},
+  };
+}
+
+std::size_t ClassifyResultSize(std::size_t result_size,
+                               std::size_t collection_size,
+                               const std::vector<ResultSizeBucket>& buckets) {
+  if (collection_size == 0) return buckets.size();
+  const double fraction = static_cast<double>(result_size) /
+                          static_cast<double>(collection_size);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const bool above_lo =
+        i == 0 ? fraction >= buckets[i].lo_fraction
+               : fraction > buckets[i].lo_fraction;
+    if (above_lo && fraction <= buckets[i].hi_fraction) return i;
+  }
+  return buckets.size();
+}
+
+}  // namespace ssr

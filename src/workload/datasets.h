@@ -1,0 +1,28 @@
+// The two benchmark datasets, parameterized to mimic the paper's Set1
+// (Nagano winter-Olympics web logs: short-lived event traffic, very spiky
+// popularity, strong topical sessions) and Set2 (corporate site logs:
+// broader interest spread, larger sets). A scale factor shrinks both for
+// laptop-speed experiments; scale = 1.0 reproduces the paper's 200,000-set
+// size.
+
+#ifndef SSR_WORKLOAD_DATASETS_H_
+#define SSR_WORKLOAD_DATASETS_H_
+
+#include <string>
+
+#include "workload/weblog_generator.h"
+
+namespace ssr {
+
+/// Parameters mimicking the Nagano Olympics log ("Set1").
+WeblogParams Set1Params(double scale = 0.1);
+
+/// Parameters mimicking the corporate-site log ("Set2").
+WeblogParams Set2Params(double scale = 0.1);
+
+/// Generates a dataset by name ("set1" / "set2"); falls back to set1.
+SetCollection MakeDataset(const std::string& name, double scale = 0.1);
+
+}  // namespace ssr
+
+#endif  // SSR_WORKLOAD_DATASETS_H_

@@ -1,0 +1,35 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+
+#include "util/mathutil.h"
+
+namespace ssr {
+
+QueryGenerator::QueryGenerator(const SetCollection& sets,
+                               QueryGeneratorParams params)
+    : sets_(&sets), params_(params), rng_(params.seed) {
+  params_.min_width = Clamp(params_.min_width, 0.0, 1.0);
+  params_.max_width = Clamp(params_.max_width, params_.min_width, 1.0);
+}
+
+RangeQuery QueryGenerator::Next() {
+  RangeQuery q;
+  q.query_sid = static_cast<SetId>(rng_.Uniform(sets_->size()));
+  const double width =
+      params_.min_width +
+      rng_.NextDouble() * (params_.max_width - params_.min_width);
+  const double start = rng_.NextDouble() * (1.0 - width);
+  q.sigma1 = start;
+  q.sigma2 = std::min(1.0, start + width);
+  return q;
+}
+
+std::vector<RangeQuery> QueryGenerator::Batch(std::size_t count) {
+  std::vector<RangeQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace ssr

@@ -1,0 +1,55 @@
+// Query workload generation (Section 6): query sets drawn at random from
+// the collection itself, similarity-range bounds drawn at random — exactly
+// the paper's procedure ("query sets are chosen at random from the set
+// collection and the bounds for each similarity range ... at random as
+// well").
+
+#ifndef SSR_WORKLOAD_QUERY_GENERATOR_H_
+#define SSR_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// One range query.
+struct RangeQuery {
+  SetId query_sid = kInvalidSetId;  // which collection set is the query
+  double sigma1 = 0.0;
+  double sigma2 = 1.0;
+};
+
+/// Knobs for range generation.
+struct QueryGeneratorParams {
+  /// Minimum width of [σ1, σ2] (0-width ranges are degenerate).
+  double min_width = 0.02;
+
+  /// Maximum width; 1.0 allows full-range queries (the paper draws both
+  /// bounds at random, so wide ranges are common).
+  double max_width = 1.0;
+
+  std::uint64_t seed = 0x9e7e1a70b5ULL;
+};
+
+/// Generates query workloads against a collection.
+class QueryGenerator {
+ public:
+  QueryGenerator(const SetCollection& sets, QueryGeneratorParams params);
+
+  /// One random query: uniform set, uniform range subject to width bounds.
+  RangeQuery Next();
+
+  /// A batch of `count` queries.
+  std::vector<RangeQuery> Batch(std::size_t count);
+
+ private:
+  const SetCollection* sets_;
+  QueryGeneratorParams params_;
+  Rng rng_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_WORKLOAD_QUERY_GENERATOR_H_

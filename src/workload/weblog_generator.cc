@@ -1,0 +1,123 @@
+#include "workload/weblog_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/set_ops.h"
+
+namespace ssr {
+
+namespace {
+
+// Draws a set size log-uniformly in [lo, hi].
+std::size_t DrawSetSize(Rng& rng, std::size_t lo, std::size_t hi) {
+  if (lo < 1) lo = 1;
+  if (hi < lo) hi = lo;
+  const double log_lo = std::log(static_cast<double>(lo));
+  const double log_hi = std::log(static_cast<double>(hi) + 1.0);
+  const double v = std::exp(log_lo + rng.NextDouble() * (log_hi - log_lo));
+  std::size_t size = static_cast<std::size_t>(v);
+  if (size < lo) size = lo;
+  if (size > hi) size = hi;
+  return size;
+}
+
+}  // namespace
+
+SetCollection GenerateWeblogCollection(const WeblogParams& params) {
+  Rng rng(params.seed);
+  const std::size_t universe = params.num_urls < 2 ? 2 : params.num_urls;
+
+  // Profiles: each a random slice of the universe with its own Zipf skew.
+  // Profile URL lists are sampled with replacement from the universe and
+  // deduplicated — overlap across profiles is allowed (shared hot pages).
+  const std::size_t num_profiles =
+      params.num_profiles < 1 ? 1 : params.num_profiles;
+  std::vector<std::vector<ElementId>> profiles(num_profiles);
+  for (auto& profile : profiles) {
+    profile.reserve(params.profile_urls);
+    for (std::size_t i = 0; i < params.profile_urls; ++i) {
+      profile.push_back(static_cast<ElementId>(rng.Uniform(universe)));
+    }
+    std::sort(profile.begin(), profile.end());
+    profile.erase(std::unique(profile.begin(), profile.end()), profile.end());
+    if (profile.empty()) profile.push_back(0);
+  }
+  // Popularity distributions. Within a profile, popularity is also skewed
+  // (hot pages inside a topic), but milder than globally.
+  ZipfDistribution global_zipf(universe, params.zipf_alpha);
+  const double profile_alpha = params.zipf_alpha * 0.7;
+  std::vector<ZipfDistribution> profile_zipfs;
+  profile_zipfs.reserve(num_profiles);
+  for (const auto& profile : profiles) {
+    profile_zipfs.emplace_back(profile.size(), profile_alpha);
+  }
+
+  SetCollection sets;
+  sets.reserve(params.num_sets);
+  for (std::size_t n = 0; n < params.num_sets; ++n) {
+    // Casual-visitor branch: a tiny session over the hottest pages. These
+    // collide heavily with each other (identical and near-identical
+    // sessions), like the short visits that dominate real HTTP logs.
+    if (params.casual_rate > 0.0 && rng.Bernoulli(params.casual_rate)) {
+      const std::size_t size =
+          1 + rng.Uniform(params.casual_max_size < 1 ? 1
+                                                     : params.casual_max_size);
+      ElementSet casual;
+      for (std::size_t i = 0; i < size; ++i) {
+        casual.push_back(static_cast<ElementId>(global_zipf.Sample(rng)));
+      }
+      NormalizeSet(casual);
+      if (casual.empty()) casual.push_back(0);
+      sets.push_back(std::move(casual));
+      continue;
+    }
+    // Near-duplicate branch: clone and mutate an earlier set.
+    if (!sets.empty() && rng.Bernoulli(params.duplicate_rate)) {
+      const ElementSet& base =
+          sets[static_cast<std::size_t>(rng.Uniform(sets.size()))];
+      ElementSet dup = base;
+      const std::size_t mutations = static_cast<std::size_t>(
+          std::ceil(params.duplicate_mutation *
+                    static_cast<double>(base.size())));
+      for (std::size_t i = 0; i < mutations && !dup.empty(); ++i) {
+        // Replace a random element with a random global URL.
+        dup[static_cast<std::size_t>(rng.Uniform(dup.size()))] =
+            static_cast<ElementId>(global_zipf.Sample(rng));
+      }
+      NormalizeSet(dup);
+      if (dup.empty()) dup.push_back(0);
+      sets.push_back(std::move(dup));
+      continue;
+    }
+
+    const std::size_t profile_idx =
+        static_cast<std::size_t>(rng.Uniform(num_profiles));
+    const std::vector<ElementId>& profile = profiles[profile_idx];
+    const ZipfDistribution& profile_zipf = profile_zipfs[profile_idx];
+
+    const std::size_t target =
+        DrawSetSize(rng, params.min_set_size, params.max_set_size);
+    ElementSet set;
+    set.reserve(target + target / 4);
+    // Oversample: duplicates collapse under normalization.
+    std::size_t attempts = 0;
+    while (set.size() < target && attempts < target * 8) {
+      ++attempts;
+      ElementId e;
+      if (rng.Bernoulli(params.profile_affinity)) {
+        e = profile[profile_zipf.Sample(rng)];
+      } else {
+        e = static_cast<ElementId>(global_zipf.Sample(rng));
+      }
+      set.push_back(e);
+      if ((attempts & 0x1f) == 0) NormalizeSet(set);
+    }
+    NormalizeSet(set);
+    if (set.empty()) set.push_back(0);
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace ssr

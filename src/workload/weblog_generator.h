@@ -1,0 +1,76 @@
+// Synthetic web-log set collections. The paper's datasets (Set1: Nagano
+// winter-Olympics HTTP logs; Set2: a corporate site's logs — 200,000 sets
+// each, one set of requested URLs per client IP) are proprietary, so this
+// generator synthesizes collections with the structural properties those
+// logs exhibit and the paper relies on:
+//   * Zipf-distributed URL popularity (heavy head of hot pages),
+//   * topical browsing profiles (users within a profile share pages ->
+//     a population of moderately similar pairs),
+//   * near-duplicate sessions (mirrors/revisits -> pairs near similarity 1),
+//   * arbitrary set cardinalities and an unbounded element universe,
+// which together produce the "D_S drops sharply as similarity increases"
+// shape the paper's Section 6 analysis depends on.
+
+#ifndef SSR_WORKLOAD_WEBLOG_GENERATOR_H_
+#define SSR_WORKLOAD_WEBLOG_GENERATOR_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/types.h"
+
+namespace ssr {
+
+/// Generator parameters.
+struct WeblogParams {
+  /// Number of sets (client IPs) to synthesize.
+  std::size_t num_sets = 10000;
+
+  /// Size of the URL universe.
+  std::size_t num_urls = 50000;
+
+  /// Zipf exponent for global URL popularity.
+  double zipf_alpha = 0.9;
+
+  /// Number of topical browsing profiles.
+  std::size_t num_profiles = 50;
+
+  /// URLs per profile (each profile is a random subset of the universe with
+  /// its own internal popularity skew).
+  std::size_t profile_urls = 400;
+
+  /// Probability that an element of a set is drawn from the user's profile
+  /// rather than the global distribution.
+  double profile_affinity = 0.8;
+
+  /// Set sizes are drawn log-uniformly from [min_set_size, max_set_size].
+  std::size_t min_set_size = 5;
+  std::size_t max_set_size = 300;
+
+  /// Probability that a new set is a mutated near-duplicate of a previously
+  /// generated one (models mirrored pages / repeat visitors).
+  double duplicate_rate = 0.05;
+
+  /// Probability that a set is a "casual visitor" session: a very small set
+  /// drawn from the hottest pages. Real HTTP logs are full of 1-5 page
+  /// visits to the same hot content, which makes many sessions identical or
+  /// near-identical — the population that gives high-similarity queries
+  /// non-trivial answers. 0 disables.
+  double casual_rate = 0.0;
+
+  /// Maximum size of a casual session.
+  std::size_t casual_max_size = 6;
+
+  /// Fraction of elements resampled when creating a near-duplicate.
+  double duplicate_mutation = 0.15;
+
+  /// RNG seed; identical params + seed reproduce the collection exactly.
+  std::uint64_t seed = 0x10adedb00c5ULL;
+};
+
+/// Generates the collection. Every set is normalized and non-empty.
+SetCollection GenerateWeblogCollection(const WeblogParams& params);
+
+}  // namespace ssr
+
+#endif  // SSR_WORKLOAD_WEBLOG_GENERATOR_H_

@@ -1,0 +1,50 @@
+#include "baseline/exact_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+TEST(ExactEvaluatorTest, RangeEndpointsInclusive) {
+  SetCollection sets = {
+      {1, 2, 3, 4},      // sid 0: sim with query {1,2,3,4} = 1.0
+      {1, 2, 3, 4, 5, 6, 7, 8},  // sid 1: sim = 0.5
+      {1, 2},            // sid 2: sim = 0.5
+      {9, 10},           // sid 3: sim = 0.0
+  };
+  ExactEvaluator exact(sets);
+  const ElementSet q{1, 2, 3, 4};
+  EXPECT_EQ(exact.Query(q, 0.5, 0.5), (std::vector<SetId>{1, 2}));
+  EXPECT_EQ(exact.Query(q, 0.5, 1.0), (std::vector<SetId>{0, 1, 2}));
+  EXPECT_EQ(exact.Query(q, 0.0, 0.0), (std::vector<SetId>{3}));
+  EXPECT_EQ(exact.Query(q, 0.0, 1.0).size(), 4u);
+}
+
+TEST(ExactEvaluatorTest, SimilarityToMatchesJaccard) {
+  SetCollection sets = {{1, 2, 3}, {2, 3, 4}};
+  ExactEvaluator exact(sets);
+  EXPECT_DOUBLE_EQ(exact.SimilarityTo(0, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(exact.SimilarityTo(1, {2, 3, 4}), 1.0);
+}
+
+TEST(ExactEvaluatorTest, SimilarPairsThresholded) {
+  SetCollection sets = {{1, 2, 3}, {1, 2, 3}, {1, 2, 9}, {50, 60}};
+  ExactEvaluator exact(sets);
+  auto pairs = exact.SimilarPairs(0.9);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(std::get<0>(pairs[0]), 0u);
+  EXPECT_EQ(std::get<1>(pairs[0]), 1u);
+  EXPECT_DOUBLE_EQ(std::get<2>(pairs[0]), 1.0);
+  EXPECT_EQ(exact.SimilarPairs(0.4).size(), 3u);  // plus the two 0.5 pairs
+}
+
+TEST(ExactEvaluatorTest, EmptyRangeYieldsNothingAboveMax) {
+  SetCollection sets = {{1}, {2}};
+  ExactEvaluator exact(sets);
+  EXPECT_TRUE(exact.Query({1}, 0.5, 0.9).empty());
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,71 @@
+#include "baseline/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_evaluator.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+SetCollection RandomCollection(std::size_t n, std::uint64_t seed) {
+  SetCollection sets;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    ElementSet s;
+    const std::size_t size = 3 + rng.Uniform(25);
+    for (std::size_t j = 0; j < size; ++j) s.push_back(rng.Uniform(500));
+    NormalizeSet(s);
+    if (s.empty()) s.push_back(1);
+    sets.push_back(s);
+  }
+  return sets;
+}
+
+TEST(InvertedIndexTest, VocabularyAndPostings) {
+  SetCollection sets = {{1, 2}, {2, 3}, {3}};
+  InvertedIndex index(sets);
+  EXPECT_EQ(index.vocabulary_size(), 3u);
+  EXPECT_EQ(index.total_postings(), 5u);
+}
+
+TEST(InvertedIndexTest, MatchesExactEvaluatorOnPositiveRanges) {
+  SetCollection sets = RandomCollection(300, 21);
+  InvertedIndex index(sets);
+  ExactEvaluator exact(sets);
+  Rng rng(22);
+  for (int t = 0; t < 25; ++t) {
+    const ElementSet& q = sets[rng.Uniform(sets.size())];
+    const double s1 = 0.05 + rng.NextDouble() * 0.6;
+    const double s2 = s1 + rng.NextDouble() * (1.0 - s1);
+    EXPECT_EQ(index.Query(q, s1, s2), exact.Query(q, s1, s2))
+        << "range [" << s1 << ", " << s2 << "]";
+  }
+}
+
+TEST(InvertedIndexTest, ZeroLowerBoundIncludesDisjointSets) {
+  SetCollection sets = {{1, 2}, {50, 60}};
+  InvertedIndex index(sets);
+  const auto result = index.Query({1, 2}, 0.0, 0.3);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 1u);  // the disjoint set, similarity 0
+}
+
+TEST(InvertedIndexTest, UnknownElementsYieldNothingForPositiveRange) {
+  SetCollection sets = {{1, 2}, {3, 4}};
+  InvertedIndex index(sets);
+  EXPECT_TRUE(index.Query({100, 200}, 0.1, 1.0).empty());
+}
+
+TEST(InvertedIndexTest, ExactSelfMatch) {
+  SetCollection sets = RandomCollection(50, 23);
+  InvertedIndex index(sets);
+  for (SetId sid = 0; sid < 10; ++sid) {
+    const auto result = index.Query(sets[sid], 0.999, 1.0);
+    EXPECT_TRUE(std::binary_search(result.begin(), result.end(), sid));
+  }
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,109 @@
+#include "baseline/sequential_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_evaluator.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+SetCollection RandomCollection(std::size_t n, std::uint64_t seed) {
+  SetCollection sets;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    ElementSet s;
+    const std::size_t size = 5 + rng.Uniform(40);
+    for (std::size_t j = 0; j < size; ++j) s.push_back(rng.Uniform(2000));
+    NormalizeSet(s);
+    if (s.empty()) s.push_back(1);
+    sets.push_back(s);
+  }
+  return sets;
+}
+
+TEST(SequentialScanTest, ValidatesArguments) {
+  SetStore store;
+  ASSERT_TRUE(store.Add({1, 2}).ok());
+  EXPECT_FALSE(SequentialScanQuery(store, {1, 2}, 0.8, 0.2).ok());
+  EXPECT_FALSE(SequentialScanQuery(store, {2, 1}, 0.2, 0.8).ok());
+}
+
+TEST(SequentialScanTest, MatchesExactEvaluator) {
+  SetCollection sets = RandomCollection(200, 7);
+  SetStore store;
+  for (const auto& s : sets) ASSERT_TRUE(store.Add(s).ok());
+  ExactEvaluator exact(sets);
+  Rng rng(8);
+  for (int t = 0; t < 15; ++t) {
+    const ElementSet& q = sets[rng.Uniform(sets.size())];
+    const double s1 = rng.NextDouble() * 0.5;
+    const double s2 = s1 + rng.NextDouble() * (1.0 - s1);
+    auto scan = SequentialScanQuery(store, q, s1, s2);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan->sids, exact.Query(q, s1, s2));
+  }
+}
+
+TEST(SequentialScanTest, ExaminesEverySetAndChargesAllPages) {
+  SetCollection sets = RandomCollection(300, 9);
+  SetStore store;
+  for (const auto& s : sets) ASSERT_TRUE(store.Add(s).ok());
+  store.ResetIoAccounting();
+  auto scan = SequentialScanQuery(store, sets[0], 0.9, 1.0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->stats.sets_examined, 300u);
+  EXPECT_EQ(scan->stats.io.sequential_reads, store.num_pages());
+  EXPECT_EQ(scan->stats.io.random_reads, 0u);
+  EXPECT_GT(scan->stats.io_seconds, 0.0);
+}
+
+TEST(SequentialScanTest, FullRangeReturnsEverything) {
+  SetCollection sets = RandomCollection(50, 10);
+  SetStore store;
+  for (const auto& s : sets) ASSERT_TRUE(store.Add(s).ok());
+  auto scan = SequentialScanQuery(store, sets[0], 0.0, 1.0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->sids.size(), 50u);
+}
+
+TEST(SequentialScanTest, SkipsDeletedSets) {
+  SetCollection sets = RandomCollection(20, 11);
+  SetStore store;
+  for (const auto& s : sets) ASSERT_TRUE(store.Add(s).ok());
+  ASSERT_TRUE(store.Delete(3).ok());
+  auto scan = SequentialScanQuery(store, sets[3], 0.0, 1.0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(std::binary_search(scan->sids.begin(), scan->sids.end(),
+                                  SetId{3}));
+  EXPECT_EQ(scan->stats.sets_examined, 19u);
+}
+
+TEST(SequentialScanTest, CrossoverBoundShape) {
+  // |Q| < |S| * a / rtn: more sets or bigger sets raise the bound; a larger
+  // random/sequential ratio lowers it.
+  SetStoreOptions options;
+  SetStore store(options);
+  for (int i = 0; i < 100; ++i) {
+    ElementSet s;
+    for (ElementId e = 0; e < 120; ++e) s.push_back(i * 1000 + e);
+    ASSERT_TRUE(store.Add(s).ok());
+  }
+  const double bound = ScanCrossoverResultSize(store);
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LT(bound, 100.0);
+  // Doubling rtn halves the bound.
+  SetStoreOptions fast_random = options;
+  fast_random.io.random_multiplier = 4.0;
+  SetStore store2(fast_random);
+  for (int i = 0; i < 100; ++i) {
+    ElementSet s;
+    for (ElementId e = 0; e < 120; ++e) s.push_back(i * 1000 + e);
+    ASSERT_TRUE(store2.Add(s).ok());
+  }
+  EXPECT_NEAR(ScanCrossoverResultSize(store2), 2.0 * bound, 1e-9);
+}
+
+}  // namespace
+}  // namespace ssr

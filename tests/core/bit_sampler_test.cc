@@ -1,0 +1,124 @@
+#include "core/bit_sampler.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+Embedding MakeEmbedding(std::size_t k = 8, unsigned bits = 6) {
+  EmbeddingParams p;
+  p.minhash.num_hashes = k;
+  p.minhash.value_bits = bits;
+  p.minhash.seed = 71;
+  auto e = Embedding::Create(p);
+  EXPECT_TRUE(e.ok());
+  return std::move(e).value();
+}
+
+TEST(BitSamplerTest, SamplesDistinctValidPositions) {
+  Embedding e = MakeEmbedding();
+  Rng rng(1);
+  BitSampler sampler(e, 50, rng);
+  EXPECT_EQ(sampler.r(), 50u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const BitPosition& p : sampler.positions()) {
+    EXPECT_LT(p.coordinate, 8u);
+    EXPECT_LT(p.code_pos, e.code().codeword_bits());
+    seen.insert({p.coordinate, p.code_pos});
+  }
+  EXPECT_EQ(seen.size(), 50u);  // without replacement
+}
+
+TEST(BitSamplerTest, KeyMatchesMaterializedEmbedding) {
+  Embedding e = MakeEmbedding();
+  Rng rng(2);
+  BitSampler sampler(e, 64, rng);
+  Signature sig(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    sig[i] = static_cast<std::uint16_t>(i * 7 + 3);
+  }
+  const BitVector full = e.EmbedSignature(sig);
+  const BitVector key = sampler.ExtractKey(sig);
+  const unsigned m = e.code().codeword_bits();
+  for (std::size_t i = 0; i < sampler.r(); ++i) {
+    const BitPosition& p = sampler.positions()[i];
+    EXPECT_EQ(key.Get(i), full.Get(p.coordinate * m + p.code_pos));
+  }
+}
+
+TEST(BitSamplerTest, ComplementedKeyFlipsEveryBit) {
+  Embedding e = MakeEmbedding();
+  Rng rng(3);
+  BitSampler sampler(e, 32, rng);
+  Signature sig(8);
+  for (std::size_t i = 0; i < 8; ++i) sig[i] = static_cast<std::uint16_t>(i);
+  const BitVector normal = sampler.ExtractKey(sig, false);
+  const BitVector flipped = sampler.ExtractKey(sig, true);
+  EXPECT_EQ(normal.Complement(), flipped);
+}
+
+TEST(BitSamplerTest, KeyHashConsistentWithKeyBits) {
+  Embedding e = MakeEmbedding();
+  Rng rng(4);
+  BitSampler sampler(e, 40, rng);
+  Signature a(8), b(8), c(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    a[i] = static_cast<std::uint16_t>(i + 1);
+    b[i] = static_cast<std::uint16_t>(i + 1);
+    c[i] = static_cast<std::uint16_t>(i + 2);
+  }
+  EXPECT_EQ(sampler.ExtractKeyHash(a), sampler.ExtractKeyHash(b));
+  if (sampler.ExtractKey(a) != sampler.ExtractKey(c)) {
+    EXPECT_NE(sampler.ExtractKeyHash(a), sampler.ExtractKeyHash(c));
+  }
+}
+
+TEST(BitSamplerTest, HashDiffersForComplement) {
+  Embedding e = MakeEmbedding();
+  Rng rng(5);
+  BitSampler sampler(e, 16, rng);
+  Signature sig(8);
+  for (std::size_t i = 0; i < 8; ++i) sig[i] = 5;
+  EXPECT_NE(sampler.ExtractKeyHash(sig, false),
+            sampler.ExtractKeyHash(sig, true));
+}
+
+TEST(BitSamplerTest, ExplicitPositionsConstructor) {
+  Embedding e = MakeEmbedding(4, 3);
+  std::vector<BitPosition> positions{{0, 1}, {2, 5}, {3, 0}};
+  BitSampler sampler(e, positions);
+  EXPECT_EQ(sampler.r(), 3u);
+  EXPECT_EQ(sampler.positions()[1], (BitPosition{2, 5}));
+}
+
+TEST(BitSamplerTest, LargeRWithReplacement) {
+  Embedding e = MakeEmbedding(2, 3);  // D = 16, force replacement
+  Rng rng(6);
+  BitSampler sampler(e, 100, rng);
+  EXPECT_EQ(sampler.r(), 100u);
+  for (const BitPosition& p : sampler.positions()) {
+    EXPECT_LT(p.coordinate, 2u);
+    EXPECT_LT(p.code_pos, 8u);
+  }
+}
+
+TEST(BitSamplerTest, KeysLongerThan64Bits) {
+  Embedding e = MakeEmbedding(16, 8);
+  Rng rng(7);
+  BitSampler sampler(e, 200, rng);
+  Signature a(16), b(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<std::uint16_t>(i * 3);
+    b[i] = static_cast<std::uint16_t>(i * 3);
+  }
+  b[15] = static_cast<std::uint16_t>(b[15] ^ 0xff);
+  EXPECT_EQ(sampler.ExtractKeyHash(a), sampler.ExtractKeyHash(a));
+  if (sampler.ExtractKey(a) != sampler.ExtractKey(b)) {
+    EXPECT_NE(sampler.ExtractKeyHash(a), sampler.ExtractKeyHash(b));
+  }
+}
+
+}  // namespace
+}  // namespace ssr

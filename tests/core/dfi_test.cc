@@ -1,0 +1,126 @@
+#include "core/dfi.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+Embedding MakeEmbedding(std::size_t k = 100, unsigned bits = 8) {
+  EmbeddingParams p;
+  p.minhash.num_hashes = k;
+  p.minhash.value_bits = bits;
+  p.minhash.seed = 91;
+  auto e = Embedding::Create(p);
+  EXPECT_TRUE(e.ok());
+  return std::move(e).value();
+}
+
+ElementSet SetWithOverlap(const ElementSet& query, std::size_t inter,
+                          std::size_t priv, ElementId private_base) {
+  ElementSet s(query.begin(), query.begin() + inter);
+  for (std::size_t i = 0; i < priv; ++i) s.push_back(private_base + i);
+  NormalizeSet(s);
+  return s;
+}
+
+TEST(DfiTest, CreateValidates) {
+  Embedding e = MakeEmbedding(10);
+  SfiParams params;
+  params.s_star = 0.0;
+  EXPECT_FALSE(DissimilarityFilterIndex::Create(e, params, 10).ok());
+  params.s_star = 0.6;
+  params.l = 4;
+  EXPECT_TRUE(DissimilarityFilterIndex::Create(e, params, 10).ok());
+}
+
+TEST(DfiTest, InnerSfiUsesComplementTurningPoint) {
+  Embedding e = MakeEmbedding(10);
+  SfiParams params;
+  params.s_star = 0.6;  // dissimilarity threshold in Hamming space
+  params.l = 8;
+  auto dfi = DissimilarityFilterIndex::Create(e, params, 100);
+  ASSERT_TRUE(dfi.ok());
+  EXPECT_DOUBLE_EQ(dfi->s_star(), 0.6);
+  // Theorem 2: inner SFI turns at 1 - s*.
+  EXPECT_NEAR(dfi->sfi().filter().TurningPoint(), 0.4, 0.08);
+}
+
+TEST(DfiTest, SelfProbeNotRetrieved) {
+  // A vector is maximally similar to itself, so a dissimilarity probe must
+  // not return it (its complement shares no sampled bit).
+  Embedding e = MakeEmbedding(50);
+  SfiParams params;
+  params.s_star = 0.55;
+  params.l = 10;
+  auto dfi = DissimilarityFilterIndex::Create(e, params, 100);
+  ASSERT_TRUE(dfi.ok());
+  const Signature sig = e.Sign({1, 2, 3, 4, 5});
+  dfi->Insert(1, sig);
+  EXPECT_TRUE(dfi->DissimVector(sig).empty());
+}
+
+// Theorem 2 end-to-end: dissimilar sets retrieved, similar ones not.
+TEST(DfiTest, RetrievesDissimilarNotSimilar) {
+  Embedding e = MakeEmbedding(100, 8);
+  // Dissimilarity threshold: set-similarity 0.3 -> Hamming (1+0.3)/2=0.65.
+  SfiParams params;
+  params.s_star = e.SetToHammingSimilarity(0.3);
+  params.l = 15;
+  auto dfi = DissimilarityFilterIndex::Create(e, params, 1000);
+  ASSERT_TRUE(dfi.ok());
+
+  ElementSet query;
+  for (ElementId x = 0; x < 120; ++x) query.push_back(x);
+
+  // sim = i / (240 - i): disjoint (i=0, sim 0) and near-identical (i=114).
+  const int kPerPop = 150;
+  std::vector<SetId> dissimilar_sids, similar_sids;
+  SetId next = 0;
+  for (int c = 0; c < kPerPop; ++c) {
+    dfi->Insert(next, e.Sign(SetWithOverlap(
+                          query, 0, 120,
+                          2000000 + static_cast<ElementId>(next) * 1000)));
+    dissimilar_sids.push_back(next++);
+  }
+  for (int c = 0; c < kPerPop; ++c) {
+    dfi->Insert(next, e.Sign(SetWithOverlap(
+                          query, 114, 6,
+                          5000000 + static_cast<ElementId>(next) * 1000)));
+    similar_sids.push_back(next++);
+  }
+  const auto result = dfi->DissimVector(e.Sign(query));
+  int found_dissimilar = 0, found_similar = 0;
+  for (SetId sid : dissimilar_sids) {
+    if (std::binary_search(result.begin(), result.end(), sid)) {
+      ++found_dissimilar;
+    }
+  }
+  for (SetId sid : similar_sids) {
+    if (std::binary_search(result.begin(), result.end(), sid)) {
+      ++found_similar;
+    }
+  }
+  EXPECT_GE(found_dissimilar, kPerPop * 85 / 100);
+  EXPECT_LE(found_similar, kPerPop * 15 / 100);
+}
+
+TEST(DfiTest, EraseRemovesFromAllTables) {
+  Embedding e = MakeEmbedding(30);
+  SfiParams params;
+  params.s_star = 0.5;
+  params.l = 6;
+  auto dfi = DissimilarityFilterIndex::Create(e, params, 10);
+  ASSERT_TRUE(dfi.ok());
+  const Signature sig = e.Sign({9, 8, 7});
+  dfi->Insert(3, sig);
+  EXPECT_EQ(dfi->size(), 1u);
+  EXPECT_EQ(dfi->Erase(3, sig), dfi->l());
+  EXPECT_EQ(dfi->size(), 0u);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,131 @@
+#include "core/filter_function.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(FilterFunctionTest, CollisionEndpoints) {
+  FilterFunction f(10, 20);
+  EXPECT_DOUBLE_EQ(f.Collision(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.Collision(1.0), 1.0);
+}
+
+TEST(FilterFunctionTest, CollisionFormula) {
+  // p_{r,l}(s) = 1 - (1 - s^r)^l, spot values.
+  FilterFunction f(2, 3);
+  const double s = 0.5;
+  EXPECT_NEAR(f.Collision(s), 1.0 - std::pow(1.0 - 0.25, 3.0), 1e-12);
+}
+
+TEST(FilterFunctionTest, MonotoneIncreasing) {
+  FilterFunction f(8, 15);
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0; s += 0.01) {
+    const double p = f.Collision(s);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(FilterFunctionTest, TurningPointSatisfiesHalf) {
+  for (std::size_t r : {2u, 5u, 10u, 20u}) {
+    for (std::size_t l : {1u, 5u, 30u}) {
+      FilterFunction f(r, l);
+      EXPECT_NEAR(f.Collision(f.TurningPoint()), 0.5, 1e-9)
+          << "r=" << r << " l=" << l;
+    }
+  }
+}
+
+TEST(FilterFunctionTest, SolverHitsRequestedTurningPoint) {
+  for (double s_star : {0.3, 0.5, 0.7, 0.9, 0.95}) {
+    for (std::size_t l : {5u, 20u, 100u}) {
+      FilterFunction f = FilterFunction::ForTurningPoint(s_star, l);
+      EXPECT_EQ(f.l(), l);
+      // r is rounded to an integer, so the achieved turning point is close
+      // but not exact.
+      EXPECT_NEAR(f.TurningPoint(), s_star, 0.06)
+          << "s*=" << s_star << " l=" << l;
+    }
+  }
+}
+
+TEST(FilterFunctionTest, MoreTablesMeanLargerR) {
+  // The paper's monotonic r-l relationship.
+  const std::size_t r5 = FilterFunction::ForTurningPoint(0.8, 5).r();
+  const std::size_t r20 = FilterFunction::ForTurningPoint(0.8, 20).r();
+  const std::size_t r100 = FilterFunction::ForTurningPoint(0.8, 100).r();
+  EXPECT_LE(r5, r20);
+  EXPECT_LE(r20, r100);
+  EXPECT_LT(r5, r100);
+}
+
+TEST(FilterFunctionTest, MoreTablesSharperFilter) {
+  // Steeper S-curve: the 0.1 -> 0.9 transition band narrows as l grows.
+  const double w5 =
+      FilterFunction::ForTurningPoint(0.8, 5).TransitionWidth();
+  const double w50 =
+      FilterFunction::ForTurningPoint(0.8, 50).TransitionWidth();
+  const double w500 =
+      FilterFunction::ForTurningPoint(0.8, 500).TransitionWidth();
+  EXPECT_GT(w5, w50);
+  EXPECT_GT(w50, w500);
+}
+
+TEST(FilterFunctionTest, TablesForTurningPointInvertsSolver) {
+  for (double s_star : {0.5, 0.7, 0.9}) {
+    FilterFunction f = FilterFunction::ForTurningPoint(s_star, 25);
+    const std::size_t l = FilterFunction::TablesForTurningPoint(s_star, f.r());
+    // Round-tripping through integer r introduces slack.
+    EXPECT_NEAR(static_cast<double>(l), 25.0, 13.0) << "s*=" << s_star;
+  }
+}
+
+TEST(FilterFunctionTest, InverseCollisionInverts) {
+  FilterFunction f(7, 12);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(f.Collision(f.InverseCollision(p)), p, 1e-9);
+  }
+}
+
+TEST(FilterFunctionTest, SlopePeaksNearTurningPoint) {
+  FilterFunction f(10, 30);
+  const double tp = f.TurningPoint();
+  const double at_tp = f.Slope(tp);
+  EXPECT_GT(at_tp, f.Slope(tp - 0.2));
+  EXPECT_GT(at_tp, f.Slope(std::min(1.0, tp + 0.2)));
+}
+
+TEST(FilterFunctionTest, DegenerateParamsClamped) {
+  FilterFunction f(0, 0);
+  EXPECT_EQ(f.r(), 1u);
+  EXPECT_EQ(f.l(), 1u);
+  FilterFunction g = FilterFunction::ForTurningPoint(-0.5, 0);
+  EXPECT_GE(g.r(), 1u);
+  EXPECT_GE(g.l(), 1u);
+}
+
+// Parameterized S-curve property sweep: the filter separates similarities
+// around its turning point for every (s*, l) combination.
+class FilterSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(FilterSweep, SeparatesAroundTurningPoint) {
+  const auto [s_star, l] = GetParam();
+  FilterFunction f = FilterFunction::ForTurningPoint(s_star, l);
+  const double tp = f.TurningPoint();
+  EXPECT_GT(f.Collision(std::min(1.0, tp + 0.15)), 0.5);
+  EXPECT_LT(f.Collision(std::max(0.0, tp - 0.15)), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FilterSweep,
+    ::testing::Combine(::testing::Values(0.4, 0.6, 0.75, 0.9),
+                       ::testing::Values(std::size_t{4}, std::size_t{16},
+                                         std::size_t{64})));
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,95 @@
+#include "core/index_layout.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(IndexLayoutTest, EmptyLayoutValidates) {
+  IndexLayout layout;
+  EXPECT_TRUE(layout.Validate().ok());
+  EXPECT_EQ(layout.total_tables(), 0u);
+}
+
+TEST(IndexLayoutTest, SortedSfisValidate) {
+  IndexLayout layout;
+  layout.points = {{0.3, FilterKind::kSimilarity, 5, 0},
+                   {0.6, FilterKind::kSimilarity, 5, 0},
+                   {0.9, FilterKind::kSimilarity, 5, 0}};
+  EXPECT_TRUE(layout.Validate().ok());
+  EXPECT_EQ(layout.total_tables(), 15u);
+}
+
+TEST(IndexLayoutTest, RejectsOutOfRangePoints) {
+  IndexLayout layout;
+  layout.points = {{0.0, FilterKind::kSimilarity, 5, 0}};
+  EXPECT_FALSE(layout.Validate().ok());
+  layout.points = {{1.0, FilterKind::kSimilarity, 5, 0}};
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+TEST(IndexLayoutTest, RejectsUnsortedPoints) {
+  IndexLayout layout;
+  layout.points = {{0.6, FilterKind::kSimilarity, 5, 0},
+                   {0.3, FilterKind::kSimilarity, 5, 0}};
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+TEST(IndexLayoutTest, RejectsDfiAboveSfi) {
+  IndexLayout layout;
+  layout.points = {{0.3, FilterKind::kSimilarity, 5, 0},
+                   {0.6, FilterKind::kDissimilarity, 5, 0}};
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+TEST(IndexLayoutTest, AcceptsDualPointAtDelta) {
+  IndexLayout layout;
+  layout.delta = 0.5;
+  layout.points = {{0.2, FilterKind::kDissimilarity, 5, 0},
+                   {0.5, FilterKind::kDissimilarity, 5, 0},
+                   {0.5, FilterKind::kSimilarity, 5, 0},
+                   {0.8, FilterKind::kSimilarity, 5, 0}};
+  EXPECT_TRUE(layout.Validate().ok()) << layout.Validate().ToString();
+}
+
+TEST(IndexLayoutTest, RejectsSfiBeforeDfiAtSharedPoint) {
+  IndexLayout layout;
+  layout.points = {{0.5, FilterKind::kSimilarity, 5, 0},
+                   {0.5, FilterKind::kDissimilarity, 5, 0}};
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+TEST(IndexLayoutTest, RejectsZeroTables) {
+  IndexLayout layout;
+  layout.points = {{0.5, FilterKind::kSimilarity, 0, 0}};
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+TEST(IndexLayoutTest, RejectsBadDelta) {
+  IndexLayout layout;
+  layout.delta = 1.5;
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+TEST(IndexLayoutTest, UniformSfiFactory) {
+  IndexLayout layout = IndexLayout::UniformSfi({0.25, 0.5, 0.75}, 4);
+  EXPECT_TRUE(layout.Validate().ok());
+  EXPECT_EQ(layout.points.size(), 3u);
+  EXPECT_EQ(layout.total_tables(), 12u);
+  for (const auto& p : layout.points) {
+    EXPECT_EQ(p.kind, FilterKind::kSimilarity);
+  }
+}
+
+TEST(IndexLayoutTest, ToStringMentionsKindsAndPoints) {
+  IndexLayout layout;
+  layout.points = {{0.2, FilterKind::kDissimilarity, 3, 0},
+                   {0.8, FilterKind::kSimilarity, 7, 0}};
+  const std::string str = layout.ToString();
+  EXPECT_NE(str.find("DFI"), std::string::npos);
+  EXPECT_NE(str.find("SFI"), std::string::npos);
+  EXPECT_NE(str.find("0.8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssr

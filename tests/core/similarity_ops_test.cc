@@ -1,0 +1,163 @@
+#include "core/similarity_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_evaluator.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+struct Fixture {
+  SetCollection sets;
+  SetStore store;
+  std::unique_ptr<SetSimilarityIndex> index;
+};
+
+std::unique_ptr<Fixture> BuildFixture(std::size_t n) {
+  auto f = std::make_unique<Fixture>();
+  Rng rng(2024);
+  while (f->sets.size() < n) {
+    ElementSet base;
+    const std::size_t size = 20 + rng.Uniform(40);
+    for (std::size_t i = 0; i < size; ++i) base.push_back(rng.Uniform(8000));
+    NormalizeSet(base);
+    if (base.empty()) continue;
+    f->sets.push_back(base);
+    if (rng.Bernoulli(0.4) && f->sets.size() < n) {
+      ElementSet near = base;
+      near[rng.Uniform(near.size())] = rng.Uniform(8000);
+      NormalizeSet(near);
+      if (!near.empty()) f->sets.push_back(near);
+    }
+  }
+  for (const auto& s : f->sets) {
+    EXPECT_TRUE(f->store.Add(s).ok());
+  }
+  IndexLayout layout;
+  layout.delta = 0.4;
+  layout.points = {{0.4, FilterKind::kDissimilarity, 10, 0},
+                   {0.4, FilterKind::kSimilarity, 10, 0},
+                   {0.75, FilterKind::kSimilarity, 10, 0}};
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 100;
+  options.embedding.minhash.seed = 888;
+  auto index = SetSimilarityIndex::Build(f->store, layout, options);
+  EXPECT_TRUE(index.ok());
+  if (!index.ok()) return nullptr;
+  f->index = std::make_unique<SetSimilarityIndex>(std::move(index).value());
+  return f;
+}
+
+TEST(SimilaritySelfJoinTest, ValidatesThreshold) {
+  auto f = BuildFixture(30);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(SimilaritySelfJoin(*f->index, 0.0).ok());
+  EXPECT_FALSE(SimilaritySelfJoin(*f->index, 1.5).ok());
+}
+
+TEST(SimilaritySelfJoinTest, PairsAreExactOrderedAndDeduplicated) {
+  auto f = BuildFixture(120);
+  ASSERT_NE(f, nullptr);
+  JoinStats stats;
+  auto pairs = SimilaritySelfJoin(*f->index, 0.8, &stats);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(stats.probes, f->sets.size());
+  EXPECT_EQ(stats.result_pairs, pairs->size());
+  for (std::size_t i = 0; i < pairs->size(); ++i) {
+    const SimilarPair& p = (*pairs)[i];
+    EXPECT_LT(p.a, p.b);
+    EXPECT_GE(p.similarity, 0.8 - 1e-9);
+    EXPECT_NEAR(p.similarity, Jaccard(f->sets[p.a], f->sets[p.b]), 1e-12);
+    if (i > 0) {
+      EXPECT_LT(std::tie((*pairs)[i - 1].a, (*pairs)[i - 1].b),
+                std::tie(p.a, p.b));
+    }
+  }
+}
+
+TEST(SimilaritySelfJoinTest, HighRecallAgainstBruteForce) {
+  auto f = BuildFixture(120);
+  ASSERT_NE(f, nullptr);
+  auto pairs = SimilaritySelfJoin(*f->index, 0.85);
+  ASSERT_TRUE(pairs.ok());
+  ExactEvaluator exact(f->sets);
+  const auto truth = exact.SimilarPairs(0.85);
+  ASSERT_FALSE(truth.empty()) << "fixture must contain near-duplicates";
+  std::size_t found = 0;
+  for (const auto& [a, b, sim] : truth) {
+    if (std::find_if(pairs->begin(), pairs->end(), [&](const SimilarPair& p) {
+          return p.a == a && p.b == b;
+        }) != pairs->end()) {
+      ++found;
+    }
+  }
+  EXPECT_GE(static_cast<double>(found) / static_cast<double>(truth.size()),
+            0.9);
+  // And nothing spurious: every reported pair is genuinely above threshold
+  // (verified), so the join can only miss, never invent.
+  EXPECT_LE(pairs->size(), truth.size());
+}
+
+TEST(TopKSimilarTest, ValidatesArguments) {
+  auto f = BuildFixture(30);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(TopKSimilar(*f->index, f->sets[0], 3, 0, -0.1).ok());
+  auto empty = TopKSimilar(*f->index, f->sets[0], 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(TopKSimilarTest, SelfIsRankFirstUnlessExcluded) {
+  auto f = BuildFixture(80);
+  ASSERT_NE(f, nullptr);
+  auto with_self = TopKSimilar(*f->index, f->sets[5], 3);
+  ASSERT_TRUE(with_self.ok());
+  ASSERT_FALSE(with_self->empty());
+  EXPECT_DOUBLE_EQ((*with_self)[0].similarity, 1.0);
+  auto without = TopKSimilar(*f->index, f->sets[5], 3, /*exclude_sid=*/5);
+  ASSERT_TRUE(without.ok());
+  for (const RankedSet& r : *without) EXPECT_NE(r.sid, 5u);
+}
+
+TEST(TopKSimilarTest, DescendingOrderAndSizeBound) {
+  auto f = BuildFixture(120);
+  ASSERT_NE(f, nullptr);
+  auto top = TopKSimilar(*f->index, f->sets[2], 5);
+  ASSERT_TRUE(top.ok());
+  EXPECT_LE(top->size(), 5u);
+  for (std::size_t i = 1; i < top->size(); ++i) {
+    EXPECT_GE((*top)[i - 1].similarity, (*top)[i].similarity);
+  }
+}
+
+TEST(TopKSimilarTest, AgreesWithBruteForceOnTopResult) {
+  auto f = BuildFixture(120);
+  ASSERT_NE(f, nullptr);
+  ExactEvaluator exact(f->sets);
+  int agree = 0, tried = 0;
+  for (SetId sid = 0; sid < 15; ++sid) {
+    auto top = TopKSimilar(*f->index, f->sets[sid], 1, sid);
+    ASSERT_TRUE(top.ok());
+    // Brute-force best.
+    double best = -1.0;
+    for (SetId other = 0; other < f->sets.size(); ++other) {
+      if (other == sid) continue;
+      best = std::max(best, Jaccard(f->sets[sid], f->sets[other]));
+    }
+    if (best < 0.1) continue;  // below the floor: skip
+    ++tried;
+    if (!top->empty() &&
+        std::fabs((*top)[0].similarity - best) < 1e-9) {
+      ++agree;
+    }
+  }
+  ASSERT_GT(tried, 3);
+  EXPECT_GE(agree, tried * 7 / 10);
+}
+
+}  // namespace
+}  // namespace ssr

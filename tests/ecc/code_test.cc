@@ -1,0 +1,150 @@
+#include "ecc/code.h"
+
+#include <gtest/gtest.h>
+
+#include "ecc/hadamard.h"
+#include "ecc/naive.h"
+#include "ecc/simplex.h"
+#include "hamming/bitvector.h"
+
+namespace ssr {
+namespace {
+
+TEST(CodeFactoryTest, RejectsBadMessageBits) {
+  EXPECT_FALSE(MakeCode(CodeKind::kHadamard, 0).ok());
+  EXPECT_FALSE(MakeCode(CodeKind::kHadamard, 17).ok());
+  EXPECT_TRUE(MakeCode(CodeKind::kHadamard, 1).ok());
+  EXPECT_TRUE(MakeCode(CodeKind::kSimplex, 16).ok());
+  EXPECT_TRUE(MakeCode(CodeKind::kNaiveBinary, 8).ok());
+}
+
+TEST(HadamardTest, Dimensions) {
+  HadamardCode code(8);
+  EXPECT_EQ(code.message_bits(), 8u);
+  EXPECT_EQ(code.codeword_bits(), 256u);
+  EXPECT_EQ(code.pairwise_distance(), 128u);
+  EXPECT_TRUE(code.is_equidistant());
+}
+
+TEST(SimplexTest, Dimensions) {
+  SimplexCode code(8);
+  EXPECT_EQ(code.codeword_bits(), 255u);
+  EXPECT_EQ(code.pairwise_distance(), 128u);
+  EXPECT_TRUE(code.is_equidistant());
+}
+
+TEST(NaiveTest, Dimensions) {
+  NaiveBinaryCode code(8);
+  EXPECT_EQ(code.codeword_bits(), 8u);
+  EXPECT_FALSE(code.is_equidistant());
+}
+
+TEST(HadamardTest, ZeroMessageIsZeroCodeword) {
+  HadamardCode code(6);
+  for (unsigned p = 0; p < code.codeword_bits(); ++p) {
+    EXPECT_FALSE(code.Bit(0, p));
+  }
+}
+
+TEST(HadamardTest, BitIsInnerProductParity) {
+  HadamardCode code(4);
+  // Message 0b0101, position 0b0110 -> common bits 0b0100 -> parity 1.
+  EXPECT_TRUE(code.Bit(0b0101, 0b0110));
+  // Message 0b0101, position 0b1010 -> common 0b0000 -> parity 0.
+  EXPECT_FALSE(code.Bit(0b0101, 0b1010));
+}
+
+TEST(NaiveTest, BitIsIdentity) {
+  NaiveBinaryCode code(8);
+  const std::uint16_t v = 0b10110010;
+  for (unsigned p = 0; p < 8; ++p) {
+    EXPECT_EQ(code.Bit(v, p), ((v >> p) & 1) != 0);
+  }
+}
+
+TEST(CodeTest, EncodeMatchesBitForAllKinds) {
+  for (CodeKind kind :
+       {CodeKind::kHadamard, CodeKind::kSimplex, CodeKind::kNaiveBinary}) {
+    auto code = MakeCode(kind, 6);
+    ASSERT_TRUE(code.ok());
+    std::vector<std::uint64_t> words(code.value()->codeword_words());
+    for (std::uint16_t msg : {0, 1, 17, 42, 63}) {
+      code.value()->Encode(msg, words.data());
+      for (unsigned p = 0; p < code.value()->codeword_bits(); ++p) {
+        const bool from_words = (words[p >> 6] >> (p & 63)) & 1;
+        EXPECT_EQ(from_words, code.value()->Bit(msg, p))
+            << code.value()->name() << " msg=" << msg << " p=" << p;
+      }
+    }
+  }
+}
+
+// Theorem 1's requirement, exhaustively: all pairs of distinct codewords at
+// the exact claimed distance, for every message width we can afford.
+class EquidistanceSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EquidistanceSweep, HadamardExhaustive) {
+  HadamardCode code(GetParam());
+  EXPECT_TRUE(VerifyEquidistant(code).ok());
+}
+
+TEST_P(EquidistanceSweep, SimplexExhaustive) {
+  SimplexCode code(GetParam());
+  EXPECT_TRUE(VerifyEquidistant(code).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(MessageBits, EquidistanceSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+TEST(CodeTest, VerifyEquidistantRejectsNaive) {
+  NaiveBinaryCode code(4);
+  EXPECT_TRUE(VerifyEquidistant(code).IsFailedPrecondition());
+}
+
+TEST(HadamardTest, DistanceExactlyHalfForSpotPairs) {
+  HadamardCode code(8);
+  std::vector<std::uint64_t> u(code.codeword_words());
+  std::vector<std::uint64_t> v(code.codeword_words());
+  for (auto [a, b] : std::vector<std::pair<int, int>>{
+           {0, 1}, {3, 200}, {255, 254}, {17, 18}}) {
+    code.Encode(static_cast<std::uint16_t>(a), u.data());
+    code.Encode(static_cast<std::uint16_t>(b), v.data());
+    unsigned dist = 0;
+    for (std::size_t w = 0; w < u.size(); ++w) {
+      dist += __builtin_popcountll(u[w] ^ v[w]);
+    }
+    EXPECT_EQ(dist, 128u) << a << " vs " << b;
+  }
+}
+
+// The paper's Example 1 distortion: under the naive embedding the bit
+// agreement of two signature vectors is NOT determined by their coordinate
+// agreement.
+TEST(NaiveTest, Example1Distortion) {
+  // V1 = (7,3,5,1), V2 = (3,3,5,3) with 3-bit values; sim(V1,V2) = 0.5 but
+  // the straw-man bit agreement is much higher.
+  NaiveBinaryCode code(3);
+  const std::vector<std::uint16_t> v1{7, 3, 5, 1};
+  const std::vector<std::uint16_t> v2{3, 3, 5, 3};
+  unsigned equal_bits = 0, total_bits = 0;
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    for (unsigned p = 0; p < 3; ++p) {
+      equal_bits += code.Bit(v1[i], p) == code.Bit(v2[i], p) ? 1 : 0;
+      ++total_bits;
+    }
+  }
+  const double agreement =
+      static_cast<double>(equal_bits) / static_cast<double>(total_bits);
+  EXPECT_GT(agreement, 0.7);  // paper reports 0.83 for its bit convention
+}
+
+TEST(CodeTest, NamesIdentifyKindAndWidth) {
+  EXPECT_NE(HadamardCode(8).name().find("hadamard"), std::string::npos);
+  EXPECT_NE(SimplexCode(8).name().find("simplex"), std::string::npos);
+  EXPECT_NE(NaiveBinaryCode(8).name().find("naive"), std::string::npos);
+  EXPECT_NE(HadamardCode(8).name().find("256"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,74 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.dataset = "set1";
+  config.scale = 0.002;  // 400 sets: fast
+  config.table_budget = 60;
+  config.recall_threshold = 0.7;
+  config.num_minhashes = 40;
+  config.queries_per_bucket = 4;
+  config.max_attempts_factor = 4;
+  config.distribution_sample_pairs = 10000;
+  config.run_scan = false;
+  return config;
+}
+
+TEST(HarnessTest, CreateBuildsWorkingIndex) {
+  auto harness = ExperimentHarness::Create(TinyConfig());
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  EXPECT_EQ((*harness)->index().num_live_sets(), 400u);
+  EXPECT_GE((*harness)->achieved_threshold(), 0.6);
+}
+
+TEST(HarnessTest, ImpossibleThresholdFallsBack) {
+  ExperimentConfig config = TinyConfig();
+  config.recall_threshold = 0.999;  // unachievable prediction
+  config.threshold_floor = 0.6;
+  auto harness = ExperimentHarness::Create(config);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  EXPECT_LT((*harness)->achieved_threshold(), 0.999);
+  EXPECT_GE((*harness)->achieved_threshold(), 0.6 - 1e-9);
+}
+
+TEST(HarnessTest, FallbackCanBeDisabled) {
+  ExperimentConfig config = TinyConfig();
+  config.recall_threshold = 0.9999;
+  config.allow_threshold_fallback = false;
+  auto harness = ExperimentHarness::Create(config);
+  EXPECT_FALSE(harness.ok());
+}
+
+TEST(HarnessTest, RunOneProducesConsistentOutcome) {
+  auto harness = ExperimentHarness::Create(TinyConfig());
+  ASSERT_TRUE(harness.ok());
+  RangeQuery query{7, 0.5, 0.9};
+  auto outcome = (*harness)->RunOne(query, /*with_scan=*/false);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome->index.sids.size(), outcome->index.stats.candidates);
+  EXPECT_GE(outcome->recall, 0.0);
+  EXPECT_LE(outcome->recall, 1.0);
+  EXPECT_DOUBLE_EQ(outcome->scan_io_seconds, 0.0);  // scan disabled
+}
+
+TEST(HarnessTest, BucketedSweepReportsUnconditionedAverages) {
+  auto harness = ExperimentHarness::Create(TinyConfig());
+  ASSERT_TRUE(harness.ok());
+  auto result = (*harness)->RunBucketedQueries();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->total_queries_run, 0u);
+  EXPECT_GE(result->overall_avg_recall, 0.0);
+  EXPECT_LE(result->overall_avg_recall, 1.0);
+  EXPECT_GE(result->overall_weighted_recall, 0.0);
+  EXPECT_LE(result->overall_weighted_recall, 1.0);
+  EXPECT_GE(result->overall_weighted_precision, 0.0);
+  EXPECT_LE(result->overall_weighted_precision, 1.0);
+}
+
+}  // namespace
+}  // namespace ssr

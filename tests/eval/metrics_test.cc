@@ -1,0 +1,36 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(MetricsTest, SortedIntersectionCount) {
+  EXPECT_EQ(SortedIntersectionCount({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(SortedIntersectionCount({}, {1}), 0u);
+  EXPECT_EQ(SortedIntersectionCount({1, 5, 9}, {1, 5, 9}), 3u);
+  EXPECT_EQ(SortedIntersectionCount({1, 3}, {2, 4}), 0u);
+}
+
+TEST(MetricsTest, RecallBasics) {
+  EXPECT_DOUBLE_EQ(Recall({1, 2}, {1, 2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(Recall({1, 2, 3, 4}, {1, 2, 3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(Recall({}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Recall({}, {}), 1.0);  // empty truth: perfect
+  EXPECT_DOUBLE_EQ(Recall({9, 10}, {}), 1.0);
+}
+
+TEST(MetricsTest, RecallIgnoresExtraAnswers) {
+  // Extra (false positive) answers do not raise recall above 1.
+  EXPECT_DOUBLE_EQ(Recall({1, 2, 3, 99}, {1, 2, 3}), 1.0);
+}
+
+TEST(MetricsTest, CandidatePrecision) {
+  EXPECT_DOUBLE_EQ(CandidatePrecision(5, 10), 0.5);
+  EXPECT_DOUBLE_EQ(CandidatePrecision(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(CandidatePrecision(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(CandidatePrecision(0, 0), 1.0);  // nothing fetched
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,53 @@
+#include "eval/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(TablePrinterTest, RendersHeadersAndRows) {
+  TablePrinter table({"bucket", "recall", "precision"});
+  table.AddRow({"<0.5%", "0.93", "0.88"});
+  table.AddRow({"0.5-5%", "0.91", "0.80"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("bucket"), std::string::npos);
+  EXPECT_NE(text.find("<0.5%"), std::string::npos);
+  EXPECT_NE(text.find("0.91"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter table({"x", "yyyyyyy"});
+  table.AddRow({"aaaaaaaaaa", "1"});
+  std::ostringstream out;
+  table.Print(out);
+  std::istringstream lines(out.str());
+  std::string header, underline, row;
+  std::getline(lines, header);
+  std::getline(lines, underline);
+  std::getline(lines, row);
+  // Second column starts at the same offset in header and row.
+  EXPECT_EQ(header.find("yyyyyyy") > 0, true);
+  EXPECT_EQ(row.find('1'), header.find("yyyyyyy"));
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Pct(0.873, 1), "87.3%");
+  EXPECT_EQ(TablePrinter::Count(42), "42");
+}
+
+}  // namespace
+}  // namespace ssr

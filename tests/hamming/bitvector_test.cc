@@ -1,0 +1,138 @@
+#include "hamming/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ssr {
+namespace {
+
+TEST(BitVectorTest, ConstructionZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.PopCount(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.Get(i));
+}
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector v(70);
+  v.Set(0, true);
+  v.Set(63, true);
+  v.Set(64, true);
+  v.Set(69, true);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(69));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_EQ(v.PopCount(), 4u);
+  v.Set(63, false);
+  EXPECT_FALSE(v.Get(63));
+  EXPECT_EQ(v.PopCount(), 3u);
+}
+
+TEST(BitVectorTest, FromStringRoundTrip) {
+  const std::string bits = "0110100111010001";
+  BitVector v = BitVector::FromString(bits);
+  EXPECT_EQ(v.size(), bits.size());
+  EXPECT_EQ(v.ToString(), bits);
+}
+
+TEST(BitVectorTest, ComplementFlipsAllBitsAndKeepsInvariant) {
+  BitVector v = BitVector::FromString("0110100");
+  BitVector c = v.Complement();
+  EXPECT_EQ(c.ToString(), "1001011");
+  EXPECT_EQ(v.PopCount() + c.PopCount(), v.size());
+  // The word tail beyond size() must stay zero so word ops remain exact.
+  BitVector big(100);
+  big.ComplementInPlace();
+  EXPECT_EQ(big.PopCount(), 100u);
+}
+
+TEST(BitVectorTest, DoubleComplementIsIdentity) {
+  Rng rng(21);
+  BitVector v(150);
+  for (std::size_t i = 0; i < 150; ++i) v.Set(i, rng.Bernoulli(0.4));
+  EXPECT_EQ(v.Complement().Complement(), v);
+}
+
+TEST(BitVectorTest, AppendBits) {
+  BitVector v;
+  v.AppendBits(0b1011, 4);
+  v.AppendBits(0b01, 2);
+  EXPECT_EQ(v.ToString(), "110110");
+  EXPECT_EQ(v.size(), 6u);
+}
+
+TEST(BitVectorTest, AppendWordsAcrossBoundaries) {
+  BitVector v;
+  std::uint64_t words[2] = {~0ULL, 0b101ULL};
+  v.AppendWords(words, 67);
+  EXPECT_EQ(v.size(), 67u);
+  EXPECT_EQ(v.PopCount(), 66u);  // 64 ones + bits 0 and 2 of the second word
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_FALSE(v.Get(65));
+  EXPECT_TRUE(v.Get(66));
+}
+
+TEST(BitVectorTest, HammingDistanceBasics) {
+  BitVector a = BitVector::FromString("10110");
+  BitVector b = BitVector::FromString("10011");
+  EXPECT_EQ(HammingDistance(a, b), 2u);
+  EXPECT_EQ(HammingDistance(a, a), 0u);
+}
+
+TEST(BitVectorTest, HammingSimilarityDefinition4) {
+  BitVector a = BitVector::FromString("1111");
+  BitVector b = BitVector::FromString("1100");
+  EXPECT_DOUBLE_EQ(HammingSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(HammingSimilarity(a, a), 1.0);
+  BitVector empty1, empty2;
+  EXPECT_DOUBLE_EQ(HammingSimilarity(empty1, empty2), 1.0);
+}
+
+TEST(BitVectorTest, DistanceSymmetricAndTriangle) {
+  Rng rng(22);
+  for (int t = 0; t < 50; ++t) {
+    BitVector a(200), b(200), c(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+      a.Set(i, rng.Bernoulli(0.5));
+      b.Set(i, rng.Bernoulli(0.5));
+      c.Set(i, rng.Bernoulli(0.5));
+    }
+    EXPECT_EQ(HammingDistance(a, b), HammingDistance(b, a));
+    EXPECT_LE(HammingDistance(a, c),
+              HammingDistance(a, b) + HammingDistance(b, c));
+  }
+}
+
+TEST(BitVectorTest, ComplementDistanceIdentity) {
+  // Theorem 2's engine: d(a, ~b) = t - d(a, b).
+  Rng rng(23);
+  for (int t = 0; t < 50; ++t) {
+    BitVector a(128), b(128);
+    for (std::size_t i = 0; i < 128; ++i) {
+      a.Set(i, rng.Bernoulli(0.3));
+      b.Set(i, rng.Bernoulli(0.7));
+    }
+    EXPECT_EQ(HammingDistance(a, b.Complement()),
+              128u - HammingDistance(a, b));
+    EXPECT_DOUBLE_EQ(HammingSimilarity(a, b.Complement()),
+                     1.0 - HammingSimilarity(a, b));
+  }
+}
+
+TEST(BitVectorTest, PopCountMatchesManualCount) {
+  Rng rng(24);
+  BitVector v(300);
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const bool bit = rng.Bernoulli(0.5);
+    v.Set(i, bit);
+    manual += bit ? 1 : 0;
+  }
+  EXPECT_EQ(v.PopCount(), manual);
+}
+
+}  // namespace
+}  // namespace ssr

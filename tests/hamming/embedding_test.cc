@@ -1,0 +1,153 @@
+#include "hamming/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+EmbeddingParams MakeParams(std::size_t k, unsigned bits,
+                           CodeKind kind = CodeKind::kHadamard) {
+  EmbeddingParams p;
+  p.minhash.num_hashes = k;
+  p.minhash.value_bits = bits;
+  p.minhash.seed = 31;
+  p.code_kind = kind;
+  return p;
+}
+
+TEST(EmbeddingTest, CreateValidatesParams) {
+  EXPECT_TRUE(Embedding::Create(MakeParams(10, 8)).ok());
+  EXPECT_FALSE(Embedding::Create(MakeParams(0, 8)).ok());
+  EXPECT_FALSE(Embedding::Create(MakeParams(10, 0)).ok());
+}
+
+TEST(EmbeddingTest, DimensionIsMTimesK) {
+  auto e = Embedding::Create(MakeParams(10, 8));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->dimension(), 10u * 256u);
+  auto simplex = Embedding::Create(MakeParams(10, 8, CodeKind::kSimplex));
+  EXPECT_EQ(simplex->dimension(), 10u * 255u);
+  auto naive = Embedding::Create(MakeParams(10, 8, CodeKind::kNaiveBinary));
+  EXPECT_EQ(naive->dimension(), 10u * 8u);
+}
+
+TEST(EmbeddingTest, DistanceRatioHalfForHadamard) {
+  auto e = Embedding::Create(MakeParams(4, 6));
+  EXPECT_DOUBLE_EQ(e->distance_ratio(), 0.5);
+  auto s = Embedding::Create(MakeParams(4, 6, CodeKind::kSimplex));
+  EXPECT_DOUBLE_EQ(s->distance_ratio(), 32.0 / 63.0);
+  auto n = Embedding::Create(MakeParams(4, 6, CodeKind::kNaiveBinary));
+  EXPECT_DOUBLE_EQ(n->distance_ratio(), 0.0);
+}
+
+// Theorem 1, deterministically: two signatures agreeing on fraction s embed
+// at Hamming distance exactly (1-s)·k·d, i.e. S_H = 1 − (1−s)·ρ.
+TEST(EmbeddingTest, Theorem1ExactForHadamard) {
+  auto e = Embedding::Create(MakeParams(8, 8));
+  ASSERT_TRUE(e.ok());
+  // Signatures agreeing on 6 of 8 coordinates: s = 0.75.
+  Signature a(std::vector<std::uint16_t>{1, 2, 3, 4, 5, 6, 7, 8});
+  Signature b(std::vector<std::uint16_t>{1, 2, 3, 4, 5, 6, 9, 10});
+  const BitVector ha = e->EmbedSignature(a);
+  const BitVector hb = e->EmbedSignature(b);
+  EXPECT_EQ(ha.size(), e->dimension());
+  // Exactly 2 differing coordinates × m/2 = 128 differing bits each.
+  EXPECT_EQ(HammingDistance(ha, hb), 2u * 128u);
+  EXPECT_DOUBLE_EQ(HammingSimilarity(ha, hb),
+                   e->SetToHammingSimilarity(0.75));
+}
+
+TEST(EmbeddingTest, Theorem1SweepAllAgreementLevels) {
+  auto e = Embedding::Create(MakeParams(10, 6));
+  ASSERT_TRUE(e.ok());
+  const unsigned m = e->code().codeword_bits();  // 64
+  for (std::size_t agree = 0; agree <= 10; ++agree) {
+    Signature a(10), b(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+      a[i] = static_cast<std::uint16_t>(i + 1);
+      b[i] = i < agree ? a[i] : static_cast<std::uint16_t>(40 + i);
+    }
+    const std::size_t dist =
+        HammingDistance(e->EmbedSignature(a), e->EmbedSignature(b));
+    EXPECT_EQ(dist, (10 - agree) * (m / 2));
+  }
+}
+
+TEST(EmbeddingTest, NaiveEmbeddingDistorts) {
+  // The same 50%-agreement signatures yield wildly varying bit agreement
+  // under the naive code (Example 1); confirm it deviates from the affine
+  // mapping for at least one pair.
+  auto e = Embedding::Create(MakeParams(4, 3, CodeKind::kNaiveBinary));
+  ASSERT_TRUE(e.ok());
+  Signature a(std::vector<std::uint16_t>{7, 3, 5, 1});
+  Signature b(std::vector<std::uint16_t>{3, 3, 5, 3});  // agreement 0.5
+  const double sh = HammingSimilarity(e->EmbedSignature(a),
+                                      e->EmbedSignature(b));
+  EXPECT_NEAR(sh, 0.8333, 0.01);  // paper's Example 1: 0.83, not 0.5
+}
+
+TEST(EmbeddingTest, SimilarityMappingsRoundTrip) {
+  auto e = Embedding::Create(MakeParams(10, 8));
+  for (double s : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    const double sh = e->SetToHammingSimilarity(s);
+    EXPECT_NEAR(e->HammingToSetSimilarity(sh), s, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(e->SetToHammingSimilarity(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(e->SetToHammingSimilarity(0.0), 0.5);  // Hadamard ρ = 1/2
+}
+
+TEST(EmbeddingTest, DistanceRangeMapping) {
+  auto e = Embedding::Create(MakeParams(10, 8));
+  const std::size_t dim = e->dimension();
+  auto [d_min, d_max] = e->SimilarityRangeToDistanceRange(0.0, 1.0);
+  EXPECT_EQ(d_min, 0u);
+  EXPECT_EQ(d_max, dim / 2);
+  auto [d1, d2] = e->SimilarityRangeToDistanceRange(0.5, 0.9);
+  EXPECT_LT(d1, d2);
+  EXPECT_NEAR(static_cast<double>(d1), 0.05 * dim, 2.0);
+  EXPECT_NEAR(static_cast<double>(d2), 0.25 * dim, 2.0);
+}
+
+TEST(EmbeddingTest, EmbeddedBitMatchesMaterialized) {
+  auto e = Embedding::Create(MakeParams(6, 7));
+  ASSERT_TRUE(e.ok());
+  Rng rng(33);
+  Signature sig(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    sig[i] = static_cast<std::uint16_t>(rng.Uniform(128));
+  }
+  const BitVector full = e->EmbedSignature(sig);
+  for (std::size_t p = 0; p < e->dimension(); ++p) {
+    EXPECT_EQ(e->EmbeddedBit(sig, p), full.Get(p)) << "pos " << p;
+  }
+}
+
+// End-to-end: embedded Hamming similarity of real sets approximates the
+// affine map of their Jaccard similarity.
+TEST(EmbeddingTest, EndToEndSimilarityPreservation) {
+  auto e = Embedding::Create(MakeParams(500, 8));
+  ASSERT_TRUE(e.ok());
+  ElementSet a, b;
+  for (ElementId x = 0; x < 60; ++x) a.push_back(x);
+  for (ElementId x = 20; x < 80; ++x) b.push_back(x);
+  NormalizeSet(a);
+  NormalizeSet(b);
+  const double sim = Jaccard(a, b);  // 40/80 = 0.5
+  const double sh = HammingSimilarity(e->Embed(a), e->Embed(b));
+  EXPECT_NEAR(sh, e->SetToHammingSimilarity(sim), 0.03);
+}
+
+TEST(EmbeddingTest, CopyShareComponentsSafely) {
+  auto e = Embedding::Create(MakeParams(8, 8));
+  ASSERT_TRUE(e.ok());
+  Embedding copy = *e;  // cheap copy sharing hasher/code
+  const ElementSet set{1, 2, 3};
+  EXPECT_EQ(copy.Sign(set), e->Sign(set));
+  EXPECT_EQ(copy.dimension(), e->dimension());
+}
+
+}  // namespace
+}  // namespace ssr

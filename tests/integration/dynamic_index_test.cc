@@ -1,0 +1,162 @@
+// Dynamic-maintenance integration: Section 4.3 claims the scheme "readily
+// supports dynamic operations" because its primitives are hash indices.
+// Drive a mixed insert/delete/query workload and check the index never
+// returns a deleted sid and keeps finding live near-duplicates.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_evaluator.h"
+#include "core/set_similarity_index.h"
+#include "eval/metrics.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+ElementSet RandomSet(Rng& rng, std::size_t max_size = 60) {
+  ElementSet s;
+  const std::size_t n = 10 + rng.Uniform(max_size);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(rng.Uniform(5000));
+  NormalizeSet(s);
+  if (s.empty()) s.push_back(1);
+  return s;
+}
+
+TEST(DynamicIndexTest, MixedWorkloadStaysConsistent) {
+  SetStore store;
+  IndexLayout layout;
+  layout.delta = 0.4;
+  layout.points = {{0.2, FilterKind::kDissimilarity, 8, 0},
+                   {0.4, FilterKind::kDissimilarity, 8, 0},
+                   {0.4, FilterKind::kSimilarity, 8, 0},
+                   {0.8, FilterKind::kSimilarity, 8, 0}};
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 60;
+  options.embedding.minhash.seed = 404;
+
+  // Start with a seed population.
+  Rng rng(505);
+  std::vector<ElementSet> live_sets;  // by sid; empty = deleted
+  for (int i = 0; i < 150; ++i) {
+    const ElementSet s = RandomSet(rng);
+    ASSERT_TRUE(store.Add(s).ok());
+    live_sets.push_back(s);
+  }
+  auto built = SetSimilarityIndex::Build(store, layout, options);
+  ASSERT_TRUE(built.ok());
+  SetSimilarityIndex index = std::move(built).value();
+
+  std::vector<bool> alive(live_sets.size(), true);
+  for (int op = 0; op < 200; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.35) {
+      // Insert (sometimes a clone of a live set to create high-sim pairs).
+      ElementSet s;
+      if (rng.Bernoulli(0.5)) {
+        std::size_t base;
+        do {
+          base = rng.Uniform(live_sets.size());
+        } while (!alive[base]);
+        s = live_sets[base];
+        if (!s.empty() && rng.Bernoulli(0.5)) {
+          s[rng.Uniform(s.size())] = rng.Uniform(5000);
+          NormalizeSet(s);
+        }
+      } else {
+        s = RandomSet(rng);
+      }
+      auto sid = store.Add(s);
+      ASSERT_TRUE(sid.ok());
+      ASSERT_TRUE(index.Insert(sid.value(), s).ok());
+      live_sets.push_back(s);
+      alive.push_back(true);
+    } else if (dice < 0.55) {
+      // Delete a random live sid.
+      std::size_t victim;
+      do {
+        victim = rng.Uniform(live_sets.size());
+      } while (!alive[victim]);
+      ASSERT_TRUE(index.Erase(static_cast<SetId>(victim)).ok());
+      ASSERT_TRUE(store.Delete(static_cast<SetId>(victim)).ok());
+      alive[victim] = false;
+    } else {
+      // Query: answers must be live and exactly correct (verified), and
+      // recall against the exact answer reasonable.
+      std::size_t qsid;
+      do {
+        qsid = rng.Uniform(live_sets.size());
+      } while (!alive[qsid]);
+      const double s1 = rng.NextDouble() * 0.7;
+      const double s2 = s1 + 0.15 + rng.NextDouble() * (1.0 - s1 - 0.15);
+      auto result = index.Query(live_sets[qsid], s1, s2);
+      ASSERT_TRUE(result.ok());
+      for (SetId sid : result->sids) {
+        EXPECT_TRUE(alive[sid]) << "deleted sid " << sid << " returned";
+        const double sim = Jaccard(live_sets[sid], live_sets[qsid]);
+        EXPECT_GE(sim, s1 - 1e-9);
+        EXPECT_LE(sim, s2 + 1e-9);
+      }
+    }
+  }
+  // Self-queries on live sids must find themselves.
+  int found_self = 0, tried = 0;
+  for (std::size_t sid = 0; sid < live_sets.size() && tried < 30; ++sid) {
+    if (!alive[sid]) continue;
+    ++tried;
+    auto result = index.Query(live_sets[sid], 0.95, 1.0);
+    ASSERT_TRUE(result.ok());
+    if (std::binary_search(result->sids.begin(), result->sids.end(),
+                           static_cast<SetId>(sid))) {
+      ++found_self;
+    }
+  }
+  EXPECT_GE(found_self, tried * 9 / 10);
+}
+
+TEST(DynamicIndexTest, RebuildEquivalence) {
+  // An index that saw inserts/deletes answers like one built from scratch
+  // on the final collection (same seeds -> same hash tables).
+  Rng rng(606);
+  SetStore store_a, store_b;
+  IndexLayout layout;
+  layout.delta = 0.5;
+  layout.points = {{0.5, FilterKind::kDissimilarity, 6, 0},
+                   {0.5, FilterKind::kSimilarity, 6, 0}};
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 40;
+  options.embedding.minhash.seed = 707;
+  options.seed = 808;
+
+  std::vector<ElementSet> sets;
+  for (int i = 0; i < 80; ++i) sets.push_back(RandomSet(rng));
+
+  // A: build on the first 50, then insert the remaining 30.
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(store_a.Add(sets[i]).ok());
+  auto a = SetSimilarityIndex::Build(store_a, layout, options);
+  ASSERT_TRUE(a.ok());
+  for (int i = 50; i < 80; ++i) {
+    auto sid = store_a.Add(sets[i]);
+    ASSERT_TRUE(sid.ok());
+    ASSERT_TRUE(a->Insert(sid.value(), sets[i]).ok());
+  }
+  // B: build on all 80 at once.
+  for (int i = 0; i < 80; ++i) ASSERT_TRUE(store_b.Add(sets[i]).ok());
+  auto b = SetSimilarityIndex::Build(store_b, layout, options);
+  ASSERT_TRUE(b.ok());
+
+  for (int t = 0; t < 10; ++t) {
+    const ElementSet& q = sets[rng.Uniform(sets.size())];
+    const double s1 = rng.NextDouble() * 0.5;
+    const double s2 = s1 + 0.2;
+    auto ra = a->Query(q, s1, s2);
+    auto rb = b->Query(q, s1, s2);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(ra->sids, rb->sids);
+  }
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,151 @@
+// Whole-pipeline integration: dataset generation -> store -> Lemma 1
+// distribution -> Figure 4 optimizer -> composite index -> bucketed query
+// sweep, checking the paper's qualitative outcomes at test scale.
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential_scan.h"
+#include "eval/harness.h"
+
+namespace ssr {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.dataset = "set1";
+  config.scale = 0.004;  // 800 sets
+  config.table_budget = 100;
+  config.recall_threshold = 0.8;
+  config.num_minhashes = 60;
+  config.queries_per_bucket = 8;
+  config.max_attempts_factor = 10;
+  config.distribution_sample_pairs = 20000;
+  config.run_scan = true;
+  return config;
+}
+
+TEST(EndToEndTest, HarnessBuildsAndMeetsRecallObjective) {
+  auto harness = ExperimentHarness::Create(SmallConfig());
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  const BuiltLayout& layout = (*harness)->layout();
+  EXPECT_TRUE(layout.layout.Validate().ok());
+  EXPECT_GE(layout.predicted_recall, 0.8);
+  EXPECT_LE(layout.layout.total_tables(), 100u);
+  EXPECT_EQ((*harness)->index().num_live_sets(), 800u);
+}
+
+TEST(EndToEndTest, BucketedSweepProducesSaneAggregates) {
+  auto harness = ExperimentHarness::Create(SmallConfig());
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  auto result = (*harness)->RunBucketedQueries();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->buckets.size(), 5u);
+  EXPECT_GT(result->total_queries_run, 0u);
+  std::size_t populated = 0;
+  double recall_weighted = 0.0;
+  std::size_t recall_count = 0;
+  for (const auto& bucket : result->buckets) {
+    if (bucket.query_count == 0) continue;
+    ++populated;
+    EXPECT_GE(bucket.avg_recall, 0.0);
+    EXPECT_LE(bucket.avg_recall, 1.0);
+    EXPECT_GE(bucket.avg_precision, 0.0);
+    EXPECT_LE(bucket.avg_precision, 1.0);
+    EXPECT_GE(bucket.avg_candidates, bucket.avg_results);
+    recall_weighted += bucket.avg_recall * bucket.query_count;
+    recall_count += bucket.query_count;
+  }
+  ASSERT_GE(populated, 2u) << "sweep failed to populate buckets";
+  (void)recall_weighted;
+  (void)recall_count;
+  // The optimizer was asked for 80% expected recall in the paper's
+  // Definition 8 (ratio-of-expectations) sense; the measured unconditioned
+  // average should be in that neighbourhood (slack for small samples).
+  // Per-bucket averages are adversely selected (buckets over-sample
+  // empty-answer queries) and are not the objective.
+  EXPECT_GT(result->overall_weighted_recall, 0.65);
+}
+
+TEST(EndToEndTest, SingleQueryOutcomeConsistency) {
+  auto harness = ExperimentHarness::Create(SmallConfig());
+  ASSERT_TRUE(harness.ok());
+  RangeQuery query;
+  query.query_sid = 5;
+  query.sigma1 = 0.6;
+  query.sigma2 = 0.95;
+  auto outcome = (*harness)->RunOne(query, /*with_scan=*/true);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome->index.sids.size(), outcome->index.stats.candidates);
+  EXPECT_GE(outcome->recall, 0.0);
+  EXPECT_LE(outcome->recall, 1.0);
+  EXPECT_GT(outcome->scan_io_seconds, 0.0);
+  EXPECT_GT(outcome->index.stats.io.random_reads, 0u);
+  EXPECT_EQ(outcome->index.stats.io.sequential_reads, 0u);
+}
+
+TEST(EndToEndTest, CrossoverGovernsIndexVsScan) {
+  // Section 6: the index wins while the candidate fetch volume stays below
+  // the |S|*a/rtn bound; beyond it the scan's sequential advantage takes
+  // over. Drive each side of the bound deterministically. The collection
+  // must be large relative to the table budget: probing l buckets costs l
+  // random reads, so a tiny collection is always cheaper to scan (the
+  // paper runs 1000 tables against ~100,000 pages).
+  ExperimentConfig config = SmallConfig();
+  config.scale = 0.01;        // ~2000 sets, ~700 pages
+  config.table_budget = 50;   // probes stay well under pages/rtn
+  config.recall_threshold = 0.75;
+  auto harness = ExperimentHarness::Create(config);
+  ASSERT_TRUE(harness.ok());
+  ExperimentHarness& h = **harness;
+  const double crossover = ScanCrossoverResultSize(h.store());
+  ASSERT_GT(crossover, 0.0);
+
+  // Below the crossover: a freshly inserted globally-unique set has no
+  // similar companions, so a high-similarity query fetches almost nothing.
+  ElementSet unique_set;
+  for (ElementId e = 0; e < 200; ++e) unique_set.push_back(900000000 + e);
+  auto sid = h.store().Add(unique_set);
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(h.index().Insert(sid.value(), unique_set).ok());
+  h.store().buffer_pool().Clear();
+  auto cheap = h.index().Query(unique_set, 0.9, 1.0);
+  ASSERT_TRUE(cheap.ok());
+  EXPECT_LT(static_cast<double>(cheap->stats.sets_fetched),
+            0.5 * crossover);
+  h.store().buffer_pool().Clear();
+  auto scan = SequentialScanQuery(h.store(), unique_set, 0.9, 1.0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_LT(cheap->stats.io_seconds, scan->stats.io_seconds)
+      << "index should win below the crossover (fetched "
+      << cheap->stats.sets_fetched << ", crossover " << crossover << ")";
+
+  // Above the crossover: a broad low-similarity range fetches a large
+  // fraction of the collection; the sequential scan must win.
+  const ElementSet& q = h.collection()[3];
+  h.store().buffer_pool().Clear();
+  auto expensive = h.index().Query(q, 0.02, 0.6);
+  ASSERT_TRUE(expensive.ok());
+  if (static_cast<double>(expensive->stats.sets_fetched) > 3.0 * crossover) {
+    h.store().buffer_pool().Clear();
+    auto scan2 = SequentialScanQuery(h.store(), q, 0.02, 0.6);
+    ASSERT_TRUE(scan2.ok());
+    EXPECT_GT(expensive->stats.io_seconds, scan2->stats.io_seconds)
+        << "scan should win above the crossover (fetched "
+        << expensive->stats.sets_fetched << ")";
+  }
+}
+
+TEST(EndToEndTest, CrossoverBoundReported) {
+  auto harness = ExperimentHarness::Create(SmallConfig());
+  ASSERT_TRUE(harness.ok());
+  auto result = (*harness)->RunBucketedQueries();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->crossover_result_size, 0.0);
+  EXPECT_LT(result->crossover_result_size,
+            static_cast<double>(result->collection_size));
+  EXPECT_GT(result->avg_set_pages, 0.0);
+  EXPECT_GT(result->heap_pages, 0u);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,177 @@
+// Direct checks of the paper's formal claims at test scale:
+//   * Theorem 1 (ECC embedding preserves similarity affinely),
+//   * Theorem 2 (complement trick reverses the similarity order),
+//   * Equation 4 (the p_{r,l} collision probability, measured vs analytic),
+//   * Section 6's crossover estimate (~23% of the collection for the
+//     paper's parameters).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential_scan.h"
+#include "core/filter_function.h"
+#include "core/sfi.h"
+#include "hamming/embedding.h"
+#include "storage/set_store.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+Embedding MakeEmbedding(std::size_t k, unsigned bits, std::uint64_t seed) {
+  EmbeddingParams p;
+  p.minhash.num_hashes = k;
+  p.minhash.value_bits = bits;
+  p.minhash.seed = seed;
+  auto e = Embedding::Create(p);
+  EXPECT_TRUE(e.ok());
+  return std::move(e).value();
+}
+
+TEST(PaperClaimsTest, Theorem1DistanceFormula) {
+  // d_H(h(V1), h(V2)) = (1 - s)/2 * D for signature agreement s.
+  Embedding e = MakeEmbedding(20, 8, 1);
+  const std::size_t dim = e.dimension();
+  for (std::size_t agree : {0u, 5u, 10u, 15u, 20u}) {
+    Signature v1(20), v2(20);
+    for (std::size_t i = 0; i < 20; ++i) {
+      v1[i] = static_cast<std::uint16_t>(i + 1);
+      v2[i] = i < agree ? v1[i] : static_cast<std::uint16_t>(100 + i);
+    }
+    const double s = static_cast<double>(agree) / 20.0;
+    const std::size_t expected =
+        static_cast<std::size_t>((1.0 - s) / 2.0 * static_cast<double>(dim));
+    EXPECT_EQ(HammingDistance(e.EmbedSignature(v1), e.EmbedSignature(v2)),
+              expected);
+  }
+}
+
+TEST(PaperClaimsTest, Theorem2ComplementEquivalence) {
+  // s_H(h, ~q) >= 1 - s  <=>  s_H(h, q) <= s, via the exact identity
+  // s_H(h, ~q) = 1 - s_H(h, q).
+  Rng rng(2);
+  for (int t = 0; t < 100; ++t) {
+    BitVector h(256), q(256);
+    for (std::size_t i = 0; i < 256; ++i) {
+      h.Set(i, rng.Bernoulli(0.5));
+      q.Set(i, rng.Bernoulli(0.5));
+    }
+    const double s = HammingSimilarity(h, q);
+    EXPECT_NEAR(HammingSimilarity(h, q.Complement()), 1.0 - s, 1e-12);
+  }
+}
+
+TEST(PaperClaimsTest, Equation4CollisionProbabilityMeasured) {
+  // Build an SFI and measure the collision rate of vector pairs at a known
+  // Hamming similarity against p_{r,l}(s) = 1 - (1 - s^r)^l.
+  Embedding e = MakeEmbedding(100, 8, 3);
+  SfiParams params;
+  params.s_star = 0.80;
+  params.l = 10;
+  auto sfi = SimilarityFilterIndex::Create(e, params, 2000);
+  ASSERT_TRUE(sfi.ok());
+
+  // Query of 100 elements; population at controlled overlap.
+  ElementSet query;
+  for (ElementId x = 0; x < 100; ++x) query.push_back(x);
+  const FilterFunction& f = sfi->filter();
+
+  struct Level {
+    std::size_t inter;
+  };
+  for (std::size_t inter : {95u, 80u, 60u, 30u}) {
+    // sim = inter / (200 - inter); Hamming sim = (1 + sim)/2.
+    const double sim = static_cast<double>(inter) /
+                       static_cast<double>(200 - inter);
+    const double s_h = e.SetToHammingSimilarity(sim);
+    const double predicted = f.Collision(s_h);
+    // Fresh SFI per level to avoid cross-contamination.
+    auto level_sfi = SimilarityFilterIndex::Create(e, params, 500);
+    ASSERT_TRUE(level_sfi.ok());
+    const int kTrials = 300;
+    for (int c = 0; c < kTrials; ++c) {
+      ElementSet s(query.begin(), query.begin() + inter);
+      for (std::size_t i = 0; i < 100 - inter; ++i) {
+        s.push_back(1000000 + static_cast<ElementId>(c) * 1000 + i);
+      }
+      NormalizeSet(s);
+      level_sfi->Insert(static_cast<SetId>(c), e.Sign(s));
+    }
+    const auto found = level_sfi->SimVector(e.Sign(query));
+    const double measured =
+        static_cast<double>(found.size()) / static_cast<double>(kTrials);
+    // Minhash noise makes the effective s_H itself a random variable, so
+    // allow a wide but informative band.
+    EXPECT_NEAR(measured, predicted, 0.22)
+        << "inter=" << inter << " sim=" << sim << " s_H=" << s_h;
+  }
+}
+
+TEST(PaperClaimsTest, Equation4MonotoneInSimilarity) {
+  // Higher-similarity populations are retrieved at higher rates.
+  Embedding e = MakeEmbedding(100, 8, 4);
+  SfiParams params;
+  params.s_star = 0.8;
+  params.l = 12;
+  auto sfi = SimilarityFilterIndex::Create(e, params, 2000);
+  ASSERT_TRUE(sfi.ok());
+  ElementSet query;
+  for (ElementId x = 0; x < 100; ++x) query.push_back(x);
+  std::vector<double> rates;
+  SetId next = 0;
+  std::vector<std::vector<SetId>> level_sids;
+  for (std::size_t inter : {30u, 60u, 80u, 95u}) {
+    level_sids.emplace_back();
+    for (int c = 0; c < 200; ++c) {
+      ElementSet s(query.begin(), query.begin() + inter);
+      for (std::size_t i = 0; i < 100 - inter; ++i) {
+        s.push_back(2000000 + static_cast<ElementId>(next) * 1000 + i);
+      }
+      NormalizeSet(s);
+      sfi->Insert(next, e.Sign(s));
+      level_sids.back().push_back(next);
+      ++next;
+    }
+  }
+  const auto found = sfi->SimVector(e.Sign(query));
+  for (const auto& sids : level_sids) {
+    int hits = 0;
+    for (SetId sid : sids) {
+      if (std::binary_search(found.begin(), found.end(), sid)) ++hits;
+    }
+    rates.push_back(static_cast<double>(hits) / 200.0);
+  }
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    EXPECT_GE(rates[i] + 0.05, rates[i - 1])
+        << "retrieval rate not monotone at level " << i;
+  }
+  EXPECT_GT(rates.back(), 0.8);   // 95/105 sim, far above s*
+  EXPECT_LT(rates.front(), 0.4);  // 30/170 sim, far below s*
+}
+
+TEST(PaperClaimsTest, CrossoverNearQuarterOfCollectionForPaperShape) {
+  // Section 6: with rtn = 8 and the paper's set sizes (~2KB/set, i.e. about
+  // half a 4K page), the bound |S|·a/rtn lands around 23% of |S|... check
+  // our formula reproduces the ~1/4 ballpark when a ≈ 2.
+  // a (pages/set) = 2KB/4KB = 0.5 gives 6.25%; the paper's 23% corresponds
+  // to a ≈ 1.86 effective pages per random fetch (record + slack). We
+  // verify the formula itself: fraction = a / rtn.
+  SetStore store;
+  for (int i = 0; i < 50; ++i) {
+    ElementSet s;
+    for (ElementId e = 0; e < 1000; ++e) {
+      s.push_back(static_cast<ElementId>(i) * 10000 + e);
+    }
+    ASSERT_TRUE(store.Add(s).ok());  // 8008 bytes ≈ 1.955 pages
+  }
+  const double fraction =
+      ScanCrossoverResultSize(store) / static_cast<double>(store.size());
+  EXPECT_NEAR(fraction, 1.955 / 8.0, 0.01);
+  EXPECT_GT(fraction, 0.2);
+  EXPECT_LT(fraction, 0.3);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,93 @@
+#include "minhash/estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "minhash/min_hasher.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+TEST(EstimatorTest, CollisionProbabilityIsTwoToMinusB) {
+  EXPECT_DOUBLE_EQ(SimilarityEstimator(8).collision_probability(),
+                   1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(SimilarityEstimator(1).collision_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(SimilarityEstimator(16).collision_probability(),
+                   1.0 / 65536.0);
+}
+
+TEST(EstimatorTest, CorrectionMapsEndpoints) {
+  SimilarityEstimator est(8);
+  Signature a(std::vector<std::uint16_t>{1, 2, 3, 4});
+  Signature same = a;
+  // Full agreement estimates 1 even after correction.
+  EXPECT_DOUBLE_EQ(est.Estimate(a, same), 1.0);
+  // Zero agreement is clamped to 0 (raw below the collision floor).
+  Signature other(std::vector<std::uint16_t>{9, 10, 11, 12});
+  EXPECT_DOUBLE_EQ(est.Estimate(a, other), 0.0);
+}
+
+TEST(EstimatorTest, CorrectionRemovesLowBitBias) {
+  // With only 4-bit values, disjoint sets agree on ~1/16 of coordinates by
+  // fingerprint collision; the corrected estimate should be near zero while
+  // the raw one is visibly inflated.
+  MinHashParams params;
+  params.num_hashes = 4000;
+  params.value_bits = 4;
+  params.seed = 11;
+  MinHasher hasher(params);
+  ElementSet a, b;
+  for (ElementId e = 0; e < 40; ++e) {
+    a.push_back(e);
+    b.push_back(500 + e);
+  }
+  const Signature sa = hasher.Sign(a);
+  const Signature sb = hasher.Sign(b);
+  SimilarityEstimator est(4);
+  const double raw = est.RawEstimate(sa, sb);
+  const double corrected = est.Estimate(sa, sb);
+  EXPECT_GT(raw, 0.035);  // ~1/16 = 0.0625 expected
+  EXPECT_LT(raw, 0.095);
+  EXPECT_LT(corrected, 0.02);
+}
+
+TEST(EstimatorTest, CorrectedEstimateTracksTrueSimilarity) {
+  MinHashParams params;
+  params.num_hashes = 3000;
+  params.value_bits = 8;
+  params.seed = 12;
+  MinHasher hasher(params);
+  ElementSet a, b;
+  for (ElementId e = 0; e < 30; ++e) a.push_back(e);
+  for (ElementId e = 10; e < 40; ++e) b.push_back(e);
+  NormalizeSet(a);
+  NormalizeSet(b);
+  const double sim = Jaccard(a, b);  // 20/40 = 0.5
+  SimilarityEstimator est(8);
+  EXPECT_NEAR(est.Estimate(hasher.Sign(a), hasher.Sign(b)), sim, 0.04);
+}
+
+TEST(EstimatorTest, ConfidenceWidthShrinksWithK) {
+  SimilarityEstimator est(8);
+  const double w100 = est.ConfidenceHalfWidth(100, 0.05);
+  const double w1000 = est.ConfidenceHalfWidth(1000, 0.05);
+  EXPECT_GT(w100, w1000);
+  EXPECT_NEAR(w100 / w1000, std::sqrt(10.0), 0.01);
+}
+
+TEST(EstimatorTest, DeviationBoundIsProbability) {
+  for (std::size_t k : {1u, 10u, 100u, 1000u}) {
+    for (double eps : {0.01, 0.1, 0.5}) {
+      const double b = SimilarityEstimator::DeviationProbabilityBound(k, eps);
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(b, 1.0);
+    }
+  }
+  EXPECT_LT(SimilarityEstimator::DeviationProbabilityBound(1000, 0.1),
+            SimilarityEstimator::DeviationProbabilityBound(10, 0.1));
+}
+
+}  // namespace
+}  // namespace ssr

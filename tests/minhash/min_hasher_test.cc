@@ -1,0 +1,166 @@
+#include "minhash/min_hasher.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+MinHashParams Params(std::size_t k, unsigned bits, std::uint64_t seed = 1) {
+  MinHashParams p;
+  p.num_hashes = k;
+  p.value_bits = bits;
+  p.seed = seed;
+  return p;
+}
+
+TEST(MinHashParamsTest, Validation) {
+  EXPECT_TRUE(Params(10, 8).Validate().ok());
+  EXPECT_FALSE(Params(0, 8).Validate().ok());
+  EXPECT_FALSE(Params(10, 0).Validate().ok());
+  EXPECT_FALSE(Params(10, 17).Validate().ok());
+  EXPECT_TRUE(Params(1, 1).Validate().ok());
+  EXPECT_TRUE(Params(10, 16).Validate().ok());
+}
+
+TEST(MinHasherTest, Deterministic) {
+  MinHasher h1(Params(32, 8, 7));
+  MinHasher h2(Params(32, 8, 7));
+  const ElementSet set{10, 20, 30, 40};
+  EXPECT_EQ(h1.Sign(set), h2.Sign(set));
+}
+
+TEST(MinHasherTest, DifferentSeedsDiffer) {
+  MinHasher h1(Params(32, 8, 7));
+  MinHasher h2(Params(32, 8, 8));
+  const ElementSet set{10, 20, 30, 40};
+  EXPECT_NE(h1.Sign(set), h2.Sign(set));
+}
+
+TEST(MinHasherTest, SignatureHasKValuesWithinMask) {
+  MinHasher h(Params(50, 6));
+  const Signature sig = h.Sign({1, 2, 3});
+  EXPECT_EQ(sig.size(), 50u);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_LE(sig[i], h.value_mask());
+  }
+}
+
+TEST(MinHasherTest, IdenticalSetsIdenticalSignatures) {
+  MinHasher h(Params(64, 8));
+  const ElementSet a{5, 17, 999};
+  const ElementSet b{5, 17, 999};
+  EXPECT_EQ(h.Sign(a), h.Sign(b));
+}
+
+TEST(MinHasherTest, OrderInvariantViaNormalization) {
+  // Signatures depend only on membership, not insertion order.
+  MinHasher h(Params(64, 8));
+  ElementSet a{9, 4, 1};
+  ElementSet b{1, 9, 4};
+  NormalizeSet(a);
+  NormalizeSet(b);
+  EXPECT_EQ(h.Sign(a), h.Sign(b));
+}
+
+TEST(MinHasherTest, EmptySetSignatureIsSentinel) {
+  MinHasher h(Params(16, 8));
+  const Signature sig = h.Sign({});
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_EQ(sig[i], h.value_mask());
+  }
+}
+
+TEST(MinHasherTest, SignOneMatchesSign) {
+  MinHasher h(Params(20, 10));
+  const ElementSet set{3, 1, 4, 1, 5};
+  const Signature sig = h.Sign(set);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(h.SignOne(set, i), sig[i]);
+  }
+}
+
+TEST(MinHasherTest, SingletonSetsCollideIffEqual) {
+  MinHasher h(Params(16, 16));
+  const Signature a = h.Sign({42});
+  const Signature b = h.Sign({42});
+  const Signature c = h.Sign({43});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// Core property (Section 3.1): per-coordinate agreement probability equals
+// the Jaccard similarity. Verified empirically over many coordinates.
+TEST(MinHasherTest, AgreementEstimatesJaccard) {
+  MinHasher h(Params(2000, 16, 99));  // 16 bits: negligible collisions
+  struct Case {
+    ElementSet a, b;
+  };
+  std::vector<Case> cases;
+  // sim = 1/3
+  cases.push_back({{1, 2}, {2, 3}});
+  // sim = 0.5
+  cases.push_back({{1, 2, 3}, {2, 3, 4}});
+  // sim = 0.8: |inter| = 8, |union| = 10
+  {
+    ElementSet a, b;
+    for (ElementId e = 0; e < 8; ++e) {
+      a.push_back(e);
+      b.push_back(e);
+    }
+    a.push_back(100);
+    b.push_back(200);
+    cases.push_back({a, b});
+  }
+  for (const auto& c : cases) {
+    const double expected = Jaccard(c.a, c.b);
+    const double est = h.Sign(c.a).AgreementFraction(h.Sign(c.b));
+    // 2000 coordinates: ±3σ ≈ 3·sqrt(s(1-s)/2000) < 0.04.
+    EXPECT_NEAR(est, expected, 0.04)
+        << "a-size=" << c.a.size() << " b-size=" << c.b.size();
+  }
+}
+
+TEST(MinHasherTest, DisjointSetsRarelyAgreeAt16Bits) {
+  MinHasher h(Params(1000, 16));
+  ElementSet a, b;
+  for (ElementId e = 0; e < 50; ++e) {
+    a.push_back(e);
+    b.push_back(1000 + e);
+  }
+  const double est = h.Sign(a).AgreementFraction(h.Sign(b));
+  EXPECT_LT(est, 0.01);  // only 2^-16 fingerprint collisions
+}
+
+// Sweep similarity levels with a parameterized property test.
+class MinHashAccuracySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashAccuracySweep, AgreementTracksSimilarity) {
+  const int shared = GetParam();  // shared elements out of 20 total
+  ElementSet a, b;
+  for (int e = 0; e < shared; ++e) {
+    a.push_back(static_cast<ElementId>(e));
+    b.push_back(static_cast<ElementId>(e));
+  }
+  // (20 - shared) private elements each.
+  for (int e = 0; e < 20 - shared; ++e) {
+    a.push_back(static_cast<ElementId>(1000 + e));
+    b.push_back(static_cast<ElementId>(2000 + e));
+  }
+  NormalizeSet(a);
+  NormalizeSet(b);
+  const double sim = Jaccard(a, b);
+  MinHasher h(Params(3000, 16, 5));
+  const double est = h.Sign(a).AgreementFraction(h.Sign(b));
+  EXPECT_NEAR(est, sim, 0.035);
+}
+
+INSTANTIATE_TEST_SUITE_P(SharedElements, MinHashAccuracySweep,
+                         ::testing::Values(0, 2, 5, 10, 14, 18, 20));
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,59 @@
+#include "minhash/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(SignatureTest, DefaultIsEmpty) {
+  Signature sig;
+  EXPECT_TRUE(sig.empty());
+  EXPECT_EQ(sig.size(), 0u);
+}
+
+TEST(SignatureTest, SizedConstructionZeroInitialized) {
+  Signature sig(5);
+  EXPECT_EQ(sig.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(sig[i], 0);
+}
+
+TEST(SignatureTest, FromValuesAndIndexing) {
+  Signature sig(std::vector<std::uint16_t>{1, 2, 3});
+  EXPECT_EQ(sig.size(), 3u);
+  EXPECT_EQ(sig[1], 2);
+  sig[1] = 9;
+  EXPECT_EQ(sig[1], 9);
+}
+
+TEST(SignatureTest, EqualityIsValueBased) {
+  Signature a(std::vector<std::uint16_t>{1, 2});
+  Signature b(std::vector<std::uint16_t>{1, 2});
+  Signature c(std::vector<std::uint16_t>{1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SignatureTest, AgreementFractionBasic) {
+  Signature a(std::vector<std::uint16_t>{1, 2, 3, 4});
+  Signature b(std::vector<std::uint16_t>{1, 2, 9, 9});
+  EXPECT_DOUBLE_EQ(a.AgreementFraction(b), 0.5);
+  EXPECT_DOUBLE_EQ(a.AgreementFraction(a), 1.0);
+}
+
+TEST(SignatureTest, AgreementFractionMismatchedOrEmpty) {
+  Signature a(std::vector<std::uint16_t>{1, 2});
+  Signature b(std::vector<std::uint16_t>{1, 2, 3});
+  Signature empty;
+  EXPECT_DOUBLE_EQ(a.AgreementFraction(b), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AgreementFraction(empty), 0.0);
+}
+
+TEST(SignatureTest, AgreementSymmetric) {
+  Signature a(std::vector<std::uint16_t>{4, 5, 6, 7, 8});
+  Signature b(std::vector<std::uint16_t>{4, 0, 6, 0, 8});
+  EXPECT_DOUBLE_EQ(a.AgreementFraction(b), b.AgreementFraction(a));
+  EXPECT_DOUBLE_EQ(a.AgreementFraction(b), 0.6);
+}
+
+}  // namespace
+}  // namespace ssr

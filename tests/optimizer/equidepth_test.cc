@@ -1,0 +1,145 @@
+#include "optimizer/equidepth.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+SimilarityHistogram UniformHist() {
+  SimilarityHistogram hist(100);
+  for (int i = 0; i < 100; ++i) {
+    hist.Add((i + 0.5) / 100.0, 1.0);
+  }
+  return hist;
+}
+
+SimilarityHistogram SkewedHist() {
+  // The paper's shape: mass concentrated at low similarity.
+  SimilarityHistogram hist(100);
+  for (int i = 0; i < 100; ++i) {
+    const double s = (i + 0.5) / 100.0;
+    hist.Add(s, 1000.0 * std::exp(-8.0 * s));
+  }
+  return hist;
+}
+
+TEST(EquidepthTest, BoundariesBracketRange) {
+  auto bounds = EquidepthBoundaries(UniformHist(), 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(EquidepthTest, UniformDistributionGivesUniformCuts) {
+  auto bounds = EquidepthBoundaries(UniformHist(), 4);
+  EXPECT_NEAR(bounds[1], 0.25, 0.02);
+  EXPECT_NEAR(bounds[2], 0.50, 0.02);
+  EXPECT_NEAR(bounds[3], 0.75, 0.02);
+}
+
+TEST(EquidepthTest, IntervalsCarryEqualMass) {
+  // Definition 10: equal D_S mass per interval.
+  SimilarityHistogram hist = SkewedHist();
+  auto bounds = EquidepthBoundaries(hist, 5);
+  const double per_interval = hist.total_mass() / 5.0;
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    EXPECT_NEAR(hist.MassInRange(bounds[i], bounds[i + 1]), per_interval,
+                per_interval * 0.12)
+        << "interval " << i;
+  }
+}
+
+TEST(EquidepthTest, SkewedCutsCrowdTheHead) {
+  auto bounds = EquidepthBoundaries(SkewedHist(), 4);
+  // With mass at the left, interior cuts sit well below uniform spacing.
+  EXPECT_LT(bounds[1], 0.15);
+  EXPECT_LT(bounds[2], 0.3);
+  EXPECT_LT(bounds[3], 0.5);
+}
+
+TEST(EquidepthTest, SingleIntervalDegenerates) {
+  auto bounds = EquidepthBoundaries(UniformHist(), 1);
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 1.0);
+}
+
+TEST(EquidepthTest, EmptyHistogramFallsBackToUniform) {
+  SimilarityHistogram empty(10);
+  auto bounds = EquidepthBoundaries(empty, 4);
+  EXPECT_NEAR(bounds[1], 0.25, 0.05);
+  EXPECT_NEAR(bounds[2], 0.5, 0.05);
+}
+
+TEST(PlaceFilterIndicesTest, ProducesValidLayouts) {
+  for (std::size_t n : {1u, 2u, 3u, 5u, 8u}) {
+    IndexLayout layout = PlaceFilterIndices(SkewedHist(), n);
+    EXPECT_TRUE(layout.Validate().ok())
+        << "n=" << n << ": " << layout.Validate().ToString() << "\n"
+        << layout.ToString();
+    // The dual point contributes one extra structure.
+    EXPECT_EQ(layout.points.size(), n + 1);
+  }
+}
+
+TEST(PlaceFilterIndicesTest, DualPointAtDeltaHasBothKinds) {
+  IndexLayout layout = PlaceFilterIndices(SkewedHist(), 4);
+  int duals = 0;
+  for (std::size_t i = 0; i + 1 < layout.points.size(); ++i) {
+    if (layout.points[i].similarity == layout.points[i + 1].similarity) {
+      EXPECT_EQ(layout.points[i].kind, FilterKind::kDissimilarity);
+      EXPECT_EQ(layout.points[i + 1].kind, FilterKind::kSimilarity);
+      ++duals;
+    }
+  }
+  EXPECT_EQ(duals, 1);
+}
+
+TEST(PlaceFilterIndicesTest, DeltaIsMassMedian) {
+  SimilarityHistogram hist = SkewedHist();
+  IndexLayout layout = PlaceFilterIndices(hist, 3);
+  EXPECT_NEAR(layout.delta, hist.MassMedian(), 1e-9);
+}
+
+TEST(PlaceFilterIndicesTest, CoverageBlendSpreadsPointsUpward) {
+  // With nearly all mass at low similarity, pure equidepth crowds every
+  // point into the head; the coverage blend pushes some points into the
+  // upper range so high-similarity queries have nearby structures.
+  SimilarityHistogram hist = SkewedHist();
+  IndexLayout pure = PlaceFilterIndices(hist, 6, /*coverage_blend=*/0.0);
+  IndexLayout blended = PlaceFilterIndices(hist, 6, /*coverage_blend=*/0.3);
+  double pure_max = 0.0, blended_max = 0.0;
+  for (const auto& p : pure.points) pure_max = std::max(pure_max, p.similarity);
+  for (const auto& p : blended.points) {
+    blended_max = std::max(blended_max, p.similarity);
+  }
+  EXPECT_GT(blended_max, pure_max + 0.05);
+  EXPECT_GT(blended_max, 0.4);
+  EXPECT_TRUE(blended.Validate().ok());
+}
+
+TEST(PlaceFilterIndicesTest, BlendKeepsDeltaAtPureMassMedian) {
+  SimilarityHistogram hist = SkewedHist();
+  IndexLayout blended = PlaceFilterIndices(hist, 4, 0.4);
+  EXPECT_NEAR(blended.delta, hist.MassMedian(), 1e-9);
+}
+
+TEST(PlaceFilterIndicesTest, KindsPartitionAroundDelta) {
+  IndexLayout layout = PlaceFilterIndices(UniformHist(), 6);
+  bool seen_sfi = false;
+  for (const auto& p : layout.points) {
+    if (p.kind == FilterKind::kSimilarity) {
+      seen_sfi = true;
+    } else {
+      EXPECT_FALSE(seen_sfi) << "DFI after an SFI";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,226 @@
+#include "optimizer/error_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+Embedding MakeEmbedding() {
+  EmbeddingParams p;
+  p.minhash.num_hashes = 100;
+  p.minhash.value_bits = 8;
+  p.minhash.seed = 101;
+  auto e = Embedding::Create(p);
+  EXPECT_TRUE(e.ok());
+  return std::move(e).value();
+}
+
+SimilarityHistogram SkewedHist() {
+  SimilarityHistogram hist(100);
+  for (int i = 0; i < 100; ++i) {
+    const double s = (i + 0.5) / 100.0;
+    hist.Add(s, 1000.0 * std::exp(-6.0 * s));
+  }
+  return hist;
+}
+
+TEST(FilterErrorModelTest, SfiCollisionMonotoneIncreasing) {
+  FilterErrorModel model(FilterKind::kSimilarity, 0.7, 20, 0.5);
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const double c = model.Collision(s);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(model.Collision(0.7), 0.5, 0.12);  // near the turning point
+  EXPECT_GT(model.Collision(0.95), 0.9);
+}
+
+TEST(FilterErrorModelTest, DfiCollisionMonotoneDecreasing) {
+  FilterErrorModel model(FilterKind::kDissimilarity, 0.3, 20, 0.5);
+  double prev = 2.0;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const double c = model.Collision(s);
+    EXPECT_LE(c, prev + 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(model.Collision(0.3), 0.5, 0.12);
+  EXPECT_GT(model.Collision(0.02), 0.85);
+  EXPECT_LT(model.Collision(0.9), 0.1);
+}
+
+TEST(FilterErrorModelTest, ErrorsArePositiveAndBounded) {
+  SimilarityHistogram hist = SkewedHist();
+  FilterErrorModel model(FilterKind::kSimilarity, 0.6, 10, 0.5);
+  const double fp = model.ExpectedFalsePositives(hist);
+  const double fn = model.ExpectedFalseNegatives(hist);
+  EXPECT_GE(fp, 0.0);
+  EXPECT_GE(fn, 0.0);
+  EXPECT_LE(fp, hist.MassInRange(0.0, 0.6) + 1e-9);
+  EXPECT_LE(fn, hist.MassInRange(0.6, 1.0) + 1e-9);
+  EXPECT_DOUBLE_EQ(model.ExpectedError(hist), fp + fn);
+}
+
+TEST(FilterErrorModelTest, MoreTablesReduceError) {
+  // The engine of the greedy allocator: error decreases in l (sharper
+  // filters, Section 5's r-l tradeoff).
+  SimilarityHistogram hist = SkewedHist();
+  const double e2 =
+      FilterErrorModel(FilterKind::kSimilarity, 0.6, 2, 0.5).ExpectedError(
+          hist);
+  const double e10 =
+      FilterErrorModel(FilterKind::kSimilarity, 0.6, 10, 0.5).ExpectedError(
+          hist);
+  const double e50 =
+      FilterErrorModel(FilterKind::kSimilarity, 0.6, 50, 0.5).ExpectedError(
+          hist);
+  EXPECT_GT(e2, e10);
+  EXPECT_GT(e10, e50);
+}
+
+IndexLayout FullLayout() {
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points = {{0.1, FilterKind::kDissimilarity, 20, 0},
+                   {0.3, FilterKind::kDissimilarity, 20, 0},
+                   {0.3, FilterKind::kSimilarity, 20, 0},
+                   {0.7, FilterKind::kSimilarity, 20, 0}};
+  return layout;
+}
+
+TEST(LayoutErrorModelTest, RetrievalProbabilityInUnitInterval) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  LayoutErrorModel model(FullLayout(), e, hist);
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    for (auto [a, b] : std::vector<std::pair<double, double>>{
+             {0.02, 0.08}, {0.4, 0.6}, {0.75, 0.9}, {0.0, 1.0}}) {
+      const double p = model.RetrievalProbability(s, a, b);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(LayoutErrorModelTest, FullRangeRetrievesEverything) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  LayoutErrorModel model(FullLayout(), e, hist);
+  EXPECT_DOUBLE_EQ(model.RetrievalProbability(0.5, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.ExpectedRecall(0.0, 1.0), 1.0);
+}
+
+TEST(LayoutErrorModelTest, InRangeSimilaritiesLikelyRetrieved) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  LayoutErrorModel model(FullLayout(), e, hist);
+  // Query [0.75, 0.95]: lo = SFI(0.7), up = virtual 1. A set at s = 0.85
+  // collides with SFI(0.7) almost surely.
+  EXPECT_GT(model.RetrievalProbability(0.85, 0.75, 0.95), 0.85);
+  // A set at s = 0.2 almost surely does not.
+  EXPECT_LT(model.RetrievalProbability(0.2, 0.75, 0.95), 0.15);
+}
+
+TEST(LayoutErrorModelTest, RecallHighForAlignedRanges) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  LayoutErrorModel model(FullLayout(), e, hist);
+  // Range aligned with [0.7, 1]: only SFI(0.7) false negatives hurt.
+  EXPECT_GT(model.ExpectedRecall(0.75, 0.95), 0.75);
+}
+
+TEST(LayoutErrorModelTest, PrecisionDropsForNarrowRanges) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  LayoutErrorModel model(FullLayout(), e, hist);
+  const double narrow = model.ExpectedPrecision(0.45, 0.5);
+  const double wide = model.ExpectedPrecision(0.31, 0.69);
+  // A narrow range between FIs drags in the whole inter-FI interval.
+  EXPECT_LE(narrow, wide + 1e-9);
+}
+
+TEST(LayoutErrorModelTest, WorstCaseBelowBestCase) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  LayoutErrorModel model(FullLayout(), e, hist);
+  const double worst = model.WorstCaseRecall();
+  EXPECT_GE(worst, 0.0);
+  EXPECT_LE(worst, 1.0);
+  EXPECT_LE(worst, model.ExpectedRecall(0.0, 1.0) + 1e-9);
+}
+
+TEST(LayoutErrorModelTest, DecompositionIntervalsTileTheRange) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  LayoutErrorModel model(FullLayout(), e, hist);
+  const auto intervals = model.DecompositionIntervals();
+  ASSERT_FALSE(intervals.empty());
+  EXPECT_DOUBLE_EQ(intervals.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(intervals.back().second, 1.0);
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(intervals[i].first, intervals[i - 1].second);
+  }
+}
+
+TEST(LayoutErrorModelTest, MoreTablesImproveWorkloadRecall) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  IndexLayout small = FullLayout();
+  for (auto& p : small.points) p.tables = 3;
+  IndexLayout big = FullLayout();
+  for (auto& p : big.points) p.tables = 60;
+  LayoutErrorModel small_model(small, e, hist);
+  LayoutErrorModel big_model(big, e, hist);
+  EXPECT_GE(big_model.WorkloadAverageRecall() + 0.02,
+            small_model.WorkloadAverageRecall());
+}
+
+TEST(LayoutErrorModelTest, WorkloadAveragesAreProbabilities) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  LayoutErrorModel model(FullLayout(), e, hist);
+  const double recall = model.WorkloadAverageRecall();
+  const double precision = model.WorkloadAveragePrecision();
+  EXPECT_GE(recall, 0.0);
+  EXPECT_LE(recall, 1.0);
+  EXPECT_GE(precision, 0.0);
+  EXPECT_LE(precision, 1.0);
+}
+
+TEST(LayoutErrorModelTest, WorstCasePrecisionSkipsTinyAnswers) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  LayoutErrorModel model(FullLayout(), e, hist);
+  const double p = model.WorstCasePrecision(1.0);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(FilterErrorModelTest, ExplicitROverridesCanonical) {
+  FilterErrorModel canonical(FilterKind::kSimilarity, 0.7, 20, 0.5);
+  FilterErrorModel overridden(FilterKind::kSimilarity, 0.7, 20, 0.5, 3);
+  EXPECT_EQ(overridden.filter().r(), 3u);
+  EXPECT_NE(canonical.filter().r(), 3u);
+}
+
+TEST(FilterErrorModelTest, ChooseOptimalRNoWorseThanCanonical) {
+  SimilarityHistogram hist = SkewedHist();
+  for (double sigma : {0.1, 0.3, 0.6, 0.9}) {
+    for (std::size_t l : {4u, 16u, 64u}) {
+      const std::size_t r =
+          ChooseOptimalR(FilterKind::kSimilarity, sigma, l, 0.5, hist);
+      const double tuned =
+          FilterErrorModel(FilterKind::kSimilarity, sigma, l, 0.5, r)
+              .NormalizedError(hist);
+      const double canonical =
+          FilterErrorModel(FilterKind::kSimilarity, sigma, l, 0.5)
+              .NormalizedError(hist);
+      EXPECT_LE(tuned, canonical + 1e-9) << "sigma=" << sigma << " l=" << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,202 @@
+#include "optimizer/greedy_allocator.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/error_model.h"
+
+namespace ssr {
+namespace {
+
+SimilarityHistogram SkewedHist() {
+  SimilarityHistogram hist(100);
+  for (int i = 0; i < 100; ++i) {
+    const double s = (i + 0.5) / 100.0;
+    hist.Add(s, 1000.0 * std::exp(-6.0 * s));
+  }
+  return hist;
+}
+
+Embedding MakeEmbedding() {
+  EmbeddingParams p;
+  p.minhash.num_hashes = 100;
+  p.minhash.value_bits = 8;
+  p.minhash.seed = 121;
+  auto e = Embedding::Create(p);
+  EXPECT_TRUE(e.ok());
+  return std::move(e).value();
+}
+
+IndexLayout ThreePointLayout() {
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points = {{0.15, FilterKind::kDissimilarity, 1, 0},
+                   {0.45, FilterKind::kSimilarity, 1, 0},
+                   {0.8, FilterKind::kSimilarity, 1, 0}};
+  return layout;
+}
+
+TEST(GreedyAllocatorTest, RejectsInsufficientBudget) {
+  IndexLayout layout = ThreePointLayout();
+  SimilarityHistogram hist = SkewedHist();
+  Embedding e = MakeEmbedding();
+  EXPECT_FALSE(GreedyAllocateTables(&layout, 2, hist, e).ok());
+  IndexLayout empty;
+  EXPECT_FALSE(GreedyAllocateTables(&empty, 10, hist, e).ok());
+}
+
+TEST(GreedyAllocatorTest, SpendsExactBudgetWithMinimumOnePer) {
+  IndexLayout layout = ThreePointLayout();
+  SimilarityHistogram hist = SkewedHist();
+  Embedding e = MakeEmbedding();
+  auto report = GreedyAllocateTables(&layout, 40, hist, e);
+  ASSERT_TRUE(report.ok());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < layout.points.size(); ++i) {
+    EXPECT_GE(layout.points[i].tables, 1u);
+    EXPECT_EQ(layout.points[i].tables, report->tables[i]);
+    EXPECT_GE(layout.points[i].r, 1u);  // tuned r written into the layout
+    total += layout.points[i].tables;
+  }
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(GreedyAllocatorTest, RecallImprovesWithBudget) {
+  SimilarityHistogram hist = SkewedHist();
+  Embedding e = MakeEmbedding();
+  IndexLayout a = ThreePointLayout();
+  IndexLayout b = ThreePointLayout();
+  ASSERT_TRUE(GreedyAllocateTables(&a, 6, hist, e).ok());
+  ASSERT_TRUE(GreedyAllocateTables(&b, 120, hist, e).ok());
+  LayoutErrorModel small(a, e, hist);
+  LayoutErrorModel large(b, e, hist);
+  EXPECT_GE(large.WorkloadAverageRecall() + 1e-9,
+            small.WorkloadAverageRecall());
+}
+
+TEST(GreedyAllocatorTest, BeatsOrMatchesUniformAllocation) {
+  // Lemma 6: the greedy allocation maximizes expected (workload-average)
+  // recall; it must do at least as well as the uniform split.
+  SimilarityHistogram hist = SkewedHist();
+  Embedding e = MakeEmbedding();
+  IndexLayout greedy_layout = ThreePointLayout();
+  IndexLayout uniform_layout = ThreePointLayout();
+  ASSERT_TRUE(GreedyAllocateTables(&greedy_layout, 31, hist, e).ok());
+  ASSERT_TRUE(UniformAllocateTables(&uniform_layout, 31, hist, 0.5).ok());
+  LayoutErrorModel greedy_model(greedy_layout, e, hist);
+  LayoutErrorModel uniform_model(uniform_layout, e, hist);
+  EXPECT_GE(greedy_model.WorkloadAverageRecall() + 1e-9,
+            uniform_model.WorkloadAverageRecall());
+}
+
+TEST(GreedyAllocatorTest, FavorsMassHeavyPoints) {
+  // Nearly all answer mass sits near low similarity, so the filter serving
+  // it should receive the bulk of the budget.
+  SimilarityHistogram hist = SkewedHist();
+  Embedding e = MakeEmbedding();
+  IndexLayout layout;
+  layout.delta = 0.0;
+  layout.points = {{0.3, FilterKind::kSimilarity, 1, 0},
+                   {0.95, FilterKind::kSimilarity, 1, 0}};
+  auto report = GreedyAllocateTables(&layout, 30, hist, e);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(layout.points[0].tables, layout.points[1].tables);
+}
+
+TEST(GreedyAllocatorByErrorTest, LiteralFigure5RuleSpendsBudget) {
+  SimilarityHistogram hist = SkewedHist();
+  IndexLayout layout = ThreePointLayout();
+  auto report = GreedyAllocateTablesByError(&layout, 50, hist, 0.5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(layout.total_tables(), 50u);
+  EXPECT_GT(report->total_error, 0.0);
+}
+
+TEST(GreedyAllocatorByErrorTest, ErrorDecreasesWithBudget) {
+  SimilarityHistogram hist = SkewedHist();
+  IndexLayout a = ThreePointLayout();
+  IndexLayout b = ThreePointLayout();
+  auto small = GreedyAllocateTablesByError(&a, 6, hist, 0.5);
+  auto large = GreedyAllocateTablesByError(&b, 120, hist, 0.5);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(large->total_error, small->total_error);
+}
+
+TEST(UniformAllocatorTest, SplitsEvenlyWithRemainder) {
+  SimilarityHistogram hist = SkewedHist();
+  IndexLayout layout = ThreePointLayout();
+  auto report = UniformAllocateTables(&layout, 11, hist, 0.5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(layout.total_tables(), 11u);
+  for (const auto& p : layout.points) {
+    EXPECT_GE(p.tables, 3u);
+    EXPECT_LE(p.tables, 4u);
+  }
+}
+
+TEST(RefineForPrecisionTest, NeverDropsRecallBelowThreshold) {
+  SimilarityHistogram hist = SkewedHist();
+  Embedding e = MakeEmbedding();
+  IndexLayout layout = ThreePointLayout();
+  ASSERT_TRUE(GreedyAllocateTables(&layout, 60, hist, e).ok());
+  LayoutErrorModel before(layout, e, hist);
+  const double threshold = before.WorkloadAverageRecall() - 0.05;
+  const auto [recall, precision] =
+      RefineForPrecision(&layout, hist, e, threshold);
+  EXPECT_GE(recall, threshold);
+  LayoutErrorModel after(layout, e, hist);
+  EXPECT_NEAR(after.WorkloadAverageRecall(), recall, 1e-9);
+  EXPECT_NEAR(after.WorkloadAveragePrecision(), precision, 1e-9);
+}
+
+TEST(RefineForPrecisionTest, ImprovesOrPreservesPrecision) {
+  SimilarityHistogram hist = SkewedHist();
+  Embedding e = MakeEmbedding();
+  IndexLayout layout = ThreePointLayout();
+  ASSERT_TRUE(GreedyAllocateTables(&layout, 60, hist, e).ok());
+  LayoutErrorModel before(layout, e, hist);
+  const double precision_before = before.WorkloadAveragePrecision();
+  const double threshold = before.WorkloadAverageRecall() - 0.1;
+  const auto [recall, precision] =
+      RefineForPrecision(&layout, hist, e, threshold);
+  (void)recall;
+  EXPECT_GE(precision + 1e-9, precision_before);
+}
+
+TEST(RefineForPrecisionTest, RSharpensNotDulls) {
+  SimilarityHistogram hist = SkewedHist();
+  Embedding e = MakeEmbedding();
+  IndexLayout layout = ThreePointLayout();
+  ASSERT_TRUE(GreedyAllocateTables(&layout, 60, hist, e).ok());
+  std::vector<std::size_t> r_before;
+  for (const auto& p : layout.points) r_before.push_back(p.r);
+  LayoutErrorModel model(layout, e, hist);
+  RefineForPrecision(&layout, hist, e,
+                     model.WorkloadAverageRecall() - 0.2);
+  for (std::size_t i = 0; i < layout.points.size(); ++i) {
+    EXPECT_GE(layout.points[i].r, r_before[i]);
+  }
+}
+
+TEST(GreedyAllocatorTest, ReportErrorsMatchLayout) {
+  SimilarityHistogram hist = SkewedHist();
+  Embedding e = MakeEmbedding();
+  IndexLayout layout = ThreePointLayout();
+  auto report = GreedyAllocateTables(&layout, 20, hist, e);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->errors.size(), 3u);
+  double total = 0.0;
+  double max_err = 0.0;
+  for (double err : report->errors) {
+    EXPECT_GE(err, 0.0);
+    total += err;
+    max_err = std::max(max_err, err);
+  }
+  EXPECT_NEAR(report->total_error, total, 1e-9);
+  EXPECT_NEAR(report->max_error, max_err, 1e-9);
+}
+
+}  // namespace
+}  // namespace ssr

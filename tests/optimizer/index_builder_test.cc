@@ -1,0 +1,142 @@
+#include "optimizer/index_builder.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+Embedding MakeEmbedding() {
+  EmbeddingParams p;
+  p.minhash.num_hashes = 100;
+  p.minhash.value_bits = 8;
+  p.minhash.seed = 111;
+  auto e = Embedding::Create(p);
+  EXPECT_TRUE(e.ok());
+  return std::move(e).value();
+}
+
+SimilarityHistogram SkewedHist() {
+  SimilarityHistogram hist(100);
+  for (int i = 0; i < 100; ++i) {
+    const double s = (i + 0.5) / 100.0;
+    hist.Add(s, 1000.0 * std::exp(-6.0 * s));
+  }
+  return hist;
+}
+
+TEST(IndexBuilderTest, RejectsBadInputs) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  IndexBuilderOptions options;
+  options.table_budget = 1;
+  EXPECT_FALSE(ConstructIndexLayout(hist, e, options).ok());
+  options.table_budget = 100;
+  options.recall_threshold = 0.0;
+  EXPECT_FALSE(ConstructIndexLayout(hist, e, options).ok());
+  options.recall_threshold = 1.5;
+  EXPECT_FALSE(ConstructIndexLayout(hist, e, options).ok());
+}
+
+TEST(IndexBuilderTest, ProducesValidatedLayoutMeetingThreshold) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  IndexBuilderOptions options;
+  options.table_budget = 200;
+  options.recall_threshold = 0.85;
+  auto built = ConstructIndexLayout(hist, e, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_TRUE(built->layout.Validate().ok());
+  EXPECT_GE(built->predicted_recall, options.recall_threshold);
+  EXPECT_LE(built->layout.total_tables(), options.table_budget);
+  EXPECT_FALSE(built->trace.empty());
+}
+
+TEST(IndexBuilderTest, BudgetFullySpent) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  IndexBuilderOptions options;
+  options.table_budget = 150;
+  options.recall_threshold = 0.8;
+  auto built = ConstructIndexLayout(hist, e, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->layout.total_tables(), 150u);
+}
+
+TEST(IndexBuilderTest, HigherBudgetAllowsMoreIntervals) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  IndexBuilderOptions small_opts;
+  small_opts.table_budget = 40;
+  small_opts.recall_threshold = 0.75;
+  IndexBuilderOptions large_opts = small_opts;
+  large_opts.table_budget = 1000;
+  auto small = ConstructIndexLayout(hist, e, small_opts);
+  auto large = ConstructIndexLayout(hist, e, large_opts);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GE(large->layout.points.size(), small->layout.points.size());
+}
+
+TEST(IndexBuilderTest, Lemma5CapsIntervalCount) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  IndexBuilderOptions options;
+  options.table_budget = 10000;
+  options.recall_threshold = 0.8;
+  options.precision_answer_fraction = 0.5;  // cap = 0.8 / 0.5 = 1.6 -> 1 FI
+  auto built = ConstructIndexLayout(hist, e, options);
+  ASSERT_TRUE(built.ok());
+  // 1 FI placed; the dual at delta may add one structure.
+  EXPECT_LE(built->layout.points.size(), 2u);
+}
+
+TEST(IndexBuilderTest, ImpossibleThresholdFails) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  IndexBuilderOptions options;
+  options.table_budget = 2;  // two structures, one table each: weak filters
+  options.recall_threshold = 0.999999;
+  auto built = ConstructIndexLayout(hist, e, options);
+  // Either fails outright or returns a layout honestly meeting the bar.
+  if (!built.ok()) {
+    EXPECT_TRUE(built.status().IsFailedPrecondition());
+  } else {
+    EXPECT_GE(built->predicted_recall, 0.999999);
+  }
+}
+
+TEST(IndexBuilderTest, TraceRecordsDecisions) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  IndexBuilderOptions options;
+  options.table_budget = 300;
+  options.recall_threshold = 0.85;
+  auto built = ConstructIndexLayout(hist, e, options);
+  ASSERT_TRUE(built.ok());
+  for (std::size_t i = 0; i < built->trace.size(); ++i) {
+    EXPECT_EQ(built->trace[i].num_fis, i + 1);
+    EXPECT_GE(built->trace[i].average_recall, 0.0);
+    EXPECT_LE(built->trace[i].average_recall, 1.0);
+    EXPECT_GE(built->trace[i].average_recall,
+              built->trace[i].worst_case_recall - 1e-9);
+  }
+  // All but possibly the last iteration were accepted.
+  for (std::size_t i = 0; i + 1 < built->trace.size(); ++i) {
+    EXPECT_TRUE(built->trace[i].accepted);
+  }
+}
+
+TEST(IndexBuilderTest, ToStringMentionsPredictions) {
+  Embedding e = MakeEmbedding();
+  SimilarityHistogram hist = SkewedHist();
+  IndexBuilderOptions options;
+  options.table_budget = 100;
+  options.recall_threshold = 0.8;
+  auto built = ConstructIndexLayout(hist, e, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_NE(built->ToString().find("recall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,125 @@
+#include "optimizer/similarity_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+TEST(SimilarityHistogramTest, AddAndTotalMass) {
+  SimilarityHistogram hist(10);
+  hist.Add(0.05);
+  hist.Add(0.15, 2.0);
+  hist.Add(1.0);  // lands in the last bin
+  EXPECT_DOUBLE_EQ(hist.total_mass(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.bin_mass(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.bin_mass(1), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_mass(9), 1.0);
+}
+
+TEST(SimilarityHistogramTest, ScaleMultipliesMass) {
+  SimilarityHistogram hist(4);
+  hist.Add(0.1);
+  hist.Add(0.6);
+  hist.Scale(2.5);
+  EXPECT_DOUBLE_EQ(hist.total_mass(), 5.0);
+}
+
+TEST(SimilarityHistogramTest, MassInRangePartialBins) {
+  SimilarityHistogram hist(10);
+  hist.Add(0.05, 10.0);  // all mass in bin [0, 0.1)
+  EXPECT_DOUBLE_EQ(hist.MassInRange(0.0, 0.1), 10.0);
+  EXPECT_DOUBLE_EQ(hist.MassInRange(0.0, 0.05), 5.0);  // half the bin
+  EXPECT_DOUBLE_EQ(hist.MassInRange(0.1, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.MassInRange(0.5, 0.4), 0.0);
+}
+
+TEST(SimilarityHistogramTest, QuantileOnKnownDistribution) {
+  SimilarityHistogram hist(10);
+  hist.Add(0.05, 50.0);
+  hist.Add(0.95, 50.0);
+  EXPECT_NEAR(hist.Quantile(0.25), 0.05, 0.011);
+  EXPECT_NEAR(hist.Quantile(0.75), 0.95, 0.011);
+  const double median = hist.MassMedian();
+  EXPECT_GE(median, 0.1);
+  EXPECT_LE(median, 0.91);
+}
+
+TEST(SimilarityHistogramTest, QuantileDegenerateUniformFallback) {
+  SimilarityHistogram hist(10);  // empty
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.3), 0.3);
+}
+
+TEST(SimilarityHistogramTest, DensityScalesWithBins) {
+  SimilarityHistogram hist(100);
+  hist.Add(0.505, 7.0);
+  EXPECT_DOUBLE_EQ(hist.Density(0.505), 700.0);  // mass / bin width
+  EXPECT_DOUBLE_EQ(hist.Density(0.1), 0.0);
+}
+
+TEST(ExactDistributionTest, CountsAllPairs) {
+  SetCollection sets = {{1, 2, 3}, {1, 2, 3}, {7, 8}};
+  SimilarityHistogram hist = ComputeExactDistribution(sets, 10);
+  EXPECT_DOUBLE_EQ(hist.total_mass(), 3.0);  // 3 pairs
+  // One identical pair at similarity 1.
+  EXPECT_DOUBLE_EQ(hist.bin_mass(9), 1.0);
+  // Two disjoint pairs at similarity 0.
+  EXPECT_DOUBLE_EQ(hist.bin_mass(0), 2.0);
+}
+
+TEST(SampledDistributionTest, FallsBackToExactForSmallCollections) {
+  SetCollection sets = {{1, 2}, {1, 2}, {3, 4}};
+  Rng rng(1);
+  SimilarityHistogram hist = ComputeSampledDistribution(sets, 1000, 10, rng);
+  EXPECT_DOUBLE_EQ(hist.total_mass(), 3.0);
+}
+
+TEST(SampledDistributionTest, ScalesToTotalPairMass) {
+  // 100 identical singletons: every pair has similarity 1.
+  SetCollection sets(100, ElementSet{42});
+  Rng rng(2);
+  SimilarityHistogram hist = ComputeSampledDistribution(sets, 50, 10, rng);
+  EXPECT_NEAR(hist.total_mass(), 100.0 * 99.0 / 2.0, 1e-6);
+  EXPECT_NEAR(hist.bin_mass(9), hist.total_mass(), 1e-6);
+}
+
+TEST(SampledDistributionTest, ApproximatesExactShape) {
+  // Mixed collection: clusters of duplicates + disjoint sets.
+  SetCollection sets;
+  for (int c = 0; c < 30; ++c) {
+    ElementSet base;
+    for (int i = 0; i < 20; ++i) {
+      base.push_back(static_cast<ElementId>(c * 100 + i));
+    }
+    sets.push_back(base);
+    ElementSet near = base;
+    near[0] = static_cast<ElementId>(c * 100 + 50);
+    NormalizeSet(near);
+    sets.push_back(near);
+  }
+  SimilarityHistogram exact = ComputeExactDistribution(sets, 10);
+  Rng rng(3);
+  SimilarityHistogram sampled =
+      ComputeSampledDistribution(sets, 600, 10, rng);
+  EXPECT_NEAR(sampled.total_mass(), exact.total_mass(), 1e-6);
+  // The dominant feature: most pairs are disjoint (bin 0), a minority are
+  // near-duplicates (top bin). Sampling must reproduce the split within
+  // sampling error.
+  EXPECT_NEAR(sampled.bin_mass(0) / sampled.total_mass(),
+              exact.bin_mass(0) / exact.total_mass(), 0.05);
+}
+
+TEST(ExactDistributionTest, MassMedianSplitsEvenly) {
+  SetCollection sets;
+  for (int i = 0; i < 40; ++i) {
+    sets.push_back({static_cast<ElementId>(i * 10),
+                    static_cast<ElementId>(i * 10 + 1)});
+  }
+  // All pairs disjoint: similarity 0, median at the very left.
+  SimilarityHistogram hist = ComputeExactDistribution(sets, 100);
+  EXPECT_LT(hist.MassMedian(), 0.02);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,80 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(BufferPoolTest, MissThenHit) {
+  BufferPool pool(4);
+  IoCostModel io;
+  EXPECT_FALSE(pool.Access(1, false, io));
+  EXPECT_TRUE(pool.Access(1, false, io));
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(io.stats().random_reads, 1u);
+}
+
+TEST(BufferPoolTest, SequentialFlagRoutesCharge) {
+  BufferPool pool(4);
+  IoCostModel io;
+  pool.Access(1, true, io);
+  pool.Access(2, false, io);
+  EXPECT_EQ(io.stats().sequential_reads, 1u);
+  EXPECT_EQ(io.stats().random_reads, 1u);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(2);
+  IoCostModel io;
+  pool.Access(1, false, io);
+  pool.Access(2, false, io);
+  pool.Access(3, false, io);  // evicts 1
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_FALSE(pool.Access(1, false, io));  // 1 is gone -> miss, evicts 2
+  EXPECT_TRUE(pool.Access(3, false, io));   // 3 still resident
+}
+
+TEST(BufferPoolTest, AccessRefreshesRecency) {
+  BufferPool pool(2);
+  IoCostModel io;
+  pool.Access(1, false, io);
+  pool.Access(2, false, io);
+  pool.Access(1, false, io);  // 1 becomes MRU
+  pool.Access(3, false, io);  // evicts 2, not 1
+  EXPECT_TRUE(pool.Access(1, false, io));
+  EXPECT_FALSE(pool.Access(2, false, io));
+}
+
+TEST(BufferPoolTest, ClearDropsResidency) {
+  BufferPool pool(4);
+  IoCostModel io;
+  pool.Access(1, false, io);
+  pool.Clear();
+  EXPECT_EQ(pool.resident(), 0u);
+  EXPECT_FALSE(pool.Access(1, false, io));
+}
+
+TEST(BufferPoolTest, HitRate) {
+  BufferPool pool(4);
+  IoCostModel io;
+  pool.Access(1, false, io);
+  pool.Access(1, false, io);
+  pool.Access(1, false, io);
+  pool.Access(1, false, io);
+  EXPECT_DOUBLE_EQ(pool.stats().hit_rate(), 0.75);
+  pool.ResetStats();
+  EXPECT_DOUBLE_EQ(pool.stats().hit_rate(), 0.0);
+}
+
+TEST(BufferPoolTest, CapacityFloorOne) {
+  BufferPool pool(0);
+  EXPECT_EQ(pool.capacity(), 1u);
+  IoCostModel io;
+  pool.Access(1, false, io);
+  pool.Access(2, false, io);
+  EXPECT_EQ(pool.resident(), 1u);
+}
+
+}  // namespace
+}  // namespace ssr

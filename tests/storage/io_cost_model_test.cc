@@ -1,0 +1,76 @@
+#include "storage/io_cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(IoCostModelTest, DefaultsUsePaperRatio) {
+  IoCostParams params;
+  EXPECT_DOUBLE_EQ(params.random_multiplier, 8.0);
+  EXPECT_DOUBLE_EQ(params.random_page_micros(),
+                   8.0 * params.seq_page_micros);
+}
+
+TEST(IoCostModelTest, CountsAccumulate) {
+  IoCostModel io;
+  io.ChargeSequentialRead(3);
+  io.ChargeRandomRead();
+  io.ChargeRandomRead(2);
+  io.ChargeWrite(5);
+  EXPECT_EQ(io.stats().sequential_reads, 3u);
+  EXPECT_EQ(io.stats().random_reads, 3u);
+  EXPECT_EQ(io.stats().page_writes, 5u);
+}
+
+TEST(IoCostModelTest, SimulatedTimeFormula) {
+  IoCostParams params;
+  params.seq_page_micros = 100.0;
+  params.random_multiplier = 8.0;
+  IoCostModel io(params);
+  io.ChargeSequentialRead(10);  // 1000 us
+  io.ChargeRandomRead(2);       // 1600 us
+  io.ChargeWrite(1);            // 100 us
+  EXPECT_DOUBLE_EQ(io.SimulatedMicros(), 2700.0);
+}
+
+TEST(IoCostModelTest, StatsDeltaArithmetic) {
+  IoCostModel io;
+  io.ChargeRandomRead(5);
+  const IoStats snapshot = io.stats();
+  io.ChargeRandomRead(3);
+  io.ChargeSequentialRead(2);
+  const IoStats delta = io.stats() - snapshot;
+  EXPECT_EQ(delta.random_reads, 3u);
+  EXPECT_EQ(delta.sequential_reads, 2u);
+}
+
+TEST(IoCostModelTest, StatsPlusEquals) {
+  IoStats a{1, 2, 3}, b{10, 20, 30};
+  a += b;
+  EXPECT_EQ(a.sequential_reads, 11u);
+  EXPECT_EQ(a.random_reads, 22u);
+  EXPECT_EQ(a.page_writes, 33u);
+}
+
+TEST(IoCostModelTest, ResetZeroes) {
+  IoCostModel io;
+  io.ChargeRandomRead(5);
+  io.Reset();
+  EXPECT_EQ(io.stats().random_reads, 0u);
+  EXPECT_DOUBLE_EQ(io.SimulatedMicros(), 0.0);
+}
+
+TEST(IoCostModelTest, RandomEightTimesSequentialShape) {
+  // The crossover analysis hinges on random/sequential = rtn; charging the
+  // same page count must differ by exactly that factor.
+  IoCostModel io;
+  io.ChargeSequentialRead(100);
+  const double seq = io.SimulatedMicros();
+  io.Reset();
+  io.ChargeRandomRead(100);
+  EXPECT_DOUBLE_EQ(io.SimulatedMicros(), 8.0 * seq);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,49 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(PageTest, ZeroInitialized) {
+  Page p;
+  EXPECT_EQ(p.ReadU64(0), 0u);
+  EXPECT_EQ(p.ReadU64(kPageSize - 8), 0u);
+}
+
+TEST(PageTest, ScalarRoundTrips) {
+  Page p;
+  p.WriteU16(0, 0xbeef);
+  p.WriteU32(2, 0xdeadbeef);
+  p.WriteU64(6, 0x0123456789abcdefULL);
+  EXPECT_EQ(p.ReadU16(0), 0xbeef);
+  EXPECT_EQ(p.ReadU32(2), 0xdeadbeefu);
+  EXPECT_EQ(p.ReadU64(6), 0x0123456789abcdefULL);
+}
+
+TEST(PageTest, WritesDoNotBleed) {
+  Page p;
+  p.WriteU32(100, 0xffffffffu);
+  EXPECT_EQ(p.ReadU32(96), 0u);
+  EXPECT_EQ(p.ReadU32(104), 0u);
+}
+
+TEST(PageTest, BytesRoundTrip) {
+  Page p;
+  const char msg[] = "similar set retrieval";
+  p.WriteBytes(500, msg, sizeof(msg));
+  char out[sizeof(msg)];
+  p.ReadBytes(500, out, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(PageTest, EdgeOffsets) {
+  Page p;
+  p.WriteU16(kPageSize - 2, 0xaa55);
+  EXPECT_EQ(p.ReadU16(kPageSize - 2), 0xaa55);
+  p.WriteU64(kPageSize - 8, 42);
+  EXPECT_EQ(p.ReadU64(kPageSize - 8), 42u);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,64 @@
+#include "util/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("a"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupFindsInternedOnly) {
+  Dictionary dict;
+  dict.Intern("x");
+  auto found = dict.Lookup("x");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 0u);
+  EXPECT_TRUE(dict.Lookup("y").status().IsNotFound());
+}
+
+TEST(DictionaryTest, ResolveRoundTrips) {
+  Dictionary dict;
+  const ElementId id = dict.Intern("http://example.com/page");
+  auto token = dict.Resolve(id);
+  ASSERT_TRUE(token.ok());
+  EXPECT_EQ(token.value(), "http://example.com/page");
+  EXPECT_TRUE(dict.Resolve(99).status().IsNotFound());
+}
+
+TEST(DictionaryTest, InternSetNormalizes) {
+  Dictionary dict;
+  const ElementSet set = dict.InternSet({"c", "a", "b", "a"});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(IsNormalizedSet(set));
+}
+
+TEST(DictionaryTest, EmptyTokenIsValid) {
+  Dictionary dict;
+  const ElementId id = dict.Intern("");
+  EXPECT_EQ(dict.Resolve(id).value(), "");
+}
+
+TEST(DictionaryTest, ManyTokensStayConsistent) {
+  Dictionary dict;
+  for (int i = 0; i < 1000; ++i) {
+    dict.Intern("token-" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string token = "token-" + std::to_string(i);
+    auto id = dict.Lookup(token);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(dict.Resolve(id.value()).value(), token);
+  }
+}
+
+}  // namespace
+}  // namespace ssr

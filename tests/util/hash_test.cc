@@ -1,0 +1,124 @@
+#include "util/hash.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(HashTest, SplitMix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(SplitMix64(i));
+  EXPECT_EQ(seen.size(), 10000u);  // injective on this small domain
+}
+
+TEST(HashTest, Fmix64DistinctFromSplitMix) {
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (Fmix64(i) == SplitMix64(i)) ++equal;
+  }
+  EXPECT_LE(equal, 1);  // families should not coincide
+}
+
+// Avalanche: flipping one input bit flips ~half the output bits.
+TEST(HashTest, SplitMix64Avalanche) {
+  double total_flips = 0.0;
+  int trials = 0;
+  for (std::uint64_t base = 1; base < 2000; base += 37) {
+    const std::uint64_t h0 = SplitMix64(base);
+    for (int bit = 0; bit < 64; bit += 7) {
+      const std::uint64_t h1 = SplitMix64(base ^ (1ULL << bit));
+      total_flips += __builtin_popcountll(h0 ^ h1);
+      ++trials;
+    }
+  }
+  const double avg = total_flips / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashTest, HashU64SeedsGiveIndependentFunctions) {
+  // Different seeds should disagree on most inputs.
+  int agree = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    if (HashU64(k, 1) == HashU64(k, 2)) ++agree;
+  }
+  EXPECT_EQ(agree, 0);
+}
+
+TEST(HashTest, HashBytesDependsOnContentAndSeed) {
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_NE(HashBytes("abc", 1), HashBytes("abc", 2));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  const std::uint64_t a = HashCombine(HashCombine(0, 1), 2);
+  const std::uint64_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashFamilyTest, SizeAndDeterminism) {
+  HashFamily f(8, 123);
+  EXPECT_EQ(f.size(), 8u);
+  HashFamily g(8, 123);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(f.seed(i), g.seed(i));
+    EXPECT_EQ(f.Hash(i, 42), g.Hash(i, 42));
+  }
+}
+
+TEST(HashFamilyTest, MembersDiffer) {
+  HashFamily f(4, 7);
+  EXPECT_NE(f.Hash(0, 99), f.Hash(1, 99));
+  EXPECT_NE(f.Hash(1, 99), f.Hash(2, 99));
+}
+
+TEST(HashFamilyTest, DifferentMasterSeedsDiffer) {
+  HashFamily f(2, 1), g(2, 2);
+  EXPECT_NE(f.Hash(0, 5), g.Hash(0, 5));
+}
+
+TEST(TabulationHashTest, DeterministicPerSeed) {
+  TabulationHash t1(9), t2(9), t3(10);
+  EXPECT_EQ(t1.Hash(12345), t2.Hash(12345));
+  EXPECT_NE(t1.Hash(12345), t3.Hash(12345));
+}
+
+TEST(TabulationHashTest, Avalanche) {
+  TabulationHash t(42);
+  double flips = 0.0;
+  int trials = 0;
+  for (std::uint64_t k = 0; k < 500; k += 3) {
+    const std::uint64_t h0 = t.Hash(k);
+    for (int bit = 0; bit < 64; bit += 9) {
+      flips += __builtin_popcountll(h0 ^ t.Hash(k ^ (1ULL << bit)));
+      ++trials;
+    }
+  }
+  const double avg = flips / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+// The min-hash construction depends on low collision rates among hashed
+// minima; spot-check uniformity of the low byte.
+TEST(HashTest, LowByteRoughlyUniform) {
+  std::vector<int> counts(256, 0);
+  const int n = 256 * 200;
+  for (int i = 0; i < n; ++i) {
+    counts[HashU64(static_cast<std::uint64_t>(i), 77) & 0xff] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 100);  // expected 200, generous band
+    EXPECT_LT(c, 320);
+  }
+}
+
+}  // namespace
+}  // namespace ssr

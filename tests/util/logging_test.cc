@@ -1,0 +1,32 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MacroStreamsWithoutCrashing) {
+  SetLogLevel(LogLevel::kOff);
+  SSR_LOG(kInfo) << "value " << 42 << " pi " << 3.14;  // dropped, but built
+  SetLogLevel(LogLevel::kDebug);
+  SSR_LOG(kDebug) << "emitted at debug";
+}
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+}  // namespace
+}  // namespace ssr

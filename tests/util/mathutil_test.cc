@@ -1,0 +1,101 @@
+#include "util/mathutil.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(MathUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo((1ULL << 40) + 1), 1ULL << 41);
+}
+
+TEST(MathUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+}
+
+TEST(MathUtilTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(1ULL << 63), 63);
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(MathUtilTest, IntegrateConstant) {
+  const double v = IntegrateMidpoint([](double) { return 3.0; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 6.0, 1e-9);
+}
+
+TEST(MathUtilTest, IntegrateLinear) {
+  // ∫_0^1 x dx = 0.5; the midpoint rule is exact for linear functions.
+  const double v = IntegrateMidpoint([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_NEAR(v, 0.5, 1e-12);
+}
+
+TEST(MathUtilTest, IntegrateQuadraticConverges) {
+  const double v =
+      IntegrateMidpoint([](double x) { return x * x; }, 0.0, 1.0, 1024);
+  EXPECT_NEAR(v, 1.0 / 3.0, 1e-6);
+}
+
+TEST(MathUtilTest, IntegrateEmptyRangeIsZero) {
+  EXPECT_EQ(IntegrateMidpoint([](double) { return 1.0; }, 1.0, 1.0), 0.0);
+  EXPECT_EQ(IntegrateMidpoint([](double) { return 1.0; }, 2.0, 1.0), 0.0);
+}
+
+TEST(MathUtilTest, ChernoffBoundDecreasesWithN) {
+  // Small n clamps to the trivial bound 1; past that the bound decays.
+  const double b1 = ChernoffTwoSidedBound(100, 0.5, 0.2);
+  const double b2 = ChernoffTwoSidedBound(1000, 0.5, 0.2);
+  const double b3 = ChernoffTwoSidedBound(10000, 0.5, 0.2);
+  EXPECT_GE(b1, b2);
+  EXPECT_GT(b2, b3);
+  EXPECT_LE(b1, 1.0);
+  EXPECT_GE(b3, 0.0);
+}
+
+TEST(MathUtilTest, MinHashesForAccuracyMonotonicInEps) {
+  const std::size_t loose = MinHashesForAccuracy(0.5, 0.2, 0.05);
+  const std::size_t tight = MinHashesForAccuracy(0.5, 0.05, 0.05);
+  EXPECT_LT(loose, tight);
+  EXPECT_GE(loose, 1u);
+}
+
+TEST(MathUtilTest, BinomialTailBoundaryCases) {
+  EXPECT_EQ(BinomialUpperTail(10, 0.5, 0), 1.0);
+  EXPECT_EQ(BinomialUpperTail(10, 0.5, 11), 0.0);
+  EXPECT_EQ(BinomialUpperTail(10, 0.0, 1), 0.0);
+  EXPECT_EQ(BinomialUpperTail(10, 1.0, 10), 1.0);
+}
+
+TEST(MathUtilTest, BinomialTailMatchesSymmetry) {
+  // For p=0.5 and odd n, P(X >= (n+1)/2) = 0.5 by symmetry.
+  EXPECT_NEAR(BinomialUpperTail(11, 0.5, 6), 0.5, 1e-9);
+}
+
+TEST(MathUtilTest, BinomialTailAgainstDirectComputation) {
+  // n = 4, p = 0.3: P(X >= 2) = 1 - P(0) - P(1)
+  const double p0 = std::pow(0.7, 4);
+  const double p1 = 4 * 0.3 * std::pow(0.7, 3);
+  EXPECT_NEAR(BinomialUpperTail(4, 0.3, 2), 1.0 - p0 - p1, 1e-12);
+}
+
+}  // namespace
+}  // namespace ssr

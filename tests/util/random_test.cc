@@ -1,0 +1,172 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(4);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.Uniform(10)] += 1;
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(6);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(100, 20);
+    EXPECT_EQ(sample.size(), 20u);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (auto v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(9);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleCoversPositionsUniformly) {
+  // Every position should be sampled roughly equally often.
+  Rng rng(10);
+  std::vector<int> counts(20, 0);
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    for (auto v : rng.SampleWithoutReplacement(20, 5)) counts[v] += 1;
+  }
+  // Expected trials * 5 / 20 = 1250 per position.
+  for (int c : counts) {
+    EXPECT_GT(c, 1000);
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultisetAndPermutes) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  bool changed = false;
+  for (int t = 0; t < 10; ++t) {
+    rng.Shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, original);
+    if (v != original) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(12);
+  Rng child = parent.Fork();
+  bool diverged = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Next() != child.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfDistribution z(100, 0.0);
+  Rng rng(13);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) counts[z.Sample(rng)] += 1;
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfDistribution z(1000, 1.0);
+  Rng rng(14);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Sample(rng) < 10) ++head;
+  }
+  // With alpha=1 over 1000 ranks, the top-10 mass is ~H(10)/H(1000) ≈ 0.39.
+  EXPECT_GT(head, n / 4);
+  EXPECT_LT(head, n / 2);
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfDistribution z(7, 1.5);
+  Rng rng(15);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Sample(rng), 7u);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfDistribution z(1, 1.0);
+  Rng rng(16);
+  EXPECT_EQ(z.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,73 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    Status::Code code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), Status::Code::kInvalidArgument},
+      {Status::NotFound("b"), Status::Code::kNotFound},
+      {Status::OutOfRange("c"), Status::Code::kOutOfRange},
+      {Status::AlreadyExists("d"), Status::Code::kAlreadyExists},
+      {Status::FailedPrecondition("e"), Status::Code::kFailedPrecondition},
+      {Status::ResourceExhausted("f"), Status::Code::kResourceExhausted},
+      {Status::Internal("g"), Status::Code::kInternal},
+      {Status::NotSupported("h"), Status::Code::kNotSupported},
+      {Status::Corruption("i"), Status::Code::kCorruption},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, PredicatesMatchCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::NotFound("missing sid 42");
+  EXPECT_EQ(s.ToString(), "NotFound: missing sid 42");
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_NE(StatusCodeName(Status::Code::kNotFound),
+            StatusCodeName(Status::Code::kCorruption));
+  EXPECT_EQ(StatusCodeName(Status::Code::kOk), "OK");
+}
+
+Status FailsThenPropagates(bool fail) {
+  SSR_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
+  return Status::NotFound("outer");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(FailsThenPropagates(true).IsInternal());
+  EXPECT_TRUE(FailsThenPropagates(false).IsNotFound());
+}
+
+}  // namespace
+}  // namespace ssr

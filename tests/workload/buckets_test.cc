@@ -1,0 +1,49 @@
+#include "workload/buckets.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(BucketsTest, PaperBucketsShape) {
+  const auto buckets = PaperResultSizeBuckets();
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_DOUBLE_EQ(buckets[0].lo_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(buckets[0].hi_fraction, 0.005);
+  EXPECT_DOUBLE_EQ(buckets[4].lo_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(buckets[4].hi_fraction, 0.35);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(buckets[i].lo_fraction, buckets[i - 1].hi_fraction);
+  }
+}
+
+TEST(BucketsTest, ClassifyBoundaries) {
+  const auto buckets = PaperResultSizeBuckets();
+  const std::size_t n = 10000;
+  EXPECT_EQ(ClassifyResultSize(0, n, buckets), 0u);       // 0%
+  EXPECT_EQ(ClassifyResultSize(49, n, buckets), 0u);      // 0.49%
+  EXPECT_EQ(ClassifyResultSize(50, n, buckets), 0u);      // exactly 0.5%
+  EXPECT_EQ(ClassifyResultSize(51, n, buckets), 1u);      // 0.51%
+  EXPECT_EQ(ClassifyResultSize(500, n, buckets), 1u);     // 5%
+  EXPECT_EQ(ClassifyResultSize(750, n, buckets), 2u);     // 7.5%
+  EXPECT_EQ(ClassifyResultSize(2000, n, buckets), 3u);    // 20%
+  EXPECT_EQ(ClassifyResultSize(3000, n, buckets), 4u);    // 30%
+  EXPECT_EQ(ClassifyResultSize(3500, n, buckets), 4u);    // 35%
+  EXPECT_EQ(ClassifyResultSize(3600, n, buckets), 5u);    // out of range
+  EXPECT_EQ(ClassifyResultSize(10000, n, buckets), 5u);   // 100%
+}
+
+TEST(BucketsTest, EmptyCollectionIsOutside) {
+  const auto buckets = PaperResultSizeBuckets();
+  EXPECT_EQ(ClassifyResultSize(5, 0, buckets), buckets.size());
+}
+
+TEST(BucketsTest, LabelsAreHuman) {
+  for (const auto& b : PaperResultSizeBuckets()) {
+    EXPECT_FALSE(b.label.empty());
+    EXPECT_NE(b.label.find('%'), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,86 @@
+#include "workload/query_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+SetCollection TinyCollection() {
+  return {{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+}
+
+TEST(QueryGeneratorTest, QueriesReferenceCollectionSets) {
+  SetCollection sets = TinyCollection();
+  QueryGenerator gen(sets, {});
+  for (int i = 0; i < 100; ++i) {
+    const RangeQuery q = gen.Next();
+    EXPECT_LT(q.query_sid, sets.size());
+  }
+}
+
+TEST(QueryGeneratorTest, RangesValidAndWidthBounded) {
+  SetCollection sets = TinyCollection();
+  QueryGeneratorParams params;
+  params.min_width = 0.1;
+  params.max_width = 0.3;
+  QueryGenerator gen(sets, params);
+  for (int i = 0; i < 200; ++i) {
+    const RangeQuery q = gen.Next();
+    EXPECT_GE(q.sigma1, 0.0);
+    EXPECT_LE(q.sigma2, 1.0);
+    EXPECT_LE(q.sigma1, q.sigma2);
+    EXPECT_GE(q.sigma2 - q.sigma1, 0.1 - 1e-9);
+    EXPECT_LE(q.sigma2 - q.sigma1, 0.3 + 1e-9);
+  }
+}
+
+TEST(QueryGeneratorTest, DeterministicPerSeed) {
+  SetCollection sets = TinyCollection();
+  QueryGeneratorParams params;
+  params.seed = 42;
+  QueryGenerator a(sets, params), b(sets, params);
+  for (int i = 0; i < 20; ++i) {
+    const RangeQuery qa = a.Next();
+    const RangeQuery qb = b.Next();
+    EXPECT_EQ(qa.query_sid, qb.query_sid);
+    EXPECT_DOUBLE_EQ(qa.sigma1, qb.sigma1);
+    EXPECT_DOUBLE_EQ(qa.sigma2, qb.sigma2);
+  }
+}
+
+TEST(QueryGeneratorTest, BatchSize) {
+  SetCollection sets = TinyCollection();
+  QueryGenerator gen(sets, {});
+  EXPECT_EQ(gen.Batch(37).size(), 37u);
+}
+
+TEST(QueryGeneratorTest, RangeStartsCoverTheUnitInterval) {
+  SetCollection sets = TinyCollection();
+  QueryGeneratorParams params;
+  params.min_width = 0.05;
+  params.max_width = 0.05;
+  QueryGenerator gen(sets, params);
+  bool low = false, high = false;
+  for (int i = 0; i < 500; ++i) {
+    const RangeQuery q = gen.Next();
+    if (q.sigma1 < 0.2) low = true;
+    if (q.sigma1 > 0.7) high = true;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(QueryGeneratorTest, ParamClamping) {
+  SetCollection sets = TinyCollection();
+  QueryGeneratorParams params;
+  params.min_width = 0.8;
+  params.max_width = 0.2;  // inverted: clamped to min_width
+  QueryGenerator gen(sets, params);
+  for (int i = 0; i < 50; ++i) {
+    const RangeQuery q = gen.Next();
+    EXPECT_NEAR(q.sigma2 - q.sigma1, 0.8, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,153 @@
+#include "workload/weblog_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/similarity_distribution.h"
+#include "util/set_ops.h"
+#include "workload/datasets.h"
+
+namespace ssr {
+namespace {
+
+WeblogParams SmallParams(std::uint64_t seed = 1) {
+  WeblogParams p;
+  p.num_sets = 400;
+  p.num_urls = 3000;
+  p.num_profiles = 8;
+  p.profile_urls = 150;
+  p.min_set_size = 4;
+  p.max_set_size = 60;
+  p.seed = seed;
+  return p;
+}
+
+TEST(WeblogGeneratorTest, GeneratesRequestedCount) {
+  const SetCollection sets = GenerateWeblogCollection(SmallParams());
+  EXPECT_EQ(sets.size(), 400u);
+}
+
+TEST(WeblogGeneratorTest, AllSetsNormalizedAndNonEmpty) {
+  const SetCollection sets = GenerateWeblogCollection(SmallParams());
+  for (const auto& s : sets) {
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(IsNormalizedSet(s));
+  }
+}
+
+TEST(WeblogGeneratorTest, DeterministicPerSeed) {
+  const SetCollection a = GenerateWeblogCollection(SmallParams(5));
+  const SetCollection b = GenerateWeblogCollection(SmallParams(5));
+  const SetCollection c = GenerateWeblogCollection(SmallParams(6));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(WeblogGeneratorTest, SizesWithinBounds) {
+  WeblogParams p = SmallParams();
+  p.min_set_size = 10;
+  p.max_set_size = 20;
+  p.duplicate_rate = 0.0;  // duplicates mutate sizes slightly
+  const SetCollection sets = GenerateWeblogCollection(p);
+  for (const auto& s : sets) {
+    EXPECT_GE(s.size(), 5u);  // dedup can shrink below min a little
+    EXPECT_LE(s.size(), 20u);
+  }
+}
+
+TEST(WeblogGeneratorTest, ElementsWithinUniverse) {
+  WeblogParams p = SmallParams();
+  const SetCollection sets = GenerateWeblogCollection(p);
+  for (const auto& s : sets) {
+    for (ElementId e : s) EXPECT_LT(e, p.num_urls);
+  }
+}
+
+TEST(WeblogGeneratorTest, DuplicatesCreateHighSimilarityPairs) {
+  WeblogParams p = SmallParams();
+  p.duplicate_rate = 0.3;
+  p.duplicate_mutation = 0.05;
+  const SetCollection sets = GenerateWeblogCollection(p);
+  SimilarityHistogram hist = ComputeExactDistribution(sets, 20);
+  // With 30% near-duplicates there must be visible mass above 0.7.
+  EXPECT_GT(hist.MassInRange(0.7, 1.0), 10.0);
+}
+
+TEST(WeblogGeneratorTest, DistributionDropsWithSimilarity) {
+  // The paper's key structural property: D_S decreases sharply in s.
+  const SetCollection sets = GenerateWeblogCollection(SmallParams());
+  SimilarityHistogram hist = ComputeExactDistribution(sets, 10);
+  EXPECT_GT(hist.MassInRange(0.0, 0.2), hist.MassInRange(0.2, 0.4));
+  EXPECT_GT(hist.MassInRange(0.2, 0.4), hist.MassInRange(0.6, 0.8));
+}
+
+TEST(WeblogGeneratorTest, ProfilesInduceMidSimilarityPairs) {
+  // Profile locality must produce at least some pairs in the (0.1, 0.7)
+  // band; without it everything is near-disjoint.
+  WeblogParams p = SmallParams();
+  p.duplicate_rate = 0.0;
+  const SetCollection sets = GenerateWeblogCollection(p);
+  SimilarityHistogram hist = ComputeExactDistribution(sets, 10);
+  EXPECT_GT(hist.MassInRange(0.1, 0.7), 50.0);
+}
+
+TEST(WeblogGeneratorTest, CasualSessionsAreSmallAndHot) {
+  WeblogParams p = SmallParams();
+  p.casual_rate = 1.0;  // every set is a casual session
+  p.casual_max_size = 5;
+  const SetCollection sets = GenerateWeblogCollection(p);
+  for (const auto& s : sets) {
+    EXPECT_GE(s.size(), 1u);
+    EXPECT_LE(s.size(), 5u);
+  }
+}
+
+TEST(WeblogGeneratorTest, CasualSessionsCreateIdenticalPairs) {
+  // Tiny sessions over a Zipf head collide: some pairs must be identical,
+  // giving high-similarity queries non-trivial answers.
+  WeblogParams p = SmallParams();
+  p.casual_rate = 0.5;
+  p.casual_max_size = 4;
+  const SetCollection sets = GenerateWeblogCollection(p);
+  SimilarityHistogram hist = ComputeExactDistribution(sets, 10);
+  EXPECT_GT(hist.MassInRange(0.9, 1.0), 20.0);
+}
+
+TEST(WeblogGeneratorTest, CasualRateZeroMatchesLegacyBehaviour) {
+  WeblogParams p = SmallParams(9);
+  p.casual_rate = 0.0;
+  const SetCollection a = GenerateWeblogCollection(p);
+  const SetCollection b = GenerateWeblogCollection(p);
+  EXPECT_EQ(a, b);
+  for (const auto& s : a) EXPECT_GE(s.size(), p.min_set_size / 2);
+}
+
+TEST(DatasetsTest, Set1AndSet2Differ) {
+  const SetCollection s1 = MakeDataset("set1", 0.002);
+  const SetCollection s2 = MakeDataset("set2", 0.002);
+  EXPECT_EQ(s1.size(), s2.size());  // same scaled count
+  EXPECT_NE(s1, s2);
+}
+
+TEST(DatasetsTest, ScaleControlsSize) {
+  EXPECT_EQ(MakeDataset("set1", 0.002).size(), 400u);
+  EXPECT_EQ(MakeDataset("set1", 0.005).size(), 1000u);
+}
+
+TEST(DatasetsTest, Set2HasLargerSetsOnAverage) {
+  const SetCollection s1 = MakeDataset("set1", 0.002);
+  const SetCollection s2 = MakeDataset("set2", 0.002);
+  double avg1 = 0.0, avg2 = 0.0;
+  for (const auto& s : s1) avg1 += static_cast<double>(s.size());
+  for (const auto& s : s2) avg2 += static_cast<double>(s.size());
+  avg1 /= static_cast<double>(s1.size());
+  avg2 /= static_cast<double>(s2.size());
+  // The paper: Set2 is ~500MB vs ~400MB for the same 200k sets.
+  EXPECT_GT(avg2, avg1);
+}
+
+TEST(DatasetsTest, UnknownNameFallsBackToSet1) {
+  EXPECT_EQ(MakeDataset("bogus", 0.002), MakeDataset("set1", 0.002));
+}
+
+}  // namespace
+}  // namespace ssr
