@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_optimizer.cc" "bench/CMakeFiles/ablation_optimizer.dir/ablation_optimizer.cc.o" "gcc" "bench/CMakeFiles/ablation_optimizer.dir/ablation_optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_hamming.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_minhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossover_sweep.dir/crossover_sweep.cc.o"
+  "CMakeFiles/crossover_sweep.dir/crossover_sweep.cc.o.d"
+  "crossover_sweep"
+  "crossover_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_fidelity.dir/embedding_fidelity.cc.o"
+  "CMakeFiles/embedding_fidelity.dir/embedding_fidelity.cc.o.d"
+  "embedding_fidelity"
+  "embedding_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_precision_recall.dir/fig6_precision_recall.cc.o"
+  "CMakeFiles/fig6_precision_recall.dir/fig6_precision_recall.cc.o.d"
+  "fig6_precision_recall"
+  "fig6_precision_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

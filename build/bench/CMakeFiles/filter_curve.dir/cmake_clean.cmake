@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_curve.dir/filter_curve.cc.o"
+  "CMakeFiles/filter_curve.dir/filter_curve.cc.o.d"
+  "filter_curve"
+  "filter_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/book_recommendations.dir/book_recommendations.cpp.o"
+  "CMakeFiles/book_recommendations.dir/book_recommendations.cpp.o.d"
+  "book_recommendations"
+  "book_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/book_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

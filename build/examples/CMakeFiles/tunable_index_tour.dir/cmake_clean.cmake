@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunable_index_tour.dir/tunable_index_tour.cpp.o"
+  "CMakeFiles/tunable_index_tour.dir/tunable_index_tour.cpp.o.d"
+  "tunable_index_tour"
+  "tunable_index_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunable_index_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

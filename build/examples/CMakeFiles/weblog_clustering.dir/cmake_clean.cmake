@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblog_clustering.dir/weblog_clustering.cpp.o"
+  "CMakeFiles/weblog_clustering.dir/weblog_clustering.cpp.o.d"
+  "weblog_clustering"
+  "weblog_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblog_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

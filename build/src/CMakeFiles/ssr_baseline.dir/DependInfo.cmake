@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/exact_evaluator.cc" "src/CMakeFiles/ssr_baseline.dir/baseline/exact_evaluator.cc.o" "gcc" "src/CMakeFiles/ssr_baseline.dir/baseline/exact_evaluator.cc.o.d"
+  "/root/repo/src/baseline/inverted_index.cc" "src/CMakeFiles/ssr_baseline.dir/baseline/inverted_index.cc.o" "gcc" "src/CMakeFiles/ssr_baseline.dir/baseline/inverted_index.cc.o.d"
+  "/root/repo/src/baseline/sequential_scan.cc" "src/CMakeFiles/ssr_baseline.dir/baseline/sequential_scan.cc.o" "gcc" "src/CMakeFiles/ssr_baseline.dir/baseline/sequential_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

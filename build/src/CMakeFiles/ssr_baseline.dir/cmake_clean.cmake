@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_baseline.dir/baseline/exact_evaluator.cc.o"
+  "CMakeFiles/ssr_baseline.dir/baseline/exact_evaluator.cc.o.d"
+  "CMakeFiles/ssr_baseline.dir/baseline/inverted_index.cc.o"
+  "CMakeFiles/ssr_baseline.dir/baseline/inverted_index.cc.o.d"
+  "CMakeFiles/ssr_baseline.dir/baseline/sequential_scan.cc.o"
+  "CMakeFiles/ssr_baseline.dir/baseline/sequential_scan.cc.o.d"
+  "libssr_baseline.a"
+  "libssr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

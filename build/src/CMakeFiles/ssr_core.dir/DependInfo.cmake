@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bit_sampler.cc" "src/CMakeFiles/ssr_core.dir/core/bit_sampler.cc.o" "gcc" "src/CMakeFiles/ssr_core.dir/core/bit_sampler.cc.o.d"
+  "/root/repo/src/core/dfi.cc" "src/CMakeFiles/ssr_core.dir/core/dfi.cc.o" "gcc" "src/CMakeFiles/ssr_core.dir/core/dfi.cc.o.d"
+  "/root/repo/src/core/filter_function.cc" "src/CMakeFiles/ssr_core.dir/core/filter_function.cc.o" "gcc" "src/CMakeFiles/ssr_core.dir/core/filter_function.cc.o.d"
+  "/root/repo/src/core/hash_table.cc" "src/CMakeFiles/ssr_core.dir/core/hash_table.cc.o" "gcc" "src/CMakeFiles/ssr_core.dir/core/hash_table.cc.o.d"
+  "/root/repo/src/core/index_layout.cc" "src/CMakeFiles/ssr_core.dir/core/index_layout.cc.o" "gcc" "src/CMakeFiles/ssr_core.dir/core/index_layout.cc.o.d"
+  "/root/repo/src/core/set_similarity_index.cc" "src/CMakeFiles/ssr_core.dir/core/set_similarity_index.cc.o" "gcc" "src/CMakeFiles/ssr_core.dir/core/set_similarity_index.cc.o.d"
+  "/root/repo/src/core/sfi.cc" "src/CMakeFiles/ssr_core.dir/core/sfi.cc.o" "gcc" "src/CMakeFiles/ssr_core.dir/core/sfi.cc.o.d"
+  "/root/repo/src/core/similarity_ops.cc" "src/CMakeFiles/ssr_core.dir/core/similarity_ops.cc.o" "gcc" "src/CMakeFiles/ssr_core.dir/core/similarity_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_minhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_hamming.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

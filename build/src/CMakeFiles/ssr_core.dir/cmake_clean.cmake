@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_core.dir/core/bit_sampler.cc.o"
+  "CMakeFiles/ssr_core.dir/core/bit_sampler.cc.o.d"
+  "CMakeFiles/ssr_core.dir/core/dfi.cc.o"
+  "CMakeFiles/ssr_core.dir/core/dfi.cc.o.d"
+  "CMakeFiles/ssr_core.dir/core/filter_function.cc.o"
+  "CMakeFiles/ssr_core.dir/core/filter_function.cc.o.d"
+  "CMakeFiles/ssr_core.dir/core/hash_table.cc.o"
+  "CMakeFiles/ssr_core.dir/core/hash_table.cc.o.d"
+  "CMakeFiles/ssr_core.dir/core/index_layout.cc.o"
+  "CMakeFiles/ssr_core.dir/core/index_layout.cc.o.d"
+  "CMakeFiles/ssr_core.dir/core/set_similarity_index.cc.o"
+  "CMakeFiles/ssr_core.dir/core/set_similarity_index.cc.o.d"
+  "CMakeFiles/ssr_core.dir/core/sfi.cc.o"
+  "CMakeFiles/ssr_core.dir/core/sfi.cc.o.d"
+  "CMakeFiles/ssr_core.dir/core/similarity_ops.cc.o"
+  "CMakeFiles/ssr_core.dir/core/similarity_ops.cc.o.d"
+  "libssr_core.a"
+  "libssr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/code.cc" "src/CMakeFiles/ssr_ecc.dir/ecc/code.cc.o" "gcc" "src/CMakeFiles/ssr_ecc.dir/ecc/code.cc.o.d"
+  "/root/repo/src/ecc/hadamard.cc" "src/CMakeFiles/ssr_ecc.dir/ecc/hadamard.cc.o" "gcc" "src/CMakeFiles/ssr_ecc.dir/ecc/hadamard.cc.o.d"
+  "/root/repo/src/ecc/naive.cc" "src/CMakeFiles/ssr_ecc.dir/ecc/naive.cc.o" "gcc" "src/CMakeFiles/ssr_ecc.dir/ecc/naive.cc.o.d"
+  "/root/repo/src/ecc/simplex.cc" "src/CMakeFiles/ssr_ecc.dir/ecc/simplex.cc.o" "gcc" "src/CMakeFiles/ssr_ecc.dir/ecc/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_ecc.dir/ecc/code.cc.o"
+  "CMakeFiles/ssr_ecc.dir/ecc/code.cc.o.d"
+  "CMakeFiles/ssr_ecc.dir/ecc/hadamard.cc.o"
+  "CMakeFiles/ssr_ecc.dir/ecc/hadamard.cc.o.d"
+  "CMakeFiles/ssr_ecc.dir/ecc/naive.cc.o"
+  "CMakeFiles/ssr_ecc.dir/ecc/naive.cc.o.d"
+  "CMakeFiles/ssr_ecc.dir/ecc/simplex.cc.o"
+  "CMakeFiles/ssr_ecc.dir/ecc/simplex.cc.o.d"
+  "libssr_ecc.a"
+  "libssr_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_eval.dir/eval/harness.cc.o"
+  "CMakeFiles/ssr_eval.dir/eval/harness.cc.o.d"
+  "CMakeFiles/ssr_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/ssr_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/ssr_eval.dir/eval/table_printer.cc.o"
+  "CMakeFiles/ssr_eval.dir/eval/table_printer.cc.o.d"
+  "libssr_eval.a"
+  "libssr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hamming/bitvector.cc" "src/CMakeFiles/ssr_hamming.dir/hamming/bitvector.cc.o" "gcc" "src/CMakeFiles/ssr_hamming.dir/hamming/bitvector.cc.o.d"
+  "/root/repo/src/hamming/embedding.cc" "src/CMakeFiles/ssr_hamming.dir/hamming/embedding.cc.o" "gcc" "src/CMakeFiles/ssr_hamming.dir/hamming/embedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_minhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_hamming.dir/hamming/bitvector.cc.o"
+  "CMakeFiles/ssr_hamming.dir/hamming/bitvector.cc.o.d"
+  "CMakeFiles/ssr_hamming.dir/hamming/embedding.cc.o"
+  "CMakeFiles/ssr_hamming.dir/hamming/embedding.cc.o.d"
+  "libssr_hamming.a"
+  "libssr_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

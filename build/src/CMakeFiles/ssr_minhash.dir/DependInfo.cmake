@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minhash/estimator.cc" "src/CMakeFiles/ssr_minhash.dir/minhash/estimator.cc.o" "gcc" "src/CMakeFiles/ssr_minhash.dir/minhash/estimator.cc.o.d"
+  "/root/repo/src/minhash/min_hasher.cc" "src/CMakeFiles/ssr_minhash.dir/minhash/min_hasher.cc.o" "gcc" "src/CMakeFiles/ssr_minhash.dir/minhash/min_hasher.cc.o.d"
+  "/root/repo/src/minhash/signature.cc" "src/CMakeFiles/ssr_minhash.dir/minhash/signature.cc.o" "gcc" "src/CMakeFiles/ssr_minhash.dir/minhash/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_minhash.dir/minhash/estimator.cc.o"
+  "CMakeFiles/ssr_minhash.dir/minhash/estimator.cc.o.d"
+  "CMakeFiles/ssr_minhash.dir/minhash/min_hasher.cc.o"
+  "CMakeFiles/ssr_minhash.dir/minhash/min_hasher.cc.o.d"
+  "CMakeFiles/ssr_minhash.dir/minhash/signature.cc.o"
+  "CMakeFiles/ssr_minhash.dir/minhash/signature.cc.o.d"
+  "libssr_minhash.a"
+  "libssr_minhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_minhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

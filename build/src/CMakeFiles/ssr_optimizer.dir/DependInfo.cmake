@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/equidepth.cc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/equidepth.cc.o" "gcc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/equidepth.cc.o.d"
+  "/root/repo/src/optimizer/error_model.cc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/error_model.cc.o" "gcc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/error_model.cc.o.d"
+  "/root/repo/src/optimizer/greedy_allocator.cc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/greedy_allocator.cc.o" "gcc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/greedy_allocator.cc.o.d"
+  "/root/repo/src/optimizer/index_builder.cc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/index_builder.cc.o" "gcc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/index_builder.cc.o.d"
+  "/root/repo/src/optimizer/similarity_distribution.cc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/similarity_distribution.cc.o" "gcc" "src/CMakeFiles/ssr_optimizer.dir/optimizer/similarity_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_hamming.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_minhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssr_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_optimizer.dir/optimizer/equidepth.cc.o"
+  "CMakeFiles/ssr_optimizer.dir/optimizer/equidepth.cc.o.d"
+  "CMakeFiles/ssr_optimizer.dir/optimizer/error_model.cc.o"
+  "CMakeFiles/ssr_optimizer.dir/optimizer/error_model.cc.o.d"
+  "CMakeFiles/ssr_optimizer.dir/optimizer/greedy_allocator.cc.o"
+  "CMakeFiles/ssr_optimizer.dir/optimizer/greedy_allocator.cc.o.d"
+  "CMakeFiles/ssr_optimizer.dir/optimizer/index_builder.cc.o"
+  "CMakeFiles/ssr_optimizer.dir/optimizer/index_builder.cc.o.d"
+  "CMakeFiles/ssr_optimizer.dir/optimizer/similarity_distribution.cc.o"
+  "CMakeFiles/ssr_optimizer.dir/optimizer/similarity_distribution.cc.o.d"
+  "libssr_optimizer.a"
+  "libssr_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bplus_tree.cc" "src/CMakeFiles/ssr_storage.dir/storage/bplus_tree.cc.o" "gcc" "src/CMakeFiles/ssr_storage.dir/storage/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/ssr_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/ssr_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/ssr_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/ssr_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/io_cost_model.cc" "src/CMakeFiles/ssr_storage.dir/storage/io_cost_model.cc.o" "gcc" "src/CMakeFiles/ssr_storage.dir/storage/io_cost_model.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/ssr_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/ssr_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/set_store.cc" "src/CMakeFiles/ssr_storage.dir/storage/set_store.cc.o" "gcc" "src/CMakeFiles/ssr_storage.dir/storage/set_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

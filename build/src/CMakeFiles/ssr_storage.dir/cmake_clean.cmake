@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_storage.dir/storage/bplus_tree.cc.o"
+  "CMakeFiles/ssr_storage.dir/storage/bplus_tree.cc.o.d"
+  "CMakeFiles/ssr_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/ssr_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/ssr_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/ssr_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/ssr_storage.dir/storage/io_cost_model.cc.o"
+  "CMakeFiles/ssr_storage.dir/storage/io_cost_model.cc.o.d"
+  "CMakeFiles/ssr_storage.dir/storage/page.cc.o"
+  "CMakeFiles/ssr_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/ssr_storage.dir/storage/set_store.cc.o"
+  "CMakeFiles/ssr_storage.dir/storage/set_store.cc.o.d"
+  "libssr_storage.a"
+  "libssr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_util.dir/util/dictionary.cc.o"
+  "CMakeFiles/ssr_util.dir/util/dictionary.cc.o.d"
+  "CMakeFiles/ssr_util.dir/util/hash.cc.o"
+  "CMakeFiles/ssr_util.dir/util/hash.cc.o.d"
+  "CMakeFiles/ssr_util.dir/util/logging.cc.o"
+  "CMakeFiles/ssr_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/ssr_util.dir/util/mathutil.cc.o"
+  "CMakeFiles/ssr_util.dir/util/mathutil.cc.o.d"
+  "CMakeFiles/ssr_util.dir/util/random.cc.o"
+  "CMakeFiles/ssr_util.dir/util/random.cc.o.d"
+  "CMakeFiles/ssr_util.dir/util/set_ops.cc.o"
+  "CMakeFiles/ssr_util.dir/util/set_ops.cc.o.d"
+  "CMakeFiles/ssr_util.dir/util/status.cc.o"
+  "CMakeFiles/ssr_util.dir/util/status.cc.o.d"
+  "CMakeFiles/ssr_util.dir/util/stopwatch.cc.o"
+  "CMakeFiles/ssr_util.dir/util/stopwatch.cc.o.d"
+  "libssr_util.a"
+  "libssr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssr_workload.dir/workload/buckets.cc.o"
+  "CMakeFiles/ssr_workload.dir/workload/buckets.cc.o.d"
+  "CMakeFiles/ssr_workload.dir/workload/datasets.cc.o"
+  "CMakeFiles/ssr_workload.dir/workload/datasets.cc.o.d"
+  "CMakeFiles/ssr_workload.dir/workload/query_generator.cc.o"
+  "CMakeFiles/ssr_workload.dir/workload/query_generator.cc.o.d"
+  "CMakeFiles/ssr_workload.dir/workload/weblog_generator.cc.o"
+  "CMakeFiles/ssr_workload.dir/workload/weblog_generator.cc.o.d"
+  "libssr_workload.a"
+  "libssr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

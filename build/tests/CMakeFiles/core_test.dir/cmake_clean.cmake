@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/bit_sampler_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bit_sampler_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/dfi_test.cc.o"
+  "CMakeFiles/core_test.dir/core/dfi_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/filter_function_test.cc.o"
+  "CMakeFiles/core_test.dir/core/filter_function_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hash_table_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hash_table_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/index_layout_test.cc.o"
+  "CMakeFiles/core_test.dir/core/index_layout_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/index_persistence_test.cc.o"
+  "CMakeFiles/core_test.dir/core/index_persistence_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/set_similarity_index_test.cc.o"
+  "CMakeFiles/core_test.dir/core/set_similarity_index_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sfi_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sfi_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/similarity_ops_test.cc.o"
+  "CMakeFiles/core_test.dir/core/similarity_ops_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
