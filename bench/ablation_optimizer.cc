@@ -126,6 +126,13 @@ int Run(const bench::Flags& flags) {
   const int queries = static_cast<int>(flags.GetInt("queries", 120));
   const std::size_t num_fis = 4;
 
+  RunReport report("ablation_optimizer");
+  bench::EnableObservability(flags);
+  report.AddParam("dataset", flags.GetString("dataset", "set1"));
+  report.AddParam("scale", flags.GetDouble("scale", 0.01));
+  report.AddParam("budget", static_cast<std::uint64_t>(budget));
+  report.AddParam("queries", static_cast<std::uint64_t>(queries));
+
   // --- Ablation 1: placement. ---
   bench::PrintHeader("Ablation 1 (Lemma 4): equidepth vs uniform placement, "
                      + std::to_string(num_fis) + " FIs, budget " +
@@ -152,6 +159,7 @@ int Run(const bench::Flags& flags) {
     std::ostringstream out;
     table.Print(out);
     std::printf("%s", out.str().c_str());
+    report.AddTable("ablation1 placement", table);
   }
 
   // --- Ablation 2: allocation. ---
@@ -196,6 +204,7 @@ int Run(const bench::Flags& flags) {
     std::ostringstream out;
     table.Print(out);
     std::printf("%s", out.str().c_str());
+    report.AddTable("ablation2 allocation", table);
   }
 
   // --- Ablation 3: interval count (Lemmas 3 and 5). ---
@@ -221,6 +230,7 @@ int Run(const bench::Flags& flags) {
     std::ostringstream out;
     table.Print(out);
     std::printf("%s", out.str().c_str());
+    report.AddTable("ablation3 interval count", table);
   }
 
   // --- Ablation 4: DFIs vs SFI-only for low-similarity queries. ---
@@ -285,8 +295,9 @@ int Run(const bench::Flags& flags) {
     std::ostringstream out;
     table.Print(out);
     std::printf("%s", out.str().c_str());
+    report.AddTable("ablation4 dfi vs sfi-only", table);
   }
-  return 0;
+  return bench::WriteReportIfRequested(flags, report);
 }
 
 }  // namespace

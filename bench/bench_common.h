@@ -3,6 +3,11 @@
 // prints the rows/series of the paper figure it reproduces; absolute times
 // come from the simulated I/O model plus measured CPU, so shapes (who wins,
 // where the crossover falls) are the comparable quantity.
+//
+// Every binary also accepts --json=<path>: the run's parameters, tables,
+// and headline scalars are collected into an eval::RunReport and written as
+// a machine-readable artifact (embedding a metrics-registry dump and the
+// query-trace ring). Passing --json enables query tracing for the run.
 
 #ifndef SSR_BENCH_BENCH_COMMON_H_
 #define SSR_BENCH_BENCH_COMMON_H_
@@ -11,6 +16,9 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+
+#include "eval/run_report.h"
+#include "obs/trace.h"
 
 namespace ssr {
 namespace bench {
@@ -61,6 +69,30 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n==========================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("==========================================================\n");
+}
+
+/// Turns on query tracing when a JSON artifact was requested (or --trace
+/// was passed explicitly). Call before running queries.
+inline void EnableObservability(const Flags& flags) {
+  if (!flags.GetString("json", "").empty() || flags.GetBool("trace")) {
+    obs::Tracer::Default().set_enabled(true);
+  }
+}
+
+/// Writes `report` to the --json path, if one was given. Returns 0 on
+/// success (or when no path was requested), 1 on write failure.
+inline int WriteReportIfRequested(const Flags& flags,
+                                  const RunReport& report) {
+  const std::string path = flags.GetString("json", "");
+  if (path.empty()) return 0;
+  const Status status = report.WriteTo(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "report write failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote JSON report to %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace bench

@@ -22,6 +22,8 @@ namespace ssr {
 namespace {
 
 int Run(const bench::Flags& flags) {
+  RunReport report("crossover_sweep");
+  bench::EnableObservability(flags);
   ExperimentConfig config;
   config.dataset = flags.GetString("dataset", "set1");
   config.scale = flags.GetDouble("scale", 0.05);
@@ -98,7 +100,15 @@ int Run(const bench::Flags& flags) {
   std::ostringstream out;
   table.Print(out);
   std::printf("%s", out.str().c_str());
-  return 0;
+
+  report.AddParam("dataset", config.dataset);
+  report.AddParam("scale", config.scale);
+  report.AddParam("budget", static_cast<std::uint64_t>(config.table_budget));
+  report.AddParam("queries", static_cast<std::uint64_t>(queries));
+  report.AddScalar("collection_size", static_cast<std::uint64_t>(n));
+  report.AddScalar("crossover_result_size", crossover);
+  report.AddTable("crossover deciles", table);
+  return bench::WriteReportIfRequested(flags, report);
 }
 
 }  // namespace

@@ -61,6 +61,14 @@ int Run(const bench::Flags& flags) {
   const int pairs = static_cast<int>(flags.GetInt("pairs", 300));
   Rng rng(0xfade11);
 
+  RunReport report("embedding_fidelity");
+  bench::EnableObservability(flags);
+  report.AddParam("pairs", static_cast<std::uint64_t>(pairs));
+  report.AddParam("minhashes",
+                  static_cast<std::uint64_t>(flags.GetInt("minhashes", 50)));
+  report.AddParam("bits",
+                  static_cast<std::uint64_t>(flags.GetInt("bits", 8)));
+
   bench::PrintHeader(
       "Theorem 1 / Example 1: embedding fidelity by encoder "
       "(|observed Hamming sim - affine ideal|, over random signature "
@@ -89,6 +97,7 @@ int Run(const bench::Flags& flags) {
   std::ostringstream out;
   table.Print(out);
   std::printf("%s", out.str().c_str());
+  report.AddTable("fidelity by encoder", table);
   std::printf(
       "\nEquidistant codes (hadamard, simplex) show zero deviation:\n"
       "Theorem 1 holds exactly. The naive binary encoding (Example 1)\n"
@@ -113,7 +122,8 @@ int Run(const bench::Flags& flags) {
               HammingSimilarity(hadamard->EmbedSignature(v1),
                                 hadamard->EmbedSignature(v2)),
               hadamard->SetToHammingSimilarity(v1.AgreementFraction(v2)));
-  return 0;
+  report.AddScalar("example1_signature_agreement", v1.AgreementFraction(v2));
+  return bench::WriteReportIfRequested(flags, report);
 }
 
 }  // namespace

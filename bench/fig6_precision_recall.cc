@@ -35,6 +35,13 @@ int Run(const bench::Flags& flags) {
   const auto datasets = SplitCsv(flags.GetString("datasets", "set1,set2"));
   const double recall_target = flags.GetDouble("recall_target", 0.9);
 
+  RunReport report("fig6_precision_recall");
+  bench::EnableObservability(flags);
+  report.AddParam("scale", scale);
+  report.AddParam("budgets", flags.GetString("budgets", "500,1000"));
+  report.AddParam("datasets", flags.GetString("datasets", "set1,set2"));
+  report.AddParam("recall_target", recall_target);
+
   for (const std::string& budget_str : budgets) {
     const std::size_t budget =
         static_cast<std::size_t>(std::atol(budget_str.c_str()));
@@ -88,6 +95,11 @@ int Run(const bench::Flags& flags) {
       std::ostringstream out;
       table.Print(out);
       std::printf("%s", out.str().c_str());
+      report.AddTable("budget " + budget_str + " " + dataset, table);
+      report.AddScalar(dataset + "_b" + budget_str + "_weighted_recall",
+                       result->overall_weighted_recall);
+      report.AddScalar(dataset + "_b" + budget_str + "_weighted_precision",
+                       result->overall_weighted_precision);
       std::printf("unconditioned averages over all %zu random queries:\n"
                   "  per-query mean:     recall %s, precision %s\n"
                   "  Definition 8/9 form: recall %s, precision %s "
@@ -101,7 +113,7 @@ int Run(const bench::Flags& flags) {
                   TablePrinter::Pct(recall_target).c_str());
     }
   }
-  return 0;
+  return bench::WriteReportIfRequested(flags, report);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ namespace ssr {
 namespace {
 
 void RunDataset(const bench::Flags& flags, const std::string& dataset,
-                const char* figure_label) {
+                const char* figure_label, RunReport* report) {
   ExperimentConfig config;
   config.dataset = dataset;
   config.scale = flags.GetDouble("scale", 0.05);
@@ -90,17 +90,40 @@ void RunDataset(const bench::Flags& flags, const std::string& dataset,
   std::ostringstream out;
   table.Print(out);
   std::printf("%s", out.str().c_str());
+
+  report->AddTable("figure7" + std::string(figure_label) + " " + dataset,
+                   table);
+  report->AddScalar(dataset + "_collection_size",
+                    static_cast<std::uint64_t>(result->collection_size));
+  report->AddScalar(dataset + "_heap_pages",
+                    static_cast<std::uint64_t>(result->heap_pages));
+  report->AddScalar(dataset + "_crossover_result_size",
+                    result->crossover_result_size);
+  report->AddScalar(dataset + "_total_queries",
+                    static_cast<std::uint64_t>(result->total_queries_run));
 }
 
 int Run(const bench::Flags& flags) {
+  RunReport report("fig7_response_time");
+  bench::EnableObservability(flags);
   const std::string dataset = flags.GetString("dataset", "both");
+  report.AddParam("dataset", dataset);
+  report.AddParam("scale", flags.GetDouble("scale", 0.05));
+  report.AddParam("budget", static_cast<std::uint64_t>(
+                                flags.GetInt("budget", 300)));
+  report.AddParam("recall_target", flags.GetDouble("recall_target", 0.7));
+  report.AddParam("minhashes", static_cast<std::uint64_t>(
+                                   flags.GetInt("minhashes", 100)));
+  report.AddParam("queries_per_bucket",
+                  static_cast<std::uint64_t>(
+                      flags.GetInt("queries_per_bucket", 40)));
   if (dataset == "both") {
-    RunDataset(flags, "set1", "(a)");
-    RunDataset(flags, "set2", "(b)");
+    RunDataset(flags, "set1", "(a)", &report);
+    RunDataset(flags, "set2", "(b)", &report);
   } else {
-    RunDataset(flags, dataset, dataset == "set2" ? "(b)" : "(a)");
+    RunDataset(flags, dataset, dataset == "set2" ? "(b)" : "(a)", &report);
   }
-  return 0;
+  return bench::WriteReportIfRequested(flags, report);
 }
 
 }  // namespace

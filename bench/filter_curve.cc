@@ -24,6 +24,12 @@ int Run(const bench::Flags& flags) {
   const std::size_t tables =
       static_cast<std::size_t>(flags.GetInt("tables", 15));
 
+  RunReport report("filter_curve");
+  bench::EnableObservability(flags);
+  report.AddParam("trials", static_cast<std::uint64_t>(trials));
+  report.AddParam("s_star", s_star);
+  report.AddParam("tables", static_cast<std::uint64_t>(tables));
+
   EmbeddingParams params;
   params.minhash.num_hashes =
       static_cast<std::size_t>(flags.GetInt("minhashes", 100));
@@ -78,6 +84,7 @@ int Run(const bench::Flags& flags) {
   std::ostringstream out1;
   table.Print(out1);
   std::printf("%s", out1.str().c_str());
+  report.AddTable("equation4 analytic vs measured", table);
 
   bench::PrintHeader(
       "Section 4.1 r-l tradeoff: fixed turning point, varying table count");
@@ -92,7 +99,8 @@ int Run(const bench::Flags& flags) {
   std::ostringstream out2;
   tradeoff.Print(out2);
   std::printf("%s", out2.str().c_str());
-  return 0;
+  report.AddTable("r-l tradeoff", tradeoff);
+  return bench::WriteReportIfRequested(flags, report);
 }
 
 }  // namespace

@@ -1,13 +1,24 @@
 // Google-benchmark microbenchmarks of the core primitives: exact Jaccard,
 // min-hash signing, ECC encoding, on-the-fly sampled-bit key extraction,
-// Hamming distance, SFI probe, and B+-tree operations. These quantify the
-// CPU-side costs that the paper folds into "processor time" in Figure 7.
+// Hamming distance, SFI probe, composite-index candidate generation, and
+// B+-tree operations. These quantify the CPU-side costs that the paper
+// folds into "processor time" in Figure 7.
+//
+// Accepts --json=<path> like the other bench binaries; it is translated to
+// google-benchmark's --benchmark_out/--benchmark_out_format=json pair.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/index_layout.h"
+#include "core/set_similarity_index.h"
 #include "core/sfi.h"
 #include "hamming/embedding.h"
 #include "storage/bplus_tree.h"
+#include "storage/set_store.h"
 #include "util/random.h"
 #include "util/set_ops.h"
 
@@ -113,6 +124,47 @@ void BM_SfiProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_SfiProbe)->Arg(5)->Arg(20)->Arg(50);
 
+// End-to-end candidate generation through the composite index (embed +
+// probe + set algebra, no verification fetches). The observability
+// acceptance bar: instrument updates must stay within noise of the seed's
+// query path (<5%).
+void BM_QueryCandidates(benchmark::State& state) {
+  Rng rng(9);
+  SetStoreOptions store_options;
+  store_options.buffer_pool_pages = 64;
+  SetStore store(store_options);
+  std::vector<ElementSet> sets;
+  for (int i = 0; i < 2000; ++i) {
+    sets.push_back(RandomSet(rng, 40, 1 << 16));
+    if (!store.Add(sets.back()).ok()) {
+      state.SkipWithError("store add failed");
+      return;
+    }
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points.push_back({0.2, FilterKind::kDissimilarity, 8, 0});
+  layout.points.push_back({0.5, FilterKind::kSimilarity, 8, 0});
+  layout.points.push_back({0.8, FilterKind::kSimilarity, 8, 0});
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 100;
+  options.embedding.minhash.value_bits = 8;
+  auto index = SetSimilarityIndex::Build(store, layout, options);
+  if (!index.ok()) {
+    state.SkipWithError("index build failed");
+    return;
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    auto result =
+        index->QueryCandidates(sets[next], 0.55, 0.95);
+    benchmark::DoNotOptimize(result);
+    next = (next + 1) % sets.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryCandidates);
+
 void BM_BPlusTreeInsert(benchmark::State& state) {
   Rng rng(7);
   for (auto _ : state) {
@@ -145,4 +197,27 @@ BENCHMARK(BM_BPlusTreeFind);
 }  // namespace
 }  // namespace ssr
 
-BENCHMARK_MAIN();
+// Custom main: rewrite --json=<path> into google-benchmark's output flags
+// so every bench binary shares the same artifact interface, then defer to
+// the standard benchmark driver.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> rewritten;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--json=", 0) == 0) {
+      rewritten.push_back("--benchmark_out=" + arg.substr(strlen("--json=")));
+      rewritten.push_back("--benchmark_out_format=json");
+    } else {
+      rewritten.push_back(arg);
+    }
+  }
+  std::vector<char*> raw;
+  raw.reserve(rewritten.size());
+  for (std::string& arg : rewritten) raw.push_back(arg.data());
+  int raw_argc = static_cast<int>(raw.size());
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/mathutil.h"
 
 namespace ssr {
@@ -32,8 +33,17 @@ bool SidHashTable::Erase(std::uint64_t key_hash, SetId sid) {
 
 std::size_t SidHashTable::Probe(std::uint64_t key_hash,
                                 std::vector<SetId>* out) const {
+  // Process-wide probe accounting shared by every table (the per-instance
+  // bucket_accesses_ counter stays for targeted diagnostics). The pointers
+  // are fetched once; registry instruments have stable addresses.
+  static obs::Counter* const probes = obs::MetricsRegistry::Default().GetCounter(
+      "ssr_hash_bucket_probes_total");
+  static obs::Counter* const scanned =
+      obs::MetricsRegistry::Default().GetCounter("ssr_hash_sids_scanned_total");
   ++bucket_accesses_;
+  probes->Increment();
   const auto& bucket = buckets_[BucketIndex(key_hash)];
+  scanned->Add(bucket.size());
   const std::uint16_t fp = Fingerprint(key_hash);
   for (const Entry& e : bucket) {
     if (e.fingerprint == fp) out->push_back(e.sid);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "util/hash.h"
 #include "util/serialize.h"
 #include "util/set_ops.h"
@@ -30,7 +31,28 @@ std::vector<SetId> SortedUnion(const std::vector<SetId>& a,
   return out;
 }
 
+IndexOptions ResolveIndexMetricsScope(IndexOptions options) {
+  if (options.metrics_scope.empty()) {
+    options.metrics_scope = obs::MetricsRegistry::Default().NewScope("index");
+  }
+  return options;
+}
+
 }  // namespace
+
+const char* QueryPlanKindName(QueryPlanKind kind) {
+  switch (kind) {
+    case QueryPlanKind::kDfiPair:
+      return "dfi_pair";
+    case QueryPlanKind::kSfiPair:
+      return "sfi_pair";
+    case QueryPlanKind::kMixed:
+      return "mixed";
+    case QueryPlanKind::kFullCollection:
+      return "full_collection";
+  }
+  return "unknown";
+}
 
 Result<SetSimilarityIndex> SetSimilarityIndex::Build(
     SetStore& store, const IndexLayout& layout, const IndexOptions& options) {
@@ -54,8 +76,22 @@ SetSimilarityIndex::SetSimilarityIndex(SetStore& store, IndexLayout layout,
                                        Embedding embedding)
     : store_(&store),
       layout_(std::move(layout)),
-      options_(std::move(options)),
-      embedding_(std::make_unique<Embedding>(std::move(embedding))) {}
+      options_(ResolveIndexMetricsScope(std::move(options))),
+      embedding_(std::make_unique<Embedding>(std::move(embedding))) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  const std::string& scope = options_.metrics_scope;
+  queries_ = registry.GetCounter("ssr_index_queries_total", scope);
+  bucket_accesses_ =
+      registry.GetCounter("ssr_index_bucket_accesses_total", scope);
+  bucket_pages_ = registry.GetCounter("ssr_index_bucket_pages_total", scope);
+  sids_scanned_ = registry.GetCounter("ssr_index_sids_scanned_total", scope);
+  sets_fetched_ = registry.GetCounter("ssr_index_sets_fetched_total", scope);
+  results_ = registry.GetCounter("ssr_index_results_total", scope);
+  live_sets_ = registry.GetGauge("ssr_index_live_sets", scope);
+  candidates_hist_ = registry.GetHistogram(
+      "ssr_index_candidates_per_query", scope,
+      obs::ExponentialBounds(1.0, 4.0, 10));
+}
 
 Status SetSimilarityIndex::BuildFilterIndices() {
   SSR_RETURN_IF_ERROR(CreateFilterIndices());
@@ -136,6 +172,7 @@ Status SetSimilarityIndex::InsertSignature(SetId sid, Signature sig) {
   signatures_[sid] = std::move(sig);
   live_[sid] = true;
   ++num_live_;
+  live_sets_->Set(static_cast<double>(num_live_));
   return Status::OK();
 }
 
@@ -154,6 +191,7 @@ Status SetSimilarityIndex::Erase(SetId sid) {
   live_[sid] = false;
   signatures_[sid] = Signature();
   --num_live_;
+  live_sets_->Set(static_cast<double>(num_live_));
   return Status::OK();
 }
 
@@ -179,9 +217,12 @@ std::vector<SetId> SetSimilarityIndex::LiveSids() const {
 }
 
 std::vector<SetId> SetSimilarityIndex::ProbeFi(std::size_t fi_idx,
-                                               const Signature& query,
-                                               QueryStats* stats) const {
+                                               const Signature& query) const {
   const BuiltFi& fi = fis_[fi_idx];
+  obs::TraceSpan span("probe_fi");
+  span.Tag("fi", static_cast<std::uint64_t>(fi_idx));
+  span.Tag("kind", fi.sfi != nullptr ? "sfi" : "dfi");
+  span.Tag("point", fi.point.similarity);
   SfiProbeStats probe;
   std::vector<SetId> out;
   if (fi.sfi != nullptr) {
@@ -189,13 +230,24 @@ std::vector<SetId> SetSimilarityIndex::ProbeFi(std::size_t fi_idx,
   } else {
     out = fi.dfi->DissimVector(query, &probe);
   }
-  stats->bucket_accesses += probe.bucket_accesses;
-  stats->bucket_pages += probe.bucket_pages;
-  stats->sids_scanned += probe.sids_scanned;
+  bucket_accesses_->Add(probe.bucket_accesses);
+  bucket_pages_->Add(probe.bucket_pages);
+  sids_scanned_->Add(probe.sids_scanned);
+  span.Tag("sids", static_cast<std::uint64_t>(out.size()));
   if (options_.charge_bucket_io) {
     store_->io().ChargeRandomRead(probe.bucket_pages);
   }
   return out;
+}
+
+QueryStats SetSimilarityIndex::SnapshotCounters() const {
+  QueryStats snap;
+  snap.bucket_accesses = bucket_accesses_->value();
+  snap.bucket_pages = bucket_pages_->value();
+  snap.sids_scanned = sids_scanned_->value();
+  snap.sets_fetched = sets_fetched_->value();
+  snap.io = store_->io().stats();
+  return snap;
 }
 
 std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
@@ -235,10 +287,10 @@ std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
   // DissimVector): A = Dissim(up) \ Dissim(lo).
   if (!up_virtual && kind_of(up_idx) == FilterKind::kDissimilarity) {
     stats->plan = QueryPlanKind::kDfiPair;
-    std::vector<SetId> up_set = ProbeFi(up_idx, query, stats);
+    std::vector<SetId> up_set = ProbeFi(up_idx, query);
     if (lo_virtual) return up_set;
     assert(kind_of(lo_idx) == FilterKind::kDissimilarity);
-    std::vector<SetId> lo_set = ProbeFi(lo_idx, query, stats);
+    std::vector<SetId> lo_set = ProbeFi(lo_idx, query);
     return SortedDifference(up_set, lo_set);
   }
 
@@ -256,9 +308,9 @@ std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
                     !HasDfi())) {
     stats->plan = QueryPlanKind::kSfiPair;
     std::vector<SetId> lo_set =
-        lo_is_sfi ? ProbeFi(lo_idx, query, stats) : LiveSids();
+        lo_is_sfi ? ProbeFi(lo_idx, query) : LiveSids();
     if (up_virtual) return lo_set;
-    std::vector<SetId> up_set = ProbeFi(up_idx, query, stats);
+    std::vector<SetId> up_set = ProbeFi(up_idx, query);
     return SortedDifference(lo_set, up_set);
   }
 
@@ -279,24 +331,24 @@ std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
     // only sound superset is everything not excluded below lo.
     std::vector<SetId> all = LiveSids();
     if (lo_dfi_side) {
-      return SortedDifference(all, ProbeFi(lo_idx, query, stats));
+      return SortedDifference(all, ProbeFi(lo_idx, query));
     }
     return all;
   }
 
   std::vector<SetId> left;
   if (dfi_mid != kVirtual) {
-    left = ProbeFi(dfi_mid, query, stats);
+    left = ProbeFi(dfi_mid, query);
     if (lo_dfi_side && lo_idx != dfi_mid) {
-      left = SortedDifference(left, ProbeFi(lo_idx, query, stats));
+      left = SortedDifference(left, ProbeFi(lo_idx, query));
     }
   }
   std::vector<SetId> right;
   if (sfi_mid != kVirtual) {
-    right = ProbeFi(sfi_mid, query, stats);
+    right = ProbeFi(sfi_mid, query);
     if (!up_virtual && up_idx != sfi_mid &&
         kind_of(up_idx) == FilterKind::kSimilarity) {
-      right = SortedDifference(right, ProbeFi(up_idx, query, stats));
+      right = SortedDifference(right, ProbeFi(up_idx, query));
     }
   }
   return SortedUnion(left, right);
@@ -425,16 +477,25 @@ Result<QueryResult> SetSimilarityIndex::QueryCandidates(
     return Status::InvalidArgument("query set must be sorted and unique");
   }
   Stopwatch watch;
-  const IoStats io_before = store_->io().stats();
+  obs::TraceSpan root("query_candidates");
+  const QueryStats before = SnapshotCounters();
+  queries_->Increment();
   QueryResult result;
-  const Signature sig = embedding_->Sign(query);
-  result.sids = ComputeCandidates(sig, sigma1, sigma2, &result.stats);
+  Signature sig;
+  {
+    obs::TraceSpan embed("embed");
+    sig = embedding_->Sign(query);
+  }
+  {
+    obs::TraceSpan plan("plan");
+    result.sids = ComputeCandidates(sig, sigma1, sigma2, &result.stats);
+  }
   result.stats.candidates = result.sids.size();
   result.stats.results = result.sids.size();
-  result.stats.io = store_->io().stats() - io_before;
-  result.stats.io_seconds =
-      result.stats.io.SimulatedSeconds(store_->io().params());
-  result.stats.cpu_seconds = watch.ElapsedSeconds();
+  candidates_hist_->Observe(static_cast<double>(result.sids.size()));
+  FinishStats(before, watch, &result.stats);
+  root.Tag("plan", QueryPlanKindName(result.stats.plan));
+  root.Tag("candidates", static_cast<std::uint64_t>(result.stats.candidates));
   return result;
 }
 
@@ -447,12 +508,22 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
     return Status::InvalidArgument("query set must be sorted and unique");
   }
   Stopwatch watch;
-  const IoStats io_before = store_->io().stats();
+  obs::TraceSpan root("query");
+  const QueryStats before = SnapshotCounters();
+  queries_->Increment();
   QueryResult result;
-  const Signature sig = embedding_->Sign(query);
-  std::vector<SetId> candidates =
-      ComputeCandidates(sig, sigma1, sigma2, &result.stats);
+  Signature sig;
+  {
+    obs::TraceSpan embed("embed");
+    sig = embedding_->Sign(query);
+  }
+  std::vector<SetId> candidates;
+  {
+    obs::TraceSpan plan("plan");
+    candidates = ComputeCandidates(sig, sigma1, sigma2, &result.stats);
+  }
   result.stats.candidates = candidates.size();
+  candidates_hist_->Observe(static_cast<double>(candidates.size()));
 
   if (result.stats.plan == QueryPlanKind::kFullCollection && sigma1 <= 0.0 &&
       sigma2 >= 1.0) {
@@ -462,23 +533,42 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
     result.sids = std::move(candidates);
   } else {
     // Verification: fetch each candidate and keep exact-similarity matches.
+    obs::TraceSpan verify("verify");
     constexpr double kEps = 1e-12;
     for (SetId sid : candidates) {
       auto set = store_->Get(sid);
       if (!set.ok()) continue;  // deleted concurrently; skip
-      ++result.stats.sets_fetched;
+      sets_fetched_->Increment();
       const double sim = Jaccard(set.value(), query);
       if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
         result.sids.push_back(sid);
       }
     }
+    verify.Tag("fetched",
+               sets_fetched_->value() - before.sets_fetched);
   }
+  FinishStats(before, watch, &result.stats);
+  results_->Add(result.sids.size());
   result.stats.results = result.sids.size();
-  result.stats.io = store_->io().stats() - io_before;
-  result.stats.io_seconds =
-      result.stats.io.SimulatedSeconds(store_->io().params());
-  result.stats.cpu_seconds = watch.ElapsedSeconds();
+  root.Tag("plan", QueryPlanKindName(result.stats.plan));
+  root.Tag("lo", result.stats.lo_point);
+  root.Tag("up", result.stats.up_point);
+  root.Tag("candidates", static_cast<std::uint64_t>(result.stats.candidates));
+  root.Tag("results", static_cast<std::uint64_t>(result.stats.results));
   return result;
+}
+
+void SetSimilarityIndex::FinishStats(const QueryStats& before,
+                                     const Stopwatch& watch,
+                                     QueryStats* stats) const {
+  const QueryStats after = SnapshotCounters();
+  stats->bucket_accesses = after.bucket_accesses - before.bucket_accesses;
+  stats->bucket_pages = after.bucket_pages - before.bucket_pages;
+  stats->sids_scanned = after.sids_scanned - before.sids_scanned;
+  stats->sets_fetched = after.sets_fetched - before.sets_fetched;
+  stats->io = after.io - before.io;
+  stats->io_seconds = stats->io.SimulatedSeconds(store_->io().params());
+  stats->cpu_seconds = watch.ElapsedSeconds();
 }
 
 }  // namespace ssr

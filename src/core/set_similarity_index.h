@@ -10,13 +10,16 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "core/dfi.h"
 #include "core/index_layout.h"
 #include "core/sfi.h"
 #include "hamming/embedding.h"
+#include "obs/metrics.h"
 #include "storage/set_store.h"
+#include "util/stopwatch.h"
 #include "util/result.h"
 #include "util/types.h"
 
@@ -36,6 +39,11 @@ struct IndexOptions {
   /// Charge one random page read per bucket page probed (disk-resident
   /// tables, the paper's model).
   bool charge_bucket_io = true;
+
+  /// Scope for this index's instruments (ssr_index_*) in
+  /// obs::MetricsRegistry::Default(). Empty allocates a unique "index/N"
+  /// scope. Runtime-only: not persisted by SaveTo/Load.
+  std::string metrics_scope;
 };
 
 /// Which of the Section 4.3 cases answered a query.
@@ -46,7 +54,15 @@ enum class QueryPlanKind {
   kFullCollection,  // [0, 1]: every live set, no probing needed
 };
 
-/// Per-query execution statistics.
+/// Stable lowercase name for a plan kind ("dfi_pair", "sfi_pair", "mixed",
+/// "full_collection") — used in trace tags and JSON reports.
+const char* QueryPlanKindName(QueryPlanKind kind);
+
+/// Per-query execution statistics. This is a *view*: the counting fields
+/// (bucket_accesses, bucket_pages, sids_scanned, sets_fetched, io) are
+/// before/after deltas of the index's registry instruments around the query
+/// — the hot path updates only the instruments, so QueryStats, the metrics
+/// exporters, and process dashboards all agree by construction.
 struct QueryStats {
   QueryPlanKind plan = QueryPlanKind::kSfiPair;
   double lo_point = 0.0;  // enclosing layout point below σ1 (0 = virtual)
@@ -104,6 +120,9 @@ class SetSimilarityIndex {
   std::size_t num_live_sets() const { return num_live_; }
   SetStore& store() { return *store_; }
 
+  /// The scope this index's instruments are registered under.
+  const std::string& metrics_scope() const { return options_.metrics_scope; }
+
   /// The signature stored for `sid` (for tests; empty optional if dead).
   std::optional<Signature> signature(SetId sid) const;
 
@@ -136,9 +155,17 @@ class SetSimilarityIndex {
   /// Load).
   Status InsertSignature(SetId sid, Signature sig);
 
-  /// Union of the probed buckets for the FI at index `fi_idx`.
-  std::vector<SetId> ProbeFi(std::size_t fi_idx, const Signature& query,
-                             QueryStats* stats) const;
+  /// Union of the probed buckets for the FI at index `fi_idx`. Updates the
+  /// per-index probe instruments and charges bucket I/O.
+  std::vector<SetId> ProbeFi(std::size_t fi_idx, const Signature& query) const;
+
+  /// Snapshot of the counting instruments (for per-query deltas).
+  QueryStats SnapshotCounters() const;
+
+  /// Fills the delta-view fields of `stats` from the `before` snapshot and
+  /// the query stopwatch.
+  void FinishStats(const QueryStats& before, const Stopwatch& watch,
+                   QueryStats* stats) const;
 
   /// All currently live sids, sorted.
   std::vector<SetId> LiveSids() const;
@@ -158,6 +185,16 @@ class SetSimilarityIndex {
   std::vector<Signature> signatures_;  // by sid
   std::vector<bool> live_;             // by sid
   std::size_t num_live_ = 0;
+  // Registry instruments under options_.metrics_scope. The hot path updates
+  // these; QueryStats fields are deltas over them.
+  obs::Counter* queries_;          // ssr_index_queries_total
+  obs::Counter* bucket_accesses_;  // ssr_index_bucket_accesses_total
+  obs::Counter* bucket_pages_;     // ssr_index_bucket_pages_total
+  obs::Counter* sids_scanned_;     // ssr_index_sids_scanned_total
+  obs::Counter* sets_fetched_;     // ssr_index_sets_fetched_total
+  obs::Counter* results_;          // ssr_index_results_total
+  obs::Gauge* live_sets_;          // ssr_index_live_sets
+  obs::Histogram* candidates_hist_;  // ssr_index_candidates_per_query
 };
 
 }  // namespace ssr

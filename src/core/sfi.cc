@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "util/mathutil.h"
 
@@ -66,6 +67,13 @@ std::size_t SimilarityFilterIndex::Erase(SetId sid, const Signature& sig) {
 
 std::vector<SetId> SimilarityFilterIndex::SimVector(
     const Signature& query, bool complemented, SfiProbeStats* stats) const {
+  // Complemented probes come from a DFI wrapper (Theorem 2); plain probes
+  // are SFI queries. Counted process-wide.
+  static obs::Counter* const sfi_probes =
+      obs::MetricsRegistry::Default().GetCounter("ssr_sfi_probes_total");
+  static obs::Counter* const dfi_probes =
+      obs::MetricsRegistry::Default().GetCounter("ssr_dfi_probes_total");
+  (complemented ? dfi_probes : sfi_probes)->Increment();
   std::vector<SetId> out;
   const std::size_t sids_per_page = SidsPerPage();
   std::size_t pages = 0;

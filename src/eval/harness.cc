@@ -5,6 +5,7 @@
 #include "baseline/exact_evaluator.h"
 #include "baseline/sequential_scan.h"
 #include "eval/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "workload/datasets.h"
 
@@ -15,8 +16,8 @@ Result<std::unique_ptr<ExperimentHarness>> ExperimentHarness::Create(
   auto harness = std::unique_ptr<ExperimentHarness>(new ExperimentHarness());
   harness->config_ = config;
 
-  SSR_LOG(kInfo) << "generating dataset " << config.dataset << " at scale "
-                 << config.scale;
+  SSR_LOG_C(kInfo, "harness").With("dataset", config.dataset)
+      << "generating dataset at scale " << config.scale;
   harness->collection_ = MakeDataset(config.dataset, config.scale);
 
   SetStoreOptions store_options;
@@ -73,6 +74,12 @@ Result<std::unique_ptr<ExperimentHarness>> ExperimentHarness::Create(
   if (!index.ok()) return index.status();
   harness->index_ =
       std::make_unique<SetSimilarityIndex>(std::move(index).value());
+  SSR_LOG_C(kInfo, "harness")
+          .With("dataset", config.dataset)
+          .With("index_scope", harness->index_->metrics_scope())
+          .With("store_scope", harness->store_->metrics_scope())
+      << "environment ready: " << harness->store_->size() << " sets, "
+      << harness->index_->num_filter_indices() << " filter indices";
   return harness;
 }
 
@@ -94,6 +101,7 @@ Result<ExperimentHarness::SingleQueryOutcome> ExperimentHarness::RunOne(
 
   if (with_scan) {
     store_->buffer_pool().Clear();
+    obs::TraceSpan scan_span("scan");
     auto scan = SequentialScanQuery(*store_, q, query.sigma1, query.sigma2);
     if (!scan.ok()) return scan.status();
     outcome.scan_io_seconds = scan.value().stats.io_seconds;
@@ -170,6 +178,10 @@ Result<ExperimentResult> ExperimentHarness::RunBucketedQueries() {
     result.overall_weighted_precision =
         sum_candidates > 0.0 ? sum_results / sum_candidates : 1.0;
   }
+  SSR_LOG_C(kInfo, "harness")
+          .With("dataset", config_.dataset)
+      << "bucketed sweep done: " << result.total_queries_run << " queries, "
+      << filled << "/" << buckets.size() << " buckets filled";
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     BucketAggregate agg;
     agg.label = buckets[i].label;

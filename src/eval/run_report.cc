@@ -1,0 +1,117 @@
+#include "eval/run_report.h"
+
+#include <fstream>
+
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ssr {
+
+namespace {
+
+std::string JsonString(const std::string& value) {
+  return "\"" + obs::JsonWriter::Escape(value) + "\"";
+}
+
+std::string JsonDouble(double value) {
+  obs::JsonWriter writer;
+  writer.Double(value);
+  return writer.str();
+}
+
+void WritePairs(
+    obs::JsonWriter& writer,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  writer.BeginObject();
+  for (const auto& [key, value] : pairs) {
+    writer.Key(key).Raw(value);
+  }
+  writer.EndObject();
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void RunReport::AddParam(const std::string& key, const std::string& value) {
+  params_.emplace_back(key, JsonString(value));
+}
+void RunReport::AddParam(const std::string& key, const char* value) {
+  AddParam(key, std::string(value));
+}
+void RunReport::AddParam(const std::string& key, double value) {
+  params_.emplace_back(key, JsonDouble(value));
+}
+void RunReport::AddParam(const std::string& key, std::uint64_t value) {
+  params_.emplace_back(key, std::to_string(value));
+}
+void RunReport::AddParam(const std::string& key, bool value) {
+  params_.emplace_back(key, value ? "true" : "false");
+}
+
+void RunReport::AddScalar(const std::string& key, double value) {
+  scalars_.emplace_back(key, JsonDouble(value));
+}
+void RunReport::AddScalar(const std::string& key, std::uint64_t value) {
+  scalars_.emplace_back(key, std::to_string(value));
+}
+
+void RunReport::AddTable(const std::string& label, const TablePrinter& table) {
+  AddTable(label, table.headers(), table.rows());
+}
+
+void RunReport::AddTable(const std::string& label,
+                         std::vector<std::string> headers,
+                         std::vector<std::vector<std::string>> rows) {
+  tables_.push_back({label, std::move(headers), std::move(rows)});
+}
+
+std::string RunReport::ToJson() const {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("bench").String(bench_name_);
+  writer.Key("params");
+  WritePairs(writer, params_);
+  writer.Key("scalars");
+  WritePairs(writer, scalars_);
+  writer.Key("tables").BeginArray();
+  for (const Table& table : tables_) {
+    writer.BeginObject();
+    writer.Key("label").String(table.label);
+    writer.Key("headers").BeginArray();
+    for (const std::string& h : table.headers) writer.String(h);
+    writer.EndArray();
+    writer.Key("rows").BeginArray();
+    for (const auto& row : table.rows) {
+      writer.BeginArray();
+      for (const std::string& cell : row) writer.String(cell);
+      writer.EndArray();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("metrics");
+  obs::WriteMetricsJson(writer, obs::MetricsRegistry::Default());
+  writer.Key("trace");
+  obs::WriteTraceJson(writer, obs::Tracer::Default());
+  writer.EndObject();
+  return writer.str();
+}
+
+Status RunReport::WriteTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open report file: " + path);
+  }
+  out << ToJson() << "\n";
+  if (!out.good()) {
+    return Status::Internal("report write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ssr

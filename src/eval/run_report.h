@@ -1,0 +1,69 @@
+// Machine-readable run artifacts (BENCH_*.json): every bench binary can
+// accumulate its parameters, headline scalars, and result tables into a
+// RunReport and write one JSON document that also embeds a dump of the
+// metrics registry and the query-trace ring. Downstream tooling (plots,
+// regression checks) consumes these instead of scraping stdout.
+
+#ifndef SSR_EVAL_RUN_REPORT_H_
+#define SSR_EVAL_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/table_printer.h"
+#include "util/result.h"
+
+namespace ssr {
+
+/// Accumulates one bench run's output and renders it as a JSON document:
+///   {"bench": "...", "params": {...}, "scalars": {...},
+///    "tables": [{"label", "headers": [...], "rows": [[...], ...]}, ...],
+///    "metrics": {counters/gauges/histograms dump},
+///    "trace": [spans, oldest first]}
+/// The metrics and trace sections are rendered at ToJson() time from
+/// obs::MetricsRegistry::Default() and obs::Tracer::Default().
+class RunReport {
+ public:
+  explicit RunReport(std::string bench_name);
+
+  /// Run parameters (rendered under "params"). Insertion order preserved.
+  void AddParam(const std::string& key, const std::string& value);
+  void AddParam(const std::string& key, const char* value);
+  void AddParam(const std::string& key, double value);
+  void AddParam(const std::string& key, std::uint64_t value);
+  void AddParam(const std::string& key, bool value);
+
+  /// Headline numbers (rendered under "scalars").
+  void AddScalar(const std::string& key, double value);
+  void AddScalar(const std::string& key, std::uint64_t value);
+
+  /// A result table; reuses the cells a bench already renders to stdout.
+  void AddTable(const std::string& label, const TablePrinter& table);
+  void AddTable(const std::string& label, std::vector<std::string> headers,
+                std::vector<std::vector<std::string>> rows);
+
+  /// Renders the full document (including current metrics + trace state).
+  std::string ToJson() const;
+
+  /// ToJson() to `path`. Parent directory must exist.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  struct Table {
+    std::string label;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string bench_name_;
+  // (key, pre-rendered JSON value) pairs, insertion-ordered.
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_EVAL_RUN_REPORT_H_

@@ -28,6 +28,10 @@ class TablePrinter {
   /// Renders the table with a header underline.
   void Print(std::ostream& os) const;
 
+  /// Structured access for machine-readable exports (eval/run_report).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

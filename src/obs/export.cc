@@ -1,0 +1,169 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ssr {
+namespace obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) {
+    return v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// `name{scope="..."}` or bare `name` for the process scope. Instrument
+/// names are chosen by this codebase and already match the Prometheus
+/// grammar; only the scope (a free-form string) needs escaping.
+std::string SeriesRef(const std::string& name, const std::string& scope,
+                      const std::string& extra_label = "") {
+  std::string out = name;
+  if (scope.empty() && extra_label.empty()) return out;
+  out += '{';
+  bool first = true;
+  if (!scope.empty()) {
+    out += "scope=\"";
+    for (const char c : scope) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    first = false;
+  }
+  if (!extra_label.empty()) {
+    if (!first) out += ',';
+    out += extra_label;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  std::string last_typed_name;
+  for (const MetricsRegistry::Entry& e : registry.Entries()) {
+    const char* type = e.counter != nullptr
+                           ? "counter"
+                           : (e.gauge != nullptr ? "gauge" : "histogram");
+    if (e.name != last_typed_name) {
+      out += "# TYPE " + e.name + " " + type + "\n";
+      last_typed_name = e.name;
+    }
+    if (e.counter != nullptr) {
+      out += SeriesRef(e.name, e.scope) + " " +
+             std::to_string(e.counter->value()) + "\n";
+    } else if (e.gauge != nullptr) {
+      out += SeriesRef(e.name, e.scope) + " " +
+             FormatDouble(e.gauge->value()) + "\n";
+    } else {
+      const Histogram& h = *e.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        cumulative += h.bucket_count(i);
+        out += SeriesRef(e.name + "_bucket", e.scope,
+                         "le=\"" + FormatDouble(h.bounds()[i]) + "\"") +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      cumulative += h.bucket_count(h.bounds().size());
+      out += SeriesRef(e.name + "_bucket", e.scope, "le=\"+Inf\"") + " " +
+             std::to_string(cumulative) + "\n";
+      out += SeriesRef(e.name + "_sum", e.scope) + " " +
+             FormatDouble(h.sum()) + "\n";
+      out += SeriesRef(e.name + "_count", e.scope) + " " +
+             std::to_string(h.count()) + "\n";
+    }
+  }
+  return out;
+}
+
+void WriteMetricsJson(JsonWriter& writer, const MetricsRegistry& registry) {
+  const std::vector<MetricsRegistry::Entry> entries = registry.Entries();
+  writer.BeginObject();
+  writer.Key("counters").BeginArray();
+  for (const auto& e : entries) {
+    if (e.counter == nullptr) continue;
+    writer.BeginObject();
+    writer.Key("name").String(e.name);
+    writer.Key("scope").String(e.scope);
+    writer.Key("value").UInt(e.counter->value());
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("gauges").BeginArray();
+  for (const auto& e : entries) {
+    if (e.gauge == nullptr) continue;
+    writer.BeginObject();
+    writer.Key("name").String(e.name);
+    writer.Key("scope").String(e.scope);
+    writer.Key("value").Double(e.gauge->value());
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("histograms").BeginArray();
+  for (const auto& e : entries) {
+    if (e.histogram == nullptr) continue;
+    const Histogram& h = *e.histogram;
+    writer.BeginObject();
+    writer.Key("name").String(e.name);
+    writer.Key("scope").String(e.scope);
+    writer.Key("count").UInt(h.count());
+    writer.Key("sum").Double(h.sum());
+    writer.Key("buckets").BeginArray();
+    for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+      writer.BeginObject();
+      if (i < h.bounds().size()) {
+        writer.Key("le").Double(h.bounds()[i]);
+      } else {
+        writer.Key("le").String("+Inf");
+      }
+      writer.Key("count").UInt(h.bucket_count(i));
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+void WriteTraceJson(JsonWriter& writer, const Tracer& tracer) {
+  writer.BeginArray();
+  for (const SpanRecord& span : tracer.Snapshot()) {
+    writer.BeginObject();
+    writer.Key("id").UInt(span.id);
+    writer.Key("parent_id").UInt(span.parent_id);
+    writer.Key("depth").UInt(span.depth);
+    writer.Key("name").String(span.name);
+    writer.Key("start_us").Double(span.start_micros);
+    writer.Key("duration_us").Double(span.duration_micros);
+    writer.Key("tags").BeginObject();
+    for (const auto& [key, value] : span.tags) {
+      writer.Key(key).String(value);
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+}
+
+std::string MetricsJson(const MetricsRegistry& registry) {
+  JsonWriter writer;
+  WriteMetricsJson(writer, registry);
+  return writer.str();
+}
+
+std::string TraceJson(const Tracer& tracer) {
+  JsonWriter writer;
+  WriteTraceJson(writer, tracer);
+  return writer.str();
+}
+
+}  // namespace obs
+}  // namespace ssr

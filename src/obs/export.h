@@ -1,0 +1,49 @@
+// Exporters for the observability subsystem: Prometheus text exposition
+// (for scraping / golden tests) and JSON (embedded in the BENCH_*.json run
+// artifacts by the eval harness and bench binaries). Both render a
+// deterministic (name, scope)-sorted view of a MetricsRegistry; the trace
+// exporter dumps the ring buffer oldest-first.
+
+#ifndef SSR_OBS_EXPORT_H_
+#define SSR_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ssr {
+namespace obs {
+
+/// Prometheus text exposition format, version 0.0.4:
+///   # TYPE ssr_index_queries_total counter
+///   ssr_index_queries_total{scope="index/0"} 42
+/// Instruments in the empty scope render without a label set. Histograms
+/// emit cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+/// Appends the registry as a JSON value:
+///   {"counters": [{"name","scope","value"}, ...],
+///    "gauges": [...],
+///    "histograms": [{"name","scope","count","sum",
+///                    "buckets":[{"le","count"}, ...]}]}
+/// The histogram bucket counts are per-bucket (not cumulative); "le" of the
+/// overflow bucket renders as "+Inf".
+void WriteMetricsJson(JsonWriter& writer, const MetricsRegistry& registry);
+
+/// Appends the tracer's ring as a JSON array of spans, oldest first:
+///   [{"id","parent_id","depth","name","start_us","duration_us",
+///     "tags":{...}}, ...]
+void WriteTraceJson(JsonWriter& writer, const Tracer& tracer);
+
+/// Convenience: the registry rendered as a standalone JSON document.
+std::string MetricsJson(const MetricsRegistry& registry);
+
+/// Convenience: the trace ring rendered as a standalone JSON document.
+std::string TraceJson(const Tracer& tracer);
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_EXPORT_H_

@@ -1,0 +1,59 @@
+// Minimal streaming JSON emitter for the observability exporters and the
+// benchmark run artifacts (BENCH_*.json). No external dependencies; handles
+// string escaping, comma placement, and non-finite doubles (emitted as
+// null, since JSON has no NaN/Inf).
+
+#ifndef SSR_OBS_JSON_WRITER_H_
+#define SSR_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssr {
+namespace obs {
+
+/// Push-style JSON builder. Calls must nest correctly (Begin/End pairs,
+/// Key before every value inside an object); misuse is the caller's bug and
+/// produces malformed output rather than crashing.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; the next call must emit its value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& UInt(std::uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices a pre-rendered JSON value verbatim (e.g. a nested report built
+  /// by another writer). The caller guarantees `json` is valid JSON.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+  /// Escapes `value` per RFC 8259 (quotes, backslash, control chars).
+  static std::string Escape(std::string_view value);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written
+  // (so the next element needs a leading comma).
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_JSON_WRITER_H_

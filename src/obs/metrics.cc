@@ -1,0 +1,114 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace ssr {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v; everything above the last
+  // bound lands in the overflow bucket.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(sum_, v);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double v = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = instruments_[{std::string(name), std::string(scope)}];
+  if (slot.gauge != nullptr || slot.histogram != nullptr) return nullptr;
+  if (slot.counter == nullptr) {
+    slot.counter = std::unique_ptr<Counter>(new Counter());
+  }
+  return slot.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = instruments_[{std::string(name), std::string(scope)}];
+  if (slot.counter != nullptr || slot.histogram != nullptr) return nullptr;
+  if (slot.gauge == nullptr) {
+    slot.gauge = std::unique_ptr<Gauge>(new Gauge());
+  }
+  return slot.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view scope,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = instruments_[{std::string(name), std::string(scope)}];
+  if (slot.counter != nullptr || slot.gauge != nullptr) return nullptr;
+  if (slot.histogram == nullptr) {
+    slot.histogram =
+        std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  }
+  return slot.histogram.get();
+}
+
+std::string MetricsRegistry::NewScope(std::string_view prefix) {
+  const std::uint64_t id =
+      next_scope_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::string(prefix) + "/" + std::to_string(id);
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, slot] : instruments_) {
+    if (slot.counter) slot.counter->Reset();
+    if (slot.gauge) slot.gauge->Reset();
+    if (slot.histogram) slot.histogram->Reset();
+  }
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(instruments_.size());
+  for (const auto& [key, slot] : instruments_) {
+    Entry entry;
+    entry.name = key.first;
+    entry.scope = key.second;
+    entry.counter = slot.counter.get();
+    entry.gauge = slot.gauge.get();
+    entry.histogram = slot.histogram.get();
+    out.push_back(std::move(entry));
+  }
+  // std::map keys are already (name, scope)-sorted.
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ssr

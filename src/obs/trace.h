@@ -1,0 +1,126 @@
+// Query tracing: RAII spans that record nested phase timings (embed ->
+// probe per-FI -> set algebra -> fetch/verify) into a fixed-capacity ring
+// buffer, with per-span key=value tags (plan kind, lo/up points, candidate
+// counts). Tracing is off by default: a disabled tracer turns TraceSpan
+// construction into a single relaxed atomic load, keeping the hot query
+// path unperturbed. The evaluation harness and bench binaries enable it and
+// export the ring via the JSON exporter into BENCH_*.json artifacts.
+//
+// Spans land in the ring in *completion* order (children before parents,
+// since a child's destructor runs first); consumers reconstruct the tree
+// from parent_id/depth.
+
+#ifndef SSR_OBS_TRACE_H_
+#define SSR_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ssr {
+namespace obs {
+
+/// A completed span as stored in the ring buffer.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::uint32_t depth = 0;      // 0 = root
+  std::string name;
+  double start_micros = 0.0;     // relative to the tracer's epoch
+  double duration_micros = 0.0;  // wall time from open to close
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+class TraceSpan;
+
+/// Fixed-capacity ring buffer of completed spans.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer the built-in components report to. Disabled until
+  /// a harness or bench turns it on. Never destroyed.
+  static Tracer& Default();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded spans (the span-id sequence keeps advancing).
+  void Clear();
+
+  /// Completed spans, oldest first. At most capacity() entries; earlier
+  /// spans are overwritten once the ring wraps.
+  std::vector<SpanRecord> Snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total spans ever recorded, including ones the ring has overwritten.
+  std::uint64_t total_recorded() const {
+    return total_recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TraceSpan;
+
+  std::uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  double MicrosSinceEpoch() const;
+  void Record(SpanRecord&& record);
+
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_span_id_{0};
+  std::atomic<std::uint64_t> total_recorded_{0};
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  // capacity_ slots once full
+  std::size_t next_slot_ = 0;     // ring_ write cursor
+};
+
+/// RAII phase span. Opens on construction (nesting under the thread's
+/// current span), records into the tracer's ring on destruction. When the
+/// tracer is disabled at construction time, every method is a no-op.
+class TraceSpan {
+ public:
+  /// Opens a span on the default tracer.
+  explicit TraceSpan(std::string_view name)
+      : TraceSpan(Tracer::Default(), name) {}
+  TraceSpan(Tracer& tracer, std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Tag(std::string_view key, std::string_view value);
+  void Tag(std::string_view key, const char* value) {
+    Tag(key, std::string_view(value));
+  }
+  void Tag(std::string_view key, std::uint64_t value);
+  void Tag(std::string_view key, double value);
+
+  /// False when the tracer was disabled at construction.
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when tracing was off at construction
+  SpanRecord record_;
+  std::chrono::steady_clock::time_point opened_at_;
+  TraceSpan* parent_ = nullptr;  // enclosing span on this thread
+};
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_TRACE_H_

@@ -2,17 +2,27 @@
 
 namespace ssr {
 
-BufferPool::BufferPool(std::size_t capacity_pages)
-    : capacity_(capacity_pages < 1 ? 1 : capacity_pages) {}
+BufferPool::BufferPool(std::size_t capacity_pages, std::string metrics_scope)
+    : capacity_(capacity_pages < 1 ? 1 : capacity_pages),
+      metrics_scope_(metrics_scope.empty()
+                         ? obs::MetricsRegistry::Default().NewScope("pool")
+                         : std::move(metrics_scope)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  hits_ = registry.GetCounter("ssr_buffer_pool_hits_total", metrics_scope_);
+  misses_ =
+      registry.GetCounter("ssr_buffer_pool_misses_total", metrics_scope_);
+  evictions_ =
+      registry.GetCounter("ssr_buffer_pool_evictions_total", metrics_scope_);
+}
 
 bool BufferPool::Access(PageId page_id, bool sequential, IoCostModel& io) {
   auto it = index_.find(page_id);
   if (it != index_.end()) {
-    ++stats_.hits;
+    hits_->Increment();
     lru_.splice(lru_.begin(), lru_, it->second);
     return true;
   }
-  ++stats_.misses;
+  misses_->Increment();
   if (sequential) {
     io.ChargeSequentialRead();
   } else {
@@ -22,7 +32,7 @@ bool BufferPool::Access(PageId page_id, bool sequential, IoCostModel& io) {
     const PageId victim = lru_.back();
     lru_.pop_back();
     index_.erase(victim);
-    ++stats_.evictions;
+    evictions_->Increment();
   }
   lru_.push_front(page_id);
   index_[page_id] = lru_.begin();
@@ -32,6 +42,12 @@ bool BufferPool::Access(PageId page_id, bool sequential, IoCostModel& io) {
 void BufferPool::Clear() {
   lru_.clear();
   index_.clear();
+}
+
+void BufferPool::ResetStats() {
+  hits_->Reset();
+  misses_->Reset();
+  evictions_->Reset();
 }
 
 }  // namespace ssr

@@ -6,11 +6,18 @@
 // of page access explicitly and convert to simulated time with a tunable
 // cost model, making the paper's crossover analysis reproducible on any
 // hardware.
+//
+// The counters are obs::MetricsRegistry instruments (ssr_io_*_total under
+// this model's scope); IoStats is a snapshot view over them, so the
+// harness, the exporters, and per-query deltas all read the same numbers.
 
 #ifndef SSR_STORAGE_IO_COST_MODEL_H_
 #define SSR_STORAGE_IO_COST_MODEL_H_
 
 #include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace ssr {
 
@@ -52,32 +59,46 @@ struct IoStats {
 };
 
 /// Mutable counter of page accesses. Storage components charge it; the
-/// evaluation harness snapshots it around each query.
+/// evaluation harness snapshots it around each query. `metrics_scope`
+/// names this model's instruments in the default registry; empty allocates
+/// a unique "io/N" scope.
 class IoCostModel {
  public:
-  explicit IoCostModel(IoCostParams params = IoCostParams())
-      : params_(params) {}
+  explicit IoCostModel(IoCostParams params = IoCostParams(),
+                       std::string metrics_scope = "");
 
   void ChargeSequentialRead(std::uint64_t pages = 1) {
-    stats_.sequential_reads += pages;
+    sequential_reads_->Add(pages);
   }
   void ChargeRandomRead(std::uint64_t pages = 1) {
-    stats_.random_reads += pages;
+    random_reads_->Add(pages);
   }
-  void ChargeWrite(std::uint64_t pages = 1) { stats_.page_writes += pages; }
+  void ChargeWrite(std::uint64_t pages = 1) { page_writes_->Add(pages); }
 
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot view over the registry instruments.
+  IoStats stats() const {
+    return {sequential_reads_->value(), random_reads_->value(),
+            page_writes_->value()};
+  }
   const IoCostParams& params() const { return params_; }
   void set_params(const IoCostParams& params) { params_ = params; }
+  const std::string& metrics_scope() const { return metrics_scope_; }
 
   /// Resets all counters to zero.
-  void Reset() { stats_ = IoStats(); }
+  void Reset() {
+    sequential_reads_->Reset();
+    random_reads_->Reset();
+    page_writes_->Reset();
+  }
 
-  double SimulatedMicros() const { return stats_.SimulatedMicros(params_); }
+  double SimulatedMicros() const { return stats().SimulatedMicros(params_); }
 
  private:
   IoCostParams params_;
-  IoStats stats_;
+  std::string metrics_scope_;
+  obs::Counter* sequential_reads_;
+  obs::Counter* random_reads_;
+  obs::Counter* page_writes_;
 };
 
 }  // namespace ssr

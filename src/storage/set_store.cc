@@ -5,11 +5,28 @@
 
 namespace ssr {
 
+namespace {
+SetStoreOptions ResolveMetricsScope(SetStoreOptions options) {
+  if (options.metrics_scope.empty()) {
+    options.metrics_scope = obs::MetricsRegistry::Default().NewScope("store");
+  }
+  return options;
+}
+}  // namespace
+
 SetStore::SetStore(SetStoreOptions options)
-    : options_(options),
-      btree_(options.btree_max_keys),
-      pool_(options.buffer_pool_pages),
-      io_(options.io) {}
+    : options_(ResolveMetricsScope(std::move(options))),
+      btree_(options_.btree_max_keys),
+      pool_(options_.buffer_pool_pages, options_.metrics_scope),
+      io_(options_.io, options_.metrics_scope) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  const std::string& scope = options_.metrics_scope;
+  sets_added_ = registry.GetCounter("ssr_store_sets_added_total", scope);
+  gets_ = registry.GetCounter("ssr_store_gets_total", scope);
+  scans_ = registry.GetCounter("ssr_store_scans_total", scope);
+  live_sets_ = registry.GetGauge("ssr_store_live_sets", scope);
+  heap_pages_ = registry.GetGauge("ssr_store_heap_pages", scope);
+}
 
 Result<SetId> SetStore::Add(const ElementSet& set) {
   if (!IsNormalizedSet(set)) {
@@ -22,10 +39,14 @@ Result<SetId> SetStore::Add(const ElementSet& set) {
   // Appends dirty the tail page(s); charge them as sequential writes.
   io_.ChargeWrite(1);
   live_bytes_ += HeapFile::RecordBytes(set.size());
+  sets_added_->Increment();
+  live_sets_->Set(static_cast<double>(btree_.size()));
+  heap_pages_->Set(static_cast<double>(file_.num_pages()));
   return sid;
 }
 
 Result<ElementSet> SetStore::Get(SetId sid) {
+  gets_->Increment();
   std::size_t nodes = 0;
   auto loc = btree_.Find(sid, &nodes);
   if (!loc.ok()) return loc.status();
@@ -50,11 +71,13 @@ Status SetStore::Delete(SetId sid) {
   auto loc = btree_.Find(sid, &dummy);
   if (!loc.ok()) return loc.status();
   SSR_RETURN_IF_ERROR(btree_.Erase(sid));
+  live_sets_->Set(static_cast<double>(btree_.size()));
   return Status::OK();
 }
 
 void SetStore::ScanAll(
     const std::function<bool(SetId, const ElementSet&)>& visitor) {
+  scans_->Increment();
   // A full-file scan touches every page once, sequentially. Charge pages as
   // the record cursor crosses them rather than via the pool: sequential
   // scans bypass the (small) pool in real systems to avoid cache pollution.
@@ -149,6 +172,8 @@ Result<SetStore> SetStore::Load(std::istream& in, SetStoreOptions options) {
     }
     SSR_RETURN_IF_ERROR(store.btree_.Insert(live[i], locators[i]));
   }
+  store.live_sets_->Set(static_cast<double>(store.btree_.size()));
+  store.heap_pages_->Set(static_cast<double>(store.file_.num_pages()));
   return store;
 }
 

@@ -11,7 +11,9 @@
 #include <functional>
 #include <istream>
 #include <ostream>
+#include <string>
 
+#include "obs/metrics.h"
 #include "storage/bplus_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
@@ -37,6 +39,11 @@ struct SetStoreOptions {
   /// (index assumed disk-resident). Default false: the paper keeps the sid
   /// index hot and counts data-page I/O only.
   bool charge_btree_io = false;
+
+  /// Scope for this store's instruments (buffer pool, I/O model, record
+  /// counters) in obs::MetricsRegistry::Default(). Empty allocates a
+  /// unique "store/N" scope so independent stores never share counters.
+  std::string metrics_scope;
 };
 
 /// Mutable collection of sets with paged storage and I/O accounting.
@@ -79,8 +86,12 @@ class SetStore {
   IoCostModel& io() { return io_; }
   const IoCostModel& io() const { return io_; }
   BufferPool& buffer_pool() { return pool_; }
+  const BufferPool& buffer_pool() const { return pool_; }
   const BPlusTree& btree() const { return btree_; }
   const HeapFile& file() const { return file_; }
+
+  /// The scope this store's instruments are registered under.
+  const std::string& metrics_scope() const { return options_.metrics_scope; }
 
   /// Drops the buffer pool contents and zeroes I/O counters (between
   /// experiment phases).
@@ -99,6 +110,11 @@ class SetStore {
   BPlusTree btree_;
   BufferPool pool_;
   IoCostModel io_;
+  obs::Counter* sets_added_;   // ssr_store_sets_added_total
+  obs::Counter* gets_;         // ssr_store_gets_total
+  obs::Counter* scans_;        // ssr_store_scans_total
+  obs::Gauge* live_sets_;      // ssr_store_live_sets
+  obs::Gauge* heap_pages_;     // ssr_store_heap_pages
   SetId next_sid_ = 0;
   std::uint64_t live_bytes_ = 0;
 };

@@ -2,12 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
 
 namespace ssr {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+// The sink is replaced rarely (tests); guarded by a mutex that also
+// serializes emission so interleaved lines stay whole.
+std::mutex g_sink_mu;
+LogSink g_sink;  // empty = default stderr sink
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,6 +32,25 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+void AppendField(std::string& out, const std::string& key,
+                 const std::string& value) {
+  out += ' ';
+  out += key;
+  out += '=';
+  const bool quote =
+      value.empty() || value.find_first_of(" \t\"") != std::string::npos;
+  if (!quote) {
+    out += value;
+    return;
+  }
+  out += '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -35,11 +61,69 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
-void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+std::string FormatLogRecord(const LogRecord& record) {
+  const std::time_t secs =
+      std::chrono::system_clock::to_time_t(record.time);
+  const auto sub_second =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          record.time.time_since_epoch()) %
+      std::chrono::seconds(1);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char stamp[40];
+  std::snprintf(stamp, sizeof(stamp),
+                "%04u-%02u-%02uT%02u:%02u:%02u.%03uZ",
+                static_cast<unsigned>(tm_utc.tm_year + 1900) % 10000u,
+                static_cast<unsigned>(tm_utc.tm_mon + 1),
+                static_cast<unsigned>(tm_utc.tm_mday),
+                static_cast<unsigned>(tm_utc.tm_hour),
+                static_cast<unsigned>(tm_utc.tm_min),
+                static_cast<unsigned>(tm_utc.tm_sec),
+                static_cast<unsigned>(sub_second.count()));
+  std::string out = stamp;
+  out += ' ';
+  out += LevelName(record.level);
+  if (!record.component.empty()) {
+    out += " [";
+    out += record.component;
+    out += ']';
+  }
+  out += ' ';
+  out += record.message;
+  for (const auto& [key, value] : record.fields) {
+    AppendField(out, key, value);
+  }
+  return out;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
+void LogRecordMessage(LogRecord record) {
+  if (!LogLevelEnabled(record.level)) {
     return;
   }
-  std::fprintf(stderr, "[ssr %s] %s\n", LevelName(level), message.c_str());
+  record.time = std::chrono::system_clock::now();
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(record);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", FormatLogRecord(record).c_str());
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  LogRecord record;
+  record.level = level;
+  record.message = message;
+  LogRecordMessage(std::move(record));
 }
 
 }  // namespace ssr

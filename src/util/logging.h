@@ -1,11 +1,23 @@
-// Minimal leveled logger. Benchmarks and the optimizer use it to narrate
-// construction decisions; default level is kWarning so library use is quiet.
+// Structured leveled logger. Each line carries a timestamp, level,
+// component tag, message, and optional key=value fields so log output
+// correlates with the obs/ trace stream. Benchmarks and the optimizer use
+// it to narrate construction decisions; default level is kWarning so
+// library use is quiet.
+//
+// The SSR_LOG macros short-circuit on the global level *before* the
+// streamed arguments are evaluated: a dropped message costs one atomic
+// load, never an ostringstream.
 
 #ifndef SSR_UTIL_LOGGING_H_
 #define SSR_UTIL_LOGGING_H_
 
+#include <chrono>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace ssr {
 
@@ -21,32 +33,98 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one log line to stderr if `level` >= the global level.
+/// True iff a message at `level` would be emitted.
+bool LogLevelEnabled(LogLevel level);
+
+/// One structured log line.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;  // empty = untagged
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::chrono::system_clock::time_point time;
+};
+
+/// "2001-05-21T12:00:00.123Z INFO [component] message key=value ..."
+/// (component bracket omitted when empty; values containing spaces are
+/// double-quoted).
+std::string FormatLogRecord(const LogRecord& record);
+
+/// Replaces the destination for emitted records; pass nullptr to restore
+/// the default stderr sink. Used by tests to capture structured output.
+using LogSink = std::function<void(const LogRecord&)>;
+void SetLogSink(LogSink sink);
+
+/// Emits one structured record if its level passes the global threshold.
+void LogRecordMessage(LogRecord record);
+
+/// Back-compat helper: an untagged, field-free line.
 void LogMessage(LogLevel level, const std::string& message);
 
 namespace internal {
 
-/// Stream-style builder used by the SSR_LOG macro.
+/// Stream-style builder used by the SSR_LOG macros. The macros guarantee a
+/// LogLine is only constructed when its level is enabled, so the builder
+/// formats unconditionally and emits in the destructor.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { LogMessage(level_, stream_.str()); }
+  explicit LogLine(LogLevel level, std::string_view component = {})
+      : level_(level), component_(component) {}
+  ~LogLine() {
+    LogRecord record;
+    record.level = level_;
+    record.component = std::move(component_);
+    record.message = stream_.str();
+    record.fields = std::move(fields_);
+    LogRecordMessage(std::move(record));
+  }
+
   template <typename T>
   LogLine& operator<<(const T& v) {
     stream_ << v;
     return *this;
   }
 
+  /// Attaches a key=value field (rendered after the message).
+  template <typename T>
+  LogLine& With(std::string_view key, const T& value) {
+    std::ostringstream formatted;
+    formatted << value;
+    fields_.emplace_back(std::string(key), formatted.str());
+    return *this;
+  }
+
  private:
   LogLevel level_;
+  std::string component_;
   std::ostringstream stream_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Swallows the LogLine in the enabled branch of the macros so both
+/// branches of the ternary have type void (glog's voidify idiom).
+struct Voidify {
+  void operator&(const LogLine&) const {}
 };
 
 }  // namespace internal
 
 /// Usage: SSR_LOG(kInfo) << "built " << n << " tables";
-#define SSR_LOG(severity) \
-  ::ssr::internal::LogLine(::ssr::LogLevel::severity)
+/// The streamed expressions are NOT evaluated when the level is disabled.
+#define SSR_LOG(severity)                                              \
+  !::ssr::LogLevelEnabled(::ssr::LogLevel::severity)                   \
+      ? (void)0                                                        \
+      : ::ssr::internal::Voidify() &                                   \
+            ::ssr::internal::LogLine(::ssr::LogLevel::severity)
+
+/// Tagged variant: SSR_LOG_C(kInfo, "harness") << "..." — the component
+/// shows up in brackets and machine-readable sinks.
+#define SSR_LOG_C(severity, component)                                 \
+  !::ssr::LogLevelEnabled(::ssr::LogLevel::severity)                   \
+      ? (void)0                                                        \
+      : ::ssr::internal::Voidify() &                                   \
+            ::ssr::internal::LogLine(::ssr::LogLevel::severity,        \
+                                     (component))
 
 }  // namespace ssr
 

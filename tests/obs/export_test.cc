@@ -1,0 +1,158 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ssr {
+namespace obs {
+namespace {
+
+// A small registry covering every instrument kind, scoped and unscoped.
+MetricsRegistry& GoldenRegistry(MetricsRegistry& registry) {
+  registry.GetCounter("ssr_queries_total")->Add(42);
+  registry.GetCounter("ssr_hits_total", "pool/0")->Add(7);
+  registry.GetGauge("ssr_live_sets", "index/0")->Set(123.0);
+  Histogram* h =
+      registry.GetHistogram("ssr_candidates", "index/0", {1.0, 10.0, 100.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(5.0);
+  h->Observe(50.0);
+  h->Observe(500.0);
+  return registry;
+}
+
+TEST(PrometheusTextTest, GoldenOutput) {
+  MetricsRegistry registry;
+  GoldenRegistry(registry);
+  const std::string expected =
+      "# TYPE ssr_candidates histogram\n"
+      "ssr_candidates_bucket{scope=\"index/0\",le=\"1\"} 1\n"
+      "ssr_candidates_bucket{scope=\"index/0\",le=\"10\"} 3\n"
+      "ssr_candidates_bucket{scope=\"index/0\",le=\"100\"} 4\n"
+      "ssr_candidates_bucket{scope=\"index/0\",le=\"+Inf\"} 5\n"
+      "ssr_candidates_sum{scope=\"index/0\"} 560.5\n"
+      "ssr_candidates_count{scope=\"index/0\"} 5\n"
+      "# TYPE ssr_hits_total counter\n"
+      "ssr_hits_total{scope=\"pool/0\"} 7\n"
+      "# TYPE ssr_live_sets gauge\n"
+      "ssr_live_sets{scope=\"index/0\"} 123\n"
+      "# TYPE ssr_queries_total counter\n"
+      "ssr_queries_total 42\n";
+  EXPECT_EQ(PrometheusText(registry), expected);
+}
+
+TEST(PrometheusTextTest, ProcessScopeHasNoLabelSet) {
+  MetricsRegistry registry;
+  registry.GetCounter("bare_total")->Increment();
+  EXPECT_EQ(PrometheusText(registry),
+            "# TYPE bare_total counter\nbare_total 1\n");
+}
+
+TEST(PrometheusTextTest, ScopeValueIsEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", "we\"ird\\scope")->Increment();
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("c_total{scope=\"we\\\"ird\\\\scope\"} 1"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, SameNameAcrossScopesEmitsOneTypeLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("dup_total", "a");
+  registry.GetCounter("dup_total", "b");
+  const std::string text = PrometheusText(registry);
+  std::size_t type_lines = 0;
+  for (std::size_t pos = text.find("# TYPE"); pos != std::string::npos;
+       pos = text.find("# TYPE", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(MetricsJsonTest, GoldenOutput) {
+  MetricsRegistry registry;
+  GoldenRegistry(registry);
+  const std::string expected =
+      "{\"counters\":["
+      "{\"name\":\"ssr_hits_total\",\"scope\":\"pool/0\",\"value\":7},"
+      "{\"name\":\"ssr_queries_total\",\"scope\":\"\",\"value\":42}"
+      "],\"gauges\":["
+      "{\"name\":\"ssr_live_sets\",\"scope\":\"index/0\",\"value\":123}"
+      "],\"histograms\":["
+      "{\"name\":\"ssr_candidates\",\"scope\":\"index/0\","
+      "\"count\":5,\"sum\":560.5,\"buckets\":["
+      "{\"le\":1,\"count\":1},"
+      "{\"le\":10,\"count\":2},"
+      "{\"le\":100,\"count\":1},"
+      "{\"le\":\"+Inf\",\"count\":1}"
+      "]}]}";
+  EXPECT_EQ(MetricsJson(registry), expected);
+}
+
+TEST(MetricsJsonTest, EmptyRegistryIsValidShape) {
+  MetricsRegistry registry;
+  EXPECT_EQ(MetricsJson(registry),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[]}");
+}
+
+TEST(TraceJsonTest, EmitsSpansOldestFirstWithTags) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  {
+    TraceSpan root(tracer, "query");
+    root.Tag("plan", "sfi_pair");
+    { TraceSpan child(tracer, "embed"); }
+  }
+  const std::string json = TraceJson(tracer);
+  // Completion order: embed then query.
+  const std::size_t embed_pos = json.find("\"name\":\"embed\"");
+  const std::size_t query_pos = json.find("\"name\":\"query\"");
+  ASSERT_NE(embed_pos, std::string::npos);
+  ASSERT_NE(query_pos, std::string::npos);
+  EXPECT_LT(embed_pos, query_pos);
+  EXPECT_NE(json.find("\"tags\":{\"plan\":\"sfi_pair\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(TraceJsonTest, EmptyTracerIsEmptyArray) {
+  Tracer tracer(4);
+  EXPECT_EQ(TraceJson(tracer), "[]");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRenderAsNull) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Double(std::numeric_limits<double>::infinity());
+  writer.Double(std::numeric_limits<double>::quiet_NaN());
+  writer.Double(1.5);
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, CommaPlacementInNestedContainers) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("a").Int(1);
+  writer.Key("b").BeginArray().Int(2).Int(3).EndArray();
+  writer.Key("c").BeginObject().Key("d").Bool(true).EndObject();
+  writer.EndObject();
+  EXPECT_EQ(writer.str(), "{\"a\":1,\"b\":[2,3],\"c\":{\"d\":true}}");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

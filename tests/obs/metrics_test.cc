@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ssr {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, CreateThenLookupReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total");
+  Counter* b = registry.GetCounter("requests_total");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ScopesIsolateInstruments) {
+  MetricsRegistry registry;
+  Counter* process = registry.GetCounter("hits_total");
+  Counter* scoped = registry.GetCounter("hits_total", "store/0");
+  Counter* other = registry.GetCounter("hits_total", "store/1");
+  EXPECT_NE(process, scoped);
+  EXPECT_NE(scoped, other);
+  scoped->Add(5);
+  EXPECT_EQ(process->value(), 0u);
+  EXPECT_EQ(scoped->value(), 5u);
+  EXPECT_EQ(other->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("x"), nullptr);
+  EXPECT_EQ(registry.GetGauge("x"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("x", "", {1.0}), nullptr);
+}
+
+TEST(MetricsRegistryTest, NewScopeIsProcessUnique) {
+  MetricsRegistry registry;
+  const std::string a = registry.NewScope("pool");
+  const std::string b = registry.NewScope("pool");
+  const std::string c = registry.NewScope("store");
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(a.rfind("pool/", 0), 0u);
+  EXPECT_EQ(c.rfind("store/", 0), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("contended_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGaugeAddsAreLossless) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("level");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) gauge->Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge->value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(3);
+  registry.GetGauge("g")->Set(7.0);
+  Histogram* h = registry.GetHistogram("h", "", {1.0, 2.0});
+  h->Observe(1.5);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("c")->value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g")->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.0);
+  EXPECT_EQ(h->bucket_count(1), 0u);
+}
+
+TEST(MetricsRegistryTest, EntriesSortedByNameThenScope) {
+  MetricsRegistry registry;
+  registry.GetCounter("b", "s2");
+  registry.GetCounter("b", "s1");
+  registry.GetGauge("a");
+  const auto entries = registry.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "a");
+  EXPECT_EQ(entries[1].name, "b");
+  EXPECT_EQ(entries[1].scope, "s1");
+  EXPECT_EQ(entries[2].scope, "s2");
+  EXPECT_NE(entries[0].gauge, nullptr);
+  EXPECT_EQ(entries[0].counter, nullptr);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  // Buckets: (-inf, 1], (1, 10], (10, 100], (100, +inf).
+  Histogram* h = registry.GetHistogram("latency", "", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket 0
+  h->Observe(1.0);    // bucket 0: v <= bound is inclusive
+  h->Observe(1.0001);  // bucket 1
+  h->Observe(10.0);   // bucket 1
+  h->Observe(99.0);   // bucket 2
+  h->Observe(100.0);  // bucket 2
+  h->Observe(101.0);  // overflow
+  EXPECT_EQ(h->bucket_count(0), 2u);
+  EXPECT_EQ(h->bucket_count(1), 2u);
+  EXPECT_EQ(h->bucket_count(2), 2u);
+  EXPECT_EQ(h->bucket_count(3), 1u);
+  EXPECT_EQ(h->count(), 7u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.0 + 100.0 + 101.0);
+}
+
+TEST(HistogramTest, FirstCreationBoundsWin) {
+  MetricsRegistry registry;
+  Histogram* first = registry.GetHistogram("h", "", {1.0, 2.0});
+  Histogram* again = registry.GetHistogram("h", "", {99.0});
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(again->bounds().size(), 2u);
+}
+
+TEST(HistogramTest, ExponentialBoundsShape) {
+  const auto bounds = ExponentialBounds(1.0, 4.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 16.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 64.0);
+}
+
+TEST(MetricsRegistryTest, DefaultIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

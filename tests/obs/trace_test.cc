@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ssr {
+namespace obs {
+namespace {
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer(8);
+  ASSERT_FALSE(tracer.enabled());
+  {
+    TraceSpan span(tracer, "query");
+    EXPECT_FALSE(span.active());
+    span.Tag("k", "v");  // no-op, must not crash
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(TracerTest, RecordsCompletedSpans) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  {
+    TraceSpan span(tracer, "query");
+    EXPECT_TRUE(span.active());
+    span.Tag("plan", "sfi_pair");
+    span.Tag("candidates", std::uint64_t{42});
+    span.Tag("lo", 0.25);
+  }
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "query");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_GE(spans[0].duration_micros, 0.0);
+  ASSERT_EQ(spans[0].tags.size(), 3u);
+  EXPECT_EQ(spans[0].tags[0].first, "plan");
+  EXPECT_EQ(spans[0].tags[0].second, "sfi_pair");
+  EXPECT_EQ(spans[0].tags[1].second, "42");
+}
+
+TEST(TracerTest, NestingRecordsParentAndDepth) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  {
+    TraceSpan root(tracer, "query");
+    {
+      TraceSpan child(tracer, "embed");
+      { TraceSpan grandchild(tracer, "hash"); }
+    }
+    { TraceSpan sibling(tracer, "verify"); }
+  }
+  // Completion order: hash, embed, verify, query.
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "hash");
+  EXPECT_EQ(spans[1].name, "embed");
+  EXPECT_EQ(spans[2].name, "verify");
+  EXPECT_EQ(spans[3].name, "query");
+  EXPECT_EQ(spans[3].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  EXPECT_EQ(spans[1].parent_id, spans[3].id);
+  EXPECT_EQ(spans[2].parent_id, spans[3].id);
+}
+
+TEST(TracerTest, RingWrapsKeepingNewest) {
+  Tracer tracer(4);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(tracer, "span" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "span6");
+  EXPECT_EQ(spans[1].name, "span7");
+  EXPECT_EQ(spans[2].name, "span8");
+  EXPECT_EQ(spans[3].name, "span9");
+}
+
+TEST(TracerTest, ClearDropsSpansButKeepsIds) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  { TraceSpan span(tracer, "a"); }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  { TraceSpan span(tracer, "b"); }
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GT(spans[0].id, 1u);  // id sequence did not restart
+}
+
+TEST(TracerTest, SpansEnabledMidStackDoNotAdoptDisabledParent) {
+  Tracer tracer(8);
+  {
+    TraceSpan outer(tracer, "outer");  // tracer off: not recorded
+    tracer.set_enabled(true);
+    { TraceSpan inner(tracer, "inner"); }
+    tracer.set_enabled(false);
+  }
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[0].depth, 0u);
+}
+
+TEST(TracerTest, DefaultTracerIsASingleton) {
+  EXPECT_EQ(&Tracer::Default(), &Tracer::Default());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

@@ -2,12 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace ssr {
 namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kWarning);
+  }
 };
 
 TEST_F(LoggingTest, LevelRoundTrips) {
@@ -26,6 +32,77 @@ TEST_F(LoggingTest, MacroStreamsWithoutCrashing) {
 
 TEST_F(LoggingTest, DefaultLevelIsWarning) {
   EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SinkCapturesComponentMessageAndFields) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<LogRecord> captured;
+  SetLogSink([&captured](const LogRecord& r) { captured.push_back(r); });
+  SSR_LOG_C(kInfo, "harness")
+          .With("dataset", "set1")
+          .With("pages", 42)
+      << "environment ready: " << 3 << " indices";
+  ASSERT_EQ(captured.size(), 1u);
+  const LogRecord& r = captured[0];
+  EXPECT_EQ(r.level, LogLevel::kInfo);
+  EXPECT_EQ(r.component, "harness");
+  EXPECT_EQ(r.message, "environment ready: 3 indices");
+  ASSERT_EQ(r.fields.size(), 2u);
+  EXPECT_EQ(r.fields[0].first, "dataset");
+  EXPECT_EQ(r.fields[0].second, "set1");
+  EXPECT_EQ(r.fields[1].first, "pages");
+  EXPECT_EQ(r.fields[1].second, "42");
+}
+
+TEST_F(LoggingTest, SinkRespectsLevelThreshold) {
+  SetLogLevel(LogLevel::kWarning);
+  std::vector<LogRecord> captured;
+  SetLogSink([&captured](const LogRecord& r) { captured.push_back(r); });
+  SSR_LOG(kInfo) << "dropped";
+  SSR_LOG(kWarning) << "kept";
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].message, "kept");
+}
+
+TEST_F(LoggingTest, FormatRendersComponentAndFields) {
+  LogRecord record;
+  record.level = LogLevel::kWarning;
+  record.component = "pool";
+  record.message = "evicting";
+  record.fields.emplace_back("page", "7");
+  record.fields.emplace_back("reason", "cold cache");
+  const std::string line = FormatLogRecord(record);
+  EXPECT_NE(line.find("WARN"), std::string::npos);
+  EXPECT_NE(line.find("[pool]"), std::string::npos);
+  EXPECT_NE(line.find("evicting"), std::string::npos);
+  EXPECT_NE(line.find("page=7"), std::string::npos);
+  // Values containing spaces are quoted.
+  EXPECT_NE(line.find("reason=\"cold cache\""), std::string::npos);
+}
+
+TEST_F(LoggingTest, FormatOmitsBracketsForUntaggedRecords) {
+  LogRecord record;
+  record.level = LogLevel::kInfo;
+  record.message = "plain";
+  const std::string line = FormatLogRecord(record);
+  EXPECT_EQ(line.find('['), std::string::npos);
+}
+
+// The satellite fix under test: streamed arguments must NOT be evaluated
+// when the level is below the threshold.
+int EvaluationCounter(int* counter) {
+  ++*counter;
+  return *counter;
+}
+
+TEST_F(LoggingTest, DisabledLevelSkipsArgumentEvaluation) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  SSR_LOG(kDebug) << "n=" << EvaluationCounter(&evaluations);
+  SSR_LOG_C(kInfo, "test").With("n", 1) << EvaluationCounter(&evaluations);
+  EXPECT_EQ(evaluations, 0);
+  SSR_LOG(kError) << "n=" << EvaluationCounter(&evaluations);
+  EXPECT_EQ(evaluations, 1);
 }
 
 }  // namespace
