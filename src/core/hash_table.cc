@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "util/mathutil.h"
 
@@ -42,6 +43,13 @@ std::size_t SidHashTable::Probe(std::uint64_t key_hash,
       obs::MetricsRegistry::Default().GetCounter("ssr_hash_sids_scanned_total");
   ++bucket_accesses_;
   probes->Increment();
+  // Latency-only fault site: a kLatency schedule here simulates a slow
+  // bucket page. Error kinds are deliberately ignored — the in-memory table
+  // itself cannot fail; loss is modeled one level up ("sfi/probe_table").
+  {
+    fault::FaultInjector& injector = fault::FaultInjector::Default();
+    if (injector.enabled()) injector.Check("hash_table/probe");
+  }
   const auto& bucket = buckets_[BucketIndex(key_hash)];
   scanned->Add(bucket.size());
   const std::uint16_t fp = Fingerprint(key_hash);

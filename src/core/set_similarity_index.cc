@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 
+#include "fault/fault_injector.h"
 #include "obs/trace.h"
 #include "util/hash.h"
 #include "util/serialize.h"
@@ -87,6 +89,13 @@ SetSimilarityIndex::SetSimilarityIndex(SetStore& store, IndexLayout layout,
   sids_scanned_ = registry.GetCounter("ssr_index_sids_scanned_total", scope);
   sets_fetched_ = registry.GetCounter("ssr_index_sets_fetched_total", scope);
   results_ = registry.GetCounter("ssr_index_results_total", scope);
+  probe_failures_ =
+      registry.GetCounter("ssr_index_probe_failures_total", scope);
+  fetch_failures_ =
+      registry.GetCounter("ssr_index_fetch_failures_total", scope);
+  degraded_queries_ = registry.GetCounter("ssr_degraded_queries_total", scope);
+  seqscan_fallbacks_ =
+      registry.GetCounter("ssr_index_seqscan_fallbacks_total", scope);
   live_sets_ = registry.GetGauge("ssr_index_live_sets", scope);
   candidates_hist_ = registry.GetHistogram(
       "ssr_index_candidates_per_query", scope,
@@ -216,28 +225,44 @@ std::vector<SetId> SetSimilarityIndex::LiveSids() const {
   return out;
 }
 
-std::vector<SetId> SetSimilarityIndex::ProbeFi(std::size_t fi_idx,
-                                               const Signature& query) const {
+Result<std::vector<SetId>> SetSimilarityIndex::ProbeFi(
+    std::size_t fi_idx, const Signature& query, bool* partial) const {
   const BuiltFi& fi = fis_[fi_idx];
   obs::TraceSpan span("probe_fi");
   span.Tag("fi", static_cast<std::uint64_t>(fi_idx));
   span.Tag("kind", fi.sfi != nullptr ? "sfi" : "dfi");
   span.Tag("point", fi.point.similarity);
+  *partial = false;
   SfiProbeStats probe;
-  std::vector<SetId> out;
-  if (fi.sfi != nullptr) {
-    out = fi.sfi->SimVector(query, /*complemented=*/false, &probe);
-  } else {
-    out = fi.dfi->DissimVector(query, &probe);
+  auto result = fault::RetryWithPolicy(
+      options_.probe_retry, [&]() -> Result<std::vector<SetId>> {
+        SSR_RETURN_IF_ERROR(
+            fault::FaultInjector::Default().CheckStatus("index/probe_fi"));
+        probe = SfiProbeStats{};
+        if (fi.sfi != nullptr) {
+          return fi.sfi->SimVector(query, /*complemented=*/false, &probe);
+        }
+        return fi.dfi->DissimVector(query, &probe);
+      });
+  if (!result.ok()) {
+    probe_failures_->Increment();
+    span.Tag("failed", std::uint64_t{1});
+    return result.status();
   }
   bucket_accesses_->Add(probe.bucket_accesses);
   bucket_pages_->Add(probe.bucket_pages);
   sids_scanned_->Add(probe.sids_scanned);
-  span.Tag("sids", static_cast<std::uint64_t>(out.size()));
+  if (probe.tables_failed > 0) {
+    *partial = true;
+    probe_failures_->Increment();
+    span.Tag("tables_failed",
+             static_cast<std::uint64_t>(probe.tables_failed));
+  }
+  span.Tag("sids", static_cast<std::uint64_t>(result.value().size()));
   if (options_.charge_bucket_io) {
     store_->io().ChargeRandomRead(probe.bucket_pages);
   }
-  return out;
+  return result;
 }
 
 QueryStats SetSimilarityIndex::SnapshotCounters() const {
@@ -246,13 +271,40 @@ QueryStats SetSimilarityIndex::SnapshotCounters() const {
   snap.bucket_pages = bucket_pages_->value();
   snap.sids_scanned = sids_scanned_->value();
   snap.sets_fetched = sets_fetched_->value();
+  snap.probe_failures = probe_failures_->value();
+  snap.fetch_failures = fetch_failures_->value();
   snap.io = store_->io().stats();
   return snap;
 }
 
 std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
-    const Signature& query, double sigma1, double sigma2,
-    QueryStats* stats) const {
+    const Signature& query, double sigma1, double sigma2, QueryStats* stats,
+    bool* additive_loss) const {
+  // A failed or partial *additive* probe can lose true candidates: report
+  // it through *additive_loss and contribute a best-effort (possibly
+  // empty) set. A failed *subtractive* probe subtracts nothing — the
+  // result stays a sound superset and verification still yields exact
+  // answers. Both paths tag the query degraded.
+  const auto additive = [&](std::size_t idx) -> std::vector<SetId> {
+    bool partial = false;
+    auto r = ProbeFi(idx, query, &partial);
+    if (!r.ok() || partial) {
+      stats->degraded = true;
+      *additive_loss = true;
+      if (!r.ok()) return {};
+    }
+    return std::move(r).value();
+  };
+  const auto subtractive = [&](std::size_t idx) -> std::vector<SetId> {
+    bool partial = false;
+    auto r = ProbeFi(idx, query, &partial);
+    if (!r.ok() || partial) {
+      stats->degraded = true;
+      if (!r.ok()) return {};
+    }
+    return std::move(r).value();
+  };
+
   // Virtual enclosing-point selection over [0 | layout points | 1].
   // lo = highest point <= σ1 (virtual 0 if none);
   // up = lowest point >= σ2 (virtual 1 if none).
@@ -287,10 +339,10 @@ std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
   // DissimVector): A = Dissim(up) \ Dissim(lo).
   if (!up_virtual && kind_of(up_idx) == FilterKind::kDissimilarity) {
     stats->plan = QueryPlanKind::kDfiPair;
-    std::vector<SetId> up_set = ProbeFi(up_idx, query);
+    std::vector<SetId> up_set = additive(up_idx);
     if (lo_virtual) return up_set;
     assert(kind_of(lo_idx) == FilterKind::kDissimilarity);
-    std::vector<SetId> lo_set = ProbeFi(lo_idx, query);
+    std::vector<SetId> lo_set = subtractive(lo_idx);
     return SortedDifference(up_set, lo_set);
   }
 
@@ -307,10 +359,9 @@ std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
                     kind_of(up_idx) == FilterKind::kSimilarity &&
                     !HasDfi())) {
     stats->plan = QueryPlanKind::kSfiPair;
-    std::vector<SetId> lo_set =
-        lo_is_sfi ? ProbeFi(lo_idx, query) : LiveSids();
+    std::vector<SetId> lo_set = lo_is_sfi ? additive(lo_idx) : LiveSids();
     if (up_virtual) return lo_set;
-    std::vector<SetId> up_set = ProbeFi(up_idx, query);
+    std::vector<SetId> up_set = subtractive(up_idx);
     return SortedDifference(lo_set, up_set);
   }
 
@@ -331,113 +382,132 @@ std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
     // only sound superset is everything not excluded below lo.
     std::vector<SetId> all = LiveSids();
     if (lo_dfi_side) {
-      return SortedDifference(all, ProbeFi(lo_idx, query));
+      return SortedDifference(all, subtractive(lo_idx));
     }
     return all;
   }
 
   std::vector<SetId> left;
   if (dfi_mid != kVirtual) {
-    left = ProbeFi(dfi_mid, query);
+    left = additive(dfi_mid);
     if (lo_dfi_side && lo_idx != dfi_mid) {
-      left = SortedDifference(left, ProbeFi(lo_idx, query));
+      left = SortedDifference(left, subtractive(lo_idx));
     }
   }
   std::vector<SetId> right;
   if (sfi_mid != kVirtual) {
-    right = ProbeFi(sfi_mid, query);
+    right = additive(sfi_mid);
     if (!up_virtual && up_idx != sfi_mid &&
         kind_of(up_idx) == FilterKind::kSimilarity) {
-      right = SortedDifference(right, ProbeFi(up_idx, query));
+      right = SortedDifference(right, subtractive(up_idx));
     }
   }
   return SortedUnion(left, right);
 }
 
 namespace {
-constexpr std::uint32_t kIndexVersion = 1;
+constexpr std::string_view kIndexMagic = "SSRINDEX";
+constexpr std::uint32_t kIndexVersion = 2;
 }  // namespace
 
 Status SetSimilarityIndex::SaveTo(std::ostream& out) const {
-  BinaryWriter writer(out);
-  writer.WriteString("SSRINDEX");
-  writer.WriteU32(kIndexVersion);
-  // Options.
-  writer.WriteU64(options_.embedding.minhash.num_hashes);
-  writer.WriteU32(options_.embedding.minhash.value_bits);
-  writer.WriteU64(options_.embedding.minhash.seed);
-  writer.WriteU8(static_cast<std::uint8_t>(options_.embedding.code_kind));
-  writer.WriteU64(options_.buckets_per_table);
-  writer.WriteU64(options_.seed);
-  writer.WriteBool(options_.charge_bucket_io);
-  // Layout.
-  writer.WriteDouble(layout_.delta);
-  writer.WriteU64(layout_.points.size());
+  SnapshotWriter snapshot(out, kIndexMagic, kIndexVersion);
+
+  BinaryWriter& opts = snapshot.BeginSection("options");
+  opts.WriteU64(options_.embedding.minhash.num_hashes);
+  opts.WriteU32(options_.embedding.minhash.value_bits);
+  opts.WriteU64(options_.embedding.minhash.seed);
+  opts.WriteU8(static_cast<std::uint8_t>(options_.embedding.code_kind));
+  opts.WriteU64(options_.buckets_per_table);
+  opts.WriteU64(options_.seed);
+  opts.WriteBool(options_.charge_bucket_io);
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  BinaryWriter& lay = snapshot.BeginSection("layout");
+  lay.WriteDouble(layout_.delta);
+  lay.WriteU64(layout_.points.size());
   for (const FilterPoint& p : layout_.points) {
-    writer.WriteDouble(p.similarity);
-    writer.WriteU8(static_cast<std::uint8_t>(p.kind));
-    writer.WriteU64(p.tables);
-    writer.WriteU64(p.r);
+    lay.WriteDouble(p.similarity);
+    lay.WriteU8(static_cast<std::uint8_t>(p.kind));
+    lay.WriteU64(p.tables);
+    lay.WriteU64(p.r);
   }
-  // Signatures of live sids.
-  writer.WriteU64(live_.size());
-  writer.WriteU64(num_live_);
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  // Signatures of live sids. Last and largest: damage here is recoverable
+  // (signatures re-embed from the store), so keep it after the sections
+  // that are not.
+  BinaryWriter& sigs = snapshot.BeginSection("signatures");
+  sigs.WriteU64(live_.size());
+  sigs.WriteU64(num_live_);
   for (SetId sid = 0; sid < live_.size(); ++sid) {
     if (!live_[sid]) continue;
-    writer.WriteU32(sid);
-    writer.WriteVector(signatures_[sid].values());
+    sigs.WriteU32(sid);
+    sigs.WriteVector(signatures_[sid].values());
   }
-  if (!writer.ok()) return Status::Internal("index write failed");
-  return Status::OK();
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  return snapshot.Finish();
 }
 
-Result<SetSimilarityIndex> SetSimilarityIndex::Load(SetStore& store,
-                                                    std::istream& in) {
-  BinaryReader reader(in);
-  std::string magic;
-  SSR_RETURN_IF_ERROR(reader.ReadString(&magic));
-  if (magic != "SSRINDEX") return Status::Corruption("bad index magic");
+Result<SetSimilarityIndex> SetSimilarityIndex::Load(
+    SetStore& store, std::istream& in,
+    const SnapshotLoadOptions& load_options) {
+  SnapshotReader snapshot(in);
   std::uint32_t version = 0;
-  SSR_RETURN_IF_ERROR(reader.ReadU32(&version));
+  SSR_RETURN_IF_ERROR(snapshot.ReadHeader(kIndexMagic, &version));
   if (version != kIndexVersion) {
     return Status::NotSupported("unknown index version");
   }
-  IndexOptions options;
-  std::uint64_t num_hashes = 0;
-  std::uint32_t value_bits = 0;
-  std::uint8_t code_kind = 0;
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&num_hashes));
-  SSR_RETURN_IF_ERROR(reader.ReadU32(&value_bits));
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&options.embedding.minhash.seed));
-  SSR_RETURN_IF_ERROR(reader.ReadU8(&code_kind));
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&options.buckets_per_table));
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&options.seed));
-  SSR_RETURN_IF_ERROR(reader.ReadBool(&options.charge_bucket_io));
-  options.embedding.minhash.num_hashes =
-      static_cast<std::size_t>(num_hashes);
-  options.embedding.minhash.value_bits = value_bits;
-  if (code_kind > static_cast<std::uint8_t>(CodeKind::kNaiveBinary)) {
-    return Status::Corruption("unknown code kind");
-  }
-  options.embedding.code_kind = static_cast<CodeKind>(code_kind);
 
+  std::string payload;
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("options", &payload));
+  IndexOptions options;
+  {
+    std::istringstream opts_in(payload);
+    BinaryReader opts(opts_in);
+    std::uint64_t num_hashes = 0;
+    std::uint32_t value_bits = 0;
+    std::uint8_t code_kind = 0;
+    SSR_RETURN_IF_ERROR(opts.ReadU64(&num_hashes));
+    SSR_RETURN_IF_ERROR(opts.ReadU32(&value_bits));
+    SSR_RETURN_IF_ERROR(opts.ReadU64(&options.embedding.minhash.seed));
+    SSR_RETURN_IF_ERROR(opts.ReadU8(&code_kind));
+    SSR_RETURN_IF_ERROR(opts.ReadU64(&options.buckets_per_table));
+    SSR_RETURN_IF_ERROR(opts.ReadU64(&options.seed));
+    SSR_RETURN_IF_ERROR(opts.ReadBool(&options.charge_bucket_io));
+    options.embedding.minhash.num_hashes =
+        static_cast<std::size_t>(num_hashes);
+    options.embedding.minhash.value_bits = value_bits;
+    if (code_kind > static_cast<std::uint8_t>(CodeKind::kNaiveBinary)) {
+      return Status::Corruption("unknown code kind");
+    }
+    options.embedding.code_kind = static_cast<CodeKind>(code_kind);
+  }
+
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("layout", &payload));
   IndexLayout layout;
-  SSR_RETURN_IF_ERROR(reader.ReadDouble(&layout.delta));
-  std::uint64_t num_points = 0;
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&num_points));
-  if (num_points > 100000) return Status::Corruption("absurd point count");
-  for (std::uint64_t i = 0; i < num_points; ++i) {
-    FilterPoint p;
-    std::uint8_t kind = 0;
-    std::uint64_t tables = 0, r = 0;
-    SSR_RETURN_IF_ERROR(reader.ReadDouble(&p.similarity));
-    SSR_RETURN_IF_ERROR(reader.ReadU8(&kind));
-    SSR_RETURN_IF_ERROR(reader.ReadU64(&tables));
-    SSR_RETURN_IF_ERROR(reader.ReadU64(&r));
-    p.kind = kind == 0 ? FilterKind::kSimilarity : FilterKind::kDissimilarity;
-    p.tables = static_cast<std::size_t>(tables);
-    p.r = static_cast<std::size_t>(r);
-    layout.points.push_back(p);
+  {
+    std::istringstream lay_in(payload);
+    BinaryReader lay(lay_in);
+    SSR_RETURN_IF_ERROR(lay.ReadDouble(&layout.delta));
+    std::uint64_t num_points = 0;
+    SSR_RETURN_IF_ERROR(lay.ReadU64(&num_points));
+    if (num_points > 100000) return Status::Corruption("absurd point count");
+    for (std::uint64_t i = 0; i < num_points; ++i) {
+      FilterPoint p;
+      std::uint8_t kind = 0;
+      std::uint64_t tables = 0, r = 0;
+      SSR_RETURN_IF_ERROR(lay.ReadDouble(&p.similarity));
+      SSR_RETURN_IF_ERROR(lay.ReadU8(&kind));
+      SSR_RETURN_IF_ERROR(lay.ReadU64(&tables));
+      SSR_RETURN_IF_ERROR(lay.ReadU64(&r));
+      p.kind =
+          kind == 0 ? FilterKind::kSimilarity : FilterKind::kDissimilarity;
+      p.tables = static_cast<std::size_t>(tables);
+      p.r = static_cast<std::size_t>(r);
+      layout.points.push_back(p);
+    }
   }
   SSR_RETURN_IF_ERROR(layout.Validate());
   if (layout.points.empty()) {
@@ -450,20 +520,69 @@ Result<SetSimilarityIndex> SetSimilarityIndex::Load(SetStore& store,
                            std::move(embedding).value());
   SSR_RETURN_IF_ERROR(index.CreateFilterIndices());
 
-  std::uint64_t capacity = 0, live_count = 0;
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&capacity));
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&live_count));
-  for (std::uint64_t i = 0; i < live_count; ++i) {
-    std::uint32_t sid = 0;
-    std::vector<std::uint16_t> values;
-    SSR_RETURN_IF_ERROR(reader.ReadU32(&sid));
-    SSR_RETURN_IF_ERROR(reader.ReadVector(&values));
-    SSR_RETURN_IF_ERROR(
-        index.InsertSignature(sid, Signature(std::move(values))));
+  const Status sig_status = snapshot.ReadSection("signatures", &payload);
+  const bool sigs_damaged = !sig_status.ok();
+  if (sigs_damaged && !(load_options.salvage && (sig_status.IsDataLoss() ||
+                                                 sig_status.IsCorruption()))) {
+    return sig_status;
   }
-  if (index.live_.size() < capacity) {
-    index.live_.resize(capacity, false);
-    index.signatures_.resize(capacity);
+
+  std::size_t rebuilt = 0;
+  if (sigs_damaged) {
+    // Recovery: the signatures are derived data — re-embed every surviving
+    // record from the (possibly itself salvaged) store and rebuild the
+    // hash tables from scratch.
+    Status rebuild_status;
+    store.ScanAll([&](SetId sid, const ElementSet& set) {
+      Status s = index.Insert(sid, set);
+      if (!s.ok()) {
+        rebuild_status = s;
+        return false;
+      }
+      ++rebuilt;
+      return true;
+    });
+    SSR_RETURN_IF_ERROR(rebuild_status);
+    store.ResetIoAccounting();  // the rebuild scan is not query I/O
+  } else {
+    std::istringstream sigs_in(payload);
+    BinaryReader sigs(sigs_in);
+    std::uint64_t capacity = 0, live_count = 0;
+    SSR_RETURN_IF_ERROR(sigs.ReadU64(&capacity));
+    SSR_RETURN_IF_ERROR(sigs.ReadU64(&live_count));
+    for (std::uint64_t i = 0; i < live_count; ++i) {
+      std::uint32_t sid = 0;
+      std::vector<std::uint16_t> values;
+      SSR_RETURN_IF_ERROR(sigs.ReadU32(&sid));
+      SSR_RETURN_IF_ERROR(sigs.ReadVector(&values));
+      if (load_options.salvage && !store.Contains(sid)) {
+        // The store's salvage dropped this record; indexing it would only
+        // produce candidates that can never verify.
+        continue;
+      }
+      SSR_RETURN_IF_ERROR(
+          index.InsertSignature(sid, Signature(std::move(values))));
+    }
+    if (index.live_.size() < capacity) {
+      index.live_.resize(capacity, false);
+      index.signatures_.resize(capacity);
+    }
+  }
+
+  const Status footer_status = snapshot.VerifyFooter();
+  if (!footer_status.ok() && !load_options.salvage) return footer_status;
+
+  if (load_options.report != nullptr) {
+    RecoveryReport r;
+    r.signatures_rebuilt = rebuilt;
+    r.salvaged = sigs_damaged || !footer_status.ok();
+    load_options.report->MergeFrom(r);
+  }
+  if (sigs_damaged) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("ssr_recovery_signatures_rebuilt_total",
+                    index.options_.metrics_scope)
+        ->Add(rebuilt);
   }
   return index;
 }
@@ -486,16 +605,33 @@ Result<QueryResult> SetSimilarityIndex::QueryCandidates(
     obs::TraceSpan embed("embed");
     sig = embedding_->Sign(query);
   }
+  bool additive_loss = false;
   {
     obs::TraceSpan plan("plan");
-    result.sids = ComputeCandidates(sig, sigma1, sigma2, &result.stats);
+    result.sids =
+        ComputeCandidates(sig, sigma1, sigma2, &result.stats, &additive_loss);
   }
+  if (result.stats.degraded &&
+      options_.degrade == DegradeMode::kFailFast) {
+    return Status::Unavailable("filter probe failed (fail-fast)");
+  }
+  if (additive_loss &&
+      options_.degrade == DegradeMode::kSequentialFallback) {
+    // Candidates may be missing true positives; the sound fallback is the
+    // full live-sid superset (verification downstream removes the extra
+    // false positives).
+    obs::TraceSpan fallback("degraded_scan");
+    seqscan_fallbacks_->Increment();
+    result.sids = LiveSids();
+  }
+  if (result.stats.degraded) degraded_queries_->Increment();
   result.stats.candidates = result.sids.size();
   result.stats.results = result.sids.size();
   candidates_hist_->Observe(static_cast<double>(result.sids.size()));
   FinishStats(before, watch, &result.stats);
   root.Tag("plan", QueryPlanKindName(result.stats.plan));
   root.Tag("candidates", static_cast<std::uint64_t>(result.stats.candidates));
+  if (result.stats.degraded) root.Tag("degraded", std::uint64_t{1});
   return result;
 }
 
@@ -518,26 +654,52 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
     sig = embedding_->Sign(query);
   }
   std::vector<SetId> candidates;
+  bool additive_loss = false;
   {
     obs::TraceSpan plan("plan");
-    candidates = ComputeCandidates(sig, sigma1, sigma2, &result.stats);
+    candidates =
+        ComputeCandidates(sig, sigma1, sigma2, &result.stats, &additive_loss);
   }
   result.stats.candidates = candidates.size();
   candidates_hist_->Observe(static_cast<double>(candidates.size()));
 
-  if (result.stats.plan == QueryPlanKind::kFullCollection && sigma1 <= 0.0 &&
+  if (result.stats.degraded &&
+      options_.degrade == DegradeMode::kFailFast) {
+    return Status::Unavailable("filter probe failed (fail-fast)");
+  }
+  // Under sequential fallback, a lossy candidate set means the verified
+  // answer could miss true results — go straight to the exact full scan.
+  bool need_full_scan =
+      additive_loss && options_.degrade == DegradeMode::kSequentialFallback;
+  constexpr double kEps = 1e-12;
+
+  if (!need_full_scan &&
+      result.stats.plan == QueryPlanKind::kFullCollection && sigma1 <= 0.0 &&
       sigma2 >= 1.0) {
     // [0, 1] covers every set by definition; no verification needed. Any
     // narrower range that still fell through to the full-collection plan
     // (no enclosing filter points) must be verified like any other.
     result.sids = std::move(candidates);
-  } else {
+  } else if (!need_full_scan) {
     // Verification: fetch each candidate and keep exact-similarity matches.
     obs::TraceSpan verify("verify");
-    constexpr double kEps = 1e-12;
     for (SetId sid : candidates) {
       auto set = store_->Get(sid);
-      if (!set.ok()) continue;  // deleted concurrently; skip
+      if (!set.ok()) {
+        if (set.status().IsNotFound()) continue;  // deleted concurrently
+        // A real fetch failure (transient fault that exhausted retries, or
+        // data loss): never silently drop the candidate.
+        fetch_failures_->Increment();
+        result.stats.degraded = true;
+        if (options_.degrade == DegradeMode::kFailFast) {
+          return Status::Unavailable("candidate fetch failed (fail-fast)");
+        }
+        if (options_.degrade == DegradeMode::kSequentialFallback) {
+          need_full_scan = true;
+          break;
+        }
+        continue;  // kPartialResults: skip, answer stays tagged degraded
+      }
       sets_fetched_->Increment();
       const double sim = Jaccard(set.value(), query);
       if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
@@ -547,6 +709,24 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
     verify.Tag("fetched",
                sets_fetched_->value() - before.sets_fetched);
   }
+
+  if (need_full_scan) {
+    // Exact degraded path: verify the whole collection sequentially. Same
+    // answer as the sequential-scan baseline, at its I/O cost.
+    obs::TraceSpan scan("degraded_scan");
+    seqscan_fallbacks_->Increment();
+    result.stats.degraded = true;
+    result.sids.clear();
+    store_->ScanAll([&](SetId sid, const ElementSet& set) {
+      const double sim = Jaccard(set, query);
+      if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
+        result.sids.push_back(sid);
+      }
+      return true;
+    });
+    scan.Tag("results", static_cast<std::uint64_t>(result.sids.size()));
+  }
+  if (result.stats.degraded) degraded_queries_->Increment();
   FinishStats(before, watch, &result.stats);
   results_->Add(result.sids.size());
   result.stats.results = result.sids.size();
@@ -555,6 +735,7 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
   root.Tag("up", result.stats.up_point);
   root.Tag("candidates", static_cast<std::uint64_t>(result.stats.candidates));
   root.Tag("results", static_cast<std::uint64_t>(result.stats.results));
+  if (result.stats.degraded) root.Tag("degraded", std::uint64_t{1});
   return result;
 }
 
@@ -566,6 +747,8 @@ void SetSimilarityIndex::FinishStats(const QueryStats& before,
   stats->bucket_pages = after.bucket_pages - before.bucket_pages;
   stats->sids_scanned = after.sids_scanned - before.sids_scanned;
   stats->sets_fetched = after.sets_fetched - before.sets_fetched;
+  stats->probe_failures = after.probe_failures - before.probe_failures;
+  stats->fetch_failures = after.fetch_failures - before.fetch_failures;
   stats->io = after.io - before.io;
   stats->io_seconds = stats->io.SimulatedSeconds(store_->io().params());
   stats->cpu_seconds = watch.ElapsedSeconds();

@@ -16,14 +16,30 @@
 #include "core/dfi.h"
 #include "core/index_layout.h"
 #include "core/sfi.h"
+#include "fault/retry.h"
 #include "hamming/embedding.h"
 #include "obs/metrics.h"
 #include "storage/set_store.h"
+#include "storage/snapshot.h"
 #include "util/stopwatch.h"
 #include "util/result.h"
 #include "util/types.h"
 
 namespace ssr {
+
+/// How a query behaves when filter probes or candidate fetches keep
+/// failing after retries. Whatever the mode, a query never silently
+/// returns a wrong answer: it errors, or returns results tagged degraded.
+enum class DegradeMode {
+  /// Propagate Unavailable to the caller on any degradation.
+  kFailFast,
+  /// Return whatever survived, tagged degraded in QueryStats (results may
+  /// be incomplete but every returned sid is verified correct).
+  kPartialResults,
+  /// Fall back to verifying the full collection (sequential-scan cost):
+  /// exact results, tagged degraded. The default.
+  kSequentialFallback,
+};
 
 /// Composite index construction options.
 struct IndexOptions {
@@ -44,6 +60,13 @@ struct IndexOptions {
   /// obs::MetricsRegistry::Default(). Empty allocates a unique "index/N"
   /// scope. Runtime-only: not persisted by SaveTo/Load.
   std::string metrics_scope;
+
+  /// Behavior when probes/fetches ultimately fail. Runtime-only.
+  DegradeMode degrade = DegradeMode::kSequentialFallback;
+
+  /// Retry policy for transient failures at the "index/probe_fi" fault
+  /// site. Runtime-only.
+  fault::RetryPolicy probe_retry;
 };
 
 /// Which of the Section 4.3 cases answered a query.
@@ -76,6 +99,14 @@ struct QueryStats {
   IoStats io;                       // store I/O delta for this query
   double io_seconds = 0.0;          // simulated I/O time
   double cpu_seconds = 0.0;         // measured CPU time
+
+  /// True iff the query executed on a degraded path (a probe or fetch
+  /// ultimately failed and the DegradeMode recovered). Under
+  /// kSequentialFallback the results are still exact; under
+  /// kPartialResults they may be incomplete but are never wrong.
+  bool degraded = false;
+  std::size_t probe_failures = 0;  // FI probes that failed after retries
+  std::size_t fetch_failures = 0;  // candidate fetches that failed
 };
 
 /// A verified query answer: sids whose exact Jaccard similarity with the
@@ -126,14 +157,23 @@ class SetSimilarityIndex {
   /// The signature stored for `sid` (for tests; empty optional if dead).
   std::optional<Signature> signature(SetId sid) const;
 
-  /// Persists the index (options, layout, signatures) to a binary stream.
-  /// The SetStore is persisted separately (SetStore::SaveTo); Load attaches
-  /// the deserialized index to `store`, rebuilding the hash tables from the
-  /// saved signatures without touching set data — construction is
-  /// deterministic under the saved seeds, so the loaded index answers
-  /// queries identically to the saved one.
+  /// Persists the index (options, layout, signatures) as a checksummed v2
+  /// snapshot (storage/snapshot.h). The SetStore is persisted separately
+  /// (SetStore::SaveTo); Load attaches the deserialized index to `store`,
+  /// rebuilding the hash tables from the saved signatures without touching
+  /// set data — construction is deterministic under the saved seeds, so the
+  /// loaded index answers queries identically to the saved one.
+  ///
+  /// Strict loads fail with a typed status on the first integrity error.
+  /// With `load_options.salvage`, a damaged "signatures" section is
+  /// tolerated: the signatures are re-embedded from the store's surviving
+  /// records instead (counted as signatures_rebuilt in the report), and
+  /// saved signatures whose sid no longer exists in the (possibly salvaged)
+  /// store are dropped.
   Status SaveTo(std::ostream& out) const;
-  static Result<SetSimilarityIndex> Load(SetStore& store, std::istream& in);
+  static Result<SetSimilarityIndex> Load(
+      SetStore& store, std::istream& in,
+      const SnapshotLoadOptions& load_options = {});
 
  private:
   struct BuiltFi {
@@ -156,8 +196,14 @@ class SetSimilarityIndex {
   Status InsertSignature(SetId sid, Signature sig);
 
   /// Union of the probed buckets for the FI at index `fi_idx`. Updates the
-  /// per-index probe instruments and charges bucket I/O.
-  std::vector<SetId> ProbeFi(std::size_t fi_idx, const Signature& query) const;
+  /// per-index probe instruments and charges bucket I/O. Transient faults
+  /// at the "index/probe_fi" site are retried under options_.probe_retry;
+  /// ultimate failure surfaces as Unavailable. `*partial` is set when the
+  /// probe succeeded but lost tables to faults (the union is then a subset
+  /// of the true answer).
+  Result<std::vector<SetId>> ProbeFi(std::size_t fi_idx,
+                                     const Signature& query,
+                                     bool* partial) const;
 
   /// Snapshot of the counting instruments (for per-query deltas).
   QueryStats SnapshotCounters() const;
@@ -173,9 +219,15 @@ class SetSimilarityIndex {
   /// True iff the layout contains at least one DFI.
   bool HasDfi() const;
 
-  /// Computes the candidate set A for [σ1, σ2] per Section 4.3.
+  /// Computes the candidate set A for [σ1, σ2] per Section 4.3. Probe
+  /// failures degrade soundly: a failed/partial *subtractive* probe skips
+  /// its subtraction (the result stays a superset, still exact after
+  /// verification); a failed/partial *additive* probe may lose true
+  /// candidates, which is reported via `*additive_loss` so the caller can
+  /// apply the configured DegradeMode. Both paths tag stats->degraded.
   std::vector<SetId> ComputeCandidates(const Signature& query, double sigma1,
-                                       double sigma2, QueryStats* stats) const;
+                                       double sigma2, QueryStats* stats,
+                                       bool* additive_loss) const;
 
   SetStore* store_;  // not owned
   IndexLayout layout_;
@@ -193,6 +245,10 @@ class SetSimilarityIndex {
   obs::Counter* sids_scanned_;     // ssr_index_sids_scanned_total
   obs::Counter* sets_fetched_;     // ssr_index_sets_fetched_total
   obs::Counter* results_;          // ssr_index_results_total
+  obs::Counter* probe_failures_;   // ssr_index_probe_failures_total
+  obs::Counter* fetch_failures_;   // ssr_index_fetch_failures_total
+  obs::Counter* degraded_queries_;  // ssr_degraded_queries_total
+  obs::Counter* seqscan_fallbacks_;  // ssr_index_seqscan_fallbacks_total
   obs::Gauge* live_sets_;          // ssr_index_live_sets
   obs::Histogram* candidates_hist_;  // ssr_index_candidates_per_query
 };

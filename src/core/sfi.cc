@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "util/mathutil.h"
@@ -78,7 +79,16 @@ std::vector<SetId> SimilarityFilterIndex::SimVector(
   const std::size_t sids_per_page = SidsPerPage();
   std::size_t pages = 0;
   std::size_t scanned = 0;
+  std::size_t failed = 0;
+  fault::FaultInjector& injector = fault::FaultInjector::Default();
+  const bool faults_on = injector.enabled();
   for (std::size_t i = 0; i < tables_.size(); ++i) {
+    // Any fired fault at the per-table site loses this table's bucket for
+    // this probe; the caller sees tables_failed and can degrade or retry.
+    if (faults_on && injector.Check("sfi/probe_table").has_value()) {
+      ++failed;
+      continue;
+    }
     const std::uint64_t key =
         samplers_[i].ExtractKeyHash(query, complemented);
     const std::size_t bucket_size = tables_[i].Probe(key, &out);
@@ -91,6 +101,7 @@ std::vector<SetId> SimilarityFilterIndex::SimVector(
     stats->bucket_accesses = tables_.size();
     stats->bucket_pages = pages;
     stats->sids_scanned = scanned;
+    stats->tables_failed = failed;
   }
   return out;
 }

@@ -46,6 +46,9 @@ struct SfiProbeStats {
   std::size_t bucket_accesses = 0;  // == l
   std::size_t bucket_pages = 0;     // pages read if tables are disk-resident
   std::size_t sids_scanned = 0;     // total bucket entries before dedup
+  std::size_t tables_failed = 0;    // tables lost to injected faults
+                                    // ("sfi/probe_table" site): the union is
+                                    // then a subset of the true SimVector
 };
 
 /// The Similarity Filter Index primitive.

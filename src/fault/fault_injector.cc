@@ -1,0 +1,169 @@
+#include "fault/fault_injector.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/hash.h"
+
+namespace ssr {
+namespace fault {
+
+std::uint64_t SeedFromEnv(std::uint64_t fallback) {
+  const char* env = std::getenv("SSR_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 0);
+  if (end == env) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kReadError:
+      return "read_error";
+    case FaultKind::kWriteError:
+      return "write_error";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+    case FaultKind::kLatency:
+      return "latency";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  hits_total_ = registry.GetCounter("ssr_fault_hits_total");
+  injected_total_ = registry.GetCounter("ssr_fault_injected_total");
+  latency_total_ = registry.GetCounter("ssr_fault_latency_injected_total");
+}
+
+FaultInjector& FaultInjector::Default() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Enable(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_state_ = seed;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  Disable();
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  total_fires_ = 0;
+}
+
+void FaultInjector::Arm(std::string_view site, FaultKind kind,
+                        FaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[std::string(site)];
+  s.kind = kind;
+  s.schedule = schedule;
+  s.hits = 0;
+  s.fires = 0;
+  s.disarmed = false;
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.disarmed = true;
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) site.disarmed = true;
+}
+
+std::uint64_t FaultInjector::NextRandom() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(rng_state_);
+}
+
+std::optional<FaultKind> FaultInjector::Check(std::string_view site) {
+  if (!enabled()) return std::nullopt;
+  double latency_micros = 0.0;
+  std::optional<FaultKind> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return std::nullopt;
+    Site& s = it->second;
+    ++s.hits;
+    hits_total_->Increment();
+    if (s.disarmed || s.hits <= s.schedule.skip_first) return std::nullopt;
+    const std::uint64_t armed_hit = s.hits - s.schedule.skip_first;
+    bool fire = s.schedule.every_nth > 0 &&
+                armed_hit % s.schedule.every_nth == 0;
+    if (!fire && s.schedule.probability > 0.0) {
+      rng_state_ += 0x9e3779b97f4a7c15ULL;
+      const double draw =
+          static_cast<double>(SplitMix64(rng_state_) >> 11) * 0x1.0p-53;
+      fire = draw < s.schedule.probability;
+    }
+    if (!fire) return std::nullopt;
+    ++s.fires;
+    ++total_fires_;
+    injected_total_->Increment();
+    if (s.schedule.one_shot) s.disarmed = true;
+    if (s.kind == FaultKind::kLatency) {
+      latency_total_->Increment();
+      latency_micros = s.schedule.latency_micros;
+    } else {
+      fired = s.kind;
+    }
+  }
+  // Latency is applied outside the lock so concurrent sites aren't stalled.
+  if (latency_micros > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+        latency_micros));
+  }
+  return fired;
+}
+
+Status FaultInjector::CheckStatus(std::string_view site) {
+  const std::optional<FaultKind> kind = Check(site);
+  if (!kind.has_value()) return Status::OK();
+  switch (*kind) {
+    case FaultKind::kReadError:
+    case FaultKind::kWriteError:
+      return Status::Unavailable(std::string("injected I/O error at ") +
+                                 std::string(site));
+    default:
+      // Torn writes / bit flips are stream-level faults; a Status-only
+      // site cannot model them, so treat as a transient error too.
+      return Status::Unavailable(std::string("injected fault at ") +
+                                 std::string(site));
+  }
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fires(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_fires_;
+}
+
+}  // namespace fault
+}  // namespace ssr

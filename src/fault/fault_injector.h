@@ -1,0 +1,174 @@
+// Deterministic, seedable fault injection for robustness testing. Storage
+// and index hot paths declare named *fault sites* ("serialize/write",
+// "store/get", "index/probe", ...); tests and the fault-matrix CI job arm
+// those sites with schedules (fire with probability p, every Nth hit, or
+// once after a skip count) and fault kinds (I/O errors, torn writes, bit
+// flips, injected latency).
+//
+// Cost when disabled: every site check is a single relaxed atomic load
+// (`enabled()`), and with -DSSR_NO_FAULT_INJECTION the check constant-folds
+// to `false` and the whole site compiles out. The acceptance bar is that
+// fault hooks are free when off (<2% on the query and snapshot benches).
+//
+// Determinism: all randomized decisions (probability schedules, which bit a
+// kBitFlip corrupts) come from one SplitMix64 stream seeded by Enable(seed),
+// so a failing schedule replays exactly under the same seed. The CI matrix
+// sweeps SSR_FAULT_SEED to diversify schedules across runs while keeping
+// each run reproducible.
+
+#ifndef SSR_FAULT_FAULT_INJECTOR_H_
+#define SSR_FAULT_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ssr {
+namespace fault {
+
+/// What happens at a fault site when its schedule fires.
+enum class FaultKind : unsigned char {
+  kReadError,   // transient read failure (surfaces as Status::Unavailable)
+  kWriteError,  // write failure (stream failbit / Unavailable)
+  kTornWrite,   // a prefix of the bytes is written, then the stream fails
+  kBitFlip,     // one bit of the payload is corrupted in flight
+  kLatency,     // the operation is delayed; it still succeeds
+};
+
+/// Stable lowercase name ("read_error", "torn_write", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// Seed for fault-injection tests: the SSR_FAULT_SEED environment variable
+/// when set (the CI fault matrix sweeps it to diversify schedules across
+/// runs), otherwise `fallback`. Tests whose assertions hold under any seed
+/// call this; tests pinning exact fire patterns keep a hard-coded seed.
+std::uint64_t SeedFromEnv(std::uint64_t fallback);
+
+/// When a fault site fires. Conditions combine as OR: a hit fires if the
+/// probability draw succeeds *or* the every-Nth counter matches. Hits
+/// before `skip_first` never fire; `one_shot` disarms the site after its
+/// first fire (the torn-final-write test pattern: skip all but the last
+/// write, fire once).
+struct FaultSchedule {
+  double probability = 0.0;      // per-hit fire probability (seeded RNG)
+  std::uint64_t every_nth = 0;   // fire when (armed hit count % n) == 0
+  std::uint64_t skip_first = 0;  // hits to let pass before arming
+  bool one_shot = false;         // disarm after the first fire
+  double latency_micros = 0.0;   // delay applied for kLatency fires
+
+  static FaultSchedule Always() {
+    FaultSchedule s;
+    s.every_nth = 1;
+    return s;
+  }
+  static FaultSchedule Once(std::uint64_t after_hits = 0) {
+    FaultSchedule s;
+    s.every_nth = 1;
+    s.skip_first = after_hits;
+    s.one_shot = true;
+    return s;
+  }
+  static FaultSchedule WithProbability(double p) {
+    FaultSchedule s;
+    s.probability = p;
+    return s;
+  }
+  static FaultSchedule EveryNth(std::uint64_t n) {
+    FaultSchedule s;
+    s.every_nth = n;
+    return s;
+  }
+};
+
+/// The registry of armed fault sites. Thread-safe; the disabled fast path
+/// is lock-free.
+class FaultInjector {
+ public:
+  FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Process-wide injector every built-in fault site consults. Never
+  /// destroyed (leaked like the metrics registry, so site checks in static
+  /// teardown stay safe).
+  static FaultInjector& Default();
+
+  /// True iff fault evaluation is on. The only cost a production code path
+  /// pays when faults are off.
+  bool enabled() const {
+#ifdef SSR_NO_FAULT_INJECTION
+    return false;
+#else
+    return enabled_.load(std::memory_order_relaxed);
+#endif
+  }
+
+  /// Turns fault evaluation on and (re)seeds the decision RNG.
+  void Enable(std::uint64_t seed);
+
+  /// Turns fault evaluation off. Armed sites and counters are kept (a test
+  /// can disable, inspect, re-enable).
+  void Disable();
+
+  /// Disable + DisarmAll + zero per-site counters: a clean slate between
+  /// tests.
+  void Reset();
+
+  /// Arms (or re-arms, replacing any previous fault) `site`.
+  void Arm(std::string_view site, FaultKind kind, FaultSchedule schedule);
+  void Disarm(std::string_view site);
+  void DisarmAll();
+
+  /// Counts a hit at `site` and returns the fault the caller must apply,
+  /// if any. kLatency is applied internally (this call sleeps) and is
+  /// never returned. Callers gate on enabled() first; Check on a disabled
+  /// injector returns nullopt without counting.
+  std::optional<FaultKind> Check(std::string_view site);
+
+  /// Convenience for Status-returning sites: translates a fired
+  /// kReadError/kWriteError into Status::Unavailable (a transient,
+  /// retriable failure) and anything else (or no fire) into OK. Sites
+  /// where torn writes / bit flips are meaningful use Check() directly.
+  Status CheckStatus(std::string_view site);
+
+  /// Next value of the deterministic decision stream (e.g. which bit a
+  /// flip corrupts). Advances the same RNG the schedules draw from.
+  std::uint64_t NextRandom();
+
+  /// Observed hits / fires at `site` (0 if never armed).
+  std::uint64_t hits(std::string_view site) const;
+  std::uint64_t fires(std::string_view site) const;
+
+  /// Total fires across all sites since construction/Reset.
+  std::uint64_t total_fires() const;
+
+ private:
+  struct Site {
+    FaultKind kind = FaultKind::kReadError;
+    FaultSchedule schedule;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    bool disarmed = false;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+  std::uint64_t rng_state_ = 0x5eedf417u;
+  std::uint64_t total_fires_ = 0;
+  obs::Counter* hits_total_;      // ssr_fault_hits_total
+  obs::Counter* injected_total_;  // ssr_fault_injected_total
+  obs::Counter* latency_total_;   // ssr_fault_latency_injected_total
+};
+
+}  // namespace fault
+}  // namespace ssr
+
+#endif  // SSR_FAULT_FAULT_INJECTOR_H_

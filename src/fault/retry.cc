@@ -1,0 +1,33 @@
+#include "fault/retry.h"
+
+#include "obs/metrics.h"
+
+namespace ssr {
+namespace fault {
+namespace internal {
+
+namespace {
+obs::Counter* AttemptsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("ssr_retry_attempts_total");
+  return c;
+}
+obs::Counter* RecoveriesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("ssr_retry_recoveries_total");
+  return c;
+}
+obs::Counter* ExhaustedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("ssr_retry_exhausted_total");
+  return c;
+}
+}  // namespace
+
+void CountAttempt() { AttemptsCounter()->Increment(); }
+void CountRecovery() { RecoveriesCounter()->Increment(); }
+void CountExhausted() { ExhaustedCounter()->Increment(); }
+
+}  // namespace internal
+}  // namespace fault
+}  // namespace ssr

@@ -1,0 +1,85 @@
+// Bounded retry with exponential backoff for transient failures. Storage
+// page fetches and filter-index probes wrap their fallible step in
+// RetryWithPolicy; only Status::Unavailable (the transient code the fault
+// injector and a real I/O layer emit) is retried — Corruption/DataLoss are
+// permanent and propagate immediately.
+//
+// Retries are observable: ssr_retry_attempts_total counts re-issued
+// operations, ssr_retry_recoveries_total counts operations that succeeded
+// after at least one retry, ssr_retry_exhausted_total counts operations
+// that failed even after max_attempts.
+
+#ifndef SSR_FAULT_RETRY_H_
+#define SSR_FAULT_RETRY_H_
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <utility>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ssr {
+namespace fault {
+
+/// Retry knobs. Defaults: 3 attempts total, no backoff sleep (tests and the
+/// simulated-I/O benches stay fast; a deployment would set a real backoff).
+struct RetryPolicy {
+  std::size_t max_attempts = 3;        // total attempts, including the first
+  double initial_backoff_micros = 0.0;  // sleep before the first retry
+  double backoff_multiplier = 2.0;      // growth per subsequent retry
+};
+
+/// True for failures worth retrying (transient unavailability).
+inline bool IsRetriable(const Status& status) {
+  return status.IsUnavailable();
+}
+
+namespace internal {
+// Counter bumps live in retry.cc so this header stays light.
+void CountAttempt();
+void CountRecovery();
+void CountExhausted();
+
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+/// Runs `fn` (returning Status or Result<T>) up to policy.max_attempts
+/// times, retrying retriable failures with exponential backoff. Returns the
+/// first success or the last failure.
+template <typename Fn>
+auto RetryWithPolicy(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
+  const std::size_t attempts = policy.max_attempts < 1 ? 1
+                                                       : policy.max_attempts;
+  double backoff = policy.initial_backoff_micros;
+  for (std::size_t attempt = 1;; ++attempt) {
+    auto outcome = fn();
+    const Status& status = internal::StatusOf(outcome);
+    if (status.ok()) {
+      if (attempt > 1) internal::CountRecovery();
+      return outcome;
+    }
+    if (attempt >= attempts || !IsRetriable(status)) {
+      if (attempt >= attempts && IsRetriable(status)) {
+        internal::CountExhausted();
+      }
+      return outcome;
+    }
+    internal::CountAttempt();
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(backoff));
+      backoff *= policy.backoff_multiplier;
+    }
+  }
+}
+
+}  // namespace fault
+}  // namespace ssr
+
+#endif  // SSR_FAULT_RETRY_H_

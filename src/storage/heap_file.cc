@@ -1,7 +1,9 @@
 #include "storage/heap_file.h"
 
 #include <cstring>
+#include <sstream>
 
+#include "util/crc32.h"
 #include "util/serialize.h"
 
 namespace ssr {
@@ -18,12 +20,16 @@ Page& HeapFile::NewPage() {
 }
 
 PageId HeapFile::CurrentSlottedPage(std::size_t need_bytes) {
-  if (open_slotted_page_ != kInvalidPageId) {
+  if (open_slotted_page_ != kInvalidPageId &&
+      !is_quarantined(open_slotted_page_)) {
     const Page& p = pages_[open_slotted_page_];
     const std::uint16_t slot_count = p.ReadU16(0);
     const std::uint16_t free_offset = p.ReadU16(2);
     const std::size_t dir_bytes = 2 * (static_cast<std::size_t>(slot_count) + 1);
-    if (free_offset + need_bytes + dir_bytes <= kPageSize) {
+    // free_offset < kHeaderBytes means the page header itself is damaged
+    // (e.g. a zeroed quarantined page): never append into it.
+    if (free_offset >= kHeaderBytes &&
+        free_offset + need_bytes + dir_bytes <= kPageSize) {
       return open_slotted_page_;
     }
   }
@@ -84,6 +90,9 @@ Result<ElementSet> HeapFile::Read(const RecordLocator& locator, SetId* sid_out,
     return Status::InvalidArgument("record locator out of range");
   }
   if (!locator.is_spanned()) {
+    if (is_quarantined(locator.page)) {
+      return Status::DataLoss("record page quarantined by recovery");
+    }
     const Page& p = pages_[locator.page];
     if (is_span_page_[locator.page]) {
       return Status::Corruption("slotted locator points to span page");
@@ -108,6 +117,9 @@ Result<ElementSet> HeapFile::Read(const RecordLocator& locator, SetId* sid_out,
     return set;
   }
   // Spanned record.
+  if (is_quarantined(locator.page)) {
+    return Status::DataLoss("record page quarantined by recovery");
+  }
   if (!is_span_page_[locator.page]) {
     return Status::Corruption("spanned locator points to slotted page");
   }
@@ -118,6 +130,11 @@ Result<ElementSet> HeapFile::Read(const RecordLocator& locator, SetId* sid_out,
   const std::size_t num_span_pages = (bytes + kPageSize - 1) / kPageSize;
   if (locator.page + num_span_pages > pages_.size()) {
     return Status::Corruption("spanned record overruns file");
+  }
+  for (std::size_t i = 0; i < num_span_pages; ++i) {
+    if (is_quarantined(locator.page + static_cast<PageId>(i))) {
+      return Status::DataLoss("spanned record crosses quarantined page");
+    }
   }
   std::vector<std::uint8_t> buf(bytes);
   std::size_t read = 0;
@@ -136,62 +153,161 @@ Result<ElementSet> HeapFile::Read(const RecordLocator& locator, SetId* sid_out,
 }
 
 namespace {
-constexpr std::uint32_t kHeapFileVersion = 1;
+
+constexpr std::string_view kHeapFileMagic = "SSRHEAP";
+constexpr std::uint32_t kHeapFileVersion = 2;
+// A "pages" section entry: u32 CRC32 of the image, then the 4 KiB image.
+constexpr std::size_t kPageEntryBytes = 4 + kPageSize;
+
+std::uint32_t ReadLeU32(const char* p) {
+  const auto* b = reinterpret_cast<const std::uint8_t*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
 }  // namespace
 
 Status HeapFile::SaveTo(std::ostream& out) const {
-  BinaryWriter writer(out);
-  writer.WriteString("SSRHEAP");
-  writer.WriteU32(kHeapFileVersion);
-  writer.WriteU64(pages_.size());
-  for (const Page& p : pages_) {
-    out.write(reinterpret_cast<const char*>(p.data()),
-              static_cast<std::streamsize>(kPageSize));
-  }
+  SnapshotWriter snapshot(out, kHeapFileMagic, kHeapFileVersion);
+
+  BinaryWriter& meta = snapshot.BeginSection("meta");
+  meta.WriteU64(pages_.size());
+  meta.WriteU32(open_slotted_page_);
+  meta.WriteU64(num_records_);
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  BinaryWriter& spanmap = snapshot.BeginSection("spanmap");
   std::vector<std::uint8_t> span_bytes(is_span_page_.size());
   for (std::size_t i = 0; i < is_span_page_.size(); ++i) {
     span_bytes[i] = is_span_page_[i] ? 1 : 0;
   }
-  writer.WriteVector(span_bytes);
-  writer.WriteVector(record_dir_);
-  writer.WriteU32(open_slotted_page_);
-  writer.WriteU64(num_records_);
-  if (!writer.ok()) return Status::Internal("heap file write failed");
-  return Status::OK();
+  spanmap.WriteVector(span_bytes);
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  BinaryWriter& recdir = snapshot.BeginSection("recdir");
+  recdir.WriteVector(record_dir_);
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  // Pages last, each prefixed by its own CRC32: damage here leaves the
+  // metadata sections intact and lets salvage keep every undamaged page.
+  BinaryWriter& pages = snapshot.BeginSection("pages");
+  for (const Page& p : pages_) {
+    pages.WriteU32(Crc32(p.data(), kPageSize));
+    pages.WriteBytes(p.data(), kPageSize);
+  }
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  return snapshot.Finish();
 }
 
-Result<HeapFile> HeapFile::LoadFrom(std::istream& in) {
-  BinaryReader reader(in);
-  std::string magic;
-  SSR_RETURN_IF_ERROR(reader.ReadString(&magic));
-  if (magic != "SSRHEAP") return Status::Corruption("bad heap file magic");
+Result<HeapFile> HeapFile::LoadFrom(std::istream& in,
+                                    const SnapshotLoadOptions& options) {
+  SnapshotReader snapshot(in);
   std::uint32_t version = 0;
-  SSR_RETURN_IF_ERROR(reader.ReadU32(&version));
+  SSR_RETURN_IF_ERROR(snapshot.ReadHeader(kHeapFileMagic, &version));
   if (version != kHeapFileVersion) {
     return Status::NotSupported("unknown heap file version");
   }
+
   HeapFile file;
+  std::string payload;
+
+  // Metadata sections are always strict: without them there is nothing to
+  // salvage against.
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("meta", &payload));
   std::uint64_t num_pages = 0;
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&num_pages));
-  file.pages_.resize(num_pages);
-  for (Page& p : file.pages_) {
-    in.read(reinterpret_cast<char*>(p.data()),
-            static_cast<std::streamsize>(kPageSize));
-    if (!in.good()) return Status::Corruption("truncated heap pages");
+  std::uint32_t open_page = kInvalidPageId;
+  std::uint64_t num_records = 0;
+  {
+    std::istringstream meta_in(payload);
+    BinaryReader meta(meta_in);
+    SSR_RETURN_IF_ERROR(meta.ReadU64(&num_pages));
+    SSR_RETURN_IF_ERROR(meta.ReadU32(&open_page));
+    SSR_RETURN_IF_ERROR(meta.ReadU64(&num_records));
   }
+
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("spanmap", &payload));
   std::vector<std::uint8_t> span_bytes;
-  SSR_RETURN_IF_ERROR(reader.ReadVector(&span_bytes));
-  if (span_bytes.size() != file.pages_.size()) {
+  {
+    std::istringstream span_in(payload);
+    BinaryReader span(span_in);
+    SSR_RETURN_IF_ERROR(span.ReadVector(&span_bytes));
+  }
+  if (span_bytes.size() != num_pages) {
     return Status::Corruption("span bitmap size mismatch");
   }
   file.is_span_page_.assign(span_bytes.begin(), span_bytes.end());
-  SSR_RETURN_IF_ERROR(reader.ReadVector(&file.record_dir_));
-  std::uint32_t open_page = 0;
-  SSR_RETURN_IF_ERROR(reader.ReadU32(&open_page));
+
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("recdir", &payload));
+  {
+    std::istringstream dir_in(payload);
+    BinaryReader dir(dir_in);
+    SSR_RETURN_IF_ERROR(dir.ReadVector(&file.record_dir_));
+  }
+  if (file.record_dir_.size() != num_records) {
+    return Status::Corruption("record directory size mismatch");
+  }
+
+  // Pages section: strict mode propagates the first integrity error;
+  // salvage walks whatever bytes arrived and quarantines per page.
+  const Status pages_status = snapshot.ReadSection("pages", &payload);
+  const bool pages_damaged = !pages_status.ok();
+  if (pages_damaged && !(options.salvage && (pages_status.IsDataLoss() ||
+                                             pages_status.IsCorruption()))) {
+    return pages_status;
+  }
+  if (!pages_damaged && payload.size() != num_pages * kPageEntryBytes) {
+    return Status::Corruption("pages section size mismatch");
+  }
+  file.pages_.resize(static_cast<std::size_t>(num_pages));
+  bool any_quarantined = false;
+  for (std::size_t i = 0; i < num_pages; ++i) {
+    const std::size_t off = i * kPageEntryBytes;
+    bool intact = off + kPageEntryBytes <= payload.size();
+    if (intact) {
+      const std::uint32_t want = ReadLeU32(payload.data() + off);
+      intact = Crc32(payload.data() + off + 4, kPageSize) == want;
+    }
+    if (intact) {
+      file.pages_[i].WriteBytes(0, payload.data() + off + 4, kPageSize);
+    } else {
+      // Salvage only (strict mode returned above): zero and quarantine.
+      if (file.quarantined_.empty()) file.quarantined_.resize(num_pages);
+      file.quarantined_[i] = true;
+      ++file.num_quarantined_;
+      any_quarantined = true;
+    }
+  }
+
+  const Status footer_status = snapshot.VerifyFooter();
+  if (!footer_status.ok() && !options.salvage) return footer_status;
+
   file.open_slotted_page_ = open_page;
-  std::uint64_t num_records = 0;
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&num_records));
   file.num_records_ = static_cast<std::size_t>(num_records);
+  // Never resume appends into a page whose contents were lost.
+  if (file.open_slotted_page_ != kInvalidPageId &&
+      (file.open_slotted_page_ >= file.pages_.size() ||
+       file.is_quarantined(file.open_slotted_page_))) {
+    file.open_slotted_page_ = kInvalidPageId;
+  }
+
+  if (options.report != nullptr) {
+    RecoveryReport r;
+    r.pages_total = file.pages_.size();
+    r.pages_quarantined = file.num_quarantined_;
+    r.records_total = file.record_dir_.size();
+    if (any_quarantined) {
+      for (const RecordLocator& loc : file.record_dir_) {
+        if (!loc.valid() || loc.page >= file.pages_.size()) continue;
+        if (file.Read(loc, nullptr, nullptr).ok()) continue;
+        ++r.records_quarantined;
+      }
+    }
+    r.salvaged = pages_damaged || !footer_status.ok();
+    options.report->MergeFrom(r);
+  }
   return file;
 }
 

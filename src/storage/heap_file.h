@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "storage/page.h"
+#include "storage/snapshot.h"
 #include "util/result.h"
 #include "util/types.h"
 
@@ -64,10 +65,27 @@ class HeapFile {
   /// Direct page access for the buffer pool. `id` must be < num_pages().
   const Page& page(PageId id) const { return pages_[id]; }
 
-  /// Writes the file (pages + record directory) to a binary stream and
-  /// reads it back. Round-trips exactly; see util/serialize.h.
+  /// True iff a salvage load quarantined this page (its CRC failed or its
+  /// bytes were truncated away). Reads touching a quarantined page return
+  /// DataLoss; Scan skips their records.
+  bool is_quarantined(PageId id) const {
+    return id < quarantined_.size() && quarantined_[id];
+  }
+  std::size_t num_quarantined_pages() const { return num_quarantined_; }
+
+  /// Writes the file as a checksummed v2 snapshot (storage/snapshot.h):
+  /// sections "meta", "spanmap", "recdir", then "pages" with a per-page
+  /// CRC32 ahead of each 4 KiB image, so a salvage load can keep intact
+  /// pages even when the section as a whole is damaged.
   Status SaveTo(std::ostream& out) const;
-  static Result<HeapFile> LoadFrom(std::istream& in);
+
+  /// Reads a v2 snapshot. Strict mode fails on the first integrity error
+  /// (DataLoss = truncation, Corruption = checksum mismatch, NotSupported =
+  /// format version skew). With `options.salvage`, damage confined to the
+  /// "pages" section or the footer is tolerated: pages failing their CRC
+  /// (or truncated away) are zeroed and quarantined, everything else loads.
+  static Result<HeapFile> LoadFrom(std::istream& in,
+                                   const SnapshotLoadOptions& options = {});
 
   /// Serialized size in bytes of a record for a set of `n` elements.
   static std::size_t RecordBytes(std::size_t n) { return 8 + 8 * n; }
@@ -87,10 +105,14 @@ class HeapFile {
   std::vector<Page> pages_;
   // Pages used as spanned-record storage (not slotted). Parallel to pages_.
   std::vector<bool> is_span_page_;
+  // Pages a salvage load gave up on. Parallel to pages_; empty when no
+  // salvage ever ran (the common case costs one size() check per read).
+  std::vector<bool> quarantined_;
   // Locator of every record in append order, driving Scan().
   std::vector<RecordLocator> record_dir_;
   PageId open_slotted_page_ = kInvalidPageId;
   std::size_t num_records_ = 0;
+  std::size_t num_quarantined_ = 0;
 };
 
 }  // namespace ssr

@@ -27,18 +27,22 @@ class Page {
   const std::uint8_t* data() const { return data_.data(); }
   std::uint8_t* data() { return data_.data(); }
 
-  /// Reads a little-endian scalar at byte `offset`. The caller is
-  /// responsible for staying within the page.
+  /// Reads a little-endian scalar at byte `offset`. Out-of-bounds offsets
+  /// are assert-checked in debug builds (an overrun here means a corrupt
+  /// slot directory or a logic bug, both worth dying loudly for in tests);
+  /// release builds trust the caller.
   std::uint16_t ReadU16(std::size_t offset) const;
   std::uint32_t ReadU32(std::size_t offset) const;
   std::uint64_t ReadU64(std::size_t offset) const;
 
-  /// Writes a little-endian scalar at byte `offset`.
+  /// Writes a little-endian scalar at byte `offset`. Bounds are
+  /// assert-checked in debug builds.
   void WriteU16(std::size_t offset, std::uint16_t v);
   void WriteU32(std::size_t offset, std::uint32_t v);
   void WriteU64(std::size_t offset, std::uint64_t v);
 
-  /// Copies `len` raw bytes in/out.
+  /// Copies `len` raw bytes in/out. Bounds are assert-checked in debug
+  /// builds.
   void ReadBytes(std::size_t offset, void* out, std::size_t len) const;
   void WriteBytes(std::size_t offset, const void* src, std::size_t len);
 

@@ -1,5 +1,8 @@
 #include "storage/set_store.h"
 
+#include <sstream>
+
+#include "fault/fault_injector.h"
 #include "util/serialize.h"
 #include "util/set_ops.h"
 
@@ -24,6 +27,8 @@ SetStore::SetStore(SetStoreOptions options)
   sets_added_ = registry.GetCounter("ssr_store_sets_added_total", scope);
   gets_ = registry.GetCounter("ssr_store_gets_total", scope);
   scans_ = registry.GetCounter("ssr_store_scans_total", scope);
+  fetch_failures_ =
+      registry.GetCounter("ssr_store_fetch_failures_total", scope);
   live_sets_ = registry.GetGauge("ssr_store_live_sets", scope);
   heap_pages_ = registry.GetGauge("ssr_store_heap_pages", scope);
 }
@@ -53,17 +58,26 @@ Result<ElementSet> SetStore::Get(SetId sid) {
   if (options_.charge_btree_io) {
     io_.ChargeRandomRead(nodes);
   }
-  std::vector<PageId> touched;
-  SetId stored_sid = kInvalidSetId;
-  auto set = file_.Read(loc.value(), &stored_sid, &touched);
-  if (!set.ok()) return set.status();
-  if (stored_sid != sid) {
-    return Status::Corruption("sid mismatch in heap record");
-  }
-  for (PageId pid : touched) {
-    pool_.Access(pid, /*sequential=*/false, io_);
-  }
-  return set;
+  // The page fetch is where transient device faults land ("store/get"
+  // site); retry those before letting the error escape to the query layer.
+  auto result = fault::RetryWithPolicy(
+      options_.get_retry, [&]() -> Result<ElementSet> {
+        SSR_RETURN_IF_ERROR(
+            fault::FaultInjector::Default().CheckStatus("store/get"));
+        std::vector<PageId> touched;
+        SetId stored_sid = kInvalidSetId;
+        auto set = file_.Read(loc.value(), &stored_sid, &touched);
+        if (!set.ok()) return set.status();
+        if (stored_sid != sid) {
+          return Status::Corruption("sid mismatch in heap record");
+        }
+        for (PageId pid : touched) {
+          pool_.Access(pid, /*sequential=*/false, io_);
+        }
+        return set;
+      });
+  if (!result.ok()) fetch_failures_->Increment();
+  return result;
 }
 
 Status SetStore::Delete(SetId sid) {
@@ -118,15 +132,21 @@ double SetStore::AvgSetPages() const {
 }
 
 namespace {
-constexpr std::uint32_t kSetStoreVersion = 1;
+constexpr std::string_view kSetStoreMagic = "SSRSTORE";
+constexpr std::uint32_t kSetStoreVersion = 2;
 }  // namespace
 
 Status SetStore::SaveTo(std::ostream& out) const {
-  BinaryWriter writer(out);
-  writer.WriteString("SSRSTORE");
-  writer.WriteU32(kSetStoreVersion);
-  writer.WriteU32(next_sid_);
-  writer.WriteU64(live_bytes_);
+  // Store-level snapshot (meta + live index), then the heap file's own
+  // snapshot. Two framed snapshots back to back: each is independently
+  // checksummed and footer-pinned, and both read back sequentially.
+  SnapshotWriter snapshot(out, kSetStoreMagic, kSetStoreVersion);
+
+  BinaryWriter& meta = snapshot.BeginSection("meta");
+  meta.WriteU32(next_sid_);
+  meta.WriteU64(live_bytes_);
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
   // Live sids (the B+-tree contents; locators are re-derivable from the
   // heap's record directory but are stored for integrity checking).
   std::vector<SetId> live;
@@ -137,41 +157,85 @@ Status SetStore::SaveTo(std::ostream& out) const {
                      locators.push_back(loc);
                      return true;
                    });
-  writer.WriteVector(live);
-  writer.WriteVector(locators);
-  if (!writer.ok()) return Status::Internal("store header write failed");
+  BinaryWriter& live_sec = snapshot.BeginSection("live");
+  live_sec.WriteVector(live);
+  live_sec.WriteVector(locators);
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  SSR_RETURN_IF_ERROR(snapshot.Finish());
   return file_.SaveTo(out);
 }
 
-Result<SetStore> SetStore::Load(std::istream& in, SetStoreOptions options) {
-  BinaryReader reader(in);
-  std::string magic;
-  SSR_RETURN_IF_ERROR(reader.ReadString(&magic));
-  if (magic != "SSRSTORE") return Status::Corruption("bad store magic");
+Result<SetStore> SetStore::Load(std::istream& in, SetStoreOptions options,
+                                const SnapshotLoadOptions& load_options) {
+  SnapshotReader snapshot(in);
   std::uint32_t version = 0;
-  SSR_RETURN_IF_ERROR(reader.ReadU32(&version));
+  SSR_RETURN_IF_ERROR(snapshot.ReadHeader(kSetStoreMagic, &version));
   if (version != kSetStoreVersion) {
     return Status::NotSupported("unknown store version");
   }
+
+  // The store-level sections are small and irreplaceable: strict always.
   SetStore store(options);
-  SSR_RETURN_IF_ERROR(reader.ReadU32(&store.next_sid_));
-  SSR_RETURN_IF_ERROR(reader.ReadU64(&store.live_bytes_));
+  std::string payload;
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("meta", &payload));
+  {
+    std::istringstream meta_in(payload);
+    BinaryReader meta(meta_in);
+    SSR_RETURN_IF_ERROR(meta.ReadU32(&store.next_sid_));
+    SSR_RETURN_IF_ERROR(meta.ReadU64(&store.live_bytes_));
+  }
   std::vector<SetId> live;
   std::vector<RecordLocator> locators;
-  SSR_RETURN_IF_ERROR(reader.ReadVector(&live));
-  SSR_RETURN_IF_ERROR(reader.ReadVector(&locators));
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("live", &payload));
+  {
+    std::istringstream live_in(payload);
+    BinaryReader live_reader(live_in);
+    SSR_RETURN_IF_ERROR(live_reader.ReadVector(&live));
+    SSR_RETURN_IF_ERROR(live_reader.ReadVector(&locators));
+  }
   if (live.size() != locators.size()) {
     return Status::Corruption("live/locator size mismatch");
   }
-  auto file = HeapFile::LoadFrom(in);
+  SSR_RETURN_IF_ERROR(snapshot.VerifyFooter());
+
+  RecoveryReport heap_report;
+  SnapshotLoadOptions heap_options = load_options;
+  heap_options.report = &heap_report;
+  auto file = HeapFile::LoadFrom(in, heap_options);
   if (!file.ok()) return file.status();
   store.file_ = std::move(file).value();
+
+  std::size_t live_dropped = 0;
   for (std::size_t i = 0; i < live.size(); ++i) {
     if (live[i] >= store.next_sid_) {
       return Status::Corruption("live sid beyond next_sid");
     }
+    if (heap_report.salvaged &&
+        !store.file_.Read(locators[i], nullptr, nullptr).ok()) {
+      // The record's page(s) were quarantined: drop it from the live index
+      // so the store never serves a silently wrong answer for this sid.
+      ++live_dropped;
+      continue;
+    }
     SSR_RETURN_IF_ERROR(store.btree_.Insert(live[i], locators[i]));
   }
+
+  if (heap_report.salvaged) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    const std::string& scope = store.options_.metrics_scope;
+    registry.GetCounter("ssr_recovery_salvage_loads_total", scope)
+        ->Increment();
+    registry.GetCounter("ssr_recovery_pages_quarantined_total", scope)
+        ->Add(heap_report.pages_quarantined);
+    registry.GetCounter("ssr_recovery_records_quarantined_total", scope)
+        ->Add(live_dropped);
+  }
+  if (load_options.report != nullptr) {
+    heap_report.records_quarantined = live_dropped;
+    load_options.report->MergeFrom(heap_report);
+  }
+
   store.live_sets_->Set(static_cast<double>(store.btree_.size()));
   store.heap_pages_->Set(static_cast<double>(store.file_.num_pages()));
   return store;

@@ -13,11 +13,13 @@
 #include <ostream>
 #include <string>
 
+#include "fault/retry.h"
 #include "obs/metrics.h"
 #include "storage/bplus_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
 #include "storage/io_cost_model.h"
+#include "storage/snapshot.h"
 #include "util/result.h"
 #include "util/types.h"
 
@@ -44,6 +46,10 @@ struct SetStoreOptions {
   /// counters) in obs::MetricsRegistry::Default(). Empty allocates a
   /// unique "store/N" scope so independent stores never share counters.
   std::string metrics_scope;
+
+  /// Retry policy for transient (Unavailable) failures on record fetches —
+  /// the "store/get" fault site. Defaults to 3 attempts, no backoff delay.
+  fault::RetryPolicy get_retry;
 };
 
 /// Mutable collection of sets with paged storage and I/O accounting.
@@ -57,7 +63,9 @@ class SetStore {
   Result<SetId> Add(const ElementSet& set);
 
   /// Fetches a set by sid through the buffer pool, charging random reads
-  /// on misses. NotFound for deleted/unknown sids.
+  /// on misses. NotFound for deleted/unknown sids. Transient page-fetch
+  /// faults (the "store/get" site, surfaced as Unavailable) are retried
+  /// under options.get_retry before the error escapes.
   Result<ElementSet> Get(SetId sid);
 
   /// Removes a set from the collection (unlinks it from the sid index; heap
@@ -97,12 +105,22 @@ class SetStore {
   /// experiment phases).
   void ResetIoAccounting();
 
-  /// Persists the collection (heap file + live-set index) to a binary
-  /// stream; Load reconstructs it under fresh `options` (buffer pool and
-  /// I/O accounting start empty). Round-trips all live and deleted state.
+  /// Persists the collection (heap file + live-set index) as checksummed v2
+  /// snapshots (storage/snapshot.h); Load reconstructs it under fresh
+  /// `options` (buffer pool and I/O accounting start empty). Round-trips
+  /// all live and deleted state.
+  ///
+  /// Strict loads (default) fail with a typed status on the first integrity
+  /// error: DataLoss for truncation, Corruption for checksum mismatches,
+  /// NotSupported for version skew. With `load_options.salvage`, damage in
+  /// the heap's pages section is tolerated — corrupt pages are quarantined,
+  /// records living on them are dropped from the live index (counted in
+  /// ssr_recovery_* metrics and `load_options.report`), and the store comes
+  /// up serving the surviving records.
   Status SaveTo(std::ostream& out) const;
   static Result<SetStore> Load(std::istream& in,
-                               SetStoreOptions options = SetStoreOptions());
+                               SetStoreOptions options = SetStoreOptions(),
+                               const SnapshotLoadOptions& load_options = {});
 
  private:
   SetStoreOptions options_;
@@ -110,11 +128,12 @@ class SetStore {
   BPlusTree btree_;
   BufferPool pool_;
   IoCostModel io_;
-  obs::Counter* sets_added_;   // ssr_store_sets_added_total
-  obs::Counter* gets_;         // ssr_store_gets_total
-  obs::Counter* scans_;        // ssr_store_scans_total
-  obs::Gauge* live_sets_;      // ssr_store_live_sets
-  obs::Gauge* heap_pages_;     // ssr_store_heap_pages
+  obs::Counter* sets_added_;      // ssr_store_sets_added_total
+  obs::Counter* gets_;            // ssr_store_gets_total
+  obs::Counter* scans_;           // ssr_store_scans_total
+  obs::Counter* fetch_failures_;  // ssr_store_fetch_failures_total
+  obs::Gauge* live_sets_;         // ssr_store_live_sets
+  obs::Gauge* heap_pages_;        // ssr_store_heap_pages
   SetId next_sid_ = 0;
   std::uint64_t live_bytes_ = 0;
 };

@@ -1,0 +1,155 @@
+#include "storage/snapshot.h"
+
+#include <cassert>
+
+#include "util/crc32.h"
+
+namespace ssr {
+
+namespace {
+
+constexpr std::string_view kFooterMagic = "SSRFOOT";
+
+// The footer checksum covers the section CRCs as explicit little-endian
+// bytes, so it is independent of host byte order.
+std::uint32_t CrcOfCrcs(const std::vector<std::uint32_t>& crcs) {
+  std::uint32_t crc = 0;
+  for (std::uint32_t c : crcs) {
+    std::uint8_t bytes[4] = {
+        static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(c >> 8),
+        static_cast<std::uint8_t>(c >> 16), static_cast<std::uint8_t>(c >> 24)};
+    crc = Crc32Update(crc, bytes, 4);
+  }
+  return crc;
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(std::ostream& out, std::string_view magic,
+                               std::uint32_t version)
+    : out_(&out), file_writer_(out, kSnapshotWriteFaultSite) {
+  file_writer_.WriteString(std::string(magic));
+  file_writer_.WriteU32(version);
+}
+
+BinaryWriter& SnapshotWriter::BeginSection(std::string_view name) {
+  assert(!section_writer_.has_value() && "sections cannot nest");
+  assert(!finished_ && "snapshot already finished");
+  section_name_ = std::string(name);
+  section_buf_.str(std::string());
+  section_buf_.clear();
+  // The payload buffer is in-memory: faults apply at the stream boundary
+  // (EndSection), after the CRC is computed — modeling on-disk corruption,
+  // not in-memory corruption the checksum could never catch.
+  section_writer_.emplace(section_buf_);
+  return *section_writer_;
+}
+
+Status SnapshotWriter::EndSection() {
+  assert(section_writer_.has_value() && "no open section");
+  if (!section_writer_->ok()) {
+    section_writer_.reset();
+    return Status::Internal("section payload buffering failed");
+  }
+  section_writer_.reset();
+  const std::string payload = section_buf_.str();
+  const std::uint32_t crc = Crc32(payload);
+  section_crcs_.push_back(crc);
+  file_writer_.WriteString(section_name_);
+  file_writer_.WriteU64(payload.size());
+  file_writer_.WriteU32(crc);
+  file_writer_.WriteBytes(payload.data(), payload.size());
+  if (!file_writer_.ok()) {
+    return Status::Unavailable("snapshot section write failed");
+  }
+  return Status::OK();
+}
+
+Status SnapshotWriter::Finish() {
+  assert(!section_writer_.has_value() && "finish with an open section");
+  assert(!finished_ && "snapshot already finished");
+  finished_ = true;
+  file_writer_.WriteString(std::string(kFooterMagic));
+  file_writer_.WriteU32(static_cast<std::uint32_t>(section_crcs_.size()));
+  file_writer_.WriteU32(CrcOfCrcs(section_crcs_));
+  out_->flush();
+  if (!file_writer_.ok()) {
+    return Status::Unavailable("snapshot footer write failed");
+  }
+  return Status::OK();
+}
+
+SnapshotReader::SnapshotReader(std::istream& in)
+    : in_(&in), reader_(in, kSnapshotReadFaultSite) {}
+
+Status SnapshotReader::ReadHeader(std::string_view expected_magic,
+                                  std::uint32_t* version) {
+  std::string magic;
+  SSR_RETURN_IF_ERROR(reader_.ReadString(&magic));
+  if (magic != expected_magic) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  return reader_.ReadU32(version);
+}
+
+Status SnapshotReader::ReadSection(std::string_view expected_name,
+                                   std::string* payload) {
+  payload->clear();
+  std::string name;
+  SSR_RETURN_IF_ERROR(reader_.ReadString(&name));
+  if (name != expected_name) {
+    return Status::Corruption("unexpected snapshot section '" + name +
+                              "', wanted '" + std::string(expected_name) +
+                              "'");
+  }
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  SSR_RETURN_IF_ERROR(reader_.ReadU64(&size));
+  SSR_RETURN_IF_ERROR(reader_.ReadU32(&crc));
+  if (size > BinaryReader::kDefaultSanityLimit) {
+    return Status::Corruption("section length implausible");
+  }
+  const std::uint64_t remaining = reader_.RemainingBytes();
+  if (remaining != BinaryReader::kUnknownSize && size > remaining) {
+    // The length prefix survived but the payload was cut short: typed as
+    // truncation, with the surviving prefix kept for salvage paths.
+    section_crcs_.push_back(crc);
+    payload->resize(static_cast<std::size_t>(remaining));
+    (void)reader_.ReadBytes(payload->data(), payload->size());
+    return Status::DataLoss("section '" + std::string(expected_name) +
+                            "' payload truncated");
+  }
+  section_crcs_.push_back(crc);
+  payload->resize(static_cast<std::size_t>(size));
+  const Status read = reader_.ReadBytes(payload->data(), payload->size());
+  if (!read.ok()) {
+    // Keep whatever bytes made it for salvage paths.
+    payload->resize(static_cast<std::size_t>(in_->gcount()));
+    return read;
+  }
+  if (Crc32(*payload) != crc) {
+    return Status::Corruption("section '" + std::string(expected_name) +
+                              "' checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status SnapshotReader::VerifyFooter() {
+  std::string magic;
+  SSR_RETURN_IF_ERROR(reader_.ReadString(&magic));
+  if (magic != kFooterMagic) {
+    return Status::Corruption("bad snapshot footer magic");
+  }
+  std::uint32_t count = 0, crc = 0;
+  SSR_RETURN_IF_ERROR(reader_.ReadU32(&count));
+  SSR_RETURN_IF_ERROR(reader_.ReadU32(&crc));
+  if (count != section_crcs_.size()) {
+    return Status::Corruption("footer section count mismatch");
+  }
+  if (crc != CrcOfCrcs(section_crcs_)) {
+    return Status::Corruption("footer checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ssr

@@ -1,0 +1,133 @@
+// Checksummed, versioned snapshot framing (format v2) shared by the
+// storage and index persistence layers. A snapshot file is:
+//
+//   header:   magic string, u32 format version
+//   sections: [name string, u64 payload_size, u32 crc32(payload), payload]*
+//   footer:   "SSRFOOT", u32 section_count, u32 crc32(section crcs)
+//
+// Each section's payload is buffered in memory while written, so its CRC32
+// (util/crc32.h) lands *before* the payload bytes and readers can verify
+// integrity without a second pass. The footer pins the section count and a
+// checksum-of-checksums, so truncation after a section boundary — which
+// leaves every individual section intact — is still detected.
+//
+// Error taxonomy on load (the typed codes the recovery paths dispatch on):
+//   - truncation (EOF mid-header/-section/-footer)  -> Status::DataLoss
+//   - checksum mismatch / implausible length        -> Status::Corruption
+//   - unknown format version                        -> Status::NotSupported
+//
+// All bytes cross the stream boundary through BinaryWriter/BinaryReader
+// with the "snapshot/write" / "snapshot/read" fault sites, so the fault
+// injector can tear, flip, or fail any individual write deterministically.
+
+#ifndef SSR_STORAGE_SNAPSHOT_H_
+#define SSR_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace ssr {
+
+/// Fault-site names for snapshot byte traffic (armed by tests/CI).
+inline constexpr std::string_view kSnapshotWriteFaultSite = "snapshot/write";
+inline constexpr std::string_view kSnapshotReadFaultSite = "snapshot/read";
+
+/// What a salvage load recovered and what it had to give up. Mirrored into
+/// the obs registry (ssr_recovery_*) by the loading component.
+struct RecoveryReport {
+  std::size_t pages_total = 0;
+  std::size_t pages_quarantined = 0;    // failed their CRC or were truncated
+  std::size_t records_total = 0;
+  std::size_t records_quarantined = 0;  // lived on a quarantined page
+  std::size_t signatures_rebuilt = 0;   // index signatures re-embedded
+  bool salvaged = false;                // a degraded load path was taken
+
+  void MergeFrom(const RecoveryReport& other) {
+    pages_total += other.pages_total;
+    pages_quarantined += other.pages_quarantined;
+    records_total += other.records_total;
+    records_quarantined += other.records_quarantined;
+    signatures_rebuilt += other.signatures_rebuilt;
+    salvaged = salvaged || other.salvaged;
+  }
+};
+
+/// Load-time behavior under damage. Strict (default): the first integrity
+/// failure aborts the load with a typed status. Salvage: intact sections
+/// and heap pages are kept, damaged ones are quarantined and counted, and
+/// derived structures are rebuilt from the survivors.
+struct SnapshotLoadOptions {
+  bool salvage = false;
+  RecoveryReport* report = nullptr;  // filled when non-null
+};
+
+/// Writes a v2 snapshot: header, buffered checksummed sections, footer.
+class SnapshotWriter {
+ public:
+  /// Writes the file header immediately.
+  SnapshotWriter(std::ostream& out, std::string_view magic,
+                 std::uint32_t version);
+
+  /// Opens a section; returns the writer for its payload. Sections cannot
+  /// nest — EndSection must be called before the next BeginSection.
+  BinaryWriter& BeginSection(std::string_view name);
+
+  /// Seals the open section: computes the payload CRC32 and flushes
+  /// [name, size, crc, payload] to the underlying stream.
+  Status EndSection();
+
+  /// Writes the footer. No sections may be open.
+  Status Finish();
+
+  /// True iff every write so far reached the stream.
+  bool ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+  BinaryWriter file_writer_;          // fault site: snapshot/write
+  std::ostringstream section_buf_;
+  std::optional<BinaryWriter> section_writer_;  // set while a section is open
+  std::string section_name_;
+  std::vector<std::uint32_t> section_crcs_;
+  bool finished_ = false;
+};
+
+/// Reads and verifies what SnapshotWriter wrote.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::istream& in);
+
+  /// Verifies the magic and returns the format version (version policy —
+  /// e.g. rejecting skew with NotSupported — belongs to the caller, which
+  /// knows its own compatibility rules).
+  Status ReadHeader(std::string_view expected_magic, std::uint32_t* version);
+
+  /// Reads the next section, which must be named `expected_name`. On
+  /// DataLoss (truncated payload) `*payload` holds the bytes that were
+  /// present; on Corruption (CRC mismatch) it holds the corrupt bytes —
+  /// salvage paths (heap-page recovery) inspect them, strict paths just
+  /// propagate the status.
+  Status ReadSection(std::string_view expected_name, std::string* payload);
+
+  /// Reads the footer and verifies the section count and the
+  /// checksum-of-checksums against the sections read so far.
+  Status VerifyFooter();
+
+ private:
+  std::istream* in_;
+  BinaryReader reader_;  // fault site: snapshot/read
+  std::vector<std::uint32_t> section_crcs_;
+};
+
+}  // namespace ssr
+
+#endif  // SSR_STORAGE_SNAPSHOT_H_

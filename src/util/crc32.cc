@@ -1,0 +1,37 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace ssr {
+
+namespace {
+
+// Table-driven CRC32 with the reflected IEEE polynomial 0xEDB88320,
+// generated at static-init time (256 entries, byte-at-a-time update).
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace ssr

@@ -1,0 +1,32 @@
+// CRC32 (IEEE 802.3 polynomial, the zlib/gzip/PNG checksum) for snapshot
+// integrity. Every section of the v2 snapshot formats (storage/snapshot.h)
+// carries a CRC32 of its payload so torn writes and bit flips are detected
+// at load time instead of silently deserialized into garbage.
+
+#ifndef SSR_UTIL_CRC32_H_
+#define SSR_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ssr {
+
+/// Extends a running CRC32 with `len` bytes. Start (and finish) with
+/// `crc = 0`; the pre/post-conditioning (~) is handled internally, so
+/// Crc32Update(Crc32Update(0, a), b) == Crc32(concat(a, b)).
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t len);
+
+/// One-shot CRC32 of a byte buffer.
+inline std::uint32_t Crc32(const void* data, std::size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+inline std::uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace ssr
+
+#endif  // SSR_UTIL_CRC32_H_

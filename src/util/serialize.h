@@ -3,6 +3,14 @@
 // and index persistence layers (SetStore::SaveTo / SetSimilarityIndex::
 // SaveTo). Deliberately simple: fixed-width integers only, explicit
 // versioned headers at the call sites, no reflection.
+//
+// Robustness: every length prefix is validated against a sanity limit AND
+// the number of bytes actually remaining in the stream (when the stream is
+// seekable), so a corrupt u64 length surfaces as Corruption instead of a
+// multi-GiB resize/OOM. Truncation (EOF mid-field) is DataLoss; an
+// implausible length is Corruption. Both classes optionally host fault-
+// injection sites (fault/fault_injector.h) so tests can exercise torn
+// writes, bit flips, and transient I/O errors deterministically.
 
 #ifndef SSR_UTIL_SERIALIZE_H_
 #define SSR_UTIL_SERIALIZE_H_
@@ -12,16 +20,23 @@
 #include <type_traits>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "util/status.h"
 
 namespace ssr {
 
-/// Writes little-endian scalars and length-prefixed containers.
+/// Writes little-endian scalars and length-prefixed containers. When
+/// `fault_site` is non-empty and the default FaultInjector is enabled,
+/// every raw write consults that site: kWriteError fails the stream,
+/// kTornWrite writes a prefix then fails it, kBitFlip corrupts one bit of
+/// the outgoing bytes (caught later by snapshot CRCs).
 class BinaryWriter {
  public:
-  explicit BinaryWriter(std::ostream& out) : out_(&out) {}
+  explicit BinaryWriter(std::ostream& out, std::string_view fault_site = {})
+      : out_(&out), fault_site_(fault_site) {}
 
   void WriteU8(std::uint8_t v) { WriteRaw(&v, 1); }
   void WriteU16(std::uint16_t v) { WriteRaw(&v, 2); }
@@ -34,6 +49,9 @@ class BinaryWriter {
     WriteU64(s.size());
     WriteRaw(s.data(), s.size());
   }
+
+  /// Raw bytes without a length prefix (page images, section payloads).
+  void WriteBytes(const void* data, std::size_t len) { WriteRaw(data, len); }
 
   template <typename T>
   void WriteVector(const std::vector<T>& v) {
@@ -48,18 +66,60 @@ class BinaryWriter {
 
  private:
   void WriteRaw(const void* data, std::size_t len) {
+    if (!fault_site_.empty() && fault::FaultInjector::Default().enabled()) {
+      if (WriteRawWithFaults(data, len)) return;
+    }
     out_->write(static_cast<const char*>(data),
                 static_cast<std::streamsize>(len));
   }
+
+  /// Returns true when the fault fully handled the write.
+  bool WriteRawWithFaults(const void* data, std::size_t len) {
+    fault::FaultInjector& injector = fault::FaultInjector::Default();
+    const auto kind = injector.Check(fault_site_);
+    if (!kind.has_value()) return false;
+    switch (*kind) {
+      case fault::FaultKind::kWriteError:
+        out_->setstate(std::ios::failbit);
+        return true;
+      case fault::FaultKind::kTornWrite:
+        out_->write(static_cast<const char*>(data),
+                    static_cast<std::streamsize>(len / 2));
+        out_->setstate(std::ios::failbit);
+        return true;
+      case fault::FaultKind::kBitFlip: {
+        if (len == 0) return false;
+        std::vector<std::uint8_t> copy(
+            static_cast<const std::uint8_t*>(data),
+            static_cast<const std::uint8_t*>(data) + len);
+        const std::uint64_t bit = injector.NextRandom() % (len * 8);
+        copy[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        out_->write(reinterpret_cast<const char*>(copy.data()),
+                    static_cast<std::streamsize>(len));
+        return true;
+      }
+      default:
+        return false;  // read-side kinds are inert on a writer
+    }
+  }
+
   std::ostream* out_;
+  std::string fault_site_;
 };
 
 /// Reads what BinaryWriter wrote. Every accessor returns a Status-checked
 /// value via output parameter so truncated/corrupt streams surface as
-/// errors, not garbage.
+/// errors, not garbage: EOF mid-field is DataLoss, an implausible length
+/// prefix is Corruption.
 class BinaryReader {
  public:
-  explicit BinaryReader(std::istream& in) : in_(&in) {}
+  /// "Anything larger in a single field is corruption, not data."
+  static constexpr std::uint64_t kDefaultSanityLimit = 1ULL << 30;  // 1 GiB
+  static constexpr std::uint64_t kUnknownSize = ~0ULL;
+
+  explicit BinaryReader(std::istream& in, std::string_view fault_site = {},
+                        std::uint64_t sanity_limit = kDefaultSanityLimit)
+      : in_(&in), fault_site_(fault_site), sanity_limit_(sanity_limit) {}
 
   Status ReadU8(std::uint8_t* v) { return ReadRaw(v, 1); }
   Status ReadU16(std::uint16_t* v) { return ReadRaw(v, 2); }
@@ -76,9 +136,7 @@ class BinaryReader {
   Status ReadString(std::string* s) {
     std::uint64_t size = 0;
     SSR_RETURN_IF_ERROR(ReadU64(&size));
-    if (size > kSanityLimit) {
-      return Status::Corruption("string length exceeds sanity limit");
-    }
+    SSR_RETURN_IF_ERROR(CheckLength(size, "string"));
     s->resize(static_cast<std::size_t>(size));
     return ReadRaw(s->data(), s->size());
   }
@@ -89,25 +147,93 @@ class BinaryReader {
                   "ReadVector needs a trivially copyable element type");
     std::uint64_t size = 0;
     SSR_RETURN_IF_ERROR(ReadU64(&size));
-    if (size * sizeof(T) > kSanityLimit) {
+    // Overflow-safe: bound the element count before multiplying.
+    if (size > sanity_limit_ / sizeof(T)) {
       return Status::Corruption("vector length exceeds sanity limit");
     }
+    SSR_RETURN_IF_ERROR(CheckLength(size * sizeof(T), "vector"));
     v->resize(static_cast<std::size_t>(size));
     return ReadRaw(v->data(), v->size() * sizeof(T));
   }
 
- private:
-  // 16 GiB: anything larger in a single field is corruption, not data.
-  static constexpr std::uint64_t kSanityLimit = 16ULL << 30;
+  /// Raw bytes without a length prefix (page images, section payloads).
+  Status ReadBytes(void* out, std::size_t len) { return ReadRaw(out, len); }
 
-  Status ReadRaw(void* data, std::size_t len) {
-    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(len));
-    if (!in_->good() && len > 0) {
-      return Status::Corruption("unexpected end of stream");
+  /// Bytes left before EOF, or kUnknownSize when the stream is not
+  /// seekable. Used to reject length prefixes that promise more data than
+  /// the stream can possibly hold.
+  std::uint64_t RemainingBytes() {
+    std::istream& in = *in_;
+    if (!in.good()) return kUnknownSize;
+    const std::istream::pos_type pos = in.tellg();
+    if (pos == std::istream::pos_type(-1)) return kUnknownSize;
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(pos);
+    if (end == std::istream::pos_type(-1) || end < pos) return kUnknownSize;
+    return static_cast<std::uint64_t>(end - pos);
+  }
+
+ private:
+  Status CheckLength(std::uint64_t bytes, std::string_view what) {
+    if (bytes > sanity_limit_) {
+      return Status::Corruption(std::string(what) +
+                                " length exceeds sanity limit");
+    }
+    const std::uint64_t remaining = RemainingBytes();
+    if (remaining != kUnknownSize && bytes > remaining) {
+      return Status::Corruption(std::string(what) +
+                                " length exceeds remaining stream bytes");
     }
     return Status::OK();
   }
+
+  Status ReadRaw(void* data, std::size_t len) {
+    if (!fault_site_.empty() && fault::FaultInjector::Default().enabled()) {
+      Status injected;
+      if (ReadRawWithFaults(data, len, &injected)) return injected;
+    }
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+    if (!in_->good() && len > 0) {
+      return Status::DataLoss("unexpected end of stream");
+    }
+    return Status::OK();
+  }
+
+  /// Returns true when the fault fully handled the read; `*out_status` then
+  /// carries the outcome (possibly OK for a bit flip, which corrupts but
+  /// does not fail).
+  bool ReadRawWithFaults(void* data, std::size_t len, Status* out_status) {
+    fault::FaultInjector& injector = fault::FaultInjector::Default();
+    const auto kind = injector.Check(fault_site_);
+    if (!kind.has_value()) return false;
+    switch (*kind) {
+      case fault::FaultKind::kReadError:
+        *out_status = Status::Unavailable("injected read error");
+        return true;
+      case fault::FaultKind::kBitFlip: {
+        in_->read(static_cast<char*>(data),
+                  static_cast<std::streamsize>(len));
+        if (!in_->good() && len > 0) {
+          *out_status = Status::DataLoss("unexpected end of stream");
+          return true;
+        }
+        if (len > 0) {
+          const std::uint64_t bit = injector.NextRandom() % (len * 8);
+          static_cast<std::uint8_t*>(data)[bit / 8] ^=
+              static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        *out_status = Status::OK();
+        return true;
+      }
+      default:
+        return false;  // write-side kinds are inert on a reader
+    }
+  }
+
   std::istream* in_;
+  std::string fault_site_;
+  std::uint64_t sanity_limit_;
 };
 
 }  // namespace ssr

@@ -24,6 +24,10 @@ std::string_view StatusCodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kCorruption:
       return "Corruption";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

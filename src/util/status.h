@@ -26,6 +26,8 @@ class Status {
     kInternal,
     kNotSupported,
     kCorruption,
+    kDataLoss,
+    kUnavailable,
   };
 
   /// Constructs an OK status.
@@ -64,6 +66,12 @@ class Status {
   static Status Corruption(std::string_view msg) {
     return Status(Code::kCorruption, msg);
   }
+  static Status DataLoss(std::string_view msg) {
+    return Status(Code::kDataLoss, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == Code::kOk; }
@@ -84,6 +92,8 @@ class Status {
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,204 @@
+#include "fault/fault_injector.h"
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/serialize.h"
+
+namespace ssr {
+namespace fault {
+namespace {
+
+// Every test runs against the process-wide Default() injector (that is what
+// the built-in sites consult), so each resets it on entry and exit. The
+// whole suite is about faults firing, so it skips when the hooks are
+// compiled out (-DSSR_FAULT_INJECTION=OFF).
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Default().Reset();
+#ifdef SSR_NO_FAULT_INJECTION
+    GTEST_SKIP() << "built with SSR_NO_FAULT_INJECTION";
+#endif
+  }
+  void TearDown() override { FaultInjector::Default().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledInjectorNeverFires) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Arm("t/site", FaultKind::kReadError, FaultSchedule::Always());
+  EXPECT_FALSE(fi.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fi.Check("t/site").has_value());
+  }
+  EXPECT_EQ(fi.hits("t/site"), 0u);
+  EXPECT_EQ(fi.total_fires(), 0u);
+}
+
+TEST_F(FaultInjectorTest, AlwaysScheduleFiresEveryHit) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(/*seed=*/1);
+  fi.Arm("t/site", FaultKind::kWriteError, FaultSchedule::Always());
+  for (int i = 0; i < 5; ++i) {
+    auto kind = fi.Check("t/site");
+    ASSERT_TRUE(kind.has_value());
+    EXPECT_EQ(*kind, FaultKind::kWriteError);
+  }
+  EXPECT_EQ(fi.hits("t/site"), 5u);
+  EXPECT_EQ(fi.fires("t/site"), 5u);
+}
+
+TEST_F(FaultInjectorTest, UnarmedSiteNeverFires) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(1);
+  EXPECT_FALSE(fi.Check("t/other").has_value());
+}
+
+TEST_F(FaultInjectorTest, EveryNthFiresOnSchedule) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(1);
+  fi.Arm("t/site", FaultKind::kReadError, FaultSchedule::EveryNth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(fi.Check("t/site").has_value());
+  // Hits 3, 6, 9 fire (1-based count, n % 3 == 0).
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FaultInjectorTest, OnceSkipsThenFiresExactlyOnce) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(1);
+  fi.Arm("t/site", FaultKind::kTornWrite, FaultSchedule::Once(/*after_hits=*/2));
+  EXPECT_FALSE(fi.Check("t/site").has_value());
+  EXPECT_FALSE(fi.Check("t/site").has_value());
+  EXPECT_TRUE(fi.Check("t/site").has_value());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(fi.Check("t/site").has_value());  // one-shot disarmed
+  }
+  EXPECT_EQ(fi.fires("t/site"), 1u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityScheduleIsDeterministicUnderSeed) {
+  FaultInjector& fi = FaultInjector::Default();
+  const auto run = [&fi]() {
+    fi.Reset();
+    fi.Enable(/*seed=*/0xfeedULL);
+    fi.Arm("t/site", FaultKind::kReadError,
+           FaultSchedule::WithProbability(0.5));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(fi.Check("t/site").has_value());
+    }
+    return fired;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  // Sanity: p=0.5 over 64 draws fires some but not all.
+  std::size_t count = 0;
+  for (bool b : first) count += b ? 1 : 0;
+  EXPECT_GT(count, 8u);
+  EXPECT_LT(count, 56u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityRoughlyMatchesRate) {
+  FaultInjector& fi = FaultInjector::Default();
+  // Rate bounds are loose enough to hold under any CI-matrix seed.
+  fi.Enable(SeedFromEnv(42));
+  fi.Arm("t/site", FaultKind::kReadError, FaultSchedule::WithProbability(0.1));
+  std::size_t fires = 0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (fi.Check("t/site").has_value()) ++fires;
+  }
+  const double rate = static_cast<double>(fires) / kTrials;
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.15);
+}
+
+TEST_F(FaultInjectorTest, CheckStatusTranslatesIoErrorsToUnavailable) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(1);
+  fi.Arm("t/site", FaultKind::kReadError, FaultSchedule::Always());
+  EXPECT_TRUE(fi.CheckStatus("t/site").IsUnavailable());
+  fi.Arm("t/site", FaultKind::kWriteError, FaultSchedule::Always());
+  EXPECT_TRUE(fi.CheckStatus("t/site").IsUnavailable());
+  EXPECT_TRUE(fi.CheckStatus("t/unarmed").ok());
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiring) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(1);
+  fi.Arm("t/site", FaultKind::kReadError, FaultSchedule::Always());
+  EXPECT_TRUE(fi.Check("t/site").has_value());
+  fi.Disarm("t/site");
+  EXPECT_FALSE(fi.Check("t/site").has_value());
+}
+
+TEST_F(FaultInjectorTest, WriterFaultSiteProducesFailedStream) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(7);
+  fi.Arm("t/wr", FaultKind::kWriteError, FaultSchedule::Always());
+  std::ostringstream out;
+  BinaryWriter writer(out, "t/wr");
+  writer.WriteU64(42);
+  EXPECT_FALSE(writer.ok());
+}
+
+TEST_F(FaultInjectorTest, TornWriteLeavesPrefix) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(7);
+  fi.Arm("t/wr", FaultKind::kTornWrite, FaultSchedule::Always());
+  std::ostringstream out;
+  BinaryWriter writer(out, "t/wr");
+  writer.WriteU64(0x1122334455667788ULL);
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(out.str().size(), 4u);  // half of the 8 bytes landed
+}
+
+TEST_F(FaultInjectorTest, BitFlipCorruptsExactlyOneBit) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(7);
+  fi.Arm("t/wr", FaultKind::kBitFlip, FaultSchedule::Once());
+  std::ostringstream out;
+  BinaryWriter writer(out, "t/wr");
+  const std::uint64_t value = 0xa5a5a5a5a5a5a5a5ULL;
+  writer.WriteU64(value);
+  ASSERT_TRUE(writer.ok());  // bit flips do not fail the stream
+  const std::string bytes = out.str();
+  ASSERT_EQ(bytes.size(), 8u);
+  std::uint64_t read = 0;
+  std::memcpy(&read, bytes.data(), 8);
+  const std::uint64_t diff = read ^ value;
+  EXPECT_NE(diff, 0u);
+  EXPECT_EQ(diff & (diff - 1), 0u);  // exactly one bit set
+}
+
+TEST_F(FaultInjectorTest, ReaderFaultSiteSurfacesUnavailable) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(7);
+  std::stringstream buf;
+  BinaryWriter writer(buf);
+  writer.WriteU64(99);
+  fi.Arm("t/rd", FaultKind::kReadError, FaultSchedule::Always());
+  BinaryReader reader(buf, "t/rd");
+  std::uint64_t v = 0;
+  EXPECT_TRUE(reader.ReadU64(&v).IsUnavailable());
+}
+
+TEST_F(FaultInjectorTest, LatencyFiresAreCountedAndNeverReturned) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Enable(7);
+  FaultSchedule schedule = FaultSchedule::Always();
+  schedule.latency_micros = 10.0;
+  fi.Arm("t/lat", FaultKind::kLatency, schedule);
+  EXPECT_FALSE(fi.Check("t/lat").has_value());
+  EXPECT_EQ(fi.fires("t/lat"), 1u);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace ssr

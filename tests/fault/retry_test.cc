@@ -1,0 +1,103 @@
+#include "fault/retry.h"
+
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ssr {
+namespace fault {
+namespace {
+
+TEST(RetryTest, SucceedsImmediatelyWithoutRetry) {
+  std::size_t calls = 0;
+  Status s = RetryWithPolicy(RetryPolicy{}, [&]() {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTest, RecoversAfterTransientFailures) {
+  std::size_t calls = 0;
+  Status s = RetryWithPolicy(RetryPolicy{}, [&]() {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("blip") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(RetryTest, ExhaustsAtMaxAttempts) {
+  std::size_t calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  Status s = RetryWithPolicy(policy, [&]() {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 4u);
+}
+
+TEST(RetryTest, NonRetriableFailurePropagatesImmediately) {
+  for (const Status& terminal :
+       {Status::Corruption("bad crc"), Status::DataLoss("truncated"),
+        Status::NotFound("gone")}) {
+    std::size_t calls = 0;
+    Status s = RetryWithPolicy(RetryPolicy{}, [&]() {
+      ++calls;
+      return terminal;
+    });
+    EXPECT_EQ(s.code(), terminal.code());
+    EXPECT_EQ(calls, 1u) << terminal.ToString();
+  }
+}
+
+TEST(RetryTest, WorksWithResultValues) {
+  std::size_t calls = 0;
+  Result<int> r = RetryWithPolicy(RetryPolicy{}, [&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::Unavailable("blip");
+    return 17;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 17);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(RetryTest, ResultFailureAfterExhaustionKeepsLastStatus) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  Result<int> r = RetryWithPolicy(policy, [&]() -> Result<int> {
+    return Status::Unavailable("flaky shard");
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable());
+}
+
+TEST(RetryTest, ZeroMaxAttemptsStillRunsOnce) {
+  std::size_t calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  Status s = RetryWithPolicy(policy, [&]() {
+    ++calls;
+    return Status::Unavailable("x");
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTest, IsRetriableOnlyForUnavailable) {
+  EXPECT_TRUE(IsRetriable(Status::Unavailable("x")));
+  EXPECT_FALSE(IsRetriable(Status::Corruption("x")));
+  EXPECT_FALSE(IsRetriable(Status::DataLoss("x")));
+  EXPECT_FALSE(IsRetriable(Status::OK()));
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace ssr

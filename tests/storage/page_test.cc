@@ -45,5 +45,32 @@ TEST(PageTest, EdgeOffsets) {
   EXPECT_EQ(p.ReadU64(kPageSize - 8), 42u);
 }
 
+#ifndef NDEBUG
+// Out-of-bounds accessors assert in debug builds (they compile to raw
+// array access in release, where the callers' invariants hold).
+using PageDeathTest = ::testing::Test;
+
+TEST(PageDeathTest, ReadPastEndAsserts) {
+  Page p;
+  EXPECT_DEATH(p.ReadU16(kPageSize - 1), "");
+  EXPECT_DEATH(p.ReadU32(kPageSize - 3), "");
+  EXPECT_DEATH(p.ReadU64(kPageSize - 7), "");
+}
+
+TEST(PageDeathTest, WritePastEndAsserts) {
+  Page p;
+  EXPECT_DEATH(p.WriteU16(kPageSize - 1, 1), "");
+  EXPECT_DEATH(p.WriteU32(kPageSize - 3, 1), "");
+  EXPECT_DEATH(p.WriteU64(kPageSize - 7, 1), "");
+}
+
+TEST(PageDeathTest, ByteSpanPastEndAsserts) {
+  Page p;
+  char buf[16] = {};
+  EXPECT_DEATH(p.WriteBytes(kPageSize - 8, buf, 16), "");
+  EXPECT_DEATH(p.ReadBytes(kPageSize - 8, buf, 16), "");
+}
+#endif  // NDEBUG
+
 }  // namespace
 }  // namespace ssr

@@ -1,0 +1,43 @@
+#include "util/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("a"), 0xe8b7be43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = 0;
+    crc = Crc32Update(crc, data.data(), split);
+    crc = Crc32Update(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, Crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  std::string data(512, '\0');
+  const std::uint32_t clean = Crc32(data);
+  for (std::size_t bit : {std::size_t{0}, std::size_t{7}, std::size_t{2048},
+                          data.size() * 8 - 1}) {
+    std::string flipped = data;
+    flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    EXPECT_NE(Crc32(flipped), clean) << "bit " << bit;
+  }
+}
+
+TEST(Crc32Test, DistinguishesPermutations) {
+  EXPECT_NE(Crc32("ab"), Crc32("ba"));
+}
+
+}  // namespace
+}  // namespace ssr

@@ -65,14 +65,14 @@ TEST(SerializeTest, StringsAndVectorsRoundTrip) {
   EXPECT_TRUE(v2.empty());
 }
 
-TEST(SerializeTest, TruncatedStreamFails) {
+TEST(SerializeTest, TruncatedStreamIsDataLoss) {
   std::stringstream buffer;
   BinaryWriter writer(buffer);
   writer.WriteU64(42);
   std::stringstream truncated(buffer.str().substr(0, 3));
   BinaryReader reader(truncated);
   std::uint64_t v;
-  EXPECT_TRUE(reader.ReadU64(&v).IsCorruption());
+  EXPECT_TRUE(reader.ReadU64(&v).IsDataLoss());
 }
 
 TEST(SerializeTest, AbsurdLengthRejected) {
@@ -80,6 +80,39 @@ TEST(SerializeTest, AbsurdLengthRejected) {
   BinaryWriter writer(buffer);
   writer.WriteU64(~0ULL);  // insane length prefix
   BinaryReader reader(buffer);
+  std::string s;
+  EXPECT_TRUE(reader.ReadString(&s).IsCorruption());
+}
+
+TEST(SerializeTest, LengthBeyondRemainingBytesIsCorruption) {
+  // A plausible-but-wrong length (well under the sanity limit) must still
+  // be rejected against the actual bytes left in a seekable stream,
+  // instead of allocating and then failing mid-read.
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.WriteU64(1 << 20);  // promises 1 MiB, delivers 4 bytes
+  writer.WriteU32(0);
+  BinaryReader reader(buffer);
+  std::string s;
+  EXPECT_TRUE(reader.ReadString(&s).IsCorruption());
+}
+
+TEST(SerializeTest, VectorLengthOverflowRejected) {
+  // size * sizeof(T) would overflow u64; the element-count bound must
+  // catch it before the multiply.
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.WriteU64(0x2000000000000001ULL);
+  BinaryReader reader(buffer);
+  std::vector<std::uint64_t> v;
+  EXPECT_TRUE(reader.ReadVector(&v).IsCorruption());
+}
+
+TEST(SerializeTest, CustomSanityLimitApplies) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.WriteString(std::string(64, 'x'));
+  BinaryReader reader(buffer, /*fault_site=*/{}, /*sanity_limit=*/16);
   std::string s;
   EXPECT_TRUE(reader.ReadString(&s).IsCorruption());
 }

@@ -27,6 +27,8 @@ TEST(StatusTest, NamedConstructorsSetCodeAndMessage) {
       {Status::Internal("g"), Status::Code::kInternal},
       {Status::NotSupported("h"), Status::Code::kNotSupported},
       {Status::Corruption("i"), Status::Code::kCorruption},
+      {Status::DataLoss("j"), Status::Code::kDataLoss},
+      {Status::Unavailable("k"), Status::Code::kUnavailable},
   };
   for (const auto& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -46,6 +48,16 @@ TEST(StatusTest, PredicatesMatchCode) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_FALSE(Status::DataLoss("x").IsCorruption());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_FALSE(Status::Unavailable("x").IsInternal());
+}
+
+TEST(StatusTest, RobustnessCodeNames) {
+  EXPECT_EQ(Status::DataLoss("truncated").ToString(), "DataLoss: truncated");
+  EXPECT_EQ(Status::Unavailable("retry me").ToString(),
+            "Unavailable: retry me");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
