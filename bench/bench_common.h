@@ -6,8 +6,13 @@
 //
 // Every binary also accepts --json=<path>: the run's parameters, tables,
 // and headline scalars are collected into an eval::RunReport and written as
-// a machine-readable artifact (embedding a metrics-registry dump and the
-// query-trace ring). Passing --json enables query tracing for the run.
+// a machine-readable artifact (embedding a metrics-registry dump, the
+// per-phase counter profile, and the query-trace ring). Passing --json
+// enables query tracing and counter profiling for the run.
+//
+// --trace=<path> additionally writes the trace ring as a Chrome-trace JSON
+// file loadable in chrome://tracing / ui.perfetto.dev (bare --trace just
+// enables tracing without the file, as before).
 
 #ifndef SSR_BENCH_BENCH_COMMON_H_
 #define SSR_BENCH_BENCH_COMMON_H_
@@ -18,6 +23,8 @@
 #include <string>
 
 #include "eval/run_report.h"
+#include "obs/chrome_trace.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace ssr {
@@ -32,7 +39,10 @@ class Flags {
       if (arg.rfind("--", 0) != 0) continue;
       const std::size_t eq = arg.find('=');
       if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "1";
+        // std::string("1") rather than = "1": the const char* assignment
+        // inlines into a memcpy that trips the GCC 12 -Wrestrict false
+        // positive (PR105329) at -O3, and CI builds with -Werror.
+        values_[arg.substr(2)] = std::string("1");
       } else {
         values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
       }
@@ -71,28 +81,58 @@ inline void PrintHeader(const std::string& title) {
   std::printf("==========================================================\n");
 }
 
-/// Turns on query tracing when a JSON artifact was requested (or --trace
-/// was passed explicitly). Call before running queries.
+/// The Chrome-trace output path: the value of --trace when it names a file
+/// (any value other than the bare/boolean forms "1"/"0"/"true"/"false").
+inline std::string ChromeTracePath(const Flags& flags) {
+  const std::string value = flags.GetString("trace", "");
+  if (value.empty() || value == "1" || value == "0" || value == "true" ||
+      value == "false") {
+    return "";
+  }
+  return value;
+}
+
+/// Turns on query tracing and counter profiling when a JSON artifact or a
+/// Chrome trace was requested (or --trace was passed explicitly). Call
+/// before running queries. Profiling walks the perf-counter availability
+/// ladder (hardware -> software -> rusage) and honors SSR_PERF_COUNTERS.
 inline void EnableObservability(const Flags& flags) {
   if (!flags.GetString("json", "").empty() || flags.GetBool("trace")) {
     obs::Tracer::Default().set_enabled(true);
+    obs::Profiler::Default().Enable();
   }
 }
 
-/// Writes `report` to the --json path, if one was given. Returns 0 on
-/// success (or when no path was requested), 1 on write failure.
+/// Writes the artifacts a run requested: the RunReport to --json and the
+/// Chrome trace to --trace=<path>. Returns 0 on success (or when nothing
+/// was requested), 1 on any write failure.
 inline int WriteReportIfRequested(const Flags& flags,
                                   const RunReport& report) {
+  int rc = 0;
   const std::string path = flags.GetString("json", "");
-  if (path.empty()) return 0;
-  const Status status = report.WriteTo(path);
-  if (!status.ok()) {
-    std::fprintf(stderr, "report write failed: %s\n",
-                 status.ToString().c_str());
-    return 1;
+  if (!path.empty()) {
+    const Status status = report.WriteTo(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "report write failed: %s\n",
+                   status.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("\nwrote JSON report to %s\n", path.c_str());
+    }
   }
-  std::printf("\nwrote JSON report to %s\n", path.c_str());
-  return 0;
+  const std::string trace_path = ChromeTracePath(flags);
+  if (!trace_path.empty()) {
+    std::string error;
+    if (!obs::WriteChromeTraceFile(trace_path, obs::Tracer::Default(),
+                                   &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      rc = 1;
+    } else {
+      std::printf("wrote Chrome trace to %s (open in chrome://tracing)\n",
+                  trace_path.c_str());
+    }
+  }
+  return rc;
 }
 
 }  // namespace bench

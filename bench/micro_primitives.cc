@@ -6,13 +6,20 @@
 //
 // Accepts --json=<path> like the other bench binaries; it is translated to
 // google-benchmark's --benchmark_out/--benchmark_out_format=json pair.
+// --trace=<path> writes a Chrome trace of the run (one span per benchmark
+// suite invocation plus any spans the primitives themselves open).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/chrome_trace.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 #include "core/index_layout.h"
 #include "core/set_similarity_index.h"
@@ -256,18 +263,26 @@ BENCHMARK(BM_BPlusTreeFind);
 }  // namespace ssr
 
 // Custom main: rewrite --json=<path> into google-benchmark's output flags
-// so every bench binary shares the same artifact interface, then defer to
-// the standard benchmark driver.
+// so every bench binary shares the same artifact interface, peel off
+// --trace=<path> (google-benchmark would reject it), then defer to the
+// standard benchmark driver.
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv, argv + argc);
   std::vector<std::string> rewritten;
+  std::string trace_path;
   for (const std::string& arg : args) {
     if (arg.rfind("--json=", 0) == 0) {
       rewritten.push_back("--benchmark_out=" + arg.substr(strlen("--json=")));
       rewritten.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(strlen("--trace="));
     } else {
       rewritten.push_back(arg);
     }
+  }
+  if (!trace_path.empty()) {
+    ssr::obs::Tracer::Default().set_enabled(true);
+    ssr::obs::Profiler::Default().Enable();
   }
   std::vector<char*> raw;
   raw.reserve(rewritten.size());
@@ -275,7 +290,21 @@ int main(int argc, char** argv) {
   int raw_argc = static_cast<int>(raw.size());
   benchmark::Initialize(&raw_argc, raw.data());
   if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  {
+    ssr::obs::TraceSpan run("micro_primitives");
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
+  if (!trace_path.empty()) {
+    std::string error;
+    if (!ssr::obs::WriteChromeTraceFile(trace_path,
+                                        ssr::obs::Tracer::Default(),
+                                        &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace to %s (open in chrome://tracing)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

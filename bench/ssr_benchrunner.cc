@@ -1,0 +1,336 @@
+// Benchmark-trajectory driver: runs a canonical, pinned-parameter bench
+// suite (micro primitives, candidate generation, the Figure 7 harness, and
+// the Equation 4 filter curve), profiles every phase with hardware-or-
+// fallback perf counters, and writes one numbered BENCH_<n>.json trajectory
+// point per invocation. Successive points (same machine, same governor —
+// compare "env" fingerprints) chart the repo's perf trajectory;
+// tools/bench_compare.py diffs two points and flags regressions.
+//
+// Flags:
+//   --quick           smaller workloads (CI smoke; noisier numbers)
+//   --out=<dir>       directory for BENCH_<n>.json (default ".", created)
+//   --json=<path>     exact artifact path (overrides --out numbering)
+//   --trace=<path>    also write a Chrome trace (chrome://tracing)
+//   --label=<text>    free-form tag stored in params
+//
+// Counter profiling degrades down the ladder in obs/perf_counters.h when
+// perf_event_open is denied; SSR_PERF_COUNTERS=off forces the run to
+// software-only wall/CPU measurements (the CI fallback check).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/index_layout.h"
+#include "core/set_similarity_index.h"
+#include "core/sfi.h"
+#include "eval/harness.h"
+#include "hamming/embedding.h"
+#include "obs/chrome_trace.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "storage/bplus_tree.h"
+#include "storage/set_store.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+#include "util/stopwatch.h"
+
+namespace ssr {
+namespace {
+
+ElementSet RandomSet(Rng& rng, std::size_t size, std::uint64_t universe) {
+  ElementSet s;
+  s.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) s.push_back(rng.Uniform(universe));
+  NormalizeSet(s);
+  return s;
+}
+
+/// Times `iters` calls of `fn` under a ProfileScope, returning ns/op.
+template <typename Fn>
+double MicroLoop(const std::string& name, std::size_t iters, Fn&& fn) {
+  obs::ProfileScope profile(name);
+  Stopwatch watch;
+  for (std::size_t i = 0; i < iters; ++i) fn(i);
+  const double ns =
+      watch.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
+  std::printf("  %-28s %12.1f ns/op  (%zu iters)\n", name.c_str(), ns,
+              iters);
+  return ns;
+}
+
+void RunMicroSuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: micro_primitives (pinned params)");
+  Rng rng(0x5eed01);
+
+  const ElementSet a = RandomSet(rng, 250, 1 << 20);
+  const ElementSet b = RandomSet(rng, 250, 1 << 20);
+  volatile double sink = 0.0;
+  report->AddScalar(
+      "micro_jaccard_ns",
+      MicroLoop("micro_jaccard", quick ? 20000 : 200000,
+                [&](std::size_t) { sink = sink + Jaccard(a, b); }));
+
+  EmbeddingParams params;
+  params.minhash.num_hashes = 100;
+  params.minhash.value_bits = 8;
+  auto embedding = Embedding::Create(params);
+  if (!embedding.ok()) return;
+  std::size_t sig_words = 0;
+  report->AddScalar(
+      "micro_minhash_sign_ns",
+      MicroLoop("micro_minhash_sign", quick ? 200 : 2000, [&](std::size_t) {
+        sig_words += embedding->Sign(a).values().size();
+      }));
+
+  BPlusTree tree(256);
+  for (SetId k = 0; k < 100000; ++k) tree.Upsert(k, RecordLocator{k, 0});
+  std::size_t found = 0;
+  report->AddScalar(
+      "micro_btree_find_ns",
+      MicroLoop("micro_btree_find", quick ? 50000 : 500000,
+                [&](std::size_t) {
+                  found +=
+                      tree.Find(static_cast<SetId>(rng.Uniform(100000))).ok()
+                          ? 1
+                          : 0;
+                }));
+  (void)sig_words;
+  (void)found;
+}
+
+/// Candidate generation through the composite index: the QueryCandidates
+/// phase profile (embed / plan / probe_fi) in the trajectory point comes
+/// from here.
+int RunQueryCandidatesSuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: query_candidates (pinned params)");
+  Rng rng(0x5eed02);
+  const std::size_t collection = quick ? 500 : 2000;
+  const std::size_t queries = quick ? 200 : 2000;
+
+  SetStoreOptions store_options;
+  store_options.buffer_pool_pages = 64;
+  SetStore store(store_options);
+  std::vector<ElementSet> sets;
+  sets.reserve(collection);
+  for (std::size_t i = 0; i < collection; ++i) {
+    sets.push_back(RandomSet(rng, 40, 1 << 16));
+    if (!store.Add(sets.back()).ok()) {
+      std::fprintf(stderr, "store add failed\n");
+      return 1;
+    }
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points.push_back({0.2, FilterKind::kDissimilarity, 8, 0});
+  layout.points.push_back({0.5, FilterKind::kSimilarity, 8, 0});
+  layout.points.push_back({0.8, FilterKind::kSimilarity, 8, 0});
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 100;
+  options.embedding.minhash.value_bits = 8;
+  auto index = SetSimilarityIndex::Build(store, layout, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  Stopwatch watch;
+  std::uint64_t total_candidates = 0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    auto result = index->QueryCandidates(sets[i % sets.size()], 0.55, 0.95);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    total_candidates += result->sids.size();
+  }
+  const double avg_micros =
+      watch.ElapsedSeconds() * 1e6 / static_cast<double>(queries);
+  std::printf("  %zu queries over %zu sets: %.1f us/query, avg %.1f "
+              "candidates\n",
+              queries, collection, avg_micros,
+              static_cast<double>(total_candidates) /
+                  static_cast<double>(queries));
+  report->AddScalar("qc_avg_query_micros", avg_micros);
+  report->AddScalar("qc_avg_candidates",
+                    static_cast<double>(total_candidates) /
+                        static_cast<double>(queries));
+  return 0;
+}
+
+int RunFig7Suite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: fig7_response_time (pinned params)");
+  ExperimentConfig config;
+  config.dataset = "set1";
+  config.scale = quick ? 0.004 : 0.02;
+  config.table_budget = 300;
+  config.recall_threshold = 0.7;
+  config.num_minhashes = 100;
+  config.queries_per_bucket = quick ? 2 : 10;
+  config.max_attempts_factor = 12;
+  config.run_scan = true;
+
+  Stopwatch build_watch;
+  auto harness = ExperimentHarness::Create(config);
+  if (!harness.ok()) {
+    std::fprintf(stderr, "harness failed: %s\n",
+                 harness.status().ToString().c_str());
+    return 1;
+  }
+  report->AddScalar("fig7_build_seconds", build_watch.ElapsedSeconds());
+
+  Stopwatch sweep_watch;
+  auto result = (*harness)->RunBucketedQueries();
+  if (!result.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  report->AddScalar("fig7_sweep_seconds", sweep_watch.ElapsedSeconds());
+
+  double index_io = 0.0, index_cpu = 0.0, scan_total = 0.0;
+  std::size_t weighted = 0;
+  for (const auto& bucket : result->buckets) {
+    index_io += bucket.avg_index_io_seconds * bucket.query_count;
+    index_cpu += bucket.avg_index_cpu_seconds * bucket.query_count;
+    scan_total += bucket.avg_scan_total_seconds() * bucket.query_count;
+    weighted += bucket.query_count;
+  }
+  const double denom = weighted > 0 ? static_cast<double>(weighted) : 1.0;
+  std::printf("  %zu bucketed queries: index %.4f s/query (io %.4f + cpu "
+              "%.4f), scan %.4f s/query\n",
+              weighted, (index_io + index_cpu) / denom, index_io / denom,
+              index_cpu / denom, scan_total / denom);
+  report->AddScalar("fig7_avg_index_io_seconds", index_io / denom);
+  report->AddScalar("fig7_avg_index_cpu_seconds", index_cpu / denom);
+  report->AddScalar("fig7_avg_index_total_seconds",
+                    (index_io + index_cpu) / denom);
+  report->AddScalar("fig7_avg_scan_total_seconds", scan_total / denom);
+  report->AddScalar("fig7_overall_recall", result->overall_weighted_recall);
+  report->AddScalar("fig7_overall_precision",
+                    result->overall_weighted_precision);
+  report->AddScalar("fig7_total_queries",
+                    static_cast<std::uint64_t>(result->total_queries_run));
+  return 0;
+}
+
+int RunFilterCurveSuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: filter_curve (pinned params)");
+  Rng rng(0x5eed03);
+  EmbeddingParams params;
+  params.minhash.num_hashes = 100;
+  params.minhash.value_bits = 8;
+  params.minhash.seed = 0xf117e8;
+  auto embedding = Embedding::Create(params);
+  if (!embedding.ok()) return 1;
+
+  SfiParams sfi_params;
+  sfi_params.s_star = 0.85;
+  sfi_params.l = 15;
+  Stopwatch build_watch;
+  auto sfi = SimilarityFilterIndex::Create(*embedding, sfi_params, 10000);
+  if (!sfi.ok()) return 1;
+  const std::size_t population = quick ? 1000 : 10000;
+  for (std::size_t i = 0; i < population; ++i) {
+    sfi->Insert(static_cast<SetId>(i),
+                embedding->Sign(RandomSet(rng, 30, 1 << 16)));
+  }
+  report->AddScalar("filter_curve_build_seconds",
+                    build_watch.ElapsedSeconds());
+  report->AddScalar("filter_curve_r",
+                    static_cast<std::uint64_t>(sfi->filter().r()));
+
+  const Signature query = embedding->Sign(RandomSet(rng, 30, 1 << 16));
+  const std::size_t probes = quick ? 200 : 2000;
+  volatile std::size_t sink = 0;
+  const double probe_ns =
+      MicroLoop("filter_curve_probe", probes,
+                [&](std::size_t) { sink = sink + sfi->SimVector(query).size(); });
+  report->AddScalar("filter_curve_probe_ns", probe_ns);
+  (void)sink;
+  return 0;
+}
+
+/// First free BENCH_<n>.json slot in `dir` (the trajectory is append-only).
+std::string NextTrajectoryPath(const std::string& dir) {
+  for (int n = 0;; ++n) {
+    // Built with append: `const char* + string&&` operator+ chains trip the
+    // GCC 12 -Wrestrict false positive (PR105329) under -O2 -Werror.
+    std::string name = "BENCH_";
+    name += std::to_string(n);
+    name += ".json";
+    const std::filesystem::path candidate = std::filesystem::path(dir) / name;
+    if (!std::filesystem::exists(candidate)) return candidate.string();
+  }
+}
+
+int Run(const bench::Flags& flags) {
+  const bool quick = flags.GetBool("quick");
+  RunReport report("ssr_benchrunner");
+  obs::Tracer::Default().set_enabled(true);
+  obs::Profiler::Default().Enable();
+
+  report.AddParam("quick", quick);
+  const std::string label = flags.GetString("label", "");
+  if (!label.empty()) report.AddParam("label", label);
+  report.AddParam("perf_source", std::string(obs::PerfSourceName(
+                                     obs::Profiler::Default().source())));
+
+  Stopwatch total;
+  RunMicroSuite(quick, &report);
+  if (RunQueryCandidatesSuite(quick, &report) != 0) return 1;
+  if (RunFig7Suite(quick, &report) != 0) return 1;
+  if (RunFilterCurveSuite(quick, &report) != 0) return 1;
+  report.AddScalar("total_wall_seconds", total.ElapsedSeconds());
+
+  std::string path = flags.GetString("json", "");
+  if (path.empty()) {
+    const std::string dir = flags.GetString("out", ".");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create out dir %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    path = NextTrajectoryPath(dir);
+  }
+  const Status status = report.WriteTo(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trajectory write failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote trajectory point %s (counter source: %s)\n",
+              path.c_str(),
+              std::string(obs::PerfSourceName(
+                              obs::Profiler::Default().source()))
+                  .c_str());
+
+  const std::string trace_path = bench::ChromeTracePath(flags);
+  if (!trace_path.empty()) {
+    std::string error;
+    if (!obs::WriteChromeTraceFile(trace_path, obs::Tracer::Default(),
+                                   &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace to %s (open in chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ssr
+
+int main(int argc, char** argv) {
+  ssr::SetLogLevel(ssr::LogLevel::kWarning);
+  ssr::bench::Flags flags(argc, argv);
+  return ssr::Run(flags);
+}

@@ -100,6 +100,8 @@ SetSimilarityIndex::SetSimilarityIndex(SetStore& store, IndexLayout layout,
   candidates_hist_ = registry.GetHistogram(
       "ssr_index_candidates_per_query", scope,
       obs::ExponentialBounds(1.0, 4.0, 10));
+  latency_hist_ = registry.GetHistogram("ssr_index_query_latency_micros",
+                                        scope, obs::LatencyBoundsMicros());
 }
 
 Status SetSimilarityIndex::BuildFilterIndices() {
@@ -752,6 +754,7 @@ void SetSimilarityIndex::FinishStats(const QueryStats& before,
   stats->io = after.io - before.io;
   stats->io_seconds = stats->io.SimulatedSeconds(store_->io().params());
   stats->cpu_seconds = watch.ElapsedSeconds();
+  latency_hist_->Observe(stats->cpu_seconds * 1e6);
 }
 
 }  // namespace ssr

@@ -251,6 +251,7 @@ class SetSimilarityIndex {
   obs::Counter* seqscan_fallbacks_;  // ssr_index_seqscan_fallbacks_total
   obs::Gauge* live_sets_;          // ssr_index_live_sets
   obs::Histogram* candidates_hist_;  // ssr_index_candidates_per_query
+  obs::Histogram* latency_hist_;  // ssr_index_query_latency_micros
 };
 
 }  // namespace ssr

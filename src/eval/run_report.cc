@@ -2,17 +2,27 @@
 
 #include <fstream>
 
+#include "eval/env_fingerprint.h"
 #include "obs/export.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace ssr {
 
 namespace {
 
+// Built with append rather than operator+ chains: the `const char* +
+// string&&` overload trips a GCC 12 -Wrestrict false positive (PR105329)
+// under -O2, and CI builds with -Werror.
 std::string JsonString(const std::string& value) {
-  return "\"" + obs::JsonWriter::Escape(value) + "\"";
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  out += obs::JsonWriter::Escape(value);
+  out += '"';
+  return out;
 }
 
 std::string JsonDouble(double value) {
@@ -72,7 +82,10 @@ void RunReport::AddTable(const std::string& label,
 std::string RunReport::ToJson() const {
   obs::JsonWriter writer;
   writer.BeginObject();
+  writer.Key("schema_version").UInt(kSchemaVersion);
   writer.Key("bench").String(bench_name_);
+  writer.Key("env");
+  WriteEnvJson(writer, CollectEnvFingerprint());
   writer.Key("params");
   WritePairs(writer, params_);
   writer.Key("scalars");
@@ -96,6 +109,8 @@ std::string RunReport::ToJson() const {
   writer.EndArray();
   writer.Key("metrics");
   obs::WriteMetricsJson(writer, obs::MetricsRegistry::Default());
+  writer.Key("profile");
+  obs::WriteProfileJson(writer, obs::Profiler::Default());
   writer.Key("trace");
   obs::WriteTraceJson(writer, obs::Tracer::Default());
   writer.EndObject();

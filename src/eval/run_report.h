@@ -18,14 +18,24 @@
 namespace ssr {
 
 /// Accumulates one bench run's output and renders it as a JSON document:
-///   {"bench": "...", "params": {...}, "scalars": {...},
+///   {"schema_version": 2, "bench": "...",
+///    "env": {git_sha, compiler, build_type, cpu_model, num_cores,
+///            governor, os},
+///    "params": {...}, "scalars": {...},
 ///    "tables": [{"label", "headers": [...], "rows": [[...], ...]}, ...],
 ///    "metrics": {counters/gauges/histograms dump},
+///    "profile": {source, per-phase counter aggregates},
 ///    "trace": [spans, oldest first]}
-/// The metrics and trace sections are rendered at ToJson() time from
-/// obs::MetricsRegistry::Default() and obs::Tracer::Default().
+/// The env, metrics, profile, and trace sections are rendered at ToJson()
+/// time from the process environment, obs::MetricsRegistry::Default(),
+/// obs::Profiler::Default(), and obs::Tracer::Default(). Consumers
+/// (tools/bench_compare.py) must tolerate absent fields: schema 1 reports
+/// predate env/profile.
 class RunReport {
  public:
+  /// Bumped when the document shape changes; see tools/bench_compare.py.
+  static constexpr std::uint64_t kSchemaVersion = 2;
+
   explicit RunReport(std::string bench_name);
 
   /// Run parameters (rendered under "params"). Insertion order preserved.

@@ -1,0 +1,113 @@
+#include "obs/chrome_trace.h"
+
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace ssr {
+namespace obs {
+
+namespace {
+
+constexpr std::uint32_t kPid = 1;
+constexpr std::uint32_t kTid = 1;
+
+void WriteCommonEventFields(JsonWriter& writer, std::string_view name,
+                            const char* phase, double ts) {
+  writer.Key("name").String(name);
+  writer.Key("ph").String(phase);
+  writer.Key("pid").UInt(kPid);
+  writer.Key("tid").UInt(kTid);
+  writer.Key("ts").Double(ts);
+}
+
+}  // namespace
+
+void WriteChromeTraceJson(JsonWriter& writer,
+                          const std::vector<SpanRecord>& spans) {
+  writer.BeginObject();
+  writer.Key("displayTimeUnit").String("ms");
+  writer.Key("otherData").BeginObject();
+  writer.Key("generator").String("ssr");
+  writer.EndObject();
+  writer.Key("traceEvents").BeginArray();
+
+  // Process/thread naming metadata so the track reads "ssr / query".
+  writer.BeginObject();
+  WriteCommonEventFields(writer, "process_name", "M", 0.0);
+  writer.Key("args").BeginObject().Key("name").String("ssr").EndObject();
+  writer.EndObject();
+  writer.BeginObject();
+  WriteCommonEventFields(writer, "thread_name", "M", 0.0);
+  writer.Key("args").BeginObject().Key("name").String("query").EndObject();
+  writer.EndObject();
+
+  for (const SpanRecord& span : spans) {
+    // The slice itself: a complete ("X") event.
+    writer.BeginObject();
+    WriteCommonEventFields(writer, span.name, "X", span.start_micros);
+    writer.Key("dur").Double(span.duration_micros);
+    writer.Key("cat").String("span");
+    writer.Key("args").BeginObject();
+    writer.Key("span_id").UInt(span.id);
+    if (span.parent_id != 0) {
+      writer.Key("parent_id").UInt(span.parent_id);
+    }
+    for (const auto& [key, value] : span.tags) {
+      writer.Key(key).String(value);
+    }
+    for (std::size_t i = 0; i < kNumPerfCounters; ++i) {
+      const auto c = static_cast<PerfCounter>(i);
+      if (!span.counters.valid(c)) continue;
+      writer.Key(PerfCounterName(c)).UInt(span.counters.value(c));
+    }
+    writer.EndObject();
+    writer.EndObject();
+
+    // One counter ("C") event per measured counter, timestamped at the
+    // span's start: each counter gets its own track plotting the per-span
+    // delta over the run.
+    for (std::size_t i = 0; i < kNumPerfCounters; ++i) {
+      const auto c = static_cast<PerfCounter>(i);
+      if (!span.counters.valid(c)) continue;
+      writer.BeginObject();
+      WriteCommonEventFields(writer, PerfCounterName(c), "C",
+                             span.start_micros);
+      writer.Key("args").BeginObject();
+      writer.Key("value").UInt(span.counters.value(c));
+      writer.EndObject();
+      writer.EndObject();
+    }
+  }
+
+  writer.EndArray();
+  writer.EndObject();
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  JsonWriter writer;
+  WriteChromeTraceJson(writer, spans);
+  return writer.str();
+}
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  return ChromeTraceJson(tracer.Snapshot());
+}
+
+bool WriteChromeTraceFile(const std::string& path, const Tracer& tracer,
+                          std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    if (error != nullptr) *error = "cannot open trace file: " + path;
+    return false;
+  }
+  out << ChromeTraceJson(tracer) << "\n";
+  if (!out.good()) {
+    if (error != nullptr) *error = "trace write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace ssr

@@ -1,0 +1,44 @@
+// Chrome-trace / Perfetto JSON exporter: renders the tracer's ring (and
+// per-span perf-counter deltas as counter tracks) into the Trace Event
+// Format that chrome://tracing and ui.perfetto.dev load directly. Every
+// bench binary exposes it behind --trace=<path>.
+//
+// Spans become "X" (complete) events — nesting falls out of timestamp
+// containment per thread, which matches the tracer's parent/child
+// invariant. A span's tags and counter deltas render as slice args (click
+// a slice to see them); counter deltas additionally render as "C" counter
+// events at the span's start, one track per counter name, so cache-miss /
+// branch-miss traffic is visible as a curve over the run.
+
+#ifndef SSR_OBS_CHROME_TRACE_H_
+#define SSR_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ssr {
+namespace obs {
+
+class JsonWriter;
+
+/// Appends the full trace document ({"displayTimeUnit", "otherData",
+/// "traceEvents": [...]}) for `spans` (tracer ring order, i.e. completion
+/// order; Chrome sorts by timestamp itself).
+void WriteChromeTraceJson(JsonWriter& writer,
+                          const std::vector<SpanRecord>& spans);
+
+/// The trace document as a standalone JSON string.
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans);
+std::string ChromeTraceJson(const Tracer& tracer);
+
+/// Writes ChromeTraceJson(tracer) to `path`. Returns false and fills
+/// `*error` (when non-null) on I/O failure.
+bool WriteChromeTraceFile(const std::string& path, const Tracer& tracer,
+                          std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_CHROME_TRACE_H_

@@ -38,6 +38,23 @@ std::vector<double> ExponentialBounds(double start, double factor,
   return bounds;
 }
 
+std::vector<double> ExponentialBoundsCovering(double lo, double hi,
+                                              double factor) {
+  std::vector<double> bounds;
+  if (!(lo > 0.0) || !(factor > 1.0)) return bounds;
+  double v = lo;
+  bounds.push_back(v);
+  while (v < hi) {
+    v *= factor;
+    bounds.push_back(v);
+  }
+  return bounds;
+}
+
+std::vector<double> LatencyBoundsMicros() {
+  return ExponentialBoundsCovering(1.0, 1e7, 4.0);
+}
+
 MetricsRegistry& MetricsRegistry::Default() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;

@@ -104,6 +104,19 @@ class Histogram {
 std::vector<double> ExponentialBounds(double start, double factor,
                                       std::size_t n);
 
+/// Exponential bounds covering [lo, hi]: {lo, lo*factor, ...} extended
+/// until a bound reaches hi (the last bound is >= hi). Requires lo > 0 and
+/// factor > 1; the bucket count follows from the span, so callers state
+/// the measured range instead of hand-rolling bucket lists.
+std::vector<double> ExponentialBoundsCovering(double lo, double hi,
+                                              double factor);
+
+/// The repo's standard latency buckets in microseconds: factor-4
+/// exponential bounds covering 1 us .. 10 s. Every *_latency_micros
+/// histogram uses these so latency profiles are comparable across
+/// components.
+std::vector<double> LatencyBoundsMicros();
+
 /// Owns named instruments; lookup-or-create is mutex-guarded, updates are
 /// lock-free. Instrument pointers remain valid for the registry's lifetime.
 class MetricsRegistry {

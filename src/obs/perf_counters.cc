@@ -1,0 +1,218 @@
+#include "obs/perf_counters.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+namespace ssr {
+namespace obs {
+
+namespace {
+
+constexpr std::string_view kCounterNames[kNumPerfCounters] = {
+    "cycles",        "instructions", "cache_references",
+    "cache_misses",  "branch_misses", "task_clock_ns",
+    "page_faults",   "context_switches",
+};
+
+}  // namespace
+
+std::string_view PerfCounterName(PerfCounter counter) {
+  return kCounterNames[static_cast<std::size_t>(counter)];
+}
+
+void PerfSample::Accumulate(const PerfSample& other) {
+  for (std::size_t i = 0; i < kNumPerfCounters; ++i) {
+    if ((other.valid_mask >> i) & 1u) {
+      values[i] += other.values[i];
+      valid_mask |= 1u << i;
+    }
+  }
+}
+
+PerfSample Delta(const PerfSample& end, const PerfSample& begin) {
+  PerfSample delta;
+  for (std::size_t i = 0; i < kNumPerfCounters; ++i) {
+    if (((end.valid_mask >> i) & 1u) && ((begin.valid_mask >> i) & 1u)) {
+      const std::uint64_t e = end.values[i];
+      const std::uint64_t b = begin.values[i];
+      delta.Set(static_cast<PerfCounter>(i), e > b ? e - b : 0);
+    }
+  }
+  return delta;
+}
+
+std::string_view PerfSourceName(PerfSource source) {
+  switch (source) {
+    case PerfSource::kHardware:
+      return "hardware";
+    case PerfSource::kSoftware:
+      return "software";
+    case PerfSource::kRusage:
+      return "rusage";
+    case PerfSource::kDisabled:
+      return "disabled";
+  }
+  return "disabled";
+}
+
+PerfMode PerfModeFromEnv() {
+  const char* env = std::getenv("SSR_PERF_COUNTERS");
+  if (env == nullptr) return PerfMode::kAuto;
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+      std::strcmp(env, "disabled") == 0) {
+    return PerfMode::kDisabled;
+  }
+  if (std::strcmp(env, "rusage") == 0) return PerfMode::kRusage;
+  if (std::strcmp(env, "software") == 0) return PerfMode::kSoftware;
+  return PerfMode::kAuto;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenPerfEvent(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  // User-space only: keeps the events usable under perf_event_paranoid=2
+  // (the common unprivileged default) and measures the code we control.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Thread-local measurement of the calling thread on any CPU.
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0);
+  return static_cast<int>(fd);
+}
+
+struct EventSpec {
+  PerfCounter slot;
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr EventSpec kHardwareEvents[] = {
+    {PerfCounter::kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PerfCounter::kInstructions, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_INSTRUCTIONS},
+    {PerfCounter::kCacheReferences, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_CACHE_REFERENCES},
+    {PerfCounter::kCacheMisses, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_CACHE_MISSES},
+    {PerfCounter::kBranchMisses, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+constexpr EventSpec kSoftwareEvents[] = {
+    {PerfCounter::kTaskClockNs, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {PerfCounter::kPageFaults, PERF_TYPE_SOFTWARE,
+     PERF_COUNT_SW_PAGE_FAULTS},
+    {PerfCounter::kContextSwitches, PERF_TYPE_SOFTWARE,
+     PERF_COUNT_SW_CONTEXT_SWITCHES},
+};
+
+std::uint64_t ThreadCpuNanos() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t RusagePageFaults() {
+  rusage usage;
+#if defined(RUSAGE_THREAD)
+  if (getrusage(RUSAGE_THREAD, &usage) != 0) return 0;
+#else
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#endif
+  return static_cast<std::uint64_t>(usage.ru_minflt) +
+         static_cast<std::uint64_t>(usage.ru_majflt);
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup(PerfMode mode) {
+  fds_.fill(-1);
+  if (mode == PerfMode::kDisabled) return;
+
+  bool any_software = false;
+  if (mode == PerfMode::kAuto || mode == PerfMode::kSoftware) {
+    for (const EventSpec& spec : kSoftwareEvents) {
+      const int fd = OpenPerfEvent(spec.type, spec.config);
+      if (fd >= 0) {
+        fds_[static_cast<std::size_t>(spec.slot)] = fd;
+        any_software = true;
+      }
+    }
+  }
+  bool any_hardware = false;
+  if (mode == PerfMode::kAuto) {
+    for (const EventSpec& spec : kHardwareEvents) {
+      const int fd = OpenPerfEvent(spec.type, spec.config);
+      if (fd >= 0) {
+        fds_[static_cast<std::size_t>(spec.slot)] = fd;
+        any_hardware = true;
+      }
+    }
+  }
+  // kRusage needs no setup: reads go straight to clock_gettime/getrusage.
+  source_ = any_hardware  ? PerfSource::kHardware
+            : any_software ? PerfSource::kSoftware
+                           : PerfSource::kRusage;
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+PerfSample PerfCounterGroup::Read() const {
+  PerfSample sample;
+  if (source_ == PerfSource::kDisabled) return sample;
+  for (std::size_t i = 0; i < kNumPerfCounters; ++i) {
+    const int fd = fds_[i];
+    if (fd < 0) continue;
+    std::uint64_t value = 0;
+    if (read(fd, &value, sizeof(value)) == sizeof(value)) {
+      sample.Set(static_cast<PerfCounter>(i), value);
+    }
+  }
+  // Software rungs without a perf task-clock/page-fault event fall back to
+  // the portable sources so those two slots are populated on every rung.
+  if (!sample.valid(PerfCounter::kTaskClockNs)) {
+    sample.Set(PerfCounter::kTaskClockNs, ThreadCpuNanos());
+  }
+  if (!sample.valid(PerfCounter::kPageFaults)) {
+    sample.Set(PerfCounter::kPageFaults, RusagePageFaults());
+  }
+  return sample;
+}
+
+#else  // !defined(__linux__)
+
+PerfCounterGroup::PerfCounterGroup(PerfMode mode) {
+  fds_.fill(-1);
+  (void)mode;
+}
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+PerfSample PerfCounterGroup::Read() const { return PerfSample(); }
+
+#endif  // defined(__linux__)
+
+}  // namespace obs
+}  // namespace ssr

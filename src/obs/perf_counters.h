@@ -1,0 +1,130 @@
+// Hardware/software performance counters for scoped regions. The profiler
+// (obs/profile.h) attaches these to trace spans so every query phase gets a
+// counter profile (cycles, instructions, cache misses, ...), which is what
+// lets perf work argue in terms of memory traffic rather than wall time.
+//
+// Availability ladder (best rung that works is picked at open time):
+//   kHardware: perf_event_open hardware events (cycles, instructions,
+//              cache-references/misses, branch-misses) plus the software
+//              events below. Needs a kernel with perf and a permissive
+//              perf_event_paranoid; commonly denied in containers/CI.
+//   kSoftware: perf_event_open software events only (task-clock,
+//              page-faults, context-switches). Works under stricter
+//              paranoid settings since it measures only the calling thread.
+//   kRusage:   no perf_event_open at all: task-clock from the thread CPU
+//              clock, page-faults from getrusage. Always available on any
+//              POSIX system; this is the rung CI containers land on.
+//   kDisabled: counters force-disabled (SSR_PERF_COUNTERS=off) or a
+//              non-Linux build; reads return empty samples.
+//
+// The environment variable SSR_PERF_COUNTERS caps the ladder:
+//   "off"      -> kDisabled
+//   "rusage"   -> at most kRusage
+//   "software" -> at most kSoftware
+//   anything else / unset -> full ladder ("auto").
+
+#ifndef SSR_OBS_PERF_COUNTERS_H_
+#define SSR_OBS_PERF_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ssr {
+namespace obs {
+
+/// Counter slots. Hardware slots may be invalid on lower ladder rungs;
+/// kTaskClockNs and kPageFaults are valid on every rung except kDisabled.
+enum class PerfCounter : std::size_t {
+  kCycles = 0,
+  kInstructions,
+  kCacheReferences,
+  kCacheMisses,
+  kBranchMisses,
+  kTaskClockNs,
+  kPageFaults,
+  kContextSwitches,
+  kCount,
+};
+
+constexpr std::size_t kNumPerfCounters =
+    static_cast<std::size_t>(PerfCounter::kCount);
+
+/// Stable export name ("cycles", "cache_misses", ...).
+std::string_view PerfCounterName(PerfCounter counter);
+
+/// One reading (or delta between two readings) of every available counter.
+struct PerfSample {
+  std::array<std::uint64_t, kNumPerfCounters> values{};
+  std::uint32_t valid_mask = 0;  // bit i set when counter i was measured
+
+  bool valid(PerfCounter c) const {
+    return (valid_mask >> static_cast<std::size_t>(c)) & 1u;
+  }
+  std::uint64_t value(PerfCounter c) const {
+    return values[static_cast<std::size_t>(c)];
+  }
+  void Set(PerfCounter c, std::uint64_t v) {
+    values[static_cast<std::size_t>(c)] = v;
+    valid_mask |= 1u << static_cast<std::size_t>(c);
+  }
+  bool empty() const { return valid_mask == 0; }
+
+  /// Accumulates `other` into this sample (union of valid sets).
+  void Accumulate(const PerfSample& other);
+};
+
+/// end - begin per counter, clamped at zero (counters are monotonic, but a
+/// multiplexed perf event can jitter); only counters valid in both samples
+/// survive.
+PerfSample Delta(const PerfSample& end, const PerfSample& begin);
+
+/// The ladder rung a PerfCounterGroup landed on.
+enum class PerfSource {
+  kDisabled = 0,
+  kRusage,
+  kSoftware,
+  kHardware,
+};
+
+std::string_view PerfSourceName(PerfSource source);
+
+/// Requested cap on the ladder.
+enum class PerfMode {
+  kAuto = 0,   // best available rung
+  kSoftware,   // at most perf software events
+  kRusage,     // no perf_event_open
+  kDisabled,   // no counters at all
+};
+
+/// The cap requested via SSR_PERF_COUNTERS (see header comment).
+PerfMode PerfModeFromEnv();
+
+/// A set of open counters for the calling thread. Opens file descriptors at
+/// construction (walking down the ladder from the requested cap), closes
+/// them at destruction. Reads are cheap (one read(2) per open hardware/
+/// software counter, or two syscalls on the rusage rung). Not thread-safe;
+/// readings cover the thread that constructed the group.
+class PerfCounterGroup {
+ public:
+  explicit PerfCounterGroup(PerfMode mode = PerfMode::kAuto);
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// The rung the constructor landed on.
+  PerfSource source() const { return source_; }
+
+  /// Current cumulative reading of every available counter.
+  PerfSample Read() const;
+
+ private:
+  PerfSource source_ = PerfSource::kDisabled;
+  std::array<int, kNumPerfCounters> fds_;  // -1 = not open
+};
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_PERF_COUNTERS_H_

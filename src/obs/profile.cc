@@ -1,0 +1,92 @@
+#include "obs/profile.h"
+
+#include "obs/json_writer.h"
+
+namespace ssr {
+namespace obs {
+
+Profiler& Profiler::Default() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+void Profiler::Enable(PerfMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (group_ == nullptr) {
+      group_ = std::make_unique<PerfCounterGroup>(mode);
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+PerfSource Profiler::source() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return group_ == nullptr ? PerfSource::kDisabled : group_->source();
+}
+
+PerfSample Profiler::ReadNow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (group_ == nullptr) return PerfSample();
+  return group_->Read();
+}
+
+void Profiler::Record(std::string_view name, const PerfSample& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = phases_.find(name);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string(name), PhaseProfile()).first;
+    it->second.name = std::string(name);
+  }
+  it->second.count += 1;
+  it->second.totals.Accumulate(delta);
+}
+
+std::vector<PhaseProfile> Profiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PhaseProfile> out;
+  out.reserve(phases_.size());
+  for (const auto& [name, profile] : phases_) out.push_back(profile);
+  return out;
+}
+
+void Profiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+}
+
+ProfileScope::ProfileScope(Profiler& profiler, std::string_view name) {
+  if (!profiler.enabled()) return;
+  profiler_ = &profiler;
+  name_.assign(name);
+  begin_ = profiler.ReadNow();
+}
+
+ProfileScope::~ProfileScope() {
+  if (profiler_ == nullptr) return;
+  profiler_->Record(name_, Delta(profiler_->ReadNow(), begin_));
+}
+
+void WriteProfileJson(JsonWriter& writer, const Profiler& profiler) {
+  writer.BeginObject();
+  writer.Key("source").String(PerfSourceName(profiler.source()));
+  writer.Key("phases").BeginArray();
+  for (const PhaseProfile& phase : profiler.Snapshot()) {
+    writer.BeginObject();
+    writer.Key("name").String(phase.name);
+    writer.Key("count").UInt(phase.count);
+    writer.Key("counters").BeginObject();
+    for (std::size_t i = 0; i < kNumPerfCounters; ++i) {
+      const auto c = static_cast<PerfCounter>(i);
+      if (!phase.totals.valid(c)) continue;
+      writer.Key(PerfCounterName(c)).UInt(phase.totals.value(c));
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+}  // namespace obs
+}  // namespace ssr

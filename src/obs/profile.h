@@ -1,0 +1,108 @@
+// Per-phase counter profiling on top of the tracer. When the profiler is
+// enabled, every TraceSpan additionally reads the perf counter group at
+// open and close, attaches the delta to the span record (rendered by the
+// Chrome-trace exporter as slice args and counter tracks), and accumulates
+// it here under the span's name — so a bench run ends with one aggregate
+// counter profile per query phase (embed / plan / probe_fi / verify /
+// scan), exported into the BENCH_*.json trajectory points.
+//
+// Like the tracer, the profiler is off by default: a disabled profiler
+// costs one relaxed atomic load per span. Enabling it opens the perf
+// counter group (walking the availability ladder in obs/perf_counters.h)
+// on the enabling thread; the codebase's query path is single-threaded, so
+// one thread-bound group suffices. ProfileScope profiles a region that is
+// not a trace span (e.g. a microbench loop).
+
+#ifndef SSR_OBS_PROFILE_H_
+#define SSR_OBS_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/perf_counters.h"
+
+namespace ssr {
+namespace obs {
+
+class JsonWriter;
+
+/// Aggregated counters for one region name.
+struct PhaseProfile {
+  std::string name;
+  std::uint64_t count = 0;  // regions closed under this name
+  PerfSample totals;        // summed counter deltas
+};
+
+/// Process-wide profile aggregator.
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// The profiler the tracer hook and bench binaries use. Never destroyed.
+  static Profiler& Default();
+
+  /// Enabling opens the counter group (honoring SSR_PERF_COUNTERS and
+  /// `mode`) if it is not open yet; disabling stops sampling but keeps
+  /// accumulated phases until Clear().
+  void Enable(PerfMode mode = PerfModeFromEnv());
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// The ladder rung the open group landed on (kDisabled before the first
+  /// Enable()).
+  PerfSource source() const;
+
+  /// Current cumulative counter reading (empty sample when disabled).
+  PerfSample ReadNow() const;
+
+  /// Accumulates a measured delta under `name`.
+  void Record(std::string_view name, const PerfSample& delta);
+
+  /// All phases, sorted by name.
+  std::vector<PhaseProfile> Snapshot() const;
+
+  /// Drops accumulated phases (the counter group stays open).
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::unique_ptr<PerfCounterGroup> group_;
+  std::map<std::string, PhaseProfile, std::less<>> phases_;
+};
+
+/// RAII counter measurement for a named region outside the tracer. No-op
+/// when the profiler is disabled at construction.
+class ProfileScope {
+ public:
+  explicit ProfileScope(std::string_view name)
+      : ProfileScope(Profiler::Default(), name) {}
+  ProfileScope(Profiler& profiler, std::string_view name);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Profiler* profiler_ = nullptr;  // null when profiling was off
+  std::string name_;
+  PerfSample begin_;
+};
+
+/// Appends the profiler state as a JSON value:
+///   {"source": "hardware|software|rusage|disabled",
+///    "phases": [{"name", "count", "counters": {"cycles": ..., ...}}, ...]}
+void WriteProfileJson(JsonWriter& writer, const Profiler& profiler);
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_PROFILE_H_

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/profile.h"
+
 namespace ssr {
 namespace obs {
 
@@ -72,6 +74,11 @@ TraceSpan::TraceSpan(Tracer& tracer, std::string_view name) {
     record_.parent_id = parent_->record_.id;
     record_.depth = parent_->record_.depth + 1;
   }
+  Profiler& profiler = Profiler::Default();
+  if (profiler.enabled()) {
+    profiled_ = true;
+    counters_at_open_ = profiler.ReadNow();
+  }
   opened_at_ = std::chrono::steady_clock::now();
   record_.start_micros = tracer.MicrosSinceEpoch();
   t_current_span = this;
@@ -83,6 +90,11 @@ TraceSpan::~TraceSpan() {
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - opened_at_)
           .count();
+  if (profiled_) {
+    Profiler& profiler = Profiler::Default();
+    record_.counters = Delta(profiler.ReadNow(), counters_at_open_);
+    profiler.Record(record_.name, record_.counters);
+  }
   t_current_span = parent_;
   tracer_->Record(std::move(record_));
 }

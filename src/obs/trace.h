@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/perf_counters.h"
+
 namespace ssr {
 namespace obs {
 
@@ -34,6 +36,9 @@ struct SpanRecord {
   double start_micros = 0.0;     // relative to the tracer's epoch
   double duration_micros = 0.0;  // wall time from open to close
   std::vector<std::pair<std::string, std::string>> tags;
+  /// Perf-counter delta over the span's lifetime; empty unless the profiler
+  /// (obs/profile.h) was enabled while the span was open.
+  PerfSample counters;
 };
 
 class TraceSpan;
@@ -118,6 +123,8 @@ class TraceSpan {
   SpanRecord record_;
   std::chrono::steady_clock::time_point opened_at_;
   TraceSpan* parent_ = nullptr;  // enclosing span on this thread
+  bool profiled_ = false;        // profiler was enabled at open
+  PerfSample counters_at_open_;
 };
 
 }  // namespace obs

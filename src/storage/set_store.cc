@@ -5,6 +5,7 @@
 #include "fault/fault_injector.h"
 #include "util/serialize.h"
 #include "util/set_ops.h"
+#include "util/stopwatch.h"
 
 namespace ssr {
 
@@ -31,6 +32,8 @@ SetStore::SetStore(SetStoreOptions options)
       registry.GetCounter("ssr_store_fetch_failures_total", scope);
   live_sets_ = registry.GetGauge("ssr_store_live_sets", scope);
   heap_pages_ = registry.GetGauge("ssr_store_heap_pages", scope);
+  get_latency_hist_ = registry.GetHistogram("ssr_store_get_latency_micros",
+                                            scope, obs::LatencyBoundsMicros());
 }
 
 Result<SetId> SetStore::Add(const ElementSet& set) {
@@ -52,6 +55,7 @@ Result<SetId> SetStore::Add(const ElementSet& set) {
 
 Result<ElementSet> SetStore::Get(SetId sid) {
   gets_->Increment();
+  Stopwatch watch;
   std::size_t nodes = 0;
   auto loc = btree_.Find(sid, &nodes);
   if (!loc.ok()) return loc.status();
@@ -77,6 +81,7 @@ Result<ElementSet> SetStore::Get(SetId sid) {
         return set;
       });
   if (!result.ok()) fetch_failures_->Increment();
+  get_latency_hist_->Observe(static_cast<double>(watch.ElapsedMicros()));
   return result;
 }
 

@@ -134,6 +134,7 @@ class SetStore {
   obs::Counter* fetch_failures_;  // ssr_store_fetch_failures_total
   obs::Gauge* live_sets_;         // ssr_store_live_sets
   obs::Gauge* heap_pages_;        // ssr_store_heap_pages
+  obs::Histogram* get_latency_hist_;  // ssr_store_get_latency_micros
   SetId next_sid_ = 0;
   std::uint64_t live_bytes_ = 0;
 };

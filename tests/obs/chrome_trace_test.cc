@@ -1,0 +1,141 @@
+#include "obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ssr {
+namespace obs {
+namespace {
+
+SpanRecord MakeSpan(std::uint64_t id, std::uint64_t parent_id,
+                    std::uint32_t depth, std::string name, double start,
+                    double dur) {
+  SpanRecord span;
+  span.id = id;
+  span.parent_id = parent_id;
+  span.depth = depth;
+  span.name = std::move(name);
+  span.start_micros = start;
+  span.duration_micros = dur;
+  return span;
+}
+
+// Full golden for one span with a counter sample: the object wrapper,
+// process/thread metadata ("M"), the complete-slice ("X") event with args,
+// and the per-counter counter-track ("C") event.
+TEST(ChromeTraceTest, GoldenSingleSpanWithCounter) {
+  SpanRecord span = MakeSpan(7, 0, 0, "probe_fi", 5.0, 2.5);
+  span.counters.Set(PerfCounter::kTaskClockNs, 1000);
+  const std::string json = ChromeTraceJson(std::vector<SpanRecord>{span});
+  EXPECT_EQ(
+      json,
+      "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"ssr\"},"
+      "\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"ts\":0,"
+      "\"args\":{\"name\":\"ssr\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"ts\":0,"
+      "\"args\":{\"name\":\"query\"}},"
+      "{\"name\":\"probe_fi\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":5,"
+      "\"dur\":2.5,\"cat\":\"span\",\"args\":{\"span_id\":7,"
+      "\"task_clock_ns\":1000}},"
+      "{\"name\":\"task_clock_ns\",\"ph\":\"C\",\"pid\":1,\"tid\":1,"
+      "\"ts\":5,\"args\":{\"value\":1000}}"
+      "]}");
+}
+
+TEST(ChromeTraceTest, EmptySpanListStillEmitsMetadata) {
+  const std::string json = ChromeTraceJson(std::vector<SpanRecord>{});
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+// Nesting in the Chrome trace format is conveyed by timestamp containment
+// of "X" events on one track plus the parent_id arg; a child completes
+// before its parent, so it precedes the parent in ring (completion) order.
+TEST(ChromeTraceTest, NestedSpansKeepContainmentAndParentId) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(2, 1, 1, "embed", 20.0, 30.0));   // child first
+  spans.push_back(MakeSpan(1, 0, 0, "query", 10.0, 100.0));  // then parent
+  const std::string json = ChromeTraceJson(spans);
+
+  const std::size_t child = json.find(
+      "{\"name\":\"embed\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":20,"
+      "\"dur\":30,\"cat\":\"span\",\"args\":{\"span_id\":2,"
+      "\"parent_id\":1}}");
+  const std::size_t parent = json.find(
+      "{\"name\":\"query\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":10,"
+      "\"dur\":100,\"cat\":\"span\",\"args\":{\"span_id\":1}}");
+  ASSERT_NE(child, std::string::npos);
+  ASSERT_NE(parent, std::string::npos);
+  EXPECT_LT(child, parent);
+  // Roots carry no parent_id key at all.
+  EXPECT_EQ(json.find("\"parent_id\":0"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, TagsBecomeSliceArgs) {
+  SpanRecord span = MakeSpan(3, 0, 0, "plan", 1.0, 2.0);
+  span.tags.emplace_back("plan", "sfi_pair");
+  span.tags.emplace_back("candidates", "17");
+  const std::string json = ChromeTraceJson(std::vector<SpanRecord>{span});
+  EXPECT_NE(json.find("\"args\":{\"span_id\":3,\"plan\":\"sfi_pair\","
+                      "\"candidates\":\"17\"}"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, EachValidCounterGetsItsOwnCounterEvent) {
+  SpanRecord span = MakeSpan(4, 0, 0, "verify", 2.0, 3.0);
+  span.counters.Set(PerfCounter::kCycles, 111);
+  span.counters.Set(PerfCounter::kPageFaults, 5);
+  const std::string json = ChromeTraceJson(std::vector<SpanRecord>{span});
+  EXPECT_NE(json.find("{\"name\":\"cycles\",\"ph\":\"C\",\"pid\":1,"
+                      "\"tid\":1,\"ts\":2,\"args\":{\"value\":111}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"page_faults\",\"ph\":\"C\",\"pid\":1,"
+                      "\"tid\":1,\"ts\":2,\"args\":{\"value\":5}}"),
+            std::string::npos);
+  // Counters not measured stay out of both slice args and counter tracks.
+  EXPECT_EQ(json.find("\"instructions\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, LiveTracerSpansRoundTrip) {
+  Tracer tracer(16);
+  tracer.set_enabled(true);
+  {
+    TraceSpan root(tracer, "query");
+    root.Tag("plan", "scan");
+    TraceSpan child(tracer, "embed");
+  }
+  const std::string json = ChromeTraceJson(tracer);
+  EXPECT_NE(json.find("\"name\":\"embed\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan\":\"scan\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WriteFileSucceedsAndFailsWithError) {
+  Tracer tracer(4);
+  const std::string path = ::testing::TempDir() + "chrome_trace_test.json";
+  std::string error;
+  ASSERT_TRUE(WriteChromeTraceFile(path, tracer, &error)) << error;
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(
+      WriteChromeTraceFile("/nonexistent-dir/trace.json", tracer, &error));
+  EXPECT_NE(error.find("cannot open trace file"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

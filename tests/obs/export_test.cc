@@ -133,6 +133,27 @@ TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
 }
 
+TEST(JsonWriterTest, EscapesEveryBareControlCharacterAsUnicode) {
+  // The named escapes (\b \f \n \r \t) are handled above; every other
+  // C0 control character must render as a four-digit \u escape.
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x00", 1)), "\\u0000");
+  EXPECT_EQ(JsonWriter::Escape("\x0b"), "\\u000b");  // vertical tab
+  EXPECT_EQ(JsonWriter::Escape("\x1b"), "\\u001b");  // ESC
+  EXPECT_EQ(JsonWriter::Escape("\x1f"), "\\u001f");
+  // 0x20 (space) and 0x7f (DEL) are not C0 controls: pass through.
+  EXPECT_EQ(JsonWriter::Escape(" \x7f"), " \x7f");
+}
+
+TEST(JsonWriterTest, MultiByteUtf8PassesThroughUntouched) {
+  // High bytes are never control characters; UTF-8 sequences must survive
+  // byte-for-byte (JSON strings are UTF-8 by default).
+  EXPECT_EQ(JsonWriter::Escape("caf\xc3\xa9"), "caf\xc3\xa9");       // é
+  EXPECT_EQ(JsonWriter::Escape("\xe2\x82\xac"), "\xe2\x82\xac");    // €
+  EXPECT_EQ(JsonWriter::Escape("\xf0\x9f\x94\xa5"), "\xf0\x9f\x94\xa5");
+  // Mixed: escapes apply to the ASCII part only.
+  EXPECT_EQ(JsonWriter::Escape("\xc3\xa9\n\""), "\xc3\xa9\\n\\\"");
+}
+
 TEST(JsonWriterTest, NonFiniteDoublesRenderAsNull) {
   JsonWriter writer;
   writer.BeginArray();

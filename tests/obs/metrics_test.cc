@@ -146,6 +146,38 @@ TEST(HistogramTest, ExponentialBoundsShape) {
   EXPECT_DOUBLE_EQ(bounds[3], 64.0);
 }
 
+TEST(HistogramTest, ExponentialBoundsCoveringSpansTheRange) {
+  const auto bounds = ExponentialBoundsCovering(1.0, 100.0, 10.0);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 10.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 100.0);
+  // The last bound always reaches hi, overshooting when factor misses it.
+  const auto overshoot = ExponentialBoundsCovering(1.0, 50.0, 10.0);
+  ASSERT_EQ(overshoot.size(), 3u);
+  EXPECT_GE(overshoot.back(), 50.0);
+}
+
+TEST(HistogramTest, ExponentialBoundsCoveringRejectsDegenerateInputs) {
+  EXPECT_TRUE(ExponentialBoundsCovering(0.0, 100.0, 10.0).empty());
+  EXPECT_TRUE(ExponentialBoundsCovering(-1.0, 100.0, 10.0).empty());
+  EXPECT_TRUE(ExponentialBoundsCovering(1.0, 100.0, 1.0).empty());
+  // hi <= lo still yields the single lo bound.
+  const auto single = ExponentialBoundsCovering(5.0, 5.0, 2.0);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 5.0);
+}
+
+TEST(HistogramTest, LatencyBoundsMicrosCoverMicrosecondToTenSeconds) {
+  const auto bounds = LatencyBoundsMicros();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_GE(bounds.back(), 1e7);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
 TEST(MetricsRegistryTest, DefaultIsASingleton) {
   EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
 }

@@ -1,0 +1,189 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
+
+namespace ssr {
+namespace obs {
+namespace {
+
+TEST(PerfSampleTest, SetMarksValidAndEmptyReflectsMask) {
+  PerfSample sample;
+  EXPECT_TRUE(sample.empty());
+  EXPECT_FALSE(sample.valid(PerfCounter::kCycles));
+  sample.Set(PerfCounter::kCycles, 42);
+  EXPECT_FALSE(sample.empty());
+  EXPECT_TRUE(sample.valid(PerfCounter::kCycles));
+  EXPECT_EQ(sample.value(PerfCounter::kCycles), 42u);
+  EXPECT_FALSE(sample.valid(PerfCounter::kInstructions));
+}
+
+TEST(PerfSampleTest, AccumulateSumsAndUnionsValidity) {
+  PerfSample a;
+  a.Set(PerfCounter::kCycles, 10);
+  a.Set(PerfCounter::kTaskClockNs, 100);
+  PerfSample b;
+  b.Set(PerfCounter::kCycles, 5);
+  b.Set(PerfCounter::kPageFaults, 3);
+  a.Accumulate(b);
+  EXPECT_EQ(a.value(PerfCounter::kCycles), 15u);
+  EXPECT_EQ(a.value(PerfCounter::kTaskClockNs), 100u);
+  EXPECT_EQ(a.value(PerfCounter::kPageFaults), 3u);
+  EXPECT_TRUE(a.valid(PerfCounter::kPageFaults));
+}
+
+TEST(PerfSampleTest, DeltaIntersectsValidityAndClampsAtZero) {
+  PerfSample begin;
+  begin.Set(PerfCounter::kCycles, 100);
+  begin.Set(PerfCounter::kTaskClockNs, 50);
+  begin.Set(PerfCounter::kPageFaults, 9);
+  PerfSample end;
+  end.Set(PerfCounter::kCycles, 130);
+  end.Set(PerfCounter::kTaskClockNs, 40);  // jitter: end < begin
+  // kPageFaults missing from end: must not survive the delta.
+  const PerfSample d = Delta(end, begin);
+  EXPECT_EQ(d.value(PerfCounter::kCycles), 30u);
+  EXPECT_EQ(d.value(PerfCounter::kTaskClockNs), 0u);  // clamped
+  EXPECT_TRUE(d.valid(PerfCounter::kTaskClockNs));
+  EXPECT_FALSE(d.valid(PerfCounter::kPageFaults));
+}
+
+TEST(PerfModeTest, EnvVarCapsTheLadder) {
+  ASSERT_EQ(setenv("SSR_PERF_COUNTERS", "off", 1), 0);
+  EXPECT_EQ(PerfModeFromEnv(), PerfMode::kDisabled);
+  ASSERT_EQ(setenv("SSR_PERF_COUNTERS", "rusage", 1), 0);
+  EXPECT_EQ(PerfModeFromEnv(), PerfMode::kRusage);
+  ASSERT_EQ(setenv("SSR_PERF_COUNTERS", "software", 1), 0);
+  EXPECT_EQ(PerfModeFromEnv(), PerfMode::kSoftware);
+  ASSERT_EQ(unsetenv("SSR_PERF_COUNTERS"), 0);
+  EXPECT_EQ(PerfModeFromEnv(), PerfMode::kAuto);
+}
+
+TEST(PerfCounterGroupTest, DisabledModeReadsEmpty) {
+  PerfCounterGroup group(PerfMode::kDisabled);
+  EXPECT_EQ(group.source(), PerfSource::kDisabled);
+  EXPECT_TRUE(group.Read().empty());
+}
+
+// The rusage rung needs no kernel perf support at all, so it must be
+// available on any Linux (and is the rung CI containers land on).
+TEST(PerfCounterGroupTest, RusageRungAlwaysMeasuresTaskClock) {
+#ifdef __linux__
+  PerfCounterGroup group(PerfMode::kRusage);
+  ASSERT_EQ(group.source(), PerfSource::kRusage);
+  const PerfSample before = group.Read();
+  EXPECT_TRUE(before.valid(PerfCounter::kTaskClockNs));
+  EXPECT_TRUE(before.valid(PerfCounter::kPageFaults));
+  // Burn a little CPU; the thread clock must advance.
+  volatile double x = 1.0;
+  for (int i = 0; i < 2000000; ++i) x = x * 1.0000001;
+  const PerfSample after = group.Read();
+  EXPECT_GE(after.value(PerfCounter::kTaskClockNs),
+            before.value(PerfCounter::kTaskClockNs));
+#endif
+}
+
+TEST(ProfilerTest, DisabledProfilerIsANoOp) {
+  Profiler profiler;
+  EXPECT_FALSE(profiler.enabled());
+  EXPECT_EQ(profiler.source(), PerfSource::kDisabled);
+  EXPECT_TRUE(profiler.ReadNow().empty());
+  { ProfileScope scope(profiler, "idle"); }
+  EXPECT_TRUE(profiler.Snapshot().empty());
+}
+
+TEST(ProfilerTest, RecordAggregatesByNameSorted) {
+  Profiler profiler;
+  PerfSample d1;
+  d1.Set(PerfCounter::kTaskClockNs, 10);
+  PerfSample d2;
+  d2.Set(PerfCounter::kTaskClockNs, 32);
+  profiler.Record("verify", d1);
+  profiler.Record("embed", d1);
+  profiler.Record("verify", d2);
+  const std::vector<PhaseProfile> phases = profiler.Snapshot();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].name, "embed");
+  EXPECT_EQ(phases[0].count, 1u);
+  EXPECT_EQ(phases[1].name, "verify");
+  EXPECT_EQ(phases[1].count, 2u);
+  EXPECT_EQ(phases[1].totals.value(PerfCounter::kTaskClockNs), 42u);
+  profiler.Clear();
+  EXPECT_TRUE(profiler.Snapshot().empty());
+}
+
+TEST(ProfilerTest, EnabledScopeRecordsAPhase) {
+#ifdef __linux__
+  Profiler profiler;
+  profiler.Enable(PerfMode::kRusage);
+  ASSERT_TRUE(profiler.enabled());
+  ASSERT_EQ(profiler.source(), PerfSource::kRusage);
+  {
+    ProfileScope scope(profiler, "micro_loop");
+    volatile double x = 1.0;
+    for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+  }
+  const std::vector<PhaseProfile> phases = profiler.Snapshot();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].name, "micro_loop");
+  EXPECT_EQ(phases[0].count, 1u);
+  EXPECT_TRUE(phases[0].totals.valid(PerfCounter::kTaskClockNs));
+#endif
+}
+
+// The tracer hook: with the default profiler enabled, every TraceSpan
+// attaches a counter delta to its record and accumulates it per phase name.
+TEST(ProfilerTest, TraceSpanIntegrationAttachesCounters) {
+#ifdef __linux__
+  Profiler& profiler = Profiler::Default();
+  profiler.Clear();
+  profiler.Enable(PerfMode::kRusage);
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  {
+    TraceSpan span(tracer, "hooked_phase");
+    volatile double x = 1.0;
+    for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+  }
+  profiler.Disable();
+
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].counters.valid(PerfCounter::kTaskClockNs));
+
+  bool found = false;
+  for (const PhaseProfile& phase : profiler.Snapshot()) {
+    if (phase.name == "hooked_phase") {
+      found = true;
+      EXPECT_GE(phase.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+  profiler.Clear();
+#endif
+}
+
+TEST(ProfileJsonTest, GoldenShape) {
+  Profiler profiler;
+  PerfSample d;
+  d.Set(PerfCounter::kTaskClockNs, 7);
+  d.Set(PerfCounter::kCacheMisses, 3);
+  profiler.Record("embed", d);
+  JsonWriter writer;
+  WriteProfileJson(writer, profiler);
+  EXPECT_EQ(writer.str(),
+            "{\"source\":\"disabled\",\"phases\":["
+            "{\"name\":\"embed\",\"count\":1,\"counters\":{"
+            "\"cache_misses\":3,\"task_clock_ns\":7}}]}");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Self-test for bench_compare.py, run under ctest.
+
+Exercises the exit-code contract on synthetic trajectory points:
+  * identical inputs            -> exit 0
+  * 2x slowdown on timing keys  -> exit 1 (regression)
+  * same, with --advisory       -> exit 0
+  * recall halved               -> exit 1 (higher-is-better direction)
+  * legacy point (no schema_version/env, missing scalar) -> exit 0
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BASE = {
+    "schema_version": 2,
+    "bench": "selftest",
+    "env": {"git_sha": "abc", "compiler": "gcc", "cpu_model": "cpu",
+            "num_cores": 1, "governor": "performance", "os": "linux"},
+    "params": {"quick": True},
+    "scalars": {
+        "micro_jaccard_ns": 100.0,
+        "fig7_avg_index_total_seconds": 0.5,
+        "fig7_overall_recall": 0.9,
+        "qc_avg_candidates": 8.0,
+    },
+}
+
+
+def run(compare, *argv):
+    proc = subprocess.run([sys.executable, compare, *argv],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def write(directory, name, report):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f)
+    return path
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: bench_compare_selftest.py <bench_compare.py>")
+        return 2
+    compare = sys.argv[1]
+    failures = []
+
+    def check(label, want_rc, got_rc, output):
+        if got_rc != want_rc:
+            failures.append(f"{label}: want exit {want_rc}, got {got_rc}\n"
+                            f"{output}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = write(tmp, "base.json", BASE)
+
+        rc, out = run(compare, base, base)
+        check("identical", 0, rc, out)
+
+        slow = json.loads(json.dumps(BASE))
+        slow["scalars"]["micro_jaccard_ns"] *= 2
+        slow["scalars"]["fig7_avg_index_total_seconds"] *= 2
+        slow_path = write(tmp, "slow.json", slow)
+        rc, out = run(compare, base, slow_path)
+        check("2x slowdown", 1, rc, out)
+        if "REGRESSION" not in out:
+            failures.append(f"2x slowdown: no REGRESSION marker\n{out}")
+
+        rc, out = run(compare, "--advisory", base, slow_path)
+        check("advisory", 0, rc, out)
+
+        worse_recall = json.loads(json.dumps(BASE))
+        worse_recall["scalars"]["fig7_overall_recall"] = 0.4
+        rc, out = run(compare, base,
+                      write(tmp, "recall.json", worse_recall))
+        check("recall drop", 1, rc, out)
+
+        legacy = {"bench": "selftest",
+                  "scalars": {"micro_jaccard_ns": 101.0}}
+        rc, out = run(compare, write(tmp, "legacy.json", legacy), base)
+        check("legacy point", 0, rc, out)
+        if "no schema_version" not in out:
+            failures.append(f"legacy point: missing pre-v2 note\n{out}")
+
+    if failures:
+        print("bench_compare_selftest FAILED:")
+        for f in failures:
+            print(" -", f)
+        return 1
+    print("bench_compare_selftest OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
