@@ -115,6 +115,22 @@ void BM_HammingDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_HammingDistance);
 
+// std::popcount over embedded vectors. Built with -mpopcnt (SSR_ENABLE_POPCNT)
+// this is one POPCNT per word; without it GCC's bit-twiddling fallback runs
+// several times slower — a Release-build run of this bench is the check that
+// the hardware instruction is actually being emitted.
+void BM_BitVectorPopCount(benchmark::State& state) {
+  Rng rng(12);
+  Embedding e = DefaultEmbedding();
+  const BitVector v = e.Embed(RandomSet(rng, 250, 1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.PopCount());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(v.size()));
+}
+BENCHMARK(BM_BitVectorPopCount);
+
 void BM_SfiProbe(benchmark::State& state) {
   Rng rng(6);
   Embedding e = DefaultEmbedding();
@@ -131,6 +147,30 @@ void BM_SfiProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SfiProbe)->Arg(5)->Arg(20)->Arg(50);
+
+// The probe-union primitive with a reused scratch buffer (SimVectorInto):
+// what the batch executor's per-worker query loop runs. Against BM_SfiProbe
+// (same params, allocating SimVector) the delta is the per-probe allocation
+// churn the scratch buffer eliminates.
+void BM_SfiProbeUnionScratch(benchmark::State& state) {
+  Rng rng(6);  // same stream as BM_SfiProbe: identical tables and query
+  Embedding e = DefaultEmbedding();
+  SfiParams params;
+  params.s_star = 0.9;
+  params.l = static_cast<std::size_t>(state.range(0));
+  auto sfi = SimilarityFilterIndex::Create(e, params, 10000);
+  for (int i = 0; i < 10000; ++i) {
+    sfi->Insert(static_cast<SetId>(i), e.Sign(RandomSet(rng, 30, 1 << 16)));
+  }
+  const Signature query = e.Sign(RandomSet(rng, 30, 1 << 16));
+  std::vector<SetId> scratch;
+  for (auto _ : state) {
+    sfi->SimVectorInto(query, /*complemented=*/false, nullptr, &scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SfiProbeUnionScratch)->Arg(5)->Arg(20)->Arg(50);
 
 // End-to-end candidate generation through the composite index (embed +
 // probe + set algebra, no verification fetches). The observability

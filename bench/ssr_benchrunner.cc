@@ -1,8 +1,9 @@
 // Benchmark-trajectory driver: runs a canonical, pinned-parameter bench
-// suite (micro primitives, candidate generation, the Figure 7 harness, and
-// the Equation 4 filter curve), profiles every phase with hardware-or-
-// fallback perf counters, and writes one numbered BENCH_<n>.json trajectory
-// point per invocation. Successive points (same machine, same governor —
+// suite (micro primitives, candidate generation, the Figure 7 harness, the
+// Equation 4 filter curve, parallel build scaling, and concurrent batch-
+// query throughput), profiles every phase with hardware-or-fallback perf
+// counters, and writes one numbered BENCH_<n>.json trajectory point per
+// invocation. Successive points (same machine, same governor —
 // compare "env" fingerprints) chart the repo's perf trajectory;
 // tools/bench_compare.py diffs two points and flags regressions.
 //
@@ -27,6 +28,7 @@
 #include "core/set_similarity_index.h"
 #include "core/sfi.h"
 #include "eval/harness.h"
+#include "exec/batch_executor.h"
 #include "hamming/embedding.h"
 #include "obs/chrome_trace.h"
 #include "obs/profile.h"
@@ -256,6 +258,140 @@ int RunFilterCurveSuite(bool quick, RunReport* report) {
   return 0;
 }
 
+/// Parallel index build at 1/2/4/8 workers over one collection. The scaling
+/// metric is the modeled makespan (BuildStats::makespan_seconds): serial
+/// portions at wall cost plus each parallel phase's busiest-worker CPU time
+/// — the build time on a machine that really runs that many cores, which a
+/// core-limited CI host cannot show through the wall clock.
+int RunBuildScalingSuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: build_scaling (pinned params)");
+  Rng rng(0x5eed04);
+  const std::size_t collection = quick ? 600 : 3000;
+
+  SetStore store;
+  for (std::size_t i = 0; i < collection; ++i) {
+    if (!store.Add(RandomSet(rng, 60, 1 << 16)).ok()) {
+      std::fprintf(stderr, "store add failed\n");
+      return 1;
+    }
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points.push_back({0.2, FilterKind::kDissimilarity, 8, 0});
+  layout.points.push_back({0.5, FilterKind::kSimilarity, 8, 0});
+  layout.points.push_back({0.8, FilterKind::kSimilarity, 8, 0});
+
+  double serial_makespan = 0.0;
+  std::uint64_t serial_digest = 0;
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    IndexOptions options;
+    options.embedding.minhash.num_hashes = 100;
+    options.embedding.minhash.value_bits = 8;
+    options.num_threads = threads;
+    auto index = SetSimilarityIndex::Build(store, layout, options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    const BuildStats& stats = index->build_stats();
+    if (threads == 1) {
+      serial_makespan = stats.makespan_seconds;
+      serial_digest = index->ContentDigest();
+    } else if (index->ContentDigest() != serial_digest) {
+      std::fprintf(stderr, "parallel build diverged at %zu threads\n",
+                   threads);
+      return 1;
+    }
+    const double speedup = stats.makespan_seconds > 0.0
+                               ? serial_makespan / stats.makespan_seconds
+                               : 0.0;
+    std::printf("  %zu thread(s): makespan %.3f s (wall %.3f s, sign %.3f + "
+                "insert %.3f cpu-s)  speedup %.2fx\n",
+                threads, stats.makespan_seconds, stats.wall_seconds,
+                stats.sign_cpu_seconds, stats.insert_cpu_seconds, speedup);
+    const std::string prefix = "build_scaling_t" + std::to_string(threads);
+    report->AddScalar(prefix + "_makespan_seconds", stats.makespan_seconds);
+    if (threads > 1) {
+      report->AddScalar(prefix + "_speedup", speedup);
+    }
+  }
+  return 0;
+}
+
+/// Concurrent batch-query throughput at 1/2/4/8 workers against one
+/// immutable index. QPS is reported from the modeled makespan (busiest
+/// worker's CPU + its simulated I/O) alongside the honest wall-clock QPS;
+/// only the former can exceed 1x scaling when CI grants a single core.
+int RunQueryThroughputSuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: query_throughput (pinned params)");
+  Rng rng(0x5eed05);
+  const std::size_t collection = quick ? 500 : 2000;
+  const std::size_t batch_size = quick ? 300 : 1500;
+
+  SetStoreOptions store_options;
+  store_options.buffer_pool_pages = 64;
+  SetStore store(store_options);
+  std::vector<ElementSet> sets;
+  sets.reserve(collection);
+  for (std::size_t i = 0; i < collection; ++i) {
+    sets.push_back(RandomSet(rng, 40, 1 << 16));
+    if (!store.Add(sets.back()).ok()) {
+      std::fprintf(stderr, "store add failed\n");
+      return 1;
+    }
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points.push_back({0.2, FilterKind::kDissimilarity, 8, 0});
+  layout.points.push_back({0.5, FilterKind::kSimilarity, 8, 0});
+  layout.points.push_back({0.8, FilterKind::kSimilarity, 8, 0});
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 100;
+  options.embedding.minhash.value_bits = 8;
+  auto index = SetSimilarityIndex::Build(store, layout, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<exec::BatchQuery> batch;
+  batch.reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    exec::BatchQuery q;
+    q.query = sets[i % sets.size()];
+    q.sigma1 = 0.55;
+    q.sigma2 = 0.95;
+    batch.push_back(std::move(q));
+  }
+
+  double serial_qps = 0.0;
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    exec::BatchExecutorOptions exec_options;
+    exec_options.num_threads = threads;
+    exec::BatchExecutor executor(*index, exec_options);
+    exec::BatchResult result = executor.Run(batch);
+    if (result.failed != 0) {
+      std::fprintf(stderr, "%zu batch queries failed\n", result.failed);
+      return 1;
+    }
+    if (threads == 1) serial_qps = result.modeled_qps;
+    const double speedup =
+        serial_qps > 0.0 ? result.modeled_qps / serial_qps : 0.0;
+    std::printf("  %zu thread(s): modeled %.0f qps (makespan %.3f s), wall "
+                "%.0f qps  speedup %.2fx\n",
+                threads, result.modeled_qps, result.modeled_makespan_seconds,
+                result.wall_qps, speedup);
+    const std::string prefix = "query_throughput_t" + std::to_string(threads);
+    report->AddScalar(prefix + "_modeled_qps", result.modeled_qps);
+    if (threads > 1) {
+      report->AddScalar(prefix + "_speedup", speedup);
+    }
+  }
+  return 0;
+}
+
 /// First free BENCH_<n>.json slot in `dir` (the trajectory is append-only).
 std::string NextTrajectoryPath(const std::string& dir) {
   for (int n = 0;; ++n) {
@@ -286,6 +422,8 @@ int Run(const bench::Flags& flags) {
   if (RunQueryCandidatesSuite(quick, &report) != 0) return 1;
   if (RunFig7Suite(quick, &report) != 0) return 1;
   if (RunFilterCurveSuite(quick, &report) != 0) return 1;
+  if (RunBuildScalingSuite(quick, &report) != 0) return 1;
+  if (RunQueryThroughputSuite(quick, &report) != 0) return 1;
   report.AddScalar("total_wall_seconds", total.ElapsedSeconds());
 
   std::string path = flags.GetString("json", "");

@@ -26,6 +26,13 @@ class DissimilarityFilterIndex {
   /// Inserts a data vector (NOT complemented; only queries are).
   void Insert(SetId sid, const Signature& sig) { sfi_.Insert(sid, sig); }
 
+  /// Per-table insert for the sharded parallel builder (see
+  /// SimilarityFilterIndex::InsertIntoTable).
+  void InsertIntoTable(std::size_t table_idx, SetId sid, const Signature& sig) {
+    sfi_.InsertIntoTable(table_idx, sid, sig);
+  }
+  void NoteBulkEntries(std::size_t count) { sfi_.NoteBulkEntries(count); }
+
   /// Removes `sid`.
   std::size_t Erase(SetId sid, const Signature& sig) {
     return sfi_.Erase(sid, sig);
@@ -36,6 +43,15 @@ class DissimilarityFilterIndex {
                                   SfiProbeStats* stats = nullptr) const {
     return sfi_.SimVector(query, /*complemented=*/true, stats);
   }
+
+  /// Allocation-free DissimVector (see SimilarityFilterIndex::SimVectorInto).
+  void DissimVectorInto(const Signature& query, SfiProbeStats* stats,
+                        std::vector<SetId>* out) const {
+    sfi_.SimVectorInto(query, /*complemented=*/true, stats, out);
+  }
+
+  /// Content digest of the underlying SFI's tables.
+  std::uint64_t ContentDigest() const { return sfi_.ContentDigest(); }
 
   /// The dissimilarity threshold s* this DFI was created for.
   double s_star() const { return s_star_; }

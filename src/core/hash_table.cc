@@ -4,6 +4,7 @@
 
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
+#include "util/hash.h"
 #include "util/mathutil.h"
 
 namespace ssr {
@@ -41,7 +42,7 @@ std::size_t SidHashTable::Probe(std::uint64_t key_hash,
       "ssr_hash_bucket_probes_total");
   static obs::Counter* const scanned =
       obs::MetricsRegistry::Default().GetCounter("ssr_hash_sids_scanned_total");
-  ++bucket_accesses_;
+  bucket_accesses_.fetch_add(1, std::memory_order_relaxed);
   probes->Increment();
   // Latency-only fault site: a kLatency schedule here simulates a slow
   // bucket page. Error kinds are deliberately ignored — the in-memory table
@@ -65,6 +66,18 @@ std::size_t SidHashTable::max_bucket_size() const {
     max_size = std::max(max_size, b.size());
   }
   return max_size;
+}
+
+std::uint64_t SidHashTable::ContentDigest() const {
+  std::uint64_t h = SplitMix64(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    h = HashCombine(h, bucket.size());
+    for (const Entry& e : bucket) {
+      h = HashCombine(h, (static_cast<std::uint64_t>(e.fingerprint) << 48) ^
+                             static_cast<std::uint64_t>(e.sid));
+    }
+  }
+  return h;
 }
 
 }  // namespace ssr

@@ -7,6 +7,7 @@
 #ifndef SSR_CORE_HASH_TABLE_H_
 #define SSR_CORE_HASH_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,25 @@ class SidHashTable {
   /// `num_buckets` is rounded up to a power of two (>= 1).
   explicit SidHashTable(std::size_t num_buckets);
 
+  // The atomic counter is not movable by default; moves happen only while
+  // the table is singly-owned (vector growth, SFI construction), so a
+  // relaxed value transfer is exact.
+  SidHashTable(SidHashTable&& other) noexcept
+      : buckets_(std::move(other.buckets_)),
+        mask_(other.mask_),
+        size_(other.size_),
+        bucket_accesses_(
+            other.bucket_accesses_.load(std::memory_order_relaxed)) {}
+  SidHashTable& operator=(SidHashTable&& other) noexcept {
+    buckets_ = std::move(other.buckets_);
+    mask_ = other.mask_;
+    size_ = other.size_;
+    bucket_accesses_.store(
+        other.bucket_accesses_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Inserts `sid` under `key_hash`.
   void Insert(std::uint64_t key_hash, SetId sid);
 
@@ -49,12 +69,23 @@ class SidHashTable {
 
   /// Number of Probe() calls since construction/reset (one bucket access
   /// each; the paper charges one random I/O per access for disk-resident
-  /// tables).
-  std::uint64_t bucket_accesses() const { return bucket_accesses_; }
-  void ResetCounters() const { bucket_accesses_ = 0; }
+  /// tables). Relaxed-atomic so concurrent readers (the batch executor
+  /// probes an immutable index from many workers) never race.
+  std::uint64_t bucket_accesses() const {
+    return bucket_accesses_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() const {
+    bucket_accesses_.store(0, std::memory_order_relaxed);
+  }
 
   /// Occupancy diagnostics: size of the largest bucket.
   std::size_t max_bucket_size() const;
+
+  /// Order-sensitive hash of the full table contents (bucket layout,
+  /// fingerprints, sids). Two tables digest equal iff every bucket holds the
+  /// same entries in the same order — the property the parallel builder must
+  /// reproduce to be bit-identical with the serial build.
+  std::uint64_t ContentDigest() const;
 
  private:
   std::size_t BucketIndex(std::uint64_t key_hash) const {
@@ -67,7 +98,7 @@ class SidHashTable {
   std::vector<std::vector<Entry>> buckets_;
   std::size_t mask_;
   std::size_t size_ = 0;
-  mutable std::uint64_t bucket_accesses_ = 0;
+  mutable std::atomic<std::uint64_t> bucket_accesses_{0};
 };
 
 }  // namespace ssr

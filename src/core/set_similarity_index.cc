@@ -4,6 +4,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "exec/thread_pool.h"
 #include "fault/fault_injector.h"
 #include "obs/trace.h"
 #include "util/hash.h"
@@ -105,18 +106,117 @@ SetSimilarityIndex::SetSimilarityIndex(SetStore& store, IndexLayout layout,
 }
 
 Status SetSimilarityIndex::BuildFilterIndices() {
+  Stopwatch build_watch;
   SSR_RETURN_IF_ERROR(CreateFilterIndices());
-  // Embed and insert every live set.
+
+  // Phase 0 (serial): one sequential scan collects every live set in file
+  // order — the I/O is inherently serial, and it fixes the sid order the
+  // sharded phases below must reproduce.
+  std::vector<SetId> sids;
+  std::vector<ElementSet> sets;
   Status status;
   store_->ScanAll([&](SetId sid, const ElementSet& set) {
-    Status s = Insert(sid, set);
-    if (!s.ok()) {
-      status = s;
+    if (!IsNormalizedSet(set)) {
+      status = Status::InvalidArgument("set must be sorted and duplicate-free");
       return false;
     }
+    sids.push_back(sid);
+    sets.push_back(set);
     return true;
   });
-  return status;
+  SSR_RETURN_IF_ERROR(status);
+  const std::size_t n = sids.size();
+
+  exec::ThreadPool pool(exec::ResolveThreadCount(options_.num_threads));
+  build_stats_ = BuildStats{};
+  build_stats_.threads = pool.size();
+  build_stats_.sets_indexed = n;
+
+  SetId max_sid = 0;
+  for (SetId sid : sids) max_sid = std::max(max_sid, sid);
+  if (n > 0 && max_sid >= live_.size()) {
+    live_.resize(max_sid + 1, false);
+    signatures_.resize(max_sid + 1);
+  }
+
+  // Phase 1 (parallel): sign every set. Each worker writes disjoint
+  // sid-indexed slots; Embedding::Sign is const and reentrant. The result
+  // is position-determined, so it is independent of scheduling.
+  double parallel_wall = 0.0;
+  {
+    obs::TraceSpan span("build/sign");
+    span.Tag("sets", static_cast<std::uint64_t>(n));
+    pool.ParallelFor(0, n, /*grain=*/0,
+                     [&](std::size_t i, std::size_t /*worker*/) {
+                       signatures_[sids[i]] = embedding_->Sign(sets[i]);
+                     });
+    const exec::JobStats& job = pool.last_job_stats();
+    build_stats_.sign_cpu_seconds = job.TotalCpuSeconds();
+    build_stats_.sign_makespan_seconds = job.MakespanSeconds();
+    parallel_wall += job.wall_seconds;
+  }
+
+  // Phase 2 (parallel): insert into the hash tables, sharded by table. A
+  // worker owns whole (fi, table) pairs and walks sids in ascending file
+  // order — the same per-table insertion order as the serial build — so
+  // bucket contents are bit-identical and no insert path needs a lock.
+  struct TableRef {
+    std::size_t fi;
+    std::size_t table;
+  };
+  std::vector<TableRef> tables;
+  for (std::size_t f = 0; f < fis_.size(); ++f) {
+    const std::size_t l =
+        fis_[f].sfi != nullptr ? fis_[f].sfi->l() : fis_[f].dfi->l();
+    for (std::size_t t = 0; t < l; ++t) tables.push_back({f, t});
+  }
+  {
+    obs::TraceSpan span("build/insert");
+    span.Tag("tables", static_cast<std::uint64_t>(tables.size()));
+    pool.ParallelFor(
+        0, tables.size(), /*grain=*/1,
+        [&](std::size_t ti, std::size_t /*worker*/) {
+          const TableRef ref = tables[ti];
+          BuiltFi& fi = fis_[ref.fi];
+          if (fi.sfi != nullptr) {
+            for (std::size_t i = 0; i < n; ++i) {
+              fi.sfi->InsertIntoTable(ref.table, sids[i], signatures_[sids[i]]);
+            }
+          } else {
+            for (std::size_t i = 0; i < n; ++i) {
+              fi.dfi->InsertIntoTable(ref.table, sids[i], signatures_[sids[i]]);
+            }
+          }
+        });
+    const exec::JobStats& job = pool.last_job_stats();
+    build_stats_.insert_cpu_seconds = job.TotalCpuSeconds();
+    build_stats_.insert_makespan_seconds = job.MakespanSeconds();
+    parallel_wall += job.wall_seconds;
+  }
+
+  // Phase 3 (serial): size bookkeeping.
+  for (auto& fi : fis_) {
+    if (fi.sfi != nullptr) {
+      fi.sfi->NoteBulkEntries(n);
+    } else {
+      fi.dfi->NoteBulkEntries(n);
+    }
+  }
+  for (SetId sid : sids) {
+    live_[sid] = true;
+  }
+  num_live_ += n;
+  live_sets_->Set(static_cast<double>(num_live_));
+
+  build_stats_.wall_seconds = build_watch.ElapsedSeconds();
+  // Modeled build time: the serial portions at wall-clock cost plus each
+  // parallel phase at its busiest worker's CPU cost. Equals wall_seconds
+  // when the machine really runs `threads` workers concurrently.
+  build_stats_.makespan_seconds =
+      (build_stats_.wall_seconds - parallel_wall) +
+      build_stats_.sign_makespan_seconds +
+      build_stats_.insert_makespan_seconds;
+  return Status::OK();
 }
 
 Status SetSimilarityIndex::CreateFilterIndices() {
@@ -227,8 +327,10 @@ std::vector<SetId> SetSimilarityIndex::LiveSids() const {
   return out;
 }
 
-Result<std::vector<SetId>> SetSimilarityIndex::ProbeFi(
-    std::size_t fi_idx, const Signature& query, bool* partial) const {
+Status SetSimilarityIndex::ProbeFi(std::size_t fi_idx, const Signature& query,
+                                   bool* partial, QueryStats* stats,
+                                   IoCostModel& io,
+                                   std::vector<SetId>* out) const {
   const BuiltFi& fi = fis_[fi_idx];
   obs::TraceSpan span("probe_fi");
   span.Tag("fi", static_cast<std::uint64_t>(fi_idx));
@@ -236,52 +338,57 @@ Result<std::vector<SetId>> SetSimilarityIndex::ProbeFi(
   span.Tag("point", fi.point.similarity);
   *partial = false;
   SfiProbeStats probe;
-  auto result = fault::RetryWithPolicy(
-      options_.probe_retry, [&]() -> Result<std::vector<SetId>> {
+  Status status =
+      fault::RetryWithPolicy(options_.probe_retry, [&]() -> Status {
         SSR_RETURN_IF_ERROR(
             fault::FaultInjector::Default().CheckStatus("index/probe_fi"));
         probe = SfiProbeStats{};
         if (fi.sfi != nullptr) {
-          return fi.sfi->SimVector(query, /*complemented=*/false, &probe);
+          fi.sfi->SimVectorInto(query, /*complemented=*/false, &probe, out);
+        } else {
+          fi.dfi->DissimVectorInto(query, &probe, out);
         }
-        return fi.dfi->DissimVector(query, &probe);
+        return Status::OK();
       });
-  if (!result.ok()) {
+  if (!status.ok()) {
+    stats->probe_failures += 1;
     probe_failures_->Increment();
     span.Tag("failed", std::uint64_t{1});
-    return result.status();
+    return status;
   }
+  // Accumulate into the query's own stats and mirror the same amounts into
+  // the process-wide instruments (the two stay consistent by construction;
+  // per-query stats never see a concurrent query's probes).
+  stats->bucket_accesses += probe.bucket_accesses;
+  stats->bucket_pages += probe.bucket_pages;
+  stats->sids_scanned += probe.sids_scanned;
   bucket_accesses_->Add(probe.bucket_accesses);
   bucket_pages_->Add(probe.bucket_pages);
   sids_scanned_->Add(probe.sids_scanned);
   if (probe.tables_failed > 0) {
     *partial = true;
+    stats->probe_failures += 1;
     probe_failures_->Increment();
     span.Tag("tables_failed",
              static_cast<std::uint64_t>(probe.tables_failed));
   }
-  span.Tag("sids", static_cast<std::uint64_t>(result.value().size()));
+  span.Tag("sids", static_cast<std::uint64_t>(out->size()));
   if (options_.charge_bucket_io) {
-    store_->io().ChargeRandomRead(probe.bucket_pages);
+    io.ChargeRandomRead(probe.bucket_pages);
   }
-  return result;
-}
-
-QueryStats SetSimilarityIndex::SnapshotCounters() const {
-  QueryStats snap;
-  snap.bucket_accesses = bucket_accesses_->value();
-  snap.bucket_pages = bucket_pages_->value();
-  snap.sids_scanned = sids_scanned_->value();
-  snap.sets_fetched = sets_fetched_->value();
-  snap.probe_failures = probe_failures_->value();
-  snap.fetch_failures = fetch_failures_->value();
-  snap.io = store_->io().stats();
-  return snap;
+  return status;
 }
 
 std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
     const Signature& query, double sigma1, double sigma2, QueryStats* stats,
-    bool* additive_loss) const {
+    bool* additive_loss, IoCostModel& io,
+    std::vector<SetId>* scratch) const {
+  // All probes share one scratch vector (caller-provided when available):
+  // the union is built in place with warm capacity and copied out once per
+  // probe, eliminating the per-table growth reallocations.
+  std::vector<SetId> local_scratch;
+  std::vector<SetId>* probe_out =
+      scratch != nullptr ? scratch : &local_scratch;
   // A failed or partial *additive* probe can lose true candidates: report
   // it through *additive_loss and contribute a best-effort (possibly
   // empty) set. A failed *subtractive* probe subtracts nothing — the
@@ -289,22 +396,22 @@ std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
   // answers. Both paths tag the query degraded.
   const auto additive = [&](std::size_t idx) -> std::vector<SetId> {
     bool partial = false;
-    auto r = ProbeFi(idx, query, &partial);
-    if (!r.ok() || partial) {
+    Status s = ProbeFi(idx, query, &partial, stats, io, probe_out);
+    if (!s.ok() || partial) {
       stats->degraded = true;
       *additive_loss = true;
-      if (!r.ok()) return {};
+      if (!s.ok()) return {};
     }
-    return std::move(r).value();
+    return *probe_out;
   };
   const auto subtractive = [&](std::size_t idx) -> std::vector<SetId> {
     bool partial = false;
-    auto r = ProbeFi(idx, query, &partial);
-    if (!r.ok() || partial) {
+    Status s = ProbeFi(idx, query, &partial, stats, io, probe_out);
+    if (!s.ok() || partial) {
       stats->degraded = true;
-      if (!r.ok()) return {};
+      if (!s.ok()) return {};
     }
-    return std::move(r).value();
+    return *probe_out;
   };
 
   // Virtual enclosing-point selection over [0 | layout points | 1].
@@ -590,7 +697,7 @@ Result<SetSimilarityIndex> SetSimilarityIndex::Load(
 }
 
 Result<QueryResult> SetSimilarityIndex::QueryCandidates(
-    const ElementSet& query, double sigma1, double sigma2) {
+    const ElementSet& query, double sigma1, double sigma2) const {
   if (!(sigma1 >= 0.0 && sigma1 <= sigma2 && sigma2 <= 1.0)) {
     return Status::InvalidArgument("require 0 <= sigma1 <= sigma2 <= 1");
   }
@@ -599,7 +706,8 @@ Result<QueryResult> SetSimilarityIndex::QueryCandidates(
   }
   Stopwatch watch;
   obs::TraceSpan root("query_candidates");
-  const QueryStats before = SnapshotCounters();
+  IoCostModel& io = store_->io();
+  const IoStats io_before = io.stats();
   queries_->Increment();
   QueryResult result;
   Signature sig;
@@ -610,8 +718,8 @@ Result<QueryResult> SetSimilarityIndex::QueryCandidates(
   bool additive_loss = false;
   {
     obs::TraceSpan plan("plan");
-    result.sids =
-        ComputeCandidates(sig, sigma1, sigma2, &result.stats, &additive_loss);
+    result.sids = ComputeCandidates(sig, sigma1, sigma2, &result.stats,
+                                    &additive_loss, io, nullptr);
   }
   if (result.stats.degraded &&
       options_.degrade == DegradeMode::kFailFast) {
@@ -630,7 +738,8 @@ Result<QueryResult> SetSimilarityIndex::QueryCandidates(
   result.stats.candidates = result.sids.size();
   result.stats.results = result.sids.size();
   candidates_hist_->Observe(static_cast<double>(result.sids.size()));
-  FinishStats(before, watch, &result.stats);
+  result.stats.io = io.stats() - io_before;
+  FinishStats(watch, &result.stats);
   root.Tag("plan", QueryPlanKindName(result.stats.plan));
   root.Tag("candidates", static_cast<std::uint64_t>(result.stats.candidates));
   if (result.stats.degraded) root.Tag("degraded", std::uint64_t{1});
@@ -638,7 +747,21 @@ Result<QueryResult> SetSimilarityIndex::QueryCandidates(
 }
 
 Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
-                                              double sigma1, double sigma2) {
+                                              double sigma1,
+                                              double sigma2) const {
+  return QueryImpl(query, sigma1, sigma2, /*view=*/nullptr,
+                   /*scratch=*/nullptr);
+}
+
+Result<QueryResult> SetSimilarityIndex::QueryThrough(
+    SetStore::ReadView& view, const ElementSet& query, double sigma1,
+    double sigma2, std::vector<SetId>* scratch) const {
+  return QueryImpl(query, sigma1, sigma2, &view, scratch);
+}
+
+Result<QueryResult> SetSimilarityIndex::QueryImpl(
+    const ElementSet& query, double sigma1, double sigma2,
+    SetStore::ReadView* view, std::vector<SetId>* scratch) const {
   if (!(sigma1 >= 0.0 && sigma1 <= sigma2 && sigma2 <= 1.0)) {
     return Status::InvalidArgument("require 0 <= sigma1 <= sigma2 <= 1");
   }
@@ -647,7 +770,11 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
   }
   Stopwatch watch;
   obs::TraceSpan root("query");
-  const QueryStats before = SnapshotCounters();
+  // All I/O this query causes — bucket probes, candidate fetches, a
+  // degraded scan — lands on one model: the store's (serial path) or the
+  // worker's private view (concurrent path). Its delta is this query's io.
+  IoCostModel& io = view != nullptr ? view->io() : store_->io();
+  const IoStats io_before = io.stats();
   queries_->Increment();
   QueryResult result;
   Signature sig;
@@ -659,8 +786,8 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
   bool additive_loss = false;
   {
     obs::TraceSpan plan("plan");
-    candidates =
-        ComputeCandidates(sig, sigma1, sigma2, &result.stats, &additive_loss);
+    candidates = ComputeCandidates(sig, sigma1, sigma2, &result.stats,
+                                   &additive_loss, io, scratch);
   }
   result.stats.candidates = candidates.size();
   candidates_hist_->Observe(static_cast<double>(candidates.size()));
@@ -686,11 +813,12 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
     // Verification: fetch each candidate and keep exact-similarity matches.
     obs::TraceSpan verify("verify");
     for (SetId sid : candidates) {
-      auto set = store_->Get(sid);
+      auto set = view != nullptr ? view->Get(sid) : store_->Get(sid);
       if (!set.ok()) {
         if (set.status().IsNotFound()) continue;  // deleted concurrently
         // A real fetch failure (transient fault that exhausted retries, or
         // data loss): never silently drop the candidate.
+        result.stats.fetch_failures += 1;
         fetch_failures_->Increment();
         result.stats.degraded = true;
         if (options_.degrade == DegradeMode::kFailFast) {
@@ -702,6 +830,7 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
         }
         continue;  // kPartialResults: skip, answer stays tagged degraded
       }
+      result.stats.sets_fetched += 1;
       sets_fetched_->Increment();
       const double sim = Jaccard(set.value(), query);
       if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
@@ -709,7 +838,7 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
       }
     }
     verify.Tag("fetched",
-               sets_fetched_->value() - before.sets_fetched);
+               static_cast<std::uint64_t>(result.stats.sets_fetched));
   }
 
   if (need_full_scan) {
@@ -719,17 +848,23 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
     seqscan_fallbacks_->Increment();
     result.stats.degraded = true;
     result.sids.clear();
-    store_->ScanAll([&](SetId sid, const ElementSet& set) {
+    const auto verify_all = [&](SetId sid, const ElementSet& set) {
       const double sim = Jaccard(set, query);
       if (sim >= sigma1 - kEps && sim <= sigma2 + kEps) {
         result.sids.push_back(sid);
       }
       return true;
-    });
+    };
+    if (view != nullptr) {
+      view->ScanAll(verify_all);
+    } else {
+      store_->ScanAll(verify_all);
+    }
     scan.Tag("results", static_cast<std::uint64_t>(result.sids.size()));
   }
   if (result.stats.degraded) degraded_queries_->Increment();
-  FinishStats(before, watch, &result.stats);
+  result.stats.io = io.stats() - io_before;
+  FinishStats(watch, &result.stats);
   results_->Add(result.sids.size());
   result.stats.results = result.sids.size();
   root.Tag("plan", QueryPlanKindName(result.stats.plan));
@@ -741,20 +876,28 @@ Result<QueryResult> SetSimilarityIndex::Query(const ElementSet& query,
   return result;
 }
 
-void SetSimilarityIndex::FinishStats(const QueryStats& before,
-                                     const Stopwatch& watch,
+void SetSimilarityIndex::FinishStats(const Stopwatch& watch,
                                      QueryStats* stats) const {
-  const QueryStats after = SnapshotCounters();
-  stats->bucket_accesses = after.bucket_accesses - before.bucket_accesses;
-  stats->bucket_pages = after.bucket_pages - before.bucket_pages;
-  stats->sids_scanned = after.sids_scanned - before.sids_scanned;
-  stats->sets_fetched = after.sets_fetched - before.sets_fetched;
-  stats->probe_failures = after.probe_failures - before.probe_failures;
-  stats->fetch_failures = after.fetch_failures - before.fetch_failures;
-  stats->io = after.io - before.io;
   stats->io_seconds = stats->io.SimulatedSeconds(store_->io().params());
   stats->cpu_seconds = watch.ElapsedSeconds();
   latency_hist_->Observe(stats->cpu_seconds * 1e6);
+}
+
+std::uint64_t SetSimilarityIndex::ContentDigest() const {
+  std::uint64_t h = SplitMix64(fis_.size());
+  for (const auto& fi : fis_) {
+    h = HashCombine(h, fi.sfi != nullptr ? fi.sfi->ContentDigest()
+                                         : fi.dfi->ContentDigest());
+  }
+  h = HashCombine(h, num_live_);
+  for (SetId sid = 0; sid < live_.size(); ++sid) {
+    if (!live_[sid]) continue;
+    h = HashCombine(h, sid);
+    for (std::uint16_t v : signatures_[sid].values()) {
+      h = HashCombine(h, v);
+    }
+  }
+  return h;
 }
 
 }  // namespace ssr

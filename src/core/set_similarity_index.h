@@ -61,6 +61,14 @@ struct IndexOptions {
   /// scope. Runtime-only: not persisted by SaveTo/Load.
   std::string metrics_scope;
 
+  /// Worker threads for Build: 1 = serial (the default), 0 = resolve from
+  /// the SSR_THREADS environment variable, falling back to the hardware
+  /// concurrency (exec::ResolveThreadCount). Any thread count produces a
+  /// bit-identical index — signing is sharded by sid slot and table inserts
+  /// are sharded by table, both walking sids in ascending order, which is
+  /// exactly the serial insertion order. Runtime-only.
+  std::size_t num_threads = 1;
+
   /// Behavior when probes/fetches ultimately fail. Runtime-only.
   DegradeMode degrade = DegradeMode::kSequentialFallback;
 
@@ -81,11 +89,13 @@ enum class QueryPlanKind {
 /// "full_collection") — used in trace tags and JSON reports.
 const char* QueryPlanKindName(QueryPlanKind kind);
 
-/// Per-query execution statistics. This is a *view*: the counting fields
-/// (bucket_accesses, bucket_pages, sids_scanned, sets_fetched, io) are
-/// before/after deltas of the index's registry instruments around the query
-/// — the hot path updates only the instruments, so QueryStats, the metrics
-/// exporters, and process dashboards all agree by construction.
+/// Per-query execution statistics. The counting fields (bucket_accesses,
+/// bucket_pages, sids_scanned, sets_fetched) are accumulated directly on
+/// the query path, and the same amounts are added to the index's registry
+/// instruments — so QueryStats and the exporters agree, and concurrent
+/// queries (the batch executor) never see each other's counts. The io
+/// field is the delta of whichever I/O model served the query: the store's
+/// (serial Query) or the worker's private ReadView (QueryThrough).
 struct QueryStats {
   QueryPlanKind plan = QueryPlanKind::kSfiPair;
   double lo_point = 0.0;  // enclosing layout point below σ1 (0 = virtual)
@@ -116,6 +126,23 @@ struct QueryResult {
   QueryStats stats;
 };
 
+/// Build-time statistics: wall time plus the per-worker CPU accounting of
+/// the two parallel phases (signing, table inserts). makespan_seconds is
+/// the modeled parallel build time — the serial portions at wall-clock cost
+/// plus, for each parallel phase, the busiest worker's CPU time. On a
+/// machine with fewer cores than workers the wall clock cannot show the
+/// speedup, but the makespan (like the simulated I/O model) still can.
+struct BuildStats {
+  std::size_t threads = 1;
+  std::size_t sets_indexed = 0;
+  double wall_seconds = 0.0;
+  double sign_cpu_seconds = 0.0;       // summed across workers
+  double insert_cpu_seconds = 0.0;     // summed across workers
+  double sign_makespan_seconds = 0.0;  // busiest worker, sign phase
+  double insert_makespan_seconds = 0.0;  // busiest worker, insert phase
+  double makespan_seconds = 0.0;       // modeled end-to-end build time
+};
+
 /// The composite set-similarity range index.
 class SetSimilarityIndex {
  public:
@@ -128,15 +155,28 @@ class SetSimilarityIndex {
 
   /// Answers (q, [σ1, σ2]): probes the enclosing filter indices, applies
   /// the Section 4.3 set algebra, verifies candidates against the store.
-  /// Requires 0 <= σ1 <= σ2 <= 1.
+  /// Requires 0 <= σ1 <= σ2 <= 1. Const: the only state a query touches is
+  /// registry instruments (relaxed atomics) and the store's buffer pool —
+  /// which is why *concurrent* queries must use QueryThrough instead.
   Result<QueryResult> Query(const ElementSet& query, double sigma1,
-                            double sigma2);
+                            double sigma2) const;
 
   /// Like Query but skips verification: returns the raw candidate sids
   /// (useful for measuring filter quality and for the paper's result-size
   /// bucketing, which classifies queries by candidate count).
   Result<QueryResult> QueryCandidates(const ElementSet& query, double sigma1,
-                                      double sigma2);
+                                      double sigma2) const;
+
+  /// Thread-safe Query variant for the batch executor: candidate fetches
+  /// and I/O accounting go through `view` (one per worker), so any number
+  /// of threads may call this concurrently on an index that is not being
+  /// mutated. `scratch` (optional) is the probe-union reuse buffer — pass
+  /// the same vector across a worker's queries to eliminate per-probe
+  /// allocation churn. Answers are identical to Query's.
+  Result<QueryResult> QueryThrough(SetStore::ReadView& view,
+                                   const ElementSet& query, double sigma1,
+                                   double sigma2,
+                                   std::vector<SetId>* scratch = nullptr) const;
 
   /// Dynamic maintenance (Section 4.3 notes hash indices are fully
   /// dynamic): registers a set already added to the store under `sid`.
@@ -150,6 +190,17 @@ class SetSimilarityIndex {
   std::size_t num_filter_indices() const { return fis_.size(); }
   std::size_t num_live_sets() const { return num_live_; }
   SetStore& store() { return *store_; }
+  const SetStore& store() const { return *store_; }
+
+  /// Statistics of the most recent Build (thread count, per-phase CPU,
+  /// modeled makespan).
+  const BuildStats& build_stats() const { return build_stats_; }
+
+  /// Order-sensitive digest over every filter index's hash-table contents
+  /// and all live signatures. Two builds of the same collection digest
+  /// equal iff they produced bit-identical indexes — the parallel-build
+  /// determinism contract is verified against this.
+  std::uint64_t ContentDigest() const;
 
   /// The scope this index's instruments are registered under.
   const std::string& metrics_scope() const { return options_.metrics_scope; }
@@ -188,30 +239,38 @@ class SetSimilarityIndex {
   /// Creates the (empty) filter-index structures for the layout.
   Status CreateFilterIndices();
 
-  /// CreateFilterIndices + embed-and-insert every live set in the store.
+  /// CreateFilterIndices + embed-and-insert every live set in the store,
+  /// using options_.num_threads workers (sign phase sharded by sid slot,
+  /// insert phase sharded by hash table). Bit-identical for any thread
+  /// count. Fills build_stats_.
   Status BuildFilterIndices();
 
   /// Registers a precomputed signature under `sid` (shared by Insert and
   /// Load).
   Status InsertSignature(SetId sid, Signature sig);
 
-  /// Union of the probed buckets for the FI at index `fi_idx`. Updates the
-  /// per-index probe instruments and charges bucket I/O. Transient faults
-  /// at the "index/probe_fi" site are retried under options_.probe_retry;
-  /// ultimate failure surfaces as Unavailable. `*partial` is set when the
-  /// probe succeeded but lost tables to faults (the union is then a subset
-  /// of the true answer).
-  Result<std::vector<SetId>> ProbeFi(std::size_t fi_idx,
-                                     const Signature& query,
-                                     bool* partial) const;
+  /// Union of the probed buckets for the FI at index `fi_idx`, written into
+  /// `*out` (cleared first; reuse one vector across probes to avoid
+  /// allocation). Accumulates probe counts into `*stats` and mirrors them
+  /// into the per-index instruments; charges bucket I/O to `io`. Transient
+  /// faults at the "index/probe_fi" site are retried under
+  /// options_.probe_retry; ultimate failure surfaces as Unavailable.
+  /// `*partial` is set when the probe succeeded but lost tables to faults
+  /// (the union is then a subset of the true answer).
+  Status ProbeFi(std::size_t fi_idx, const Signature& query, bool* partial,
+                 QueryStats* stats, IoCostModel& io,
+                 std::vector<SetId>* out) const;
 
-  /// Snapshot of the counting instruments (for per-query deltas).
-  QueryStats SnapshotCounters() const;
+  /// Shared implementation of Query and QueryThrough. `view` == nullptr is
+  /// the serial path (store fetches, store I/O delta); non-null is the
+  /// concurrent path (view fetches, view I/O delta). `scratch` may be null.
+  Result<QueryResult> QueryImpl(const ElementSet& query, double sigma1,
+                                double sigma2, SetStore::ReadView* view,
+                                std::vector<SetId>* scratch) const;
 
-  /// Fills the delta-view fields of `stats` from the `before` snapshot and
-  /// the query stopwatch.
-  void FinishStats(const QueryStats& before, const Stopwatch& watch,
-                   QueryStats* stats) const;
+  /// Fills the timing fields of `stats` from the query stopwatch and the
+  /// accumulated I/O delta.
+  void FinishStats(const Stopwatch& watch, QueryStats* stats) const;
 
   /// All currently live sids, sorted.
   std::vector<SetId> LiveSids() const;
@@ -227,7 +286,8 @@ class SetSimilarityIndex {
   /// apply the configured DegradeMode. Both paths tag stats->degraded.
   std::vector<SetId> ComputeCandidates(const Signature& query, double sigma1,
                                        double sigma2, QueryStats* stats,
-                                       bool* additive_loss) const;
+                                       bool* additive_loss, IoCostModel& io,
+                                       std::vector<SetId>* scratch) const;
 
   SetStore* store_;  // not owned
   IndexLayout layout_;
@@ -237,6 +297,7 @@ class SetSimilarityIndex {
   std::vector<Signature> signatures_;  // by sid
   std::vector<bool> live_;             // by sid
   std::size_t num_live_ = 0;
+  BuildStats build_stats_;
   // Registry instruments under options_.metrics_scope. The hot path updates
   // these; QueryStats fields are deltas over them.
   obs::Counter* queries_;          // ssr_index_queries_total

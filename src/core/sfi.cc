@@ -5,6 +5,7 @@
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
+#include "util/hash.h"
 #include "util/mathutil.h"
 
 namespace ssr {
@@ -68,6 +69,15 @@ std::size_t SimilarityFilterIndex::Erase(SetId sid, const Signature& sig) {
 
 std::vector<SetId> SimilarityFilterIndex::SimVector(
     const Signature& query, bool complemented, SfiProbeStats* stats) const {
+  std::vector<SetId> out;
+  SimVectorInto(query, complemented, stats, &out);
+  return out;
+}
+
+void SimilarityFilterIndex::SimVectorInto(const Signature& query,
+                                          bool complemented,
+                                          SfiProbeStats* stats,
+                                          std::vector<SetId>* out) const {
   // Complemented probes come from a DFI wrapper (Theorem 2); plain probes
   // are SFI queries. Counted process-wide.
   static obs::Counter* const sfi_probes =
@@ -75,7 +85,7 @@ std::vector<SetId> SimilarityFilterIndex::SimVector(
   static obs::Counter* const dfi_probes =
       obs::MetricsRegistry::Default().GetCounter("ssr_dfi_probes_total");
   (complemented ? dfi_probes : sfi_probes)->Increment();
-  std::vector<SetId> out;
+  out->clear();
   const std::size_t sids_per_page = SidsPerPage();
   std::size_t pages = 0;
   std::size_t scanned = 0;
@@ -91,19 +101,26 @@ std::vector<SetId> SimilarityFilterIndex::SimVector(
     }
     const std::uint64_t key =
         samplers_[i].ExtractKeyHash(query, complemented);
-    const std::size_t bucket_size = tables_[i].Probe(key, &out);
+    const std::size_t bucket_size = tables_[i].Probe(key, out);
     scanned += bucket_size;
     pages += 1 + (bucket_size > 0 ? (bucket_size - 1) / sids_per_page : 0);
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
   if (stats != nullptr) {
     stats->bucket_accesses = tables_.size();
     stats->bucket_pages = pages;
     stats->sids_scanned = scanned;
     stats->tables_failed = failed;
   }
-  return out;
+}
+
+std::uint64_t SimilarityFilterIndex::ContentDigest() const {
+  std::uint64_t h = SplitMix64(tables_.size());
+  for (const SidHashTable& table : tables_) {
+    h = HashCombine(h, table.ContentDigest());
+  }
+  return h;
 }
 
 }  // namespace ssr

@@ -63,6 +63,19 @@ class SimilarityFilterIndex {
   /// Inserts a set's signature under `sid` into all l tables.
   void Insert(SetId sid, const Signature& sig);
 
+  /// Inserts `sid` into table `table_idx` only. The parallel builder shards
+  /// tables across workers: each worker calls this for its disjoint slice of
+  /// table indices, walking sids in the same (ascending) order as the serial
+  /// build, so bucket contents come out identical without any locking.
+  /// Callers must follow up with NoteBulkEntries() exactly once per sid.
+  void InsertIntoTable(std::size_t table_idx, SetId sid, const Signature& sig) {
+    tables_[table_idx].Insert(samplers_[table_idx].ExtractKeyHash(sig), sid);
+  }
+
+  /// Accounts `count` sets inserted via InsertIntoTable (size bookkeeping
+  /// that Insert() does implicitly).
+  void NoteBulkEntries(std::size_t count) { num_entries_ += count; }
+
   /// Removes `sid` (signature must match the inserted one). Returns the
   /// number of tables it was removed from (== l if present).
   std::size_t Erase(SetId sid, const Signature& sig);
@@ -73,6 +86,13 @@ class SimilarityFilterIndex {
   std::vector<SetId> SimVector(const Signature& query,
                                bool complemented = false,
                                SfiProbeStats* stats = nullptr) const;
+
+  /// Allocation-free SimVector: clears `*out` and fills it with the sorted,
+  /// deduplicated union. Reusing one scratch vector across the l tables, all
+  /// FIs of a query, and successive queries drops the per-probe allocation
+  /// churn to zero once the vector's capacity has warmed up.
+  void SimVectorInto(const Signature& query, bool complemented,
+                     SfiProbeStats* stats, std::vector<SetId>* out) const;
 
   /// The analytical filter function of this instance.
   const FilterFunction& filter() const { return filter_; }
@@ -85,6 +105,10 @@ class SimilarityFilterIndex {
   /// How many sids fit in one bucket page (for I/O accounting of
   /// disk-resident tables; "sid_count" in Section 4.1).
   static std::size_t SidsPerPage();
+
+  /// Order-sensitive digest over all l tables' contents; equal digests mean
+  /// identical bucket layouts (used to verify parallel/serial build parity).
+  std::uint64_t ContentDigest() const;
 
  private:
   SimilarityFilterIndex(const Embedding& embedding, SfiParams params,

@@ -1,5 +1,6 @@
 #include "ecc/code.h"
 
+#include <bit>
 #include <vector>
 
 #include "ecc/hadamard.h"
@@ -54,7 +55,7 @@ Status VerifyEquidistant(const Code& code) {
       unsigned dist = 0;
       for (std::size_t w = 0; w < words; ++w) {
         dist += static_cast<unsigned>(
-            __builtin_popcountll(table[u * words + w] ^ table[v * words + w]));
+            std::popcount(table[u * words + w] ^ table[v * words + w]));
       }
       if (dist != expected) {
         return Status::Corruption(

@@ -6,6 +6,8 @@
 #ifndef SSR_ECC_HADAMARD_H_
 #define SSR_ECC_HADAMARD_H_
 
+#include <bit>
+
 #include "ecc/code.h"
 
 namespace ssr {
@@ -21,8 +23,8 @@ class HadamardCode : public Code {
 
   bool Bit(std::uint16_t message, unsigned pos) const override {
     // <u, p> over GF(2) = parity of popcount(u & p).
-    return (__builtin_popcount(static_cast<unsigned>(message) &
-                               static_cast<unsigned>(pos)) &
+    return (std::popcount(static_cast<unsigned>(message) &
+                          static_cast<unsigned>(pos)) &
             1) != 0;
   }
 

@@ -7,6 +7,8 @@
 #ifndef SSR_ECC_SIMPLEX_H_
 #define SSR_ECC_SIMPLEX_H_
 
+#include <bit>
+
 #include "ecc/code.h"
 
 namespace ssr {
@@ -23,8 +25,8 @@ class SimplexCode : public Code {
   bool Bit(std::uint16_t message, unsigned pos) const override {
     // Position `pos` corresponds to the Hadamard position p = pos + 1
     // (puncture position 0, whose bit is identically zero).
-    return (__builtin_popcount(static_cast<unsigned>(message) &
-                               static_cast<unsigned>(pos + 1)) &
+    return (std::popcount(static_cast<unsigned>(message) &
+                          static_cast<unsigned>(pos + 1)) &
             1) != 0;
   }
 

@@ -1,0 +1,99 @@
+// Concurrent batch-query executor: fans a batch of (q, [σ1, σ2]) queries
+// across a worker pool against an immutable SetSimilarityIndex. Each worker
+// gets a private SetStore::ReadView (its own buffer pool + I/O cost model)
+// and a private probe-scratch buffer, so the only shared state the workers
+// touch is read-only index structure and relaxed-atomic instruments.
+// Answers are identical to issuing the queries serially through
+// SetSimilarityIndex::Query.
+//
+// Throughput is reported two ways, consistent with the repo's convention
+// that absolute times come from measured CPU plus the simulated I/O model:
+//   - wall_seconds / wall QPS: honest host wall clock (bounded by however
+//     many physical cores the machine actually has), and
+//   - modeled makespan / modeled QPS: max over workers of (thread CPU time
+//     + simulated I/O time), the batch's runtime on a machine that really
+//     runs `threads_used` workers concurrently against the modeled disk.
+
+#ifndef SSR_EXEC_BATCH_EXECUTOR_H_
+#define SSR_EXEC_BATCH_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/set_similarity_index.h"
+#include "exec/thread_pool.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ssr {
+namespace exec {
+
+/// One query of a batch.
+struct BatchQuery {
+  ElementSet query;
+  double sigma1 = 0.0;
+  double sigma2 = 1.0;
+};
+
+struct BatchExecutorOptions {
+  /// Worker threads: 0 = resolve from SSR_THREADS / hardware concurrency
+  /// (ResolveThreadCount), 1 = serial.
+  std::size_t num_threads = 0;
+
+  /// Queries per scheduling chunk. 1 (default) gives the best balance for
+  /// heterogeneous queries; raise it only if per-chunk overhead ever shows.
+  std::size_t grain = 1;
+
+  /// Buffer-pool pages per worker view; 0 = the store's configured
+  /// capacity per view.
+  std::size_t view_buffer_pool_pages = 0;
+};
+
+/// The outcome of one BatchExecutor::Run.
+struct BatchResult {
+  /// Per-query status/result, in input order. results[i] is meaningful iff
+  /// statuses[i].ok().
+  std::vector<Status> statuses;
+  std::vector<QueryResult> results;
+
+  std::size_t threads_used = 0;
+  std::size_t queries = 0;
+  std::size_t failed = 0;  // queries whose status is not OK
+
+  /// Host wall clock for the whole batch and its QPS.
+  double wall_seconds = 0.0;
+  double wall_qps = 0.0;
+
+  /// Per-worker totals: thread CPU time and simulated I/O time.
+  std::vector<double> worker_cpu_seconds;
+  std::vector<double> worker_io_seconds;
+
+  /// Modeled batch runtime: max over workers of (cpu + simulated I/O);
+  /// modeled_qps = queries / that. Shows the parallel speedup even when
+  /// the host has fewer cores than workers.
+  double modeled_makespan_seconds = 0.0;
+  double modeled_qps = 0.0;
+};
+
+/// Runs batches of queries concurrently against one immutable index. The
+/// index (and its store) must not be mutated while a Run is in flight.
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(const SetSimilarityIndex& index,
+                         BatchExecutorOptions options = {});
+
+  /// Executes every query (order-preserving results) and blocks until done.
+  BatchResult Run(const std::vector<BatchQuery>& queries);
+
+  std::size_t num_threads() const { return pool_.size(); }
+
+ private:
+  const SetSimilarityIndex* index_;
+  BatchExecutorOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace exec
+}  // namespace ssr
+
+#endif  // SSR_EXEC_BATCH_EXECUTOR_H_

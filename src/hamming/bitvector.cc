@@ -1,5 +1,6 @@
 #include "hamming/bitvector.h"
 
+#include <bit>
 #include <cassert>
 
 namespace ssr {
@@ -16,9 +17,11 @@ BitVector BitVector::FromString(const std::string& bits) {
 }
 
 std::size_t BitVector::PopCount() const {
+  // std::popcount lowers to a single POPCNT when the target allows it (the
+  // build adds -mpopcnt on x86-64; see SSR_ENABLE_POPCNT in CMake).
   std::size_t count = 0;
   for (std::uint64_t w : words_) {
-    count += static_cast<std::size_t>(__builtin_popcountll(w));
+    count += static_cast<std::size_t>(std::popcount(w));
   }
   return count;
 }
@@ -76,7 +79,7 @@ std::size_t HammingDistance(const BitVector& a, const BitVector& b) {
   const auto& aw = a.words();
   const auto& bw = b.words();
   for (std::size_t i = 0; i < aw.size(); ++i) {
-    dist += static_cast<std::size_t>(__builtin_popcountll(aw[i] ^ bw[i]));
+    dist += static_cast<std::size_t>(std::popcount(aw[i] ^ bw[i]));
   }
   return dist;
 }

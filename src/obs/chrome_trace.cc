@@ -1,6 +1,8 @@
 #include "obs/chrome_trace.h"
 
 #include <fstream>
+#include <set>
+#include <string>
 
 #include "obs/json_writer.h"
 
@@ -10,14 +12,17 @@ namespace obs {
 namespace {
 
 constexpr std::uint32_t kPid = 1;
-constexpr std::uint32_t kTid = 1;
+
+// Chrome-trace tids are 1-based; worker w renders as tid w + 1, giving one
+// track per exec worker (the main thread is worker 0 -> tid 1).
+std::uint32_t WorkerTid(std::uint32_t worker) { return worker + 1; }
 
 void WriteCommonEventFields(JsonWriter& writer, std::string_view name,
-                            const char* phase, double ts) {
+                            const char* phase, double ts, std::uint32_t tid) {
   writer.Key("name").String(name);
   writer.Key("ph").String(phase);
   writer.Key("pid").UInt(kPid);
-  writer.Key("tid").UInt(kTid);
+  writer.Key("tid").UInt(tid);
   writer.Key("ts").Double(ts);
 }
 
@@ -32,20 +37,29 @@ void WriteChromeTraceJson(JsonWriter& writer,
   writer.EndObject();
   writer.Key("traceEvents").BeginArray();
 
-  // Process/thread naming metadata so the track reads "ssr / query".
+  // Process/thread naming metadata so the tracks read "ssr / query" (the
+  // main thread) and "ssr / worker N" (exec pool threads).
   writer.BeginObject();
-  WriteCommonEventFields(writer, "process_name", "M", 0.0);
+  WriteCommonEventFields(writer, "process_name", "M", 0.0, WorkerTid(0));
   writer.Key("args").BeginObject().Key("name").String("ssr").EndObject();
   writer.EndObject();
-  writer.BeginObject();
-  WriteCommonEventFields(writer, "thread_name", "M", 0.0);
-  writer.Key("args").BeginObject().Key("name").String("query").EndObject();
-  writer.EndObject();
+  std::set<std::uint32_t> workers{0};
+  for (const SpanRecord& span : spans) workers.insert(span.worker);
+  for (std::uint32_t worker : workers) {
+    const std::string track =
+        worker == 0 ? "query" : "worker " + std::to_string(worker);
+    writer.BeginObject();
+    WriteCommonEventFields(writer, "thread_name", "M", 0.0,
+                           WorkerTid(worker));
+    writer.Key("args").BeginObject().Key("name").String(track).EndObject();
+    writer.EndObject();
+  }
 
   for (const SpanRecord& span : spans) {
     // The slice itself: a complete ("X") event.
     writer.BeginObject();
-    WriteCommonEventFields(writer, span.name, "X", span.start_micros);
+    WriteCommonEventFields(writer, span.name, "X", span.start_micros,
+                           WorkerTid(span.worker));
     writer.Key("dur").Double(span.duration_micros);
     writer.Key("cat").String("span");
     writer.Key("args").BeginObject();
@@ -72,7 +86,7 @@ void WriteChromeTraceJson(JsonWriter& writer,
       if (!span.counters.valid(c)) continue;
       writer.BeginObject();
       WriteCommonEventFields(writer, PerfCounterName(c), "C",
-                             span.start_micros);
+                             span.start_micros, WorkerTid(span.worker));
       writer.Key("args").BeginObject();
       writer.Key("value").UInt(span.counters.value(c));
       writer.EndObject();

@@ -9,8 +9,11 @@
 // Like the tracer, the profiler is off by default: a disabled profiler
 // costs one relaxed atomic load per span. Enabling it opens the perf
 // counter group (walking the availability ladder in obs/perf_counters.h)
-// on the enabling thread; the codebase's query path is single-threaded, so
-// one thread-bound group suffices. ProfileScope profiles a region that is
+// on the enabling thread; the group is bound to that thread, so counter
+// deltas are only meaningful for spans it opens — spans from exec worker
+// threads (parallel build, batch executor) still record wall time and a
+// worker id, but their per-worker cost accounting comes from
+// exec::JobStats, not from here. ProfileScope profiles a region that is
 // not a trace span (e.g. a microbench loop).
 
 #ifndef SSR_OBS_PROFILE_H_

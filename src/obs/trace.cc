@@ -14,7 +14,14 @@ namespace {
 // tracers nest correctly as long as they don't interleave two tracers on
 // one thread).
 thread_local TraceSpan* t_current_span = nullptr;
+
+// Worker identity for trace tracks; 0 everywhere except exec pool threads.
+thread_local std::uint32_t t_worker_id = 0;
 }  // namespace
+
+std::uint32_t CurrentWorkerId() { return t_worker_id; }
+
+void SetCurrentWorkerId(std::uint32_t worker) { t_worker_id = worker; }
 
 Tracer::Tracer(std::size_t capacity)
     : capacity_(capacity < 1 ? 1 : capacity),
@@ -68,6 +75,7 @@ TraceSpan::TraceSpan(Tracer& tracer, std::string_view name) {
   if (!tracer.enabled()) return;
   tracer_ = &tracer;
   record_.id = tracer.NextSpanId();
+  record_.worker = t_worker_id;
   record_.name.assign(name);
   parent_ = t_current_span;
   if (parent_ != nullptr && parent_->active()) {

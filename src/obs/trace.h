@@ -27,11 +27,23 @@
 namespace ssr {
 namespace obs {
 
+/// The worker id of the calling thread: 0 for the main thread (and any
+/// thread that never set one), 1..N-1 for exec::ThreadPool workers. Spans
+/// record it at open; the Chrome-trace exporter renders one track per
+/// worker id.
+std::uint32_t CurrentWorkerId();
+
+/// Publishes the calling thread's worker id (thread-local). Called by
+/// exec::ThreadPool when a pool thread starts; everything else leaves the
+/// default of 0.
+void SetCurrentWorkerId(std::uint32_t worker);
+
 /// A completed span as stored in the ring buffer.
 struct SpanRecord {
   std::uint64_t id = 0;
   std::uint64_t parent_id = 0;  // 0 = root
   std::uint32_t depth = 0;      // 0 = root
+  std::uint32_t worker = 0;     // CurrentWorkerId() of the opening thread
   std::string name;
   double start_micros = 0.0;     // relative to the tracer's epoch
   double duration_micros = 0.0;  // wall time from open to close

@@ -85,6 +85,48 @@ Result<ElementSet> SetStore::Get(SetId sid) {
   return result;
 }
 
+SetStore::ReadView::ReadView(const SetStore& store,
+                             std::size_t buffer_pool_pages)
+    : store_(&store),
+      pool_(buffer_pool_pages == 0 ? store.options_.buffer_pool_pages
+                                   : buffer_pool_pages,
+            obs::MetricsRegistry::Default().NewScope(
+                store.options_.metrics_scope + "/view")),
+      io_(store.options_.io, pool_.metrics_scope()) {}
+
+Result<ElementSet> SetStore::ReadView::Get(SetId sid) {
+  // Mirrors SetStore::Get, but every mutable touch lands on this view's
+  // private pool_/io_; the shared structures (btree_, file_) are only read.
+  store_->gets_->Increment();
+  Stopwatch watch;
+  std::size_t nodes = 0;
+  auto loc = store_->btree_.Find(sid, &nodes);
+  if (!loc.ok()) return loc.status();
+  if (store_->options_.charge_btree_io) {
+    io_.ChargeRandomRead(nodes);
+  }
+  auto result = fault::RetryWithPolicy(
+      store_->options_.get_retry, [&]() -> Result<ElementSet> {
+        SSR_RETURN_IF_ERROR(
+            fault::FaultInjector::Default().CheckStatus("store/get"));
+        std::vector<PageId> touched;
+        SetId stored_sid = kInvalidSetId;
+        auto set = store_->file_.Read(loc.value(), &stored_sid, &touched);
+        if (!set.ok()) return set.status();
+        if (stored_sid != sid) {
+          return Status::Corruption("sid mismatch in heap record");
+        }
+        for (PageId pid : touched) {
+          pool_.Access(pid, /*sequential=*/false, io_);
+        }
+        return set;
+      });
+  if (!result.ok()) store_->fetch_failures_->Increment();
+  store_->get_latency_hist_->Observe(
+      static_cast<double>(watch.ElapsedMicros()));
+  return result;
+}
+
 Status SetStore::Delete(SetId sid) {
   std::size_t dummy = 0;
   auto loc = btree_.Find(sid, &dummy);
@@ -94,15 +136,18 @@ Status SetStore::Delete(SetId sid) {
   return Status::OK();
 }
 
-void SetStore::ScanAll(
-    const std::function<bool(SetId, const ElementSet&)>& visitor) {
-  scans_->Increment();
-  // A full-file scan touches every page once, sequentially. Charge pages as
-  // the record cursor crosses them rather than via the pool: sequential
-  // scans bypass the (small) pool in real systems to avoid cache pollution.
+namespace {
+
+// Shared by SetStore::ScanAll and ReadView::ScanAll; only the charged cost
+// model differs. A full-file scan touches every page once, sequentially.
+// Charge pages as the record cursor crosses them rather than via the pool:
+// sequential scans bypass the (small) pool in real systems to avoid cache
+// pollution.
+void ScanAllImpl(const HeapFile& file, const BPlusTree& btree, IoCostModel& io,
+                 const std::function<bool(SetId, const ElementSet&)>& visitor) {
   PageId last_charged = kInvalidPageId;
   bool stopped = false;
-  file_.Scan([&](SetId sid, const ElementSet& set, const RecordLocator& loc) {
+  file.Scan([&](SetId sid, const ElementSet& set, const RecordLocator& loc) {
     if (stopped) return false;
     // Charge every page from the previous cursor position through this
     // record's last page.
@@ -114,19 +159,33 @@ void SetStore::ScanAll(
     const PageId first = loc.page;
     const PageId last = loc.page + static_cast<PageId>(span_pages) - 1;
     if (last_charged == kInvalidPageId || first > last_charged) {
-      io_.ChargeSequentialRead(last - first + 1);
+      io.ChargeSequentialRead(last - first + 1);
       last_charged = last;
     } else if (last > last_charged) {
-      io_.ChargeSequentialRead(last - last_charged);
+      io.ChargeSequentialRead(last - last_charged);
       last_charged = last;
     }
-    if (!btree_.Contains(sid)) return true;  // deleted: skip, keep scanning
+    if (!btree.Contains(sid)) return true;  // deleted: skip, keep scanning
     if (!visitor(sid, set)) {
       stopped = true;
       return false;
     }
     return true;
   });
+}
+
+}  // namespace
+
+void SetStore::ScanAll(
+    const std::function<bool(SetId, const ElementSet&)>& visitor) {
+  scans_->Increment();
+  ScanAllImpl(file_, btree_, io_, visitor);
+}
+
+void SetStore::ReadView::ScanAll(
+    const std::function<bool(SetId, const ElementSet&)>& visitor) {
+  store_->scans_->Increment();
+  ScanAllImpl(store_->file_, store_->btree_, io_, visitor);
 }
 
 double SetStore::AvgSetPages() const {

@@ -53,10 +53,46 @@ struct SetStoreOptions {
 };
 
 /// Mutable collection of sets with paged storage and I/O accounting.
-/// Not thread-safe.
+/// Not thread-safe: Get() mutates the shared buffer pool's LRU state and
+/// the I/O counters. Concurrent readers go through ReadView instead.
 class SetStore {
  public:
   explicit SetStore(SetStoreOptions options = SetStoreOptions());
+
+  /// A per-worker read-only view: a private buffer pool and a private I/O
+  /// cost model over the store's immutable heap file and sid index. As long
+  /// as no writer runs concurrently, any number of ReadViews may Get() in
+  /// parallel — the only mutable state each touches is its own. The batch
+  /// executor gives each worker one view and merges io_stats() deltas into
+  /// per-query stats; process-wide store counters (gets, failures, latency)
+  /// are still shared, which is safe (relaxed atomics).
+  class ReadView {
+   public:
+    /// `buffer_pool_pages` = 0 uses the store's configured pool capacity.
+    /// The view's pool and I/O instruments live under a fresh
+    /// "<store-scope>/view/N" metrics scope so views never share counters.
+    explicit ReadView(const SetStore& store,
+                      std::size_t buffer_pool_pages = 0);
+
+    /// Identical semantics to SetStore::Get (fault retries included), but
+    /// charges this view's pool and cost model only.
+    Result<ElementSet> Get(SetId sid);
+
+    /// Identical semantics to SetStore::ScanAll (sequential-read charging
+    /// included), against this view's cost model.
+    void ScanAll(const std::function<bool(SetId, const ElementSet&)>& visitor);
+
+    /// This view's accumulated simulated I/O.
+    IoStats io_stats() const { return io_.stats(); }
+    IoCostModel& io() { return io_; }
+    const IoCostModel& io() const { return io_; }
+    BufferPool& buffer_pool() { return pool_; }
+
+   private:
+    const SetStore* store_;
+    BufferPool pool_;
+    IoCostModel io_;
+  };
 
   /// Adds a set, assigning the next dense SetId. `set` must be normalized
   /// (sorted unique); InvalidArgument otherwise.

@@ -1,29 +1,18 @@
 #include "util/mathutil.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace ssr {
 
 std::uint64_t NextPowerOfTwo(std::uint64_t x) {
-  if (x <= 1) return 1;
-  --x;
-  x |= x >> 1;
-  x |= x >> 2;
-  x |= x >> 4;
-  x |= x >> 8;
-  x |= x >> 16;
-  x |= x >> 32;
-  return x + 1;
+  return x <= 1 ? 1 : std::bit_ceil(x);
 }
 
 int FloorLog2(std::uint64_t x) {
-  int r = -1;
-  while (x != 0) {
-    x >>= 1;
-    ++r;
-  }
-  return r;
+  if (x == 0) return -1;
+  return 63 - std::countl_zero(x);
 }
 
 double Clamp(double v, double lo, double hi) {

@@ -33,7 +33,8 @@ LOWER_IS_BETTER = (
     "pages",
     "faults",
 )
-HIGHER_IS_BETTER = ("recall", "precision", "throughput", "_qps", "ops_per")
+HIGHER_IS_BETTER = ("recall", "precision", "throughput", "_qps", "ops_per",
+                    "speedup")
 
 
 def direction(key):

@@ -6,6 +6,7 @@ Exercises the exit-code contract on synthetic trajectory points:
   * 2x slowdown on timing keys  -> exit 1 (regression)
   * same, with --advisory       -> exit 0
   * recall halved               -> exit 1 (higher-is-better direction)
+  * batch QPS / speedup halved  -> exit 1 (higher-is-better direction)
   * legacy point (no schema_version/env, missing scalar) -> exit 0
 """
 
@@ -26,6 +27,8 @@ BASE = {
         "fig7_avg_index_total_seconds": 0.5,
         "fig7_overall_recall": 0.9,
         "qc_avg_candidates": 8.0,
+        "query_throughput_t4_modeled_qps": 2000.0,
+        "build_scaling_t4_speedup": 3.0,
     },
 }
 
@@ -78,6 +81,12 @@ def main():
         rc, out = run(compare, base,
                       write(tmp, "recall.json", worse_recall))
         check("recall drop", 1, rc, out)
+
+        worse_qps = json.loads(json.dumps(BASE))
+        worse_qps["scalars"]["query_throughput_t4_modeled_qps"] = 900.0
+        worse_qps["scalars"]["build_scaling_t4_speedup"] = 1.2
+        rc, out = run(compare, base, write(tmp, "qps.json", worse_qps))
+        check("qps/speedup drop", 1, rc, out)
 
         legacy = {"bench": "selftest",
                   "scalars": {"micro_jaccard_ns": 101.0}}
