@@ -1,7 +1,8 @@
 // Benchmark-trajectory driver: runs a canonical, pinned-parameter bench
 // suite (micro primitives, candidate generation, the Figure 7 harness, the
-// Equation 4 filter curve, parallel build scaling, and concurrent batch-
-// query throughput), profiles every phase with hardware-or-fallback perf
+// Equation 4 filter curve, parallel build scaling, concurrent batch-query
+// throughput, and sharded scatter/gather scaling), profiles every phase
+// with hardware-or-fallback perf
 // counters, and writes one numbered BENCH_<n>.json trajectory point per
 // invocation. Successive points (same machine, same governor —
 // compare "env" fingerprints) chart the repo's perf trajectory;
@@ -33,6 +34,8 @@
 #include "obs/chrome_trace.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "shard/query_router.h"
+#include "shard/sharded_index.h"
 #include "storage/bplus_tree.h"
 #include "storage/set_store.h"
 #include "util/logging.h"
@@ -392,6 +395,114 @@ int RunQueryThroughputSuite(bool quick, RunReport* report) {
   return 0;
 }
 
+/// Sharded scatter/gather throughput at P in {1, 2, 4} shards, routed over
+/// a 4-worker pool. Reports the modeled routed QPS (slowest shard's batch
+/// makespan plus the measured merge), the speedup over P=1, and the merge
+/// overhead — merge seconds as a fraction of the routed makespan, the price
+/// of the deterministic shard-order gather (lower is better). Every routed
+/// answer is cross-checked against an unsharded index; a divergence fails
+/// the run, so the trajectory never charts a wrong-answer speedup.
+int RunShardScalingSuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: shard_scaling (pinned params)");
+  Rng rng(0x5eed06);
+  const std::size_t collection = quick ? 500 : 2000;
+  const std::size_t batch_size = quick ? 300 : 1500;
+
+  SetCollection sets;
+  sets.reserve(collection);
+  SetStore store;
+  for (std::size_t i = 0; i < collection; ++i) {
+    sets.push_back(RandomSet(rng, 40, 1 << 16));
+    if (!store.Add(sets.back()).ok()) {
+      std::fprintf(stderr, "store add failed\n");
+      return 1;
+    }
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points.push_back({0.2, FilterKind::kDissimilarity, 8, 0});
+  layout.points.push_back({0.5, FilterKind::kSimilarity, 8, 0});
+  layout.points.push_back({0.8, FilterKind::kSimilarity, 8, 0});
+  IndexOptions index_options;
+  index_options.embedding.minhash.num_hashes = 100;
+  index_options.embedding.minhash.value_bits = 8;
+
+  std::vector<exec::BatchQuery> batch;
+  batch.reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    exec::BatchQuery q;
+    q.query = sets[i % sets.size()];
+    q.sigma1 = 0.55;
+    q.sigma2 = 0.95;
+    batch.push_back(std::move(q));
+  }
+
+  // The unsharded reference answers for the cross-check.
+  auto reference = SetSimilarityIndex::Build(store, layout, index_options);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "reference build failed: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+  exec::BatchExecutorOptions ref_options;
+  ref_options.num_threads = 4;
+  exec::BatchExecutor ref_executor(*reference, ref_options);
+  const exec::BatchResult ref_result = ref_executor.Run(batch);
+  if (ref_result.failed != 0) {
+    std::fprintf(stderr, "reference batch failed\n");
+    return 1;
+  }
+
+  double p1_qps = 0.0;
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    shard::ShardedIndexOptions options;
+    options.num_shards = shards;
+    options.index = index_options;
+    auto index = shard::ShardedSetSimilarityIndex::Build(sets, layout,
+                                                         options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "sharded build failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    shard::QueryRouterOptions router_options;
+    router_options.num_threads = 4;
+    shard::QueryRouter router(*index, router_options);
+    const shard::RoutedBatchResult result = router.RunBatch(batch);
+    if (result.failed != 0) {
+      std::fprintf(stderr, "%zu routed queries failed\n", result.failed);
+      return 1;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (result.results[i].sids != ref_result.results[i].sids) {
+        std::fprintf(stderr,
+                     "routed answer diverged from the unsharded index at "
+                     "P=%u, query %zu\n",
+                     shards, i);
+        return 1;
+      }
+    }
+    if (shards == 1) p1_qps = result.modeled_qps;
+    const double speedup =
+        p1_qps > 0.0 ? result.modeled_qps / p1_qps : 0.0;
+    const double merge_overhead =
+        result.modeled_makespan_seconds > 0.0
+            ? result.merge_seconds / result.modeled_makespan_seconds
+            : 0.0;
+    std::printf("  P=%u: modeled %.0f qps (makespan %.3f s, merge %.4f s, "
+                "overhead %.4f)  speedup %.2fx\n",
+                shards, result.modeled_qps, result.modeled_makespan_seconds,
+                result.merge_seconds, merge_overhead, speedup);
+    const std::string prefix = "shard_scaling_p" + std::to_string(shards);
+    report->AddScalar(prefix + "_modeled_qps", result.modeled_qps);
+    report->AddScalar(prefix + "_merge_overhead", merge_overhead);
+    if (shards > 1) {
+      report->AddScalar(prefix + "_speedup", speedup);
+    }
+  }
+  return 0;
+}
+
 /// First free BENCH_<n>.json slot in `dir` (the trajectory is append-only).
 std::string NextTrajectoryPath(const std::string& dir) {
   for (int n = 0;; ++n) {
@@ -424,6 +535,7 @@ int Run(const bench::Flags& flags) {
   if (RunFilterCurveSuite(quick, &report) != 0) return 1;
   if (RunBuildScalingSuite(quick, &report) != 0) return 1;
   if (RunQueryThroughputSuite(quick, &report) != 0) return 1;
+  if (RunShardScalingSuite(quick, &report) != 0) return 1;
   report.AddScalar("total_wall_seconds", total.ElapsedSeconds());
 
   std::string path = flags.GetString("json", "");

@@ -12,7 +12,13 @@ BatchExecutor::BatchExecutor(const SetSimilarityIndex& index,
                              BatchExecutorOptions options)
     : index_(&index),
       options_(options),
-      pool_(ResolveThreadCount(options.num_threads)) {}
+      owned_pool_(std::make_unique<ThreadPool>(
+          ResolveThreadCount(options.num_threads))),
+      pool_(owned_pool_.get()) {}
+
+BatchExecutor::BatchExecutor(const SetSimilarityIndex& index, ThreadPool& pool,
+                             BatchExecutorOptions options)
+    : index_(&index), options_(options), pool_(&pool) {}
 
 BatchResult BatchExecutor::Run(const std::vector<BatchQuery>& queries) {
   static obs::Counter* const batches =
@@ -22,7 +28,7 @@ BatchResult BatchExecutor::Run(const std::vector<BatchQuery>& queries) {
   batches->Increment();
   batch_queries->Add(queries.size());
 
-  const std::size_t workers = pool_.size();
+  const std::size_t workers = pool_->size();
   BatchResult out;
   out.threads_used = workers;
   out.queries = queries.size();
@@ -43,7 +49,7 @@ BatchResult BatchExecutor::Run(const std::vector<BatchQuery>& queries) {
   }
   std::vector<std::vector<SetId>> scratch(workers);
 
-  pool_.ParallelFor(
+  pool_->ParallelFor(
       0, queries.size(), options_.grain,
       [&](std::size_t i, std::size_t worker) {
         const BatchQuery& q = queries[i];
@@ -56,7 +62,7 @@ BatchResult BatchExecutor::Run(const std::vector<BatchQuery>& queries) {
         }
       });
 
-  const JobStats& job = pool_.last_job_stats();
+  const JobStats& job = pool_->last_job_stats();
   out.wall_seconds = job.wall_seconds;
   out.worker_cpu_seconds = job.worker_cpu_seconds;
   out.worker_io_seconds.resize(workers, 0.0);

@@ -18,6 +18,7 @@
 #define SSR_EXEC_BATCH_EXECUTOR_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/set_similarity_index.h"
@@ -82,15 +83,24 @@ class BatchExecutor {
   explicit BatchExecutor(const SetSimilarityIndex& index,
                          BatchExecutorOptions options = {});
 
+  /// Shares a caller-owned pool instead of spawning a private one
+  /// (options.num_threads is then ignored). The sharded query router uses
+  /// this to schedule every shard's batch on one pool. `pool` must outlive
+  /// the executor, and Run must not be issued from inside one of the pool's
+  /// own jobs (ThreadPool is not reentrant).
+  BatchExecutor(const SetSimilarityIndex& index, ThreadPool& pool,
+                BatchExecutorOptions options = {});
+
   /// Executes every query (order-preserving results) and blocks until done.
   BatchResult Run(const std::vector<BatchQuery>& queries);
 
-  std::size_t num_threads() const { return pool_.size(); }
+  std::size_t num_threads() const { return pool_->size(); }
 
  private:
   const SetSimilarityIndex* index_;
   BatchExecutorOptions options_;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null when sharing
+  ThreadPool* pool_;                        // the pool Run schedules on
 };
 
 }  // namespace exec

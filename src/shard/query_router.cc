@@ -1,0 +1,175 @@
+#include "shard/query_router.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
+namespace ssr {
+namespace shard {
+
+QueryRouter::QueryRouter(const ShardedSetSimilarityIndex& index,
+                         QueryRouterOptions options)
+    : index_(&index),
+      options_(options),
+      pool_(exec::ResolveThreadCount(options.num_threads)) {}
+
+Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
+                                              double sigma1, double sigma2) {
+  static obs::Counter* const queries =
+      obs::MetricsRegistry::Default().GetCounter("ssr_router_queries_total");
+  static obs::Counter* const partials = obs::MetricsRegistry::Default()
+      .GetCounter("ssr_router_partial_answers_total");
+  queries->Increment();
+
+  const std::uint32_t num_shards = index_->num_shards();
+  obs::TraceSpan span("router_query");
+  span.Tag("shards", static_cast<std::uint64_t>(num_shards));
+  span.Tag("workers", static_cast<std::uint64_t>(pool_.size()));
+
+  // Scatter: every healthy shard is probed concurrently through its own
+  // ReadView (private buffer pool + I/O model), so the only shared state
+  // the workers touch is read-only index structure. Slots are per-shard,
+  // so writes are index-disjoint.
+  std::vector<QueryResult> answers(num_shards);
+  std::vector<Status> statuses(num_shards, Status::OK());
+  std::vector<char> answered(num_shards, 0);
+  {
+    obs::TraceSpan scatter("router_scatter");
+    pool_.ParallelFor(0, num_shards, 1, [&](std::size_t s, std::size_t) {
+      if (index_->shard_degraded(static_cast<std::uint32_t>(s))) {
+        statuses[s] = Status::Unavailable("shard administratively degraded");
+        return;
+      }
+      SetStore::ReadView view(*index_->shard_store(s),
+                              options_.view_buffer_pool_pages);
+      std::vector<SetId> scratch;
+      auto r = index_->shard_index(s)->QueryThrough(view, query, sigma1,
+                                                    sigma2, &scratch);
+      if (r.ok()) {
+        answers[s] = std::move(r).value();
+        answered[s] = 1;
+      } else {
+        statuses[s] = r.status();
+      }
+    });
+  }
+
+  // Gather in shard order — deterministic regardless of which worker
+  // finished when.
+  obs::TraceSpan gather("router_gather");
+  ShardedQueryResult result;
+  result.per_shard.resize(num_shards);
+  result.shard_status.assign(num_shards, Status::OK());
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (answered[s]) {
+      index_->GatherShardAnswer(s, std::move(answers[s]), &result);
+      continue;
+    }
+    // A malformed query is the caller's bug, not a shard failure: every
+    // shard rejects identically, so propagate instead of degrading.
+    if (statuses[s].IsInvalidArgument()) return statuses[s];
+    SSR_RETURN_IF_ERROR(
+        index_->GatherShardFailure(s, std::move(statuses[s]), &result));
+  }
+  index_->FinishGather(&result);
+  if (result.partial) partials->Increment();
+  span.Tag("results", static_cast<std::uint64_t>(result.sids.size()));
+  return result;
+}
+
+RoutedBatchResult QueryRouter::RunBatch(
+    const std::vector<exec::BatchQuery>& queries) {
+  static obs::Counter* const batches =
+      obs::MetricsRegistry::Default().GetCounter("ssr_router_batches_total");
+  static obs::Counter* const batch_queries = obs::MetricsRegistry::Default()
+      .GetCounter("ssr_router_batch_queries_total");
+  batches->Increment();
+  batch_queries->Add(queries.size());
+
+  const std::uint32_t num_shards = index_->num_shards();
+  Stopwatch wall;
+  obs::TraceSpan span("router_batch");
+  span.Tag("queries", static_cast<std::uint64_t>(queries.size()));
+  span.Tag("shards", static_cast<std::uint64_t>(num_shards));
+
+  RoutedBatchResult out;
+  out.queries = queries.size();
+  out.threads_used = pool_.size();
+  out.statuses.assign(queries.size(), Status::OK());
+  out.results.resize(queries.size());
+  out.per_shard.resize(num_shards);
+
+  // Scatter: each shard runs the whole batch through a BatchExecutor on
+  // the router's shared pool. Shard batches execute one after another on
+  // this host (the pool is not reentrant), but deploy to one machine per
+  // shard — the modeled makespan below is the slowest shard, not the sum.
+  std::vector<char> shard_ran(num_shards, 0);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (index_->shard_degraded(s)) continue;
+    obs::TraceSpan shard_span("router_shard_batch");
+    shard_span.Tag("shard", static_cast<std::uint64_t>(s));
+    exec::BatchExecutorOptions exec_options;
+    exec_options.grain = options_.batch_grain;
+    exec_options.view_buffer_pool_pages = options_.view_buffer_pool_pages;
+    exec::BatchExecutor executor(*index_->shard_index(s), pool_, exec_options);
+    out.per_shard[s] = executor.Run(queries);
+    shard_ran[s] = 1;
+    out.modeled_makespan_seconds =
+        std::max(out.modeled_makespan_seconds,
+                 out.per_shard[s].modeled_makespan_seconds);
+  }
+
+  // Gather: per query, merge the per-shard answers in shard order.
+  Stopwatch merge_watch;
+  {
+    obs::TraceSpan gather("router_gather");
+    gather.Tag("queries", static_cast<std::uint64_t>(queries.size()));
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ShardedQueryResult merged;
+      merged.per_shard.resize(num_shards);
+      merged.shard_status.assign(num_shards, Status::OK());
+      Status failure = Status::OK();
+      for (std::uint32_t s = 0; s < num_shards && failure.ok(); ++s) {
+        if (!shard_ran[s]) {
+          failure = index_->GatherShardFailure(
+              s, Status::Unavailable("shard administratively degraded"),
+              &merged);
+          continue;
+        }
+        const Status& st = out.per_shard[s].statuses[i];
+        if (st.ok()) {
+          index_->GatherShardAnswer(
+              s, std::move(out.per_shard[s].results[i]), &merged);
+        } else if (st.IsInvalidArgument()) {
+          failure = st;  // caller bug: propagate, don't degrade
+        } else {
+          failure = index_->GatherShardFailure(s, st, &merged);
+        }
+      }
+      if (!failure.ok()) {
+        out.statuses[i] = std::move(failure);
+        ++out.failed;
+        continue;
+      }
+      index_->FinishGather(&merged);
+      out.results[i] = std::move(merged);
+    }
+  }
+  out.merge_seconds = merge_watch.ElapsedSeconds();
+  out.wall_seconds = wall.ElapsedSeconds();
+  out.modeled_makespan_seconds += out.merge_seconds;
+  if (out.modeled_makespan_seconds > 0.0) {
+    out.modeled_qps =
+        static_cast<double>(out.queries) / out.modeled_makespan_seconds;
+  }
+  span.Tag("failed", static_cast<std::uint64_t>(out.failed));
+  span.Tag("modeled_qps", out.modeled_qps);
+  return out;
+}
+
+}  // namespace shard
+}  // namespace ssr

@@ -1,0 +1,102 @@
+// QueryRouter: the parallel scatter/gather front end of the sharded index.
+// A single query fans out to every shard on the router's thread pool (one
+// ReadView per probe, so shards are queried concurrently without touching
+// each other's buffer pools); a batch goes through one BatchExecutor per
+// shard, every executor scheduling on the router's one shared pool. Either
+// way the gather merges per-shard answers *in shard order* with the same
+// helpers the serial ShardedSetSimilarityIndex::Query uses — router answers
+// are bit-identical to serial answers, which the differential harness
+// (tests/difftest/) holds as an invariant.
+//
+// Failure semantics are inherited from the index's ShardFailurePolicy: a
+// degraded or erroring shard either fails the query (kFailFast) or is
+// skipped with the answer tagged partial + degraded (kPartialResults).
+
+#ifndef SSR_SHARD_QUERY_ROUTER_H_
+#define SSR_SHARD_QUERY_ROUTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/batch_executor.h"
+#include "exec/thread_pool.h"
+#include "shard/sharded_index.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+namespace shard {
+
+struct QueryRouterOptions {
+  /// Worker threads for the router's pool: 0 = resolve from SSR_THREADS /
+  /// hardware concurrency (exec::ResolveThreadCount), 1 = serial.
+  std::size_t num_threads = 0;
+
+  /// Buffer-pool pages per shard ReadView; 0 = each shard store's
+  /// configured capacity.
+  std::size_t view_buffer_pool_pages = 0;
+
+  /// Queries per scheduling chunk inside each shard's BatchExecutor.
+  std::size_t batch_grain = 1;
+};
+
+/// The outcome of one QueryRouter::RunBatch.
+struct RoutedBatchResult {
+  /// Per-query status/result, in input order. results[i] is meaningful iff
+  /// statuses[i].ok(); a query can fail while its neighbors succeed
+  /// (kFailFast with a degraded shard fails every query in the batch).
+  std::vector<Status> statuses;
+  std::vector<ShardedQueryResult> results;
+
+  std::size_t queries = 0;
+  std::size_t failed = 0;
+  std::size_t threads_used = 0;
+
+  /// Host wall clock for the whole batch (scatter + gather), and for the
+  /// gather/merge alone.
+  double wall_seconds = 0.0;
+  double merge_seconds = 0.0;
+
+  /// Per-shard batch execution reports, by shard. Default-initialized for
+  /// shards that were skipped (degraded).
+  std::vector<exec::BatchResult> per_shard;
+
+  /// Modeled batch runtime when every shard runs on its own machine: the
+  /// slowest shard's modeled batch makespan plus the (measured) merge time
+  /// at the router. modeled_qps = queries / that.
+  double modeled_makespan_seconds = 0.0;
+  double modeled_qps = 0.0;
+};
+
+/// Scatters queries across a ShardedSetSimilarityIndex's shards on a shared
+/// thread pool and gathers deterministically. The index must not be mutated
+/// while a Query/RunBatch is in flight (SetShardDegraded included).
+class QueryRouter {
+ public:
+  explicit QueryRouter(const ShardedSetSimilarityIndex& index,
+                       QueryRouterOptions options = {});
+
+  /// One query, scattered to all shards in parallel. Answers (including
+  /// stats merging and failure tagging) are identical to the serial
+  /// ShardedSetSimilarityIndex::Query.
+  Result<ShardedQueryResult> Query(const ElementSet& query, double sigma1,
+                                   double sigma2);
+
+  /// A batch of queries: one BatchExecutor per shard on the router's pool
+  /// (shard batches run one after another on this host; the modeled
+  /// makespan treats them as concurrent machines), then a per-query gather
+  /// in shard order.
+  RoutedBatchResult RunBatch(const std::vector<exec::BatchQuery>& queries);
+
+  std::size_t num_threads() const { return pool_.size(); }
+
+ private:
+  const ShardedSetSimilarityIndex* index_;
+  QueryRouterOptions options_;
+  exec::ThreadPool pool_;
+};
+
+}  // namespace shard
+}  // namespace ssr
+
+#endif  // SSR_SHARD_QUERY_ROUTER_H_

@@ -1,0 +1,153 @@
+#include "shard/shard_map.h"
+
+#include <cassert>
+#include <string_view>
+
+#include "storage/snapshot.h"
+#include "util/hash.h"
+
+namespace ssr {
+namespace shard {
+
+namespace {
+constexpr std::string_view kShardMapMagic = "SSRSHMAP";
+constexpr std::uint32_t kShardMapVersion = 1;
+}  // namespace
+
+ShardMap::ShardMap(std::uint32_t num_shards, std::uint64_t seed)
+    : num_shards_(num_shards == 0 ? 1 : num_shards), seed_(seed) {}
+
+std::uint32_t ShardMap::HrwShard(SetId sid,
+                                 std::uint32_t num_shards) const {
+  // Rendezvous vote: every shard hashes the sid under its own derived seed;
+  // the highest value wins (ties, vanishingly rare, go to the lower shard).
+  std::uint32_t best_shard = 0;
+  std::uint64_t best_weight = 0;
+  const std::uint64_t sid_mixed = SplitMix64(seed_ ^ sid);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const std::uint64_t weight = HashU64(sid_mixed, SplitMix64(seed_ + s));
+    if (s == 0 || weight > best_weight) {
+      best_weight = weight;
+      best_shard = s;
+    }
+  }
+  return best_shard;
+}
+
+std::uint32_t ShardMap::Assign(SetId sid) {
+  if (sid >= assigned_.size()) {
+    assigned_.resize(sid + 1, kUnassigned);
+  }
+  if (assigned_[sid] == kUnassigned) {
+    assigned_[sid] = HrwShard(sid, num_shards_);
+    ++num_assigned_;
+  }
+  return assigned_[sid];
+}
+
+std::uint32_t ShardMap::ShardOf(SetId sid) const {
+  if (IsAssigned(sid)) return assigned_[sid];
+  return HrwShard(sid, num_shards_);
+}
+
+void ShardMap::Forget(SetId sid) {
+  if (!IsAssigned(sid)) return;
+  assigned_[sid] = kUnassigned;
+  --num_assigned_;
+}
+
+std::vector<ShardMove> ShardMap::Rebalance(std::uint32_t new_num_shards) {
+  if (new_num_shards == 0) new_num_shards = 1;
+  std::vector<ShardMove> moves;
+  for (SetId sid = 0; sid < assigned_.size(); ++sid) {
+    if (assigned_[sid] == kUnassigned) continue;
+    const std::uint32_t to = HrwShard(sid, new_num_shards);
+    if (to != assigned_[sid]) {
+      moves.push_back({sid, assigned_[sid], to});
+      assigned_[sid] = to;
+    }
+  }
+  num_shards_ = new_num_shards;
+  return moves;
+}
+
+void ShardMap::WriteTo(BinaryWriter& out) const {
+  out.WriteU32(num_shards_);
+  out.WriteU64(seed_);
+  out.WriteU64(assigned_.size());
+  out.WriteU64(num_assigned_);
+  for (SetId sid = 0; sid < assigned_.size(); ++sid) {
+    if (assigned_[sid] == kUnassigned) continue;
+    out.WriteU32(sid);
+    out.WriteU32(assigned_[sid]);
+  }
+}
+
+Result<ShardMap> ShardMap::ReadFrom(BinaryReader& in) {
+  std::uint32_t num_shards = 0;
+  std::uint64_t seed = 0, capacity = 0, count = 0;
+  SSR_RETURN_IF_ERROR(in.ReadU32(&num_shards));
+  SSR_RETURN_IF_ERROR(in.ReadU64(&seed));
+  SSR_RETURN_IF_ERROR(in.ReadU64(&capacity));
+  SSR_RETURN_IF_ERROR(in.ReadU64(&count));
+  if (num_shards == 0) return Status::Corruption("shard map with 0 shards");
+  if (capacity > (1ULL << 32) || count > capacity) {
+    return Status::Corruption("implausible shard-map size");
+  }
+  ShardMap map(num_shards, seed);
+  map.assigned_.assign(static_cast<std::size_t>(capacity), kUnassigned);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t sid = 0, shard = 0;
+    SSR_RETURN_IF_ERROR(in.ReadU32(&sid));
+    SSR_RETURN_IF_ERROR(in.ReadU32(&shard));
+    if (sid >= capacity || shard >= num_shards) {
+      return Status::Corruption("shard-map entry out of range");
+    }
+    if (map.assigned_[sid] != kUnassigned) {
+      return Status::Corruption("duplicate shard-map entry");
+    }
+    map.assigned_[sid] = shard;
+  }
+  map.num_assigned_ = static_cast<std::size_t>(count);
+  return map;
+}
+
+Status ShardMap::SaveTo(std::ostream& out) const {
+  SnapshotWriter snapshot(out, kShardMapMagic, kShardMapVersion);
+  BinaryWriter& body = snapshot.BeginSection("assignment");
+  WriteTo(body);
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  return snapshot.Finish();
+}
+
+Result<ShardMap> ShardMap::Load(std::istream& in) {
+  SnapshotReader snapshot(in);
+  std::uint32_t version = 0;
+  SSR_RETURN_IF_ERROR(snapshot.ReadHeader(kShardMapMagic, &version));
+  if (version != kShardMapVersion) {
+    return Status::NotSupported("unknown shard-map version");
+  }
+  std::string payload;
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("assignment", &payload));
+  std::istringstream body_in(payload);
+  BinaryReader body(body_in);
+  auto map = ReadFrom(body);
+  if (!map.ok()) return map.status();
+  SSR_RETURN_IF_ERROR(snapshot.VerifyFooter());
+  return map;
+}
+
+std::uint64_t ShardMap::ContentDigest() const {
+  std::uint64_t h = SplitMix64(num_shards_);
+  h = HashCombine(h, seed_);
+  h = HashCombine(h, num_assigned_);
+  for (SetId sid = 0; sid < assigned_.size(); ++sid) {
+    if (assigned_[sid] == kUnassigned) continue;
+    h = HashCombine(h, sid);
+    h = HashCombine(h, assigned_[sid]);
+  }
+  return h;
+}
+
+}  // namespace shard
+}  // namespace ssr

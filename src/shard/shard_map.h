@@ -1,0 +1,105 @@
+// ShardMap: the authoritative sid -> shard assignment for a sharded
+// collection. Placement is rendezvous hashing (highest random weight): shard
+// of sid = argmax over shards of HashU64(sid, shard_seed). HRW gives the
+// minimal-movement property the rebalance contract relies on — growing
+// P -> P' moves a sid only when one of the *new* shards wins its vote, and
+// shrinking moves only the sids whose shard was removed; no sid ever hops
+// between two surviving shards.
+//
+// The assignment is nonetheless *explicit*: every sid the map has ever
+// placed is recorded and persisted, and lookups answer from the record, not
+// the hash. Loading a snapshot therefore reproduces the exact placement it
+// was saved with — changing the shard count is a planned Rebalance that
+// reports which sids moved (so their data can be migrated), never a silent
+// re-hash on the next lookup.
+
+#ifndef SSR_SHARD_SHARD_MAP_H_
+#define SSR_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/result.h"
+#include "util/serialize.h"
+#include "util/types.h"
+
+namespace ssr {
+namespace shard {
+
+/// One sid relocation produced by Rebalance.
+struct ShardMove {
+  SetId sid = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+class ShardMap {
+ public:
+  static constexpr std::uint32_t kUnassigned = 0xffffffffu;
+  static constexpr std::uint64_t kDefaultSeed = 0x5a4dba1a7c3dULL;
+
+  /// `num_shards` must be >= 1.
+  explicit ShardMap(std::uint32_t num_shards,
+                    std::uint64_t seed = kDefaultSeed);
+
+  std::uint32_t num_shards() const { return num_shards_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Number of sids with a recorded assignment.
+  std::size_t num_assigned() const { return num_assigned_; }
+
+  /// Records (and returns) sid's shard. Total: every sid maps to exactly
+  /// one shard in [0, num_shards). Idempotent — a sid that already has a
+  /// recorded assignment keeps it.
+  std::uint32_t Assign(SetId sid);
+
+  /// The recorded shard for `sid`, or — for a sid never assigned — the
+  /// shard Assign would record (the pure HRW placement). Never kUnassigned.
+  std::uint32_t ShardOf(SetId sid) const;
+
+  /// True iff `sid` has a recorded assignment.
+  bool IsAssigned(SetId sid) const {
+    return sid < assigned_.size() && assigned_[sid] != kUnassigned;
+  }
+
+  /// Drops sid's recorded assignment (the sid was erased from the
+  /// collection; a later re-insert re-votes under the current shard count).
+  void Forget(SetId sid);
+
+  /// Re-votes every recorded sid under `new_num_shards` shards and returns
+  /// the sids whose shard changed, in ascending sid order. By the HRW
+  /// construction the moves are exactly the mathematically required ones:
+  /// when growing, every move's destination is a newly added shard; when
+  /// shrinking, every move's source is a removed shard.
+  std::vector<ShardMove> Rebalance(std::uint32_t new_num_shards);
+
+  /// Serializes the map (shard count, seed, explicit assignment) into an
+  /// open writer / reads it back. Used as a section payload by the sharded
+  /// index snapshot; SaveTo/Load below wrap the same bytes for standalone
+  /// use.
+  void WriteTo(BinaryWriter& out) const;
+  static Result<ShardMap> ReadFrom(BinaryReader& in);
+
+  Status SaveTo(std::ostream& out) const;
+  static Result<ShardMap> Load(std::istream& in);
+
+  /// Order-sensitive digest over (num_shards, seed, every recorded
+  /// assignment); equal digests mean bit-identical placement.
+  std::uint64_t ContentDigest() const;
+
+ private:
+  /// Pure HRW vote for `sid` over `num_shards` shards under seed_.
+  std::uint32_t HrwShard(SetId sid, std::uint32_t num_shards) const;
+
+  std::uint32_t num_shards_;
+  std::uint64_t seed_;
+  std::vector<std::uint32_t> assigned_;  // by sid; kUnassigned = no record
+  std::size_t num_assigned_ = 0;
+};
+
+}  // namespace shard
+}  // namespace ssr
+
+#endif  // SSR_SHARD_SHARD_MAP_H_

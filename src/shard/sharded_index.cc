@@ -1,0 +1,555 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/hash.h"
+#include "util/stopwatch.h"
+
+namespace ssr {
+namespace shard {
+
+namespace {
+
+constexpr std::string_view kShardedIndexMagic = "SSRSHARD";
+constexpr std::uint32_t kShardedIndexVersion = 1;
+
+std::string ShardScope(const std::string& base, std::uint32_t s) {
+  std::string scope = base;
+  scope += "/shard/";
+  scope += std::to_string(s);
+  return scope;
+}
+
+std::string ShardSectionName(std::uint32_t s, const char* kind) {
+  std::string name = "shard";
+  name += std::to_string(s);
+  name += '_';
+  name += kind;
+  return name;
+}
+
+}  // namespace
+
+std::uint32_t ResolveShardCount(std::uint32_t num_shards) {
+  if (num_shards > 0) return num_shards;
+  if (const char* env = std::getenv("SSR_SHARDS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::uint32_t>(parsed);
+    }
+  }
+  return 1;  // sharding is opt-in; unset means a single shard
+}
+
+ShardedSetSimilarityIndex::ShardedSetSimilarityIndex(
+    ShardedIndexOptions options, IndexLayout layout)
+    : options_(std::move(options)),
+      layout_(std::move(layout)),
+      map_(options_.num_shards, options_.map_seed) {
+  // The caller (Build/Load) resolved num_shards before constructing us. The
+  // base metrics scope hangs the per-shard scopes off one stable prefix.
+  base_scope_ = options_.index.metrics_scope.empty()
+                    ? obs::MetricsRegistry::Default().NewScope("sharded")
+                    : options_.index.metrics_scope;
+  shards_.resize(options_.num_shards);
+}
+
+Status ShardedSetSimilarityIndex::CreateShard(std::uint32_t s) {
+  const std::string scope = ShardScope(base_scope_, s);
+  SetStoreOptions store_options = options_.store;
+  store_options.metrics_scope = scope + "/store";
+  shards_[s].store = std::make_unique<SetStore>(store_options);
+  return Status::OK();
+}
+
+Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Build(
+    const SetCollection& sets, const IndexLayout& layout,
+    const ShardedIndexOptions& options) {
+  SSR_RETURN_IF_ERROR(layout.Validate());
+
+  ShardedIndexOptions resolved = options;
+  resolved.num_shards = ResolveShardCount(options.num_shards);
+  ShardedSetSimilarityIndex sharded(std::move(resolved), layout);
+
+  Stopwatch watch;
+  obs::TraceSpan span("sharded_build");
+  span.Tag("shards", static_cast<std::uint64_t>(sharded.num_shards()));
+  span.Tag("sets", static_cast<std::uint64_t>(sets.size()));
+
+  for (std::uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    SSR_RETURN_IF_ERROR(sharded.CreateShard(s));
+  }
+
+  // Phase 1: partition. Global sid = position in `sets`; every sid gets an
+  // explicit recorded vote so the placement is reproducible from the
+  // snapshot, never re-derived.
+  sharded.local_of_global_.resize(sets.size());
+  for (SetId gsid = 0; gsid < sets.size(); ++gsid) {
+    const std::uint32_t s = sharded.map_.Assign(gsid);
+    Shard& sh = sharded.shards_[s];
+    SetId local = kInvalidSetId;
+    SSR_ASSIGN_OR_RETURN(local, sh.store->Add(sets[gsid]));
+    sh.global_of_local.push_back(gsid);
+    sharded.local_of_global_[gsid] = LocalRef{s, local};
+  }
+  sharded.num_live_ = sets.size();
+
+  // Phase 2: per-shard index builds (each using the parallel builder).
+  // Shards build one after another on this host but deploy independently,
+  // so the modeled makespan is the slowest shard, not the sum.
+  sharded.build_stats_.per_shard.reserve(sharded.num_shards());
+  for (std::uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    obs::TraceSpan shard_span("sharded_build_shard");
+    shard_span.Tag("shard", static_cast<std::uint64_t>(s));
+    Shard& sh = sharded.shards_[s];
+    IndexOptions index_options = sharded.options_.index;
+    index_options.metrics_scope = ShardScope(sharded.base_scope_, s) + "/index";
+    auto built = SetSimilarityIndex::Build(*sh.store, layout, index_options);
+    if (!built.ok()) return built.status();
+    sh.index = std::make_unique<SetSimilarityIndex>(std::move(built).value());
+    sharded.build_stats_.per_shard.push_back(sh.index->build_stats());
+    sharded.build_stats_.modeled_makespan_seconds =
+        std::max(sharded.build_stats_.modeled_makespan_seconds,
+                 sh.index->build_stats().makespan_seconds);
+  }
+  sharded.build_stats_.wall_seconds = watch.ElapsedSeconds();
+  span.Tag("modeled_makespan_seconds",
+           sharded.build_stats_.modeled_makespan_seconds);
+  return sharded;
+}
+
+Status ShardedSetSimilarityIndex::Insert(SetId sid, const ElementSet& set) {
+  if (sid < local_of_global_.size() &&
+      local_of_global_[sid].shard != ShardMap::kUnassigned) {
+    return Status::AlreadyExists("global sid already live");
+  }
+  const std::uint32_t s = map_.Assign(sid);
+  if (shard_degraded(s)) {
+    map_.Forget(sid);
+    return Status::Unavailable("shard is degraded");
+  }
+  Shard& sh = shards_[s];
+  auto local = sh.store->Add(set);
+  if (!local.ok()) {
+    map_.Forget(sid);
+    return local.status();
+  }
+  Status st = sh.index->Insert(*local, set);
+  if (!st.ok()) {
+    (void)sh.store->Delete(*local);
+    map_.Forget(sid);
+    return st;
+  }
+  if (*local >= sh.global_of_local.size()) {
+    sh.global_of_local.resize(*local + 1, kInvalidSetId);
+  }
+  sh.global_of_local[*local] = sid;
+  if (sid >= local_of_global_.size()) {
+    local_of_global_.resize(sid + 1);
+  }
+  local_of_global_[sid] = LocalRef{s, *local};
+  ++num_live_;
+  return Status::OK();
+}
+
+Status ShardedSetSimilarityIndex::Erase(SetId sid) {
+  if (sid >= local_of_global_.size() ||
+      local_of_global_[sid].shard == ShardMap::kUnassigned) {
+    return Status::NotFound("sid not indexed");
+  }
+  const LocalRef ref = local_of_global_[sid];
+  if (shard_degraded(ref.shard)) {
+    return Status::Unavailable("shard is degraded");
+  }
+  Shard& sh = shards_[ref.shard];
+  SSR_RETURN_IF_ERROR(sh.index->Erase(ref.local));
+  SSR_RETURN_IF_ERROR(sh.store->Delete(ref.local));
+  local_of_global_[sid] = LocalRef{};
+  map_.Forget(sid);
+  --num_live_;
+  return Status::OK();
+}
+
+void ShardedSetSimilarityIndex::GatherShardAnswer(
+    std::uint32_t s, QueryResult&& answer, ShardedQueryResult* result) const {
+  const std::vector<SetId>& to_global = shards_[s].global_of_local;
+  for (SetId local : answer.sids) {
+    result->sids.push_back(to_global[local]);
+  }
+  // Counters and I/O sum across shards; the plan and enclosing points agree
+  // on every shard (same layout, same σs) so overwriting is deterministic.
+  QueryStats& total = result->stats;
+  const QueryStats& stats = answer.stats;
+  total.plan = stats.plan;
+  total.lo_point = stats.lo_point;
+  total.up_point = stats.up_point;
+  total.candidates += stats.candidates;
+  total.bucket_accesses += stats.bucket_accesses;
+  total.bucket_pages += stats.bucket_pages;
+  total.sids_scanned += stats.sids_scanned;
+  total.sets_fetched += stats.sets_fetched;
+  total.io += stats.io;
+  total.io_seconds += stats.io_seconds;
+  total.cpu_seconds += stats.cpu_seconds;
+  total.probe_failures += stats.probe_failures;
+  total.fetch_failures += stats.fetch_failures;
+  if (stats.degraded) {
+    total.degraded = true;
+    // A shard that degraded under its own kPartialResults mode may have
+    // dropped candidates, so the merged answer may be missing sids.
+    if (options_.index.degrade == DegradeMode::kPartialResults) {
+      result->partial = true;
+    }
+  }
+  result->per_shard[s] = stats;
+}
+
+Status ShardedSetSimilarityIndex::GatherShardFailure(
+    std::uint32_t s, Status status, ShardedQueryResult* result) const {
+  static obs::Counter* const skipped = obs::MetricsRegistry::Default()
+      .GetCounter("ssr_sharded_shards_skipped_total");
+  if (options_.on_shard_failure == ShardFailurePolicy::kFailFast) {
+    return Status::Unavailable("shard " + std::to_string(s) +
+                               " cannot answer: " + status.ToString());
+  }
+  skipped->Increment();
+  result->shard_status[s] = std::move(status);
+  result->degraded_shards.push_back(s);
+  result->stats.degraded = true;
+  result->partial = true;
+  return Status::OK();
+}
+
+void ShardedSetSimilarityIndex::FinishGather(ShardedQueryResult* result) const {
+  // Shard answers are disjoint (shards partition the collection), so the
+  // merge is a sort, no dedup. Sorting also erases any dependence on the
+  // shard iteration order — the output is ascending global sids, always.
+  std::sort(result->sids.begin(), result->sids.end());
+  result->stats.results = result->sids.size();
+}
+
+Result<ShardedQueryResult> ShardedSetSimilarityIndex::Query(
+    const ElementSet& query, double sigma1, double sigma2) const {
+  obs::TraceSpan span("sharded_query");
+  span.Tag("shards", static_cast<std::uint64_t>(num_shards()));
+  ShardedQueryResult result;
+  result.per_shard.resize(num_shards());
+  result.shard_status.assign(num_shards(), Status::OK());
+  for (std::uint32_t s = 0; s < num_shards(); ++s) {
+    if (shard_degraded(s)) {
+      SSR_RETURN_IF_ERROR(GatherShardFailure(
+          s, Status::Unavailable("shard administratively degraded"), &result));
+      continue;
+    }
+    auto answer = shards_[s].index->Query(query, sigma1, sigma2);
+    if (!answer.ok()) {
+      // Validation errors are the caller's bug, not a shard failure — every
+      // shard would reject identically, so propagate instead of degrading.
+      if (answer.status().IsInvalidArgument()) return answer.status();
+      SSR_RETURN_IF_ERROR(GatherShardFailure(s, answer.status(), &result));
+      continue;
+    }
+    GatherShardAnswer(s, std::move(answer).value(), &result);
+  }
+  FinishGather(&result);
+  span.Tag("results", static_cast<std::uint64_t>(result.sids.size()));
+  if (result.partial) span.Tag("partial", std::uint64_t{1});
+  return result;
+}
+
+void ShardedSetSimilarityIndex::SetShardDegraded(std::uint32_t s,
+                                                 bool degraded) {
+  shards_[s].degraded = degraded;
+}
+
+Status ShardedSetSimilarityIndex::SaveTo(std::ostream& out) const {
+  SnapshotWriter snapshot(out, kShardedIndexMagic, kShardedIndexVersion);
+
+  {
+    BinaryWriter& meta = snapshot.BeginSection("meta");
+    meta.WriteU32(num_shards());
+    meta.WriteU64(num_live_);
+    meta.WriteU64(local_of_global_.size());
+    for (const Shard& sh : shards_) {
+      // A shard that is *dead* (lost in a previous salvage) has nothing to
+      // serialize; it round-trips as dead. The administrative degraded flag
+      // is runtime-only and intentionally not persisted.
+      meta.WriteBool(sh.index == nullptr);
+    }
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  }
+  {
+    BinaryWriter& body = snapshot.BeginSection("shardmap");
+    map_.WriteTo(body);
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  }
+  {
+    BinaryWriter& body = snapshot.BeginSection("routing");
+    for (const Shard& sh : shards_) {
+      body.WriteVector(sh.global_of_local);
+    }
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  }
+
+  // One nested snapshot pair per shard, each its own checksummed section so
+  // damage quarantines one shard while its neighbors stay loadable.
+  for (std::uint32_t s = 0; s < num_shards(); ++s) {
+    const Shard& sh = shards_[s];
+    std::string store_bytes, index_bytes;
+    if (sh.index != nullptr) {
+      std::ostringstream store_out, index_out;
+      SSR_RETURN_IF_ERROR(sh.store->SaveTo(store_out));
+      SSR_RETURN_IF_ERROR(sh.index->SaveTo(index_out));
+      store_bytes = std::move(store_out).str();
+      index_bytes = std::move(index_out).str();
+    }
+    BinaryWriter& store_section =
+        snapshot.BeginSection(ShardSectionName(s, "store"));
+    store_section.WriteBytes(store_bytes.data(), store_bytes.size());
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+    BinaryWriter& index_section =
+        snapshot.BeginSection(ShardSectionName(s, "index"));
+    index_section.WriteBytes(index_bytes.data(), index_bytes.size());
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  }
+  return snapshot.Finish();
+}
+
+Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Load(
+    std::istream& in, const ShardedIndexOptions& options,
+    const SnapshotLoadOptions& load_options) {
+  SnapshotReader snapshot(in);
+  std::uint32_t version = 0;
+  SSR_RETURN_IF_ERROR(snapshot.ReadHeader(kShardedIndexMagic, &version));
+  if (version != kShardedIndexVersion) {
+    return Status::NotSupported("unknown sharded-index snapshot version");
+  }
+
+  // The structural sections (meta, shardmap, routing) are small and load
+  // strictly — without them there is nothing to route to, so salvage
+  // cannot help. Shard payload damage is where salvage earns its keep.
+  std::string payload;
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("meta", &payload));
+  std::uint32_t num_shards = 0;
+  std::uint64_t num_live = 0, capacity = 0;
+  std::vector<bool> dead;
+  {
+    std::istringstream meta_in(payload);
+    BinaryReader meta(meta_in);
+    SSR_RETURN_IF_ERROR(meta.ReadU32(&num_shards));
+    SSR_RETURN_IF_ERROR(meta.ReadU64(&num_live));
+    SSR_RETURN_IF_ERROR(meta.ReadU64(&capacity));
+    if (num_shards == 0) {
+      return Status::Corruption("sharded snapshot with 0 shards");
+    }
+    if (num_shards > (1u << 20) || capacity > (1ULL << 32) ||
+        num_live > capacity) {
+      return Status::Corruption("implausible sharded-snapshot meta");
+    }
+    dead.resize(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      bool flag = false;
+      SSR_RETURN_IF_ERROR(meta.ReadBool(&flag));
+      dead[s] = flag;
+    }
+  }
+
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("shardmap", &payload));
+  std::istringstream map_in(payload);
+  BinaryReader map_reader(map_in);
+  auto map_or = ShardMap::ReadFrom(map_reader);
+  if (!map_or.ok()) return map_or.status();
+  ShardMap map = std::move(map_or).value();
+  if (map.num_shards() != num_shards) {
+    return Status::Corruption("shard map / meta shard-count mismatch");
+  }
+
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("routing", &payload));
+  std::vector<std::vector<SetId>> routing(num_shards);
+  {
+    std::istringstream routing_in(payload);
+    BinaryReader routing_reader(routing_in);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      SSR_RETURN_IF_ERROR(routing_reader.ReadVector(&routing[s]));
+    }
+  }
+
+  ShardedIndexOptions resolved = options;
+  resolved.num_shards = num_shards;
+  resolved.map_seed = map.seed();
+  ShardedSetSimilarityIndex sharded(std::move(resolved), IndexLayout{});
+  sharded.map_ = std::move(map);
+
+  RecoveryReport report;
+  bool truncated = false;  // DataLoss: everything after this point is gone
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    Shard& sh = sharded.shards_[s];
+    sh.global_of_local = std::move(routing[s]);
+
+    std::string store_payload, index_payload;
+    Status store_st = Status::OK(), index_st = Status::OK();
+    if (!truncated) {
+      store_st = snapshot.ReadSection(ShardSectionName(s, "store"),
+                                      &store_payload);
+      if (store_st.IsDataLoss()) truncated = true;
+    } else {
+      store_st = Status::DataLoss("snapshot truncated before this shard");
+    }
+    if (!truncated) {
+      index_st = snapshot.ReadSection(ShardSectionName(s, "index"),
+                                      &index_payload);
+      if (index_st.IsDataLoss()) truncated = true;
+    } else {
+      index_st = Status::DataLoss("snapshot truncated before this shard");
+    }
+    if (!load_options.salvage) {
+      SSR_RETURN_IF_ERROR(store_st);
+      SSR_RETURN_IF_ERROR(index_st);
+    }
+    if (dead[s]) continue;  // was already lost when saved; stays dead
+
+    // The section payload *is* the nested snapshot. A CRC mismatch on the
+    // outer section still yields the (corrupt) bytes — hand them to the
+    // inner loader, whose page-level salvage can often keep most of the
+    // shard.
+    SSR_RETURN_IF_ERROR(
+        sharded.LoadShardFromPayloads(s, store_st, store_payload, index_st,
+                                      index_payload, load_options, &report));
+    if (sh.index == nullptr) {
+      // The whole shard was unrecoverable: its routed sids are lost.
+      report.salvaged = true;
+      for (SetId g : sh.global_of_local) {
+        if (g != kInvalidSetId && sharded.map_.IsAssigned(g) &&
+            sharded.map_.ShardOf(g) == s) {
+          ++report.records_quarantined;
+        }
+      }
+    }
+  }
+
+  Status footer = truncated ? Status::DataLoss("snapshot truncated")
+                            : snapshot.VerifyFooter();
+  if (!footer.ok()) {
+    if (!load_options.salvage) return footer;
+    report.salvaged = true;
+  }
+
+  // Rebuild the global -> local table from the per-shard routing tables.
+  // Liveness truth: a healthy shard's store (salvage may have dropped
+  // records); for a dead shard, the persisted map (its live sids at save
+  // time — they exist but are unavailable until restored).
+  sharded.local_of_global_.assign(static_cast<std::size_t>(capacity),
+                                  LocalRef{});
+  sharded.num_live_ = 0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    Shard& sh = sharded.shards_[s];
+    for (SetId local = 0; local < sh.global_of_local.size(); ++local) {
+      const SetId g = sh.global_of_local[local];
+      if (g == kInvalidSetId || g >= capacity) continue;
+      const bool live = sh.store != nullptr
+                            ? sh.store->Contains(local)
+                            : (sharded.map_.IsAssigned(g) &&
+                               sharded.map_.ShardOf(g) == s);
+      if (live) sharded.local_of_global_[g] = LocalRef{s, local};
+    }
+    if (sh.store != nullptr) sharded.num_live_ += sh.store->size();
+  }
+
+  if (load_options.report != nullptr) {
+    load_options.report->MergeFrom(report);
+  }
+  return sharded;
+}
+
+Status ShardedSetSimilarityIndex::LoadShardFromPayloads(
+    std::uint32_t s, const Status& store_st, const std::string& store_payload,
+    const Status& index_st, const std::string& index_payload,
+    const SnapshotLoadOptions& load_options, RecoveryReport* report) {
+  Shard& sh = shards_[s];
+  const std::string scope = ShardScope(base_scope_, s);
+
+  SetStoreOptions store_options = options_.store;
+  store_options.metrics_scope = scope + "/store";
+  Status shard_status = store_st;
+  if (shard_status.ok() && store_payload.empty()) {
+    shard_status = Status::Corruption("empty shard store payload");
+  }
+  if ((shard_status.ok() || load_options.salvage) && !store_payload.empty()) {
+    std::istringstream store_in(store_payload);
+    SnapshotLoadOptions inner = load_options;
+    inner.report = report;
+    auto store = SetStore::Load(store_in, store_options, inner);
+    if (store.ok()) {
+      sh.store = std::make_unique<SetStore>(std::move(store).value());
+      shard_status = Status::OK();
+    } else {
+      shard_status = store.status();
+    }
+  }
+  if (!shard_status.ok()) {
+    if (!load_options.salvage) return shard_status;
+    sh.store = nullptr;  // unrecoverable: quarantine the whole shard
+    sh.index = nullptr;
+    return Status::OK();
+  }
+
+  Status idx_status = index_st;
+  if (idx_status.ok() && index_payload.empty()) {
+    idx_status = Status::Corruption("empty shard index payload");
+  }
+  if ((idx_status.ok() || load_options.salvage) && !index_payload.empty()) {
+    std::istringstream index_in(index_payload);
+    SnapshotLoadOptions inner = load_options;
+    inner.report = report;
+    auto index = SetSimilarityIndex::Load(*sh.store, index_in, inner);
+    if (index.ok()) {
+      sh.index = std::make_unique<SetSimilarityIndex>(std::move(index).value());
+      if (layout_.points.empty()) layout_ = sh.index->layout();
+      return Status::OK();
+    }
+    idx_status = index.status();
+  }
+  if (!load_options.salvage) return idx_status;
+
+  // The index snapshot is beyond saving but the store survived: rebuild the
+  // shard's index from its records. Deterministic under the configured
+  // seeds, so the shard keeps serving with zero data loss. Needs the layout,
+  // which comes from the first successfully loaded shard index.
+  if (!layout_.points.empty()) {
+    IndexOptions index_options = options_.index;
+    index_options.metrics_scope = scope + "/index";
+    auto rebuilt = SetSimilarityIndex::Build(*sh.store, layout_,
+                                             index_options);
+    if (rebuilt.ok()) {
+      sh.index =
+          std::make_unique<SetSimilarityIndex>(std::move(rebuilt).value());
+      report->signatures_rebuilt += sh.store->size();
+      report->salvaged = true;
+      return Status::OK();
+    }
+  }
+  sh.store = nullptr;
+  sh.index = nullptr;
+  return Status::OK();
+}
+
+std::uint64_t ShardedSetSimilarityIndex::ContentDigest() const {
+  std::uint64_t h = map_.ContentDigest();
+  h = HashCombine(h, num_live_);
+  for (std::uint32_t s = 0; s < num_shards(); ++s) {
+    const Shard& sh = shards_[s];
+    h = HashCombine(h, sh.index != nullptr ? sh.index->ContentDigest() : 0);
+    h = HashCombine(h, sh.global_of_local.size());
+    for (SetId g : sh.global_of_local) h = HashCombine(h, g);
+  }
+  return h;
+}
+
+}  // namespace shard
+}  // namespace ssr

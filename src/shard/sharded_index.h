@@ -1,0 +1,228 @@
+// ShardedSetSimilarityIndex: the horizontal axis of the system. The
+// collection is partitioned across P shards by the ShardMap's stable
+// sid-hash; each shard owns a private SetStore and a SetSimilarityIndex
+// built over it with the PR-4 parallel builder. A range query is answered
+// by scattering it to every shard (similarity gives no shard pruning — any
+// shard can hold a match) and gathering the per-shard verified answers,
+// merged *in shard order* so the output never depends on completion order.
+//
+// Shards keep their own dense local sid spaces (SetStore requires it); the
+// sharded index is the only layer that speaks global sids, translating at
+// the boundary via per-shard local -> global tables. Verified answers are
+// exact per shard and shards partition the collection, so the merged answer
+// is set-identical to a single index / sequential scan over the same
+// collection — the property the differential harness (tests/difftest/)
+// pins down across P, churn, and degraded shards.
+//
+// Failure semantics: a shard can be administratively degraded (operator
+// action or a salvage load that lost it). Under kPartialResults the router
+// and the serial Query skip it and tag the answer (partial, degraded shard
+// ids listed) — every returned sid is still verified correct, so a degraded
+// answer is a subset, never a superset. Under kFailFast the query errors.
+
+#ifndef SSR_SHARD_SHARDED_INDEX_H_
+#define SSR_SHARD_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/set_similarity_index.h"
+#include "shard/shard_map.h"
+#include "storage/set_store.h"
+#include "storage/snapshot.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace ssr {
+namespace shard {
+
+/// Resolves a `num_shards` knob: n > 0 is taken as-is; n == 0 means the
+/// SSR_SHARDS environment variable when set to a positive integer,
+/// otherwise 1 (sharding is opt-in, unlike threading).
+std::uint32_t ResolveShardCount(std::uint32_t num_shards);
+
+/// What a query does when a shard cannot answer (degraded or erroring).
+enum class ShardFailurePolicy {
+  /// Propagate Unavailable for the whole query.
+  kFailFast,
+  /// Answer from the healthy shards, tagged partial + degraded. Returned
+  /// sids are verified correct; the answer is a subset, never a superset.
+  kPartialResults,
+};
+
+struct ShardedIndexOptions {
+  /// Shard count; 0 resolves via SSR_SHARDS (ResolveShardCount).
+  std::uint32_t num_shards = 0;
+
+  /// Seed for the ShardMap's rendezvous votes.
+  std::uint64_t map_seed = ShardMap::kDefaultSeed;
+
+  /// Per-shard index options (embedding, seed, build threads, per-shard
+  /// DegradeMode, probe retry). metrics_scope is used as the *base* scope:
+  /// shard s registers under "<base>/shard/<s>" (a fresh "sharded/N" base
+  /// is allocated when empty).
+  IndexOptions index;
+
+  /// Per-shard store options (same base-scope treatment).
+  SetStoreOptions store;
+
+  /// Behavior when a shard cannot answer a query.
+  ShardFailurePolicy on_shard_failure = ShardFailurePolicy::kPartialResults;
+};
+
+/// A sharded query answer: global sids plus the scatter/gather bookkeeping.
+struct ShardedQueryResult {
+  std::vector<SetId> sids;  // verified global sids, ascending
+  /// Stats merged deterministically in shard order: counters and I/O sum
+  /// across shards; plan/lo/up come from the first answering shard (all
+  /// shards share the layout, so their plans agree); degraded is the OR.
+  QueryStats stats;
+  std::vector<QueryStats> per_shard;  // by shard; default-initialized if dead
+  std::vector<Status> shard_status;   // by shard
+  std::vector<std::uint32_t> degraded_shards;  // shards that did not answer
+  bool partial = false;  // some shard's sids are missing from `sids`
+};
+
+/// Aggregate build statistics. Shards build one after another on the host,
+/// but deploy to separate machines: the modeled makespan is the slowest
+/// shard's modeled build time, the figure the shard_scaling bench charts.
+struct ShardedBuildStats {
+  std::vector<BuildStats> per_shard;
+  double wall_seconds = 0.0;
+  double modeled_makespan_seconds = 0.0;
+};
+
+class ShardedSetSimilarityIndex {
+ public:
+  /// Partitions `sets` (global sid = position) across the shards and builds
+  /// every shard's index. The per-shard builds use options.index.num_threads
+  /// workers each (the PR-4 parallel builder), one shard at a time.
+  static Result<ShardedSetSimilarityIndex> Build(
+      const SetCollection& sets, const IndexLayout& layout,
+      const ShardedIndexOptions& options);
+
+  /// Routes the set to its shard's store + index. `sid` is the caller's
+  /// global sid (AlreadyExists if live). Global sids must be fresh — the
+  /// sharded index never reuses them, mirroring SetStore's dense allocator.
+  Status Insert(SetId sid, const ElementSet& set);
+
+  /// Erases a global sid from its shard. NotFound when `sid` was never
+  /// inserted or is already erased — same contract as
+  /// SetSimilarityIndex::Erase.
+  Status Erase(SetId sid);
+
+  /// Serial reference scatter/gather: queries shards 0..P-1 in order on the
+  /// calling thread and merges. Identical answers (and failure semantics)
+  /// to QueryRouter::Query — the differential harness holds the two equal.
+  Result<ShardedQueryResult> Query(const ElementSet& query, double sigma1,
+                                   double sigma2) const;
+
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  std::size_t num_live_sets() const { return num_live_; }
+  const ShardMap& shard_map() const { return map_; }
+  const ShardedBuildStats& build_stats() const { return build_stats_; }
+  const std::string& metrics_scope() const { return base_scope_; }
+
+  /// Per-shard access (the router fans out over these). A dead shard (lost
+  /// in a salvage load) has null store/index and degraded == true.
+  const SetStore* shard_store(std::uint32_t s) const {
+    return shards_[s].store.get();
+  }
+  const SetSimilarityIndex* shard_index(std::uint32_t s) const {
+    return shards_[s].index.get();
+  }
+  /// Local sid -> global sid table for shard `s` (by local sid; dead locals
+  /// keep their entry).
+  const std::vector<SetId>& global_of_local(std::uint32_t s) const {
+    return shards_[s].global_of_local;
+  }
+
+  /// Marks a shard (un)available. A degraded shard is skipped (partial,
+  /// tagged) or fails the query, per ShardFailurePolicy.
+  void SetShardDegraded(std::uint32_t s, bool degraded);
+  bool shard_degraded(std::uint32_t s) const {
+    return shards_[s].degraded || shards_[s].index == nullptr;
+  }
+
+  ShardFailurePolicy on_shard_failure() const {
+    return options_.on_shard_failure;
+  }
+
+  /// Translates one shard's verified local answer into `result`: maps local
+  /// sids to global, appends them, and merges the per-shard stats in shard
+  /// order. Shared by the serial Query and the router's gather.
+  void GatherShardAnswer(std::uint32_t s, QueryResult&& answer,
+                         ShardedQueryResult* result) const;
+  /// Records shard `s` as unanswered under the failure policy. Returns the
+  /// Unavailable status to propagate when the policy is kFailFast.
+  Status GatherShardFailure(std::uint32_t s, Status status,
+                            ShardedQueryResult* result) const;
+  /// Finalizes a gathered result: sorts the merged global sids and settles
+  /// the aggregate stats fields.
+  void FinishGather(ShardedQueryResult* result) const;
+
+  /// Persists the whole sharded index as one checksummed v2 snapshot: the
+  /// shard map and routing tables first, then one nested store + index
+  /// snapshot pair per shard, each in its own checksummed section. With
+  /// SnapshotLoadOptions::salvage, a damaged shard section quarantines
+  /// *that shard only* — it comes back dead (degraded, its sids lost) while
+  /// every other shard loads intact and keeps serving; the RecoveryReport
+  /// counts the quarantined records.
+  Status SaveTo(std::ostream& out) const;
+  static Result<ShardedSetSimilarityIndex> Load(
+      std::istream& in, const ShardedIndexOptions& options,
+      const SnapshotLoadOptions& load_options = {});
+
+  /// Digest over the shard map, routing tables, and every live shard's
+  /// index digest; equal iff the sharded structures are bit-identical.
+  std::uint64_t ContentDigest() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<SetStore> store;
+    std::unique_ptr<SetSimilarityIndex> index;
+    std::vector<SetId> global_of_local;
+    bool degraded = false;
+  };
+  struct LocalRef {
+    std::uint32_t shard = ShardMap::kUnassigned;
+    SetId local = kInvalidSetId;
+  };
+
+  ShardedSetSimilarityIndex(ShardedIndexOptions options, IndexLayout layout);
+
+  /// Allocates shard s's store + (empty-collection) index structures.
+  Status CreateShard(std::uint32_t s);
+
+  /// Reconstructs shard `s` from its two nested snapshot payloads (store,
+  /// index) during Load. `store_st`/`index_st` are the outer section
+  /// statuses. Strict loads propagate the first failure; salvage loads try
+  /// inner page-level recovery, then an index rebuild from the surviving
+  /// store, and finally quarantine the whole shard (null store/index).
+  Status LoadShardFromPayloads(std::uint32_t s, const Status& store_st,
+                               const std::string& store_payload,
+                               const Status& index_st,
+                               const std::string& index_payload,
+                               const SnapshotLoadOptions& load_options,
+                               RecoveryReport* report);
+
+  ShardedIndexOptions options_;
+  IndexLayout layout_;
+  std::string base_scope_;
+  ShardMap map_;
+  std::vector<Shard> shards_;
+  std::vector<LocalRef> local_of_global_;  // by global sid
+  std::size_t num_live_ = 0;
+  ShardedBuildStats build_stats_;
+};
+
+}  // namespace shard
+}  // namespace ssr
+
+#endif  // SSR_SHARD_SHARDED_INDEX_H_

@@ -232,6 +232,21 @@ TEST(SetSimilarityIndexTest, DynamicEraseRemovesFromAnswers) {
   EXPECT_EQ(f->index->num_live_sets(), 99u);
 }
 
+TEST(SetSimilarityIndexTest, EraseOfNeverInsertedSidIsNotFound) {
+  auto f = BuildFixture(20, FullLayout());
+  ASSERT_NE(f, nullptr);
+  // Beyond the sid capacity entirely: never inserted.
+  EXPECT_TRUE(f->index->Erase(20).IsNotFound());
+  EXPECT_TRUE(f->index->Erase(10'000).IsNotFound());
+  // Inside the capacity but never inserted: a dynamic insert at a sparse
+  // sid grows the slot table, leaving a hole of never-live sids below it.
+  ASSERT_TRUE(f->index->Insert(30, f->sets[0]).ok());
+  EXPECT_TRUE(f->index->Erase(25).IsNotFound());
+  EXPECT_TRUE(f->index->Erase(30).ok());
+  EXPECT_TRUE(f->index->Erase(30).IsNotFound());
+  EXPECT_EQ(f->index->num_live_sets(), 20u);
+}
+
 TEST(SetSimilarityIndexTest, InsertRejectsDuplicatesAndBadSets) {
   auto f = BuildFixture(50, FullLayout());
   ASSERT_NE(f, nullptr);

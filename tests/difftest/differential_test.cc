@@ -1,0 +1,403 @@
+// Randomized differential test harness: one seeded workload — a generated
+// collection, a churn phase of Insert/Erase, and mixed range queries — is
+// pushed through every executor the system has:
+//
+//   oracle   sequential scan (baseline/sequential_scan.h, exact by
+//            construction)
+//   serial   one SetSimilarityIndex
+//   batch    exec::BatchExecutor over that index (4 workers)
+//   sharded  ShardedSetSimilarityIndex at P in {1, 2, 4, 7}, serial gather
+//   routed   QueryRouter (parallel scatter + batch) at P = 4
+//
+// The differential contract pins down exactly what the system guarantees:
+//
+//   identity   every index-based executor returns the bit-identical answer.
+//              Candidate membership is a pure function of signatures (the
+//              hash tables fingerprint-disambiguate bucket collisions), so
+//              partitioning, batching, and routing must not change results.
+//   precision  every answer is a subset of the sequential-scan oracle —
+//              exact Jaccard verification admits no false positives.
+//   exactness  full-range [0, 1] queries (the kFullCollection plan) are
+//              set-identical to the oracle. Narrower plans probe LSH
+//              filters whose recall is tunably below 1 by design
+//              (Section 4), so oracle-identity there would assert a
+//              property the paper's scheme intentionally trades away.
+//
+// plus the degraded-shard phase: with one shard forced unavailable the
+// sharded answers must come back tagged partial and be exactly the healthy
+// answer minus the degraded shard's sids — a subset of the oracle, never a
+// superset.
+//
+// Every assertion prints the seed and a copy-paste repro command; pin a
+// failing seed with SSR_DIFFTEST_SEED=<seed> (it replaces the default seed
+// list, so the failing workload runs alone).
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential_scan.h"
+#include "core/set_similarity_index.h"
+#include "exec/batch_executor.h"
+#include "shard/query_router.h"
+#include "shard/sharded_index.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace {
+
+constexpr std::uint32_t kShardCounts[] = {1, 2, 4, 7};
+
+std::vector<std::uint64_t> DifftestSeeds() {
+  if (const char* env = std::getenv("SSR_DIFFTEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long pinned = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return {pinned};
+  }
+  // The default tier-1 slice. CI's difftest-sweep job covers 16 seeds by
+  // looping SSR_DIFFTEST_SEED over 101..116 under ASan/UBSan.
+  return {101, 102, 103, 104};
+}
+
+std::string Repro(std::uint64_t seed) {
+  return "repro: SSR_DIFFTEST_SEED=" + std::to_string(seed) +
+         " ./tests/difftest_test"
+         " --gtest_filter='*DifferentialTest*' (seed " +
+         std::to_string(seed) + ")";
+}
+
+struct RangeQuery {
+  ElementSet query;
+  double sigma1 = 0.0;
+  double sigma2 = 1.0;
+};
+
+// The workload under test, with every executor kept in lockstep. The
+// oracle store backs both the sequential scan and the single index, so
+// global sids stay dense and identical across all executors.
+class Workload {
+ public:
+  explicit Workload(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  Status BuildAll() {
+    const std::size_t n = 120 + rng_.Uniform(80);
+    for (std::size_t i = 0; i < n; ++i) sets_.push_back(RandomSet());
+
+    layout_.delta = 0.4;
+    layout_.points = {{0.15, FilterKind::kDissimilarity, 8, 0},
+                      {0.4, FilterKind::kDissimilarity, 8, 0},
+                      {0.4, FilterKind::kSimilarity, 8, 0},
+                      {0.75, FilterKind::kSimilarity, 8, 0}};
+
+    store_ = std::make_unique<SetStore>();
+    for (const ElementSet& s : sets_) {
+      auto sid = store_->Add(s);
+      if (!sid.ok()) return sid.status();
+    }
+    live_.assign(sets_.size(), true);
+
+    IndexOptions index_options;
+    index_options.embedding.minhash.num_hashes = 80;
+    index_options.embedding.minhash.seed = 777;
+    index_options.seed = 4242;
+    auto single = SetSimilarityIndex::Build(*store_, layout_, index_options);
+    if (!single.ok()) return single.status();
+    index_ =
+        std::make_unique<SetSimilarityIndex>(std::move(single).value());
+
+    for (std::uint32_t p : kShardCounts) {
+      shard::ShardedIndexOptions options;
+      options.num_shards = p;
+      options.index = index_options;
+      auto sharded =
+          shard::ShardedSetSimilarityIndex::Build(sets_, layout_, options);
+      if (!sharded.ok()) return sharded.status();
+      sharded_.push_back(std::make_unique<shard::ShardedSetSimilarityIndex>(
+          std::move(sharded).value()));
+    }
+    return Status::OK();
+  }
+
+  // Random churn: erases (live, dead, and never-inserted sids) and fresh
+  // inserts, applied to the store+index pair and every sharded index
+  // identically. Status contracts are themselves differential assertions:
+  // all executors must agree on OK vs NotFound.
+  void Churn(std::size_t ops) {
+    for (std::size_t op = 0; op < ops; ++op) {
+      if (rng_.Bernoulli(0.45) || num_live() <= 10) {
+        const SetId sid = static_cast<SetId>(sets_.size());
+        sets_.push_back(RandomSet());
+        live_.push_back(true);
+        auto stored = store_->Add(sets_[sid]);
+        ASSERT_TRUE(stored.ok()) << Repro(seed_);
+        ASSERT_EQ(*stored, sid) << Repro(seed_);
+        ASSERT_TRUE(index_->Insert(sid, sets_[sid]).ok()) << Repro(seed_);
+        for (auto& sh : sharded_) {
+          ASSERT_TRUE(sh->Insert(sid, sets_[sid]).ok()) << Repro(seed_);
+        }
+      } else {
+        // Bias toward live sids but sometimes pick dead or out-of-range
+        // ones: every executor must agree the erase is NotFound.
+        SetId sid = static_cast<SetId>(rng_.Uniform(sets_.size() + 5));
+        const bool expect_ok = sid < sets_.size() && live_[sid];
+        const Status from_index = index_->Erase(sid);
+        ASSERT_EQ(from_index.ok(), expect_ok)
+            << from_index.ToString() << "\n" << Repro(seed_);
+        if (!expect_ok) {
+          ASSERT_TRUE(from_index.IsNotFound()) << Repro(seed_);
+        } else {
+          ASSERT_TRUE(store_->Delete(sid).ok()) << Repro(seed_);
+          live_[sid] = false;
+        }
+        for (auto& sh : sharded_) {
+          const Status st = sh->Erase(sid);
+          ASSERT_EQ(st.ok(), expect_ok) << st.ToString() << "\n"
+                                        << Repro(seed_);
+          if (!expect_ok) {
+            ASSERT_TRUE(st.IsNotFound()) << Repro(seed_);
+          }
+        }
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  std::vector<RangeQuery> MakeQueries(std::size_t n) {
+    std::vector<RangeQuery> queries;
+    for (std::size_t t = 0; t < n; ++t) {
+      RangeQuery q;
+      if (rng_.Bernoulli(0.7) && !sets_.empty()) {
+        q.query = sets_[rng_.Uniform(sets_.size())];
+      } else {
+        q.query = RandomSet();
+      }
+      switch (rng_.Uniform(4)) {
+        case 0:  // narrow high-similarity band
+          q.sigma1 = 0.6 + rng_.NextDouble() * 0.35;
+          q.sigma2 = q.sigma1 + rng_.NextDouble() * (1.0 - q.sigma1);
+          break;
+        case 1:  // dissimilarity band
+          q.sigma1 = rng_.NextDouble() * 0.2;
+          q.sigma2 = q.sigma1 + rng_.NextDouble() * 0.3;
+          break;
+        case 2:  // full range (the kFullCollection plan)
+          q.sigma1 = 0.0;
+          q.sigma2 = 1.0;
+          break;
+        default:  // arbitrary mixed range
+          q.sigma1 = rng_.NextDouble() * 0.8;
+          q.sigma2 = q.sigma1 + rng_.NextDouble() * (1.0 - q.sigma1);
+      }
+      queries.push_back(std::move(q));
+    }
+    return queries;
+  }
+
+  // Runs `queries` through every executor and asserts the differential
+  // contract: executor identity, precision against the oracle, full-range
+  // exactness, and the QueryStats invariants.
+  void CheckAll(const std::vector<RangeQuery>& queries) {
+    // Batch inputs once: batch executor over the single index, router over
+    // the P=4 sharded index.
+    std::vector<exec::BatchQuery> batch;
+    for (const RangeQuery& q : queries) {
+      batch.push_back({q.query, q.sigma1, q.sigma2});
+    }
+    exec::BatchExecutorOptions batch_options;
+    batch_options.num_threads = 4;
+    exec::BatchExecutor executor(*index_, batch_options);
+    const exec::BatchResult batched = executor.Run(batch);
+    ASSERT_EQ(batched.failed, 0u) << Repro(seed_);
+
+    shard::QueryRouterOptions router_options;
+    router_options.num_threads = 4;
+    shard::QueryRouter router(*ShardedAt(4), router_options);
+    const shard::RoutedBatchResult routed = router.RunBatch(batch);
+    ASSERT_EQ(routed.failed, 0u) << Repro(seed_);
+
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const RangeQuery& q = queries[i];
+      auto oracle = SequentialScanQuery(*store_, q.query, q.sigma1, q.sigma2);
+      ASSERT_TRUE(oracle.ok()) << oracle.status().ToString() << "\n"
+                               << Repro(seed_);
+      const std::vector<SetId>& truth = oracle->sids;
+
+      // The serial single index is the reference every other executor must
+      // reproduce bit for bit.
+      auto serial = index_->Query(q.query, q.sigma1, q.sigma2);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString() << "\n"
+                               << Repro(seed_);
+      const std::vector<SetId>& reference = serial->sids;
+      ASSERT_TRUE(std::includes(truth.begin(), truth.end(),
+                                reference.begin(), reference.end()))
+          << "serial index returned a false positive on query " << i << "\n"
+          << Repro(seed_);
+      if (serial->stats.plan == QueryPlanKind::kFullCollection) {
+        ASSERT_EQ(reference, truth)
+            << "full-range plan is exact by construction, query " << i << "\n"
+            << Repro(seed_);
+      }
+      CheckStats(serial->stats, i, "serial");
+
+      ASSERT_EQ(batched.results[i].sids, reference)
+          << "batch executor diverged on query " << i << "\n" << Repro(seed_);
+      CheckStats(batched.results[i].stats, i, "batch");
+
+      for (std::size_t pi = 0; pi < sharded_.size(); ++pi) {
+        auto sharded = sharded_[pi]->Query(q.query, q.sigma1, q.sigma2);
+        ASSERT_TRUE(sharded.ok()) << sharded.status().ToString() << "\n"
+                                  << Repro(seed_);
+        ASSERT_EQ(sharded->sids, reference)
+            << "sharded P=" << kShardCounts[pi] << " diverged on query " << i
+            << "\n" << Repro(seed_);
+        ASSERT_FALSE(sharded->partial) << Repro(seed_);
+        CheckStats(sharded->stats, i, "sharded");
+        // Sharded bookkeeping: merged counters are the per-shard sums.
+        std::size_t candidates = 0, fetched = 0;
+        for (const QueryStats& ps : sharded->per_shard) {
+          candidates += ps.candidates;
+          fetched += ps.sets_fetched;
+        }
+        ASSERT_EQ(sharded->stats.candidates, candidates) << Repro(seed_);
+        ASSERT_EQ(sharded->stats.sets_fetched, fetched) << Repro(seed_);
+      }
+
+      ASSERT_EQ(routed.results[i].sids, reference)
+          << "query router diverged on query " << i << "\n" << Repro(seed_);
+
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  // One shard of the P=4 index forced degraded: answers must be tagged
+  // partial and equal the healthy reference answer minus the degraded
+  // shard's sids (a subset of the oracle whenever that shard held matches —
+  // never a superset).
+  void CheckDegraded(const std::vector<RangeQuery>& queries) {
+    shard::ShardedSetSimilarityIndex* sharded = ShardedAt(4);
+    const std::uint32_t victim =
+        static_cast<std::uint32_t>(rng_.Uniform(sharded->num_shards()));
+    sharded->SetShardDegraded(victim, true);
+    shard::QueryRouter router(*sharded, {});
+
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const RangeQuery& q = queries[i];
+      auto oracle = SequentialScanQuery(*store_, q.query, q.sigma1, q.sigma2);
+      ASSERT_TRUE(oracle.ok()) << Repro(seed_);
+      // The healthy answer (serial single index == healthy sharded, by the
+      // identity contract above) minus the victim shard's sids is exactly
+      // what the surviving shards can contribute.
+      auto healthy = index_->Query(q.query, q.sigma1, q.sigma2);
+      ASSERT_TRUE(healthy.ok()) << Repro(seed_);
+      std::vector<SetId> expect;
+      for (SetId sid : healthy->sids) {
+        if (sharded->shard_map().ShardOf(sid) != victim) {
+          expect.push_back(sid);
+        }
+      }
+
+      auto serial = sharded->Query(q.query, q.sigma1, q.sigma2);
+      auto routed = router.Query(q.query, q.sigma1, q.sigma2);
+      ASSERT_TRUE(serial.ok()) << Repro(seed_);
+      ASSERT_TRUE(routed.ok()) << Repro(seed_);
+      for (const auto* r : {&*serial, &*routed}) {
+        ASSERT_TRUE(r->partial) << "degraded answer must be tagged\n"
+                                << Repro(seed_);
+        ASSERT_TRUE(r->stats.degraded) << Repro(seed_);
+        ASSERT_EQ(r->degraded_shards,
+                  std::vector<std::uint32_t>{victim}) << Repro(seed_);
+        ASSERT_EQ(r->sids, expect)
+            << "degraded sharded answer is not oracle-minus-shard on query "
+            << i << "\n" << Repro(seed_);
+        ASSERT_TRUE(std::includes(oracle->sids.begin(), oracle->sids.end(),
+                                  r->sids.begin(), r->sids.end()))
+            << "degraded answer returned a superset\n" << Repro(seed_);
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    sharded->SetShardDegraded(victim, false);
+  }
+
+  std::size_t num_live() const {
+    return static_cast<std::size_t>(
+        std::count(live_.begin(), live_.end(), true));
+  }
+
+ private:
+  ElementSet RandomSet() {
+    ElementSet s;
+    const std::size_t size = 8 + rng_.Uniform(64);
+    for (std::size_t j = 0; j < size; ++j) s.push_back(rng_.Uniform(5000));
+    NormalizeSet(s);
+    if (s.empty()) s.push_back(1);
+    return s;
+  }
+
+  shard::ShardedSetSimilarityIndex* ShardedAt(std::uint32_t p) {
+    for (std::size_t i = 0; i < sharded_.size(); ++i) {
+      if (kShardCounts[i] == p) return sharded_[i].get();
+    }
+    return nullptr;
+  }
+
+  void CheckStats(const QueryStats& stats, std::size_t i, const char* who) {
+    ASSERT_GE(stats.candidates, stats.results)
+        << who << " verified more sids than it had candidates, query " << i
+        << "\n" << Repro(seed_);
+    ASSERT_LE(stats.sets_fetched, stats.candidates)
+        << who << " fetched more sets than candidates, query " << i << "\n"
+        << Repro(seed_);
+    ASSERT_FALSE(stats.degraded)
+        << who << " degraded without injected faults, query " << i << "\n"
+        << Repro(seed_);
+    ASSERT_EQ(stats.probe_failures, 0u) << Repro(seed_);
+    ASSERT_EQ(stats.fetch_failures, 0u) << Repro(seed_);
+  }
+
+  const std::uint64_t seed_;
+  Rng rng_;
+  SetCollection sets_;
+  std::vector<bool> live_;
+  IndexLayout layout_;
+  std::unique_ptr<SetStore> store_;
+  std::unique_ptr<SetSimilarityIndex> index_;
+  std::vector<std::unique_ptr<shard::ShardedSetSimilarityIndex>> sharded_;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialTest, AllExecutorsAgreeAcrossBuildChurnAndDegradation) {
+  const std::uint64_t seed = GetParam();
+  Workload w(seed);
+  ASSERT_TRUE(w.BuildAll().ok()) << Repro(seed);
+
+  // Fresh build: everything agrees.
+  w.CheckAll(w.MakeQueries(12));
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Churn, then everything agrees again (twice: holes, then more holes and
+  // re-grown sids).
+  for (int round = 0; round < 2; ++round) {
+    w.Churn(35);
+    if (::testing::Test::HasFatalFailure()) return;
+    w.CheckAll(w.MakeQueries(10));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // One shard degraded: tagged partial subsets, never supersets.
+  w.CheckDegraded(w.MakeQueries(8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::ValuesIn(DifftestSeeds()),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed_" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace ssr

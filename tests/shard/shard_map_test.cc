@@ -1,0 +1,207 @@
+// Property tests for the ShardMap contract: total assignment, stability
+// across save/load, and minimal movement under Rebalance — growing moves
+// sids only *to* new shards, shrinking only *from* removed shards, and no
+// sid ever hops between two surviving shards.
+
+#include "shard/shard_map.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ssr {
+namespace shard {
+namespace {
+
+TEST(ShardMapTest, AssignmentIsTotalAndIdempotent) {
+  for (std::uint32_t num_shards : {1u, 2u, 4u, 7u}) {
+    ShardMap map(num_shards);
+    std::vector<std::uint32_t> first(1000);
+    for (SetId sid = 0; sid < 1000; ++sid) {
+      first[sid] = map.Assign(sid);
+      ASSERT_LT(first[sid], num_shards) << "sid " << sid;
+    }
+    EXPECT_EQ(map.num_assigned(), 1000u);
+    for (SetId sid = 0; sid < 1000; ++sid) {
+      EXPECT_EQ(map.Assign(sid), first[sid]) << "sid " << sid;
+      EXPECT_EQ(map.ShardOf(sid), first[sid]) << "sid " << sid;
+      EXPECT_TRUE(map.IsAssigned(sid));
+    }
+    EXPECT_EQ(map.num_assigned(), 1000u);
+  }
+}
+
+TEST(ShardMapTest, ShardOfAgreesWithAssignForUnrecordedSids) {
+  ShardMap map(5);
+  for (SetId sid = 0; sid < 500; ++sid) {
+    const std::uint32_t predicted = map.ShardOf(sid);
+    EXPECT_FALSE(map.IsAssigned(sid));
+    EXPECT_EQ(map.Assign(sid), predicted) << "sid " << sid;
+  }
+}
+
+TEST(ShardMapTest, SpreadsSidsAcrossAllShards) {
+  // HRW with a decent hash should land within a loose band of n/P per
+  // shard; an empty shard or a 3x-overloaded one means a broken vote.
+  constexpr std::uint32_t kShards = 4;
+  constexpr SetId kSids = 4000;
+  ShardMap map(kShards);
+  std::vector<std::size_t> count(kShards, 0);
+  for (SetId sid = 0; sid < kSids; ++sid) ++count[map.Assign(sid)];
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(count[s], kSids / kShards / 3) << "shard " << s;
+    EXPECT_LT(count[s], 3 * kSids / kShards) << "shard " << s;
+  }
+}
+
+TEST(ShardMapTest, ForgetDropsTheRecordAndReassignRevotes) {
+  ShardMap map(3);
+  const std::uint32_t original = map.Assign(42);
+  map.Forget(42);
+  EXPECT_FALSE(map.IsAssigned(42));
+  EXPECT_EQ(map.num_assigned(), 0u);
+  // Same shard count, same seed: the re-vote reproduces the placement.
+  EXPECT_EQ(map.Assign(42), original);
+  map.Forget(42);
+  map.Forget(42);  // idempotent
+  EXPECT_EQ(map.num_assigned(), 0u);
+}
+
+TEST(ShardMapTest, SaveLoadReproducesExactPlacement) {
+  ShardMap map(7, /*seed=*/123);
+  Rng rng(99);
+  std::vector<SetId> sids;
+  for (SetId sid = 0; sid < 2000; ++sid) {
+    if (rng.Bernoulli(0.7)) {
+      map.Assign(sid);
+      sids.push_back(sid);
+    }
+  }
+  // A few holes from churn.
+  for (std::size_t i = 0; i < sids.size(); i += 17) map.Forget(sids[i]);
+
+  std::stringstream buf;
+  ASSERT_TRUE(map.SaveTo(buf).ok());
+  auto loaded = ShardMap::Load(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_shards(), map.num_shards());
+  EXPECT_EQ(loaded->seed(), map.seed());
+  EXPECT_EQ(loaded->num_assigned(), map.num_assigned());
+  EXPECT_EQ(loaded->ContentDigest(), map.ContentDigest());
+  for (SetId sid = 0; sid < 2000; ++sid) {
+    EXPECT_EQ(loaded->IsAssigned(sid), map.IsAssigned(sid)) << "sid " << sid;
+    if (map.IsAssigned(sid)) {
+      EXPECT_EQ(loaded->ShardOf(sid), map.ShardOf(sid)) << "sid " << sid;
+    }
+  }
+}
+
+TEST(ShardMapTest, LoadRejectsCorruptPayload) {
+  ShardMap map(3);
+  for (SetId sid = 0; sid < 50; ++sid) map.Assign(sid);
+  std::stringstream buf;
+  ASSERT_TRUE(map.SaveTo(buf).ok());
+  std::string bytes = buf.str();
+  bytes[bytes.size() / 2] ^= 0x5a;  // flip a payload byte
+  std::istringstream damaged(bytes);
+  auto loaded = ShardMap::Load(damaged);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(ShardMapTest, GrowMovesOnlyToNewShards) {
+  for (std::uint32_t from : {1u, 2u, 4u}) {
+    for (std::uint32_t to : {2u, 4u, 7u}) {
+      if (to <= from) continue;
+      ShardMap map(from);
+      std::map<SetId, std::uint32_t> before;
+      for (SetId sid = 0; sid < 3000; ++sid) before[sid] = map.Assign(sid);
+
+      const std::vector<ShardMove> moves = map.Rebalance(to);
+      EXPECT_EQ(map.num_shards(), to);
+
+      std::map<SetId, std::uint32_t> moved;
+      SetId prev_sid = 0;
+      bool first = true;
+      for (const ShardMove& m : moves) {
+        EXPECT_TRUE(first || m.sid > prev_sid) << "moves not ascending";
+        first = false;
+        prev_sid = m.sid;
+        EXPECT_EQ(m.from, before[m.sid]);
+        // The minimal-movement property: a grow only ever moves a sid to
+        // one of the newly added shards.
+        EXPECT_GE(m.to, from) << "sid " << m.sid << " hopped between "
+                              << "surviving shards";
+        EXPECT_LT(m.to, to);
+        moved[m.sid] = m.to;
+      }
+      for (SetId sid = 0; sid < 3000; ++sid) {
+        const std::uint32_t expect =
+            moved.count(sid) ? moved[sid] : before[sid];
+        EXPECT_EQ(map.ShardOf(sid), expect) << "sid " << sid;
+      }
+      // A fresh map at the new count agrees: rebalance converges to the
+      // pure HRW placement.
+      ShardMap fresh(to);
+      for (SetId sid = 0; sid < 3000; ++sid) {
+        EXPECT_EQ(map.ShardOf(sid), fresh.ShardOf(sid)) << "sid " << sid;
+      }
+    }
+  }
+}
+
+TEST(ShardMapTest, ShrinkMovesOnlyFromRemovedShards) {
+  for (std::uint32_t from : {7u, 4u, 2u}) {
+    for (std::uint32_t to : {4u, 2u, 1u}) {
+      if (to >= from) continue;
+      ShardMap map(from);
+      std::map<SetId, std::uint32_t> before;
+      for (SetId sid = 0; sid < 3000; ++sid) before[sid] = map.Assign(sid);
+
+      const std::vector<ShardMove> moves = map.Rebalance(to);
+      std::size_t displaced = 0;
+      for (SetId sid = 0; sid < 3000; ++sid) {
+        if (before[sid] >= to) ++displaced;
+      }
+      // Every sid on a removed shard must move; nobody else may.
+      EXPECT_EQ(moves.size(), displaced);
+      for (const ShardMove& m : moves) {
+        EXPECT_GE(m.from, to) << "sid " << m.sid
+                              << " moved off a surviving shard";
+        EXPECT_LT(m.to, to);
+      }
+    }
+  }
+}
+
+TEST(ShardMapTest, RebalanceRoundTripIsIdentity) {
+  ShardMap map(4);
+  std::vector<std::uint32_t> before(2000);
+  for (SetId sid = 0; sid < 2000; ++sid) before[sid] = map.Assign(sid);
+  (void)map.Rebalance(7);
+  (void)map.Rebalance(4);
+  for (SetId sid = 0; sid < 2000; ++sid) {
+    EXPECT_EQ(map.ShardOf(sid), before[sid]) << "sid " << sid;
+  }
+}
+
+TEST(ShardMapTest, DigestDetectsPlacementDifferences) {
+  ShardMap a(4), b(4);
+  for (SetId sid = 0; sid < 100; ++sid) {
+    a.Assign(sid);
+    b.Assign(sid);
+  }
+  EXPECT_EQ(a.ContentDigest(), b.ContentDigest());
+  b.Forget(50);
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+  ShardMap other_seed(4, /*seed=*/777);
+  for (SetId sid = 0; sid < 100; ++sid) other_seed.Assign(sid);
+  EXPECT_NE(a.ContentDigest(), other_seed.ContentDigest());
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace ssr

@@ -32,6 +32,7 @@ LOWER_IS_BETTER = (
     "bytes",
     "pages",
     "faults",
+    "_merge_overhead",
 )
 HIGHER_IS_BETTER = ("recall", "precision", "throughput", "_qps", "ops_per",
                     "speedup")

@@ -7,6 +7,7 @@ Exercises the exit-code contract on synthetic trajectory points:
   * same, with --advisory       -> exit 0
   * recall halved               -> exit 1 (higher-is-better direction)
   * batch QPS / speedup halved  -> exit 1 (higher-is-better direction)
+  * merge overhead doubled      -> exit 1 (lower-is-better direction)
   * legacy point (no schema_version/env, missing scalar) -> exit 0
 """
 
@@ -29,6 +30,7 @@ BASE = {
         "qc_avg_candidates": 8.0,
         "query_throughput_t4_modeled_qps": 2000.0,
         "build_scaling_t4_speedup": 3.0,
+        "shard_scaling_p4_merge_overhead": 0.05,
     },
 }
 
@@ -87,6 +89,12 @@ def main():
         worse_qps["scalars"]["build_scaling_t4_speedup"] = 1.2
         rc, out = run(compare, base, write(tmp, "qps.json", worse_qps))
         check("qps/speedup drop", 1, rc, out)
+
+        worse_merge = json.loads(json.dumps(BASE))
+        worse_merge["scalars"]["shard_scaling_p4_merge_overhead"] = 0.15
+        rc, out = run(compare, base,
+                      write(tmp, "merge.json", worse_merge))
+        check("merge overhead growth", 1, rc, out)
 
         legacy = {"bench": "selftest",
                   "scalars": {"micro_jaccard_ns": 101.0}}
