@@ -10,6 +10,9 @@
 //
 // Flags:
 //   --quick           smaller workloads (CI smoke; noisier numbers)
+//   --only=<suite>    run a single suite (micro, query_candidates, fig7,
+//                     filter_curve, build_scaling, query_throughput,
+//                     shard_scaling, replay); default runs all
 //   --out=<dir>       directory for BENCH_<n>.json (default ".", created)
 //   --json=<path>     exact artifact path (overrides --out numbering)
 //   --trace=<path>    also write a Chrome trace (chrome://tracing)
@@ -21,6 +24,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,7 +37,11 @@
 #include "hamming/embedding.h"
 #include "obs/chrome_trace.h"
 #include "obs/profile.h"
+#include "obs/query_log.h"
+#include "obs/shadow_oracle.h"
 #include "obs/trace.h"
+#include "obs/workload_observer.h"
+#include "optimizer/observed_workload.h"
 #include "shard/query_router.h"
 #include "shard/sharded_index.h"
 #include "storage/bplus_tree.h"
@@ -503,6 +511,178 @@ int RunShardScalingSuite(bool quick, RunReport* report) {
   return 0;
 }
 
+/// Workload record → checksummed save/load → replay. Runs a deterministic
+/// mixed-threshold batch with full observability attached (observer +
+/// 1-in-1 query-log recorder + shadow-oracle estimator), round-trips the
+/// log through its binary format, replays every recorded query against the
+/// same index, and requires every replayed answer digest to match the
+/// recorded one — replay bit-stability is a hard invariant like the shard
+/// cross-check, not a charted metric. Reports replay throughput, log size,
+/// the shadow oracle's observed recall/precision, and the mass median of
+/// the captured threshold distribution (the δ a workload-driven
+/// re-optimization would use).
+int RunReplaySuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: replay (record -> save/load -> replay)");
+  Rng rng(0x5eed07);
+  const std::size_t collection = quick ? 400 : 1500;
+  const std::size_t batch_size = quick ? 200 : 1000;
+
+  SetStoreOptions store_options;
+  store_options.buffer_pool_pages = 64;
+  SetStore store(store_options);
+  std::vector<ElementSet> sets;
+  sets.reserve(collection);
+  for (std::size_t i = 0; i < collection; ++i) {
+    sets.push_back(RandomSet(rng, 40, 1 << 16));
+    if (!store.Add(sets.back()).ok()) {
+      std::fprintf(stderr, "store add failed\n");
+      return 1;
+    }
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points.push_back({0.2, FilterKind::kDissimilarity, 8, 0});
+  layout.points.push_back({0.5, FilterKind::kSimilarity, 8, 0});
+  layout.points.push_back({0.8, FilterKind::kSimilarity, 8, 0});
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 100;
+  options.embedding.minhash.value_bits = 8;
+  auto index = SetSimilarityIndex::Build(store, layout, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  // A deterministic mixed-threshold batch. Each query is a stored set with
+  // k of its 40 elements replaced — Jaccard to its base ≈ (40−k)/(40+k) —
+  // and a range bracketing that similarity, so every range shape has real
+  // answers and the shadow oracle's recall/precision measure something:
+  //   k =  4 → J ≈ 0.82 in [0.70, 1.00]     k = 18 → J ≈ 0.38 in [0.25, 0.55]
+  //   k = 10 → J ≈ 0.60 in [0.45, 0.80]     k = 30 → J ≈ 0.14 in [0.05, 0.35]
+  constexpr std::size_t kReplacements[] = {4, 10, 18, 30};
+  constexpr double kRanges[][2] = {
+      {0.70, 1.00}, {0.45, 0.80}, {0.25, 0.55}, {0.05, 0.35}};
+  std::vector<exec::BatchQuery> batch;
+  batch.reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    const ElementSet& base = sets[i % sets.size()];
+    const std::size_t k = kReplacements[i % 4];
+    ElementSet query(base.begin() + k, base.end());
+    for (std::size_t j = 0; j < k; ++j) query.push_back(rng.Uniform(1 << 16));
+    NormalizeSet(query);
+    exec::BatchQuery q;
+    q.query = std::move(query);
+    q.sigma1 = kRanges[i % 4][0];
+    q.sigma2 = kRanges[i % 4][1];
+    batch.push_back(std::move(q));
+  }
+
+  obs::WorkloadObserverOptions obs_options;
+  obs_options.metrics_scope =
+      obs::MetricsRegistry::Default().NewScope("bench_replay");
+  obs::WorkloadObserver observer(obs_options);
+  obs::QueryLogRecorder recorder(/*sample_every=*/1);
+  obs::ShadowOracleOptions oracle_options;
+  oracle_options.sample_every = quick ? 8 : 16;
+  obs::ShadowOracleEstimator oracle(store, oracle_options);
+  observer.set_recorder(&recorder);
+  observer.set_shadow_oracle(&oracle);
+
+  exec::BatchExecutorOptions record_options;
+  record_options.num_threads = 4;
+  record_options.workload_observer = &observer;
+  exec::BatchExecutor record_executor(*index, record_options);
+  const exec::BatchResult live = record_executor.Run(batch);
+  if (live.failed != 0) {
+    std::fprintf(stderr, "%zu recorded queries failed\n", live.failed);
+    return 1;
+  }
+
+  // Round-trip the log through its checksummed binary format.
+  obs::QueryLog log = recorder.TakeLog();
+  std::stringstream buffer;
+  const Status save_status = log.SaveTo(buffer);
+  if (!save_status.ok()) {
+    std::fprintf(stderr, "query log save failed: %s\n",
+                 save_status.ToString().c_str());
+    return 1;
+  }
+  const std::string bytes = buffer.str();
+  std::istringstream in(bytes);
+  auto loaded = obs::QueryLog::Load(in);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "query log load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  if (loaded->queries.size() != log.queries.size()) {
+    std::fprintf(stderr, "query log round trip lost queries: %zu != %zu\n",
+                 loaded->queries.size(), log.queries.size());
+    return 1;
+  }
+
+  std::vector<exec::BatchQuery> replay_batch;
+  replay_batch.reserve(loaded->queries.size());
+  for (const obs::RecordedQuery& q : loaded->queries) {
+    exec::BatchQuery b;
+    b.query = q.query;
+    b.sigma1 = q.sigma1;
+    b.sigma2 = q.sigma2;
+    replay_batch.push_back(std::move(b));
+  }
+  exec::BatchExecutorOptions replay_options;
+  replay_options.num_threads = 4;
+  exec::BatchExecutor replay_executor(*index, replay_options);
+  const exec::BatchResult replayed = replay_executor.Run(replay_batch);
+  if (replayed.failed != 0) {
+    std::fprintf(stderr, "%zu replayed queries failed\n", replayed.failed);
+    return 1;
+  }
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < replay_batch.size(); ++i) {
+    const obs::RecordedQuery& recorded = loaded->queries[i];
+    if (replayed.results[i].sids.size() != recorded.result_count ||
+        obs::QueryAnswerDigest(replayed.results[i].sids) !=
+            recorded.result_digest) {
+      ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "replay diverged from the recorded answers on %zu of %zu "
+                 "queries\n",
+                 mismatches, replay_batch.size());
+    return 1;
+  }
+
+  const obs::ShadowBucketStats shadow = oracle.overall();
+  const double mass_median =
+      ObservedThresholdDistribution(observer.Snapshot()).MassMedian();
+  std::printf("  recorded %zu queries (%zu bytes), replay modeled %.0f qps, "
+              "0 digest mismatches\n",
+              log.queries.size(), bytes.size(), replayed.modeled_qps);
+  std::printf("  shadow oracle: %llu/%llu sampled, observed recall %.4f, "
+              "candidate precision %.4f\n",
+              static_cast<unsigned long long>(oracle.sampled()),
+              static_cast<unsigned long long>(oracle.offered()),
+              shadow.MeanRecall(), shadow.MeanPrecision());
+  std::printf("  captured workload mass median (delta for re-optimize): "
+              "%.3f\n",
+              mass_median);
+  report->AddScalar("replay_recorded_queries",
+                    static_cast<double>(log.queries.size()));
+  report->AddScalar("replay_log_bytes", static_cast<double>(bytes.size()));
+  report->AddScalar("replay_modeled_qps", replayed.modeled_qps);
+  report->AddScalar("replay_match_fraction", 1.0);  // enforced above
+  report->AddScalar("replay_shadow_sampled",
+                    static_cast<double>(oracle.sampled()));
+  report->AddScalar("replay_observed_recall", shadow.MeanRecall());
+  report->AddScalar("replay_candidate_precision", shadow.MeanPrecision());
+  report->AddScalar("replay_workload_mass_median", mass_median);
+  return 0;
+}
+
 /// First free BENCH_<n>.json slot in `dir` (the trajectory is append-only).
 std::string NextTrajectoryPath(const std::string& dir) {
   for (int n = 0;; ++n) {
@@ -528,14 +708,50 @@ int Run(const bench::Flags& flags) {
   report.AddParam("perf_source", std::string(obs::PerfSourceName(
                                      obs::Profiler::Default().source())));
 
+  const std::string only = flags.GetString("only", "");
+  if (!only.empty()) report.AddParam("only", only);
+  const auto enabled = [&only](const char* suite) {
+    return only.empty() || only == suite;
+  };
+
   Stopwatch total;
-  RunMicroSuite(quick, &report);
-  if (RunQueryCandidatesSuite(quick, &report) != 0) return 1;
-  if (RunFig7Suite(quick, &report) != 0) return 1;
-  if (RunFilterCurveSuite(quick, &report) != 0) return 1;
-  if (RunBuildScalingSuite(quick, &report) != 0) return 1;
-  if (RunQueryThroughputSuite(quick, &report) != 0) return 1;
-  if (RunShardScalingSuite(quick, &report) != 0) return 1;
+  bool ran_any = false;
+  if (enabled("micro")) {
+    RunMicroSuite(quick, &report);
+    ran_any = true;
+  }
+  if (enabled("query_candidates")) {
+    if (RunQueryCandidatesSuite(quick, &report) != 0) return 1;
+    ran_any = true;
+  }
+  if (enabled("fig7")) {
+    if (RunFig7Suite(quick, &report) != 0) return 1;
+    ran_any = true;
+  }
+  if (enabled("filter_curve")) {
+    if (RunFilterCurveSuite(quick, &report) != 0) return 1;
+    ran_any = true;
+  }
+  if (enabled("build_scaling")) {
+    if (RunBuildScalingSuite(quick, &report) != 0) return 1;
+    ran_any = true;
+  }
+  if (enabled("query_throughput")) {
+    if (RunQueryThroughputSuite(quick, &report) != 0) return 1;
+    ran_any = true;
+  }
+  if (enabled("shard_scaling")) {
+    if (RunShardScalingSuite(quick, &report) != 0) return 1;
+    ran_any = true;
+  }
+  if (enabled("replay")) {
+    if (RunReplaySuite(quick, &report) != 0) return 1;
+    ran_any = true;
+  }
+  if (!ran_any) {
+    std::fprintf(stderr, "unknown --only suite: %s\n", only.c_str());
+    return 2;
+  }
   report.AddScalar("total_wall_seconds", total.ElapsedSeconds());
 
   std::string path = flags.GetString("json", "");

@@ -7,6 +7,7 @@
 #include "exec/thread_pool.h"
 #include "fault/fault_injector.h"
 #include "obs/trace.h"
+#include "obs/workload_observer.h"
 #include "util/hash.h"
 #include "util/serialize.h"
 #include "util/set_ops.h"
@@ -353,6 +354,8 @@ Status SetSimilarityIndex::ProbeFi(std::size_t fi_idx, const Signature& query,
   if (!status.ok()) {
     stats->probe_failures += 1;
     probe_failures_->Increment();
+    stats->fi_probes.push_back(
+        {static_cast<std::uint32_t>(fi_idx), 0, 0, /*failed=*/true});
     span.Tag("failed", std::uint64_t{1});
     return status;
   }
@@ -372,6 +375,9 @@ Status SetSimilarityIndex::ProbeFi(std::size_t fi_idx, const Signature& query,
     span.Tag("tables_failed",
              static_cast<std::uint64_t>(probe.tables_failed));
   }
+  stats->fi_probes.push_back({static_cast<std::uint32_t>(fi_idx),
+                              probe.bucket_accesses, out->size(),
+                              /*failed=*/probe.tables_failed > 0});
   span.Tag("sids", static_cast<std::uint64_t>(out->size()));
   if (options_.charge_bucket_io) {
     io.ChargeRandomRead(probe.bucket_pages);
@@ -743,6 +749,16 @@ Result<QueryResult> SetSimilarityIndex::QueryCandidates(
   root.Tag("plan", QueryPlanKindName(result.stats.plan));
   root.Tag("candidates", static_cast<std::uint64_t>(result.stats.candidates));
   if (result.stats.degraded) root.Tag("degraded", std::uint64_t{1});
+  if (workload_observer_ != nullptr) {
+    // Candidate-only queries count toward the workload shape but are not
+    // offered to the sampled channels: candidates are not verified answers.
+    workload_observer_->CountQuery(sigma1, sigma2, query.size());
+    for (const auto& p : result.stats.fi_probes) {
+      workload_observer_->CountFiProbe(p.fi, p.bucket_accesses, p.sids,
+                                       p.failed);
+    }
+    workload_observer_->UpdateGauges();
+  }
   return result;
 }
 
@@ -873,6 +889,19 @@ Result<QueryResult> SetSimilarityIndex::QueryImpl(
   root.Tag("candidates", static_cast<std::uint64_t>(result.stats.candidates));
   root.Tag("results", static_cast<std::uint64_t>(result.stats.results));
   if (result.stats.degraded) root.Tag("degraded", std::uint64_t{1});
+  if (view == nullptr && workload_observer_ != nullptr) {
+    // Serial-path workload capture. Concurrent callers (QueryThrough) are
+    // deliberately excluded: their executors own per-worker observers fed
+    // from the returned QueryStats, so nothing is double counted.
+    workload_observer_->CountQuery(sigma1, sigma2, query.size());
+    for (const auto& p : result.stats.fi_probes) {
+      workload_observer_->CountFiProbe(p.fi, p.bucket_accesses, p.sids,
+                                       p.failed);
+    }
+    workload_observer_->OfferSample(query, sigma1, sigma2, result.sids,
+                                    result.stats.candidates);
+    workload_observer_->UpdateGauges();
+  }
   return result;
 }
 

@@ -27,6 +27,10 @@
 
 namespace ssr {
 
+namespace obs {
+class WorkloadObserver;
+}  // namespace obs
+
 /// How a query behaves when filter probes or candidate fetches keep
 /// failing after retries. Whatever the mode, a query never silently
 /// returns a wrong answer: it errors, or returns results tagged degraded.
@@ -117,6 +121,20 @@ struct QueryStats {
   bool degraded = false;
   std::size_t probe_failures = 0;  // FI probes that failed after retries
   std::size_t fetch_failures = 0;  // candidate fetches that failed
+
+  /// One entry per FI probe this query issued, in probe order — the raw
+  /// material for per-FI workload accounting (obs::WorkloadObserver). The
+  /// batch executor and query router feed their observers from these, so a
+  /// query's per-FI attribution survives the trip through worker threads
+  /// exactly like its scalar counters. In sharded merged stats, entries
+  /// with the same fi index are accumulated across shards.
+  struct FiProbeStat {
+    std::uint32_t fi = 0;                // index into the layout's FIs
+    std::uint64_t bucket_accesses = 0;   // hash-table probes
+    std::uint64_t sids = 0;              // candidate sids the probe yielded
+    bool failed = false;                 // failed outright or lost tables
+  };
+  std::vector<FiProbeStat> fi_probes;
 };
 
 /// A verified query answer: sids whose exact Jaccard similarity with the
@@ -204,6 +222,22 @@ class SetSimilarityIndex {
 
   /// The scope this index's instruments are registered under.
   const std::string& metrics_scope() const { return options_.metrics_scope; }
+
+  /// Attaches a workload observer to the *serial* query path: every
+  /// successful Query/QueryCandidates counts its thresholds, set size, and
+  /// FI probes, and completed Query answers are offered to the observer's
+  /// sampled side channels (shadow oracle, query-log recorder). Concurrent
+  /// paths (QueryThrough) deliberately do not record — the batch executor
+  /// and query router own per-worker observers and feed them from
+  /// QueryStats, so queries are never double counted. Runtime-only state:
+  /// not persisted, not moved into snapshots. Pass nullptr to detach. The
+  /// observer must outlive the index or be detached first.
+  void AttachWorkloadObserver(obs::WorkloadObserver* observer) {
+    workload_observer_ = observer;
+  }
+  obs::WorkloadObserver* workload_observer() const {
+    return workload_observer_;
+  }
 
   /// The signature stored for `sid` (for tests; empty optional if dead).
   std::optional<Signature> signature(SetId sid) const;
@@ -298,6 +332,7 @@ class SetSimilarityIndex {
   std::vector<bool> live_;             // by sid
   std::size_t num_live_ = 0;
   BuildStats build_stats_;
+  obs::WorkloadObserver* workload_observer_ = nullptr;  // not owned
   // Registry instruments under options_.metrics_scope. The hot path updates
   // these; QueryStats fields are deltas over them.
   obs::Counter* queries_;          // ssr_index_queries_total

@@ -1,6 +1,7 @@
 #include "exec/batch_executor.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,6 +50,21 @@ BatchResult BatchExecutor::Run(const std::vector<BatchQuery>& queries) {
   }
   std::vector<std::vector<SetId>> scratch(workers);
 
+  // Per-worker workload observers, shaped like the merge target so the
+  // threshold/FI bins line up. Unscoped: pure counters, no registry churn
+  // on the hot path.
+  obs::WorkloadObserver* const target = options_.workload_observer;
+  std::vector<std::unique_ptr<obs::WorkloadObserver>> worker_observers;
+  if (target != nullptr) {
+    obs::WorkloadObserverOptions shape = target->options();
+    shape.metrics_scope.clear();
+    worker_observers.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      worker_observers.push_back(
+          std::make_unique<obs::WorkloadObserver>(shape));
+    }
+  }
+
   pool_->ParallelFor(
       0, queries.size(), options_.grain,
       [&](std::size_t i, std::size_t worker) {
@@ -57,10 +73,32 @@ BatchResult BatchExecutor::Run(const std::vector<BatchQuery>& queries) {
                                       q.sigma2, &scratch[worker]);
         if (r.ok()) {
           out.results[i] = std::move(r).value();
+          if (target != nullptr) {
+            obs::WorkloadObserver& local = *worker_observers[worker];
+            const QueryStats& stats = out.results[i].stats;
+            local.CountQuery(q.sigma1, q.sigma2, q.query.size());
+            for (const auto& p : stats.fi_probes) {
+              local.CountFiProbe(p.fi, p.bucket_accesses, p.sids, p.failed);
+            }
+          }
         } else {
           out.statuses[i] = r.status();
         }
       });
+
+  if (target != nullptr) {
+    for (const auto& local : worker_observers) target->MergeFrom(*local);
+    // Sampled side channels run serially in input order, off the parallel
+    // section: deterministic decimation, and the shadow oracle's scans
+    // never contend with live workers.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (!out.statuses[i].ok()) continue;
+      target->OfferSample(queries[i].query, queries[i].sigma1,
+                          queries[i].sigma2, out.results[i].sids,
+                          out.results[i].stats.candidates);
+    }
+    target->UpdateGauges();
+  }
 
   const JobStats& job = pool_->last_job_stats();
   out.wall_seconds = job.wall_seconds;

@@ -23,6 +23,7 @@
 
 #include "core/set_similarity_index.h"
 #include "exec/thread_pool.h"
+#include "obs/workload_observer.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -48,6 +49,15 @@ struct BatchExecutorOptions {
   /// Buffer-pool pages per worker view; 0 = the store's configured
   /// capacity per view.
   std::size_t view_buffer_pool_pages = 0;
+
+  /// Workload capture target (not owned; may be null). Each worker counts
+  /// into a private unscoped observer shaped like this one, and Run merges
+  /// them in (MergeFrom) — exactly the QueryStats per-worker pattern. The
+  /// sampled side channels attached to the target (shadow oracle, query
+  /// log) are fed in a serial post-batch pass over the answers in input
+  /// order, so their 1-in-N decimation stays deterministic regardless of
+  /// worker scheduling. Must outlive the Run.
+  obs::WorkloadObserver* workload_observer = nullptr;
 };
 
 /// The outcome of one BatchExecutor::Run.

@@ -1,8 +1,10 @@
 #include "obs/chrome_trace.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <string>
+#include <string_view>
 
 #include "obs/json_writer.h"
 
@@ -89,6 +91,30 @@ void WriteChromeTraceJson(JsonWriter& writer,
                              span.start_micros, WorkerTid(span.worker));
       writer.Key("args").BeginObject();
       writer.Key("value").UInt(span.counters.value(c));
+      writer.EndObject();
+      writer.EndObject();
+    }
+
+    // Tags named "counter.<track>" also plot as counter tracks, the
+    // convention the workload observability layer uses to chart sample
+    // rates and observed recall over a run (shadow_oracle.cc). Tags whose
+    // value does not parse as a number are left as plain span args only.
+    for (const auto& [key, value] : span.tags) {
+      constexpr std::string_view kCounterPrefix = "counter.";
+      const std::string_view key_view(key);
+      if (key_view.size() <= kCounterPrefix.size() ||
+          key_view.substr(0, kCounterPrefix.size()) != kCounterPrefix) {
+        continue;
+      }
+      const char* begin = value.c_str();
+      char* end = nullptr;
+      const double numeric = std::strtod(begin, &end);
+      if (end == begin || end == nullptr || *end != '\0') continue;
+      writer.BeginObject();
+      WriteCommonEventFields(writer, key_view.substr(kCounterPrefix.size()),
+                             "C", span.start_micros, WorkerTid(span.worker));
+      writer.Key("args").BeginObject();
+      writer.Key("value").Double(numeric);
       writer.EndObject();
       writer.EndObject();
     }

@@ -20,6 +20,13 @@ void Histogram::Observe(double v) {
   internal::AtomicAddDouble(sum_, v);
 }
 
+void Histogram::AddBucket(std::size_t i, std::uint64_t n, double sum_delta) {
+  if (i >= counts_.size() || n == 0) return;
+  counts_[i].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  internal::AtomicAddDouble(sum_, sum_delta);
+}
+
 void Histogram::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

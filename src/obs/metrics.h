@@ -78,6 +78,13 @@ class Histogram {
  public:
   void Observe(double v);
 
+  /// Adds `n` pre-binned observations directly to bucket `i` (the overflow
+  /// bucket when `i == bounds().size()`), contributing `sum_delta` to the
+  /// running sum. This is the merge path for components that keep their own
+  /// per-thread bins (e.g. the workload observer) and fold them into a
+  /// registry histogram in one pass instead of replaying every observation.
+  void AddBucket(std::size_t i, std::uint64_t n, double sum_delta);
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// Count in bucket `i`; `i == bounds().size()` is the overflow bucket.
   std::uint64_t bucket_count(std::size_t i) const {

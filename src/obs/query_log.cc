@@ -1,0 +1,155 @@
+#include "obs/query_log.h"
+
+#include <sstream>
+#include <utility>
+
+#include "storage/snapshot.h"
+#include "util/hash.h"
+#include "util/serialize.h"
+
+namespace ssr {
+namespace obs {
+
+namespace {
+constexpr std::string_view kQueryLogMagic = "SSRQLOG";
+constexpr std::uint32_t kQueryLogVersion = 1;
+// A recorded query set of this many elements is damage, not data — the
+// stores cap sets far below this.
+constexpr std::uint64_t kMaxQueryElements = 1ULL << 24;
+}  // namespace
+
+std::uint64_t QueryAnswerDigest(const std::vector<SetId>& sids) {
+  std::uint64_t h = SplitMix64(sids.size());
+  for (SetId sid : sids) h = HashCombine(h, sid);
+  return h;
+}
+
+Status QueryLog::SaveTo(std::ostream& out) const {
+  SnapshotWriter snapshot(out, kQueryLogMagic, /*version=*/2);
+
+  BinaryWriter& meta = snapshot.BeginSection("meta");
+  meta.WriteU32(kQueryLogVersion);
+  meta.WriteU64(sample_every);
+  meta.WriteU64(offered);
+  meta.WriteU64(queries.size());
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  BinaryWriter& body = snapshot.BeginSection("queries");
+  for (const RecordedQuery& q : queries) {
+    body.WriteDouble(q.sigma1);
+    body.WriteDouble(q.sigma2);
+    body.WriteU32(q.result_count);
+    body.WriteU64(q.result_digest);
+    body.WriteVector(q.query);
+  }
+  SSR_RETURN_IF_ERROR(snapshot.EndSection());
+
+  return snapshot.Finish();
+}
+
+Result<QueryLog> QueryLog::Load(std::istream& in) {
+  SnapshotReader snapshot(in);
+  std::uint32_t snapshot_version = 0;
+  SSR_RETURN_IF_ERROR(snapshot.ReadHeader(kQueryLogMagic, &snapshot_version));
+  if (snapshot_version != 2) {
+    return Status::NotSupported("unknown query-log snapshot version");
+  }
+
+  QueryLog log;
+  std::string payload;
+  std::uint64_t recorded = 0;
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("meta", &payload));
+  {
+    std::istringstream meta_in(payload);
+    BinaryReader meta(meta_in);
+    std::uint32_t log_version = 0;
+    SSR_RETURN_IF_ERROR(meta.ReadU32(&log_version));
+    if (log_version != kQueryLogVersion) {
+      return Status::NotSupported("unknown query-log version");
+    }
+    SSR_RETURN_IF_ERROR(meta.ReadU64(&log.sample_every));
+    SSR_RETURN_IF_ERROR(meta.ReadU64(&log.offered));
+    SSR_RETURN_IF_ERROR(meta.ReadU64(&recorded));
+    if (log.sample_every == 0) {
+      return Status::Corruption("query log sample_every is zero");
+    }
+    if (recorded > log.offered) {
+      return Status::Corruption("query log records more than it offered");
+    }
+  }
+
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("queries", &payload));
+  {
+    std::istringstream body_in(payload);
+    BinaryReader body(body_in);
+    log.queries.reserve(static_cast<std::size_t>(recorded));
+    for (std::uint64_t i = 0; i < recorded; ++i) {
+      RecordedQuery q;
+      SSR_RETURN_IF_ERROR(body.ReadDouble(&q.sigma1));
+      SSR_RETURN_IF_ERROR(body.ReadDouble(&q.sigma2));
+      SSR_RETURN_IF_ERROR(body.ReadU32(&q.result_count));
+      SSR_RETURN_IF_ERROR(body.ReadU64(&q.result_digest));
+      SSR_RETURN_IF_ERROR(body.ReadVector(&q.query));
+      if (!(q.sigma1 >= 0.0 && q.sigma1 <= q.sigma2 && q.sigma2 <= 1.0)) {
+        return Status::Corruption("recorded query range out of [0, 1]");
+      }
+      if (q.query.size() > kMaxQueryElements) {
+        return Status::Corruption("recorded query set implausibly large");
+      }
+      log.queries.push_back(std::move(q));
+    }
+    if (body.RemainingBytes() != 0) {
+      return Status::Corruption("query log has trailing bytes");
+    }
+  }
+
+  SSR_RETURN_IF_ERROR(snapshot.VerifyFooter());
+  return log;
+}
+
+QueryLogRecorder::QueryLogRecorder(std::uint64_t sample_every) {
+  log_.sample_every = sample_every == 0 ? 1 : sample_every;
+}
+
+bool QueryLogRecorder::Offer(const ElementSet& query, double sigma1,
+                             double sigma2,
+                             const std::vector<SetId>& result_sids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool record = log_.offered % log_.sample_every == 0;
+  ++log_.offered;
+  if (!record) return false;
+  RecordedQuery q;
+  q.query = query;
+  q.sigma1 = sigma1;
+  q.sigma2 = sigma2;
+  q.result_count = static_cast<std::uint32_t>(result_sids.size());
+  q.result_digest = QueryAnswerDigest(result_sids);
+  log_.queries.push_back(std::move(q));
+  return true;
+}
+
+QueryLog QueryLogRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+QueryLog QueryLogRecorder::TakeLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryLog out = std::move(log_);
+  log_ = QueryLog{};
+  log_.sample_every = out.sample_every;
+  return out;
+}
+
+std::uint64_t QueryLogRecorder::offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.offered;
+}
+
+std::uint64_t QueryLogRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.queries.size();
+}
+
+}  // namespace obs
+}  // namespace ssr

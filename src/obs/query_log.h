@@ -1,0 +1,99 @@
+// Workload record/replay: a versioned, CRC-checksummed binary query log.
+// Recording captures a (possibly 1-in-N decimated) sample of the live query
+// stream — the query set, its [σ1, σ2] range, and a digest of the answer it
+// received — so a captured workload can later be replayed bit-for-bit: the
+// replay reruns every recorded query and checks its answer digest against
+// the recorded one (the bench replay suite and the record→replay tests hold
+// this as an invariant).
+//
+// On-disk format (storage/snapshot.h v2 framing, magic "SSRQLOG"):
+//
+//   section "meta":    u32 log version (kQueryLogVersion)
+//                      u64 sample_every, u64 offered, u64 recorded
+//   section "queries": per query — f64 σ1, f64 σ2, u32 result_count,
+//                      u64 result_digest, u64-length-prefixed ElementId[]
+//
+// Every byte crosses BinaryWriter/BinaryReader through the snapshot fault
+// sites, so the torn-write/bit-flip/truncation fault matrices apply to the
+// log exactly as they do to store and index snapshots. Damage surfaces as
+// the usual typed statuses: truncation = DataLoss, CRC/length damage =
+// Corruption, version skew = NotSupported.
+
+#ifndef SSR_OBS_QUERY_LOG_H_
+#define SSR_OBS_QUERY_LOG_H_
+
+#include <cstdint>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace ssr {
+namespace obs {
+
+/// Order-sensitive digest of a query answer (the sorted result sids). Two
+/// answers digest equal iff they are element-for-element identical, which
+/// is the replay suite's bit-identity check.
+std::uint64_t QueryAnswerDigest(const std::vector<SetId>& sids);
+
+/// One recorded query.
+struct RecordedQuery {
+  ElementSet query;
+  double sigma1 = 0.0;
+  double sigma2 = 1.0;
+  std::uint32_t result_count = 0;
+  std::uint64_t result_digest = 0;  // QueryAnswerDigest of the live answer
+
+  bool operator==(const RecordedQuery& other) const {
+    return query == other.query && sigma1 == other.sigma1 &&
+           sigma2 == other.sigma2 && result_count == other.result_count &&
+           result_digest == other.result_digest;
+  }
+};
+
+/// A captured workload: the recorded queries plus the sampling metadata
+/// needed to scale replay measurements back to the live rate.
+struct QueryLog {
+  std::uint64_t sample_every = 1;  // 1-in-N recording rate
+  std::uint64_t offered = 0;       // live queries seen by the recorder
+  std::vector<RecordedQuery> queries;
+
+  Status SaveTo(std::ostream& out) const;
+  static Result<QueryLog> Load(std::istream& in);
+};
+
+/// Thread-safe sampled recorder: every `sample_every`-th offered query
+/// (counted by arrival order, first query included) is appended to the log.
+/// Offer is mutex-guarded — recording copies the query set, which is far
+/// too heavy for relaxed atomics, and the observer only calls it off the
+/// hot path (serial queries, or the post-batch sample pass).
+class QueryLogRecorder {
+ public:
+  explicit QueryLogRecorder(std::uint64_t sample_every = 1);
+
+  /// Returns true when this query was recorded.
+  bool Offer(const ElementSet& query, double sigma1, double sigma2,
+             const std::vector<SetId>& result_sids);
+
+  /// Snapshot of the log so far (copies under the lock).
+  QueryLog Snapshot() const;
+
+  /// Moves the log out and resets the recorder.
+  QueryLog TakeLog();
+
+  std::uint64_t offered() const;
+  std::uint64_t recorded() const;
+
+ private:
+  mutable std::mutex mu_;
+  QueryLog log_;
+};
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_QUERY_LOG_H_

@@ -1,0 +1,342 @@
+#include "obs/workload_observer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/query_log.h"
+#include "obs/shadow_oracle.h"
+
+namespace ssr {
+namespace obs {
+
+namespace {
+
+/// Fixed-point scale for fractional range-coverage mass. 2^20 keeps ~6
+/// decimal digits of the bin-overlap fraction while leaving 44 bits of
+/// headroom for query volume.
+constexpr double kCoverageScale = 1048576.0;
+
+std::uint64_t RelaxedLoad(const std::atomic<std::uint64_t>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+void RelaxedAdd(std::atomic<std::uint64_t>& a, std::uint64_t n) {
+  if (n != 0) a.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+double WorkloadSnapshot::ShardSkew() const {
+  std::uint64_t total = 0, max_queries = 0;
+  for (const ShardCounters& s : shards) {
+    total += s.queries;
+    max_queries = std::max(max_queries, s.queries);
+  }
+  if (total == 0 || shards.empty()) return 0.0;
+  return static_cast<double>(max_queries) / static_cast<double>(total) *
+         static_cast<double>(shards.size());
+}
+
+WorkloadObserver::WorkloadObserver(WorkloadObserverOptions options)
+    : options_(std::move(options)),
+      sigma1_bins_(std::max<std::size_t>(options_.threshold_bins, 1)),
+      sigma2_bins_(sigma1_bins_.size()),
+      range_coverage_fp_(sigma1_bins_.size()),
+      set_size_bounds_(ExponentialBounds(1.0, 2.0, 16)),
+      set_size_bins_(set_size_bounds_.size() + 1),
+      fi_slots_(options_.max_fis),
+      shard_slots_(options_.num_shards) {
+  options_.threshold_bins = sigma1_bins_.size();
+  if (options_.metrics_scope.empty()) return;
+
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  const std::string& scope = options_.metrics_scope;
+  // Threshold histogram bounds follow the bins: bound i is the upper edge
+  // (i+1)/bins of SimilarityHistogram bin i, so AddBucket(bin) and the
+  // exported bucket layout agree by construction.
+  std::vector<double> threshold_bounds;
+  threshold_bounds.reserve(options_.threshold_bins);
+  for (std::size_t i = 0; i < options_.threshold_bins; ++i) {
+    threshold_bounds.push_back(static_cast<double>(i + 1) /
+                               static_cast<double>(options_.threshold_bins));
+  }
+  queries_total_ = registry.GetCounter("ssr_workload_queries_total", scope);
+  sigma1_hist_ =
+      registry.GetHistogram("ssr_workload_sigma1", scope, threshold_bounds);
+  sigma2_hist_ =
+      registry.GetHistogram("ssr_workload_sigma2", scope, threshold_bounds);
+  set_size_hist_ = registry.GetHistogram("ssr_workload_query_set_size", scope,
+                                         set_size_bounds_);
+  coverage_gauges_.reserve(options_.threshold_bins);
+  for (std::size_t b = 0; b < options_.threshold_bins; ++b) {
+    coverage_gauges_.push_back(registry.GetGauge(
+        "ssr_workload_range_coverage", scope + "/bin/" + std::to_string(b)));
+  }
+  fi_instruments_.resize(fi_slots_.size());
+  for (std::size_t i = 0; i < fi_slots_.size(); ++i) {
+    const std::string fi_scope = scope + "/fi/" + std::to_string(i);
+    fi_instruments_[i].probes =
+        registry.GetCounter("ssr_workload_fi_probes_total", fi_scope);
+    fi_instruments_[i].failed_probes =
+        registry.GetCounter("ssr_workload_fi_failed_probes_total", fi_scope);
+    fi_instruments_[i].bucket_accesses =
+        registry.GetCounter("ssr_workload_fi_bucket_accesses_total", fi_scope);
+    fi_instruments_[i].sids =
+        registry.GetCounter("ssr_workload_fi_sids_total", fi_scope);
+    fi_instruments_[i].selectivity =
+        registry.GetGauge("ssr_workload_fi_selectivity", fi_scope);
+  }
+  shard_instruments_.resize(shard_slots_.size());
+  for (std::size_t s = 0; s < shard_slots_.size(); ++s) {
+    const std::string shard_scope = scope + "/shard/" + std::to_string(s);
+    shard_instruments_[s].queries =
+        registry.GetCounter("ssr_workload_shard_queries_total", shard_scope);
+    shard_instruments_[s].results =
+        registry.GetCounter("ssr_workload_shard_results_total", shard_scope);
+    shard_instruments_[s].load_share =
+        registry.GetGauge("ssr_workload_shard_load_share", shard_scope);
+  }
+  if (!shard_slots_.empty()) {
+    shard_skew_ = registry.GetGauge("ssr_workload_shard_skew", scope);
+  }
+}
+
+std::size_t WorkloadObserver::ThresholdBin(double s) const {
+  const std::size_t bins = options_.threshold_bins;
+  if (s <= 0.0) return 0;
+  if (s >= 1.0) return bins - 1;  // last bin closed, as in the optimizer
+  const std::size_t bin = static_cast<std::size_t>(
+      s * static_cast<double>(bins));
+  return std::min(bin, bins - 1);
+}
+
+void WorkloadObserver::CountQuery(double sigma1, double sigma2,
+                                  std::size_t query_size) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t b1 = ThresholdBin(sigma1);
+  const std::size_t b2 = ThresholdBin(sigma2);
+  sigma1_bins_[b1].fetch_add(1, std::memory_order_relaxed);
+  sigma2_bins_[b2].fetch_add(1, std::memory_order_relaxed);
+
+  // Interval coverage: the overlap of [σ1, σ2] with each bin, in bin-width
+  // units (fixed point). A query covering a whole bin contributes 1.0 to
+  // it; edge bins contribute their fractions. A point query (σ1 == σ2) has
+  // no width but did probe somewhere — it contributes a full unit to its
+  // bin, matching the query-log adapter's convention.
+  const double bins = static_cast<double>(options_.threshold_bins);
+  if (sigma2 <= sigma1) {
+    RelaxedAdd(range_coverage_fp_[b1],
+               static_cast<std::uint64_t>(kCoverageScale));
+  } else {
+    for (std::size_t b = b1; b <= b2; ++b) {
+      const double lo = std::max(sigma1, static_cast<double>(b) / bins);
+      const double hi = std::min(sigma2, static_cast<double>(b + 1) / bins);
+      const double overlap = std::max(0.0, hi - lo) * bins;
+      RelaxedAdd(range_coverage_fp_[b],
+                 static_cast<std::uint64_t>(overlap * kCoverageScale + 0.5));
+    }
+  }
+
+  const double size = static_cast<double>(query_size);
+  const std::size_t size_bin = static_cast<std::size_t>(
+      std::lower_bound(set_size_bounds_.begin(), set_size_bounds_.end(),
+                       size) -
+      set_size_bounds_.begin());
+  set_size_bins_[size_bin].fetch_add(1, std::memory_order_relaxed);
+
+  if (queries_total_ != nullptr) {
+    queries_total_->Increment();
+    sigma1_hist_->AddBucket(b1, 1, sigma1);
+    sigma2_hist_->AddBucket(b2, 1, sigma2);
+    set_size_hist_->AddBucket(size_bin, 1, size);
+  }
+}
+
+void WorkloadObserver::CountFiProbe(std::size_t fi, std::uint64_t accesses,
+                                    std::uint64_t sids, bool failed) {
+  if (fi >= fi_slots_.size()) {
+    dropped_fi_probes_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  FiSlots& slots = fi_slots_[fi];
+  slots.probes.fetch_add(1, std::memory_order_relaxed);
+  if (failed) slots.failed_probes.fetch_add(1, std::memory_order_relaxed);
+  RelaxedAdd(slots.bucket_accesses, accesses);
+  RelaxedAdd(slots.sids, sids);
+  if (!fi_instruments_.empty()) {
+    FiInstruments& ins = fi_instruments_[fi];
+    ins.probes->Increment();
+    if (failed) ins.failed_probes->Increment();
+    ins.bucket_accesses->Add(accesses);
+    ins.sids->Add(sids);
+  }
+}
+
+void WorkloadObserver::CountShardAnswer(std::uint32_t shard,
+                                        std::uint64_t results) {
+  if (shard >= shard_slots_.size()) return;
+  ShardSlots& slots = shard_slots_[shard];
+  slots.queries.fetch_add(1, std::memory_order_relaxed);
+  RelaxedAdd(slots.results, results);
+  if (!shard_instruments_.empty()) {
+    shard_instruments_[shard].queries->Increment();
+    shard_instruments_[shard].results->Add(results);
+  }
+}
+
+void WorkloadObserver::MergeFrom(const WorkloadObserver& other) {
+  const std::size_t bins =
+      std::min(sigma1_bins_.size(), other.sigma1_bins_.size());
+  std::uint64_t merged_queries = RelaxedLoad(other.queries_);
+  RelaxedAdd(queries_, merged_queries);
+  if (queries_total_ != nullptr) queries_total_->Add(merged_queries);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const std::uint64_t s1 = RelaxedLoad(other.sigma1_bins_[b]);
+    const std::uint64_t s2 = RelaxedLoad(other.sigma2_bins_[b]);
+    const std::uint64_t cov = RelaxedLoad(other.range_coverage_fp_[b]);
+    RelaxedAdd(sigma1_bins_[b], s1);
+    RelaxedAdd(sigma2_bins_[b], s2);
+    RelaxedAdd(range_coverage_fp_[b], cov);
+    if (sigma1_hist_ != nullptr) {
+      // Bucket sums are approximated at the bin midpoint: the merge source
+      // keeps counts, not raw values, and exporters consume the bucket
+      // shape, not the sum.
+      const double mid = (static_cast<double>(b) + 0.5) /
+                         static_cast<double>(options_.threshold_bins);
+      sigma1_hist_->AddBucket(b, s1, mid * static_cast<double>(s1));
+      sigma2_hist_->AddBucket(b, s2, mid * static_cast<double>(s2));
+    }
+  }
+  const std::size_t size_bins =
+      std::min(set_size_bins_.size(), other.set_size_bins_.size());
+  for (std::size_t b = 0; b < size_bins; ++b) {
+    const std::uint64_t n = RelaxedLoad(other.set_size_bins_[b]);
+    RelaxedAdd(set_size_bins_[b], n);
+    if (set_size_hist_ != nullptr && n > 0) {
+      const double bound = b < set_size_bounds_.size()
+                               ? set_size_bounds_[b]
+                               : set_size_bounds_.back() * 2.0;
+      set_size_hist_->AddBucket(b, n, bound * static_cast<double>(n));
+    }
+  }
+  RelaxedAdd(dropped_fi_probes_, RelaxedLoad(other.dropped_fi_probes_));
+  const std::size_t fis = std::min(fi_slots_.size(), other.fi_slots_.size());
+  for (std::size_t i = 0; i < fis; ++i) {
+    const std::uint64_t probes = RelaxedLoad(other.fi_slots_[i].probes);
+    const std::uint64_t failed =
+        RelaxedLoad(other.fi_slots_[i].failed_probes);
+    const std::uint64_t accesses =
+        RelaxedLoad(other.fi_slots_[i].bucket_accesses);
+    const std::uint64_t sids = RelaxedLoad(other.fi_slots_[i].sids);
+    RelaxedAdd(fi_slots_[i].probes, probes);
+    RelaxedAdd(fi_slots_[i].failed_probes, failed);
+    RelaxedAdd(fi_slots_[i].bucket_accesses, accesses);
+    RelaxedAdd(fi_slots_[i].sids, sids);
+    if (!fi_instruments_.empty()) {
+      fi_instruments_[i].probes->Add(probes);
+      fi_instruments_[i].failed_probes->Add(failed);
+      fi_instruments_[i].bucket_accesses->Add(accesses);
+      fi_instruments_[i].sids->Add(sids);
+    }
+  }
+  const std::size_t shards =
+      std::min(shard_slots_.size(), other.shard_slots_.size());
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::uint64_t q = RelaxedLoad(other.shard_slots_[s].queries);
+    const std::uint64_t r = RelaxedLoad(other.shard_slots_[s].results);
+    RelaxedAdd(shard_slots_[s].queries, q);
+    RelaxedAdd(shard_slots_[s].results, r);
+    if (!shard_instruments_.empty()) {
+      shard_instruments_[s].queries->Add(q);
+      shard_instruments_[s].results->Add(r);
+    }
+  }
+}
+
+void WorkloadObserver::UpdateGauges() {
+  if (options_.metrics_scope.empty()) return;
+  for (std::size_t b = 0; b < coverage_gauges_.size(); ++b) {
+    coverage_gauges_[b]->Set(
+        static_cast<double>(RelaxedLoad(range_coverage_fp_[b])) /
+        kCoverageScale);
+  }
+  for (std::size_t i = 0; i < fi_slots_.size(); ++i) {
+    const std::uint64_t probes = RelaxedLoad(fi_slots_[i].probes);
+    const std::uint64_t sids = RelaxedLoad(fi_slots_[i].sids);
+    fi_instruments_[i].selectivity->Set(
+        probes == 0 ? 0.0
+                    : static_cast<double>(sids) / static_cast<double>(probes));
+  }
+  if (shard_slots_.empty()) return;
+  std::uint64_t total = 0, max_queries = 0;
+  for (const ShardSlots& s : shard_slots_) {
+    const std::uint64_t q = RelaxedLoad(s.queries);
+    total += q;
+    max_queries = std::max(max_queries, q);
+  }
+  for (std::size_t s = 0; s < shard_slots_.size(); ++s) {
+    shard_instruments_[s].load_share->Set(
+        total == 0 ? 0.0
+                   : static_cast<double>(RelaxedLoad(
+                         shard_slots_[s].queries)) /
+                         static_cast<double>(total));
+  }
+  shard_skew_->Set(total == 0
+                       ? 0.0
+                       : static_cast<double>(max_queries) /
+                             static_cast<double>(total) *
+                             static_cast<double>(shard_slots_.size()));
+}
+
+void WorkloadObserver::OfferSample(const ElementSet& query, double sigma1,
+                                   double sigma2,
+                                   const std::vector<SetId>& result_sids,
+                                   std::size_t candidates) {
+  if (shadow_oracle_ != nullptr) {
+    shadow_oracle_->Offer(query, sigma1, sigma2, result_sids, candidates);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Offer(query, sigma1, sigma2, result_sids);
+  }
+}
+
+WorkloadSnapshot WorkloadObserver::Snapshot() const {
+  WorkloadSnapshot snap;
+  snap.threshold_bins = options_.threshold_bins;
+  snap.queries = RelaxedLoad(queries_);
+  snap.sigma1_bins.reserve(sigma1_bins_.size());
+  snap.sigma2_bins.reserve(sigma2_bins_.size());
+  snap.range_coverage.reserve(range_coverage_fp_.size());
+  for (std::size_t b = 0; b < sigma1_bins_.size(); ++b) {
+    snap.sigma1_bins.push_back(RelaxedLoad(sigma1_bins_[b]));
+    snap.sigma2_bins.push_back(RelaxedLoad(sigma2_bins_[b]));
+    snap.range_coverage.push_back(
+        static_cast<double>(RelaxedLoad(range_coverage_fp_[b])) /
+        kCoverageScale);
+  }
+  snap.set_size_bounds = set_size_bounds_;
+  snap.set_size_bins.reserve(set_size_bins_.size());
+  for (const auto& bin : set_size_bins_) {
+    snap.set_size_bins.push_back(RelaxedLoad(bin));
+  }
+  snap.fis.reserve(fi_slots_.size());
+  for (const FiSlots& slots : fi_slots_) {
+    WorkloadSnapshot::FiCounters fi;
+    fi.probes = RelaxedLoad(slots.probes);
+    fi.failed_probes = RelaxedLoad(slots.failed_probes);
+    fi.bucket_accesses = RelaxedLoad(slots.bucket_accesses);
+    fi.sids = RelaxedLoad(slots.sids);
+    snap.fis.push_back(fi);
+  }
+  snap.shards.reserve(shard_slots_.size());
+  for (const ShardSlots& slots : shard_slots_) {
+    WorkloadSnapshot::ShardCounters sh;
+    sh.queries = RelaxedLoad(slots.queries);
+    sh.results = RelaxedLoad(slots.results);
+    snap.shards.push_back(sh);
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace ssr

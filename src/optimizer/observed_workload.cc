@@ -1,0 +1,70 @@
+#include "optimizer/observed_workload.h"
+
+#include <algorithm>
+
+#include "optimizer/equidepth.h"
+
+namespace ssr {
+
+namespace {
+
+/// Midpoint of bin i at the given resolution — lands in bin i under the
+/// shared [i/bins, (i+1)/bins) convention, so Add(mid, w) puts the whole
+/// weight where it was observed.
+double BinMidpoint(std::size_t i, std::size_t bins) {
+  return (static_cast<double>(i) + 0.5) / static_cast<double>(bins);
+}
+
+}  // namespace
+
+SimilarityHistogram ObservedThresholdDistribution(
+    const obs::WorkloadSnapshot& snapshot) {
+  const std::size_t bins =
+      std::max<std::size_t>(1, snapshot.threshold_bins);
+  SimilarityHistogram hist(bins);
+  for (std::size_t i = 0;
+       i < snapshot.range_coverage.size() && i < bins; ++i) {
+    if (snapshot.range_coverage[i] > 0.0) {
+      hist.Add(BinMidpoint(i, bins), snapshot.range_coverage[i]);
+    }
+  }
+  return hist;
+}
+
+SimilarityHistogram ObservedThresholdDistribution(const obs::QueryLog& log,
+                                                  std::size_t num_bins) {
+  const std::size_t bins = std::max<std::size_t>(1, num_bins);
+  SimilarityHistogram hist(bins);
+  const double width = 1.0 / static_cast<double>(bins);
+  for (const obs::RecordedQuery& q : log.queries) {
+    const double lo = std::clamp(q.sigma1, 0.0, 1.0);
+    const double hi = std::clamp(q.sigma2, 0.0, 1.0);
+    if (hi < lo) continue;
+    if (hi == lo) {
+      // Point query: unit mass in the bin holding σ (last bin closed).
+      const std::size_t b = std::min(
+          bins - 1, static_cast<std::size_t>(lo * static_cast<double>(bins)));
+      hist.Add(BinMidpoint(b, bins), 1.0);
+      continue;
+    }
+    const std::size_t first = std::min(
+        bins - 1, static_cast<std::size_t>(lo * static_cast<double>(bins)));
+    for (std::size_t b = first; b < bins; ++b) {
+      const double bin_lo = static_cast<double>(b) * width;
+      if (bin_lo >= hi) break;
+      const double overlap =
+          std::min(hi, bin_lo + width) - std::max(lo, bin_lo);
+      if (overlap > 0.0) hist.Add(BinMidpoint(b, bins), overlap / width);
+    }
+  }
+  return hist;
+}
+
+IndexLayout PlaceFilterIndicesFromWorkload(
+    const obs::WorkloadSnapshot& snapshot, std::size_t num_fis,
+    double coverage_blend) {
+  return PlaceFilterIndices(ObservedThresholdDistribution(snapshot), num_fis,
+                            coverage_blend);
+}
+
+}  // namespace ssr

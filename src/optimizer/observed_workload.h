@@ -1,0 +1,51 @@
+// Adapter from captured workloads (obs/workload_observer.h snapshots and
+// recorded query logs) to the optimizer's SimilarityHistogram, closing the
+// observe → re-optimize loop: a deployment records where queries actually
+// land on the similarity axis, and the §5 placement machinery re-derives an
+// equidepth layout from that observed distribution instead of (or blended
+// with) the data's pairwise-similarity distribution D_S.
+//
+// The observed histogram measures *query interval coverage*, not pair
+// mass: each query adds the fractional overlap of its [σ1, σ2] range with
+// every bin. Feeding it to PlaceFilterIndices puts filter points where the
+// workload concentrates — equidepth in query mass rather than answer mass.
+// Both are legitimate §5 objectives; coverage_blend keeps sparse regions
+// covered either way.
+
+#ifndef SSR_OPTIMIZER_OBSERVED_WORKLOAD_H_
+#define SSR_OPTIMIZER_OBSERVED_WORKLOAD_H_
+
+#include <cstddef>
+
+#include "core/index_layout.h"
+#include "obs/query_log.h"
+#include "obs/workload_observer.h"
+#include "optimizer/similarity_distribution.h"
+
+namespace ssr {
+
+/// The observer's fractional range-coverage bins as a SimilarityHistogram
+/// (same bin convention on both sides: bin i covers [i/bins, (i+1)/bins),
+/// last bin closed). Empty snapshots yield an all-zero histogram, which the
+/// equidepth machinery treats as degenerate (uniform fallback).
+SimilarityHistogram ObservedThresholdDistribution(
+    const obs::WorkloadSnapshot& snapshot);
+
+/// Rebuilds the same coverage histogram from a recorded query log at an
+/// arbitrary resolution: each recorded query adds its [σ1, σ2] overlap with
+/// every bin, in units of one bin width (a point query σ1 == σ2 adds 1 to
+/// its bin). A log recorded with sample_every == 1 reproduces the live
+/// observer's range_coverage exactly when `num_bins` matches.
+SimilarityHistogram ObservedThresholdDistribution(const obs::QueryLog& log,
+                                                  std::size_t num_bins);
+
+/// PlaceFilterIndices against the observed workload distribution: filter
+/// points at the equidepth quantiles of where queries actually probe, kinds
+/// assigned by the snapshot's mass median per Section 5.3.
+IndexLayout PlaceFilterIndicesFromWorkload(
+    const obs::WorkloadSnapshot& snapshot, std::size_t num_fis,
+    double coverage_blend = 0.25);
+
+}  // namespace ssr
+
+#endif  // SSR_OPTIMIZER_OBSERVED_WORKLOAD_H_

@@ -15,7 +15,40 @@ QueryRouter::QueryRouter(const ShardedSetSimilarityIndex& index,
                          QueryRouterOptions options)
     : index_(&index),
       options_(options),
-      pool_(exec::ResolveThreadCount(options.num_threads)) {}
+      pool_(exec::ResolveThreadCount(options.num_threads)) {
+  auto& registry = obs::MetricsRegistry::Default();
+  if (options_.metrics_scope.empty()) {
+    options_.metrics_scope = registry.NewScope("router");
+  }
+  const std::vector<double> bounds = obs::LatencyBoundsMicros();
+  shard_latency_.reserve(index_->num_shards());
+  for (std::uint32_t s = 0; s < index_->num_shards(); ++s) {
+    shard_latency_.push_back(registry.GetHistogram(
+        "ssr_router_shard_latency_micros",
+        options_.metrics_scope + "/shard/" + std::to_string(s), bounds));
+  }
+}
+
+void QueryRouter::ObserveRoutedAnswer(const ElementSet& query, double sigma1,
+                                      double sigma2,
+                                      const ShardedQueryResult& result) {
+  obs::WorkloadObserver* const target = options_.workload_observer;
+  if (target == nullptr) return;
+  target->CountQuery(sigma1, sigma2, query.size());
+  // The merged stats carry per-FI probe totals summed across shards, so one
+  // routed query contributes exactly one probe record per FI, like serial.
+  for (const auto& p : result.stats.fi_probes) {
+    target->CountFiProbe(p.fi, p.bucket_accesses, p.sids, p.failed);
+  }
+  for (std::size_t s = 0; s < result.per_shard.size(); ++s) {
+    if (s < result.shard_status.size() && !result.shard_status[s].ok()) {
+      continue;  // degraded shard did no work for this query
+    }
+    target->CountShardAnswer(s, result.per_shard[s].results);
+  }
+  target->OfferSample(query, sigma1, sigma2, result.sids,
+                      result.stats.candidates);
+}
 
 Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
                                               double sigma1, double sigma2) {
@@ -44,11 +77,13 @@ Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
         statuses[s] = Status::Unavailable("shard administratively degraded");
         return;
       }
+      Stopwatch probe_watch;
       SetStore::ReadView view(*index_->shard_store(s),
                               options_.view_buffer_pool_pages);
       std::vector<SetId> scratch;
       auto r = index_->shard_index(s)->QueryThrough(view, query, sigma1,
                                                     sigma2, &scratch);
+      shard_latency_[s]->Observe(probe_watch.ElapsedSeconds() * 1e6);
       if (r.ok()) {
         answers[s] = std::move(r).value();
         answered[s] = 1;
@@ -77,6 +112,10 @@ Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
   }
   index_->FinishGather(&result);
   if (result.partial) partials->Increment();
+  if (options_.workload_observer != nullptr) {
+    ObserveRoutedAnswer(query, sigma1, sigma2, result);
+    options_.workload_observer->UpdateGauges();
+  }
   span.Tag("results", static_cast<std::uint64_t>(result.sids.size()));
   return result;
 }
@@ -117,6 +156,9 @@ RoutedBatchResult QueryRouter::RunBatch(
     exec_options.view_buffer_pool_pages = options_.view_buffer_pool_pages;
     exec::BatchExecutor executor(*index_->shard_index(s), pool_, exec_options);
     out.per_shard[s] = executor.Run(queries);
+    // One observation per batch: the shard's host wall clock, the honest
+    // per-shard figure the latency histogram tracks in batch mode.
+    shard_latency_[s]->Observe(out.per_shard[s].wall_seconds * 1e6);
     shard_ran[s] = 1;
     out.modeled_makespan_seconds =
         std::max(out.modeled_makespan_seconds,
@@ -158,6 +200,16 @@ RoutedBatchResult QueryRouter::RunBatch(
       index_->FinishGather(&merged);
       out.results[i] = std::move(merged);
     }
+  }
+  if (options_.workload_observer != nullptr) {
+    // Serial post-gather pass in input order, exactly like BatchExecutor:
+    // deterministic decimation for the sampled side channels.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (!out.statuses[i].ok()) continue;
+      ObserveRoutedAnswer(queries[i].query, queries[i].sigma1,
+                          queries[i].sigma2, out.results[i]);
+    }
+    options_.workload_observer->UpdateGauges();
   }
   out.merge_seconds = merge_watch.ElapsedSeconds();
   out.wall_seconds = wall.ElapsedSeconds();

@@ -16,10 +16,13 @@
 #define SSR_SHARD_QUERY_ROUTER_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "exec/batch_executor.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/workload_observer.h"
 #include "shard/sharded_index.h"
 #include "util/result.h"
 #include "util/types.h"
@@ -38,6 +41,19 @@ struct QueryRouterOptions {
 
   /// Queries per scheduling chunk inside each shard's BatchExecutor.
   std::size_t batch_grain = 1;
+
+  /// Scope for this router's per-shard instruments
+  /// (ssr_router_shard_latency_micros under <scope>/shard/<s>). Empty
+  /// allocates a unique "router/N" scope.
+  std::string metrics_scope;
+
+  /// Workload capture target (not owned; may be null). The router counts
+  /// each routed query once — thresholds, set size, merged per-FI probes —
+  /// plus per-shard load (CountShardAnswer), and offers completed answers
+  /// to the observer's sampled side channels. Shard-level executors do NOT
+  /// get the observer (that would count every query once per shard). Must
+  /// outlive the router's queries.
+  obs::WorkloadObserver* workload_observer = nullptr;
 };
 
 /// The outcome of one QueryRouter::RunBatch.
@@ -89,11 +105,22 @@ class QueryRouter {
   RoutedBatchResult RunBatch(const std::vector<exec::BatchQuery>& queries);
 
   std::size_t num_threads() const { return pool_.size(); }
+  const std::string& metrics_scope() const { return options_.metrics_scope; }
 
  private:
+  /// Feeds one merged answer to the workload observer (counts + sampled
+  /// side channels + per-shard load). No-op when no observer is attached.
+  void ObserveRoutedAnswer(const ElementSet& query, double sigma1,
+                           double sigma2, const ShardedQueryResult& result);
+
   const ShardedSetSimilarityIndex* index_;
   QueryRouterOptions options_;
   exec::ThreadPool pool_;
+  /// Per-shard gather-latency histograms under <scope>/shard/<s>: the wall
+  /// time of each shard's probe in Query, and each shard's batch makespan
+  /// in RunBatch. This is where shard skew becomes visible — the modeled
+  /// makespan scalar only reports the max.
+  std::vector<obs::Histogram*> shard_latency_;
 };
 
 }  // namespace shard

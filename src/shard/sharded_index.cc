@@ -199,6 +199,24 @@ void ShardedSetSimilarityIndex::GatherShardAnswer(
   total.cpu_seconds += stats.cpu_seconds;
   total.probe_failures += stats.probe_failures;
   total.fetch_failures += stats.fetch_failures;
+  // Per-FI probe attribution: every shard probes the same layout, so
+  // entries accumulate by fi index (shards' probe orders agree — plans do).
+  for (const QueryStats::FiProbeStat& probe : stats.fi_probes) {
+    QueryStats::FiProbeStat* merged = nullptr;
+    for (QueryStats::FiProbeStat& existing : total.fi_probes) {
+      if (existing.fi == probe.fi) {
+        merged = &existing;
+        break;
+      }
+    }
+    if (merged == nullptr) {
+      total.fi_probes.push_back(probe);
+    } else {
+      merged->bucket_accesses += probe.bucket_accesses;
+      merged->sids += probe.sids;
+      merged->failed = merged->failed || probe.failed;
+    }
+  }
   if (stats.degraded) {
     total.degraded = true;
     // A shard that degraded under its own kPartialResults mode may have

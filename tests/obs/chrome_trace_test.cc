@@ -106,6 +106,30 @@ TEST(ChromeTraceTest, EachValidCounterGetsItsOwnCounterEvent) {
   EXPECT_EQ(json.find("\"instructions\""), std::string::npos);
 }
 
+// Tags following the "counter.<track>" convention (used by the workload
+// observability layer for sample rates and observed recall) also plot as
+// "C" counter-track events; non-numeric or unprefixed tags stay slice args
+// only.
+TEST(ChromeTraceTest, CounterTagsRenderAsCounterTracks) {
+  SpanRecord span = MakeSpan(9, 0, 0, "shadow_oracle", 4.0, 1.0);
+  span.tags.emplace_back("counter.ssr_observed_recall", "0.92");
+  span.tags.emplace_back("counter.ssr_workload_sample_rate", "0.015625");
+  span.tags.emplace_back("counter.not_numeric", "sfi_pair");
+  span.tags.emplace_back("bucket", "7");
+  const std::string json = ChromeTraceJson(std::vector<SpanRecord>{span});
+  EXPECT_NE(json.find("{\"name\":\"ssr_observed_recall\",\"ph\":\"C\","
+                      "\"pid\":1,\"tid\":1,\"ts\":4,"
+                      "\"args\":{\"value\":0.92}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"ssr_workload_sample_rate\",\"ph\":\"C\""),
+            std::string::npos);
+  // The unparsable counter tag emits no track, and the plain tag stays a
+  // slice arg without growing a counter event.
+  EXPECT_EQ(json.find("{\"name\":\"not_numeric\""), std::string::npos);
+  EXPECT_EQ(json.find("{\"name\":\"bucket\""), std::string::npos);
+  EXPECT_NE(json.find("\"bucket\":\"7\""), std::string::npos);
+}
+
 TEST(ChromeTraceTest, LiveTracerSpansRoundTrip) {
   Tracer tracer(16);
   tracer.set_enabled(true);

@@ -1,0 +1,181 @@
+// Query-log format contract: save → load round-trips exactly and
+// re-serializes bit-identically; the recorder's 1-in-N decimation is
+// deterministic; and the checksummed framing turns every truncation and
+// every corrupted byte into a typed failure (DataLoss / Corruption /
+// NotSupported), never a wrong log and never a crash.
+
+#include "obs/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace obs {
+namespace {
+
+#ifdef SSR_NO_FAULT_INJECTION
+#define SKIP_WITHOUT_INJECTION() \
+  GTEST_SKIP() << "built with SSR_NO_FAULT_INJECTION"
+#else
+#define SKIP_WITHOUT_INJECTION() (void)0
+#endif
+
+class QueryLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FaultInjector::Default().Reset(); }
+  void TearDown() override { fault::FaultInjector::Default().Reset(); }
+};
+
+QueryLog MakeLog() {
+  QueryLog log;
+  log.sample_every = 2;
+  log.offered = 6;
+  Rng rng(42);
+  for (int i = 0; i < 3; ++i) {
+    RecordedQuery q;
+    for (int j = 0; j < 5 + i; ++j) q.query.push_back(rng.Uniform(1000));
+    NormalizeSet(q.query);
+    q.sigma1 = 0.1 * (i + 1);
+    q.sigma2 = q.sigma1 + 0.5;
+    std::vector<SetId> answer;
+    for (SetId sid = 0; sid < static_cast<SetId>(i * 2); ++sid) {
+      answer.push_back(sid * 3);
+    }
+    q.result_count = answer.size();
+    q.result_digest = QueryAnswerDigest(answer);
+    log.queries.push_back(std::move(q));
+  }
+  return log;
+}
+
+std::string Serialize(const QueryLog& log) {
+  std::stringstream buffer;
+  EXPECT_TRUE(log.SaveTo(buffer).ok());
+  return buffer.str();
+}
+
+TEST_F(QueryLogTest, DigestIsContentAndOrderSensitive) {
+  EXPECT_EQ(QueryAnswerDigest({1, 2, 3}), QueryAnswerDigest({1, 2, 3}));
+  EXPECT_NE(QueryAnswerDigest({1, 2, 3}), QueryAnswerDigest({1, 3, 2}));
+  EXPECT_NE(QueryAnswerDigest({1, 2, 3}), QueryAnswerDigest({1, 2}));
+  EXPECT_NE(QueryAnswerDigest({}), QueryAnswerDigest({0}));
+}
+
+TEST_F(QueryLogTest, RoundTripIsExactAndBitStable) {
+  const QueryLog log = MakeLog();
+  const std::string bytes = Serialize(log);
+
+  std::istringstream in(bytes);
+  auto loaded = QueryLog::Load(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sample_every, log.sample_every);
+  EXPECT_EQ(loaded->offered, log.offered);
+  ASSERT_EQ(loaded->queries.size(), log.queries.size());
+  for (std::size_t i = 0; i < log.queries.size(); ++i) {
+    EXPECT_TRUE(loaded->queries[i] == log.queries[i]) << i;
+  }
+  // Serializing the loaded log reproduces the original bytes exactly.
+  EXPECT_EQ(Serialize(*loaded), bytes);
+}
+
+TEST_F(QueryLogTest, EmptyLogRoundTrips) {
+  QueryLog log;
+  const std::string bytes = Serialize(log);
+  std::istringstream in(bytes);
+  auto loaded = QueryLog::Load(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->queries.empty());
+}
+
+TEST_F(QueryLogTest, RecorderSamplesDeterministicallyOneInN) {
+  QueryLogRecorder recorder(/*sample_every=*/3);
+  ElementSet query{1, 2, 3};
+  std::vector<SetId> answer{4, 5};
+  int recorded = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (recorder.Offer(query, 0.2, 0.8, answer)) ++recorded;
+  }
+  // Offers 0, 3, 6, 9 are recorded (the first is always included).
+  EXPECT_EQ(recorded, 4);
+  EXPECT_EQ(recorder.offered(), 10u);
+  EXPECT_EQ(recorder.recorded(), 4u);
+  const QueryLog log = recorder.Snapshot();
+  EXPECT_EQ(log.sample_every, 3u);
+  EXPECT_EQ(log.offered, 10u);
+  ASSERT_EQ(log.queries.size(), 4u);
+  EXPECT_EQ(log.queries[0].result_digest, QueryAnswerDigest(answer));
+  EXPECT_EQ(log.queries[0].result_count, 2u);
+}
+
+TEST_F(QueryLogTest, TakeLogResetsTheRecorder) {
+  QueryLogRecorder recorder(1);
+  recorder.Offer({1}, 0.0, 1.0, {});
+  const QueryLog first = recorder.TakeLog();
+  EXPECT_EQ(first.queries.size(), 1u);
+  EXPECT_EQ(recorder.offered(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().queries.empty());
+}
+
+// Every proper prefix of the serialized log must fail to load with a typed
+// error — truncation can never yield a shorter-but-plausible log.
+TEST_F(QueryLogTest, EveryTruncationFailsTyped) {
+  const std::string bytes = Serialize(MakeLog());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::istringstream in(bytes.substr(0, len));
+    auto loaded = QueryLog::Load(in);
+    ASSERT_FALSE(loaded.ok()) << "prefix " << len << " of " << bytes.size();
+    const Status& s = loaded.status();
+    EXPECT_TRUE(s.IsDataLoss() || s.IsCorruption() || s.IsNotSupported())
+        << "prefix " << len << ": " << s.ToString();
+  }
+}
+
+// Flipping any single bit anywhere in the file must be detected: the CRC
+// sections cover the payload, and the magic/version/footer checks cover
+// the framing.
+TEST_F(QueryLogTest, EveryByteCorruptionFailsTyped) {
+  const std::string bytes = Serialize(MakeLog());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    std::istringstream in(corrupt);
+    auto loaded = QueryLog::Load(in);
+    ASSERT_FALSE(loaded.ok()) << "byte " << i << " of " << bytes.size();
+    const Status& s = loaded.status();
+    EXPECT_TRUE(s.IsDataLoss() || s.IsCorruption() || s.IsNotSupported())
+        << "byte " << i << ": " << s.ToString();
+  }
+}
+
+TEST_F(QueryLogTest, TornWriteMidSaveIsDetectedOnLoad) {
+  SKIP_WITHOUT_INJECTION();
+  const QueryLog log = MakeLog();
+  auto& fi = fault::FaultInjector::Default();
+  for (std::uint64_t after = 0; after < 6; ++after) {
+    fi.Reset();
+    fi.Enable(1234);
+    fi.Arm("snapshot/write", fault::FaultKind::kTornWrite,
+           fault::FaultSchedule::Once(after));
+    std::stringstream buffer;
+    EXPECT_FALSE(log.SaveTo(buffer).ok()) << "torn after " << after;
+    fi.Reset();
+    std::istringstream in(buffer.str());
+    auto loaded = QueryLog::Load(in);
+    ASSERT_FALSE(loaded.ok()) << "torn after " << after;
+    const Status& s = loaded.status();
+    EXPECT_TRUE(s.IsDataLoss() || s.IsCorruption())
+        << "torn after " << after << ": " << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

@@ -1,0 +1,197 @@
+// Shadow-oracle estimator contract: at sample_every = 1 the observed
+// recall/precision equal a direct brute-force computation; decimation is
+// deterministic by arrival order; and on a realistic decimated workload the
+// per-bucket estimate stays within ±0.05 of the exhaustive ground truth —
+// the acceptance band the estimator's header derives from its sampling
+// math.
+
+#include "obs/shadow_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/set_similarity_index.h"
+#include "obs/workload_observer.h"
+#include "storage/set_store.h"
+#include "util/random.h"
+#include "util/set_ops.h"
+
+namespace ssr {
+namespace obs {
+namespace {
+
+constexpr double kEps = 1e-12;  // matches the index's verification slack
+
+std::vector<SetId> BruteForce(const SetCollection& sets, const ElementSet& q,
+                              double s1, double s2) {
+  std::vector<SetId> out;
+  for (SetId sid = 0; sid < sets.size(); ++sid) {
+    const double sim = Jaccard(sets[sid], q);
+    if (sim >= s1 - kEps && sim <= s2 + kEps) out.push_back(sid);
+  }
+  return out;
+}
+
+TEST(ShadowOracleTest, ExactRecallAndPrecisionAgainstKnownTruth) {
+  SetStore store;
+  ASSERT_TRUE(store.Add({1, 2, 3, 4}).ok());      // sid 0
+  ASSERT_TRUE(store.Add({1, 2, 3, 5}).ok());      // sid 1: J = 3/5 to sid 0
+  ASSERT_TRUE(store.Add({10, 11, 12, 13}).ok());  // sid 2: J = 0 to sid 0
+  ShadowOracleOptions options;
+  options.sample_every = 1;
+  ShadowOracleEstimator oracle(store, options);
+
+  // Truth for query = sid 0's set in [0.5, 1.0] is {0, 1}. A lossy answer
+  // {0} out of 3 candidates has recall 1/2 and precision 1/3.
+  EXPECT_TRUE(oracle.Offer({1, 2, 3, 4}, 0.5, 1.0, {0}, 3));
+  EXPECT_EQ(oracle.sampled(), 1u);
+  EXPECT_NEAR(oracle.overall().MeanRecall(), 0.5, 1e-12);
+  EXPECT_NEAR(oracle.overall().MeanPrecision(), 1.0 / 3.0, 1e-12);
+  // σ1 = 0.5 lands in bucket 5 of the default 10.
+  EXPECT_EQ(oracle.bucket(5).sampled, 1u);
+  EXPECT_NEAR(oracle.bucket(5).recall_sum, 0.5, 1e-12);
+  EXPECT_EQ(oracle.bucket(4).sampled, 0u);
+
+  // An empty-truth query counts recall 1 (nothing to miss); precision with
+  // zero candidates is also 1 by convention.
+  EXPECT_TRUE(oracle.Offer({100, 200}, 0.9, 1.0, {}, 0));
+  EXPECT_NEAR(oracle.overall().MeanRecall(), 0.75, 1e-12);
+  EXPECT_NEAR(oracle.overall().MeanPrecision(), (1.0 / 3.0 + 1.0) / 2.0,
+              1e-12);
+}
+
+TEST(ShadowOracleTest, DecimationIsDeterministicByArrivalOrder) {
+  SetStore store;
+  ASSERT_TRUE(store.Add({1, 2}).ok());
+  ShadowOracleOptions options;
+  options.sample_every = 2;
+  ShadowOracleEstimator oracle(store, options);
+  int sampled = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (oracle.Offer({1, 2}, 0.5, 1.0, {0}, 1)) ++sampled;
+  }
+  // Offers 0, 2, 4 are verified (the first is always included).
+  EXPECT_EQ(sampled, 3);
+  EXPECT_EQ(oracle.offered(), 5u);
+  EXPECT_EQ(oracle.sampled(), 3u);
+  EXPECT_DOUBLE_EQ(oracle.sample_rate(), 0.5);
+}
+
+// End to end through the observer on a workload with real matches: the
+// decimated estimate must sit within ±0.05 of the exhaustive per-bucket
+// ground truth (and exactly on it at sample_every = 1).
+TEST(ShadowOracleTest, DecimatedEstimateTracksExhaustiveGroundTruth) {
+  Rng rng(20260807);
+  SetCollection sets;
+  SetStore store;
+  for (int i = 0; i < 300; ++i) {
+    ElementSet s;
+    for (int j = 0; j < 40; ++j) s.push_back(rng.Uniform(1 << 14));
+    NormalizeSet(s);
+    if (s.empty()) s.push_back(1);
+    sets.push_back(s);
+    ASSERT_TRUE(store.Add(s).ok());
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points = {{0.2, FilterKind::kDissimilarity, 8, 0},
+                   {0.5, FilterKind::kSimilarity, 8, 0},
+                   {0.8, FilterKind::kSimilarity, 8, 0}};
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 80;
+  options.embedding.minhash.seed = 7;
+  options.seed = 11;
+  auto index = SetSimilarityIndex::Build(store, layout, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  // Perturbed copies of stored sets, k replacements -> J ≈ (40−k)/(40+k),
+  // with ranges bracketing that similarity so every query has real truth.
+  constexpr std::size_t kReplacements[] = {4, 10, 18, 30};
+  constexpr double kRanges[][2] = {
+      {0.70, 1.00}, {0.45, 0.80}, {0.25, 0.55}, {0.05, 0.35}};
+  struct Sample {
+    ElementSet query;
+    double s1, s2;
+    double true_recall;
+  };
+  // 1200 queries at sample_every = 3 put ~100 sampled queries in each of
+  // the four populated buckets — the n the estimator's header math needs
+  // for a ±0.05 band.
+  std::vector<Sample> workload;
+  for (int i = 0; i < 1200; ++i) {
+    const ElementSet& base = sets[i % sets.size()];
+    const std::size_t k = kReplacements[i % 4];
+    ElementSet query(base.begin() + k, base.end());
+    for (std::size_t j = 0; j < k; ++j) {
+      query.push_back(rng.Uniform(1 << 14));
+    }
+    NormalizeSet(query);
+    workload.push_back(
+        {std::move(query), kRanges[i % 4][0], kRanges[i % 4][1], 0.0});
+  }
+
+  // 3 is coprime with the workload's 4-cycle of range shapes, so the
+  // decimation visits every σ1 bucket instead of aliasing onto one.
+  ShadowOracleOptions oracle_options;
+  oracle_options.sample_every = 3;
+  ShadowOracleEstimator oracle(store, oracle_options);
+  WorkloadObserver observer;
+  observer.set_shadow_oracle(&oracle);
+  index->AttachWorkloadObserver(&observer);
+
+  // Ground truth per bucket over the *sampled* arrival positions — the
+  // estimator's own target — and over all queries for the ±0.05 check.
+  std::vector<double> bucket_truth_sum(oracle.num_buckets(), 0.0);
+  std::vector<int> bucket_truth_n(oracle.num_buckets(), 0);
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    Sample& s = workload[i];
+    auto r = index->Query(s.query, s.s1, s.s2);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const std::vector<SetId> truth =
+        BruteForce(sets, s.query, s.s1, s.s2);
+    if (truth.empty()) {
+      s.true_recall = 1.0;
+    } else {
+      std::size_t hits = 0;
+      for (SetId sid : r->sids) {
+        for (SetId t : truth) {
+          if (t == sid) {
+            ++hits;
+            break;
+          }
+        }
+      }
+      s.true_recall =
+          static_cast<double>(hits) / static_cast<double>(truth.size());
+    }
+    const std::size_t b =
+        std::min(oracle.num_buckets() - 1,
+                 static_cast<std::size_t>(
+                     s.s1 * static_cast<double>(oracle.num_buckets())));
+    bucket_truth_sum[b] += s.true_recall;
+    ++bucket_truth_n[b];
+  }
+  index->AttachWorkloadObserver(nullptr);
+  EXPECT_EQ(oracle.offered(), workload.size());
+  EXPECT_EQ(oracle.sampled(), (workload.size() + 2) / 3);
+
+  for (std::size_t b = 0; b < oracle.num_buckets(); ++b) {
+    const ShadowBucketStats stats = oracle.bucket(b);
+    if (stats.sampled == 0) {
+      EXPECT_EQ(bucket_truth_n[b], 0) << "bucket " << b;
+      continue;
+    }
+    ASSERT_GT(bucket_truth_n[b], 0) << "bucket " << b;
+    const double truth_mean =
+        bucket_truth_sum[b] / static_cast<double>(bucket_truth_n[b]);
+    EXPECT_LE(std::fabs(stats.MeanRecall() - truth_mean), 0.05)
+        << "bucket " << b << ": estimate " << stats.MeanRecall()
+        << " vs truth " << truth_mean << " (n=" << stats.sampled << ")";
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

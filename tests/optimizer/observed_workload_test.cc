@@ -1,0 +1,110 @@
+// Observed-workload adapter: snapshot coverage bins map 1:1 onto
+// SimilarityHistogram bins, a sample_every = 1 query log rebuilds the same
+// coverage at matching resolution, and layout placement driven by the
+// observed distribution puts filter points where the workload concentrates.
+
+#include "optimizer/observed_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "obs/query_log.h"
+#include "obs/workload_observer.h"
+#include "optimizer/equidepth.h"
+
+namespace ssr {
+namespace {
+
+TEST(ObservedWorkloadTest, SnapshotCoverageBecomesHistogramMass) {
+  obs::WorkloadObserverOptions options;
+  options.threshold_bins = 4;
+  obs::WorkloadObserver observer(options);
+  observer.CountQuery(0.25, 0.75, 10);  // bins 1 and 2, fully
+  observer.CountQuery(0.0, 0.125, 10);  // half of bin 0
+  const SimilarityHistogram hist =
+      ObservedThresholdDistribution(observer.Snapshot());
+  ASSERT_EQ(hist.num_bins(), 4u);
+  EXPECT_NEAR(hist.bin_mass(0), 0.5, 1e-4);
+  EXPECT_NEAR(hist.bin_mass(1), 1.0, 1e-4);
+  EXPECT_NEAR(hist.bin_mass(2), 1.0, 1e-4);
+  EXPECT_NEAR(hist.bin_mass(3), 0.0, 1e-4);
+  EXPECT_NEAR(hist.total_mass(), 2.5, 1e-4);
+}
+
+TEST(ObservedWorkloadTest, EmptySnapshotYieldsZeroMass) {
+  obs::WorkloadObserver observer;
+  const SimilarityHistogram hist =
+      ObservedThresholdDistribution(observer.Snapshot());
+  EXPECT_EQ(hist.num_bins(), observer.options().threshold_bins);
+  EXPECT_DOUBLE_EQ(hist.total_mass(), 0.0);
+}
+
+TEST(ObservedWorkloadTest, QueryLogRebuildsCoverageAtMatchingResolution) {
+  obs::WorkloadObserverOptions options;
+  options.threshold_bins = 8;
+  obs::WorkloadObserver observer(options);
+  obs::QueryLog log;
+  const double ranges[][2] = {
+      {0.0, 1.0}, {0.3, 0.55}, {0.9, 0.9}, {0.125, 0.625}};
+  for (const auto& r : ranges) {
+    observer.CountQuery(r[0], r[1], 5);
+    obs::RecordedQuery q;
+    q.query = {1, 2, 3};
+    q.sigma1 = r[0];
+    q.sigma2 = r[1];
+    log.queries.push_back(q);
+  }
+  const SimilarityHistogram from_snapshot =
+      ObservedThresholdDistribution(observer.Snapshot());
+  const SimilarityHistogram from_log =
+      ObservedThresholdDistribution(log, options.threshold_bins);
+  ASSERT_EQ(from_snapshot.num_bins(), from_log.num_bins());
+  for (std::size_t b = 0; b < from_log.num_bins(); ++b) {
+    EXPECT_NEAR(from_snapshot.bin_mass(b), from_log.bin_mass(b), 1e-4)
+        << "bin " << b;
+  }
+  // The point query lands one unit of mass in its bin.
+  EXPECT_GE(from_log.bin_mass(7), 1.0 - 1e-9);
+}
+
+TEST(ObservedWorkloadTest, PlacementFollowsTheObservedConcentration) {
+  // A workload living entirely in [0.6, 0.9]: with blend 0 every filter
+  // point must land inside that band, above the mass median.
+  obs::WorkloadObserverOptions options;
+  options.threshold_bins = 20;
+  obs::WorkloadObserver observer(options);
+  for (int i = 0; i < 100; ++i) observer.CountQuery(0.6, 0.9, 10);
+  const IndexLayout layout = PlaceFilterIndicesFromWorkload(
+      observer.Snapshot(), /*num_fis=*/3, /*coverage_blend=*/0.0);
+  ASSERT_GE(layout.points.size(), 3u);
+  for (const auto& point : layout.points) {
+    EXPECT_GE(point.similarity, 0.55) << point.similarity;
+    EXPECT_LE(point.similarity, 0.95) << point.similarity;
+  }
+  const SimilarityHistogram hist =
+      ObservedThresholdDistribution(observer.Snapshot());
+  EXPECT_GT(hist.MassMedian(), 0.6);
+  EXPECT_LT(hist.MassMedian(), 0.9);
+}
+
+TEST(ObservedWorkloadTest, BlendKeepsSparseRegionsCovered) {
+  // Same concentrated workload, default blend: at least one point must sit
+  // outside the hot band, covering the rest of the axis.
+  obs::WorkloadObserverOptions options;
+  options.threshold_bins = 20;
+  obs::WorkloadObserver observer(options);
+  for (int i = 0; i < 100; ++i) observer.CountQuery(0.6, 0.9, 10);
+  const IndexLayout layout = PlaceFilterIndicesFromWorkload(
+      observer.Snapshot(), /*num_fis=*/4, /*coverage_blend=*/1.0);
+  const bool any_outside =
+      std::any_of(layout.points.begin(), layout.points.end(),
+                  [](const auto& p) {
+                    return p.similarity < 0.55 || p.similarity > 0.95;
+                  });
+  EXPECT_TRUE(any_outside);
+}
+
+}  // namespace
+}  // namespace ssr

@@ -41,10 +41,16 @@ HIGHER_IS_BETTER = ("recall", "precision", "throughput", "_qps", "ops_per",
 def direction(key):
     """-1 = lower is better, +1 = higher is better, 0 = neutral."""
     k = key.lower()
-    if any(s in k for s in HIGHER_IS_BETTER):
+    # Quality-metric suffixes win outright: a name like
+    # `replay_observed_recall` is a recall however many timing-flavoured
+    # substrings it contains, while `recall_estimator_seconds` is a timing.
+    # Suffix (not substring) matching keeps the two distinguishable.
+    if k.endswith(("_recall", "_precision")) or k in ("recall", "precision"):
         return +1
     if any(s in k for s in LOWER_IS_BETTER):
         return -1
+    if any(s in k for s in HIGHER_IS_BETTER):
+        return +1
     return 0
 
 

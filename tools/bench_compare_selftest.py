@@ -8,6 +8,9 @@ Exercises the exit-code contract on synthetic trajectory points:
   * recall halved               -> exit 1 (higher-is-better direction)
   * batch QPS / speedup halved  -> exit 1 (higher-is-better direction)
   * merge overhead doubled      -> exit 1 (lower-is-better direction)
+  * *_recall / *_precision suffixed names halved -> exit 1 (suffix wins
+    over timing substrings)
+  * recall-flavoured *_seconds name doubled -> exit 1 (still a timing)
   * legacy point (no schema_version/env, missing scalar) -> exit 0
 """
 
@@ -31,6 +34,9 @@ BASE = {
         "query_throughput_t4_modeled_qps": 2000.0,
         "build_scaling_t4_speedup": 3.0,
         "shard_scaling_p4_merge_overhead": 0.05,
+        "replay_observed_recall": 0.95,
+        "replay_candidate_precision": 0.8,
+        "replay_recall_estimator_seconds": 0.2,
     },
 }
 
@@ -95,6 +101,24 @@ def main():
         rc, out = run(compare, base,
                       write(tmp, "merge.json", worse_merge))
         check("merge overhead growth", 1, rc, out)
+
+        # Suffix precedence: a *_recall / *_precision name is
+        # higher-is-better even though "recall" alone would also match as a
+        # substring elsewhere in a timing-flavoured name.
+        worse_observed = json.loads(json.dumps(BASE))
+        worse_observed["scalars"]["replay_observed_recall"] = 0.45
+        worse_observed["scalars"]["replay_candidate_precision"] = 0.4
+        rc, out = run(compare, base,
+                      write(tmp, "observed.json", worse_observed))
+        check("observed recall/precision drop", 1, rc, out)
+
+        # ...and a recall-flavoured timing is still lower-is-better: the
+        # "seconds" substring must win when the quality suffix is absent.
+        slower_oracle = json.loads(json.dumps(BASE))
+        slower_oracle["scalars"]["replay_recall_estimator_seconds"] = 0.5
+        rc, out = run(compare, base,
+                      write(tmp, "oracle.json", slower_oracle))
+        check("recall-named timing growth", 1, rc, out)
 
         legacy = {"bench": "selftest",
                   "scalars": {"micro_jaccard_ns": 101.0}}
