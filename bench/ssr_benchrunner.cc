@@ -12,7 +12,7 @@
 //   --quick           smaller workloads (CI smoke; noisier numbers)
 //   --only=<suite>    run a single suite (micro, query_candidates, fig7,
 //                     filter_curve, build_scaling, query_throughput,
-//                     shard_scaling, replay); default runs all
+//                     shard_scaling, replay, durability); default runs all
 //   --out=<dir>       directory for BENCH_<n>.json (default ".", created)
 //   --json=<path>     exact artifact path (overrides --out numbering)
 //   --trace=<path>    also write a Chrome trace (chrome://tracing)
@@ -22,8 +22,10 @@
 // perf_event_open is denied; SSR_PERF_COUNTERS=off forces the run to
 // software-only wall/CPU measurements (the CI fallback check).
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,7 +47,9 @@
 #include "shard/query_router.h"
 #include "shard/sharded_index.h"
 #include "storage/bplus_tree.h"
+#include "storage/recovery.h"
 #include "storage/set_store.h"
+#include "storage/wal.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/set_ops.h"
@@ -683,6 +687,224 @@ int RunReplaySuite(bool quick, RunReport* report) {
   return 0;
 }
 
+/// Durable-mutation cost and recovery time (storage/wal.h + recovery.h).
+/// For each fsync policy (every-record, every-8 group commit, on-checkpoint)
+/// the suite recovers an identical baseline index from one checkpoint,
+/// attaches a WAL under that policy, and runs the same seeded churn:
+/// per-mutation p50/p99 latency charts the write-path durability tax, ops/s
+/// the sustainable churn rate. The every-record run's log is then recovered
+/// from — at half length and full length — charting recovery time as the
+/// log grows; the fully recovered index must digest-match the churned
+/// baseline (a hard invariant, not a charted metric).
+int RunDurabilitySuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: durability (pinned params)");
+  Rng rng(0x5eed08);
+  const std::size_t collection = quick ? 400 : 1500;
+  const std::size_t churn_ops = quick ? 400 : 2000;
+
+  SetStore build_store;
+  std::vector<ElementSet> sets;
+  sets.reserve(collection);
+  for (std::size_t i = 0; i < collection; ++i) {
+    sets.push_back(RandomSet(rng, 40, 1 << 16));
+    if (!build_store.Add(sets.back()).ok()) {
+      std::fprintf(stderr, "store add failed\n");
+      return 1;
+    }
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points.push_back({0.2, FilterKind::kDissimilarity, 8, 0});
+  layout.points.push_back({0.5, FilterKind::kSimilarity, 8, 0});
+  layout.points.push_back({0.8, FilterKind::kSimilarity, 8, 0});
+  IndexOptions options;
+  options.embedding.minhash.num_hashes = 100;
+  options.embedding.minhash.value_bits = 8;
+  auto built = SetSimilarityIndex::Build(build_store, layout, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::ostringstream ckpt_out;
+  if (!WriteIndexCheckpoint(*built, /*stable_lsn=*/0, ckpt_out).ok()) {
+    std::fprintf(stderr, "checkpoint write failed\n");
+    return 1;
+  }
+  const std::string checkpoint = ckpt_out.str();
+
+  // The seeded churn script, shared across policies so their logs and
+  // latency distributions measure the same work.
+  struct ChurnOp {
+    bool insert = false;
+    SetId sid = kInvalidSetId;
+    ElementSet set;
+  };
+  std::vector<ChurnOp> script;
+  {
+    std::vector<SetId> live;
+    for (SetId sid = 0; sid < collection; ++sid) live.push_back(sid);
+    SetId next_sid = static_cast<SetId>(collection);
+    for (std::size_t i = 0; i < churn_ops; ++i) {
+      ChurnOp op;
+      op.insert = live.size() <= 16 || rng.NextDouble() < 0.55;
+      if (op.insert) {
+        op.sid = next_sid++;
+        op.set = RandomSet(rng, 40, 1 << 16);
+        live.push_back(op.sid);
+      } else {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng.Uniform(live.size()));
+        op.sid = live[pick];
+        live.erase(live.begin() + pick);
+      }
+      script.push_back(std::move(op));
+    }
+  }
+
+  struct Policy {
+    const char* name;
+    WalOptions wal;
+  };
+  Policy policies[3];
+  policies[0] = {"sync_every_record", {}};
+  policies[1].name = "sync_every_8";
+  policies[1].wal.sync_policy = WalSyncPolicy::kEveryN;
+  policies[1].wal.sync_every_n = 8;
+  policies[2].name = "sync_on_checkpoint";
+  policies[2].wal.sync_policy = WalSyncPolicy::kOnCheckpoint;
+
+  std::string captured_wal;          // the every-record run's log
+  std::uint64_t churned_digest = 0;  // its post-churn index digest
+
+  for (const Policy& policy : policies) {
+    std::istringstream ckpt_in(checkpoint);
+    auto rec = RecoverIndex(ckpt_in, /*wal=*/nullptr);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "baseline recovery failed: %s\n",
+                   rec.status().ToString().c_str());
+      return 1;
+    }
+    std::ostringstream wal_stream;
+    WalWriter wal(wal_stream, kWalFirstLsn, policy.wal);
+    rec->index->AttachWal(&wal);
+
+    std::vector<double> latencies;
+    latencies.reserve(script.size());
+    Stopwatch churn_watch;
+    for (const ChurnOp& op : script) {
+      Stopwatch op_watch;
+      Status st;
+      if (op.insert) {
+        auto sid = rec->store->Add(op.set);
+        st = sid.ok() ? rec->index->Insert(op.sid, op.set) : sid.status();
+      } else {
+        st = rec->index->Erase(op.sid);
+        if (st.ok()) st = rec->store->Delete(op.sid);
+      }
+      if (!st.ok()) {
+        std::fprintf(stderr, "churn op failed under %s: %s\n", policy.name,
+                     st.ToString().c_str());
+        return 1;
+      }
+      latencies.push_back(op_watch.ElapsedSeconds() * 1e6);
+    }
+    if (!wal.Sync().ok()) {
+      std::fprintf(stderr, "final sync failed under %s\n", policy.name);
+      return 1;
+    }
+    const double wall = churn_watch.ElapsedSeconds();
+    rec->index->AttachWal(nullptr);
+
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = latencies[latencies.size() / 2];
+    const double p99 = latencies[latencies.size() * 99 / 100];
+    const double ops_per_sec =
+        wall > 0.0 ? static_cast<double>(script.size()) / wall : 0.0;
+    std::printf("  %-18s p50 %8.2f us  p99 %8.2f us  %9.0f ops/s  "
+                "(%llu synced, %llu wal bytes)\n",
+                policy.name, p50, p99, ops_per_sec,
+                static_cast<unsigned long long>(wal.synced_lsn()),
+                static_cast<unsigned long long>(wal.bytes_written()));
+    const std::string prefix = std::string("durability_") + policy.name;
+    report->AddScalar(prefix + "_mutation_p50_micros", p50);
+    report->AddScalar(prefix + "_mutation_p99_micros", p99);
+    report->AddScalar(prefix + "_ops_per_sec", ops_per_sec);
+
+    if (policy.wal.sync_policy == WalSyncPolicy::kEveryRecord) {
+      captured_wal = wal_stream.str();
+      churned_digest = rec->index->ContentDigest();
+      report->AddScalar("durability_wal_bytes",
+                        static_cast<double>(captured_wal.size()));
+    }
+  }
+
+  // Recovery time vs log length: replay half the log, then all of it.
+  // Each cut is a fresh log rebuilt with exactly that many records, so the
+  // replayed-record count is exact and the charted time scales with log
+  // length alone.
+  std::vector<WalRecord> records;
+  WalReadStats wal_stats;
+  {
+    std::istringstream in(captured_wal);
+    if (!ReadWal(in, &records, &wal_stats).ok()) {
+      std::fprintf(stderr, "captured wal read back failed\n");
+      return 1;
+    }
+  }
+  const struct {
+    const char* key;
+    std::size_t count;
+  } cuts[] = {{"durability_half_log_recovery_seconds", records.size() / 2},
+              {"durability_full_log_recovery_seconds", records.size()}};
+  for (const auto& cut : cuts) {
+    // Rebuild a prefix log with exactly cut.count records.
+    std::ostringstream prefix_stream;
+    WalWriter prefix_wal(prefix_stream, kWalFirstLsn);
+    for (std::size_t i = 0; i < cut.count; ++i) {
+      const WalRecord& r = records[i];
+      const auto appended = r.type == WalRecordType::kInsert
+                                ? prefix_wal.AppendInsert(r.sid, r.set)
+                                : prefix_wal.AppendErase(r.sid);
+      if (!appended.ok()) {
+        std::fprintf(stderr, "prefix wal rebuild failed\n");
+        return 1;
+      }
+    }
+    std::istringstream ckpt_in(checkpoint);
+    std::istringstream wal_in(prefix_stream.str());
+    Stopwatch recover_watch;
+    auto rec = RecoverIndex(ckpt_in, &wal_in);
+    const double seconds = recover_watch.ElapsedSeconds();
+    if (!rec.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   rec.status().ToString().c_str());
+      return 1;
+    }
+    if (rec->report.wal_records_replayed != cut.count) {
+      std::fprintf(stderr, "recovery replayed %llu of %zu records\n",
+                   static_cast<unsigned long long>(
+                       rec->report.wal_records_replayed),
+                   cut.count);
+      return 1;
+    }
+    if (cut.count == records.size() &&
+        rec->index->ContentDigest() != churned_digest) {
+      std::fprintf(stderr,
+                   "recovered index diverged from the churned baseline\n");
+      return 1;
+    }
+    std::printf("  recover %5zu records: %.4f s (%.0f records/s)\n",
+                cut.count, seconds,
+                seconds > 0.0 ? static_cast<double>(cut.count) / seconds
+                              : 0.0);
+    report->AddScalar(cut.key, seconds);
+  }
+  report->AddScalar("durability_recovered_records",
+                    static_cast<double>(records.size()));
+  return 0;
+}
+
 /// First free BENCH_<n>.json slot in `dir` (the trajectory is append-only).
 std::string NextTrajectoryPath(const std::string& dir) {
   for (int n = 0;; ++n) {
@@ -746,6 +968,10 @@ int Run(const bench::Flags& flags) {
   }
   if (enabled("replay")) {
     if (RunReplaySuite(quick, &report) != 0) return 1;
+    ran_any = true;
+  }
+  if (enabled("durability")) {
+    if (RunDurabilitySuite(quick, &report) != 0) return 1;
     ran_any = true;
   }
   if (!ran_any) {

@@ -8,6 +8,7 @@
 #include "fault/fault_injector.h"
 #include "obs/trace.h"
 #include "obs/workload_observer.h"
+#include "storage/wal.h"
 #include "util/hash.h"
 #include "util/serialize.h"
 #include "util/set_ops.h"
@@ -260,6 +261,15 @@ Status SetSimilarityIndex::Insert(SetId sid, const ElementSet& set) {
   if (!IsNormalizedSet(set)) {
     return Status::InvalidArgument("set must be sorted and duplicate-free");
   }
+  if (sid < live_.size() && live_[sid]) {
+    return Status::AlreadyExists("sid already indexed");
+  }
+  // Write-ahead: the mutation reaches the log before any in-memory state
+  // changes, and a failed append fails the whole Insert with nothing
+  // applied — memory is never ahead of the log.
+  if (wal_ != nullptr) {
+    SSR_RETURN_IF_ERROR(wal_->AppendInsert(sid, set).status());
+  }
   return InsertSignature(sid, embedding_->Sign(set));
 }
 
@@ -291,6 +301,9 @@ Status SetSimilarityIndex::InsertSignature(SetId sid, Signature sig) {
 Status SetSimilarityIndex::Erase(SetId sid) {
   if (sid >= live_.size() || !live_[sid]) {
     return Status::NotFound("sid not indexed");
+  }
+  if (wal_ != nullptr) {
+    SSR_RETURN_IF_ERROR(wal_->AppendErase(sid).status());
   }
   const Signature& sig = signatures_[sid];
   for (auto& fi : fis_) {
@@ -339,6 +352,7 @@ Status SetSimilarityIndex::ProbeFi(std::size_t fi_idx, const Signature& query,
   span.Tag("point", fi.point.similarity);
   *partial = false;
   SfiProbeStats probe;
+  fault::RetryStats retry_stats;
   Status status =
       fault::RetryWithPolicy(options_.probe_retry, [&]() -> Status {
         SSR_RETURN_IF_ERROR(
@@ -350,7 +364,9 @@ Status SetSimilarityIndex::ProbeFi(std::size_t fi_idx, const Signature& query,
           fi.dfi->DissimVectorInto(query, &probe, out);
         }
         return Status::OK();
-      });
+      }, &retry_stats);
+  stats->retry_attempts += retry_stats.retries;
+  stats->retry_backoff_micros += retry_stats.backoff_micros;
   if (!status.ok()) {
     stats->probe_failures += 1;
     probe_failures_->Increment();

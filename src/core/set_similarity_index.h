@@ -31,6 +31,8 @@ namespace obs {
 class WorkloadObserver;
 }  // namespace obs
 
+class WalWriter;
+
 /// How a query behaves when filter probes or candidate fetches keep
 /// failing after retries. Whatever the mode, a query never silently
 /// returns a wrong answer: it errors, or returns results tagged degraded.
@@ -121,6 +123,8 @@ struct QueryStats {
   bool degraded = false;
   std::size_t probe_failures = 0;  // FI probes that failed after retries
   std::size_t fetch_failures = 0;  // candidate fetches that failed
+  std::size_t retry_attempts = 0;  // FI probe re-issues (fault/retry.h)
+  double retry_backoff_micros = 0.0;  // total backoff those retries slept
 
   /// One entry per FI probe this query issued, in probe order — the raw
   /// material for per-FI workload accounting (obs::WorkloadObserver). The
@@ -239,6 +243,16 @@ class SetSimilarityIndex {
     return workload_observer_;
   }
 
+  /// Attaches a write-ahead log (storage/wal.h) to the mutation path:
+  /// Insert/Erase append their record — *after* precondition checks, so
+  /// no-op mutations are never logged — before any in-memory state
+  /// changes. A failed append fails the mutation with nothing applied;
+  /// there is no state in which memory is ahead of the log. Runtime-only,
+  /// like the workload observer: not persisted, pass nullptr to detach,
+  /// and the writer must outlive the index or be detached first.
+  void AttachWal(WalWriter* wal) { wal_ = wal; }
+  WalWriter* wal() const { return wal_; }
+
   /// The signature stored for `sid` (for tests; empty optional if dead).
   std::optional<Signature> signature(SetId sid) const;
 
@@ -333,6 +347,7 @@ class SetSimilarityIndex {
   std::size_t num_live_ = 0;
   BuildStats build_stats_;
   obs::WorkloadObserver* workload_observer_ = nullptr;  // not owned
+  WalWriter* wal_ = nullptr;                            // not owned
   // Registry instruments under options_.metrics_scope. The hot path updates
   // these; QueryStats fields are deltas over them.
   obs::Counter* queries_;          // ssr_index_queries_total

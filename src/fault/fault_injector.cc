@@ -30,6 +30,8 @@ const char* FaultKindName(FaultKind kind) {
       return "bit_flip";
     case FaultKind::kLatency:
       return "latency";
+    case FaultKind::kCrashPoint:
+      return "crash_point";
   }
   return "unknown";
 }

@@ -40,6 +40,8 @@ enum class FaultKind : unsigned char {
   kTornWrite,   // a prefix of the bytes is written, then the stream fails
   kBitFlip,     // one bit of the payload is corrupted in flight
   kLatency,     // the operation is delayed; it still succeeds
+  kCrashPoint,  // the component "loses power": it stops accepting work and
+                // keeps only the bytes already written (WAL crash harness)
 };
 
 /// Stable lowercase name ("read_error", "torn_write", ...).

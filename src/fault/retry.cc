@@ -1,9 +1,40 @@
 #include "fault/retry.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
+#include "util/hash.h"
 
 namespace ssr {
 namespace fault {
+
+double BackoffForRetry(const RetryPolicy& policy, std::size_t retry_index) {
+  if (retry_index < 1 || policy.initial_backoff_micros <= 0.0) return 0.0;
+  double backoff = policy.initial_backoff_micros;
+  for (std::size_t k = 1; k < retry_index; ++k) {
+    backoff *= policy.backoff_multiplier;
+    // Short-circuit once past the cap so a large retry_index cannot
+    // overflow to inf before the cap applies.
+    if (policy.max_backoff_micros > 0.0 &&
+        backoff >= policy.max_backoff_micros) {
+      break;
+    }
+  }
+  if (policy.max_backoff_micros > 0.0) {
+    backoff = std::min(backoff, policy.max_backoff_micros);
+  }
+  if (policy.jitter_fraction > 0.0) {
+    // u in [-1, 1] from a seeded stream keyed by the retry index: the same
+    // policy replays the same schedule, different seeds decorrelate.
+    const std::uint64_t draw =
+        SplitMix64(policy.jitter_seed + static_cast<std::uint64_t>(retry_index));
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-52 - 1.0;
+    backoff *= 1.0 + u * policy.jitter_fraction;
+    if (backoff < 0.0) backoff = 0.0;
+  }
+  return backoff;
+}
+
 namespace internal {
 
 namespace {

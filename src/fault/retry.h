@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <utility>
 
@@ -25,10 +26,35 @@ namespace fault {
 
 /// Retry knobs. Defaults: 3 attempts total, no backoff sleep (tests and the
 /// simulated-I/O benches stay fast; a deployment would set a real backoff).
+///
+/// The backoff schedule is exponential with an optional cap and optional
+/// *deterministic* jitter: retry k (1-based) sleeps
+///   min(initial * multiplier^(k-1), max) * (1 + u_k * jitter_fraction)
+/// where u_k in [-1, 1] is drawn from SplitMix64(jitter_seed + k). The same
+/// policy always produces the same schedule — tests pin it exactly — while
+/// distinct seeds decorrelate concurrent retriers (no thundering herd).
 struct RetryPolicy {
   std::size_t max_attempts = 3;        // total attempts, including the first
   double initial_backoff_micros = 0.0;  // sleep before the first retry
   double backoff_multiplier = 2.0;      // growth per subsequent retry
+  double max_backoff_micros = 0.0;      // cap per sleep; 0 = uncapped
+  double jitter_fraction = 0.0;         // +/- fraction of the sleep; [0, 1]
+  std::uint64_t jitter_seed = 0x5eedbacc0ffULL;  // jitter stream seed
+};
+
+/// The backoff (microseconds) RetryWithPolicy sleeps before retry
+/// `retry_index` (1 = the first retry). Exposed so tests can assert the
+/// exact schedule a seeded policy produces.
+double BackoffForRetry(const RetryPolicy& policy, std::size_t retry_index);
+
+/// Per-operation retry accounting, threaded out of RetryWithPolicy so
+/// callers (query paths) can surface attempts/backoff in QueryStats.
+struct RetryStats {
+  std::size_t attempts = 0;       // total attempts, including the first
+  std::size_t retries = 0;        // re-issued operations (attempts - 1)
+  double backoff_micros = 0.0;    // total time slept before retries
+  bool recovered = false;         // succeeded after at least one retry
+  bool exhausted = false;         // still retriable when attempts ran out
 };
 
 /// True for failures worth retrying (transient unavailability).
@@ -50,31 +76,44 @@ const Status& StatusOf(const Result<T>& r) {
 }  // namespace internal
 
 /// Runs `fn` (returning Status or Result<T>) up to policy.max_attempts
-/// times, retrying retriable failures with exponential backoff. Returns the
-/// first success or the last failure.
+/// times, retrying retriable failures with capped, deterministically
+/// jittered exponential backoff (BackoffForRetry). Returns the first
+/// success or the last failure. When `stats` is non-null it receives this
+/// operation's attempt/backoff accounting (always written, even on the
+/// no-retry fast path).
 template <typename Fn>
-auto RetryWithPolicy(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
+auto RetryWithPolicy(const RetryPolicy& policy, Fn&& fn,
+                     RetryStats* stats = nullptr) -> decltype(fn()) {
   const std::size_t attempts = policy.max_attempts < 1 ? 1
                                                        : policy.max_attempts;
-  double backoff = policy.initial_backoff_micros;
+  RetryStats local;
   for (std::size_t attempt = 1;; ++attempt) {
+    local.attempts = attempt;
     auto outcome = fn();
     const Status& status = internal::StatusOf(outcome);
     if (status.ok()) {
-      if (attempt > 1) internal::CountRecovery();
+      if (attempt > 1) {
+        local.recovered = true;
+        internal::CountRecovery();
+      }
+      if (stats != nullptr) *stats = local;
       return outcome;
     }
     if (attempt >= attempts || !IsRetriable(status)) {
       if (attempt >= attempts && IsRetriable(status)) {
+        local.exhausted = true;
         internal::CountExhausted();
       }
+      if (stats != nullptr) *stats = local;
       return outcome;
     }
     internal::CountAttempt();
+    ++local.retries;
+    const double backoff = BackoffForRetry(policy, attempt);
     if (backoff > 0.0) {
+      local.backoff_micros += backoff;
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::micro>(backoff));
-      backoff *= policy.backoff_multiplier;
     }
   }
 }

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/hash.h"
+#include "util/set_ops.h"
 #include "util/stopwatch.h"
 
 namespace ssr {
@@ -129,10 +130,24 @@ Status ShardedSetSimilarityIndex::Insert(SetId sid, const ElementSet& set) {
       local_of_global_[sid].shard != ShardMap::kUnassigned) {
     return Status::AlreadyExists("global sid already live");
   }
+  if (!IsNormalizedSet(set)) {
+    return Status::InvalidArgument("set must be sorted and duplicate-free");
+  }
   const std::uint32_t s = map_.Assign(sid);
   if (shard_degraded(s)) {
     map_.Forget(sid);
     return Status::Unavailable("shard is degraded");
+  }
+  // Write-ahead, with the *global* sid: recovery replays through this
+  // same Insert, so the record must carry the id the caller speaks. The
+  // normalization precondition is checked above so nothing unappliable is
+  // ever logged; a failed append fails the Insert with nothing applied.
+  if (WalWriter* wal = shard_wal(s)) {
+    auto appended = wal->AppendInsert(sid, set);
+    if (!appended.ok()) {
+      map_.Forget(sid);
+      return appended.status();
+    }
   }
   Shard& sh = shards_[s];
   auto local = sh.store->Add(set);
@@ -167,6 +182,9 @@ Status ShardedSetSimilarityIndex::Erase(SetId sid) {
   if (shard_degraded(ref.shard)) {
     return Status::Unavailable("shard is degraded");
   }
+  if (WalWriter* wal = shard_wal(ref.shard)) {
+    SSR_RETURN_IF_ERROR(wal->AppendErase(sid).status());
+  }
   Shard& sh = shards_[ref.shard];
   SSR_RETURN_IF_ERROR(sh.index->Erase(ref.local));
   SSR_RETURN_IF_ERROR(sh.store->Delete(ref.local));
@@ -199,6 +217,8 @@ void ShardedSetSimilarityIndex::GatherShardAnswer(
   total.cpu_seconds += stats.cpu_seconds;
   total.probe_failures += stats.probe_failures;
   total.fetch_failures += stats.fetch_failures;
+  total.retry_attempts += stats.retry_attempts;
+  total.retry_backoff_micros += stats.retry_backoff_micros;
   // Per-FI probe attribution: every shard probes the same layout, so
   // entries accumulate by fi index (shards' probe orders agree — plans do).
   for (const QueryStats::FiProbeStat& probe : stats.fi_probes) {

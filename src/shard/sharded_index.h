@@ -34,6 +34,7 @@
 #include "shard/shard_map.h"
 #include "storage/set_store.h"
 #include "storage/snapshot.h"
+#include "storage/wal.h"
 #include "util/result.h"
 #include "util/types.h"
 
@@ -143,6 +144,24 @@ class ShardedSetSimilarityIndex {
     return shards_[s].global_of_local;
   }
 
+  /// Attaches shard `s`'s write-ahead log to the mutation path. Records
+  /// are appended *here*, at the sharded layer, carrying global sids —
+  /// the inner per-shard indexes never get their own WAL (no double
+  /// logging) — after precondition checks and before any state changes:
+  /// a failed append fails the mutation with the routing tables, store,
+  /// and index untouched. Runtime-only, like AttachWal on the inner
+  /// index; pass nullptr to detach. The writer must outlive the index or
+  /// be detached first.
+  void AttachShardWal(std::uint32_t s, WalWriter* wal) {
+    if (shard_wals_.size() < shards_.size()) {
+      shard_wals_.resize(shards_.size(), nullptr);
+    }
+    shard_wals_[s] = wal;
+  }
+  WalWriter* shard_wal(std::uint32_t s) const {
+    return s < shard_wals_.size() ? shard_wals_[s] : nullptr;
+  }
+
   /// Marks a shard (un)available. A degraded shard is skipped (partial,
   /// tagged) or fails the query, per ShardFailurePolicy.
   void SetShardDegraded(std::uint32_t s, bool degraded);
@@ -217,6 +236,7 @@ class ShardedSetSimilarityIndex {
   std::string base_scope_;
   ShardMap map_;
   std::vector<Shard> shards_;
+  std::vector<WalWriter*> shard_wals_;  // by shard; not owned, runtime-only
   std::vector<LocalRef> local_of_global_;  // by global sid
   std::size_t num_live_ = 0;
   ShardedBuildStats build_stats_;

@@ -1,0 +1,410 @@
+#include "storage/recovery.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/atomic_file.h"
+#include "util/stopwatch.h"
+
+namespace ssr {
+
+namespace {
+
+constexpr std::string_view kCheckpointMagic = "SSRDURA";
+constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::string_view kShardedCheckpointMagic = "SSRSDURA";
+constexpr std::uint32_t kShardedCheckpointVersion = 1;
+
+struct WalMetrics {
+  obs::Counter* recoveries;          // ssr_wal_recoveries_total
+  obs::Counter* records_replayed;    // ssr_wal_records_replayed_total
+  obs::Counter* records_skipped;     // ssr_wal_records_skipped_total
+  obs::Counter* bytes_truncated;     // ssr_wal_bytes_truncated_total
+  obs::Counter* shards_quarantined;  // ssr_wal_shards_quarantined_total
+  obs::Gauge* recovery_seconds;      // ssr_wal_last_recovery_seconds
+};
+
+WalMetrics& Metrics() {
+  static WalMetrics* m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    auto* metrics = new WalMetrics();
+    metrics->recoveries = r.GetCounter("ssr_wal_recoveries_total");
+    metrics->records_replayed =
+        r.GetCounter("ssr_wal_records_replayed_total");
+    metrics->records_skipped = r.GetCounter("ssr_wal_records_skipped_total");
+    metrics->bytes_truncated = r.GetCounter("ssr_wal_bytes_truncated_total");
+    metrics->shards_quarantined =
+        r.GetCounter("ssr_wal_shards_quarantined_total");
+    metrics->recovery_seconds = r.GetGauge("ssr_wal_last_recovery_seconds");
+    return metrics;
+  }();
+  return *m;
+}
+
+void MirrorReport(const RecoveryReport& report) {
+  WalMetrics& m = Metrics();
+  m.recoveries->Increment();
+  m.records_replayed->Add(report.wal_records_replayed);
+  m.records_skipped->Add(report.wal_records_skipped);
+  m.bytes_truncated->Add(report.wal_bytes_truncated);
+  m.shards_quarantined->Add(report.wal_shards_quarantined);
+  m.recovery_seconds->Set(report.wal_recovery_seconds);
+}
+
+/// Replays decoded records past `checkpoint_lsn` through one store+index
+/// pair (the per-shard case goes through the sharded layer instead, which
+/// owns the global-sid translation). Fills the wal_* replay counters of
+/// `report` and `*recovered_lsn`.
+Status ReplayRecords(const std::vector<WalRecord>& records,
+                     std::uint64_t checkpoint_lsn, SetStore* store,
+                     SetSimilarityIndex* index, RecoveryReport* report,
+                     std::uint64_t* recovered_lsn) {
+  *recovered_lsn = checkpoint_lsn;
+  for (const WalRecord& record : records) {
+    if (record.lsn <= checkpoint_lsn) {
+      // The crash landed between checkpoint publish and log truncation:
+      // the snapshot already contains this record's effect.
+      ++report->wal_records_skipped;
+      *recovered_lsn = record.lsn;
+      continue;
+    }
+    switch (record.type) {
+      case WalRecordType::kInsert: {
+        if (store->Contains(record.sid)) {  // idempotent re-application
+          ++report->wal_records_skipped;
+          break;
+        }
+        SetId sid = kInvalidSetId;
+        SSR_ASSIGN_OR_RETURN(sid, store->Add(record.set));
+        // The dense allocator replays in log order, so the sid it hands
+        // out must be the one the live system acknowledged.
+        if (sid != record.sid) {
+          return Status::Corruption("wal replay allocated unexpected sid");
+        }
+        SSR_RETURN_IF_ERROR(index->Insert(record.sid, record.set));
+        ++report->wal_records_replayed;
+        break;
+      }
+      case WalRecordType::kErase: {
+        Status st = index->Erase(record.sid);
+        if (st.IsNotFound()) {  // idempotent re-application
+          ++report->wal_records_skipped;
+          break;
+        }
+        SSR_RETURN_IF_ERROR(st);
+        st = store->Delete(record.sid);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        ++report->wal_records_replayed;
+        break;
+      }
+    }
+    *recovered_lsn = record.lsn;
+  }
+  return Status::OK();
+}
+
+/// Reads shard `s`'s WAL and replays it through the sharded index (records
+/// carry global sids; routing is deterministic, so replay reproduces the
+/// live placement). Returns non-OK only for damage the caller should
+/// translate into quarantine (salvage) or propagation (strict).
+Status ReplayShardWal(std::istream* wal, std::uint64_t checkpoint_lsn,
+                      shard::ShardedSetSimilarityIndex* index,
+                      RecoveryReport* report, std::uint64_t* recovered_lsn) {
+  *recovered_lsn = checkpoint_lsn;
+  if (wal == nullptr) return Status::OK();
+  std::vector<WalRecord> records;
+  WalReadStats stats;
+  SSR_RETURN_IF_ERROR(ReadWal(*wal, &records, &stats));
+  if (stats.start_lsn > checkpoint_lsn + 1) {
+    return Status::DataLoss("wal starts past the checkpoint lsn");
+  }
+  report->wal_bytes_truncated += stats.bytes_truncated;
+  report->wal_tail_truncated |= stats.tail_truncated;
+  for (const WalRecord& record : records) {
+    if (record.lsn <= checkpoint_lsn) {
+      ++report->wal_records_skipped;
+      *recovered_lsn = record.lsn;
+      continue;
+    }
+    Status st;
+    if (record.type == WalRecordType::kInsert) {
+      st = index->Insert(record.sid, record.set);
+    } else {
+      st = index->Erase(record.sid);
+    }
+    if (st.IsAlreadyExists() || st.IsNotFound()) {
+      ++report->wal_records_skipped;  // idempotent re-application
+    } else if (!st.ok()) {
+      return st;
+    } else {
+      ++report->wal_records_replayed;
+    }
+    *recovered_lsn = record.lsn;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteIndexCheckpoint(const SetSimilarityIndex& index,
+                            std::uint64_t stable_lsn, std::ostream& out) {
+  obs::TraceSpan span("checkpoint_write");
+  span.Tag("stable_lsn", stable_lsn);
+  SnapshotWriter snapshot(out, kCheckpointMagic, kCheckpointVersion);
+  {
+    BinaryWriter& meta = snapshot.BeginSection("meta");
+    meta.WriteU64(stable_lsn);
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  }
+  // Nested snapshots, each in its own checksummed section so the salvage
+  // ladder can recover one even when the other is damaged.
+  std::ostringstream store_out, index_out;
+  SSR_RETURN_IF_ERROR(index.store().SaveTo(store_out));
+  SSR_RETURN_IF_ERROR(index.SaveTo(index_out));
+  const std::string store_bytes = std::move(store_out).str();
+  const std::string index_bytes = std::move(index_out).str();
+  {
+    BinaryWriter& body = snapshot.BeginSection("store");
+    body.WriteBytes(store_bytes.data(), store_bytes.size());
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  }
+  {
+    BinaryWriter& body = snapshot.BeginSection("index");
+    body.WriteBytes(index_bytes.data(), index_bytes.size());
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  }
+  return snapshot.Finish();
+}
+
+Status WriteIndexCheckpointFile(const SetSimilarityIndex& index,
+                                std::uint64_t stable_lsn,
+                                const std::string& path) {
+  return AtomicSave(path, [&](std::ostream& out) {
+    return WriteIndexCheckpoint(index, stable_lsn, out);
+  });
+}
+
+Result<RecoveredIndex> RecoverIndex(std::istream& checkpoint,
+                                    std::istream* wal,
+                                    const RecoverOptions& options) {
+  Stopwatch watch;
+  obs::TraceSpan span("recover_index");
+  RecoveredIndex out;
+
+  SnapshotReader snapshot(checkpoint);
+  std::uint32_t version = 0;
+  SSR_RETURN_IF_ERROR(snapshot.ReadHeader(kCheckpointMagic, &version));
+  if (version != kCheckpointVersion) {
+    return Status::NotSupported("unknown checkpoint format version");
+  }
+
+  std::string payload;
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("meta", &payload));
+  {
+    std::istringstream meta_in(payload);
+    BinaryReader meta(meta_in);
+    SSR_RETURN_IF_ERROR(meta.ReadU64(&out.checkpoint_lsn));
+  }
+
+  // The outer section statuses gate strict loads only: under salvage the
+  // nested snapshots carry their own framing and CRCs, so the inner loads
+  // get the payload bytes (ReadSection keeps them on damage) and run their
+  // own ladder.
+  std::string store_payload, index_payload;
+  const Status store_st = snapshot.ReadSection("store", &store_payload);
+  Status index_st = Status::OK();
+  if (store_st.IsDataLoss()) {
+    index_st = Status::DataLoss("checkpoint truncated before index section");
+  } else {
+    index_st = snapshot.ReadSection("index", &index_payload);
+  }
+  if (!options.snapshot.salvage) {
+    SSR_RETURN_IF_ERROR(store_st);
+    SSR_RETURN_IF_ERROR(index_st);
+    SSR_RETURN_IF_ERROR(snapshot.VerifyFooter());
+  }
+
+  SnapshotLoadOptions inner = options.snapshot;
+  inner.report = &out.report;
+  {
+    std::istringstream store_in(store_payload);
+    auto store = SetStore::Load(store_in, options.store, inner);
+    if (!store.ok()) return store.status();
+    out.store = std::make_unique<SetStore>(std::move(store).value());
+  }
+  {
+    std::istringstream index_in(index_payload);
+    auto index = SetSimilarityIndex::Load(*out.store, index_in, inner);
+    if (!index.ok()) return index.status();
+    out.index =
+        std::make_unique<SetSimilarityIndex>(std::move(index).value());
+  }
+
+  out.recovered_lsn = out.checkpoint_lsn;
+  if (wal != nullptr) {
+    std::vector<WalRecord> records;
+    WalReadStats stats;
+    SSR_RETURN_IF_ERROR(ReadWal(*wal, &records, &stats));
+    if (stats.start_lsn > out.checkpoint_lsn + 1) {
+      // Records between the checkpoint and this log's start are gone —
+      // acknowledged writes would vanish silently if we proceeded.
+      return Status::DataLoss("wal starts past the checkpoint lsn");
+    }
+    out.report.wal_bytes_truncated += stats.bytes_truncated;
+    out.report.wal_tail_truncated |= stats.tail_truncated;
+    SSR_RETURN_IF_ERROR(ReplayRecords(records, out.checkpoint_lsn,
+                                      out.store.get(), out.index.get(),
+                                      &out.report, &out.recovered_lsn));
+  }
+
+  out.report.wal_recovery_seconds = watch.ElapsedSeconds();
+  MirrorReport(out.report);
+  if (options.snapshot.report != nullptr) {
+    options.snapshot.report->MergeFrom(out.report);
+  }
+  span.Tag("records_replayed",
+           static_cast<std::uint64_t>(out.report.wal_records_replayed));
+  span.Tag("recovered_lsn", out.recovered_lsn);
+  return out;
+}
+
+Result<RecoveredIndex> RecoverIndexFromFiles(
+    const std::string& checkpoint_path, const std::string& wal_path,
+    const RecoverOptions& options) {
+  std::ifstream checkpoint(checkpoint_path, std::ios::binary);
+  if (!checkpoint.is_open()) {
+    return Status::NotFound("checkpoint file not found: " + checkpoint_path);
+  }
+  std::ifstream wal(wal_path, std::ios::binary);
+  std::istream* wal_stream = wal.is_open() ? &wal : nullptr;
+  return RecoverIndex(checkpoint, wal_stream, options);
+}
+
+Status WriteShardedCheckpoint(const shard::ShardedSetSimilarityIndex& index,
+                              const std::vector<std::uint64_t>& stable_lsns,
+                              std::ostream& out) {
+  if (stable_lsns.size() != index.num_shards()) {
+    return Status::InvalidArgument(
+        "one stable lsn per shard is required");
+  }
+  obs::TraceSpan span("sharded_checkpoint_write");
+  SnapshotWriter snapshot(out, kShardedCheckpointMagic,
+                          kShardedCheckpointVersion);
+  {
+    BinaryWriter& meta = snapshot.BeginSection("meta");
+    meta.WriteU32(index.num_shards());
+    for (std::uint64_t lsn : stable_lsns) meta.WriteU64(lsn);
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  }
+  std::ostringstream sharded_out;
+  SSR_RETURN_IF_ERROR(index.SaveTo(sharded_out));
+  const std::string sharded_bytes = std::move(sharded_out).str();
+  {
+    BinaryWriter& body = snapshot.BeginSection("sharded");
+    body.WriteBytes(sharded_bytes.data(), sharded_bytes.size());
+    SSR_RETURN_IF_ERROR(snapshot.EndSection());
+  }
+  return snapshot.Finish();
+}
+
+Result<RecoveredShardedIndex> RecoverShardedIndex(
+    std::istream& checkpoint, const std::vector<std::istream*>& wals,
+    const shard::ShardedIndexOptions& index_options,
+    const SnapshotLoadOptions& load_options) {
+  Stopwatch watch;
+  obs::TraceSpan span("recover_sharded_index");
+  RecoveredShardedIndex out;
+
+  SnapshotReader snapshot(checkpoint);
+  std::uint32_t version = 0;
+  SSR_RETURN_IF_ERROR(
+      snapshot.ReadHeader(kShardedCheckpointMagic, &version));
+  if (version != kShardedCheckpointVersion) {
+    return Status::NotSupported("unknown sharded checkpoint version");
+  }
+
+  // The meta section is tiny and loads strictly: without the per-shard
+  // LSNs there is no safe replay boundary for *any* shard.
+  std::string payload;
+  SSR_RETURN_IF_ERROR(snapshot.ReadSection("meta", &payload));
+  std::uint32_t num_shards = 0;
+  {
+    std::istringstream meta_in(payload);
+    BinaryReader meta(meta_in);
+    SSR_RETURN_IF_ERROR(meta.ReadU32(&num_shards));
+    if (num_shards == 0 || num_shards > (1u << 20)) {
+      return Status::Corruption("implausible sharded checkpoint meta");
+    }
+    out.checkpoint_lsns.resize(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      SSR_RETURN_IF_ERROR(meta.ReadU64(&out.checkpoint_lsns[s]));
+    }
+  }
+  if (wals.size() != num_shards) {
+    return Status::InvalidArgument("one wal stream per shard is required");
+  }
+
+  std::string sharded_payload;
+  const Status sharded_st = snapshot.ReadSection("sharded", &sharded_payload);
+  if (!load_options.salvage) {
+    SSR_RETURN_IF_ERROR(sharded_st);
+    SSR_RETURN_IF_ERROR(snapshot.VerifyFooter());
+  }
+
+  SnapshotLoadOptions inner = load_options;
+  inner.report = nullptr;
+  RecoveryReport inner_report;
+  inner.report = &inner_report;
+  {
+    std::istringstream sharded_in(sharded_payload);
+    auto loaded = shard::ShardedSetSimilarityIndex::Load(
+        sharded_in, index_options, inner);
+    if (!loaded.ok()) return loaded.status();
+    out.index = std::make_unique<shard::ShardedSetSimilarityIndex>(
+        std::move(loaded).value());
+  }
+  out.report.MergeFrom(inner_report);
+  if (out.index->num_shards() != num_shards) {
+    return Status::Corruption("checkpoint meta / sharded shard-count "
+                              "mismatch");
+  }
+
+  out.recovered_lsns.assign(num_shards, 0);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    out.recovered_lsns[s] = out.checkpoint_lsns[s];
+    if (out.index->shard_degraded(s)) {
+      // The salvage load already lost this shard; its log has nowhere to
+      // replay into. It stays quarantined — the router serves the rest.
+      out.quarantined_shards.push_back(s);
+      ++out.report.wal_shards_quarantined;
+      continue;
+    }
+    Status st = ReplayShardWal(wals[s], out.checkpoint_lsns[s],
+                               out.index.get(), &out.report,
+                               &out.recovered_lsns[s]);
+    if (!st.ok()) {
+      if (!load_options.salvage) return st;
+      // Mid-log damage (or a log that lost acknowledged records): this
+      // shard's recovered state cannot be trusted past its checkpoint, so
+      // quarantine it — and only it.
+      out.index->SetShardDegraded(s, true);
+      out.quarantined_shards.push_back(s);
+      ++out.report.wal_shards_quarantined;
+      out.recovered_lsns[s] = out.checkpoint_lsns[s];
+    }
+  }
+
+  out.report.wal_recovery_seconds = watch.ElapsedSeconds();
+  MirrorReport(out.report);
+  if (load_options.report != nullptr) {
+    load_options.report->MergeFrom(out.report);
+  }
+  span.Tag("shards_quarantined",
+           static_cast<std::uint64_t>(out.quarantined_shards.size()));
+  return out;
+}
+
+}  // namespace ssr

@@ -1,0 +1,127 @@
+// Checkpoint + WAL-replay crash recovery (the durability protocol over
+// storage/wal.h). The whole-lifecycle contract extends the query-path one:
+// the system is *never silently wrong* — recovery either reproduces every
+// acknowledged mutation bit-identically or surfaces a typed error
+// (DataLoss/Corruption), and under sharding an unrecoverable log costs
+// exactly its own shard.
+//
+// Protocol:
+//   1. Mutations append to the WAL (acknowledged once synced) before they
+//      apply in memory (SetSimilarityIndex::AttachWal).
+//   2. A checkpoint snapshots the store + index *with the stable LSN it
+//      covers* (one "SSRDURA" v2 snapshot: meta, nested store, nested
+//      index sections). File-based checkpoints go through AtomicSave, so
+//      the previous checkpoint survives any mid-save crash.
+//   3. After the checkpoint is durable the log is truncated: a fresh WAL
+//      starting at checkpoint_lsn + 1. A crash *between* those two steps
+//      is benign — replay skips records at or below the checkpoint LSN.
+//   4. Recovery loads the checkpoint (strict or through the PR-2 salvage
+//      ladder), replays WAL records past the checkpoint LSN idempotently,
+//      truncates a torn tail as a clean end-of-log, and reports what it
+//      did (RecoveryReport wal_* fields, mirrored to ssr_wal_* metrics).
+//
+// Sharded recovery runs the same ladder per shard: each shard owns a WAL
+// (records carry *global* sids, appended by the sharded layer), and a
+// shard whose log has mid-log damage is quarantined — degraded, skipped by
+// queries under kPartialResults — while every other shard replays and the
+// router keeps serving tagged partial answers.
+
+#ifndef SSR_STORAGE_RECOVERY_H_
+#define SSR_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/set_similarity_index.h"
+#include "shard/sharded_index.h"
+#include "storage/set_store.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace ssr {
+
+/// Knobs for reviving a checkpoint.
+struct RecoverOptions {
+  /// Options for the revived store(s) (buffer pool, I/O model, scopes).
+  SetStoreOptions store;
+  /// Strict vs salvage, and an optional external report to fill. The same
+  /// options flow into the nested snapshot loads.
+  SnapshotLoadOptions snapshot;
+};
+
+/// Writes a durable checkpoint of `index` (and its store) tied to
+/// `stable_lsn`: the highest WAL LSN whose effects the snapshot contains.
+/// The caller guarantees no mutation runs during the save and that
+/// stable_lsn == the attached WAL's last_lsn (after a Sync).
+Status WriteIndexCheckpoint(const SetSimilarityIndex& index,
+                            std::uint64_t stable_lsn, std::ostream& out);
+
+/// File-based WriteIndexCheckpoint through AtomicSave: a crash mid-save
+/// leaves the previous checkpoint file intact.
+Status WriteIndexCheckpointFile(const SetSimilarityIndex& index,
+                                std::uint64_t stable_lsn,
+                                const std::string& path);
+
+/// A recovered single index. The store must outlive the index; both are
+/// heap-held so the pair is movable as a unit.
+struct RecoveredIndex {
+  std::unique_ptr<SetStore> store;
+  std::unique_ptr<SetSimilarityIndex> index;
+  std::uint64_t checkpoint_lsn = 0;
+  std::uint64_t recovered_lsn = 0;  // == checkpoint_lsn when no replay
+  RecoveryReport report;
+};
+
+/// Recovers checkpoint + WAL into a live index. `wal` may be null (no log
+/// survived — the checkpoint alone is the recovered state). Torn WAL tails
+/// truncate cleanly; a log that starts past checkpoint_lsn + 1 is DataLoss
+/// (acknowledged records are missing); mid-log damage is Corruption.
+/// Replay is idempotent: records at or below the checkpoint LSN, and
+/// records whose effect is already present, are skipped and counted.
+Result<RecoveredIndex> RecoverIndex(std::istream& checkpoint,
+                                    std::istream* wal,
+                                    const RecoverOptions& options = {});
+
+/// File-based RecoverIndex: a missing WAL file is treated as an empty log
+/// (fresh checkpoint, nothing to replay); a missing checkpoint is NotFound.
+Result<RecoveredIndex> RecoverIndexFromFiles(
+    const std::string& checkpoint_path, const std::string& wal_path,
+    const RecoverOptions& options = {});
+
+/// Writes a durable checkpoint of a sharded index tied to the per-shard
+/// stable LSNs (`stable_lsns[s]` for shard s's WAL; size must equal
+/// num_shards).
+Status WriteShardedCheckpoint(const shard::ShardedSetSimilarityIndex& index,
+                              const std::vector<std::uint64_t>& stable_lsns,
+                              std::ostream& out);
+
+/// A recovered sharded index.
+struct RecoveredShardedIndex {
+  std::unique_ptr<shard::ShardedSetSimilarityIndex> index;
+  std::vector<std::uint64_t> checkpoint_lsns;  // by shard
+  std::vector<std::uint64_t> recovered_lsns;   // by shard
+  /// Shards whose WAL was unrecoverable (mid-log damage) or whose
+  /// checkpoint section was already quarantined by the salvage load. Each
+  /// is degraded — the router keeps serving from the others.
+  std::vector<std::uint32_t> quarantined_shards;
+  RecoveryReport report;
+};
+
+/// Recovers a sharded checkpoint + per-shard WALs (`wals[s]` for shard s;
+/// null entries mean "no log survived for that shard" and replay nothing).
+/// Under salvage (options_.snapshot.salvage), per-shard damage — a corrupt
+/// checkpoint section or mid-log WAL damage — quarantines that shard only;
+/// strict mode propagates the first error.
+Result<RecoveredShardedIndex> RecoverShardedIndex(
+    std::istream& checkpoint, const std::vector<std::istream*>& wals,
+    const shard::ShardedIndexOptions& index_options,
+    const SnapshotLoadOptions& load_options = {});
+
+}  // namespace ssr
+
+#endif  // SSR_STORAGE_RECOVERY_H_

@@ -51,6 +51,16 @@ struct RecoveryReport {
   std::size_t signatures_rebuilt = 0;   // index signatures re-embedded
   bool salvaged = false;                // a degraded load path was taken
 
+  // WAL replay accounting (storage/recovery.h), mirrored into the
+  // ssr_wal_* metrics by the recovery path that fills it.
+  std::size_t wal_records_replayed = 0;  // applied past the checkpoint LSN
+  std::size_t wal_records_skipped = 0;   // at/below the checkpoint LSN, or
+                                         // already applied (idempotent)
+  std::size_t wal_bytes_truncated = 0;   // torn-tail bytes dropped
+  bool wal_tail_truncated = false;       // the log ended in a torn record
+  std::size_t wal_shards_quarantined = 0;  // shards lost to mid-log damage
+  double wal_recovery_seconds = 0.0;     // snapshot load + replay wall time
+
   void MergeFrom(const RecoveryReport& other) {
     pages_total += other.pages_total;
     pages_quarantined += other.pages_quarantined;
@@ -58,6 +68,12 @@ struct RecoveryReport {
     records_quarantined += other.records_quarantined;
     signatures_rebuilt += other.signatures_rebuilt;
     salvaged = salvaged || other.salvaged;
+    wal_records_replayed += other.wal_records_replayed;
+    wal_records_skipped += other.wal_records_skipped;
+    wal_bytes_truncated += other.wal_bytes_truncated;
+    wal_tail_truncated = wal_tail_truncated || other.wal_tail_truncated;
+    wal_shards_quarantined += other.wal_shards_quarantined;
+    wal_recovery_seconds += other.wal_recovery_seconds;
   }
 };
 

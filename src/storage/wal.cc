@@ -1,0 +1,307 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "fault/fault_injector.h"
+#include "util/crc32.h"
+#include "util/serialize.h"
+
+namespace ssr {
+
+namespace {
+
+constexpr char kWalMagic[] = "SSRWAL";
+constexpr std::size_t kWalMagicLen = 6;
+constexpr std::uint32_t kWalVersion = 1;
+// Magic + u32 version + u64 start_lsn.
+constexpr std::size_t kWalHeaderLen = kWalMagicLen + 4 + 8;
+
+// lsn (8) + type (1) + payload_size (4) + payload_crc (4).
+constexpr std::size_t kRecordHeaderLen = 17;
+// Fixed header + its CRC32.
+constexpr std::size_t kRecordFixedLen = kRecordHeaderLen + 4;
+
+// A single mutation payload can never plausibly reach this size; a larger
+// length in a CRC-valid header still means the log is garbage.
+constexpr std::uint64_t kPayloadSanityLimit = 1ULL << 30;  // 1 GiB
+
+}  // namespace
+
+WalWriter::WalWriter(std::ostream& out, std::uint64_t start_lsn,
+                     WalOptions options)
+    : out_(&out),
+      options_(options),
+      next_lsn_(start_lsn),
+      synced_lsn_(start_lsn - 1) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  appends_ = registry.GetCounter("ssr_wal_appends_total");
+  syncs_ = registry.GetCounter("ssr_wal_syncs_total");
+  append_bytes_ = registry.GetCounter("ssr_wal_append_bytes_total");
+  crash_points_ = registry.GetCounter("ssr_wal_crash_points_total");
+
+  BinaryWriter writer(*out_, kWalAppendFaultSite);
+  writer.WriteBytes(kWalMagic, kWalMagicLen);
+  writer.WriteU32(kWalVersion);
+  writer.WriteU64(start_lsn);
+  bytes_written_ += kWalMagicLen + 4 + 8;
+  if (!writer.ok()) crashed_ = true;
+}
+
+Result<std::uint64_t> WalWriter::AppendInsert(SetId sid,
+                                              const ElementSet& set) {
+  return Append(WalRecordType::kInsert, sid, &set);
+}
+
+Result<std::uint64_t> WalWriter::AppendErase(SetId sid) {
+  return Append(WalRecordType::kErase, sid, nullptr);
+}
+
+Result<std::uint64_t> WalWriter::Append(WalRecordType type, SetId sid,
+                                        const ElementSet* set) {
+  if (crashed_) return Status::Unavailable("wal writer crashed");
+  // The record-boundary crash site: a kCrashPoint fire here is the power
+  // cut the crash harness schedules between two appends — the log keeps
+  // exactly the records already written, this writer accepts nothing more.
+  fault::FaultInjector& injector = fault::FaultInjector::Default();
+  if (injector.enabled()) {
+    const auto kind = injector.Check(kWalCrashFaultSite);
+    if (kind.has_value() && *kind == fault::FaultKind::kCrashPoint) {
+      crashed_ = true;
+      crash_points_->Increment();
+      return Status::Unavailable("wal crash point");
+    }
+  }
+
+  // Payload first: its size and CRC live in the record header.
+  std::ostringstream payload_buf;
+  {
+    BinaryWriter payload_writer(payload_buf);
+    payload_writer.WriteU32(sid);
+    if (type == WalRecordType::kInsert) payload_writer.WriteVector(*set);
+  }
+  const std::string payload = payload_buf.str();
+
+  std::ostringstream header_buf;
+  {
+    BinaryWriter header_writer(header_buf);
+    header_writer.WriteU64(next_lsn_);
+    header_writer.WriteU8(static_cast<std::uint8_t>(type));
+    header_writer.WriteU32(static_cast<std::uint32_t>(payload.size()));
+    header_writer.WriteU32(Crc32(payload));
+  }
+  const std::string header = header_buf.str();
+
+  // One fault-checked write per field group, so torn-write schedules can
+  // cut the frame at header / header-CRC / payload granularity; finer
+  // byte-level tears are exercised by truncating the captured stream.
+  BinaryWriter writer(*out_, kWalAppendFaultSite);
+  writer.WriteBytes(header.data(), header.size());
+  writer.WriteU32(Crc32(header));
+  writer.WriteBytes(payload.data(), payload.size());
+  if (!writer.ok()) {
+    // The stream is gone (injected write error or real I/O failure); any
+    // partial frame it holds is a torn tail for recovery to truncate.
+    crashed_ = true;
+    return Status::Unavailable("wal append failed");
+  }
+
+  const std::uint64_t lsn = next_lsn_++;
+  bytes_written_ += kRecordFixedLen + payload.size();
+  ++records_appended_;
+  ++unsynced_appends_;
+  appends_->Increment();
+  append_bytes_->Add(kRecordFixedLen + payload.size());
+
+  switch (options_.sync_policy) {
+    case WalSyncPolicy::kEveryRecord:
+      SSR_RETURN_IF_ERROR(Sync());
+      break;
+    case WalSyncPolicy::kEveryN:
+      if (unsynced_appends_ >= options_.sync_every_n) {
+        SSR_RETURN_IF_ERROR(Sync());
+      }
+      break;
+    case WalSyncPolicy::kOnCheckpoint:
+      break;
+  }
+  return lsn;
+}
+
+Status WalWriter::Sync() {
+  if (crashed_) return Status::Unavailable("wal writer crashed");
+  out_->flush();
+  if (!out_->good()) {
+    crashed_ = true;
+    return Status::Unavailable("wal sync failed");
+  }
+  synced_lsn_ = last_lsn();
+  unsynced_appends_ = 0;
+  syncs_->Increment();
+  return Status::OK();
+}
+
+Status ReadWal(std::istream& in, std::vector<WalRecord>* records,
+               WalReadStats* stats, std::uint64_t expected_start_lsn) {
+  records->clear();
+  WalReadStats local;
+  BinaryReader reader(in, kWalReadFaultSite);
+
+  // A file header cut short is the torn tail of a log that crashed during
+  // creation: the header is written before any Append can return, so no
+  // record of this log was ever acknowledged and the log reads as empty.
+  // The surviving bytes must still be a *prefix* of a real header (magic +
+  // version; the start-LSN bytes are log-specific) — anything else is not
+  // a crash artifact but garbage, and reads as Corruption.
+  const std::uint64_t total = reader.RemainingBytes();
+  if (total != BinaryReader::kUnknownSize && total < kWalHeaderLen) {
+    std::string prefix(total, '\0');
+    SSR_RETURN_IF_ERROR(reader.ReadBytes(prefix.data(), prefix.size()));
+    std::string canonical(kWalMagic, kWalMagicLen);
+    {
+      std::ostringstream version_buf;
+      BinaryWriter version_writer(version_buf);
+      version_writer.WriteU32(kWalVersion);
+      canonical += version_buf.str();
+    }
+    const std::size_t check = std::min(prefix.size(), canonical.size());
+    if (std::memcmp(prefix.data(), canonical.data(), check) != 0) {
+      return Status::Corruption("bad wal magic");
+    }
+    local.bytes_truncated = total;
+    local.tail_truncated = true;
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+
+  char magic[kWalMagicLen] = {};
+  Status st = reader.ReadBytes(magic, kWalMagicLen);
+  if (st.IsDataLoss()) {  // non-seekable stream: EOF inside the header
+    local.tail_truncated = true;
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+  SSR_RETURN_IF_ERROR(st);
+  if (std::memcmp(magic, kWalMagic, kWalMagicLen) != 0) {
+    return Status::Corruption("bad wal magic");
+  }
+  std::uint32_t version = 0;
+  st = reader.ReadU32(&version);
+  if (st.IsDataLoss()) {
+    local.tail_truncated = true;
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+  SSR_RETURN_IF_ERROR(st);
+  if (version != kWalVersion) {
+    return Status::NotSupported("unknown wal format version");
+  }
+  st = reader.ReadU64(&local.start_lsn);
+  if (st.IsDataLoss()) {
+    local.tail_truncated = true;
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+  SSR_RETURN_IF_ERROR(st);
+  if (expected_start_lsn != 0 && local.start_lsn != expected_start_lsn) {
+    return Status::Corruption("wal start lsn does not match checkpoint");
+  }
+
+  for (;;) {
+    const std::uint64_t remaining = reader.RemainingBytes();
+    if (remaining == 0) break;  // clean end-of-log at a record boundary
+    if (remaining != BinaryReader::kUnknownSize &&
+        remaining < kRecordFixedLen) {
+      // The crash cut the last frame inside its fixed header: drop it.
+      local.bytes_truncated += remaining;
+      local.tail_truncated = true;
+      break;
+    }
+
+    char header[kRecordHeaderLen] = {};
+    st = reader.ReadBytes(header, kRecordHeaderLen);
+    if (st.IsDataLoss()) {  // non-seekable stream: EOF mid-header
+      local.tail_truncated = true;
+      break;
+    }
+    SSR_RETURN_IF_ERROR(st);
+    std::uint32_t header_crc = 0;
+    st = reader.ReadU32(&header_crc);
+    if (st.IsDataLoss()) {
+      local.tail_truncated = true;
+      break;
+    }
+    SSR_RETURN_IF_ERROR(st);
+    // A fully present header that fails its CRC is mid-log damage: a torn
+    // append leaves a byte *prefix* (caught by the EOF checks above),
+    // never a full-length frame with flipped bits.
+    if (Crc32(header, kRecordHeaderLen) != header_crc) {
+      return Status::Corruption("wal record header checksum mismatch");
+    }
+
+    WalRecord record;
+    std::uint32_t payload_size = 0;
+    std::uint32_t payload_crc = 0;
+    std::uint8_t type_byte = 0;
+    {
+      std::istringstream header_stream(
+          std::string(header, kRecordHeaderLen));
+      BinaryReader header_reader(header_stream);
+      SSR_RETURN_IF_ERROR(header_reader.ReadU64(&record.lsn));
+      SSR_RETURN_IF_ERROR(header_reader.ReadU8(&type_byte));
+      SSR_RETURN_IF_ERROR(header_reader.ReadU32(&payload_size));
+      SSR_RETURN_IF_ERROR(header_reader.ReadU32(&payload_crc));
+    }
+    if (type_byte != static_cast<std::uint8_t>(WalRecordType::kInsert) &&
+        type_byte != static_cast<std::uint8_t>(WalRecordType::kErase)) {
+      return Status::Corruption("unknown wal record type");
+    }
+    record.type = static_cast<WalRecordType>(type_byte);
+    if (record.lsn != local.start_lsn + local.records_read) {
+      return Status::Corruption("wal lsn out of sequence");
+    }
+    if (payload_size > kPayloadSanityLimit) {
+      return Status::Corruption("wal payload length exceeds sanity limit");
+    }
+
+    const std::uint64_t after_header = reader.RemainingBytes();
+    if (after_header != BinaryReader::kUnknownSize &&
+        after_header < payload_size) {
+      // Header intact, payload cut short: still the torn tail.
+      local.bytes_truncated += kRecordFixedLen + after_header;
+      local.tail_truncated = true;
+      break;
+    }
+    std::string payload(payload_size, '\0');
+    st = reader.ReadBytes(payload.data(), payload.size());
+    if (st.IsDataLoss()) {
+      local.tail_truncated = true;
+      break;
+    }
+    SSR_RETURN_IF_ERROR(st);
+    if (Crc32(payload) != payload_crc) {
+      return Status::Corruption("wal record payload checksum mismatch");
+    }
+
+    {
+      std::istringstream payload_stream{std::move(payload)};
+      BinaryReader payload_reader(payload_stream);
+      SSR_RETURN_IF_ERROR(payload_reader.ReadU32(&record.sid));
+      if (record.type == WalRecordType::kInsert) {
+        SSR_RETURN_IF_ERROR(payload_reader.ReadVector(&record.set));
+      }
+    }
+
+    local.last_lsn = record.lsn;
+    ++local.records_read;
+    records->push_back(std::move(record));
+  }
+
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace ssr

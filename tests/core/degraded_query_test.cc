@@ -33,7 +33,9 @@ struct Fixture {
   std::unique_ptr<SetSimilarityIndex> index;
 };
 
-std::unique_ptr<Fixture> BuildFixture(std::size_t n, DegradeMode degrade) {
+std::unique_ptr<Fixture> BuildFixture(
+    std::size_t n, DegradeMode degrade,
+    const fault::RetryPolicy& probe_retry = {}) {
   auto f = std::make_unique<Fixture>();
   Rng rng(5150);
   for (std::size_t i = 0; i < n; ++i) {
@@ -55,6 +57,7 @@ std::unique_ptr<Fixture> BuildFixture(std::size_t n, DegradeMode degrade) {
   options.embedding.minhash.seed = 999;
   options.seed = 1234;
   options.degrade = degrade;
+  options.probe_retry = probe_retry;
   auto index = SetSimilarityIndex::Build(f->store, layout, options);
   EXPECT_TRUE(index.ok());
   if (!index.ok()) return nullptr;
@@ -256,6 +259,37 @@ TEST_F(DegradedQueryTest, CandidateFallbackReturnsLiveSuperset) {
   EXPECT_EQ(degraded->sids.size(), 120u);
   EXPECT_TRUE(IsSubset(clean->sids, degraded->sids));
   EXPECT_EQ(fallbacks->value(), before + 1);
+}
+
+// A transient probe fault that the retry policy absorbs shows up in
+// QueryStats (attempts and backoff slept) while the answer stays exactly
+// the fault-free one — retries are invisible to correctness, visible to
+// observability.
+TEST_F(DegradedQueryTest, AbsorbedRetriesSurfaceInQueryStats) {
+  SKIP_WITHOUT_INJECTION();
+  fault::RetryPolicy probe_retry;
+  probe_retry.max_attempts = 4;
+  probe_retry.initial_backoff_micros = 5.0;  // tiny but nonzero: sums show
+  probe_retry.jitter_fraction = 0.5;
+  auto f = BuildFixture(120, DegradeMode::kSequentialFallback, probe_retry);
+  ASSERT_NE(f, nullptr);
+  const auto clean = f->index->Query(f->sets[0], 0.4, 0.6);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(clean->stats.retry_attempts, 0u);
+
+  auto& fi = fault::FaultInjector::Default();
+  fi.Enable(fault::SeedFromEnv(3));
+  // One transient failure: the first probe attempt faults, its retry
+  // succeeds, and the query never degrades.
+  fi.Arm("index/probe_fi", fault::FaultKind::kReadError,
+         fault::FaultSchedule::Once());
+  auto retried = f->index->Query(f->sets[0], 0.4, 0.6);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_FALSE(retried->stats.degraded);
+  EXPECT_EQ(retried->stats.probe_failures, 0u);
+  EXPECT_EQ(retried->stats.retry_attempts, 1u);
+  EXPECT_GT(retried->stats.retry_backoff_micros, 0.0);
+  EXPECT_EQ(retried->sids, clean->sids);
 }
 
 // ---------------------------------------------------------------------------

@@ -28,6 +28,13 @@
 // answer minus the degraded shard's sids — a subset of the oracle, never a
 // superset.
 //
+// The crash-recovery schedule folds the durability protocol (checkpoint +
+// WAL, storage/recovery.h) into the same contracts: checkpoint the serial
+// index, run journaled churn through an attached WAL, crash at a seeded
+// byte offset of the log, recover, re-apply the journal tail the crash
+// lost, and the recovered executor must be bit-identical to the one that
+// never crashed — then churn and query on, with every contract intact.
+//
 // Every assertion prints the seed and a copy-paste repro command; pin a
 // failing seed with SSR_DIFFTEST_SEED=<seed> (it replaces the default seed
 // list, so the failing workload runs alone).
@@ -35,7 +42,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -45,6 +54,8 @@
 #include "exec/batch_executor.h"
 #include "shard/query_router.h"
 #include "shard/sharded_index.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
 #include "util/random.h"
 #include "util/set_ops.h"
 
@@ -137,6 +148,7 @@ class Workload {
         ASSERT_TRUE(stored.ok()) << Repro(seed_);
         ASSERT_EQ(*stored, sid) << Repro(seed_);
         ASSERT_TRUE(index_->Insert(sid, sets_[sid]).ok()) << Repro(seed_);
+        Journal(/*insert=*/true, sid);
         for (auto& sh : sharded_) {
           ASSERT_TRUE(sh->Insert(sid, sets_[sid]).ok()) << Repro(seed_);
         }
@@ -153,6 +165,7 @@ class Workload {
         } else {
           ASSERT_TRUE(store_->Delete(sid).ok()) << Repro(seed_);
           live_[sid] = false;
+          Journal(/*insert=*/false, sid);
         }
         for (auto& sh : sharded_) {
           const Status st = sh->Erase(sid);
@@ -328,7 +341,93 @@ class Workload {
         std::count(live_.begin(), live_.end(), true));
   }
 
+  // Starts the durability protocol on the serial executor: checkpoint its
+  // current state (stable LSN 0 for this fresh log) and attach a WAL so
+  // every subsequent churn mutation is logged before it applies. Churn also
+  // journals each acknowledged op with the log offset its frame ends at —
+  // the journal plays the part of the client's redo stream.
+  void BeginDurability() {
+    std::ostringstream ckpt;
+    ASSERT_TRUE(WriteIndexCheckpoint(*index_, /*stable_lsn=*/0, ckpt).ok())
+        << Repro(seed_);
+    checkpoint_ = ckpt.str();
+    wal_ = std::make_unique<WalWriter>(wal_stream_, kWalFirstLsn);
+    index_->AttachWal(wal_.get());
+  }
+
+  // The crash: freeze the log at a seeded byte offset (anywhere — record
+  // boundaries, torn tails, even inside the file header), recover from
+  // (checkpoint, surviving prefix), re-apply the journal tail the crash
+  // lost, and demand the recovered executor is bit-identical to the one
+  // that never went down. The recovered store+index then *replace* the
+  // originals: the rest of the schedule churns and queries on the revived
+  // artifacts.
+  void CrashRecoverResume() {
+    index_->AttachWal(nullptr);
+    const std::string full = wal_stream_.str();
+    const std::size_t crash_at =
+        static_cast<std::size_t>(rng_.Uniform(full.size() + 1));
+
+    std::istringstream ckpt_in(checkpoint_);
+    std::istringstream wal_in(full.substr(0, crash_at));
+    auto rec = RecoverIndex(ckpt_in, &wal_in);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString() << "\ncrash at byte "
+                          << crash_at << "\n" << Repro(seed_);
+
+    // Exactly the ops whose WAL frames fully landed are recovered.
+    std::size_t acked = 0;
+    while (acked < journal_.size() &&
+           journal_[acked].end_offset <= crash_at) {
+      ++acked;
+    }
+    ASSERT_EQ(rec->recovered_lsn, acked)
+        << "crash at byte " << crash_at << "\n" << Repro(seed_);
+
+    // Redo the lost tail from the journal. The store's dense sid allocator
+    // makes replay deterministic: re-inserting in journal order must hand
+    // back the original sids.
+    for (std::size_t i = acked; i < journal_.size(); ++i) {
+      const JournalOp& op = journal_[i];
+      if (op.insert) {
+        auto sid = rec->store->Add(sets_[op.sid]);
+        ASSERT_TRUE(sid.ok()) << Repro(seed_);
+        ASSERT_EQ(*sid, op.sid) << Repro(seed_);
+        ASSERT_TRUE(rec->index->Insert(op.sid, sets_[op.sid]).ok())
+            << Repro(seed_);
+      } else {
+        ASSERT_TRUE(rec->index->Erase(op.sid).ok()) << Repro(seed_);
+        ASSERT_TRUE(rec->store->Delete(op.sid).ok()) << Repro(seed_);
+      }
+    }
+    ASSERT_EQ(rec->index->ContentDigest(), index_->ContentDigest())
+        << "recovered executor diverged from the uncrashed one, crash at "
+        << "byte " << crash_at << "\n" << Repro(seed_);
+
+    // Adopt the revived pair and resume logging on a fresh (truncated) log,
+    // as a real recovery would. Every journaled op is now applied, so the
+    // next LSN continues past the whole journal.
+    const std::uint64_t next_lsn =
+        kWalFirstLsn + static_cast<std::uint64_t>(journal_.size());
+    store_ = std::move(rec->store);
+    index_ = std::move(rec->index);
+    journal_.clear();
+    wal_stream_.str(std::string());
+    wal_stream_.clear();
+    wal_ = std::make_unique<WalWriter>(wal_stream_, next_lsn);
+    index_->AttachWal(wal_.get());
+  }
+
  private:
+  struct JournalOp {
+    bool insert = false;
+    SetId sid = kInvalidSetId;
+    std::size_t end_offset = 0;
+  };
+
+  void Journal(bool insert, SetId sid) {
+    if (wal_ == nullptr) return;
+    journal_.push_back({insert, sid, wal_->bytes_written()});
+  }
   ElementSet RandomSet() {
     ElementSet s;
     const std::size_t size = 8 + rng_.Uniform(64);
@@ -367,6 +466,12 @@ class Workload {
   std::unique_ptr<SetStore> store_;
   std::unique_ptr<SetSimilarityIndex> index_;
   std::vector<std::unique_ptr<shard::ShardedSetSimilarityIndex>> sharded_;
+
+  // Durability-schedule state (BeginDurability / CrashRecoverResume).
+  std::string checkpoint_;
+  std::ostringstream wal_stream_;
+  std::unique_ptr<WalWriter> wal_;
+  std::vector<JournalOp> journal_;
 };
 
 class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
@@ -391,6 +496,34 @@ TEST_P(DifferentialTest, AllExecutorsAgreeAcrossBuildChurnAndDegradation) {
 
   // One shard degraded: tagged partial subsets, never supersets.
   w.CheckDegraded(w.MakeQueries(8));
+}
+
+TEST_P(DifferentialTest, CrashRecoveryPreservesTheDifferentialContract) {
+  const std::uint64_t seed = GetParam();
+  Workload w(seed);
+  ASSERT_TRUE(w.BuildAll().ok()) << Repro(seed);
+
+  // Checkpoint, then churn with the WAL attached and every op journaled.
+  w.BeginDurability();
+  if (::testing::Test::HasFatalFailure()) return;
+  w.Churn(30);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Crash at a seeded byte of the log, recover, redo the lost tail; the
+  // revived executor replaces the original.
+  w.CrashRecoverResume();
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Every differential contract holds on the recovered artifacts...
+  w.CheckAll(w.MakeQueries(10));
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // ...and keeps holding as the recovered executor resumes churning.
+  w.Churn(25);
+  if (::testing::Test::HasFatalFailure()) return;
+  w.CheckAll(w.MakeQueries(10));
+  if (::testing::Test::HasFatalFailure()) return;
+  w.CheckDegraded(w.MakeQueries(6));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,

@@ -1,9 +1,13 @@
 #include "fault/retry.h"
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "util/hash.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -96,6 +100,125 @@ TEST(RetryTest, IsRetriableOnlyForUnavailable) {
   EXPECT_FALSE(IsRetriable(Status::Corruption("x")));
   EXPECT_FALSE(IsRetriable(Status::DataLoss("x")));
   EXPECT_FALSE(IsRetriable(Status::OK()));
+}
+
+TEST(BackoffTest, UnjitteredScheduleIsExponentialWithCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 100.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 1000.0;
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 1), 100.0);
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 2), 200.0);
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 3), 400.0);
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 4), 800.0);
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 5), 1000.0);  // capped
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 6), 1000.0);
+  // The cap short-circuits the exponential loop, so an absurd retry index
+  // cannot overflow the growth to infinity before the cap applies.
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 4096), 1000.0);
+}
+
+TEST(BackoffTest, ZeroInitialBackoffSleepsNothing) {
+  RetryPolicy policy;  // default: no backoff
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 1), 0.0);
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 7), 0.0);
+  EXPECT_DOUBLE_EQ(BackoffForRetry(policy, 0), 0.0);  // not a retry
+}
+
+TEST(BackoffTest, JitterIsDeterministicBoundedAndSeedKeyed) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 1000.0;
+  policy.backoff_multiplier = 1.0;  // isolate the jitter term
+  policy.jitter_fraction = 0.25;
+  policy.jitter_seed = 42;
+
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const double jittered = BackoffForRetry(policy, k);
+    // Deterministic: the same policy replays the same schedule.
+    EXPECT_DOUBLE_EQ(jittered, BackoffForRetry(policy, k));
+    // Bounded: base * (1 +/- fraction).
+    EXPECT_GE(jittered, 750.0);
+    EXPECT_LE(jittered, 1250.0);
+    // And exactly the documented draw: u_k from SplitMix64(seed + k)
+    // mapped onto [-1, 1].
+    const std::uint64_t draw =
+        SplitMix64(policy.jitter_seed + static_cast<std::uint64_t>(k));
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-52 - 1.0;
+    EXPECT_DOUBLE_EQ(jittered, 1000.0 * (1.0 + u * 0.25));
+  }
+
+  // Distinct seeds decorrelate concurrent retriers: the schedules differ
+  // somewhere in the first few retries.
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  bool differs = false;
+  for (std::size_t k = 1; k <= 8 && !differs; ++k) {
+    differs = BackoffForRetry(policy, k) != BackoffForRetry(other, k);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RetryStatsTest, FastPathSuccessWritesCleanStats) {
+  RetryStats stats;
+  stats.retries = 99;  // must be overwritten, not accumulated
+  Status s = RetryWithPolicy(
+      RetryPolicy{}, [&]() { return Status::OK(); }, &stats);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_DOUBLE_EQ(stats.backoff_micros, 0.0);
+  EXPECT_FALSE(stats.recovered);
+  EXPECT_FALSE(stats.exhausted);
+}
+
+TEST(RetryStatsTest, RecoveryAccountsAttemptsAndBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_micros = 10.0;  // tiny but nonzero: sums exactly
+  policy.backoff_multiplier = 2.0;
+  std::size_t calls = 0;
+  RetryStats stats;
+  Status s = RetryWithPolicy(
+      policy,
+      [&]() {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("blip") : Status::OK();
+      },
+      &stats);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_FALSE(stats.exhausted);
+  EXPECT_DOUBLE_EQ(stats.backoff_micros,
+                   BackoffForRetry(policy, 1) + BackoffForRetry(policy, 2));
+}
+
+TEST(RetryStatsTest, ExhaustionIsFlaggedAndCounted) {
+  obs::Counter* exhausted_counter =
+      obs::MetricsRegistry::Default().GetCounter("ssr_retry_exhausted_total");
+  const std::uint64_t before = exhausted_counter->value();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryStats stats;
+  Status s = RetryWithPolicy(
+      policy, [&]() { return Status::Unavailable("down"); }, &stats);
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_FALSE(stats.recovered);
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_EQ(exhausted_counter->value() - before, 1u);
+}
+
+TEST(RetryStatsTest, NonRetriableFailureIsNotExhaustion) {
+  RetryStats stats;
+  Status s = RetryWithPolicy(
+      RetryPolicy{}, [&]() { return Status::Corruption("bad"); }, &stats);
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_FALSE(stats.exhausted);  // permanent failure, not a retry budget
 }
 
 }  // namespace

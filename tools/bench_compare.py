@@ -47,6 +47,11 @@ def direction(key):
     # Suffix (not substring) matching keeps the two distinguishable.
     if k.endswith(("_recall", "_precision")) or k in ("recall", "precision"):
         return +1
+    # Recovery time is a timing whatever else the name says: the durability
+    # suite charts *_recovery_seconds and a crash-recovery slowdown must be
+    # flagged even if a future name picks up a higher-is-better substring.
+    if k.endswith("_recovery_seconds"):
+        return -1
     if any(s in k for s in LOWER_IS_BETTER):
         return -1
     if any(s in k for s in HIGHER_IS_BETTER):

@@ -11,6 +11,8 @@ Exercises the exit-code contract on synthetic trajectory points:
   * *_recall / *_precision suffixed names halved -> exit 1 (suffix wins
     over timing substrings)
   * recall-flavoured *_seconds name doubled -> exit 1 (still a timing)
+  * *_recovery_seconds doubled -> exit 1 (explicit lower-is-better suffix)
+  * durability ops/sec halved -> exit 1 (higher-is-better direction)
   * legacy point (no schema_version/env, missing scalar) -> exit 0
 """
 
@@ -37,6 +39,8 @@ BASE = {
         "replay_observed_recall": 0.95,
         "replay_candidate_precision": 0.8,
         "replay_recall_estimator_seconds": 0.2,
+        "durability_full_log_recovery_seconds": 0.1,
+        "durability_sync_every_record_ops_per_sec": 5000.0,
     },
 }
 
@@ -119,6 +123,22 @@ def main():
         rc, out = run(compare, base,
                       write(tmp, "oracle.json", slower_oracle))
         check("recall-named timing growth", 1, rc, out)
+
+        # The durability suite's direction contract: recovery time is
+        # lower-is-better by explicit suffix rule, churned ops/sec is
+        # higher-is-better.
+        slow_recovery = json.loads(json.dumps(BASE))
+        slow_recovery["scalars"]["durability_full_log_recovery_seconds"] = 0.3
+        rc, out = run(compare, base,
+                      write(tmp, "recovery.json", slow_recovery))
+        check("recovery time growth", 1, rc, out)
+
+        slow_churn = json.loads(json.dumps(BASE))
+        slow_churn["scalars"]["durability_sync_every_record_ops_per_sec"] = \
+            2000.0
+        rc, out = run(compare, base,
+                      write(tmp, "churn.json", slow_churn))
+        check("durable churn throughput drop", 1, rc, out)
 
         legacy = {"bench": "selftest",
                   "scalars": {"micro_jaccard_ns": 101.0}}
