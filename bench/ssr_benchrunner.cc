@@ -10,9 +10,16 @@
 //
 // Flags:
 //   --quick           smaller workloads (CI smoke; noisier numbers)
-//   --only=<suite>    run a single suite (micro, query_candidates, fig7,
-//                     filter_curve, build_scaling, query_throughput,
-//                     shard_scaling, replay, durability); default runs all
+//   --list            print the suite table and exit
+//   --only=<suite>    run a single suite from the table (--list shows it);
+//                     an unknown name is a hard error (exit 2), checked
+//                     before any suite runs
+//   --serve           start the live introspection HTTP endpoint for the
+//                     run (curl /metrics, /healthz, /statusz, /tracez,
+//                     /varz while suites execute)
+//   --serve_port=<p>  port for --serve (default 0 = ephemeral, printed)
+//   --serve_linger=<s> keep serving s seconds after the suites finish
+//                     (CI smoke scrapes the live process)
 //   --out=<dir>       directory for BENCH_<n>.json (default ".", created)
 //   --json=<path>     exact artifact path (overrides --out numbering)
 //   --trace=<path>    also write a Chrome trace (chrome://tracing)
@@ -23,11 +30,13 @@
 // software-only wall/CPU measurements (the CI fallback check).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -38,12 +47,16 @@
 #include "exec/batch_executor.h"
 #include "hamming/embedding.h"
 #include "obs/chrome_trace.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/query_log.h"
 #include "obs/shadow_oracle.h"
 #include "obs/trace.h"
 #include "obs/workload_observer.h"
 #include "optimizer/observed_workload.h"
+#include "server/http.h"
+#include "server/introspection_server.h"
 #include "shard/query_router.h"
 #include "shard/sharded_index.h"
 #include "storage/bplus_tree.h"
@@ -79,7 +92,7 @@ double MicroLoop(const std::string& name, std::size_t iters, Fn&& fn) {
   return ns;
 }
 
-void RunMicroSuite(bool quick, RunReport* report) {
+int RunMicroSuite(bool quick, RunReport* report) {
   bench::PrintHeader("suite: micro_primitives (pinned params)");
   Rng rng(0x5eed01);
 
@@ -95,7 +108,7 @@ void RunMicroSuite(bool quick, RunReport* report) {
   params.minhash.num_hashes = 100;
   params.minhash.value_bits = 8;
   auto embedding = Embedding::Create(params);
-  if (!embedding.ok()) return;
+  if (!embedding.ok()) return 1;
   std::size_t sig_words = 0;
   report->AddScalar(
       "micro_minhash_sign_ns",
@@ -117,6 +130,7 @@ void RunMicroSuite(bool quick, RunReport* report) {
                 }));
   (void)sig_words;
   (void)found;
+  return 0;
 }
 
 /// Candidate generation through the composite index: the QueryCandidates
@@ -905,6 +919,174 @@ int RunDurabilitySuite(bool quick, RunReport* report) {
   return 0;
 }
 
+/// The introspection plane scraping itself mid-run: a sharded index behind
+/// a QueryRouter feeds the SLO tracker through the router's cumulative
+/// instruments, and after every query round the suite GETs /metrics over a
+/// real localhost socket and runs the exposition through the conformance
+/// validator — any malformed line (torn histogram family included) fails
+/// the run. The health ladder is exercised end to end: quarantining one
+/// shard must flip /healthz from "healthy" to "degraded" (still HTTP 200 —
+/// degraded keeps serving) and un-quarantining must flip it back. Charted
+/// scalars are the windowed SLO view of the routed queries (p50/p99 over
+/// the 1h window) plus the error-budget burn rate and the scrape cost.
+int RunIntrospectionSuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: introspection (self-scrape mid-run)");
+  Rng rng(0x5eed09);
+  const std::size_t collection = quick ? 300 : 1200;
+  const std::size_t rounds = 3;
+  const std::size_t queries_per_round = quick ? 60 : 300;
+
+  SetCollection sets;
+  sets.reserve(collection);
+  for (std::size_t i = 0; i < collection; ++i) {
+    sets.push_back(RandomSet(rng, 40, 1 << 16));
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points.push_back({0.2, FilterKind::kDissimilarity, 8, 0});
+  layout.points.push_back({0.5, FilterKind::kSimilarity, 8, 0});
+  layout.points.push_back({0.8, FilterKind::kSimilarity, 8, 0});
+  shard::ShardedIndexOptions options;
+  options.num_shards = 2;
+  options.index.embedding.minhash.num_hashes = 100;
+  options.index.embedding.minhash.value_bits = 8;
+  auto index = shard::ShardedSetSimilarityIndex::Build(sets, layout, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "sharded build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  shard::QueryRouterOptions router_options;
+  router_options.num_threads = 2;
+  shard::QueryRouter router(*index, router_options);
+
+  auto& registry = obs::MetricsRegistry::Default();
+  server::IntrospectionServerOptions server_options;
+  server_options.tick_interval_seconds = 0.0;  // the suite drives Tick
+  server::IntrospectionServer server(server_options);
+  server::StatusSources sources;
+  sources.sharded_index = &*index;
+  sources.slo_latency =
+      registry.GetHistogram("ssr_router_query_latency_micros",
+                            router.metrics_scope(),
+                            obs::LatencyBoundsMicros());
+  sources.slo_total = registry.GetCounter("ssr_router_queries_total");
+  sources.slo_errors =
+      registry.GetCounter("ssr_router_partial_answers_total");
+  server.SetSources(sources);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "introspection server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("  serving on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+
+  auto scrape = [&](const char* path) {
+    return server::HttpGet("127.0.0.1", server.port(), path);
+  };
+
+  std::size_t scrape_bytes = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t q = 0; q < queries_per_round; ++q) {
+      auto result = router.Query(sets[(round * queries_per_round + q) %
+                                      sets.size()],
+                                 0.55, 0.95);
+      if (!result.ok()) {
+        std::fprintf(stderr, "routed query failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+    }
+    server.Tick(server.NowSeconds());
+    const server::HttpGetResult metrics = scrape("/metrics");
+    if (!metrics.ok || metrics.status != 200) {
+      std::fprintf(stderr, "mid-run /metrics scrape failed: %s (status %d)\n",
+                   metrics.error.c_str(), metrics.status);
+      return 1;
+    }
+    const auto issues = obs::ValidateExposition(metrics.body);
+    if (!issues.empty()) {
+      std::fprintf(stderr,
+                   "malformed /metrics exposition in round %zu:\n%s",
+                   round, obs::FormatIssues(issues).c_str());
+      return 1;
+    }
+    scrape_bytes = metrics.body.size();
+  }
+
+  // The health ladder end to end: healthy with every shard live, degraded
+  // (but still HTTP 200) with one shard quarantined, healthy again after
+  // the quarantine lifts. Mutating the degraded flag is only legal with no
+  // query in flight, which is the case between rounds.
+  const auto expect_health = [&](const char* want_status,
+                                 const char* want_code) {
+    const server::HttpGetResult health = scrape("/healthz");
+    if (!health.ok || health.status != 200) {
+      std::fprintf(stderr, "/healthz scrape failed: %s (status %d)\n",
+                   health.error.c_str(), health.status);
+      return false;
+    }
+    std::string needle = "\"status\":\"";
+    needle += want_status;
+    needle += '"';
+    if (health.body.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "/healthz expected %s, got: %s\n", want_status,
+                   health.body.c_str());
+      return false;
+    }
+    if (want_code != nullptr &&
+        health.body.find(want_code) == std::string::npos) {
+      std::fprintf(stderr, "/healthz missing reason %s, got: %s\n",
+                   want_code, health.body.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!expect_health("healthy", nullptr)) return 1;
+  index->SetShardDegraded(0, true);
+  if (!expect_health("degraded", "shard_quarantine")) {
+    index->SetShardDegraded(0, false);
+    return 1;
+  }
+  index->SetShardDegraded(0, false);
+  if (!expect_health("healthy", nullptr)) return 1;
+  std::printf("  /healthz flipped healthy -> degraded -> healthy with the "
+              "shard quarantine\n");
+
+  // Every other endpoint must answer over the socket.
+  for (const char* path : {"/statusz", "/tracez?limit=32", "/varz"}) {
+    const server::HttpGetResult page = scrape(path);
+    if (!page.ok || page.status != 200 || page.body.empty()) {
+      std::fprintf(stderr, "GET %s failed: %s (status %d)\n", path,
+                   page.error.c_str(), page.status);
+      return 1;
+    }
+  }
+
+  const obs::SloWindowReport window =
+      server.slo_tracker().Report(obs::kSloWindowHour, server.NowSeconds());
+  std::printf("  %llu routed queries: p50 %.1f us, p99 %.1f us, "
+              "availability %.6f, burn %.3f\n",
+              static_cast<unsigned long long>(window.total),
+              window.p50_micros, window.p99_micros, window.availability,
+              window.burn_rate);
+  std::printf("  %zu scrapes served, last /metrics %zu bytes\n",
+              static_cast<std::size_t>(server.requests_served()),
+              scrape_bytes);
+  report->AddScalar("introspection_query_p50_micros", window.p50_micros);
+  report->AddScalar("introspection_query_p99_micros", window.p99_micros);
+  report->AddScalar("introspection_availability_burn_rate",
+                    window.burn_rate);
+  report->AddScalar("introspection_scrape_bytes",
+                    static_cast<double>(scrape_bytes));
+  report->AddScalar("introspection_requests_served",
+                    static_cast<double>(server.requests_served()));
+  server.Stop();
+  return 0;
+}
+
 /// First free BENCH_<n>.json slot in `dir` (the trajectory is append-only).
 std::string NextTrajectoryPath(const std::string& dir) {
   for (int n = 0;; ++n) {
@@ -918,7 +1100,62 @@ std::string NextTrajectoryPath(const std::string& dir) {
   }
 }
 
+/// The canonical suite table: name, one-line description, entry point.
+/// --list prints it; --only is validated against it before anything runs.
+struct Suite {
+  const char* name;
+  const char* description;
+  int (*run)(bool quick, RunReport* report);
+};
+
+constexpr Suite kSuites[] = {
+    {"micro", "single-thread primitive costs (jaccard, sign, btree find)",
+     RunMicroSuite},
+    {"query_candidates", "candidate generation through the composite index",
+     RunQueryCandidatesSuite},
+    {"fig7", "Figure 7 bucketed response-time harness", RunFig7Suite},
+    {"filter_curve", "Equation 4 similarity-filter probe curve",
+     RunFilterCurveSuite},
+    {"build_scaling", "parallel index build at 1/2/4/8 workers",
+     RunBuildScalingSuite},
+    {"query_throughput", "concurrent batch-query throughput at 1/2/4/8",
+     RunQueryThroughputSuite},
+    {"shard_scaling", "sharded scatter/gather at P=1/2/4 with cross-check",
+     RunShardScalingSuite},
+    {"replay", "workload record -> save/load -> replay bit-stability",
+     RunReplaySuite},
+    {"durability", "WAL fsync policies + recovery time vs log length",
+     RunDurabilitySuite},
+    {"introspection", "HTTP self-scrape: /metrics conformance, health flip",
+     RunIntrospectionSuite},
+};
+
+void PrintSuites(std::FILE* out) {
+  std::fprintf(out, "available suites:\n");
+  for (const Suite& suite : kSuites) {
+    std::fprintf(out, "  %-18s %s\n", suite.name, suite.description);
+  }
+}
+
 int Run(const bench::Flags& flags) {
+  if (flags.GetBool("list")) {
+    PrintSuites(stdout);
+    return 0;
+  }
+  const std::string only = flags.GetString("only", "");
+  if (!only.empty()) {
+    const bool known = std::any_of(
+        std::begin(kSuites), std::end(kSuites),
+        [&only](const Suite& suite) { return only == suite.name; });
+    if (!known) {
+      // Checked before any suite runs: a typo'd --only must not burn a
+      // bench cycle or, worse, write a trajectory point with no suites.
+      std::fprintf(stderr, "unknown --only suite: %s\n", only.c_str());
+      PrintSuites(stderr);
+      return 2;
+    }
+  }
+
   const bool quick = flags.GetBool("quick");
   RunReport report("ssr_benchrunner");
   obs::Tracer::Default().set_enabled(true);
@@ -929,54 +1166,34 @@ int Run(const bench::Flags& flags) {
   if (!label.empty()) report.AddParam("label", label);
   report.AddParam("perf_source", std::string(obs::PerfSourceName(
                                      obs::Profiler::Default().source())));
-
-  const std::string only = flags.GetString("only", "");
   if (!only.empty()) report.AddParam("only", only);
-  const auto enabled = [&only](const char* suite) {
-    return only.empty() || only == suite;
-  };
+
+  // --serve: the live introspection plane for the whole run. No SLO
+  // sources are attached here (the introspection suite wires its own
+  // server to a router); this endpoint exposes the process-wide registry,
+  // traces, and health while the suites execute — and for --serve_linger
+  // seconds afterwards, which is how the CI smoke job curls a live binary.
+  std::unique_ptr<server::IntrospectionServer> serve;
+  if (flags.GetBool("serve")) {
+    server::IntrospectionServerOptions serve_options;
+    serve_options.port =
+        static_cast<std::uint16_t>(flags.GetInt("serve_port", 0));
+    serve = std::make_unique<server::IntrospectionServer>(serve_options);
+    const Status started = serve->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "--serve failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf("introspection server on http://127.0.0.1:%u "
+                "(/metrics /healthz /statusz /tracez /varz)\n",
+                static_cast<unsigned>(serve->port()));
+  }
 
   Stopwatch total;
-  bool ran_any = false;
-  if (enabled("micro")) {
-    RunMicroSuite(quick, &report);
-    ran_any = true;
-  }
-  if (enabled("query_candidates")) {
-    if (RunQueryCandidatesSuite(quick, &report) != 0) return 1;
-    ran_any = true;
-  }
-  if (enabled("fig7")) {
-    if (RunFig7Suite(quick, &report) != 0) return 1;
-    ran_any = true;
-  }
-  if (enabled("filter_curve")) {
-    if (RunFilterCurveSuite(quick, &report) != 0) return 1;
-    ran_any = true;
-  }
-  if (enabled("build_scaling")) {
-    if (RunBuildScalingSuite(quick, &report) != 0) return 1;
-    ran_any = true;
-  }
-  if (enabled("query_throughput")) {
-    if (RunQueryThroughputSuite(quick, &report) != 0) return 1;
-    ran_any = true;
-  }
-  if (enabled("shard_scaling")) {
-    if (RunShardScalingSuite(quick, &report) != 0) return 1;
-    ran_any = true;
-  }
-  if (enabled("replay")) {
-    if (RunReplaySuite(quick, &report) != 0) return 1;
-    ran_any = true;
-  }
-  if (enabled("durability")) {
-    if (RunDurabilitySuite(quick, &report) != 0) return 1;
-    ran_any = true;
-  }
-  if (!ran_any) {
-    std::fprintf(stderr, "unknown --only suite: %s\n", only.c_str());
-    return 2;
+  for (const Suite& suite : kSuites) {
+    if (!only.empty() && only != suite.name) continue;
+    if (suite.run(quick, &report) != 0) return 1;
   }
   report.AddScalar("total_wall_seconds", total.ElapsedSeconds());
 
@@ -1014,6 +1231,15 @@ int Run(const bench::Flags& flags) {
     }
     std::printf("wrote Chrome trace to %s (open in chrome://tracing)\n",
                 trace_path.c_str());
+  }
+
+  const double linger = flags.GetDouble("serve_linger", 0.0);
+  if (serve != nullptr && linger > 0.0) {
+    std::printf("lingering %.1f s for external scrapes on port %u ...\n",
+                linger, static_cast<unsigned>(serve->port()));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(linger * 1000.0)));
   }
   return 0;
 }

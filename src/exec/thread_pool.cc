@@ -89,6 +89,7 @@ void ThreadPool::WorkerMain(std::size_t worker) {
 }
 
 void ThreadPool::RunOnAllWorkers(const std::function<void(std::size_t)>& fn) {
+  busy_.store(true, std::memory_order_relaxed);
   last_job_ = JobStats{};
   last_job_.worker_cpu_seconds.assign(num_workers_, 0.0);
   const auto wall_start = std::chrono::steady_clock::now();
@@ -119,6 +120,8 @@ void ThreadPool::RunOnAllWorkers(const std::function<void(std::size_t)>& fn) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  jobs_run_.fetch_add(1, std::memory_order_relaxed);
+  busy_.store(false, std::memory_order_relaxed);
 }
 
 void ThreadPool::ParallelFor(

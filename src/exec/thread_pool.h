@@ -18,6 +18,7 @@
 #ifndef SSR_EXEC_THREAD_POOL_H_
 #define SSR_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -84,12 +85,22 @@ class ThreadPool {
   /// Statistics of the most recent RunOnAllWorkers/ParallelFor call.
   const JobStats& last_job_stats() const { return last_job_; }
 
+  /// Collective jobs completed over the pool's lifetime (a ParallelFor
+  /// counts as one job). Occupancy signal for /statusz.
+  std::uint64_t jobs_run() const {
+    return jobs_run_.load(std::memory_order_relaxed);
+  }
+  /// True while a collective job is executing.
+  bool busy() const { return busy_.load(std::memory_order_relaxed); }
+
  private:
   void WorkerMain(std::size_t worker);
 
   const std::size_t num_workers_;
   std::vector<std::thread> threads_;  // num_workers_ - 1 entries
   JobStats last_job_;
+  std::atomic<std::uint64_t> jobs_run_{0};
+  std::atomic<bool> busy_{false};
 
   std::mutex mu_;
   std::condition_variable job_ready_;

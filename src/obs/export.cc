@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/exposition.h"
+
 namespace ssr {
 namespace obs {
 
@@ -53,6 +55,20 @@ std::string PrometheusText(const MetricsRegistry& registry) {
                            ? "counter"
                            : (e.gauge != nullptr ? "gauge" : "histogram");
     if (e.name != last_typed_name) {
+      if (const char* help = MetricHelp(e.name)) {
+        out += "# HELP " + e.name + " ";
+        // Escape per the exposition format: backslash and newline.
+        for (const char* c = help; *c != '\0'; ++c) {
+          if (*c == '\\') {
+            out += "\\\\";
+          } else if (*c == '\n') {
+            out += "\\n";
+          } else {
+            out += *c;
+          }
+        }
+        out += '\n';
+      }
       out += "# TYPE " + e.name + " " + type + "\n";
       last_typed_name = e.name;
     }
@@ -63,6 +79,11 @@ std::string PrometheusText(const MetricsRegistry& registry) {
       out += SeriesRef(e.name, e.scope) + " " +
              FormatDouble(e.gauge->value()) + "\n";
     } else {
+      // Read every bucket exactly once, then derive the cumulative series
+      // AND `_count` from those same reads. Using Histogram::count() here
+      // would race its relaxed bucket adds and tear the family (a `+Inf`
+      // bucket that disagrees with `_count`), which Prometheus — and our
+      // conformance validator — reject.
       const Histogram& h = *e.histogram;
       std::uint64_t cumulative = 0;
       for (std::size_t i = 0; i < h.bounds().size(); ++i) {
@@ -77,7 +98,7 @@ std::string PrometheusText(const MetricsRegistry& registry) {
       out += SeriesRef(e.name + "_sum", e.scope) + " " +
              FormatDouble(h.sum()) + "\n";
       out += SeriesRef(e.name + "_count", e.scope) + " " +
-             std::to_string(h.count()) + "\n";
+             std::to_string(cumulative) + "\n";
     }
   }
   return out;

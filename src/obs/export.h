@@ -17,10 +17,15 @@ namespace ssr {
 namespace obs {
 
 /// Prometheus text exposition format, version 0.0.4:
+///   # HELP ssr_index_queries_total Similarity queries served by the index.
 ///   # TYPE ssr_index_queries_total counter
 ///   ssr_index_queries_total{scope="index/0"} 42
 /// Instruments in the empty scope render without a label set. Histograms
-/// emit cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+/// emit cumulative `_bucket{le="..."}` series plus `_sum` and `_count`;
+/// `_count` is derived from the same single pass of bucket reads as the
+/// `+Inf` bucket so each family is internally consistent even while the
+/// instrument is being mutated. `# HELP` comes from the table in
+/// obs/exposition.h.
 std::string PrometheusText(const MetricsRegistry& registry);
 
 /// Appends the registry as a JSON value:

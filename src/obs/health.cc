@@ -1,0 +1,128 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ssr {
+namespace obs {
+
+namespace {
+
+std::string FormatRatio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return std::string(buf);
+}
+
+void AddReason(HealthReport* report, HealthVerdict severity,
+               std::string code, std::string detail) {
+  HealthReason reason;
+  reason.code = std::move(code);
+  reason.detail = std::move(detail);
+  reason.severity = severity;
+  if (static_cast<int>(severity) > static_cast<int>(report->verdict)) {
+    report->verdict = severity;
+  }
+  report->reasons.push_back(std::move(reason));
+}
+
+}  // namespace
+
+const char* HealthVerdictName(HealthVerdict v) {
+  switch (v) {
+    case HealthVerdict::kHealthy:
+      return "healthy";
+    case HealthVerdict::kDegraded:
+      return "degraded";
+    case HealthVerdict::kUnhealthy:
+      return "unhealthy";
+  }
+  return "unknown";
+}
+
+HealthReport EvaluateHealth(const HealthInputs& inputs,
+                            const HealthThresholds& thresholds) {
+  HealthReport report;
+
+  // Shard plane: any quarantined/degraded shard means partial answers;
+  // losing more than the configured fraction means the index can no longer
+  // claim representative results.
+  if (inputs.shards_total > 0 && inputs.shards_degraded > 0) {
+    const double fraction = static_cast<double>(inputs.shards_degraded) /
+                            static_cast<double>(inputs.shards_total);
+    std::string detail;
+    detail += std::to_string(inputs.shards_degraded);
+    detail += " of ";
+    detail += std::to_string(inputs.shards_total);
+    detail += " shards quarantined/degraded";
+    const HealthVerdict severity =
+        fraction > thresholds.shard_unhealthy_fraction
+            ? HealthVerdict::kUnhealthy
+            : HealthVerdict::kDegraded;
+    AddReason(&report, severity, "shard_quarantine", std::move(detail));
+  }
+
+  // SLO plane: the fast window pages, the slow window files a ticket.
+  if (inputs.has_slo) {
+    if (inputs.slo_fast.burn_rate >= thresholds.burn_rate_unhealthy) {
+      std::string detail = "fast-window error-budget burn rate ";
+      detail += FormatRatio(inputs.slo_fast.burn_rate);
+      detail += " >= ";
+      detail += FormatRatio(thresholds.burn_rate_unhealthy);
+      AddReason(&report, HealthVerdict::kUnhealthy, "slo_burn_fast",
+                std::move(detail));
+    }
+    if (inputs.slo_slow.burn_rate >= thresholds.burn_rate_degraded &&
+        inputs.slo_slow.burn_rate < thresholds.burn_rate_unhealthy) {
+      std::string detail = "slow-window error-budget burn rate ";
+      detail += FormatRatio(inputs.slo_slow.burn_rate);
+      detail += " >= ";
+      detail += FormatRatio(thresholds.burn_rate_degraded);
+      AddReason(&report, HealthVerdict::kDegraded, "slo_burn_slow",
+                std::move(detail));
+    }
+    if (!inputs.slo_fast.p99_ok) {
+      std::string detail = "p99 latency ";
+      detail += FormatRatio(inputs.slo_fast.p99_micros);
+      detail += "us over target";
+      AddReason(&report, HealthVerdict::kDegraded, "slo_latency_p99",
+                std::move(detail));
+    }
+  }
+
+  // Durability plane: records appended but not yet synced are records a
+  // crash would lose.
+  if (inputs.has_wal && inputs.wal_last_lsn > inputs.wal_synced_lsn) {
+    const std::uint64_t lag = inputs.wal_last_lsn - inputs.wal_synced_lsn;
+    if (lag >= thresholds.wal_lag_degraded) {
+      std::string detail = "WAL sync lag ";
+      detail += std::to_string(lag);
+      detail += " records (last_lsn ";
+      detail += std::to_string(inputs.wal_last_lsn);
+      detail += ", synced_lsn ";
+      detail += std::to_string(inputs.wal_synced_lsn);
+      detail += ")";
+      const HealthVerdict severity = lag >= thresholds.wal_lag_unhealthy
+                                         ? HealthVerdict::kUnhealthy
+                                         : HealthVerdict::kDegraded;
+      AddReason(&report, severity, "wal_sync_lag", std::move(detail));
+    }
+  }
+
+  // Quality plane: the shadow oracle's observed recall drifting under the
+  // floor means the tunable index is no longer honoring its quality knob.
+  if (inputs.has_recall &&
+      inputs.observed_recall < thresholds.recall_floor) {
+    std::string detail = "observed recall ";
+    detail += FormatRatio(inputs.observed_recall);
+    detail += " below floor ";
+    detail += FormatRatio(thresholds.recall_floor);
+    AddReason(&report, HealthVerdict::kDegraded, "recall_drift",
+              std::move(detail));
+  }
+
+  return report;
+}
+
+}  // namespace obs
+}  // namespace ssr

@@ -1,0 +1,115 @@
+// System health model: folds shard quarantine state, SLO burn, WAL sync
+// lag, and shadow-oracle recall drift into one typed verdict with reasons.
+// This is the single source of truth /healthz serves — the ladder is
+//
+//   Healthy   — every signal inside its threshold
+//   Degraded  — serving, but something needs attention: a quarantined
+//               shard (partial answers), slow-window SLO burn, WAL sync
+//               lag past the warning bound, or observed recall drifting
+//               below target
+//   Unhealthy — correctness or durability is in question: a majority of
+//               shards are out, the fast-window burn rate is at page
+//               level, or WAL lag passed the critical bound
+//
+// Evaluation is a pure function over a HealthInputs snapshot so tests can
+// pin every rung without standing up the components; the introspection
+// server assembles HealthInputs from its registered sources on each scrape.
+
+#ifndef SSR_OBS_HEALTH_H_
+#define SSR_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/slo.h"
+
+namespace ssr {
+namespace obs {
+
+enum class HealthVerdict { kHealthy = 0, kDegraded = 1, kUnhealthy = 2 };
+
+const char* HealthVerdictName(HealthVerdict v);
+
+/// One triggered rule. `code` is a stable machine-readable identifier
+/// (e.g. "shard_quarantine", "slo_burn_fast"); `detail` is for humans.
+struct HealthReason {
+  std::string code;
+  std::string detail;
+  HealthVerdict severity = HealthVerdict::kDegraded;
+};
+
+/// A point-in-time snapshot of every signal the model folds. Fields with
+/// a paired `has_*` flag are optional; absent signals trigger no rules.
+struct HealthInputs {
+  // Shard plane.
+  std::size_t shards_total = 0;
+  std::size_t shards_degraded = 0;
+
+  // SLO plane (typically the 1m report for fast burn, 1h for slow).
+  bool has_slo = false;
+  SloWindowReport slo_fast;  // short horizon: paging signal
+  SloWindowReport slo_slow;  // long horizon: ticket signal
+
+  // Durability plane.
+  bool has_wal = false;
+  std::uint64_t wal_last_lsn = 0;
+  std::uint64_t wal_synced_lsn = 0;
+
+  // Quality plane (shadow-oracle observed recall, when enough samples).
+  bool has_recall = false;
+  double observed_recall = 1.0;
+};
+
+struct HealthThresholds {
+  /// Fast-window burn rate at/above which the system is Unhealthy (the
+  /// classic 1h page threshold for a three-nines target) and the slow
+  /// burn at/above which it is Degraded.
+  double burn_rate_unhealthy = 14.4;
+  double burn_rate_degraded = 1.0;
+
+  /// Unsynced WAL records (last_lsn - synced_lsn) tolerated before the
+  /// durability rules fire.
+  std::uint64_t wal_lag_degraded = 1024;
+  std::uint64_t wal_lag_unhealthy = 65536;
+
+  /// Observed recall below this is Degraded (the paper's tunable
+  /// quality/performance trade-off makes recall a first-class SLO here).
+  double recall_floor = 0.80;
+
+  /// Fraction of shards degraded at/above which Degraded escalates to
+  /// Unhealthy (strictly more than half by default).
+  double shard_unhealthy_fraction = 0.5;
+};
+
+struct HealthReport {
+  HealthVerdict verdict = HealthVerdict::kHealthy;
+  std::vector<HealthReason> reasons;  // empty iff Healthy
+};
+
+/// Applies the ladder to one snapshot. The verdict is the maximum severity
+/// across triggered rules; every triggered rule is reported.
+HealthReport EvaluateHealth(const HealthInputs& inputs,
+                            const HealthThresholds& thresholds);
+
+/// Thin stateful wrapper for callers that configure thresholds once.
+class HealthModel {
+ public:
+  HealthModel() = default;
+  explicit HealthModel(HealthThresholds thresholds)
+      : thresholds_(thresholds) {}
+
+  HealthReport Evaluate(const HealthInputs& inputs) const {
+    return EvaluateHealth(inputs, thresholds_);
+  }
+
+  const HealthThresholds& thresholds() const { return thresholds_; }
+
+ private:
+  HealthThresholds thresholds_;
+};
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_HEALTH_H_

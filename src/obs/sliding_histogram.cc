@@ -1,0 +1,207 @@
+#include "obs/sliding_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssr {
+namespace obs {
+
+namespace {
+
+/// Windows needed to cover `horizon` at `interval` width, at least 1,
+/// clamped to the ring size.
+std::size_t WindowsFor(double horizon, double interval, std::size_t ring) {
+  if (!(horizon > 0.0)) return 1;
+  const double needed = std::ceil(horizon / interval);
+  if (needed >= static_cast<double>(ring)) return ring;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(needed));
+}
+
+}  // namespace
+
+SlidingHistogram::SlidingHistogram(std::vector<double> bounds,
+                                   double interval_seconds,
+                                   std::size_t num_windows)
+    : bounds_([&bounds] {
+        std::sort(bounds.begin(), bounds.end());
+        return std::move(bounds);
+      }()),
+      interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 1.0),
+      windows_(std::max<std::size_t>(1, num_windows),
+               std::vector<std::uint64_t>(bounds_.size() + 1, 0)) {}
+
+void SlidingHistogram::AdvanceLocked(double now_seconds) {
+  if (!started_) {
+    started_ = true;
+    window_start_ = now_seconds;
+    windows_elapsed_ = 1;
+    return;
+  }
+  if (now_seconds < window_start_) return;  // non-monotonic caller; absorb
+  double boundary = window_start_ + interval_seconds_;
+  std::size_t steps = 0;
+  while (now_seconds >= boundary && steps < windows_.size()) {
+    cursor_ = (cursor_ + 1) % windows_.size();
+    std::fill(windows_[cursor_].begin(), windows_[cursor_].end(), 0);
+    window_start_ = boundary;
+    boundary += interval_seconds_;
+    ++windows_elapsed_;
+    ++steps;
+  }
+  if (now_seconds >= boundary) {
+    // The clock skipped further than the whole ring: every slot is stale.
+    for (auto& w : windows_) std::fill(w.begin(), w.end(), 0);
+    const double skipped =
+        std::floor((now_seconds - window_start_) / interval_seconds_);
+    window_start_ += skipped * interval_seconds_;
+    windows_elapsed_ += static_cast<std::uint64_t>(skipped);
+  }
+}
+
+void SlidingHistogram::Observe(double v, double now_seconds) {
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  AddBucket(idx, 1, now_seconds);
+}
+
+void SlidingHistogram::AddBucket(std::size_t i, std::uint64_t n,
+                                 double now_seconds) {
+  if (i > bounds_.size() || n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceLocked(now_seconds);
+  windows_[cursor_][i] += n;
+}
+
+void SlidingHistogram::CaptureDelta(const Histogram& source,
+                                    double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceLocked(now_seconds);
+  if (capture_source_ != &source) {
+    if (source.bounds() != bounds_) return;  // shape mismatch: ignore source
+    capture_source_ = &source;
+    capture_last_.assign(bounds_.size() + 1, 0);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      capture_last_[i] = source.bucket_count(i);
+    }
+    return;  // cursor established; nothing credited
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t cur = source.bucket_count(i);
+    if (cur >= capture_last_[i]) {
+      windows_[cursor_][i] += cur - capture_last_[i];
+    }
+    // cur < last means the source was Reset between captures; re-sync.
+    capture_last_[i] = cur;
+  }
+}
+
+SlidingHistogram::Snapshot SlidingHistogram::Over(double horizon_seconds,
+                                                  double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceLocked(now_seconds);
+  Snapshot snap;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  const std::size_t k =
+      WindowsFor(horizon_seconds, interval_seconds_, windows_.size());
+  const std::size_t live = static_cast<std::size_t>(
+      std::min<std::uint64_t>(windows_elapsed_, k));
+  for (std::size_t back = 0; back < live; ++back) {
+    const std::size_t w =
+        (cursor_ + windows_.size() - back) % windows_.size();
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      snap.counts[i] += windows_[w][i];
+      snap.count += windows_[w][i];
+    }
+  }
+  if (live > 0) {
+    snap.covered_seconds = static_cast<double>(live - 1) * interval_seconds_ +
+                           (now_seconds - window_start_);
+  }
+  return snap;
+}
+
+double SlidingHistogram::Quantile(double q, double horizon_seconds,
+                                  double now_seconds) {
+  const Snapshot snap = Over(horizon_seconds, now_seconds);
+  if (snap.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(snap.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(snap.counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double frac = (rank - cumulative) / in_bucket;
+      return lower + frac * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+SlidingCounter::SlidingCounter(double interval_seconds,
+                               std::size_t num_windows)
+    : interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 1.0),
+      windows_(std::max<std::size_t>(1, num_windows), 0) {}
+
+void SlidingCounter::AdvanceLocked(double now_seconds) {
+  if (!started_) {
+    started_ = true;
+    window_start_ = now_seconds;
+    return;
+  }
+  if (now_seconds < window_start_) return;
+  double boundary = window_start_ + interval_seconds_;
+  std::size_t steps = 0;
+  while (now_seconds >= boundary && steps < windows_.size()) {
+    cursor_ = (cursor_ + 1) % windows_.size();
+    windows_[cursor_] = 0;
+    window_start_ = boundary;
+    boundary += interval_seconds_;
+    ++steps;
+  }
+  if (now_seconds >= boundary) {
+    std::fill(windows_.begin(), windows_.end(), 0);
+    const double skipped =
+        std::floor((now_seconds - window_start_) / interval_seconds_);
+    window_start_ += skipped * interval_seconds_;
+  }
+}
+
+void SlidingCounter::Add(std::uint64_t n, double now_seconds) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceLocked(now_seconds);
+  windows_[cursor_] += n;
+}
+
+void SlidingCounter::CaptureDelta(const Counter& source, double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceLocked(now_seconds);
+  const std::uint64_t cur = source.value();
+  if (capture_source_ != &source) {
+    capture_source_ = &source;
+  } else if (cur >= capture_last_) {
+    windows_[cursor_] += cur - capture_last_;
+  }
+  capture_last_ = cur;
+}
+
+std::uint64_t SlidingCounter::Over(double horizon_seconds,
+                                   double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceLocked(now_seconds);
+  const std::size_t k =
+      WindowsFor(horizon_seconds, interval_seconds_, windows_.size());
+  std::uint64_t total = 0;
+  for (std::size_t back = 0; back < k; ++back) {
+    total += windows_[(cursor_ + windows_.size() - back) % windows_.size()];
+  }
+  return total;
+}
+
+}  // namespace obs
+}  // namespace ssr

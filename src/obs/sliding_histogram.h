@@ -1,0 +1,137 @@
+// Windowed aggregation over the cumulative instruments in obs/metrics.h.
+// Registry counters and histograms only ever go up, which is exactly right
+// for a Prometheus scrape and exactly wrong for a live question like "what
+// was the p99 over the last minute?". SlidingHistogram and SlidingCounter
+// answer that: a ring of fixed-width time windows (N windows of `interval`
+// seconds each) whose oldest slots decay as the clock advances, so a
+// quantile or a rate over any horizon up to N*interval is one pass over
+// the ring.
+//
+// Two feeding modes:
+//   - Observe()/Add(): direct observations, binned like obs::Histogram
+//     (bucket i counts v <= bounds[i], one overflow bucket above).
+//   - CaptureDelta(): diff a *cumulative* source instrument against the
+//     last capture and credit the delta to the current window. This is how
+//     the SLO layer stays off the hot path entirely: queries keep feeding
+//     the registry histograms they already feed (one relaxed atomic add),
+//     and a periodic tick — the introspection server's, or a scrape —
+//     folds the growth into the windows. A source Reset() (the repo's
+//     between-phases idiom) re-syncs the cursor instead of producing a
+//     bogus negative delta.
+//
+// Time is always an explicit `now_seconds` parameter (any monotonic clock;
+// tests drive a manual one). All methods take the instance mutex — these
+// are tick/scrape-path structures, never hot-path ones.
+
+#ifndef SSR_OBS_SLIDING_HISTOGRAM_H_
+#define SSR_OBS_SLIDING_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ssr {
+namespace obs {
+
+/// A ring of time windows over histogram buckets. Construction fixes the
+/// bucket bounds (sorted ascending, one implicit overflow bucket) and the
+/// ring geometry; the horizon a query can cover is num_windows * interval.
+class SlidingHistogram {
+ public:
+  SlidingHistogram(std::vector<double> bounds, double interval_seconds,
+                   std::size_t num_windows);
+
+  /// Records one observation into the window containing `now_seconds`.
+  void Observe(double v, double now_seconds);
+
+  /// Records `n` pre-binned observations into bucket `i` (the overflow
+  /// bucket when i == bounds().size()) of the current window.
+  void AddBucket(std::size_t i, std::uint64_t n, double now_seconds);
+
+  /// Credits the source histogram's growth since the last CaptureDelta to
+  /// the current window. The source's bounds must equal this instance's
+  /// bounds (checked once; mismatched sources are ignored). The first
+  /// capture establishes the cursor without crediting anything — a tracker
+  /// attached mid-run must not claim the entire past as "this window".
+  void CaptureDelta(const Histogram& source, double now_seconds);
+
+  /// Merged counts over the most recent windows covering `horizon_seconds`
+  /// (clamped to the ring's full span), after rotating up to `now_seconds`.
+  struct Snapshot {
+    std::vector<std::uint64_t> counts;  // bounds().size() + 1 buckets
+    std::uint64_t count = 0;            // sum over counts
+    double covered_seconds = 0.0;       // window span actually merged
+  };
+  Snapshot Over(double horizon_seconds, double now_seconds);
+
+  /// Quantile estimate (q in [0, 1]) over the merged horizon, linearly
+  /// interpolated inside the selected bucket; observations in the overflow
+  /// bucket report the last finite bound. Returns 0 when the horizon holds
+  /// no observations.
+  double Quantile(double q, double horizon_seconds, double now_seconds);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  double interval_seconds() const { return interval_seconds_; }
+  std::size_t num_windows() const { return windows_.size(); }
+
+ private:
+  /// Rotates the ring so the cursor window contains `now_seconds`,
+  /// zeroing every slot the clock skipped. Caller holds mu_.
+  void AdvanceLocked(double now_seconds);
+
+  const std::vector<double> bounds_;
+  const double interval_seconds_;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::uint64_t>> windows_;  // [window][bucket]
+  std::size_t cursor_ = 0;           // windows_ slot containing "now"
+  double window_start_ = 0.0;        // start time of the cursor window
+  bool started_ = false;             // window_start_ is meaningful
+  std::uint64_t windows_elapsed_ = 0;  // windows ever opened (for coverage)
+
+  // CaptureDelta cursor over the (single) cumulative source.
+  const Histogram* capture_source_ = nullptr;
+  std::vector<std::uint64_t> capture_last_;  // per-bucket counts last seen
+};
+
+/// A ring of time windows over one cumulative counter: the windowed-rate
+/// companion to SlidingHistogram (availability windows diff two of these).
+class SlidingCounter {
+ public:
+  SlidingCounter(double interval_seconds, std::size_t num_windows);
+
+  /// Adds `n` events to the window containing `now_seconds`.
+  void Add(std::uint64_t n, double now_seconds);
+
+  /// Credits the counter's growth since the last capture to the current
+  /// window (first capture only establishes the cursor; a source Reset
+  /// re-syncs it).
+  void CaptureDelta(const Counter& source, double now_seconds);
+
+  /// Total events in the most recent windows covering `horizon_seconds`.
+  std::uint64_t Over(double horizon_seconds, double now_seconds);
+
+  double interval_seconds() const { return interval_seconds_; }
+  std::size_t num_windows() const { return windows_.size(); }
+
+ private:
+  void AdvanceLocked(double now_seconds);
+
+  const double interval_seconds_;
+
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> windows_;
+  std::size_t cursor_ = 0;
+  double window_start_ = 0.0;
+  bool started_ = false;
+
+  const Counter* capture_source_ = nullptr;
+  std::uint64_t capture_last_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_SLIDING_HISTOGRAM_H_

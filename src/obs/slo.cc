@@ -1,0 +1,86 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace ssr {
+namespace obs {
+
+SloTracker::SloTracker(std::vector<double> bounds, SloConfig config)
+    : config_([&config] {
+        if (!(config.availability_target > 0.0) ||
+            config.availability_target >= 1.0) {
+          config.availability_target = 0.999;
+        }
+        if (!(config.interval_seconds > 0.0)) config.interval_seconds = 5.0;
+        if (config.num_windows == 0) config.num_windows = 720;
+        return config;
+      }()),
+      latency_(std::move(bounds), config_.interval_seconds,
+               config_.num_windows),
+      total_(config_.interval_seconds, config_.num_windows),
+      errors_(config_.interval_seconds, config_.num_windows) {}
+
+void SloTracker::Tick(const Histogram* latency_source,
+                      const Counter* total_source,
+                      const Counter* error_source, double now_seconds) {
+  if (latency_source != nullptr) {
+    latency_.CaptureDelta(*latency_source, now_seconds);
+  }
+  if (total_source != nullptr) {
+    total_.CaptureDelta(*total_source, now_seconds);
+  }
+  if (error_source != nullptr) {
+    errors_.CaptureDelta(*error_source, now_seconds);
+  }
+}
+
+void SloTracker::ObserveLatency(double micros, double now_seconds) {
+  latency_.Observe(micros, now_seconds);
+}
+
+void SloTracker::RecordOutcomes(std::uint64_t total, std::uint64_t errors,
+                                double now_seconds) {
+  total_.Add(total, now_seconds);
+  errors_.Add(std::min(errors, total), now_seconds);
+}
+
+SloWindowReport SloTracker::Report(double horizon_seconds,
+                                   double now_seconds) {
+  SloWindowReport report;
+  report.horizon_seconds = horizon_seconds;
+
+  const SlidingHistogram::Snapshot snap =
+      latency_.Over(horizon_seconds, now_seconds);
+  report.covered_seconds = snap.covered_seconds;
+  report.latency_count = snap.count;
+  report.p50_micros = latency_.Quantile(0.50, horizon_seconds, now_seconds);
+  report.p99_micros = latency_.Quantile(0.99, horizon_seconds, now_seconds);
+  report.p50_ok = config_.p50_target_micros <= 0.0 || snap.count == 0 ||
+                  report.p50_micros <= config_.p50_target_micros;
+  report.p99_ok = config_.p99_target_micros <= 0.0 || snap.count == 0 ||
+                  report.p99_micros <= config_.p99_target_micros;
+
+  report.total = total_.Over(horizon_seconds, now_seconds);
+  report.errors =
+      std::min(errors_.Over(horizon_seconds, now_seconds), report.total);
+  if (report.total > 0) {
+    const double error_ratio = static_cast<double>(report.errors) /
+                               static_cast<double>(report.total);
+    report.availability = 1.0 - error_ratio;
+    const double budget = 1.0 - config_.availability_target;
+    report.burn_rate = error_ratio / budget;
+    report.availability_ok =
+        report.availability >= config_.availability_target;
+  }
+  return report;
+}
+
+std::vector<SloWindowReport> SloTracker::CanonicalReports(
+    double now_seconds) {
+  return {Report(kSloWindowMinute, now_seconds),
+          Report(kSloWindowFiveMinutes, now_seconds),
+          Report(kSloWindowHour, now_seconds)};
+}
+
+}  // namespace obs
+}  // namespace ssr

@@ -1,0 +1,107 @@
+// Windowed SLO tracking on top of obs/sliding_histogram.h. An SloTracker
+// owns one latency SlidingHistogram plus total/error SlidingCounters and
+// answers, for any horizon up to the ring span, "what were p50/p99, what
+// was availability, and how fast is the error budget burning?". The
+// canonical horizons are 1m / 5m / 1h (the ring defaults to 5s x 720
+// windows, exactly one hour).
+//
+// Burn rate follows the SRE convention: the ratio of the observed error
+// rate to the rate the availability target budgets for. A burn rate of 1.0
+// consumes the budget exactly as fast as it accrues; 14.4 (Google's classic
+// 1h page threshold for a 99.9% target) exhausts a 30-day budget in ~2
+// days. With zero traffic in the window, availability reports 1.0 and the
+// burn rate 0 — no data is not an outage.
+//
+// Feeding: Tick() delta-captures cumulative registry instruments (see
+// sliding_histogram.h for why that keeps the hot path untouched); tests and
+// components without registry instruments can feed ObserveLatency() /
+// RecordOutcomes() directly. Time is an explicit now_seconds everywhere.
+
+#ifndef SSR_OBS_SLO_H_
+#define SSR_OBS_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sliding_histogram.h"
+
+namespace ssr {
+namespace obs {
+
+/// The three canonical reporting horizons, in seconds.
+inline constexpr double kSloWindowMinute = 60.0;
+inline constexpr double kSloWindowFiveMinutes = 300.0;
+inline constexpr double kSloWindowHour = 3600.0;
+
+struct SloConfig {
+  /// Latency objectives, in microseconds. A window whose estimated
+  /// quantile exceeds the target is "out of SLO" for that quantile.
+  double p50_target_micros = 0.0;  // 0 disables the p50 objective
+  double p99_target_micros = 0.0;  // 0 disables the p99 objective
+
+  /// Availability objective in (0, 1), e.g. 0.999. The error budget is
+  /// 1 - availability_target.
+  double availability_target = 0.999;
+
+  /// Ring geometry. Defaults cover one hour at 5-second resolution.
+  double interval_seconds = 5.0;
+  std::size_t num_windows = 720;
+};
+
+/// Everything known about one horizon, computed in a single pass.
+struct SloWindowReport {
+  double horizon_seconds = 0.0;
+  double covered_seconds = 0.0;  // may be < horizon early in a run
+
+  std::uint64_t latency_count = 0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  bool p50_ok = true;  // vs. target; true when the objective is disabled
+  bool p99_ok = true;
+
+  std::uint64_t total = 0;
+  std::uint64_t errors = 0;
+  double availability = 1.0;  // 1.0 when total == 0
+  double burn_rate = 0.0;     // error ratio / error budget
+  bool availability_ok = true;
+};
+
+class SloTracker {
+ public:
+  /// `bounds` are the latency histogram bucket bounds (use
+  /// LatencyBoundsMicros() to delta-capture the repo's standard
+  /// *_latency_micros instruments).
+  SloTracker(std::vector<double> bounds, SloConfig config);
+
+  /// One periodic capture: credits the growth of the cumulative latency
+  /// histogram and the total/error counters to the current window. Null
+  /// sources are skipped, so a tracker can watch latency only.
+  void Tick(const Histogram* latency_source, const Counter* total_source,
+            const Counter* error_source, double now_seconds);
+
+  /// Direct feeds (tests, components without registry instruments).
+  void ObserveLatency(double micros, double now_seconds);
+  void RecordOutcomes(std::uint64_t total, std::uint64_t errors,
+                      double now_seconds);
+
+  /// The full report for one horizon.
+  SloWindowReport Report(double horizon_seconds, double now_seconds);
+
+  /// Reports for the three canonical horizons (1m, 5m, 1h), in that order.
+  std::vector<SloWindowReport> CanonicalReports(double now_seconds);
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  const SloConfig config_;
+  SlidingHistogram latency_;
+  SlidingCounter total_;
+  SlidingCounter errors_;
+};
+
+}  // namespace obs
+}  // namespace ssr
+
+#endif  // SSR_OBS_SLO_H_

@@ -1,0 +1,229 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace ssr {
+namespace server {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+bool RequestHeadComplete(std::string_view text) {
+  return text.find("\r\n\r\n") != std::string_view::npos ||
+         text.find("\n\n") != std::string_view::npos;
+}
+
+bool ParseRequest(std::string_view text, HttpRequest* out) {
+  *out = HttpRequest();
+  std::size_t pos = 0;
+  auto next_line = [&](std::string_view* line) {
+    if (pos >= text.size()) return false;
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) return false;
+    *line = StripCr(text.substr(pos, end - pos));
+    pos = end + 1;
+    return true;
+  };
+
+  std::string_view request_line;
+  if (!next_line(&request_line)) return false;
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  out->method = std::string(request_line.substr(0, sp1));
+  out->target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out->version = std::string(request_line.substr(sp2 + 1));
+  if (out->version.rfind("HTTP/", 0) != 0) return false;
+  if (out->target.empty() || out->target[0] != '/') return false;
+
+  const std::size_t q = out->target.find('?');
+  out->path = out->target.substr(0, q);
+  if (q != std::string::npos) {
+    std::string_view params(out->target);
+    params.remove_prefix(q + 1);
+    while (!params.empty()) {
+      std::size_t amp = params.find('&');
+      const std::string_view pair = params.substr(0, amp);
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out->query[std::string(pair)] = "";
+      } else {
+        out->query[std::string(pair.substr(0, eq))] =
+            std::string(pair.substr(eq + 1));
+      }
+      if (amp == std::string_view::npos) break;
+      params.remove_prefix(amp + 1);
+    }
+  }
+
+  std::string_view line;
+  while (next_line(&line)) {
+    if (line.empty()) return true;  // blank line: end of head
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    out->headers[ToLower(line.substr(0, colon))] = std::string(value);
+  }
+  return false;  // head never terminated
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += StatusReason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpGetResult HttpGet(const std::string& host, std::uint16_t port,
+                      const std::string& path, double timeout_seconds) {
+  HttpGetResult result;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    result.error = std::string("socket: ") + std::strerror(errno);
+    return result;
+  }
+
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout_seconds);
+  tv.tv_usec = static_cast<long>((timeout_seconds - tv.tv_sec) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    result.error = "inet_pton: invalid address '" + host + "'";
+    ::close(fd);
+    return result;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    result.error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return result;
+  }
+
+  std::string request = "GET ";
+  request += path;
+  request += " HTTP/1.1\r\nHost: ";
+  request += host;
+  request += "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      result.error = std::string("send: ") + std::strerror(errno);
+      ::close(fd);
+      return result;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      result.error = std::string("recv: ") + std::strerror(errno);
+      ::close(fd);
+      return result;
+    }
+    if (n == 0) break;  // server closed: response complete
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    result.error = "malformed response (no header terminator)";
+    return result;
+  }
+  const std::string_view head(raw.data(), head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || status_line.rfind("HTTP/", 0) != 0) {
+    result.error = "malformed status line";
+    return result;
+  }
+  result.status = std::atoi(std::string(status_line.substr(sp + 1)).c_str());
+
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view line = head.substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    result.headers[ToLower(line.substr(0, colon))] = std::string(value);
+  }
+
+  result.body = raw.substr(head_end + 4);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace server
+}  // namespace ssr

@@ -1,0 +1,73 @@
+// Minimal HTTP/1.1 plumbing for the introspection server: request parsing,
+// response serialization, and a tiny blocking GET client (tests, the
+// benchrunner's self-scrape, CI smoke checks). Deliberately not a general
+// HTTP stack — GET/HEAD only, no keep-alive, no chunked encoding, bodies
+// ignored on requests. That is exactly the surface a localhost scrape
+// endpoint needs, and nothing a dependency would buy us here.
+
+#ifndef SSR_SERVER_HTTP_H_
+#define SSR_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ssr {
+namespace server {
+
+struct HttpRequest {
+  std::string method;   // "GET", "HEAD", ...
+  std::string target;   // the raw request target, e.g. "/metrics?x=1"
+  std::string path;     // target up to '?'
+  std::string version;  // "HTTP/1.1"
+  /// Query parameters from the target, URL-decoding *not* applied (the
+  /// introspection endpoints take simple numeric/word values only).
+  std::map<std::string, std::string> query;
+  /// Header names lowercased.
+  std::map<std::string, std::string> headers;
+};
+
+/// Parses a full request head ("METHOD target HTTP/x.y\r\n" + header lines
+/// + blank line). Returns false on any syntax violation. `text` may
+/// contain bytes past the blank line; they are ignored.
+bool ParseRequest(std::string_view text, HttpRequest* out);
+
+/// True once `text` contains the complete request head (the CRLFCRLF or
+/// LFLF terminator) — the read loop's "stop reading" predicate.
+bool RequestHeadComplete(std::string_view text);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// The canonical reason phrase ("OK", "Not Found", ...) for the handful of
+/// status codes the server emits; "Unknown" otherwise.
+const char* StatusReason(int status);
+
+/// Serializes status line + Content-Type/Content-Length/Connection: close
+/// headers + body.
+std::string SerializeResponse(const HttpResponse& response);
+
+/// Outcome of a blocking HttpGet. `ok` means a well-formed response came
+/// back (whatever its status); transport failures set `error`.
+struct HttpGetResult {
+  bool ok = false;
+  int status = 0;
+  std::string body;
+  std::map<std::string, std::string> headers;  // names lowercased
+  std::string error;
+};
+
+/// Blocking GET http://<host>:<port><path> with a total deadline. Host is
+/// a numeric IPv4 address ("127.0.0.1") — this client only ever talks to
+/// the local introspection endpoint.
+HttpGetResult HttpGet(const std::string& host, std::uint16_t port,
+                      const std::string& path, double timeout_seconds = 5.0);
+
+}  // namespace server
+}  // namespace ssr
+
+#endif  // SSR_SERVER_HTTP_H_

@@ -1,0 +1,548 @@
+#include "server/introspection_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/exposition.h"
+#include "obs/json_writer.h"
+
+namespace ssr {
+namespace server {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+/// The scope label each canonical horizon's gauges live under.
+const char* WindowScope(double horizon) {
+  if (horizon == obs::kSloWindowMinute) return "slo/1m";
+  if (horizon == obs::kSloWindowFiveMinutes) return "slo/5m";
+  return "slo/1h";
+}
+
+void WriteSloWindow(obs::JsonWriter& w, const char* name,
+                    const obs::SloWindowReport& r) {
+  w.Key(name).BeginObject();
+  w.Key("horizon_seconds").Double(r.horizon_seconds);
+  w.Key("covered_seconds").Double(r.covered_seconds);
+  w.Key("latency_count").UInt(r.latency_count);
+  w.Key("p50_micros").Double(r.p50_micros);
+  w.Key("p99_micros").Double(r.p99_micros);
+  w.Key("p50_ok").Bool(r.p50_ok);
+  w.Key("p99_ok").Bool(r.p99_ok);
+  w.Key("total").UInt(r.total);
+  w.Key("errors").UInt(r.errors);
+  w.Key("availability").Double(r.availability);
+  w.Key("burn_rate").Double(r.burn_rate);
+  w.Key("availability_ok").Bool(r.availability_ok);
+  w.EndObject();
+}
+
+void WriteHealthReport(obs::JsonWriter& w, const obs::HealthReport& report) {
+  w.Key("status").String(obs::HealthVerdictName(report.verdict));
+  w.Key("reasons").BeginArray();
+  for (const obs::HealthReason& reason : report.reasons) {
+    w.BeginObject();
+    w.Key("code").String(reason.code);
+    w.Key("severity").String(obs::HealthVerdictName(reason.severity));
+    w.Key("detail").String(reason.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(IntrospectionServerOptions options,
+                                         obs::MetricsRegistry* registry,
+                                         obs::Tracer* tracer)
+    : options_(std::move(options)),
+      registry_(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Default()),
+      tracer_(tracer != nullptr ? tracer : &obs::Tracer::Default()),
+      epoch_(std::chrono::steady_clock::now()),
+      slo_(obs::LatencyBoundsMicros(), options_.slo),
+      health_(options_.health),
+      requests_total_(registry_->GetCounter("ssr_server_requests_total")),
+      rejected_total_(
+          registry_->GetCounter("ssr_server_connections_rejected_total")) {}
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+double IntrospectionServer::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void IntrospectionServer::SetSources(const StatusSources& sources) {
+  std::lock_guard<std::mutex> lock(sources_mu_);
+  sources_ = sources;
+}
+
+StatusSources IntrospectionServer::SourcesSnapshot() const {
+  std::lock_guard<std::mutex> lock(sources_mu_);
+  return sources_;
+}
+
+Status IntrospectionServer::Start() {
+  if (running()) return Status::FailedPrecondition("server already running");
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  // Wake accept() periodically so Stop() is never blocked on a quiet port.
+  timeval accept_tv{};
+  accept_tv.tv_usec = 200 * 1000;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_RCVTIMEO, &accept_tv,
+               sizeof(accept_tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind: " + err);
+  }
+  if (::listen(listen_fd_, static_cast<int>(options_.max_connections)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("getsockname: " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  const std::size_t handlers = std::max<std::size_t>(1,
+                                                     options_.handler_threads);
+  handler_threads_.reserve(handlers);
+  for (std::size_t i = 0; i < handlers; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.tick_interval_seconds > 0.0) {
+    tick_thread_ = std::thread([this] { TickLoop(); });
+  }
+  return Status::OK();
+}
+
+void IntrospectionServer::Stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+  if (tick_thread_.joinable()) tick_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (const int fd : pending_fds_) ::close(fd);
+    pending_fds_.clear();
+    in_flight_ = 0;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void IntrospectionServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;  // timeout (EAGAIN) or shutdown race
+    bool accepted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_fds_.size() + in_flight_ < options_.max_connections) {
+        pending_fds_.push_back(fd);
+        accepted = true;
+      }
+    }
+    if (accepted) {
+      queue_cv_.notify_one();
+      continue;
+    }
+    // Over the connection bound: answer 503 inline and move on. The write
+    // is best-effort — a peer that already went away changes nothing.
+    rejected_total_->Increment();
+    HttpResponse busy;
+    busy.status = 503;
+    busy.body = "introspection server at connection capacity\n";
+    const std::string wire = SerializeResponse(busy);
+    (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  }
+}
+
+void IntrospectionServer::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               !pending_fds_.empty();
+      });
+      if (pending_fds_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+      ++in_flight_;
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+    }
+  }
+}
+
+void IntrospectionServer::ServeConnection(int fd) {
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(options_.read_timeout_seconds);
+  tv.tv_usec = static_cast<long>(
+      (options_.read_timeout_seconds - tv.tv_sec) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string raw;
+  char buf[2048];
+  while (raw.size() < kMaxRequestBytes && !RequestHeadComplete(raw)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // timeout, error, or peer close
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  HttpRequest request;
+  bool head_only = false;
+  if (!RequestHeadComplete(raw) || !ParseRequest(raw, &request)) {
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    head_only = request.method == "HEAD";
+    response = Handle(request);
+  }
+
+  std::string wire = SerializeResponse(response);
+  if (head_only) {
+    wire.resize(wire.find("\r\n\r\n") + 4);
+  }
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+void IntrospectionServer::TickLoop() {
+  double last_tick = NowSeconds();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const double now = NowSeconds();
+    if (now - last_tick < options_.tick_interval_seconds) continue;
+    last_tick = now;
+    Tick(now);
+  }
+}
+
+void IntrospectionServer::Tick(double now_seconds) {
+  const StatusSources sources = SourcesSnapshot();
+  slo_.Tick(sources.slo_latency, sources.slo_total, sources.slo_errors,
+            now_seconds);
+
+  for (const obs::SloWindowReport& r : slo_.CanonicalReports(now_seconds)) {
+    const char* scope = WindowScope(r.horizon_seconds);
+    registry_->GetGauge("ssr_slo_p50_micros", scope)->Set(r.p50_micros);
+    registry_->GetGauge("ssr_slo_p99_micros", scope)->Set(r.p99_micros);
+    registry_->GetGauge("ssr_slo_availability", scope)->Set(r.availability);
+    registry_->GetGauge("ssr_slo_burn_rate", scope)->Set(r.burn_rate);
+  }
+  const obs::HealthReport report =
+      health_.Evaluate(BuildHealthInputs(sources, now_seconds));
+  registry_->GetGauge("ssr_health_verdict")
+      ->Set(static_cast<double>(report.verdict));
+}
+
+obs::HealthInputs IntrospectionServer::BuildHealthInputs(
+    const StatusSources& sources, double now_seconds) {
+  obs::HealthInputs inputs;
+  if (sources.sharded_index != nullptr) {
+    inputs.shards_total = sources.sharded_index->num_shards();
+    for (std::uint32_t s = 0; s < sources.sharded_index->num_shards(); ++s) {
+      if (sources.sharded_index->shard_degraded(s)) ++inputs.shards_degraded;
+    }
+  }
+  inputs.has_slo = true;
+  inputs.slo_fast = slo_.Report(obs::kSloWindowMinute, now_seconds);
+  inputs.slo_slow = slo_.Report(obs::kSloWindowHour, now_seconds);
+  if (sources.wal != nullptr) {
+    inputs.has_wal = true;
+    inputs.wal_last_lsn = sources.wal->last_lsn();
+    inputs.wal_synced_lsn = sources.wal->synced_lsn();
+  }
+  if (sources.shadow_oracle != nullptr &&
+      sources.shadow_oracle->sampled() > 0) {
+    inputs.has_recall = true;
+    inputs.observed_recall = sources.shadow_oracle->overall().MeanRecall();
+  }
+  return inputs;
+}
+
+obs::HealthReport IntrospectionServer::Health(double now_seconds) {
+  return health_.Evaluate(
+      BuildHealthInputs(SourcesSnapshot(), now_seconds));
+}
+
+HttpResponse IntrospectionServer::Handle(const HttpRequest& request) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  requests_total_->Increment();
+  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/healthz") return HandleHealthz();
+  if (request.path == "/statusz") return HandleStatusz();
+  if (request.path == "/tracez") return HandleTracez(request);
+  if (request.path == "/varz") return HandleVarz();
+
+  HttpResponse response;
+  response.status = 404;
+  response.content_type = "application/json";
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("error").String("no such endpoint: " + request.path);
+  w.Key("endpoints").BeginArray();
+  for (const char* e : {"/metrics", "/healthz", "/statusz", "/tracez",
+                        "/varz"}) {
+    w.String(e);
+  }
+  w.EndArray();
+  w.EndObject();
+  response.body = w.str();
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleMetrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = obs::PrometheusText(*registry_);
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleHealthz() {
+  const obs::HealthReport report = Health(NowSeconds());
+  HttpResponse response;
+  // Degraded still serves traffic (partial answers), so it stays 200 for
+  // load-balancer checks; only Unhealthy turns the endpoint red.
+  response.status =
+      report.verdict == obs::HealthVerdict::kUnhealthy ? 503 : 200;
+  response.content_type = "application/json";
+  obs::JsonWriter w;
+  w.BeginObject();
+  WriteHealthReport(w, report);
+  w.EndObject();
+  response.body = w.str();
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleStatusz() {
+  const double now = NowSeconds();
+  const StatusSources sources = SourcesSnapshot();
+
+  HttpResponse response;
+  response.content_type = "application/json";
+  obs::JsonWriter w;
+  w.BeginObject();
+
+  w.Key("server").BeginObject();
+  w.Key("uptime_seconds").Double(now);
+  w.Key("port").UInt(port_);
+  w.Key("requests_served").UInt(requests_served());
+  w.EndObject();
+
+  w.Key("health").BeginObject();
+  WriteHealthReport(w, health_.Evaluate(BuildHealthInputs(sources, now)));
+  w.EndObject();
+
+  w.Key("slo").BeginObject();
+  const std::vector<obs::SloWindowReport> reports =
+      slo_.CanonicalReports(now);
+  WriteSloWindow(w, "1m", reports[0]);
+  WriteSloWindow(w, "5m", reports[1]);
+  WriteSloWindow(w, "1h", reports[2]);
+  w.EndObject();
+
+  if (sources.sharded_index != nullptr) {
+    const shard::ShardedSetSimilarityIndex& index = *sources.sharded_index;
+    w.Key("shards").BeginObject();
+    w.Key("total").UInt(index.num_shards());
+    w.Key("live_sets").UInt(index.num_live_sets());
+    w.Key("states").BeginArray();
+    for (std::uint32_t s = 0; s < index.num_shards(); ++s) {
+      w.BeginObject();
+      w.Key("shard").UInt(s);
+      w.Key("degraded").Bool(index.shard_degraded(s));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+
+  if (sources.wal != nullptr) {
+    const WalWriter& wal = *sources.wal;
+    w.Key("wal").BeginObject();
+    w.Key("last_lsn").UInt(wal.last_lsn());
+    w.Key("synced_lsn").UInt(wal.synced_lsn());
+    w.Key("sync_lag_records").UInt(wal.last_lsn() - wal.synced_lsn());
+    w.EndObject();
+  }
+
+  if (sources.last_recovery != nullptr) {
+    const RecoveryReport& r = *sources.last_recovery;
+    w.Key("last_recovery").BeginObject();
+    w.Key("salvaged").Bool(r.salvaged);
+    w.Key("pages_quarantined").UInt(r.pages_quarantined);
+    w.Key("records_quarantined").UInt(r.records_quarantined);
+    w.Key("wal_records_replayed").UInt(r.wal_records_replayed);
+    w.Key("wal_records_skipped").UInt(r.wal_records_skipped);
+    w.Key("wal_bytes_truncated").UInt(r.wal_bytes_truncated);
+    w.Key("wal_tail_truncated").Bool(r.wal_tail_truncated);
+    w.Key("wal_shards_quarantined").UInt(r.wal_shards_quarantined);
+    w.Key("recovery_seconds").Double(r.wal_recovery_seconds);
+    w.EndObject();
+  }
+
+  if (sources.thread_pool != nullptr) {
+    const exec::ThreadPool& pool = *sources.thread_pool;
+    w.Key("thread_pool").BeginObject();
+    w.Key("workers").UInt(pool.size());
+    w.Key("jobs_run").UInt(pool.jobs_run());
+    w.Key("busy").Bool(pool.busy());
+    w.EndObject();
+  }
+
+  if (sources.buffer_pool != nullptr) {
+    const BufferPool& pool = *sources.buffer_pool;
+    const BufferPoolStats stats = pool.stats();
+    w.Key("buffer_pool").BeginObject();
+    w.Key("capacity_pages").UInt(pool.capacity());
+    w.Key("resident_pages").UInt(pool.resident());
+    w.Key("hits").UInt(stats.hits);
+    w.Key("misses").UInt(stats.misses);
+    w.Key("evictions").UInt(stats.evictions);
+    w.Key("hit_rate").Double(stats.hit_rate());
+    w.EndObject();
+  }
+
+  if (sources.shadow_oracle != nullptr) {
+    const obs::ShadowOracleEstimator& shadow = *sources.shadow_oracle;
+    const obs::ShadowBucketStats overall = shadow.overall();
+    w.Key("shadow_oracle").BeginObject();
+    w.Key("offered").UInt(shadow.offered());
+    w.Key("sampled").UInt(shadow.sampled());
+    w.Key("observed_recall").Double(overall.MeanRecall());
+    w.Key("observed_precision").Double(overall.MeanPrecision());
+    w.EndObject();
+  }
+
+  w.EndObject();
+  response.body = w.str();
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleTracez(const HttpRequest& request) {
+  std::size_t limit = options_.tracez_limit;
+  const auto it = request.query.find("limit");
+  if (it != request.query.end()) {
+    const long parsed = std::atol(it->second.c_str());
+    if (parsed > 0) {
+      limit = std::min<std::size_t>(static_cast<std::size_t>(parsed),
+                                    options_.tracez_limit);
+    }
+  }
+
+  std::vector<obs::SpanRecord> spans = tracer_->Snapshot();
+  const std::size_t start = spans.size() > limit ? spans.size() - limit : 0;
+
+  HttpResponse response;
+  response.content_type = "application/json";
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("enabled").Bool(tracer_->enabled());
+  w.Key("capacity").UInt(tracer_->capacity());
+  w.Key("total_recorded").UInt(tracer_->total_recorded());
+  w.Key("spans").BeginArray();
+  for (std::size_t i = start; i < spans.size(); ++i) {
+    const obs::SpanRecord& span = spans[i];
+    w.BeginObject();
+    w.Key("id").UInt(span.id);
+    w.Key("parent_id").UInt(span.parent_id);
+    w.Key("depth").UInt(span.depth);
+    w.Key("worker").UInt(span.worker);
+    w.Key("name").String(span.name);
+    w.Key("start_us").Double(span.start_micros);
+    w.Key("duration_us").Double(span.duration_micros);
+    w.Key("tags").BeginObject();
+    for (const auto& [key, value] : span.tags) {
+      w.Key(key).String(value);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  response.body = w.str();
+  return response;
+}
+
+HttpResponse IntrospectionServer::HandleVarz() {
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = obs::MetricsJson(*registry_);
+  return response;
+}
+
+}  // namespace server
+}  // namespace ssr

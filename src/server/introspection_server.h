@@ -1,0 +1,214 @@
+// The live introspection plane: a small, dependency-free, thread-based
+// HTTP/1.1 endpoint bound to localhost that makes a running process
+// observable while it runs — the scaffolding the ROADMAP's network front
+// end (admission control, SLO gating) will stand on.
+//
+// Endpoints:
+//   /metrics  Prometheus text exposition of the metrics registry. Each
+//             histogram family is rendered from a single pass of bucket
+//             reads, so a scrape taken mid-mutation is internally
+//             consistent (validated by obs::ValidateExposition in tests).
+//   /healthz  The HealthModel verdict as JSON. HTTP 200 while the system
+//             is healthy or degraded-but-serving, 503 when unhealthy.
+//   /statusz  Full system state as JSON: health + SLO windows (1m/5m/1h
+//             p50/p99, availability, burn rate), per-shard degraded flags,
+//             WAL last_lsn/synced_lsn + last recovery report, thread-pool
+//             and buffer-pool occupancy, shadow-oracle observed recall.
+//   /tracez   The last-N completed spans from the trace ring as JSON
+//             (?limit=N, capped at the configured maximum).
+//   /varz     Raw registry dump (counters/gauges/histograms) as JSON.
+//
+// Concurrency model: one accept thread and a fixed pool of handler
+// threads; connections beyond the queue bound get an immediate 503. A
+// periodic tick thread delta-captures the configured cumulative SLO
+// instruments into the windowed tracker and republishes the ssr_slo_* /
+// ssr_health_verdict gauges — the hot query path never takes a lock for
+// any of this beyond the relaxed registry adds it already performs.
+//
+// Every data source is optional (SetSources): absent planes simply drop
+// out of /statusz and trigger no health rules, so a serial bench can run
+// the server with nothing but the registry attached.
+
+#ifndef SSR_SERVER_INTROSPECTION_SERVER_H_
+#define SSR_SERVER_INTROSPECTION_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/shadow_oracle.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "server/http.h"
+#include "shard/sharded_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace ssr {
+namespace server {
+
+struct IntrospectionServerOptions {
+  /// Bind address; the introspection plane is localhost-only by design.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+
+  /// Handler threads and the accept queue bound. Connections arriving
+  /// while `max_connections` are queued or in flight are answered 503.
+  std::size_t handler_threads = 2;
+  std::size_t max_connections = 8;
+
+  /// Per-connection socket read timeout.
+  double read_timeout_seconds = 2.0;
+
+  /// Tick-thread period for SLO delta capture and gauge republication;
+  /// <= 0 disables the tick thread (Tick() can still be driven manually,
+  /// which is what the tests do).
+  double tick_interval_seconds = 1.0;
+
+  /// Default and hard cap for the span count /tracez returns.
+  std::size_t tracez_limit = 256;
+
+  /// SLO objectives and ring geometry for the windowed tracker.
+  obs::SloConfig slo;
+  /// Health-verdict thresholds.
+  obs::HealthThresholds health;
+};
+
+/// Optional live-state sources for /statusz and the health model. All
+/// pointers are borrowed and must outlive the server (or be cleared with
+/// another SetSources call first).
+struct StatusSources {
+  const shard::ShardedSetSimilarityIndex* sharded_index = nullptr;
+  const WalWriter* wal = nullptr;
+  const RecoveryReport* last_recovery = nullptr;
+  const exec::ThreadPool* thread_pool = nullptr;
+  const BufferPool* buffer_pool = nullptr;
+  const obs::ShadowOracleEstimator* shadow_oracle = nullptr;
+
+  /// Cumulative instruments the SLO windows delta-capture on each tick:
+  /// a latency histogram (bounds must be obs::LatencyBoundsMicros() to
+  /// match the tracker) and total/error counters for availability. Any of
+  /// them may be null.
+  const obs::Histogram* slo_latency = nullptr;
+  const obs::Counter* slo_total = nullptr;
+  const obs::Counter* slo_errors = nullptr;
+};
+
+class IntrospectionServer {
+ public:
+  /// `registry`/`tracer` default to the process-wide instances.
+  explicit IntrospectionServer(IntrospectionServerOptions options = {},
+                               obs::MetricsRegistry* registry = nullptr,
+                               obs::Tracer* tracer = nullptr);
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// Binds, listens, and starts the accept/handler/tick threads. Fails if
+  /// already running or the port cannot be bound.
+  Status Start();
+
+  /// Stops all threads and closes the socket. Idempotent; the destructor
+  /// calls it.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves option port 0 to the actual ephemeral port).
+  /// Meaningful only while running.
+  std::uint16_t port() const { return port_; }
+
+  /// Replaces the live-state sources (thread-safe; takes effect on the
+  /// next scrape/tick).
+  void SetSources(const StatusSources& sources);
+
+  /// One SLO capture + gauge republication at `now_seconds` (the tick
+  /// thread calls this with the server's monotonic clock; tests drive it
+  /// with a manual clock).
+  void Tick(double now_seconds);
+
+  /// Evaluates the health model against the current sources and SLO
+  /// windows. This is exactly what /healthz serves.
+  obs::HealthReport Health(double now_seconds);
+
+  /// Dispatches one parsed request to the endpoint handlers. Exposed so
+  /// tests can exercise rendering without a socket.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Seconds on the server's monotonic clock (zero at construction) — the
+  /// time base the tick thread feeds to Tick().
+  double NowSeconds() const;
+
+  /// Requests served since Start (all endpoints, including 404s).
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  const IntrospectionServerOptions& options() const { return options_; }
+  obs::SloTracker& slo_tracker() { return slo_; }
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void TickLoop();
+  void ServeConnection(int fd);
+
+  HttpResponse HandleMetrics();
+  HttpResponse HandleHealthz();
+  HttpResponse HandleStatusz();
+  HttpResponse HandleTracez(const HttpRequest& request);
+  HttpResponse HandleVarz();
+
+  /// Snapshot of the sources under sources_mu_.
+  StatusSources SourcesSnapshot() const;
+  /// Builds the health-model inputs from a sources snapshot + SLO windows.
+  obs::HealthInputs BuildHealthInputs(const StatusSources& sources,
+                                      double now_seconds);
+
+  const IntrospectionServerOptions options_;
+  obs::MetricsRegistry* const registry_;
+  obs::Tracer* const tracer_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  obs::SloTracker slo_;
+  obs::HealthModel health_;
+
+  mutable std::mutex sources_mu_;
+  StatusSources sources_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+  std::thread tick_thread_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+  std::size_t in_flight_ = 0;  // connections being served right now
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  obs::Counter* requests_total_;
+  obs::Counter* rejected_total_;
+};
+
+}  // namespace server
+}  // namespace ssr
+
+#endif  // SSR_SERVER_INTROSPECTION_SERVER_H_

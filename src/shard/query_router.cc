@@ -27,6 +27,8 @@ QueryRouter::QueryRouter(const ShardedSetSimilarityIndex& index,
         "ssr_router_shard_latency_micros",
         options_.metrics_scope + "/shard/" + std::to_string(s), bounds));
   }
+  query_latency_ = registry.GetHistogram("ssr_router_query_latency_micros",
+                                         options_.metrics_scope, bounds);
 }
 
 void QueryRouter::ObserveRoutedAnswer(const ElementSet& query, double sigma1,
@@ -57,6 +59,14 @@ Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
   static obs::Counter* const partials = obs::MetricsRegistry::Default()
       .GetCounter("ssr_router_partial_answers_total");
   queries->Increment();
+
+  // End-to-end latency covers every exit path (including rejected queries:
+  // a caller-bug rejection is still time the front end spent answering).
+  struct LatencyGuard {
+    Stopwatch watch;
+    obs::Histogram* hist;
+    ~LatencyGuard() { hist->Observe(watch.ElapsedSeconds() * 1e6); }
+  } latency_guard{Stopwatch(), query_latency_};
 
   const std::uint32_t num_shards = index_->num_shards();
   obs::TraceSpan span("router_query");

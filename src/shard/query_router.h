@@ -121,6 +121,10 @@ class QueryRouter {
   /// in RunBatch. This is where shard skew becomes visible — the modeled
   /// makespan scalar only reports the max.
   std::vector<obs::Histogram*> shard_latency_;
+  /// End-to-end routed query latency (scatter + gather + merge) under the
+  /// router's scope: the series the SLO windows track for the sharded
+  /// front end, the sharded counterpart of ssr_index_query_latency_micros.
+  obs::Histogram* query_latency_;
 };
 
 }  // namespace shard

@@ -1,0 +1,158 @@
+// Health-model ladder tests: every rung pinned as a pure function over
+// HealthInputs — shard quarantine (degraded, escalating past the fraction
+// bound), fast/slow SLO burn, p99 violation, WAL sync lag, recall drift,
+// and max-severity folding when several rules fire at once.
+
+#include "obs/health.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace obs {
+namespace {
+
+bool HasReason(const HealthReport& report, const std::string& code) {
+  return std::any_of(report.reasons.begin(), report.reasons.end(),
+                     [&code](const HealthReason& r) { return r.code == code; });
+}
+
+TEST(HealthModelTest, EmptyInputsAreHealthy) {
+  const HealthReport report = EvaluateHealth(HealthInputs{},
+                                             HealthThresholds{});
+  EXPECT_EQ(report.verdict, HealthVerdict::kHealthy);
+  EXPECT_TRUE(report.reasons.empty());
+}
+
+TEST(HealthModelTest, VerdictNames) {
+  EXPECT_STREQ(HealthVerdictName(HealthVerdict::kHealthy), "healthy");
+  EXPECT_STREQ(HealthVerdictName(HealthVerdict::kDegraded), "degraded");
+  EXPECT_STREQ(HealthVerdictName(HealthVerdict::kUnhealthy), "unhealthy");
+}
+
+TEST(HealthModelTest, OneQuarantinedShardIsDegraded) {
+  HealthInputs inputs;
+  inputs.shards_total = 4;
+  inputs.shards_degraded = 1;
+  const HealthReport report = EvaluateHealth(inputs, HealthThresholds{});
+  EXPECT_EQ(report.verdict, HealthVerdict::kDegraded);
+  ASSERT_EQ(report.reasons.size(), 1u);
+  EXPECT_EQ(report.reasons[0].code, "shard_quarantine");
+  EXPECT_EQ(report.reasons[0].severity, HealthVerdict::kDegraded);
+}
+
+TEST(HealthModelTest, MajorityShardLossIsUnhealthy) {
+  HealthInputs inputs;
+  inputs.shards_total = 4;
+  inputs.shards_degraded = 2;  // exactly half: still degraded (> 0.5 rule)
+  EXPECT_EQ(EvaluateHealth(inputs, HealthThresholds{}).verdict,
+            HealthVerdict::kDegraded);
+  inputs.shards_degraded = 3;  // strict majority
+  EXPECT_EQ(EvaluateHealth(inputs, HealthThresholds{}).verdict,
+            HealthVerdict::kUnhealthy);
+}
+
+TEST(HealthModelTest, FastBurnAtPageLevelIsUnhealthy) {
+  HealthInputs inputs;
+  inputs.has_slo = true;
+  inputs.slo_fast.burn_rate = 14.4;  // at the page threshold (>=)
+  const HealthReport report = EvaluateHealth(inputs, HealthThresholds{});
+  EXPECT_EQ(report.verdict, HealthVerdict::kUnhealthy);
+  EXPECT_TRUE(HasReason(report, "slo_burn_fast"));
+}
+
+TEST(HealthModelTest, SlowBurnAboveOneIsDegraded) {
+  HealthInputs inputs;
+  inputs.has_slo = true;
+  inputs.slo_slow.burn_rate = 2.0;
+  const HealthReport report = EvaluateHealth(inputs, HealthThresholds{});
+  EXPECT_EQ(report.verdict, HealthVerdict::kDegraded);
+  EXPECT_TRUE(HasReason(report, "slo_burn_slow"));
+  // Under 1.0: budget accrues faster than it burns — healthy.
+  inputs.slo_slow.burn_rate = 0.5;
+  EXPECT_EQ(EvaluateHealth(inputs, HealthThresholds{}).verdict,
+            HealthVerdict::kHealthy);
+}
+
+TEST(HealthModelTest, P99ViolationIsDegraded) {
+  HealthInputs inputs;
+  inputs.has_slo = true;
+  inputs.slo_fast.p99_ok = false;
+  inputs.slo_fast.p99_micros = 9000.0;
+  const HealthReport report = EvaluateHealth(inputs, HealthThresholds{});
+  EXPECT_EQ(report.verdict, HealthVerdict::kDegraded);
+  EXPECT_TRUE(HasReason(report, "slo_latency_p99"));
+}
+
+TEST(HealthModelTest, WalLagLadder) {
+  HealthInputs inputs;
+  inputs.has_wal = true;
+  inputs.wal_last_lsn = 2000;
+  inputs.wal_synced_lsn = 1990;  // lag 10: under the warning bound
+  EXPECT_EQ(EvaluateHealth(inputs, HealthThresholds{}).verdict,
+            HealthVerdict::kHealthy);
+
+  inputs.wal_synced_lsn = 2000 - 1024;  // exactly the degraded bound
+  HealthReport report = EvaluateHealth(inputs, HealthThresholds{});
+  EXPECT_EQ(report.verdict, HealthVerdict::kDegraded);
+  EXPECT_TRUE(HasReason(report, "wal_sync_lag"));
+
+  inputs.wal_last_lsn = 70000;
+  inputs.wal_synced_lsn = 0;  // past the critical bound
+  report = EvaluateHealth(inputs, HealthThresholds{});
+  EXPECT_EQ(report.verdict, HealthVerdict::kUnhealthy);
+}
+
+TEST(HealthModelTest, SyncedWalTriggersNothingEvenWithZeroLsns) {
+  HealthInputs inputs;
+  inputs.has_wal = true;  // attached but idle
+  EXPECT_EQ(EvaluateHealth(inputs, HealthThresholds{}).verdict,
+            HealthVerdict::kHealthy);
+}
+
+TEST(HealthModelTest, RecallDriftIsDegraded) {
+  HealthInputs inputs;
+  inputs.has_recall = true;
+  inputs.observed_recall = 0.6;
+  const HealthReport report = EvaluateHealth(inputs, HealthThresholds{});
+  EXPECT_EQ(report.verdict, HealthVerdict::kDegraded);
+  EXPECT_TRUE(HasReason(report, "recall_drift"));
+  // Without the has_recall flag the same number is ignored (no samples yet).
+  inputs.has_recall = false;
+  EXPECT_EQ(EvaluateHealth(inputs, HealthThresholds{}).verdict,
+            HealthVerdict::kHealthy);
+}
+
+TEST(HealthModelTest, VerdictIsMaxSeverityAndAllRulesReport) {
+  HealthInputs inputs;
+  inputs.shards_total = 4;
+  inputs.shards_degraded = 1;  // degraded
+  inputs.has_slo = true;
+  inputs.slo_fast.burn_rate = 100.0;  // unhealthy
+  inputs.has_recall = true;
+  inputs.observed_recall = 0.1;  // degraded
+  const HealthReport report = EvaluateHealth(inputs, HealthThresholds{});
+  EXPECT_EQ(report.verdict, HealthVerdict::kUnhealthy);
+  EXPECT_EQ(report.reasons.size(), 3u);
+  EXPECT_TRUE(HasReason(report, "shard_quarantine"));
+  EXPECT_TRUE(HasReason(report, "slo_burn_fast"));
+  EXPECT_TRUE(HasReason(report, "recall_drift"));
+}
+
+TEST(HealthModelTest, CustomThresholdsApply) {
+  HealthThresholds thresholds;
+  thresholds.recall_floor = 0.95;
+  HealthInputs inputs;
+  inputs.has_recall = true;
+  inputs.observed_recall = 0.9;  // fine by default, not by these
+  EXPECT_EQ(EvaluateHealth(inputs, HealthThresholds{}).verdict,
+            HealthVerdict::kHealthy);
+  const HealthModel model(thresholds);
+  EXPECT_EQ(model.Evaluate(inputs).verdict, HealthVerdict::kDegraded);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

@@ -1,0 +1,183 @@
+// SlidingHistogram / SlidingCounter contract tests: ring rotation under a
+// manual clock, horizon merging and decay, quantile interpolation, and the
+// delta-capture cursor over cumulative registry instruments (first capture
+// credits nothing; a source Reset re-syncs instead of going negative).
+
+#include "obs/sliding_histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace ssr {
+namespace obs {
+namespace {
+
+std::vector<double> Bounds() { return {10.0, 100.0, 1000.0}; }
+
+TEST(SlidingHistogramTest, ObserveAndQuantileWithinOneWindow) {
+  SlidingHistogram h(Bounds(), /*interval_seconds=*/5.0, /*num_windows=*/12);
+  // 50 observations <= 10, 40 in (10, 100], 10 in (100, 1000].
+  for (int i = 0; i < 50; ++i) h.Observe(5.0, 0.0);
+  for (int i = 0; i < 40; ++i) h.Observe(50.0, 0.0);
+  for (int i = 0; i < 10; ++i) h.Observe(500.0, 0.0);
+
+  const auto snap = h.Over(60.0, 0.0);
+  EXPECT_EQ(snap.count, 100u);
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 50u);
+  EXPECT_EQ(snap.counts[1], 40u);
+  EXPECT_EQ(snap.counts[2], 10u);
+  EXPECT_EQ(snap.counts[3], 0u);
+
+  // p50 lands exactly on the first bucket's upper bound (rank 50 of 50 in
+  // bucket [0, 10], interpolated to the top).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5, 60.0, 0.0), 10.0);
+  // p99 -> rank 99 inside the third bucket (counts 90..100 span it).
+  const double p99 = h.Quantile(0.99, 60.0, 0.0);
+  EXPECT_GT(p99, 100.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5, 60.0, 100.0), 0.0) << "decayed to empty";
+}
+
+TEST(SlidingHistogramTest, HorizonSelectsOnlyRecentWindows) {
+  SlidingHistogram h(Bounds(), 5.0, 12);
+  h.Observe(5.0, 0.0);    // window [0, 5)
+  h.Observe(50.0, 7.0);   // window [5, 10)
+  h.Observe(500.0, 12.0); // window [10, 15)
+
+  // A 5-second horizon at t=12 merges just the current window.
+  auto snap = h.Over(5.0, 12.0);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  // A 10-second horizon adds the previous one.
+  snap = h.Over(10.0, 12.0);
+  EXPECT_EQ(snap.count, 2u);
+  // The full ring still sees all three.
+  snap = h.Over(3600.0, 12.0);
+  EXPECT_EQ(snap.count, 3u);
+}
+
+TEST(SlidingHistogramTest, OldWindowsDecayAsTheClockAdvances) {
+  SlidingHistogram h(Bounds(), 1.0, 4);  // 4-second ring
+  h.Observe(5.0, 0.0);
+  EXPECT_EQ(h.Over(10.0, 0.0).count, 1u);
+  EXPECT_EQ(h.Over(10.0, 3.5).count, 1u);  // still inside the ring
+  EXPECT_EQ(h.Over(10.0, 4.5).count, 0u);  // rotated out
+}
+
+TEST(SlidingHistogramTest, LargeClockSkipZeroesTheRing) {
+  SlidingHistogram h(Bounds(), 1.0, 4);
+  h.Observe(5.0, 0.0);
+  // Jump far past the ring span: everything must clear, and the structure
+  // must keep accepting observations at the new time base.
+  h.Observe(50.0, 1000.0);
+  const auto snap = h.Over(10.0, 1000.0);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+}
+
+TEST(SlidingHistogramTest, CoveredSecondsReportsPartialHorizons) {
+  SlidingHistogram h(Bounds(), 5.0, 720);
+  h.Observe(5.0, 0.0);
+  // 2 seconds into the first window, a 1h horizon has only 2s of data.
+  const auto snap = h.Over(3600.0, 2.0);
+  EXPECT_DOUBLE_EQ(snap.covered_seconds, 2.0);
+  // After 3 full windows + 1s, coverage is 16s.
+  const auto later = h.Over(3600.0, 16.0);
+  EXPECT_DOUBLE_EQ(later.covered_seconds, 16.0);
+}
+
+TEST(SlidingHistogramTest, AddBucketFeedsTheOverflowBucket) {
+  SlidingHistogram h(Bounds(), 5.0, 12);
+  h.AddBucket(3, 7, 0.0);  // the overflow bucket
+  const auto snap = h.Over(60.0, 0.0);
+  EXPECT_EQ(snap.counts[3], 7u);
+  // Overflow observations quote the last finite bound, not infinity.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99, 60.0, 0.0), 1000.0);
+}
+
+TEST(SlidingHistogramTest, CaptureDeltaCreditsOnlyGrowth) {
+  MetricsRegistry registry;
+  Histogram* source = registry.GetHistogram("test_latency", "", Bounds());
+  for (int i = 0; i < 20; ++i) source->Observe(5.0);
+
+  SlidingHistogram h(Bounds(), 5.0, 12);
+  // First capture establishes the cursor: the 20 pre-existing
+  // observations are history, not "this window".
+  h.CaptureDelta(*source, 0.0);
+  EXPECT_EQ(h.Over(60.0, 0.0).count, 0u);
+
+  for (int i = 0; i < 3; ++i) source->Observe(50.0);
+  h.CaptureDelta(*source, 1.0);
+  const auto snap = h.Over(60.0, 1.0);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.counts[1], 3u);
+}
+
+TEST(SlidingHistogramTest, CaptureDeltaResyncsAfterSourceReset) {
+  MetricsRegistry registry;
+  Histogram* source = registry.GetHistogram("test_latency", "", Bounds());
+  SlidingHistogram h(Bounds(), 5.0, 12);
+  h.CaptureDelta(*source, 0.0);
+  source->Observe(5.0);
+  h.CaptureDelta(*source, 1.0);
+  EXPECT_EQ(h.Over(60.0, 1.0).count, 1u);
+
+  // Between-phases idiom: the source resets. The capture that sees the
+  // wrapped-around value must credit nothing (no bogus negative delta),
+  // and growth after the re-sync is credited normally again.
+  registry.ResetAll();
+  h.CaptureDelta(*source, 2.0);
+  EXPECT_EQ(h.Over(60.0, 2.0).count, 1u) << "reset credited a wrap";
+  source->Observe(50.0);
+  h.CaptureDelta(*source, 3.0);
+  EXPECT_EQ(h.Over(60.0, 3.0).count, 2u);
+}
+
+TEST(SlidingHistogramTest, CaptureDeltaIgnoresMismatchedBounds) {
+  MetricsRegistry registry;
+  Histogram* other =
+      registry.GetHistogram("test_other", "", {1.0, 2.0});
+  SlidingHistogram h(Bounds(), 5.0, 12);
+  other->Observe(1.5);
+  h.CaptureDelta(*other, 0.0);
+  other->Observe(1.5);
+  h.CaptureDelta(*other, 1.0);
+  EXPECT_EQ(h.Over(60.0, 1.0).count, 0u);
+}
+
+TEST(SlidingCounterTest, AddOverAndDecay) {
+  SlidingCounter c(5.0, 12);
+  c.Add(10, 0.0);
+  c.Add(5, 7.0);
+  EXPECT_EQ(c.Over(5.0, 7.0), 5u);
+  EXPECT_EQ(c.Over(60.0, 7.0), 15u);
+  EXPECT_EQ(c.Over(60.0, 7.0 + 12 * 5.0), 0u);
+}
+
+TEST(SlidingCounterTest, CaptureDeltaAndReset) {
+  MetricsRegistry registry;
+  Counter* source = registry.GetCounter("test_total");
+  source->Add(100);
+
+  SlidingCounter c(5.0, 12);
+  c.CaptureDelta(*source, 0.0);
+  EXPECT_EQ(c.Over(60.0, 0.0), 0u) << "first capture is the baseline";
+  source->Add(7);
+  c.CaptureDelta(*source, 1.0);
+  EXPECT_EQ(c.Over(60.0, 1.0), 7u);
+
+  registry.ResetAll();
+  c.CaptureDelta(*source, 2.0);  // wrap: re-sync, credit nothing
+  EXPECT_EQ(c.Over(60.0, 2.0), 7u);
+  source->Add(2);
+  c.CaptureDelta(*source, 3.0);
+  EXPECT_EQ(c.Over(60.0, 3.0), 7u + 2u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

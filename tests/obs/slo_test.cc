@@ -1,0 +1,164 @@
+// SloTracker contract tests: windowed quantiles vs latency targets,
+// availability and error-budget burn math, the no-traffic convention
+// (availability 1.0, burn 0), delta-capture feeding from cumulative
+// registry instruments, and config sanitization.
+
+#include "obs/slo.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace ssr {
+namespace obs {
+namespace {
+
+std::vector<double> Bounds() { return {100.0, 1000.0, 10000.0}; }
+
+TEST(SloTrackerTest, LatencyObjectivesAgainstDirectFeeds) {
+  SloConfig config;
+  config.p50_target_micros = 500.0;
+  config.p99_target_micros = 5000.0;
+  SloTracker tracker(Bounds(), config);
+
+  // 90 fast (<=100us) + 10 slow (<=10ms): p50 well under target, p99 over.
+  for (int i = 0; i < 90; ++i) tracker.ObserveLatency(50.0, 1.0);
+  for (int i = 0; i < 10; ++i) tracker.ObserveLatency(8000.0, 1.0);
+
+  const SloWindowReport r = tracker.Report(kSloWindowMinute, 2.0);
+  EXPECT_EQ(r.latency_count, 100u);
+  EXPECT_LE(r.p50_micros, 100.0);
+  EXPECT_TRUE(r.p50_ok);
+  EXPECT_GT(r.p99_micros, 5000.0);
+  EXPECT_FALSE(r.p99_ok);
+}
+
+TEST(SloTrackerTest, DisabledObjectivesAreAlwaysOk) {
+  SloTracker tracker(Bounds(), SloConfig{});  // both targets 0 = disabled
+  for (int i = 0; i < 10; ++i) tracker.ObserveLatency(9000.0, 0.0);
+  const SloWindowReport r = tracker.Report(kSloWindowMinute, 0.0);
+  EXPECT_TRUE(r.p50_ok);
+  EXPECT_TRUE(r.p99_ok);
+}
+
+TEST(SloTrackerTest, AvailabilityAndBurnRate) {
+  SloConfig config;
+  config.availability_target = 0.999;  // budget = 0.001
+  SloTracker tracker(Bounds(), config);
+
+  // 1000 requests, 10 errors: 99.0% availability, 1% error ratio, burn 10x.
+  tracker.RecordOutcomes(1000, 10, 1.0);
+  const SloWindowReport r = tracker.Report(kSloWindowMinute, 1.0);
+  EXPECT_EQ(r.total, 1000u);
+  EXPECT_EQ(r.errors, 10u);
+  EXPECT_DOUBLE_EQ(r.availability, 0.99);
+  EXPECT_NEAR(r.burn_rate, 10.0, 1e-9);
+  EXPECT_FALSE(r.availability_ok);
+}
+
+TEST(SloTrackerTest, BurnRateOneConsumesBudgetExactly) {
+  SloConfig config;
+  config.availability_target = 0.99;  // budget = 0.01
+  SloTracker tracker(Bounds(), config);
+  tracker.RecordOutcomes(1000, 10, 0.0);  // exactly the budgeted rate
+  const SloWindowReport r = tracker.Report(kSloWindowMinute, 0.0);
+  EXPECT_NEAR(r.burn_rate, 1.0, 1e-9);
+  EXPECT_TRUE(r.availability_ok);  // at the target, not below it
+}
+
+TEST(SloTrackerTest, NoTrafficIsNotAnOutage) {
+  SloTracker tracker(Bounds(), SloConfig{});
+  const SloWindowReport r = tracker.Report(kSloWindowMinute, 0.0);
+  EXPECT_EQ(r.total, 0u);
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  EXPECT_DOUBLE_EQ(r.burn_rate, 0.0);
+  EXPECT_TRUE(r.availability_ok);
+  EXPECT_DOUBLE_EQ(r.p50_micros, 0.0);
+}
+
+TEST(SloTrackerTest, ErrorsClampToTotal) {
+  SloTracker tracker(Bounds(), SloConfig{});
+  tracker.RecordOutcomes(5, 50, 0.0);
+  const SloWindowReport r = tracker.Report(kSloWindowMinute, 0.0);
+  EXPECT_EQ(r.errors, 5u);
+  EXPECT_DOUBLE_EQ(r.availability, 0.0);
+}
+
+TEST(SloTrackerTest, HorizonsDecayIndependently) {
+  SloConfig config;
+  config.interval_seconds = 5.0;
+  config.num_windows = 720;
+  SloTracker tracker(Bounds(), config);
+
+  tracker.RecordOutcomes(100, 100, 0.0);  // a burst of pure errors
+  tracker.RecordOutcomes(100, 0, 500.0);  // clean traffic 8 minutes later
+
+  // The 1m window at t=500 sees only the clean traffic; the 1h window
+  // still carries the burst.
+  const SloWindowReport fast = tracker.Report(kSloWindowMinute, 500.0);
+  EXPECT_EQ(fast.errors, 0u);
+  EXPECT_DOUBLE_EQ(fast.availability, 1.0);
+  const SloWindowReport slow = tracker.Report(kSloWindowHour, 500.0);
+  EXPECT_EQ(slow.errors, 100u);
+  EXPECT_EQ(slow.total, 200u);
+}
+
+TEST(SloTrackerTest, TickDeltaCapturesRegistryInstruments) {
+  MetricsRegistry registry;
+  Histogram* latency = registry.GetHistogram("lat", "", Bounds());
+  Counter* total = registry.GetCounter("total");
+  Counter* errors = registry.GetCounter("errors");
+
+  // Pre-existing history the tracker must not claim.
+  latency->Observe(50.0);
+  total->Increment();
+
+  SloTracker tracker(Bounds(), SloConfig{});
+  tracker.Tick(latency, total, errors, 0.0);
+  SloWindowReport r = tracker.Report(kSloWindowMinute, 0.0);
+  EXPECT_EQ(r.latency_count, 0u);
+  EXPECT_EQ(r.total, 0u);
+
+  for (int i = 0; i < 8; ++i) {
+    latency->Observe(200.0);
+    total->Increment();
+  }
+  errors->Add(2);
+  tracker.Tick(latency, total, errors, 1.0);
+  r = tracker.Report(kSloWindowMinute, 1.0);
+  EXPECT_EQ(r.latency_count, 8u);
+  EXPECT_EQ(r.total, 8u);
+  EXPECT_EQ(r.errors, 2u);
+}
+
+TEST(SloTrackerTest, NullTickSourcesAreSkipped) {
+  SloTracker tracker(Bounds(), SloConfig{});
+  tracker.Tick(nullptr, nullptr, nullptr, 0.0);  // must not crash
+  EXPECT_EQ(tracker.Report(kSloWindowMinute, 0.0).total, 0u);
+}
+
+TEST(SloTrackerTest, CanonicalReportsCoverTheThreeHorizons) {
+  SloTracker tracker(Bounds(), SloConfig{});
+  const auto reports = tracker.CanonicalReports(0.0);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_DOUBLE_EQ(reports[0].horizon_seconds, kSloWindowMinute);
+  EXPECT_DOUBLE_EQ(reports[1].horizon_seconds, kSloWindowFiveMinutes);
+  EXPECT_DOUBLE_EQ(reports[2].horizon_seconds, kSloWindowHour);
+}
+
+TEST(SloTrackerTest, SanitizesDegenerateConfig) {
+  SloConfig config;
+  config.availability_target = 1.5;  // outside (0, 1)
+  config.interval_seconds = -3.0;
+  config.num_windows = 0;
+  SloTracker tracker(Bounds(), config);
+  EXPECT_DOUBLE_EQ(tracker.config().availability_target, 0.999);
+  EXPECT_GT(tracker.config().interval_seconds, 0.0);
+  EXPECT_GT(tracker.config().num_windows, 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ssr

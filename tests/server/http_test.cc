@@ -1,0 +1,89 @@
+// HTTP plumbing tests: request-head parsing (target/path/query split,
+// lowercased headers, malformed rejections), the head-complete predicate
+// the read loop uses, and response serialization.
+
+#include "server/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ssr {
+namespace server {
+namespace {
+
+TEST(HttpTest, ParsesARequestHead) {
+  HttpRequest request;
+  ASSERT_TRUE(ParseRequest(
+      "GET /tracez?limit=16&fmt=json HTTP/1.1\r\n"
+      "Host: 127.0.0.1:8080\r\n"
+      "User-Agent: curl/8.0\r\n"
+      "\r\n",
+      &request));
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/tracez?limit=16&fmt=json");
+  EXPECT_EQ(request.path, "/tracez");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.query.at("limit"), "16");
+  EXPECT_EQ(request.query.at("fmt"), "json");
+  EXPECT_EQ(request.headers.at("host"), "127.0.0.1:8080");
+  EXPECT_EQ(request.headers.at("user-agent"), "curl/8.0");
+}
+
+TEST(HttpTest, BareLfLineEndingsAreAccepted) {
+  HttpRequest request;
+  ASSERT_TRUE(ParseRequest("GET /metrics HTTP/1.1\nHost: x\n\n", &request));
+  EXPECT_EQ(request.path, "/metrics");
+  EXPECT_TRUE(request.query.empty());
+}
+
+TEST(HttpTest, RejectsMalformedHeads) {
+  HttpRequest request;
+  EXPECT_FALSE(ParseRequest("", &request));
+  EXPECT_FALSE(ParseRequest("GET\r\n\r\n", &request));
+  EXPECT_FALSE(ParseRequest("GET /x\r\n\r\n", &request));  // no version
+  EXPECT_FALSE(ParseRequest("GET /x NOTHTTP\r\n\r\n", &request));
+  EXPECT_FALSE(ParseRequest("GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
+                            &request));
+}
+
+TEST(HttpTest, BytesPastTheBlankLineAreIgnored) {
+  HttpRequest request;
+  ASSERT_TRUE(ParseRequest(
+      "GET /metrics HTTP/1.1\r\n\r\nleftover body bytes", &request));
+  EXPECT_EQ(request.path, "/metrics");
+}
+
+TEST(HttpTest, RequestHeadCompletePredicate) {
+  EXPECT_FALSE(RequestHeadComplete(""));
+  EXPECT_FALSE(RequestHeadComplete("GET / HTTP/1.1\r\nHost: x\r\n"));
+  EXPECT_TRUE(RequestHeadComplete("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_TRUE(RequestHeadComplete("GET / HTTP/1.1\n\n"));
+}
+
+TEST(HttpTest, SerializesAResponse) {
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = "hello\n";
+  const std::string wire = SerializeResponse(response);
+  EXPECT_EQ(wire.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(wire.find("Content-Type: text/plain; version=0.0.4\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 6\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 10), "\r\n\r\nhello\n");
+}
+
+TEST(HttpTest, StatusReasons) {
+  EXPECT_STREQ(StatusReason(200), "OK");
+  EXPECT_STREQ(StatusReason(400), "Bad Request");
+  EXPECT_STREQ(StatusReason(404), "Not Found");
+  EXPECT_STREQ(StatusReason(405), "Method Not Allowed");
+  EXPECT_STREQ(StatusReason(503), "Service Unavailable");
+  EXPECT_STREQ(StatusReason(299), "Unknown");
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ssr

@@ -52,6 +52,14 @@ def direction(key):
     # flagged even if a future name picks up a higher-is-better substring.
     if k.endswith("_recovery_seconds"):
         return -1
+    # The introspection plane's SLO scalars are lower-is-better by explicit
+    # suffix: windowed latency quantiles and the error-budget burn rate.
+    # Suffix precedence mirrors the recall rule — `*_p99_micros` stays a
+    # latency even when the name also picks up a higher-is-better substring
+    # (qps_p99_micros), and `*_burn_rate` has no direction substring at all
+    # without this rule.
+    if k.endswith(("_p50_micros", "_p99_micros", "_burn_rate")):
+        return -1
     if any(s in k for s in LOWER_IS_BETTER):
         return -1
     if any(s in k for s in HIGHER_IS_BETTER):

@@ -13,6 +13,9 @@ Exercises the exit-code contract on synthetic trajectory points:
   * recall-flavoured *_seconds name doubled -> exit 1 (still a timing)
   * *_recovery_seconds doubled -> exit 1 (explicit lower-is-better suffix)
   * durability ops/sec halved -> exit 1 (higher-is-better direction)
+  * *_p50_micros / *_p99_micros doubled -> exit 1 (SLO latency suffixes,
+    lower-is-better even when the name contains a throughput substring)
+  * *_burn_rate tripled -> exit 1 (error-budget burn, lower-is-better)
   * legacy point (no schema_version/env, missing scalar) -> exit 0
 """
 
@@ -41,6 +44,10 @@ BASE = {
         "replay_recall_estimator_seconds": 0.2,
         "durability_full_log_recovery_seconds": 0.1,
         "durability_sync_every_record_ops_per_sec": 5000.0,
+        "introspection_query_p50_micros": 50.0,
+        "introspection_query_p99_micros": 200.0,
+        "introspection_availability_burn_rate": 0.1,
+        "qps_p99_micros": 120.0,
     },
 }
 
@@ -139,6 +146,32 @@ def main():
         rc, out = run(compare, base,
                       write(tmp, "churn.json", slow_churn))
         check("durable churn throughput drop", 1, rc, out)
+
+        # The SLO suffix family: latency quantiles are lower-is-better even
+        # when the key also contains a higher-is-better substring ("_qps"
+        # inside qps_p99_micros), and burn rate growth is a regression.
+        slow_p99 = json.loads(json.dumps(BASE))
+        slow_p99["scalars"]["introspection_query_p50_micros"] = 100.0
+        slow_p99["scalars"]["introspection_query_p99_micros"] = 400.0
+        rc, out = run(compare, base, write(tmp, "p99.json", slow_p99))
+        check("SLO latency quantile growth", 1, rc, out)
+
+        slow_qps_p99 = json.loads(json.dumps(BASE))
+        slow_qps_p99["scalars"]["qps_p99_micros"] = 240.0
+        rc, out = run(compare, base,
+                      write(tmp, "qps_p99.json", slow_qps_p99))
+        check("p99 suffix wins over qps substring", 1, rc, out)
+
+        burn = json.loads(json.dumps(BASE))
+        burn["scalars"]["introspection_availability_burn_rate"] = 0.3
+        rc, out = run(compare, base, write(tmp, "burn.json", burn))
+        check("burn rate growth", 1, rc, out)
+
+        better_burn = json.loads(json.dumps(BASE))
+        better_burn["scalars"]["introspection_availability_burn_rate"] = 0.01
+        rc, out = run(compare, base,
+                      write(tmp, "burn_down.json", better_burn))
+        check("burn rate drop is an improvement", 0, rc, out)
 
         legacy = {"bench": "selftest",
                   "scalars": {"micro_jaccard_ns": 101.0}}

@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (version 0.0.4) read from stdin or a
+file. The CI smoke job pipes `curl /metrics` through this, so a process
+that starts serving malformed exposition fails the build even when no C++
+test happened to catch it. The checks mirror obs::ValidateExposition (the
+C++ validator the benchrunner and tests use):
+
+  * metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]* on HELP/TYPE/sample lines
+  * well-formed `# HELP` / `# TYPE` comments, no duplicates per metric,
+    TYPE before the first sample of its metric
+  * sample label syntax, duplicate label names, duplicate series
+  * values parseable as floats (+Inf/-Inf/NaN allowed)
+  * histogram families: `le` buckets ascending and cumulative,
+    an `le="+Inf"` bucket, `_sum`/`_count` present, and `_count` equal to
+    the +Inf bucket — an inequality means the exporter tore the family
+    mid-mutation, exactly the race the snapshot-consistent renderer exists
+    to prevent
+  * the document ends with a newline
+
+Usage:
+    prom_lint.py [FILE]      lint FILE (default: stdin); exit 1 on issues
+    prom_lint.py --selftest  run the built-in cases; exit 1 on failure
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def parse_float(text):
+    t = text.strip()
+    if t in ("+Inf", "Inf"):
+        return math.inf
+    if t == "-Inf":
+        return -math.inf
+    try:
+        return float(t)
+    except ValueError:
+        return None
+
+
+def split_labels(body, line, issues):
+    """Parses `name1="v1",name2="v2"` (the text between braces). Returns a
+    sorted canonical list of (name, value) or None after reporting."""
+    labels = []
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq < 0:
+            issues.append((line, "label missing '='"))
+            return None
+        name = body[i:eq].strip().lstrip(",").strip()
+        if not LABEL_NAME_RE.match(name):
+            issues.append((line, f"bad label name '{name}'"))
+            return None
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            issues.append((line, f"label '{name}' value not quoted"))
+            return None
+        j = eq + 2
+        value = []
+        while j < len(body):
+            c = body[j]
+            if c == "\\":
+                if j + 1 >= len(body) or body[j + 1] not in ('\\', '"', "n"):
+                    issues.append((line, f"bad escape in label '{name}'"))
+                    return None
+                value.append("\n" if body[j + 1] == "n" else body[j + 1])
+                j += 2
+            elif c == '"':
+                break
+            else:
+                value.append(c)
+                j += 1
+        else:
+            issues.append((line, f"unterminated value for label '{name}'"))
+            return None
+        if name in (n for n, _ in labels):
+            issues.append((line, f"duplicate label '{name}'"))
+            return None
+        labels.append((name, "".join(value)))
+        i = j + 1
+    return sorted(labels)
+
+
+def lint(text):
+    """Returns a list of (line_number, message); empty means conformant.
+    Line 0 carries document-level issues."""
+    issues = []
+    if text and not text.endswith("\n"):
+        issues.append((0, "exposition must end with a newline"))
+
+    helped, typed = set(), {}
+    seen_series = set()
+    # name -> {canonical label key without 'le' -> [(le, value, line)]}
+    buckets = {}
+    sums, counts = {}, {}
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: legal
+            if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                issues.append((lineno, f"bad metric name in {parts[1]}"))
+                continue
+            name = parts[2]
+            if parts[1] == "HELP":
+                if name in helped:
+                    issues.append((lineno, f"duplicate HELP for {name}"))
+                helped.add(name)
+            else:
+                if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped"):
+                    issues.append((lineno, f"bad TYPE for {name}"))
+                    continue
+                if name in typed:
+                    issues.append((lineno, f"duplicate TYPE for {name}"))
+                typed[name] = parts[3]
+            continue
+
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                issues.append((lineno, "unbalanced braces"))
+                continue
+            name = line[:brace]
+            labels = split_labels(line[brace + 1:close], lineno, issues)
+            if labels is None:
+                continue
+            rest = line[close + 1:].split()
+        else:
+            fields = line.split()
+            name, labels, rest = fields[0], [], fields[1:]
+        if not NAME_RE.match(name):
+            issues.append((lineno, f"bad metric name '{name}'"))
+            continue
+        if len(rest) not in (1, 2):
+            issues.append((lineno, f"sample for {name} needs a value "
+                           "(and at most a timestamp)"))
+            continue
+        value = parse_float(rest[0])
+        if value is None:
+            issues.append((lineno, f"unparseable value '{rest[0]}'"))
+            continue
+        if len(rest) == 2 and parse_float(rest[1]) is None:
+            issues.append((lineno, f"unparseable timestamp '{rest[1]}'"))
+            continue
+
+        series = name + "|" + ",".join(f"{n}={v}" for n, v in labels)
+        if series in seen_series:
+            issues.append((lineno, f"duplicate series {name}"))
+            continue
+        seen_series.add(series)
+
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[:-len(suffix)] if name.endswith(suffix) else None
+            if stem and typed.get(stem) == "histogram":
+                base = stem
+                break
+        if base is None and name not in typed:
+            issues.append((lineno, f"sample for {name} precedes its TYPE"))
+            continue
+
+        if base is not None and name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                issues.append((lineno, f"{name} missing 'le' label"))
+                continue
+            bound = parse_float(le)
+            if bound is None:
+                issues.append((lineno, f"{name} has unparseable le '{le}'"))
+                continue
+            key = ",".join(f"{n}={v}" for n, v in labels if n != "le")
+            buckets.setdefault(base, {}).setdefault(key, []).append(
+                (bound, value, lineno))
+        elif base is not None and name.endswith("_sum"):
+            key = ",".join(f"{n}={v}" for n, v in labels)
+            sums.setdefault(base, {})[key] = (value, lineno)
+        elif base is not None and name.endswith("_count"):
+            key = ",".join(f"{n}={v}" for n, v in labels)
+            counts.setdefault(base, {})[key] = (value, lineno)
+
+    for base, series in buckets.items():
+        for key, rows in series.items():
+            last_bound, last_value = -math.inf, 0.0
+            inf_value = None
+            for bound, value, lineno in rows:
+                if bound <= last_bound:
+                    issues.append((lineno,
+                                   f"{base} buckets not ascending"))
+                if value < last_value:
+                    issues.append((lineno,
+                                   f"{base} buckets not cumulative"))
+                last_bound, last_value = bound, value
+                if bound == math.inf:
+                    inf_value = (value, lineno)
+            line = rows[-1][2]
+            if inf_value is None:
+                issues.append((line, f'{base} missing le="+Inf" bucket'))
+                continue
+            if key not in sums.get(base, {}):
+                issues.append((line, f"{base} missing _sum"))
+            count = counts.get(base, {}).get(key)
+            if count is None:
+                issues.append((line, f"{base} missing _count"))
+            elif count[0] != inf_value[0]:
+                issues.append((count[1],
+                               f"{base} _count {count[0]:g} != +Inf bucket "
+                               f"{inf_value[0]:g} (torn family)"))
+    for base, series in typed.items():
+        if series == "histogram" and base not in buckets:
+            issues.append((0, f"histogram {base} has no _bucket samples"))
+    return issues
+
+
+GOOD = """\
+# HELP ssr_queries_total Total queries.
+# TYPE ssr_queries_total counter
+ssr_queries_total 12
+# TYPE ssr_latency_micros histogram
+ssr_latency_micros_bucket{le="1"} 3
+ssr_latency_micros_bucket{le="10"} 9
+ssr_latency_micros_bucket{le="+Inf"} 12
+ssr_latency_micros_sum 55
+ssr_latency_micros_count 12
+# TYPE ssr_live gauge
+ssr_live{scope="a b"} 4.5
+"""
+
+SELFTEST_CASES = [
+    ("conformant", GOOD, 0),
+    ("no trailing newline", GOOD.rstrip("\n"), 1),
+    ("bad metric name", "# TYPE 9bad counter\n9bad 1\n", 1),
+    ("sample before TYPE", "ssr_x_total 1\n", 1),
+    ("unparseable value", "# TYPE ssr_x gauge\nssr_x four\n", 1),
+    ("duplicate series",
+     "# TYPE ssr_x gauge\nssr_x 1\nssr_x 2\n", 1),
+    ("duplicate label",
+     '# TYPE ssr_x gauge\nssr_x{a="1",a="2"} 3\n', 1),
+    ("torn histogram family",
+     GOOD.replace("ssr_latency_micros_count 12",
+                  "ssr_latency_micros_count 11"), 1),
+    ("missing +Inf bucket",
+     '# TYPE ssr_h histogram\nssr_h_bucket{le="1"} 1\n'
+     "ssr_h_sum 1\nssr_h_count 1\n", 1),
+    ("non-cumulative buckets",
+     '# TYPE ssr_h histogram\nssr_h_bucket{le="1"} 5\n'
+     'ssr_h_bucket{le="+Inf"} 3\nssr_h_sum 1\nssr_h_count 3\n', 1),
+]
+
+
+def selftest():
+    failures = []
+    for label, doc, want in SELFTEST_CASES:
+        got = 1 if lint(doc) else 0
+        if got != want:
+            failures.append(f"{label}: want {'issues' if want else 'clean'},"
+                            f" got {lint(doc) or 'clean'}")
+    if failures:
+        print("prom_lint selftest FAILED:")
+        for f in failures:
+            print(" -", f)
+        return 1
+    print(f"prom_lint selftest OK ({len(SELFTEST_CASES)} cases)")
+    return 0
+
+
+def main(argv):
+    if len(argv) > 1 and argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if len(argv) > 1 and argv[1] == "--selftest":
+        return selftest()
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(argv) == 2:
+        try:
+            with open(argv[1], "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"prom_lint: cannot read {argv[1]}: {e}", file=sys.stderr)
+            return 2
+    else:
+        text = sys.stdin.read()
+
+    issues = lint(text)
+    if issues:
+        for lineno, message in issues:
+            where = f"line {lineno}" if lineno else "document"
+            print(f"prom_lint: {where}: {message}", file=sys.stderr)
+        print(f"prom_lint: {len(issues)} issue(s)", file=sys.stderr)
+        return 1
+    samples = sum(1 for line in text.split("\n")
+                  if line and not line.startswith("#"))
+    print(f"prom_lint: OK ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
