@@ -27,6 +27,7 @@
 #include "hamming/embedding.h"
 #include "storage/bplus_tree.h"
 #include "storage/set_store.h"
+#include "util/hash.h"
 #include "util/random.h"
 #include "util/set_ops.h"
 
@@ -71,6 +72,53 @@ void BM_MinHashSign(benchmark::State& state) {
                           state.range(1));
 }
 BENCHMARK(BM_MinHashSign)->Args({250, 50})->Args({250, 100})->Args({1000, 100});
+
+// The seed-derivation hoist (util/hash.h): the pre-v2 inner signing loop
+// evaluated HashU64(e, seed_i) = Fmix64(e ^ SplitMix64(seed_i)), paying a
+// SplitMix64 per (element, permutation); HashFamily now derives
+// SplitMix64(seed_i) once at construction. Identical output by algebra —
+// this pair quantifies the win the hoist bought on the k x n hot loop.
+void BM_SignLoopRederivedSeeds(benchmark::State& state) {
+  Rng rng(13);
+  const std::size_t k = 100;
+  HashFamily family(k, 424242);
+  const ElementSet set = RandomSet(rng, 250, 1 << 20);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::uint64_t min = UINT64_MAX;
+      for (ElementId e : set) {
+        min = std::min(min, HashU64(e, family.seed(i)));
+      }
+      acc ^= min;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(k * set.size()));
+}
+BENCHMARK(BM_SignLoopRederivedSeeds);
+
+void BM_SignLoopHoistedSeeds(benchmark::State& state) {
+  Rng rng(13);  // same stream: identical set and seeds
+  const std::size_t k = 100;
+  HashFamily family(k, 424242);
+  const ElementSet set = RandomSet(rng, 250, 1 << 20);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::uint64_t min = UINT64_MAX;
+      for (ElementId e : set) {
+        min = std::min(min, family.Hash(i, e));
+      }
+      acc ^= min;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(k * set.size()));
+}
+BENCHMARK(BM_SignLoopHoistedSeeds);
 
 void BM_HadamardEncode(benchmark::State& state) {
   Embedding e = DefaultEmbedding();

@@ -46,6 +46,9 @@
 #include "eval/harness.h"
 #include "exec/batch_executor.h"
 #include "hamming/embedding.h"
+#include "minhash/family.h"
+#include "minhash/min_hasher.h"
+#include "minhash/packed.h"
 #include "obs/chrome_trace.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
@@ -130,6 +133,144 @@ int RunMicroSuite(bool quick, RunReport* report) {
                 }));
   (void)sig_words;
   (void)found;
+  return 0;
+}
+
+/// Signature engine v2 ablation: per-family sign cost (single and batch)
+/// at the paper's k = 100 on 250-element sets, the packed vs unpacked
+/// agreement kernels, and a fig7-style accuracy point per family x b —
+/// so a family's speed is never quoted without its recall/precision.
+int RunSigningSuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: signing (signature engine v2 ablation)");
+  Rng rng(0x516e);
+  const ElementSet one = RandomSet(rng, 250, 1 << 20);
+  // Large-set point: classic signing is Theta(k * n) while SuperMinHash is
+  // ~O(n + k log k), so the families separate as sets grow. 2000 elements
+  // is the web-session long tail the paper's workload generator produces.
+  const ElementSet big = RandomSet(rng, 2000, 1 << 21);
+  std::vector<ElementSet> batch;
+  for (int i = 0; i < 64; ++i) batch.push_back(RandomSet(rng, 250, 1 << 20));
+
+  double classic_large_ns = 0.0;
+  for (MinHashFamilyKind family : kAllMinHashFamilies) {
+    EmbeddingParams params;
+    params.minhash.num_hashes = 100;
+    params.minhash.value_bits = 8;
+    params.minhash.family = family;
+    auto embedding = Embedding::Create(params);
+    if (!embedding.ok()) return 1;
+    const std::string name(MinHashFamilyName(family));
+
+    std::size_t sink = 0;
+    report->AddScalar(
+        "signing_" + name + "_sign_ns",
+        MicroLoop("signing_" + name + "_sign", quick ? 500 : 5000,
+                  [&](std::size_t) {
+                    sink += embedding->Sign(one).values().size();
+                  }));
+
+    const double large_ns =
+        MicroLoop("signing_" + name + "_sign_large", quick ? 100 : 1000,
+                  [&](std::size_t) {
+                    sink += embedding->Sign(big).values().size();
+                  });
+    report->AddScalar("signing_" + name + "_sign_large_ns", large_ns);
+    if (family == MinHashFamilyKind::kClassic) {
+      classic_large_ns = large_ns;
+    } else if (classic_large_ns > 0.0) {
+      std::printf("  %-28s %12.2f x vs classic (n=2000)\n",
+                  ("signing_" + name + "_speedup").c_str(),
+                  classic_large_ns / large_ns);
+    }
+
+    // The batch entry point the parallel builder's sign phase feeds:
+    // ns per *set*, amortizing dispatch across a contiguous run.
+    std::vector<Signature> outs(batch.size());
+    const std::size_t reps = quick ? 10 : 100;
+    Stopwatch watch;
+    for (std::size_t r = 0; r < reps; ++r) {
+      embedding->SignBatch(batch.data(), batch.size(), outs.data());
+    }
+    const double batch_ns =
+        watch.ElapsedSeconds() * 1e9 /
+        static_cast<double>(reps * batch.size());
+    std::printf("  %-28s %12.1f ns/set (%zu sets x %zu reps)\n",
+                ("signing_" + name + "_batch").c_str(), batch_ns,
+                batch.size(), reps);
+    report->AddScalar("signing_" + name + "_batch_sign_ns", batch_ns);
+    (void)sink;
+  }
+
+  // Packed (SWAR + popcount) vs unpacked (value-by-value) signature
+  // agreement at k = 100, b = 8 — the estimator/SFI compare kernel.
+  {
+    MinHashParams mp;
+    mp.num_hashes = 100;
+    mp.value_bits = 8;
+    MinHasher hasher(mp);
+    const Signature sa = hasher.Sign(one);
+    const Signature sb = hasher.Sign(batch[0]);
+    const PackedSignature pa = PackedSignature::Pack(sa, mp.value_bits);
+    const PackedSignature pb = PackedSignature::Pack(sb, mp.value_bits);
+    volatile double agree = 0.0;
+    report->AddScalar(
+        "signing_unpacked_agreement_ns",
+        MicroLoop("signing_unpacked_agreement", quick ? 100000 : 1000000,
+                  [&](std::size_t) {
+                    agree = agree + sa.AgreementFraction(sb);
+                  }));
+    report->AddScalar(
+        "signing_packed_agreement_ns",
+        MicroLoop("signing_packed_agreement", quick ? 100000 : 1000000,
+                  [&](std::size_t) {
+                    agree = agree + pa.AgreementFraction(pb);
+                  }));
+  }
+
+  // Accuracy ablation: the fig7-style bucketed sweep per family (and per b
+  // in full runs). Whatever a family saves in signing cost must show up
+  // here as recall/precision within noise of classic, or it is not a win.
+  const unsigned kBitWidths[] = {8, 4};
+  const std::size_t num_widths = quick ? 1 : 2;
+  for (std::size_t w = 0; w < num_widths; ++w) {
+    for (MinHashFamilyKind family : kAllMinHashFamilies) {
+      ExperimentConfig config;
+      config.dataset = "set1";
+      config.scale = quick ? 0.004 : 0.01;
+      config.table_budget = 300;
+      config.recall_threshold = 0.7;
+      config.num_minhashes = 100;
+      config.value_bits = kBitWidths[w];
+      config.minhash_family = family;
+      config.queries_per_bucket = quick ? 2 : 6;
+      config.max_attempts_factor = 12;
+      config.run_scan = false;
+      auto harness = ExperimentHarness::Create(config);
+      if (!harness.ok()) {
+        std::fprintf(stderr, "signing harness failed: %s\n",
+                     harness.status().ToString().c_str());
+        return 1;
+      }
+      auto result = (*harness)->RunBucketedQueries();
+      if (!result.ok()) {
+        std::fprintf(stderr, "signing sweep failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const std::string name(MinHashFamilyName(family));
+      const std::string prefix =
+          "signing_" + name +
+          (kBitWidths[w] == 8 ? std::string()
+                              : "_b" + std::to_string(kBitWidths[w]));
+      std::printf("  %-28s recall %.4f precision %.4f (%zu queries)\n",
+                  prefix.c_str(), result->overall_weighted_recall,
+                  result->overall_weighted_precision,
+                  result->total_queries_run);
+      report->AddScalar(prefix + "_recall", result->overall_weighted_recall);
+      report->AddScalar(prefix + "_precision",
+                        result->overall_weighted_precision);
+    }
+  }
   return 0;
 }
 
@@ -1111,6 +1252,8 @@ struct Suite {
 constexpr Suite kSuites[] = {
     {"micro", "single-thread primitive costs (jaccard, sign, btree find)",
      RunMicroSuite},
+    {"signing", "signature engine v2: per-family sign cost + accuracy",
+     RunSigningSuite},
     {"query_candidates", "candidate generation through the composite index",
      RunQueryCandidatesSuite},
     {"fig7", "Figure 7 bucketed response-time harness", RunFig7Suite},

@@ -1,11 +1,15 @@
 #include "core/bit_sampler.h"
 
+#include <bit>
+
 #include "util/hash.h"
 
 namespace ssr {
 
 BitSampler::BitSampler(const Embedding& embedding, std::size_t r, Rng& rng)
-    : embedding_(&embedding) {
+    : embedding_(&embedding),
+      hadamard_fast_path_(embedding.params().code_kind ==
+                          CodeKind::kHadamard) {
   const std::size_t dim = embedding.dimension();
   const unsigned m = embedding.code().codeword_bits();
   positions_.reserve(r);
@@ -27,7 +31,10 @@ BitSampler::BitSampler(const Embedding& embedding, std::size_t r, Rng& rng)
 
 BitSampler::BitSampler(const Embedding& embedding,
                        std::vector<BitPosition> positions)
-    : embedding_(&embedding), positions_(std::move(positions)) {}
+    : embedding_(&embedding),
+      positions_(std::move(positions)),
+      hadamard_fast_path_(embedding.params().code_kind ==
+                          CodeKind::kHadamard) {}
 
 BitVector BitSampler::ExtractKey(const Signature& sig,
                                  bool complemented) const {
@@ -44,18 +51,36 @@ BitVector BitSampler::ExtractKey(const Signature& sig,
 
 std::uint64_t BitSampler::ExtractKeyHash(const Signature& sig,
                                          bool complemented) const {
-  const Code& code = embedding_->code();
   std::uint64_t h = 0x9ae16a3b2f90404fULL;
   std::uint64_t word = 0;
   unsigned filled = 0;
-  for (const BitPosition& p : positions_) {
-    bool bit = code.Bit(sig[p.coordinate], p.code_pos);
-    if (complemented) bit = !bit;
-    word = (word << 1) | static_cast<std::uint64_t>(bit);
-    if (++filled == 64) {
-      h = HashCombine(h, word);
-      word = 0;
-      filled = 0;
+  if (hadamard_fast_path_) {
+    // Hadamard bit p of message u is parity(u & p): a popcount, no virtual
+    // dispatch. Bit-for-bit the generic loop below under HadamardCode.
+    for (const BitPosition& p : positions_) {
+      std::uint64_t bit = static_cast<std::uint64_t>(std::popcount(
+                              static_cast<std::uint32_t>(sig[p.coordinate]) &
+                              p.code_pos)) &
+                          1ULL;
+      if (complemented) bit ^= 1ULL;
+      word = (word << 1) | bit;
+      if (++filled == 64) {
+        h = HashCombine(h, word);
+        word = 0;
+        filled = 0;
+      }
+    }
+  } else {
+    const Code& code = embedding_->code();
+    for (const BitPosition& p : positions_) {
+      bool bit = code.Bit(sig[p.coordinate], p.code_pos);
+      if (complemented) bit = !bit;
+      word = (word << 1) | static_cast<std::uint64_t>(bit);
+      if (++filled == 64) {
+        h = HashCombine(h, word);
+        word = 0;
+        filled = 0;
+      }
     }
   }
   if (filled != 0) h = HashCombine(h, word | (1ULL << filled));

@@ -53,6 +53,10 @@ class BitSampler {
  private:
   const Embedding* embedding_;  // not owned; outlives the sampler
   std::vector<BitPosition> positions_;
+  // Hadamard codes compute Bit(u, p) = parity(u & p); extraction inlines
+  // that as std::popcount instead of paying a virtual Code::Bit call per
+  // sampled position (the hot probe path). Identical keys and hashes.
+  bool hadamard_fast_path_ = false;
 };
 
 }  // namespace ssr

@@ -141,17 +141,30 @@ Status SetSimilarityIndex::BuildFilterIndices() {
     signatures_.resize(max_sid + 1);
   }
 
-  // Phase 1 (parallel): sign every set. Each worker writes disjoint
-  // sid-indexed slots; Embedding::Sign is const and reentrant. The result
-  // is position-determined, so it is independent of scheduling.
+  // Phase 1 (parallel): sign every set, block-batched through
+  // Embedding::SignBatch so the family kernels amortize dispatch over
+  // contiguous element runs. Each worker owns whole blocks and writes
+  // disjoint sid-indexed slots; SignBatch is const and reentrant, and each
+  // signature depends only on its own set, so the result is bit-identical
+  // to the serial build for any thread count.
   double parallel_wall = 0.0;
   {
     obs::TraceSpan span("build/sign");
     span.Tag("sets", static_cast<std::uint64_t>(n));
-    pool.ParallelFor(0, n, /*grain=*/0,
-                     [&](std::size_t i, std::size_t /*worker*/) {
-                       signatures_[sids[i]] = embedding_->Sign(sets[i]);
-                     });
+    constexpr std::size_t kSignBlock = 32;
+    const std::size_t blocks = (n + kSignBlock - 1) / kSignBlock;
+    pool.ParallelFor(
+        0, blocks, /*grain=*/1,
+        [&](std::size_t blk, std::size_t /*worker*/) {
+          const std::size_t lo = blk * kSignBlock;
+          const std::size_t hi = std::min(n, lo + kSignBlock);
+          thread_local std::vector<Signature> block;
+          block.resize(hi - lo);
+          embedding_->SignBatch(&sets[lo], hi - lo, block.data());
+          for (std::size_t i = lo; i < hi; ++i) {
+            signatures_[sids[i]] = std::move(block[i - lo]);
+          }
+        });
     const exec::JobStats& job = pool.last_job_stats();
     build_stats_.sign_cpu_seconds = job.TotalCpuSeconds();
     build_stats_.sign_makespan_seconds = job.MakespanSeconds();
@@ -538,7 +551,11 @@ std::vector<SetId> SetSimilarityIndex::ComputeCandidates(
 
 namespace {
 constexpr std::string_view kIndexMagic = "SSRINDEX";
-constexpr std::uint32_t kIndexVersion = 2;
+// v3 appended the minhash family byte to the "options" section; v2
+// snapshots predate signature engine v2 and load as the classic family
+// (the only one that existed when they were written).
+constexpr std::uint32_t kIndexVersion = 3;
+constexpr std::uint32_t kIndexVersionPreFamily = 2;
 }  // namespace
 
 Status SetSimilarityIndex::SaveTo(std::ostream& out) const {
@@ -552,6 +569,9 @@ Status SetSimilarityIndex::SaveTo(std::ostream& out) const {
   opts.WriteU64(options_.buckets_per_table);
   opts.WriteU64(options_.seed);
   opts.WriteBool(options_.charge_bucket_io);
+  // v3: the signing family. Appended last so the field order of v2
+  // readers' fields is untouched.
+  opts.WriteU8(static_cast<std::uint8_t>(options_.embedding.minhash.family));
   SSR_RETURN_IF_ERROR(snapshot.EndSection());
 
   BinaryWriter& lay = snapshot.BeginSection("layout");
@@ -587,7 +607,7 @@ Result<SetSimilarityIndex> SetSimilarityIndex::Load(
   SnapshotReader snapshot(in);
   std::uint32_t version = 0;
   SSR_RETURN_IF_ERROR(snapshot.ReadHeader(kIndexMagic, &version));
-  if (version != kIndexVersion) {
+  if (version != kIndexVersion && version != kIndexVersionPreFamily) {
     return Status::NotSupported("unknown index version");
   }
 
@@ -614,6 +634,26 @@ Result<SetSimilarityIndex> SetSimilarityIndex::Load(
       return Status::Corruption("unknown code kind");
     }
     options.embedding.code_kind = static_cast<CodeKind>(code_kind);
+    if (version >= kIndexVersion) {
+      // The family the store was signed under. An out-of-range byte in a
+      // CRC-clean section is a snapshot from a newer engine, not damage:
+      // refuse with NotSupported rather than probe under the wrong family.
+      std::uint8_t family_byte = 0;
+      SSR_RETURN_IF_ERROR(opts.ReadU8(&family_byte));
+      auto family = MinHashFamilyFromByte(family_byte);
+      if (!family.ok()) return family.status();
+      options.embedding.minhash.family = family.value();
+    } else {
+      options.embedding.minhash.family = MinHashFamilyKind::kClassic;
+    }
+    // Every version's field list is exhaustive. Leftover payload means the
+    // version field (which no CRC covers) was damaged into an older value
+    // that would silently ignore trailing fields — the family byte, under
+    // v3 -> v2 — and that is exactly the "probe under the wrong family"
+    // outcome the format forbids.
+    if (opts_in.peek() != std::istringstream::traits_type::eof()) {
+      return Status::Corruption("options section has trailing bytes");
+    }
   }
 
   SSR_RETURN_IF_ERROR(snapshot.ReadSection("layout", &payload));

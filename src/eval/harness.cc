@@ -40,6 +40,7 @@ Result<std::unique_ptr<ExperimentHarness>> ExperimentHarness::Create(
   embedding_params.minhash.num_hashes = config.num_minhashes;
   embedding_params.minhash.value_bits = config.value_bits;
   embedding_params.minhash.seed = config.seed ^ 0xa11ce5ULL;
+  embedding_params.minhash.family = config.minhash_family;
   auto embedding = Embedding::Create(embedding_params);
   if (!embedding.ok()) return embedding.status();
 

@@ -47,6 +47,10 @@ struct ExperimentConfig {
   std::size_t num_minhashes = 100;
   unsigned value_bits = 8;
 
+  /// Signing family (signature engine v2): the benchrunner's `signing`
+  /// ablation sweeps this to pin each family's accuracy-vs-speed point.
+  MinHashFamilyKind minhash_family = MinHashFamilyKind::kClassic;
+
   /// Query workload per result-size bucket, and the attempt cap (some
   /// buckets are rare under a given distribution).
   std::size_t queries_per_bucket = 100;

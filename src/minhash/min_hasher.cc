@@ -1,7 +1,6 @@
 #include "minhash/min_hasher.h"
 
 #include <cassert>
-#include <limits>
 
 namespace ssr {
 
@@ -29,31 +28,33 @@ MinHashParams Sanitize(MinHashParams p) {
 
 MinHasher::MinHasher(const MinHashParams& params)
     : params_(Sanitize(params)),
-      family_(params_.num_hashes, params_.seed),
+      impl_(MakeMinHashFamily(params_.family, params_.num_hashes,
+                              params_.value_bits, params_.seed)),
       value_mask_(static_cast<std::uint16_t>(
           (1u << params_.value_bits) - 1u)) {}
 
 Signature MinHasher::Sign(const ElementSet& set) const {
   Signature sig(params_.num_hashes);
-  for (std::size_t i = 0; i < params_.num_hashes; ++i) {
-    sig[i] = SignOne(set, i);
-  }
+  impl_->SignInto(set, &sig[0]);
   return sig;
 }
 
-std::uint16_t MinHasher::SignOne(const ElementSet& set, std::size_t i) const {
-  if (set.empty()) return value_mask_;  // reserved empty-set sentinel
-  // The permutation of the (unknown) universe is the hash ordering; the
-  // minimum is taken over full 64-bit hash values and only then truncated to
-  // b bits, so truncation cannot change which element is minimal.
-  std::uint64_t min_hash = std::numeric_limits<std::uint64_t>::max();
-  for (ElementId e : set) {
-    const std::uint64_t h = family_.Hash(i, e);
-    if (h < min_hash) min_hash = h;
+void MinHasher::SignBatch(const ElementSet* sets, std::size_t count,
+                          Signature* out) const {
+  if (count == 0) return;
+  thread_local std::vector<std::uint16_t*> outs;
+  outs.resize(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    if (out[s].size() != params_.num_hashes) {
+      out[s] = Signature(params_.num_hashes);
+    }
+    outs[s] = &out[s][0];
   }
-  // Remix before truncation: the b-bit fingerprint of the minimum must look
-  // uniform even though minima are biased toward small hash values.
-  return static_cast<std::uint16_t>(Fmix64(min_hash) & value_mask_);
+  impl_->SignBatch(sets, count, outs.data());
+}
+
+std::uint16_t MinHasher::SignOne(const ElementSet& set, std::size_t i) const {
+  return impl_->SignOne(set, i);
 }
 
 }  // namespace ssr

@@ -4,12 +4,20 @@
 // values gives Pr[min(pi(A)) = min(pi(B))] = Jaccard(A, B). Repeating k times
 // yields the min-hash signature, the embedding of the set collection S into
 // the k-dimensional vector space V.
+//
+// Since signature engine v2 the k-permutation scheme is one of several
+// pluggable families (minhash/family.h): classic (this header's original
+// semantics, digest-compatible), SuperMinHash, and C-MinHash. MinHasher is
+// the façade: it owns the family backend selected by MinHashParams::family
+// and keeps the original Sign/SignOne surface.
 
 #ifndef SSR_MINHASH_MIN_HASHER_H_
 #define SSR_MINHASH_MIN_HASHER_H_
 
 #include <cstdint>
+#include <memory>
 
+#include "minhash/family.h"
 #include "minhash/signature.h"
 #include "util/hash.h"
 #include "util/result.h"
@@ -35,16 +43,21 @@ struct MinHashParams {
   /// identical params (enforced by signature dimension checks).
   std::uint64_t seed = 0x5eedf00dcafebabeULL;
 
+  /// Which signing backend produces the signature. Families are not
+  /// interchangeable at query time: the byte is persisted in the index
+  /// snapshot and a mismatch surfaces as a typed NotSupported on load.
+  MinHashFamilyKind family = MinHashFamilyKind::kClassic;
+
   /// Validates ranges (num_hashes >= 1, 1 <= value_bits <= 16).
   Status Validate() const;
 };
 
-/// Computes min-hash signatures for sets under a fixed family of k
-/// pseudo-random permutations. Immutable and thread-compatible after
-/// construction (Sign is const and reentrant).
+/// Computes min-hash signatures for sets under a fixed signing family.
+/// Immutable and thread-compatible after construction (Sign is const and
+/// reentrant). Cheaply copyable: copies share the immutable backend.
 class MinHasher {
  public:
-  /// Builds the permutation family. `params` must validate OK; invalid
+  /// Builds the signing family. `params` must validate OK; invalid
   /// params are clamped after an assert in debug builds.
   explicit MinHasher(const MinHashParams& params);
 
@@ -53,17 +66,27 @@ class MinHasher {
   /// making sim(empty, empty) estimate as 1 and sim(empty, s) typically ~0.
   Signature Sign(const ElementSet& set) const;
 
+  /// Signs a contiguous run of sets into `out[0..count)` (pre-allocated by
+  /// the caller or resized here). Bit-identical to `count` Sign calls; the
+  /// batch shape lets family kernels amortize dispatch overhead, which is
+  /// what the parallel builder's block-signing phase feeds.
+  void SignBatch(const ElementSet* sets, std::size_t count,
+                 Signature* out) const;
+
   /// The b-bit min-hash value of `set` under permutation `i` alone.
   std::uint16_t SignOne(const ElementSet& set, std::size_t i) const;
 
   const MinHashParams& params() const { return params_; }
+
+  /// The signing backend (family kind, kernels).
+  const MinHashFamily& family() const { return *impl_; }
 
   /// Mask with the low `value_bits` bits set.
   std::uint16_t value_mask() const { return value_mask_; }
 
  private:
   MinHashParams params_;
-  HashFamily family_;
+  std::shared_ptr<const MinHashFamily> impl_;
   std::uint16_t value_mask_;
 };
 

@@ -1,0 +1,80 @@
+#include "minhash/packed.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ssr {
+
+namespace {
+
+unsigned LaneBitsFor(unsigned value_bits) {
+  unsigned w = 1;
+  while (w < value_bits) w <<= 1;
+  assert(w <= 16);
+  return w;
+}
+
+/// 64-bit word with the LSB of every w-bit lane set (w a power of two).
+std::uint64_t LaneLsbMask(unsigned w) {
+  std::uint64_t mask = 0;
+  for (unsigned pos = 0; pos < 64; pos += w) mask |= 1ULL << pos;
+  return mask;
+}
+
+}  // namespace
+
+PackedSignature PackedSignature::Pack(const Signature& sig,
+                                      unsigned value_bits) {
+  PackedSignature out;
+  out.size_ = sig.size();
+  out.lane_bits_ = LaneBitsFor(value_bits);
+  const unsigned lanes_per_word = 64 / out.lane_bits_;
+  const std::uint64_t value_mask = (1ULL << value_bits) - 1ULL;
+  out.words_.assign((sig.size() + lanes_per_word - 1) / lanes_per_word, 0);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(sig[i]) & value_mask;
+    out.words_[i / lanes_per_word] |=
+        v << ((i % lanes_per_word) * out.lane_bits_);
+  }
+  return out;
+}
+
+std::uint16_t PackedSignature::at(std::size_t i) const {
+  const unsigned lanes_per_word = 64 / lane_bits_;
+  const std::uint64_t word = words_[i / lanes_per_word];
+  const std::uint64_t lane_mask = lane_bits_ == 64
+                                      ? ~0ULL
+                                      : (1ULL << lane_bits_) - 1ULL;
+  return static_cast<std::uint16_t>(
+      (word >> ((i % lanes_per_word) * lane_bits_)) & lane_mask);
+}
+
+std::size_t PackedSignature::AgreementCount(
+    const PackedSignature& other) const {
+  if (size_ != other.size_ || lane_bits_ != other.lane_bits_ || size_ == 0) {
+    return 0;
+  }
+  const std::uint64_t lsb = LaneLsbMask(lane_bits_);
+  std::size_t disagree = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t x = words_[w] ^ other.words_[w];
+    // OR-fold each lane onto its LSB. Shifts only move bits toward lower
+    // positions by < lane_bits_ total, so lanes cannot contaminate each
+    // other; padding lanes are zero in both signatures and fold to zero.
+    for (unsigned shift = lane_bits_ >> 1; shift >= 1; shift >>= 1) {
+      x |= x >> shift;
+    }
+    disagree += static_cast<std::size_t>(std::popcount(x & lsb));
+  }
+  return size_ - disagree;
+}
+
+double PackedSignature::AgreementFraction(const PackedSignature& other) const {
+  if (size_ != other.size_ || lane_bits_ != other.lane_bits_ || size_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(AgreementCount(other)) /
+         static_cast<double>(size_);
+}
+
+}  // namespace ssr

@@ -1,0 +1,81 @@
+// CPU-dispatched batch-signing kernels for the min-hash families.
+//
+// Each kernel computes, for one set, the running 64-bit minimum per
+// permutation lane — the inner loop of signing. Two variants exist per
+// kernel: a portable scalar loop and an AVX2 one (4 lanes of 64-bit
+// arithmetic). Both perform the exact same mod-2^64 operations, so their
+// outputs are bit-identical by construction; the dispatch-parity test
+// (tests/minhash/dispatch_parity_test.cc) pins that.
+//
+// Dispatch strategy: the AVX2 variants are compiled behind the SSR_SIMD
+// CMake option using __attribute__((target("avx2"))) — no special compiler
+// flags, so the rest of the translation unit stays baseline x86-64 — and
+// selected at runtime via __builtin_cpu_supports("avx2"). When SSR_SIMD is
+// OFF, on non-x86 targets, or on pre-AVX2 hardware, the *Auto entry points
+// degrade to the scalar loops. SSR_NO_SIMD=1 in the environment forces the
+// scalar path at runtime (used by benches to measure the fallback).
+
+#ifndef SSR_MINHASH_SIMD_H_
+#define SSR_MINHASH_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace ssr {
+namespace simd {
+
+/// True iff the AVX2 kernels were compiled in (SSR_SIMD=ON on x86-64).
+bool Avx2Compiled();
+
+/// True iff the AVX2 kernels will actually run: compiled in, the CPU
+/// reports AVX2, and SSR_NO_SIMD is not set in the environment. Resolved
+/// once per process.
+bool Avx2Runtime();
+
+/// Classic k-permutation kernel: minima[i] = min over e in [elems, elems+n)
+/// of Fmix64(e ^ derived[i]) for i in [0, k). `minima` must be
+/// pre-initialized by the caller (UINT64_MAX for a fresh set; a previous
+/// run's minima to continue a set split across calls).
+void ClassicMinScalar(const std::uint64_t* derived, std::size_t k,
+                      const ElementId* elems, std::size_t n,
+                      std::uint64_t* minima);
+void ClassicMinAvx2(const std::uint64_t* derived, std::size_t k,
+                    const ElementId* elems, std::size_t n,
+                    std::uint64_t* minima);
+void ClassicMinAuto(const std::uint64_t* derived, std::size_t k,
+                    const ElementId* elems, std::size_t n,
+                    std::uint64_t* minima);
+
+/// C-MinHash circulant kernel: minima[i] = min over per-element sigma
+/// hashes z in [z, z+n) of CMix(z + i*step) for i in [0, k) — one light
+/// mix per (element, permutation), the speed of the family. `step` must be
+/// odd.
+void CMinScalar(const std::uint64_t* z, std::size_t n, std::uint64_t step,
+                std::size_t k, std::uint64_t* minima);
+void CMinAvx2(const std::uint64_t* z, std::size_t n, std::uint64_t step,
+              std::size_t k, std::uint64_t* minima);
+void CMinAuto(const std::uint64_t* z, std::size_t n, std::uint64_t step,
+              std::size_t k, std::uint64_t* minima);
+
+/// The scalar CMix, exposed so tests can cross-check kernels per lane.
+///
+/// An xorshift-sandwiched multiply by a 32-bit odd constant (2^32 / phi).
+/// The inputs are already Fmix64-uniform sigma hashes, so the mixer only
+/// has to decorrelate the per-lane orderings; a full Fmix64 here would buy
+/// nothing the post-selection finalizer doesn't already provide. The
+/// multiplier deliberately fits in 32 bits: AVX2 has no 64-bit multiply,
+/// and an exact x*M for M < 2^32 takes two VPMULUDQ instead of the three a
+/// general 64-bit constant needs — this mixer IS the kernel's cost.
+inline std::uint64_t CMix(std::uint64_t u) {
+  u ^= u >> 33;
+  u *= 0x9e3779b9ULL;
+  u ^= u >> 29;
+  return u;
+}
+
+}  // namespace simd
+}  // namespace ssr
+
+#endif  // SSR_MINHASH_SIMD_H_

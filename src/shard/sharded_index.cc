@@ -478,6 +478,29 @@ Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Load(
     report.salvaged = true;
   }
 
+  // Every surviving shard must have been signed under the same minhash
+  // family (each shard section nests its own index snapshot, so skew is
+  // representable on disk): a mixed composite would route one query
+  // signature against incompatibly-signed shards. Typed NotSupported, same
+  // contract as the single-index family check.
+  {
+    bool have_family = false;
+    MinHashFamilyKind family = MinHashFamilyKind::kClassic;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      const Shard& sh = sharded.shards_[s];
+      if (sh.index == nullptr) continue;
+      const MinHashFamilyKind shard_family =
+          sh.index->embedding().params().minhash.family;
+      if (!have_family) {
+        have_family = true;
+        family = shard_family;
+      } else if (shard_family != family) {
+        return Status::NotSupported(
+            "shard minhash family mismatch across shard sections");
+      }
+    }
+  }
+
   // Rebuild the global -> local table from the per-shard routing tables.
   // Liveness truth: a healthy shard's store (salvage may have dropped
   // records); for a dead shard, the persisted map (its live sids at save

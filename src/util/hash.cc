@@ -14,10 +14,12 @@ std::uint64_t HashBytes(std::string_view bytes, std::uint64_t seed) {
 
 HashFamily::HashFamily(std::size_t count, std::uint64_t master_seed) {
   seeds_.reserve(count);
+  derived_.reserve(count);
   std::uint64_t state = master_seed;
   for (std::size_t i = 0; i < count; ++i) {
     state = SplitMix64(state + 0x632be59bd9b4e019ULL);
     seeds_.push_back(state);
+    derived_.push_back(SplitMix64(state));
   }
 }
 

@@ -51,6 +51,11 @@ std::uint64_t HashBytes(std::string_view bytes, std::uint64_t seed = 0);
 /// A seeded family of hash functions over 64-bit keys. Instance i of the
 /// family is HashU64(key, seed_i) with seeds derived from a master seed.
 /// MinHasher uses one instance per min-wise permutation.
+///
+/// HashU64(key, seed) = Fmix64(key ^ SplitMix64(seed)) only depends on the
+/// seed through SplitMix64(seed), so the family precomputes that derivation
+/// once per function; Hash() is a single xor + Fmix64 per call, bit-identical
+/// to evaluating HashU64 from the raw seed.
 class HashFamily {
  public:
   /// Creates `count` hash functions derived from `master_seed`.
@@ -61,14 +66,21 @@ class HashFamily {
 
   /// Evaluates function `i` on `key`.
   std::uint64_t Hash(std::size_t i, std::uint64_t key) const {
-    return HashU64(key, seeds_[i]);
+    return Fmix64(key ^ derived_[i]);
   }
 
   /// The seed of function `i` (exposed for serialization/tests).
   std::uint64_t seed(std::size_t i) const { return seeds_[i]; }
 
+  /// SplitMix64(seed(i)): the hoisted per-function state. Hash(i, key) ==
+  /// Fmix64(key ^ derived_seed(i)); the SIMD batch-signing kernels consume
+  /// the derived array directly.
+  std::uint64_t derived_seed(std::size_t i) const { return derived_[i]; }
+  const std::vector<std::uint64_t>& derived_seeds() const { return derived_; }
+
  private:
   std::vector<std::uint64_t> seeds_;
+  std::vector<std::uint64_t> derived_;
 };
 
 /// Tabulation hashing over 64-bit keys: 8 lookup tables of 256 random 64-bit

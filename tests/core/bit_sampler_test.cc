@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/hash.h"
+
 namespace ssr {
 namespace {
 
@@ -117,6 +119,44 @@ TEST(BitSamplerTest, KeysLongerThan64Bits) {
   EXPECT_EQ(sampler.ExtractKeyHash(a), sampler.ExtractKeyHash(a));
   if (sampler.ExtractKey(a) != sampler.ExtractKey(b)) {
     EXPECT_NE(sampler.ExtractKeyHash(a), sampler.ExtractKeyHash(b));
+  }
+}
+
+// The Hadamard probe fast path (popcount parity instead of a virtual
+// Code::Bit per sampled position) must produce exactly the generic
+// algorithm's hash. The reference below *is* the generic loop — virtual
+// dispatch, same word packing, same final partial-word sentinel — so any
+// divergence in the inlined parity computation fails here.
+TEST(BitSamplerTest, HadamardFastPathMatchesGenericExtraction) {
+  Embedding e = MakeEmbedding(16, 8);  // Hadamard is the default code kind
+  ASSERT_EQ(e.params().code_kind, CodeKind::kHadamard);
+  Rng rng(8);
+  for (std::size_t r : {7u, 40u, 64u, 65u, 130u}) {
+    BitSampler sampler(e, r, rng);
+    for (int t = 0; t < 4; ++t) {
+      Signature sig(16);
+      for (std::size_t i = 0; i < 16; ++i) {
+        sig[i] = static_cast<std::uint16_t>(rng.Next() & 0xff);
+      }
+      for (bool complemented : {false, true}) {
+        std::uint64_t h = 0x9ae16a3b2f90404fULL;
+        std::uint64_t word = 0;
+        unsigned filled = 0;
+        for (const BitPosition& p : sampler.positions()) {
+          bool bit = e.code().Bit(sig[p.coordinate], p.code_pos);
+          if (complemented) bit = !bit;
+          word = (word << 1) | static_cast<std::uint64_t>(bit);
+          if (++filled == 64) {
+            h = HashCombine(h, word);
+            word = 0;
+            filled = 0;
+          }
+        }
+        if (filled != 0) h = HashCombine(h, word | (1ULL << filled));
+        ASSERT_EQ(sampler.ExtractKeyHash(sig, complemented), h)
+            << "r=" << r << " complemented=" << complemented;
+      }
+    }
   }
 }
 

@@ -64,6 +64,19 @@ namespace {
 
 constexpr std::uint32_t kShardCounts[] = {1, 2, 4, 7};
 
+// Which signing family the whole schedule runs under. Defaults to classic
+// (the digest-compatibility anchor); CI's difftest-sweep matrix crosses the
+// seed loop with SSR_DIFFTEST_FAMILY in {classic, superminhash, cminhash},
+// and the AllFamiliesOneSeed slice below keeps every family in tier-1.
+MinHashFamilyKind DifftestFamily() {
+  if (const char* env = std::getenv("SSR_DIFFTEST_FAMILY")) {
+    auto parsed = MinHashFamilyFromName(env);
+    if (parsed.ok()) return parsed.value();
+    ADD_FAILURE() << "unknown SSR_DIFFTEST_FAMILY '" << env << "'";
+  }
+  return MinHashFamilyKind::kClassic;
+}
+
 std::vector<std::uint64_t> DifftestSeeds() {
   if (const char* env = std::getenv("SSR_DIFFTEST_SEED")) {
     char* end = nullptr;
@@ -93,7 +106,9 @@ struct RangeQuery {
 // global sids stay dense and identical across all executors.
 class Workload {
  public:
-  explicit Workload(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  explicit Workload(std::uint64_t seed,
+                    MinHashFamilyKind family = DifftestFamily())
+      : seed_(seed), family_(family), rng_(seed) {}
 
   Status BuildAll() {
     const std::size_t n = 120 + rng_.Uniform(80);
@@ -115,6 +130,7 @@ class Workload {
     IndexOptions index_options;
     index_options.embedding.minhash.num_hashes = 80;
     index_options.embedding.minhash.seed = 777;
+    index_options.embedding.minhash.family = family_;
     index_options.seed = 4242;
     auto single = SetSimilarityIndex::Build(*store_, layout_, index_options);
     if (!single.ok()) return single.status();
@@ -459,6 +475,7 @@ class Workload {
   }
 
   const std::uint64_t seed_;
+  const MinHashFamilyKind family_;
   Rng rng_;
   SetCollection sets_;
   std::vector<bool> live_;
@@ -524,6 +541,29 @@ TEST_P(DifferentialTest, CrashRecoveryPreservesTheDifferentialContract) {
   w.CheckAll(w.MakeQueries(10));
   if (::testing::Test::HasFatalFailure()) return;
   w.CheckDegraded(w.MakeQueries(6));
+}
+
+// One seed under every signing family, including the durability schedule:
+// the differential and crash-recovery contracts are family-blind, and this
+// slice keeps the non-classic families covered in tier-1 even though the
+// seed loop above runs under the (env-selected, default classic) family.
+TEST(DifferentialFamilyTest, ContractsHoldUnderEveryFamily) {
+  for (MinHashFamilyKind family : kAllMinHashFamilies) {
+    SCOPED_TRACE(std::string("family ") +
+                 std::string(MinHashFamilyName(family)));
+    Workload w(105, family);
+    ASSERT_TRUE(w.BuildAll().ok());
+    w.CheckAll(w.MakeQueries(8));
+    if (::testing::Test::HasFatalFailure()) return;
+    w.BeginDurability();
+    if (::testing::Test::HasFatalFailure()) return;
+    w.Churn(20);
+    if (::testing::Test::HasFatalFailure()) return;
+    w.CrashRecoverResume();
+    if (::testing::Test::HasFatalFailure()) return;
+    w.CheckAll(w.MakeQueries(6));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,

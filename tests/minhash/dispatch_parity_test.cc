@@ -1,0 +1,146 @@
+// Dispatch parity: the AVX2 batch-signing kernels must be bit-identical to
+// the portable scalar loops on every input — both perform the exact same
+// mod-2^64 operations, so any divergence is a kernel bug, not rounding.
+// On hardware without AVX2 (or with SSR_SIMD=OFF, where the Avx2 entry
+// points forward to the scalar loops) the comparisons are trivially equal,
+// so this suite passes in every build configuration; the CI SIMD-off leg
+// runs it to pin exactly that.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minhash/simd.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace ssr {
+namespace {
+
+std::vector<std::uint64_t> RandomWords(Rng& rng, std::size_t n) {
+  std::vector<std::uint64_t> words;
+  words.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    words.push_back(rng.Next());
+  }
+  return words;
+}
+
+std::vector<ElementId> RandomElements(Rng& rng, std::size_t n) {
+  std::vector<ElementId> elems;
+  elems.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    elems.push_back(static_cast<ElementId>(rng.Next()));
+  }
+  return elems;
+}
+
+// k values straddling the AVX2 width (4 lanes): scalar-only tails, exact
+// multiples, and the paper's k = 100.
+const std::size_t kLaneCounts[] = {1, 2, 3, 4, 5, 7, 8, 100};
+// Element counts covering empty sets, single elements, and long runs.
+const std::size_t kElementCounts[] = {0, 1, 2, 5, 31, 257};
+
+TEST(DispatchParityTest, ClassicKernelsAreBitIdentical) {
+  Rng rng(21);
+  for (std::size_t k : kLaneCounts) {
+    const std::vector<std::uint64_t> derived = RandomWords(rng, k);
+    for (std::size_t n : kElementCounts) {
+      const std::vector<ElementId> elems = RandomElements(rng, n);
+      std::vector<std::uint64_t> scalar(k, UINT64_MAX);
+      std::vector<std::uint64_t> vectorized(k, UINT64_MAX);
+      std::vector<std::uint64_t> automatic(k, UINT64_MAX);
+      simd::ClassicMinScalar(derived.data(), k, elems.data(), n,
+                             scalar.data());
+      simd::ClassicMinAvx2(derived.data(), k, elems.data(), n,
+                           vectorized.data());
+      simd::ClassicMinAuto(derived.data(), k, elems.data(), n,
+                           automatic.data());
+      ASSERT_EQ(scalar, vectorized) << "k=" << k << " n=" << n;
+      ASSERT_EQ(scalar, automatic) << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(DispatchParityTest, CMinKernelsAreBitIdentical) {
+  Rng rng(22);
+  for (std::size_t k : kLaneCounts) {
+    for (std::size_t n : kElementCounts) {
+      const std::vector<std::uint64_t> z = RandomWords(rng, n);
+      const std::uint64_t step = rng.Next() | 1;  // must be odd
+      std::vector<std::uint64_t> scalar(k, UINT64_MAX);
+      std::vector<std::uint64_t> vectorized(k, UINT64_MAX);
+      std::vector<std::uint64_t> automatic(k, UINT64_MAX);
+      simd::CMinScalar(z.data(), n, step, k, scalar.data());
+      simd::CMinAvx2(z.data(), n, step, k, vectorized.data());
+      simd::CMinAuto(z.data(), n, step, k, automatic.data());
+      ASSERT_EQ(scalar, vectorized) << "k=" << k << " n=" << n;
+      ASSERT_EQ(scalar, automatic) << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+// The scalar kernels themselves are pinned against a from-scratch loop, so
+// the parity tests above anchor to the defining formulas rather than to
+// whatever both kernels happen to compute.
+TEST(DispatchParityTest, ScalarClassicMatchesDefinition) {
+  Rng rng(23);
+  const std::size_t k = 9, n = 40;
+  const std::vector<std::uint64_t> derived = RandomWords(rng, k);
+  const std::vector<ElementId> elems = RandomElements(rng, n);
+  std::vector<std::uint64_t> minima(k, UINT64_MAX);
+  simd::ClassicMinScalar(derived.data(), k, elems.data(), n, minima.data());
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uint64_t expected = UINT64_MAX;
+    for (ElementId e : elems) {
+      expected = std::min(expected, Fmix64(e ^ derived[i]));
+    }
+    ASSERT_EQ(minima[i], expected) << "lane " << i;
+  }
+}
+
+TEST(DispatchParityTest, ScalarCMinMatchesDefinition) {
+  Rng rng(24);
+  const std::size_t k = 9, n = 40;
+  const std::vector<std::uint64_t> z = RandomWords(rng, n);
+  const std::uint64_t step = rng.Next() | 1;
+  std::vector<std::uint64_t> minima(k, UINT64_MAX);
+  simd::CMinScalar(z.data(), n, step, k, minima.data());
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uint64_t expected = UINT64_MAX;
+    for (std::uint64_t zj : z) {
+      expected = std::min(
+          expected, simd::CMix(zj + static_cast<std::uint64_t>(i) * step));
+    }
+    ASSERT_EQ(minima[i], expected) << "lane " << i;
+  }
+}
+
+// Kernels with pre-seeded minima continue a split set: running the kernel
+// over two halves must equal one run over the whole.
+TEST(DispatchParityTest, SplitRunsCompose) {
+  Rng rng(25);
+  const std::size_t k = 100, n = 64;
+  const std::vector<std::uint64_t> derived = RandomWords(rng, k);
+  const std::vector<ElementId> elems = RandomElements(rng, n);
+  std::vector<std::uint64_t> whole(k, UINT64_MAX);
+  std::vector<std::uint64_t> split(k, UINT64_MAX);
+  simd::ClassicMinAuto(derived.data(), k, elems.data(), n, whole.data());
+  simd::ClassicMinAuto(derived.data(), k, elems.data(), n / 2, split.data());
+  simd::ClassicMinAuto(derived.data(), k, elems.data() + n / 2, n - n / 2,
+                       split.data());
+  EXPECT_EQ(whole, split);
+}
+
+TEST(DispatchParityTest, RuntimeDispatchIsConsistent) {
+  // Runtime AVX2 can only be on if the kernels were compiled in; the
+  // queried value is stable across calls (resolved once per process).
+  if (simd::Avx2Runtime()) {
+    EXPECT_TRUE(simd::Avx2Compiled());
+  }
+  EXPECT_EQ(simd::Avx2Runtime(), simd::Avx2Runtime());
+}
+
+}  // namespace
+}  // namespace ssr

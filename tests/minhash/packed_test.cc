@@ -1,0 +1,138 @@
+// b-bit packed signatures: packing must be lossless (the b-bit truncation
+// already happened at signing time), the SWAR/popcount agreement kernel
+// must count exactly what the value-by-value loop counts, and the packed
+// estimator overloads must be numerically identical to the unpacked ones.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minhash/estimator.h"
+#include "minhash/min_hasher.h"
+#include "minhash/packed.h"
+#include "minhash/signature.h"
+#include "util/random.h"
+
+namespace ssr {
+namespace {
+
+Signature RandomSignature(Rng& rng, std::size_t k, unsigned value_bits) {
+  const std::uint16_t mask =
+      static_cast<std::uint16_t>((1u << value_bits) - 1u);
+  Signature sig(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    sig[i] = static_cast<std::uint16_t>(rng.Next()) & mask;
+  }
+  return sig;
+}
+
+// A pair that actually agrees on many coordinates: start from a copy and
+// re-randomize a fraction. Pure random pairs agree ~2^-b of the time, which
+// would leave the agreement path nearly untested at large b.
+Signature Perturb(Rng& rng, const Signature& base, unsigned value_bits,
+                  double flip_probability) {
+  const std::uint16_t mask =
+      static_cast<std::uint16_t>((1u << value_bits) - 1u);
+  Signature out = base;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng.Bernoulli(flip_probability)) {
+      out[i] = static_cast<std::uint16_t>(rng.Next()) & mask;
+    }
+  }
+  return out;
+}
+
+TEST(PackedSignatureTest, PackRoundTripsEveryWidth) {
+  Rng rng(31);
+  for (unsigned b = 1; b <= 16; ++b) {
+    for (std::size_t k : {1u, 3u, 16u, 63u, 64u, 65u, 100u}) {
+      const Signature sig = RandomSignature(rng, k, b);
+      const PackedSignature packed = PackedSignature::Pack(sig, b);
+      ASSERT_EQ(packed.size(), k);
+      ASSERT_GE(packed.lane_bits(), b);
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(packed.at(i), sig[i]) << "b=" << b << " k=" << k
+                                        << " coordinate " << i;
+      }
+    }
+  }
+}
+
+TEST(PackedSignatureTest, AgreementMatchesValueByValueCount) {
+  Rng rng(32);
+  for (unsigned b = 1; b <= 16; ++b) {
+    for (double flip : {0.0, 0.1, 0.5, 1.0}) {
+      const std::size_t k = 100;
+      const Signature a = RandomSignature(rng, k, b);
+      const Signature c = Perturb(rng, a, b, flip);
+      std::size_t expected = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (a[i] == c[i]) ++expected;
+      }
+      const PackedSignature pa = PackedSignature::Pack(a, b);
+      const PackedSignature pc = PackedSignature::Pack(c, b);
+      ASSERT_EQ(pa.AgreementCount(pc), expected) << "b=" << b;
+      ASSERT_DOUBLE_EQ(pa.AgreementFraction(pc), a.AgreementFraction(c))
+          << "b=" << b;
+    }
+  }
+}
+
+TEST(PackedSignatureTest, MismatchedShapesCompareAsZero) {
+  Rng rng(33);
+  const Signature a = RandomSignature(rng, 32, 8);
+  const Signature b = RandomSignature(rng, 33, 8);
+  EXPECT_EQ(PackedSignature::Pack(a, 8).AgreementCount(
+                PackedSignature::Pack(b, 8)),
+            0u);
+  // Same k, different lane widths (8 vs 16): not comparable.
+  EXPECT_EQ(PackedSignature::Pack(a, 8).AgreementCount(
+                PackedSignature::Pack(a, 16)),
+            0u);
+  EXPECT_EQ(PackedSignature().AgreementCount(PackedSignature()), 0u);
+  EXPECT_EQ(PackedSignature().AgreementFraction(PackedSignature()), 0.0);
+}
+
+TEST(PackedSignatureTest, EstimatorPackedMatchesUnpacked) {
+  Rng rng(34);
+  for (unsigned b : {1u, 4u, 8u, 12u, 16u}) {
+    SimilarityEstimator estimator(b);
+    for (double flip : {0.05, 0.4, 0.9}) {
+      const Signature a = RandomSignature(rng, 100, b);
+      const Signature c = Perturb(rng, a, b, flip);
+      const PackedSignature pa = PackedSignature::Pack(a, b);
+      const PackedSignature pc = PackedSignature::Pack(c, b);
+      ASSERT_DOUBLE_EQ(estimator.RawEstimate(pa, pc),
+                       estimator.RawEstimate(a, c))
+          << "b=" << b;
+      ASSERT_DOUBLE_EQ(estimator.Estimate(pa, pc), estimator.Estimate(a, c))
+          << "b=" << b;
+    }
+  }
+}
+
+// End to end over real signatures: pack what MinHasher produces and verify
+// the packed estimate equals the unpacked one for every family.
+TEST(PackedSignatureTest, RealSignaturesSurvivePacking) {
+  Rng rng(35);
+  for (MinHashFamilyKind kind : kAllMinHashFamilies) {
+    MinHashParams params;
+    params.num_hashes = 100;
+    params.value_bits = 8;
+    params.family = kind;
+    MinHasher hasher(params);
+    SimilarityEstimator estimator(params.value_bits);
+    ElementSet x, y;
+    for (int i = 0; i < 60; ++i) x.push_back(static_cast<ElementId>(i));
+    for (int i = 30; i < 90; ++i) y.push_back(static_cast<ElementId>(i));
+    const Signature sx = hasher.Sign(x), sy = hasher.Sign(y);
+    const PackedSignature px = PackedSignature::Pack(sx, params.value_bits);
+    const PackedSignature py = PackedSignature::Pack(sy, params.value_bits);
+    EXPECT_DOUBLE_EQ(estimator.Estimate(px, py), estimator.Estimate(sx, sy))
+        << MinHashFamilyName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ssr

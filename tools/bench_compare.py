@@ -60,6 +60,14 @@ def direction(key):
     # without this rule.
     if k.endswith(("_p50_micros", "_p99_micros", "_burn_rate")):
         return -1
+    # Signing-cost scalars from the signature-engine ablation are ns/set by
+    # construction. Explicit suffix precedence so the family name can never
+    # flip the direction — `signing_<family>_sign_ns` stays a timing even
+    # for a hypothetical family named after a higher-is-better substring
+    # (e.g. `signing_qps_weighted_sign_ns`), where substring scanning would
+    # depend on list order.
+    if k.endswith("_sign_ns"):
+        return -1
     if any(s in k for s in LOWER_IS_BETTER):
         return -1
     if any(s in k for s in HIGHER_IS_BETTER):

@@ -48,6 +48,10 @@ BASE = {
         "introspection_query_p99_micros": 200.0,
         "introspection_availability_burn_rate": 0.1,
         "qps_p99_micros": 120.0,
+        "signing_classic_sign_ns": 25000.0,
+        "signing_superminhash_sign_large_ns": 30000.0,
+        "qps_weighted_sign_ns": 40.0,
+        "signing_classic_recall": 0.75,
     },
 }
 
@@ -172,6 +176,34 @@ def main():
         rc, out = run(compare, base,
                       write(tmp, "burn_down.json", better_burn))
         check("burn rate drop is an improvement", 0, rc, out)
+
+        # Signature-engine suffix rule: *_sign_ns is lower-is-better even
+        # when the key also carries a higher-is-better substring ("_qps"
+        # inside qps_weighted_sign_ns), and the per-family ablation recall
+        # keeps the quality direction despite the "signing_" timing prefix.
+        slow_sign = json.loads(json.dumps(BASE))
+        slow_sign["scalars"]["signing_classic_sign_ns"] = 60000.0
+        slow_sign["scalars"]["signing_superminhash_sign_large_ns"] = 90000.0
+        rc, out = run(compare, base, write(tmp, "sign.json", slow_sign))
+        check("sign ns growth", 1, rc, out)
+
+        slow_qps_sign = json.loads(json.dumps(BASE))
+        slow_qps_sign["scalars"]["qps_weighted_sign_ns"] = 100.0
+        rc, out = run(compare, base,
+                      write(tmp, "qps_sign.json", slow_qps_sign))
+        check("sign_ns suffix wins over qps substring", 1, rc, out)
+
+        worse_fam_recall = json.loads(json.dumps(BASE))
+        worse_fam_recall["scalars"]["signing_classic_recall"] = 0.3
+        rc, out = run(compare, base,
+                      write(tmp, "fam_recall.json", worse_fam_recall))
+        check("family ablation recall drop", 1, rc, out)
+
+        faster_sign = json.loads(json.dumps(BASE))
+        faster_sign["scalars"]["signing_classic_sign_ns"] = 6000.0
+        rc, out = run(compare, base,
+                      write(tmp, "sign_down.json", faster_sign))
+        check("sign ns drop is an improvement", 0, rc, out)
 
         legacy = {"bench": "selftest",
                   "scalars": {"micro_jaccard_ns": 101.0}}
