@@ -1,7 +1,8 @@
 // Benchmark-trajectory driver: runs a canonical, pinned-parameter bench
 // suite (micro primitives, candidate generation, the Figure 7 harness, the
 // Equation 4 filter curve, parallel build scaling, concurrent batch-query
-// throughput, and sharded scatter/gather scaling), profiles every phase
+// throughput, sharded scatter/gather scaling, and live-mutability churn
+// with online rebalance), profiles every phase
 // with hardware-or-fallback perf
 // counters, and writes one numbered BENCH_<n>.json trajectory point per
 // invocation. Successive points (same machine, same governor —
@@ -30,6 +31,7 @@
 // software-only wall/CPU measurements (the CI fallback check).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -37,6 +39,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -45,6 +48,7 @@
 #include "core/sfi.h"
 #include "eval/harness.h"
 #include "exec/batch_executor.h"
+#include "exec/epoch.h"
 #include "hamming/embedding.h"
 #include "minhash/family.h"
 #include "minhash/min_hasher.h"
@@ -670,6 +674,207 @@ int RunShardScalingSuite(bool quick, RunReport* report) {
   return 0;
 }
 
+/// Live mutability under load (DESIGN.md §16): writer threads drive
+/// Insert/Erase churn against a P=3 sharded index while reader threads
+/// time individual queries, then a grow(6)/shrink(3) rebalance cycle runs
+/// with the readers still going. Charts the concurrent mutation rate, the
+/// reader p99 while the index is mutating underneath it, and the rebalance
+/// migration rate. Like the shard_scaling cross-check, correctness is a
+/// hard invariant, not a metric: every concurrent answer must be
+/// well-formed (sorted, unique, rebalancing implies partial) and after the
+/// churn quiesces a full-range query must return exactly the surviving
+/// sids on exactly the original shard count — a divergence fails the run.
+int RunChurnSuite(bool quick, RunReport* report) {
+  bench::PrintHeader("suite: churn (writers vs readers vs rebalance)");
+  obs::ProfileScope profile("churn_suite");
+  Rng rng(0x5eed0c);
+  const std::size_t collection = quick ? 400 : 1600;
+  const std::size_t ops_per_writer = quick ? 400 : 1600;
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr std::uint32_t kHomeShards = 3;
+
+  SetCollection sets;
+  sets.reserve(collection);
+  for (std::size_t i = 0; i < collection; ++i) {
+    sets.push_back(RandomSet(rng, 40, 1 << 16));
+  }
+  IndexLayout layout;
+  layout.delta = 0.3;
+  layout.points.push_back({0.2, FilterKind::kDissimilarity, 8, 0});
+  layout.points.push_back({0.5, FilterKind::kSimilarity, 8, 0});
+  layout.points.push_back({0.8, FilterKind::kSimilarity, 8, 0});
+  IndexOptions index_options;
+  index_options.embedding.minhash.num_hashes = 100;
+  index_options.embedding.minhash.value_bits = 8;
+
+  shard::ShardedIndexOptions options;
+  options.num_shards = kHomeShards;
+  options.index = index_options;
+  auto index = shard::ShardedSetSimilarityIndex::Build(sets, layout, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "churn build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  exec::EpochManager epochs;
+  index->EnableConcurrentWrites(&epochs);
+
+  std::vector<ElementSet> probes;
+  for (int i = 0; i < 64; ++i) probes.push_back(RandomSet(rng, 40, 1 << 16));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reader_failures{0};
+  std::vector<std::vector<double>> latencies(kReaders);
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<double>& lat = latencies[r];
+      lat.reserve(4096);
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ElementSet& probe = probes[i++ % probes.size()];
+        Stopwatch watch;
+        auto answer = index->Query(probe, 0.55, 0.95);
+        lat.push_back(watch.ElapsedSeconds() * 1e6);
+        if (!answer.ok() ||
+            !std::is_sorted(answer->sids.begin(), answer->sids.end()) ||
+            std::adjacent_find(answer->sids.begin(), answer->sids.end()) !=
+                answer->sids.end() ||
+            (answer->rebalancing && !answer->partial)) {
+          reader_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Writers own disjoint sid ranges above the built collection, so the
+  // surviving sid set is exactly reconstructible for the final cross-check.
+  std::vector<std::vector<std::pair<SetId, ElementSet>>> survivors(kWriters);
+  std::atomic<std::size_t> writer_failures{0};
+  Stopwatch churn_watch;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      Rng wrng(0xc4000 + w);
+      SetId next = collection + static_cast<SetId>(w) * (ops_per_writer + 1);
+      std::vector<std::pair<SetId, ElementSet>> mine;
+      for (std::size_t op = 0; op < ops_per_writer; ++op) {
+        if (mine.size() < 8 || wrng.Bernoulli(0.6)) {
+          ElementSet set = RandomSet(wrng, 40, 1 << 16);
+          if (set.empty()) set.push_back(1);
+          if (index->Insert(next, set).ok()) {
+            mine.emplace_back(next, std::move(set));
+          } else {
+            writer_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          ++next;
+        } else {
+          const std::size_t pick = wrng.Uniform(mine.size());
+          if (!index->Erase(mine[pick].first).ok()) {
+            writer_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          mine.erase(mine.begin() + pick);
+        }
+      }
+      survivors[w] = std::move(mine);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  const double churn_seconds = churn_watch.ElapsedSeconds();
+  const double mutation_ops =
+      static_cast<double>(kWriters) * static_cast<double>(ops_per_writer);
+
+  // Online rebalance with the readers still running: grow to 2P, shrink
+  // back home. Timed across both cycles; the migration rate is what an
+  // operator watches while resharding a live deployment.
+  bool rebalance_failed = false;
+  std::size_t total_moves = 0;
+  Stopwatch rebalance_watch;
+  for (std::uint32_t target : {kHomeShards * 2, kHomeShards}) {
+    if (!index->BeginRebalance(target).ok()) {
+      rebalance_failed = true;
+      break;
+    }
+    for (;;) {
+      auto remaining = index->StepRebalance(8);
+      if (!remaining.ok()) {
+        rebalance_failed = true;
+        break;
+      }
+      if (*remaining == 0) break;
+    }
+    if (rebalance_failed) break;
+    total_moves += index->rebalance_status().moves_done;
+    if (!index->FinishRebalance().ok()) {
+      rebalance_failed = true;
+      break;
+    }
+  }
+  const double rebalance_seconds = rebalance_watch.ElapsedSeconds();
+
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  epochs.Quiesce();
+
+  if (rebalance_failed) {
+    std::fprintf(stderr, "churn rebalance cycle failed\n");
+    return 1;
+  }
+  if (writer_failures.load() != 0 || reader_failures.load() != 0) {
+    std::fprintf(stderr,
+                 "churn invariants violated: %zu writer, %zu reader\n",
+                 writer_failures.load(), reader_failures.load());
+    return 1;
+  }
+
+  // Settled cross-check: exactly the surviving sids, back on P=3.
+  std::vector<SetId> expect;
+  for (SetId sid = 0; sid < collection; ++sid) expect.push_back(sid);
+  for (const auto& mine : survivors) {
+    for (const auto& entry : mine) expect.push_back(entry.first);
+  }
+  std::sort(expect.begin(), expect.end());
+  auto settled = index->Query(probes.front(), 0.0, 1.0);
+  if (!settled.ok() || settled->sids != expect || settled->rebalancing ||
+      settled->partial || index->num_shards() != kHomeShards) {
+    std::fprintf(stderr,
+                 "churn settled cross-check diverged (%zu answered, %zu "
+                 "expected, P=%u)\n",
+                 settled.ok() ? settled->sids.size() : std::size_t{0},
+                 expect.size(), index->num_shards());
+    return 1;
+  }
+
+  std::vector<double> all_lat;
+  for (const std::vector<double>& lat : latencies) {
+    all_lat.insert(all_lat.end(), lat.begin(), lat.end());
+  }
+  std::sort(all_lat.begin(), all_lat.end());
+  const double p99 =
+      all_lat.empty()
+          ? 0.0
+          : all_lat[std::min(all_lat.size() - 1,
+                             (all_lat.size() * 99) / 100)];
+  const double mutation_rate =
+      churn_seconds > 0.0 ? mutation_ops / churn_seconds : 0.0;
+  const double move_rate = rebalance_seconds > 0.0
+                               ? static_cast<double>(total_moves) /
+                                     rebalance_seconds
+                               : 0.0;
+  std::printf("  %.0f mutations in %.3f s (%.0f ops/s), reader p99 %.1f us "
+              "over %zu queries\n",
+              mutation_ops, churn_seconds, mutation_rate, p99,
+              all_lat.size());
+  std::printf("  rebalance %u->%u->%u: %zu moves in %.3f s (%.0f moves/s)\n",
+              kHomeShards, kHomeShards * 2, kHomeShards, total_moves,
+              rebalance_seconds, move_rate);
+  report->AddScalar("churn_mutation_ops_per_sec", mutation_rate);
+  report->AddScalar("churn_reader_p99_micros", p99);
+  report->AddScalar("churn_rebalance_moves_per_sec", move_rate);
+  return 0;
+}
+
 /// Workload record → checksummed save/load → replay. Runs a deterministic
 /// mixed-threshold batch with full observability attached (observer +
 /// 1-in-1 query-log recorder + shadow-oracle estimator), round-trips the
@@ -1265,6 +1470,8 @@ constexpr Suite kSuites[] = {
      RunQueryThroughputSuite},
     {"shard_scaling", "sharded scatter/gather at P=1/2/4 with cross-check",
      RunShardScalingSuite},
+    {"churn", "concurrent Insert/Erase vs readers + online rebalance",
+     RunChurnSuite},
     {"replay", "workload record -> save/load -> replay bit-stability",
      RunReplaySuite},
     {"durability", "WAL fsync policies + recovery time vs log length",

@@ -38,6 +38,12 @@ class DissimilarityFilterIndex {
     return sfi_.Erase(sid, sig);
   }
 
+  /// Copy-on-write mode with epoch-deferred reclamation (see
+  /// SimilarityFilterIndex::SetEpochManager).
+  void SetEpochManager(exec::EpochManager* manager) {
+    sfi_.SetEpochManager(manager);
+  }
+
   /// DissimVector(s*, q): sids of vectors at most s*-similar to the query.
   std::vector<SetId> DissimVector(const Signature& query,
                                   SfiProbeStats* stats = nullptr) const {

@@ -1,6 +1,7 @@
 #include "core/hash_table.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
@@ -12,24 +13,100 @@ namespace ssr {
 SidHashTable::SidHashTable(std::size_t num_buckets) {
   const std::size_t n = static_cast<std::size_t>(
       NextPowerOfTwo(num_buckets == 0 ? 1 : num_buckets));
-  buckets_.resize(n);
+  buckets_ = std::make_unique<std::atomic<Bucket*>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  num_buckets_ = n;
   mask_ = n - 1;
 }
 
+SidHashTable::~SidHashTable() {
+  if (buckets_ == nullptr) return;
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    delete buckets_[i].load(std::memory_order_relaxed);
+  }
+}
+
+SidHashTable::SidHashTable(SidHashTable&& other) noexcept
+    : buckets_(std::move(other.buckets_)),
+      num_buckets_(other.num_buckets_),
+      mask_(other.mask_),
+      size_(other.size_.load(std::memory_order_relaxed)),
+      manager_(other.manager_),
+      bucket_accesses_(
+          other.bucket_accesses_.load(std::memory_order_relaxed)) {
+  other.num_buckets_ = 0;
+}
+
+SidHashTable& SidHashTable::operator=(SidHashTable&& other) noexcept {
+  if (this != &other) {
+    if (buckets_ != nullptr) {
+      for (std::size_t i = 0; i < num_buckets_; ++i) {
+        delete buckets_[i].load(std::memory_order_relaxed);
+      }
+    }
+    buckets_ = std::move(other.buckets_);
+    num_buckets_ = other.num_buckets_;
+    mask_ = other.mask_;
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    manager_ = other.manager_;
+    bucket_accesses_.store(
+        other.bucket_accesses_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.num_buckets_ = 0;
+  }
+  return *this;
+}
+
+void SidHashTable::PublishBucket(std::size_t i, Bucket* replacement) {
+  Bucket* old = buckets_[i].exchange(replacement, std::memory_order_seq_cst);
+  if (old == nullptr) return;
+  if (manager_ != nullptr) {
+    manager_->Retire([old] { delete old; });
+  } else {
+    delete old;
+  }
+}
+
 void SidHashTable::Insert(std::uint64_t key_hash, SetId sid) {
-  buckets_[BucketIndex(key_hash)].push_back({Fingerprint(key_hash), sid});
-  ++size_;
+  const std::size_t i = BucketIndex(key_hash);
+  Bucket* bucket = buckets_[i].load(std::memory_order_relaxed);
+  if (manager_ == nullptr) {
+    // Build mode: single-threaded ownership, edit in place.
+    if (bucket == nullptr) {
+      bucket = new Bucket();
+      buckets_[i].store(bucket, std::memory_order_relaxed);
+    }
+    bucket->push_back({Fingerprint(key_hash), sid});
+  } else {
+    // COW mode: publish a replacement, retire the old bucket.
+    auto* grown = bucket == nullptr ? new Bucket() : new Bucket(*bucket);
+    grown->push_back({Fingerprint(key_hash), sid});
+    PublishBucket(i, grown);
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool SidHashTable::Erase(std::uint64_t key_hash, SetId sid) {
-  auto& bucket = buckets_[BucketIndex(key_hash)];
+  const std::size_t i = BucketIndex(key_hash);
+  Bucket* bucket = buckets_[i].load(std::memory_order_relaxed);
+  if (bucket == nullptr) return false;
   const std::uint16_t fp = Fingerprint(key_hash);
-  auto it = std::find_if(bucket.begin(), bucket.end(), [&](const Entry& e) {
+  auto matches = [&](const Entry& e) {
     return e.sid == sid && e.fingerprint == fp;
-  });
-  if (it == bucket.end()) return false;
-  bucket.erase(it);
-  --size_;
+  };
+  auto it = std::find_if(bucket->begin(), bucket->end(), matches);
+  if (it == bucket->end()) return false;
+  if (manager_ == nullptr) {
+    bucket->erase(it);
+  } else {
+    auto* shrunk = new Bucket(*bucket);
+    shrunk->erase(shrunk->begin() + (it - bucket->begin()));
+    PublishBucket(i, shrunk);
+  }
+  size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -51,28 +128,32 @@ std::size_t SidHashTable::Probe(std::uint64_t key_hash,
     fault::FaultInjector& injector = fault::FaultInjector::Default();
     if (injector.enabled()) injector.Check("hash_table/probe");
   }
-  const auto& bucket = buckets_[BucketIndex(key_hash)];
-  scanned->Add(bucket.size());
+  const Bucket* bucket = LoadBucket(BucketIndex(key_hash));
+  if (bucket == nullptr) return 0;
+  scanned->Add(bucket->size());
   const std::uint16_t fp = Fingerprint(key_hash);
-  for (const Entry& e : bucket) {
+  for (const Entry& e : *bucket) {
     if (e.fingerprint == fp) out->push_back(e.sid);
   }
-  return bucket.size();
+  return bucket->size();
 }
 
 std::size_t SidHashTable::max_bucket_size() const {
   std::size_t max_size = 0;
-  for (const auto& b : buckets_) {
-    max_size = std::max(max_size, b.size());
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    const Bucket* b = LoadBucket(i);
+    if (b != nullptr) max_size = std::max(max_size, b->size());
   }
   return max_size;
 }
 
 std::uint64_t SidHashTable::ContentDigest() const {
-  std::uint64_t h = SplitMix64(buckets_.size());
-  for (const auto& bucket : buckets_) {
-    h = HashCombine(h, bucket.size());
-    for (const Entry& e : bucket) {
+  std::uint64_t h = SplitMix64(num_buckets_);
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    const Bucket* bucket = LoadBucket(i);
+    h = HashCombine(h, bucket == nullptr ? 0 : bucket->size());
+    if (bucket == nullptr) continue;
+    for (const Entry& e : *bucket) {
       h = HashCombine(h, (static_cast<std::uint64_t>(e.fingerprint) << 48) ^
                              static_cast<std::uint64_t>(e.sid));
     }

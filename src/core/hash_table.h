@@ -3,14 +3,24 @@
 // are counted — each probe of a disk-resident table costs one random page
 // read in the paper's cost model, and SFI answers a query with O(l) bucket
 // accesses.
+//
+// Concurrency model (PR 10): each bucket is published through an atomic
+// pointer (null = empty). In the default single-writer build mode mutations
+// edit the bucket vector in place, exactly as before. After
+// SetEpochManager() the table switches to copy-on-write: Insert/Erase build
+// a replacement bucket, swap the pointer, and retire the old vector through
+// the epoch manager — so readers probing under an exec::EpochGuard are
+// wait-free and never observe a bucket mid-edit.
 
 #ifndef SSR_CORE_HASH_TABLE_H_
 #define SSR_CORE_HASH_TABLE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "exec/epoch.h"
 #include "util/types.h"
 
 namespace ssr {
@@ -29,27 +39,21 @@ class SidHashTable {
     SetId sid;
   };
 
+  using Bucket = std::vector<Entry>;
+
   /// `num_buckets` is rounded up to a power of two (>= 1).
   explicit SidHashTable(std::size_t num_buckets);
+  ~SidHashTable();
 
-  // The atomic counter is not movable by default; moves happen only while
-  // the table is singly-owned (vector growth, SFI construction), so a
-  // relaxed value transfer is exact.
-  SidHashTable(SidHashTable&& other) noexcept
-      : buckets_(std::move(other.buckets_)),
-        mask_(other.mask_),
-        size_(other.size_),
-        bucket_accesses_(
-            other.bucket_accesses_.load(std::memory_order_relaxed)) {}
-  SidHashTable& operator=(SidHashTable&& other) noexcept {
-    buckets_ = std::move(other.buckets_);
-    mask_ = other.mask_;
-    size_ = other.size_;
-    bucket_accesses_.store(
-        other.bucket_accesses_.load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
-    return *this;
-  }
+  // Moves happen only while the table is singly-owned (vector growth, SFI
+  // construction), so relaxed value transfers of the atomics are exact.
+  SidHashTable(SidHashTable&& other) noexcept;
+  SidHashTable& operator=(SidHashTable&& other) noexcept;
+
+  /// Switches mutations to copy-on-write with epoch-deferred reclamation.
+  /// Call once, before the first concurrent reader; earlier mutations (the
+  /// bulk build) stay in-place.
+  void SetEpochManager(exec::EpochManager* manager) { manager_ = manager; }
 
   /// Inserts `sid` under `key_hash`.
   void Insert(std::uint64_t key_hash, SetId sid);
@@ -61,11 +65,12 @@ class SidHashTable {
   /// Appends the sids stored under `key_hash` to `out` and returns the
   /// physical size of the bucket scanned (the I/O-relevant quantity: a
   /// disk-resident probe reads the whole bucket before filtering). Also
-  /// bumps the bucket-access counter.
+  /// bumps the bucket-access counter. Safe to call concurrently with
+  /// COW-mode mutations when the caller holds an exec::EpochGuard.
   std::size_t Probe(std::uint64_t key_hash, std::vector<SetId>* out) const;
 
-  std::size_t num_buckets() const { return buckets_.size(); }
-  std::size_t size() const { return size_; }
+  std::size_t num_buckets() const { return num_buckets_; }
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
 
   /// Number of Probe() calls since construction/reset (one bucket access
   /// each; the paper charges one random I/O per access for disk-resident
@@ -95,9 +100,21 @@ class SidHashTable {
     return static_cast<std::uint16_t>(key_hash >> 48);
   }
 
-  std::vector<std::vector<Entry>> buckets_;
-  std::size_t mask_;
-  std::size_t size_ = 0;
+  /// Reader-side bucket load; null means empty.
+  const Bucket* LoadBucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_seq_cst);
+  }
+
+  /// Swaps bucket `i` to `replacement` (ownership transferred; null =
+  /// empty) and disposes of the old bucket — inline in build mode, via
+  /// epoch retire in COW mode.
+  void PublishBucket(std::size_t i, Bucket* replacement);
+
+  std::unique_ptr<std::atomic<Bucket*>[]> buckets_;
+  std::size_t num_buckets_ = 0;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> size_{0};
+  exec::EpochManager* manager_ = nullptr;
   mutable std::atomic<std::uint64_t> bucket_accesses_{0};
 };
 

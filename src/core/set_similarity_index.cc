@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <sstream>
 
 #include "exec/thread_pool.h"
@@ -107,6 +108,101 @@ SetSimilarityIndex::SetSimilarityIndex(SetStore& store, IndexLayout layout,
                                         scope, obs::LatencyBoundsMicros());
 }
 
+void SetSimilarityIndex::FreeSignatures() {
+  // Singly-owned teardown (destructor / move-assignment target): no reader
+  // can hold a pin into this index anymore, so the live signatures are
+  // freed inline. Versions retired earlier through the epoch manager are
+  // its responsibility, not ours.
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  for (std::size_t sid = 0; sid < cap; ++sid) {
+    delete signatures_.Get(sid);
+  }
+  capacity_.store(0, std::memory_order_relaxed);
+  num_live_.store(0, std::memory_order_relaxed);
+}
+
+SetSimilarityIndex::~SetSimilarityIndex() { FreeSignatures(); }
+
+SetSimilarityIndex::SetSimilarityIndex(SetSimilarityIndex&& other) noexcept
+    : store_(other.store_),
+      layout_(std::move(other.layout_)),
+      options_(std::move(other.options_)),
+      embedding_(std::move(other.embedding_)),
+      fis_(std::move(other.fis_)),
+      signatures_(std::move(other.signatures_)),
+      capacity_(other.capacity_.load(std::memory_order_relaxed)),
+      num_live_(other.num_live_.load(std::memory_order_relaxed)),
+      epoch_manager_(other.epoch_manager_),
+      build_stats_(other.build_stats_),
+      workload_observer_(other.workload_observer_),
+      wal_(other.wal_),
+      queries_(other.queries_),
+      bucket_accesses_(other.bucket_accesses_),
+      bucket_pages_(other.bucket_pages_),
+      sids_scanned_(other.sids_scanned_),
+      sets_fetched_(other.sets_fetched_),
+      results_(other.results_),
+      probe_failures_(other.probe_failures_),
+      fetch_failures_(other.fetch_failures_),
+      degraded_queries_(other.degraded_queries_),
+      seqscan_fallbacks_(other.seqscan_fallbacks_),
+      live_sets_(other.live_sets_),
+      candidates_hist_(other.candidates_hist_),
+      latency_hist_(other.latency_hist_) {
+  other.capacity_.store(0, std::memory_order_relaxed);
+  other.num_live_.store(0, std::memory_order_relaxed);
+}
+
+SetSimilarityIndex& SetSimilarityIndex::operator=(
+    SetSimilarityIndex&& other) noexcept {
+  if (this != &other) {
+    FreeSignatures();
+    store_ = other.store_;
+    layout_ = std::move(other.layout_);
+    options_ = std::move(other.options_);
+    embedding_ = std::move(other.embedding_);
+    fis_ = std::move(other.fis_);
+    signatures_ = std::move(other.signatures_);
+    capacity_.store(other.capacity_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    num_live_.store(other.num_live_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    epoch_manager_ = other.epoch_manager_;
+    build_stats_ = other.build_stats_;
+    workload_observer_ = other.workload_observer_;
+    wal_ = other.wal_;
+    queries_ = other.queries_;
+    bucket_accesses_ = other.bucket_accesses_;
+    bucket_pages_ = other.bucket_pages_;
+    sids_scanned_ = other.sids_scanned_;
+    sets_fetched_ = other.sets_fetched_;
+    results_ = other.results_;
+    probe_failures_ = other.probe_failures_;
+    fetch_failures_ = other.fetch_failures_;
+    degraded_queries_ = other.degraded_queries_;
+    seqscan_fallbacks_ = other.seqscan_fallbacks_;
+    live_sets_ = other.live_sets_;
+    candidates_hist_ = other.candidates_hist_;
+    latency_hist_ = other.latency_hist_;
+    other.capacity_.store(0, std::memory_order_relaxed);
+    other.num_live_.store(0, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void SetSimilarityIndex::EnableConcurrentWrites(exec::EpochManager* manager) {
+  if (manager == nullptr) manager = &exec::EpochManager::Default();
+  epoch_manager_ = manager;
+  signatures_.SetEpochManager(manager);
+  for (auto& fi : fis_) {
+    if (fi.sfi != nullptr) {
+      fi.sfi->SetEpochManager(manager);
+    } else {
+      fi.dfi->SetEpochManager(manager);
+    }
+  }
+}
+
 Status SetSimilarityIndex::BuildFilterIndices() {
   Stopwatch build_watch;
   SSR_RETURN_IF_ERROR(CreateFilterIndices());
@@ -136,9 +232,13 @@ Status SetSimilarityIndex::BuildFilterIndices() {
 
   SetId max_sid = 0;
   for (SetId sid : sids) max_sid = std::max(max_sid, sid);
-  if (n > 0 && max_sid >= live_.size()) {
-    live_.resize(max_sid + 1, false);
-    signatures_.resize(max_sid + 1);
+  if (n > 0) {
+    // Pre-grow the slot array serially so the parallel sign phase below
+    // only stores into disjoint, already-allocated slots.
+    signatures_.EnsureCapacity(max_sid + 1);
+    if (max_sid + 1 > capacity_.load(std::memory_order_relaxed)) {
+      capacity_.store(max_sid + 1, std::memory_order_relaxed);
+    }
   }
 
   // Phase 1 (parallel): sign every set, block-batched through
@@ -162,7 +262,7 @@ Status SetSimilarityIndex::BuildFilterIndices() {
           block.resize(hi - lo);
           embedding_->SignBatch(&sets[lo], hi - lo, block.data());
           for (std::size_t i = lo; i < hi; ++i) {
-            signatures_[sids[i]] = std::move(block[i - lo]);
+            signatures_.Set(sids[i], new Signature(std::move(block[i - lo])));
           }
         });
     const exec::JobStats& job = pool.last_job_stats();
@@ -185,6 +285,9 @@ Status SetSimilarityIndex::BuildFilterIndices() {
         fis_[f].sfi != nullptr ? fis_[f].sfi->l() : fis_[f].dfi->l();
     for (std::size_t t = 0; t < l; ++t) tables.push_back({f, t});
   }
+  // Resolve each sid's signature pointer once, not per (table, sid) pair.
+  std::vector<const Signature*> sig_of(n);
+  for (std::size_t i = 0; i < n; ++i) sig_of[i] = signatures_.Get(sids[i]);
   {
     obs::TraceSpan span("build/insert");
     span.Tag("tables", static_cast<std::uint64_t>(tables.size()));
@@ -195,11 +298,11 @@ Status SetSimilarityIndex::BuildFilterIndices() {
           BuiltFi& fi = fis_[ref.fi];
           if (fi.sfi != nullptr) {
             for (std::size_t i = 0; i < n; ++i) {
-              fi.sfi->InsertIntoTable(ref.table, sids[i], signatures_[sids[i]]);
+              fi.sfi->InsertIntoTable(ref.table, sids[i], *sig_of[i]);
             }
           } else {
             for (std::size_t i = 0; i < n; ++i) {
-              fi.dfi->InsertIntoTable(ref.table, sids[i], signatures_[sids[i]]);
+              fi.dfi->InsertIntoTable(ref.table, sids[i], *sig_of[i]);
             }
           }
         });
@@ -217,11 +320,10 @@ Status SetSimilarityIndex::BuildFilterIndices() {
       fi.dfi->NoteBulkEntries(n);
     }
   }
-  for (SetId sid : sids) {
-    live_[sid] = true;
-  }
-  num_live_ += n;
-  live_sets_->Set(static_cast<double>(num_live_));
+  // Liveness is the non-null signature slot, already published in phase 1.
+  num_live_.fetch_add(n, std::memory_order_relaxed);
+  live_sets_->Set(
+      static_cast<double>(num_live_.load(std::memory_order_relaxed)));
 
   build_stats_.wall_seconds = build_watch.ElapsedSeconds();
   // Modeled build time: the serial portions at wall-clock cost plus each
@@ -274,7 +376,8 @@ Status SetSimilarityIndex::Insert(SetId sid, const ElementSet& set) {
   if (!IsNormalizedSet(set)) {
     return Status::InvalidArgument("set must be sorted and duplicate-free");
   }
-  if (sid < live_.size() && live_[sid]) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (signatures_.Get(sid) != nullptr) {
     return Status::AlreadyExists("sid already indexed");
   }
   // Write-ahead: the mutation reaches the log before any in-memory state
@@ -283,59 +386,79 @@ Status SetSimilarityIndex::Insert(SetId sid, const ElementSet& set) {
   if (wal_ != nullptr) {
     SSR_RETURN_IF_ERROR(wal_->AppendInsert(sid, set).status());
   }
-  return InsertSignature(sid, embedding_->Sign(set));
+  return InsertSignatureLocked(sid, embedding_->Sign(set));
 }
 
 Status SetSimilarityIndex::InsertSignature(SetId sid, Signature sig) {
-  if (sid < live_.size() && live_[sid]) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return InsertSignatureLocked(sid, std::move(sig));
+}
+
+Status SetSimilarityIndex::InsertSignatureLocked(SetId sid, Signature sig) {
+  if (signatures_.Get(sid) != nullptr) {
     return Status::AlreadyExists("sid already indexed");
   }
   if (sig.size() != embedding_->hasher().params().num_hashes) {
     return Status::InvalidArgument("signature dimension mismatch");
   }
-  if (sid >= live_.size()) {
-    live_.resize(sid + 1, false);
-    signatures_.resize(sid + 1);
-  }
+  auto* owned = new Signature(std::move(sig));
+  // Tables first, then the signature slot: once the slot is non-null the
+  // sid is live, and every table already holds it — a reader that sees it
+  // live can probe it, and one that saw a table entry early just verifies
+  // an extra candidate against the store.
   for (auto& fi : fis_) {
     if (fi.sfi != nullptr) {
-      fi.sfi->Insert(sid, sig);
+      fi.sfi->Insert(sid, *owned);
     } else {
-      fi.dfi->Insert(sid, sig);
+      fi.dfi->Insert(sid, *owned);
     }
   }
-  signatures_[sid] = std::move(sig);
-  live_[sid] = true;
-  ++num_live_;
-  live_sets_->Set(static_cast<double>(num_live_));
+  signatures_.Set(sid, owned);
+  if (sid + std::size_t{1} > capacity_.load(std::memory_order_relaxed)) {
+    capacity_.store(sid + std::size_t{1}, std::memory_order_relaxed);
+  }
+  num_live_.fetch_add(1, std::memory_order_relaxed);
+  live_sets_->Set(
+      static_cast<double>(num_live_.load(std::memory_order_relaxed)));
   return Status::OK();
 }
 
 Status SetSimilarityIndex::Erase(SetId sid) {
-  if (sid >= live_.size() || !live_[sid]) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const Signature* sig = signatures_.Get(sid);
+  if (sig == nullptr) {
     return Status::NotFound("sid not indexed");
   }
   if (wal_ != nullptr) {
     SSR_RETURN_IF_ERROR(wal_->AppendErase(sid).status());
   }
-  const Signature& sig = signatures_[sid];
   for (auto& fi : fis_) {
     if (fi.sfi != nullptr) {
-      fi.sfi->Erase(sid, sig);
+      fi.sfi->Erase(sid, *sig);
     } else {
-      fi.dfi->Erase(sid, sig);
+      fi.dfi->Erase(sid, *sig);
     }
   }
-  live_[sid] = false;
-  signatures_[sid] = Signature();
-  --num_live_;
-  live_sets_->Set(static_cast<double>(num_live_));
+  signatures_.Set(sid, nullptr);
+  // A pinned reader may still dereference the signature it loaded before
+  // the swap; defer the free to its retire epoch.
+  if (epoch_manager_ != nullptr) {
+    epoch_manager_->Retire([sig] { delete sig; });
+  } else {
+    delete sig;
+  }
+  num_live_.fetch_sub(1, std::memory_order_relaxed);
+  live_sets_->Set(
+      static_cast<double>(num_live_.load(std::memory_order_relaxed)));
   return Status::OK();
 }
 
 std::optional<Signature> SetSimilarityIndex::signature(SetId sid) const {
-  if (sid >= live_.size() || !live_[sid]) return std::nullopt;
-  return signatures_[sid];
+  std::optional<exec::EpochGuard> guard;
+  if (epoch_manager_ != nullptr) guard.emplace(*epoch_manager_);
+  const Signature* sig = signatures_.Get(sid);
+  if (sig == nullptr) return std::nullopt;
+  return *sig;
 }
 
 bool SetSimilarityIndex::HasDfi() const {
@@ -347,9 +470,12 @@ bool SetSimilarityIndex::HasDfi() const {
 
 std::vector<SetId> SetSimilarityIndex::LiveSids() const {
   std::vector<SetId> out;
-  out.reserve(num_live_);
-  for (SetId sid = 0; sid < live_.size(); ++sid) {
-    if (live_[sid]) out.push_back(sid);
+  out.reserve(num_live_.load(std::memory_order_relaxed));
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  for (std::size_t sid = 0; sid < cap; ++sid) {
+    if (signatures_.Get(sid) != nullptr) {
+      out.push_back(static_cast<SetId>(sid));
+    }
   }
   return out;
 }
@@ -559,6 +685,10 @@ constexpr std::uint32_t kIndexVersionPreFamily = 2;
 }  // namespace
 
 Status SetSimilarityIndex::SaveTo(std::ostream& out) const {
+  // Pin the signature versions being serialized against concurrent retires
+  // (callers normally quiesce writers first for a point-in-time snapshot).
+  std::optional<exec::EpochGuard> epoch_guard;
+  if (epoch_manager_ != nullptr) epoch_guard.emplace(*epoch_manager_);
   SnapshotWriter snapshot(out, kIndexMagic, kIndexVersion);
 
   BinaryWriter& opts = snapshot.BeginSection("options");
@@ -589,12 +719,14 @@ Status SetSimilarityIndex::SaveTo(std::ostream& out) const {
   // (signatures re-embed from the store), so keep it after the sections
   // that are not.
   BinaryWriter& sigs = snapshot.BeginSection("signatures");
-  sigs.WriteU64(live_.size());
-  sigs.WriteU64(num_live_);
-  for (SetId sid = 0; sid < live_.size(); ++sid) {
-    if (!live_[sid]) continue;
-    sigs.WriteU32(sid);
-    sigs.WriteVector(signatures_[sid].values());
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  sigs.WriteU64(cap);
+  sigs.WriteU64(num_live_.load(std::memory_order_relaxed));
+  for (std::size_t sid = 0; sid < cap; ++sid) {
+    const Signature* sig = signatures_.Get(sid);
+    if (sig == nullptr) continue;
+    sigs.WriteU32(static_cast<std::uint32_t>(sid));
+    sigs.WriteVector(sig->values());
   }
   SSR_RETURN_IF_ERROR(snapshot.EndSection());
 
@@ -734,9 +866,13 @@ Result<SetSimilarityIndex> SetSimilarityIndex::Load(
       SSR_RETURN_IF_ERROR(
           index.InsertSignature(sid, Signature(std::move(values))));
     }
-    if (index.live_.size() < capacity) {
-      index.live_.resize(capacity, false);
-      index.signatures_.resize(capacity);
+    if (index.capacity_.load(std::memory_order_relaxed) < capacity) {
+      // Restore the saved logical capacity even past the highest live sid:
+      // it round-trips through SaveTo and keeps sid allocation consistent
+      // across save/load cycles with trailing erased sids.
+      index.signatures_.EnsureCapacity(static_cast<std::size_t>(capacity));
+      index.capacity_.store(static_cast<std::size_t>(capacity),
+                            std::memory_order_relaxed);
     }
   }
 
@@ -766,6 +902,11 @@ Result<QueryResult> SetSimilarityIndex::QueryCandidates(
   if (!IsNormalizedSet(query)) {
     return Status::InvalidArgument("query set must be sorted and unique");
   }
+  // Pin an epoch for the query's whole lifetime: every bucket, directory,
+  // or signature version loaded below stays allocated until the guard
+  // drops, whatever concurrent writers retire meanwhile.
+  std::optional<exec::EpochGuard> epoch_guard;
+  if (epoch_manager_ != nullptr) epoch_guard.emplace(*epoch_manager_);
   Stopwatch watch;
   obs::TraceSpan root("query_candidates");
   IoCostModel& io = store_->io();
@@ -840,6 +981,9 @@ Result<QueryResult> SetSimilarityIndex::QueryImpl(
   if (!IsNormalizedSet(query)) {
     return Status::InvalidArgument("query set must be sorted and unique");
   }
+  // Pin an epoch for the query's whole lifetime (see QueryCandidates).
+  std::optional<exec::EpochGuard> epoch_guard;
+  if (epoch_manager_ != nullptr) epoch_guard.emplace(*epoch_manager_);
   Stopwatch watch;
   obs::TraceSpan root("query");
   // All I/O this query causes — bucket probes, candidate fetches, a
@@ -969,16 +1113,20 @@ void SetSimilarityIndex::FinishStats(const Stopwatch& watch,
 }
 
 std::uint64_t SetSimilarityIndex::ContentDigest() const {
+  std::optional<exec::EpochGuard> epoch_guard;
+  if (epoch_manager_ != nullptr) epoch_guard.emplace(*epoch_manager_);
   std::uint64_t h = SplitMix64(fis_.size());
   for (const auto& fi : fis_) {
     h = HashCombine(h, fi.sfi != nullptr ? fi.sfi->ContentDigest()
                                          : fi.dfi->ContentDigest());
   }
-  h = HashCombine(h, num_live_);
-  for (SetId sid = 0; sid < live_.size(); ++sid) {
-    if (!live_[sid]) continue;
-    h = HashCombine(h, sid);
-    for (std::uint16_t v : signatures_[sid].values()) {
+  h = HashCombine(h, num_live_.load(std::memory_order_relaxed));
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  for (std::size_t sid = 0; sid < cap; ++sid) {
+    const Signature* sig = signatures_.Get(sid);
+    if (sig == nullptr) continue;
+    h = HashCombine(h, static_cast<SetId>(sid));
+    for (std::uint16_t v : sig->values()) {
       h = HashCombine(h, v);
     }
   }

@@ -6,14 +6,18 @@
 #ifndef SSR_CORE_SET_SIMILARITY_INDEX_H_
 #define SSR_CORE_SET_SIMILARITY_INDEX_H_
 
+#include <atomic>
 #include <istream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/dfi.h"
+#include "exec/atomic_slot_array.h"
+#include "exec/epoch.h"
 #include "core/index_layout.h"
 #include "core/sfi.h"
 #include "fault/retry.h"
@@ -191,10 +195,13 @@ class SetSimilarityIndex {
 
   /// Thread-safe Query variant for the batch executor: candidate fetches
   /// and I/O accounting go through `view` (one per worker), so any number
-  /// of threads may call this concurrently on an index that is not being
-  /// mutated. `scratch` (optional) is the probe-union reuse buffer — pass
-  /// the same vector across a worker's queries to eliminate per-probe
-  /// allocation churn. Answers are identical to Query's.
+  /// of threads may call this concurrently. Without EnableConcurrentWrites
+  /// the index must not be mutated during reads; with it, Insert/Erase may
+  /// run concurrently (readers pin an epoch and observe consistent
+  /// copy-on-write snapshots). `scratch` (optional) is the probe-union
+  /// reuse buffer — pass the same vector across a worker's queries to
+  /// eliminate per-probe allocation churn. Answers are identical to
+  /// Query's.
   Result<QueryResult> QueryThrough(SetStore::ReadView& view,
                                    const ElementSet& query, double sigma1,
                                    double sigma2,
@@ -207,10 +214,25 @@ class SetSimilarityIndex {
   /// Unregisters a deleted set from all filter indices.
   Status Erase(SetId sid);
 
+  /// Switches the index to live-mutability mode: all further Insert/Erase
+  /// calls publish copy-on-write replacements of the touched hash-table
+  /// buckets and signature slots, retiring the old versions through
+  /// `manager` (nullptr = the process-wide exec::EpochManager::Default()),
+  /// and every query pins an epoch for its whole lifetime. Call once after
+  /// Build/Load, before the first concurrent reader or writer. Mutations
+  /// are serialized internally (one writer at a time); reads never block.
+  /// The manager must outlive the index.
+  void EnableConcurrentWrites(exec::EpochManager* manager = nullptr);
+
+  /// The epoch manager attached by EnableConcurrentWrites (nullptr before).
+  exec::EpochManager* epoch_manager() const { return epoch_manager_; }
+
   const IndexLayout& layout() const { return layout_; }
   const Embedding& embedding() const { return *embedding_; }
   std::size_t num_filter_indices() const { return fis_.size(); }
-  std::size_t num_live_sets() const { return num_live_; }
+  std::size_t num_live_sets() const {
+    return num_live_.load(std::memory_order_relaxed);
+  }
   SetStore& store() { return *store_; }
   const SetStore& store() const { return *store_; }
 
@@ -274,6 +296,12 @@ class SetSimilarityIndex {
       SetStore& store, std::istream& in,
       const SnapshotLoadOptions& load_options = {});
 
+  // Moves happen only while singly-owned (Build/Load Result plumbing, shard
+  // vectors during setup) — never concurrently with readers or writers.
+  SetSimilarityIndex(SetSimilarityIndex&& other) noexcept;
+  SetSimilarityIndex& operator=(SetSimilarityIndex&& other) noexcept;
+  ~SetSimilarityIndex();
+
  private:
   struct BuiltFi {
     FilterPoint point;
@@ -294,8 +322,11 @@ class SetSimilarityIndex {
   Status BuildFilterIndices();
 
   /// Registers a precomputed signature under `sid` (shared by Insert and
-  /// Load).
+  /// Load). Takes the writer lock.
   Status InsertSignature(SetId sid, Signature sig);
+
+  /// InsertSignature body; caller holds writer_mu_.
+  Status InsertSignatureLocked(SetId sid, Signature sig);
 
   /// Union of the probed buckets for the FI at index `fi_idx`, written into
   /// `*out` (cleared first; reuse one vector across probes to avoid
@@ -337,14 +368,28 @@ class SetSimilarityIndex {
                                        bool* additive_loss, IoCostModel& io,
                                        std::vector<SetId>* scratch) const;
 
+  /// Deletes every live signature slot and resets the logical capacity
+  /// (shared by the destructor and move-assignment).
+  void FreeSignatures();
+
   SetStore* store_;  // not owned
   IndexLayout layout_;
   IndexOptions options_;
   std::unique_ptr<Embedding> embedding_;
   std::vector<BuiltFi> fis_;
-  std::vector<Signature> signatures_;  // by sid
-  std::vector<bool> live_;             // by sid
-  std::size_t num_live_ = 0;
+  // Signature per sid, heap-allocated and published through an atomic slot
+  // (nullptr = dead/never-seen). In live-mutability mode a replaced or
+  // erased signature is retired through epoch_manager_ so pinned readers
+  // finish against the version they observed. capacity_ is the logical
+  // high-water mark (max sid + 1 ever registered) — readers iterate
+  // [0, capacity_) and rely on Get() returning nullptr past the end.
+  exec::AtomicSlotArray<const Signature*> signatures_{nullptr};
+  std::atomic<std::size_t> capacity_{0};
+  std::atomic<std::size_t> num_live_{0};
+  // Serializes Insert/Erase (and the WAL append that precedes each apply).
+  // Readers never take it.
+  std::mutex writer_mu_;
+  exec::EpochManager* epoch_manager_ = nullptr;  // not owned; set once
   BuildStats build_stats_;
   obs::WorkloadObserver* workload_observer_ = nullptr;  // not owned
   WalWriter* wal_ = nullptr;                            // not owned

@@ -55,7 +55,7 @@ void SimilarityFilterIndex::Insert(SetId sid, const Signature& sig) {
   for (std::size_t i = 0; i < tables_.size(); ++i) {
     tables_[i].Insert(samplers_[i].ExtractKeyHash(sig), sid);
   }
-  ++num_entries_;
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t SimilarityFilterIndex::Erase(SetId sid, const Signature& sig) {
@@ -63,7 +63,10 @@ std::size_t SimilarityFilterIndex::Erase(SetId sid, const Signature& sig) {
   for (std::size_t i = 0; i < tables_.size(); ++i) {
     if (tables_[i].Erase(samplers_[i].ExtractKeyHash(sig), sid)) ++removed;
   }
-  if (removed == tables_.size() && num_entries_ > 0) --num_entries_;
+  if (removed == tables_.size() &&
+      num_entries_.load(std::memory_order_relaxed) > 0) {
+    num_entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
   return removed;
 }
 

@@ -8,7 +8,9 @@
 #ifndef SSR_CORE_SFI_H_
 #define SSR_CORE_SFI_H_
 
+#include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/bit_sampler.h"
@@ -74,7 +76,16 @@ class SimilarityFilterIndex {
 
   /// Accounts `count` sets inserted via InsertIntoTable (size bookkeeping
   /// that Insert() does implicitly).
-  void NoteBulkEntries(std::size_t count) { num_entries_ += count; }
+  void NoteBulkEntries(std::size_t count) {
+    num_entries_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Switches every table to copy-on-write mutations with epoch-deferred
+  /// reclamation (see SidHashTable::SetEpochManager). Call once after the
+  /// bulk build, before the first concurrent reader.
+  void SetEpochManager(exec::EpochManager* manager) {
+    for (SidHashTable& table : tables_) table.SetEpochManager(manager);
+  }
 
   /// Removes `sid` (signature must match the inserted one). Returns the
   /// number of tables it was removed from (== l if present).
@@ -100,7 +111,29 @@ class SimilarityFilterIndex {
   const SfiParams& params() const { return params_; }
   std::size_t l() const { return tables_.size(); }
   std::size_t r() const { return filter_.r(); }
-  std::size_t size() const { return num_entries_; }
+  std::size_t size() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+
+  // Moves happen only while singly-owned (Create/Result plumbing); the
+  // relaxed transfer of the atomic entry count is exact there.
+  SimilarityFilterIndex(SimilarityFilterIndex&& other) noexcept
+      : embedding_(other.embedding_),
+        params_(other.params_),
+        filter_(std::move(other.filter_)),
+        samplers_(std::move(other.samplers_)),
+        tables_(std::move(other.tables_)),
+        num_entries_(other.num_entries_.load(std::memory_order_relaxed)) {}
+  SimilarityFilterIndex& operator=(SimilarityFilterIndex&& other) noexcept {
+    embedding_ = other.embedding_;
+    params_ = other.params_;
+    filter_ = std::move(other.filter_);
+    samplers_ = std::move(other.samplers_);
+    tables_ = std::move(other.tables_);
+    num_entries_.store(other.num_entries_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 
   /// How many sids fit in one bucket page (for I/O accounting of
   /// disk-resident tables; "sid_count" in Section 4.1).
@@ -120,7 +153,7 @@ class SimilarityFilterIndex {
   FilterFunction filter_;
   std::vector<BitSampler> samplers_;
   std::vector<SidHashTable> tables_;
-  std::size_t num_entries_ = 0;
+  std::atomic<std::size_t> num_entries_{0};
 };
 
 }  // namespace ssr

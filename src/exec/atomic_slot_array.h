@@ -1,0 +1,156 @@
+// A growable array of atomic slots that readers can index without locks
+// while a single (externally serialized) writer grows it and stores into
+// it. The building block for concurrent-read index state that used to be
+// plain std::vector: per-sid signature pointers, shard-local-to-global sid
+// maps.
+//
+// Layout: fixed-size chunks that never move once allocated, reached
+// through a directory (chunk-pointer array) that is grown copy-on-write —
+// the old directory is retired through the EpochManager so a reader that
+// loaded it before the swap can keep using it. Slot values themselves are
+// std::atomic<T>, so readers see each slot either at its default value or
+// at something a writer published; there is no torn state.
+//
+// Memory ordering follows the repo's epoch convention (see exec/epoch.h):
+// directory and slot loads/stores are seq_cst, which costs nothing on
+// x86-64 and keeps the pin/scan ordering argument intact under TSan.
+//
+// T must be a trivially copyable type that std::atomic supports lock-free
+// (pointers, integral ids).
+
+#ifndef SSR_EXEC_ATOMIC_SLOT_ARRAY_H_
+#define SSR_EXEC_ATOMIC_SLOT_ARRAY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "exec/epoch.h"
+
+namespace ssr {
+namespace exec {
+
+template <typename T>
+class AtomicSlotArray {
+ public:
+  static constexpr std::size_t kChunkSlots = 1024;
+
+  explicit AtomicSlotArray(T default_value = T())
+      : default_value_(default_value) {
+    directory_.store(nullptr, std::memory_order_seq_cst);
+  }
+
+  ~AtomicSlotArray() {
+    delete directory_.load(std::memory_order_seq_cst);
+  }
+
+  AtomicSlotArray(const AtomicSlotArray&) = delete;
+  AtomicSlotArray& operator=(const AtomicSlotArray&) = delete;
+
+  AtomicSlotArray(AtomicSlotArray&& other) noexcept
+      : default_value_(other.default_value_),
+        manager_(other.manager_),
+        chunks_(std::move(other.chunks_)) {
+    directory_.store(other.directory_.load(std::memory_order_seq_cst),
+                     std::memory_order_seq_cst);
+    other.directory_.store(nullptr, std::memory_order_seq_cst);
+    other.manager_ = nullptr;
+  }
+
+  AtomicSlotArray& operator=(AtomicSlotArray&& other) noexcept {
+    if (this != &other) {
+      delete directory_.load(std::memory_order_seq_cst);
+      default_value_ = other.default_value_;
+      manager_ = other.manager_;
+      chunks_ = std::move(other.chunks_);
+      directory_.store(other.directory_.load(std::memory_order_seq_cst),
+                       std::memory_order_seq_cst);
+      other.directory_.store(nullptr, std::memory_order_seq_cst);
+      other.manager_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Concurrent mode: once set, replaced directories are retired through
+  /// `manager` instead of freed inline. Call before the first concurrent
+  /// reader; moves/mutations before that point run in plain single-thread
+  /// mode.
+  void SetEpochManager(EpochManager* manager) { manager_ = manager; }
+
+  /// Slots currently addressable. Reader-safe.
+  std::size_t capacity() const {
+    const Directory* dir = directory_.load(std::memory_order_seq_cst);
+    return dir == nullptr ? 0 : dir->capacity;
+  }
+
+  /// Reader-safe slot load; out-of-range indices read as the default
+  /// value (a slot the writer has not grown into yet is indistinguishable
+  /// from one it never stored to — both mean "nothing here").
+  T Get(std::size_t i) const {
+    const Directory* dir = directory_.load(std::memory_order_seq_cst);
+    if (dir == nullptr || i >= dir->capacity) return default_value_;
+    return dir->chunks[i / kChunkSlots]->slots[i % kChunkSlots].load(
+        std::memory_order_seq_cst);
+  }
+
+  /// Writer-only (externally serialized): grows capacity to hold slot `i`
+  /// and stores `value`.
+  void Set(std::size_t i, T value) {
+    EnsureCapacity(i + 1);
+    const Directory* dir = directory_.load(std::memory_order_seq_cst);
+    dir->chunks[i / kChunkSlots]->slots[i % kChunkSlots].store(
+        value, std::memory_order_seq_cst);
+  }
+
+  /// Writer-only: pre-grows capacity to at least `n` slots (new slots read
+  /// as the default value).
+  void EnsureCapacity(std::size_t n) {
+    const Directory* dir = directory_.load(std::memory_order_seq_cst);
+    if (dir != nullptr && dir->capacity >= n) return;
+    const std::size_t want_chunks = (n + kChunkSlots - 1) / kChunkSlots;
+    auto* grown = new Directory();
+    if (dir != nullptr) grown->chunks = dir->chunks;
+    while (grown->chunks.size() < want_chunks) {
+      chunks_.push_back(std::make_unique<Chunk>(default_value_));
+      grown->chunks.push_back(chunks_.back().get());
+    }
+    grown->capacity = grown->chunks.size() * kChunkSlots;
+    directory_.store(grown, std::memory_order_seq_cst);
+    RetireDirectory(dir);
+  }
+
+ private:
+  struct Chunk {
+    explicit Chunk(T default_value) {
+      for (std::atomic<T>& slot : slots) {
+        slot.store(default_value, std::memory_order_relaxed);
+      }
+    }
+    std::atomic<T> slots[kChunkSlots];
+  };
+
+  struct Directory {
+    std::vector<Chunk*> chunks;  // chunks never move; owned by chunks_
+    std::size_t capacity = 0;
+  };
+
+  void RetireDirectory(const Directory* dir) {
+    if (dir == nullptr) return;
+    if (manager_ != nullptr) {
+      manager_->Retire([dir] { delete dir; });
+    } else {
+      delete dir;
+    }
+  }
+
+  T default_value_;
+  EpochManager* manager_ = nullptr;
+  std::atomic<const Directory*> directory_{nullptr};
+  std::vector<std::unique_ptr<Chunk>> chunks_;  // writer-only ownership
+};
+
+}  // namespace exec
+}  // namespace ssr
+
+#endif  // SSR_EXEC_ATOMIC_SLOT_ARRAY_H_

@@ -1,0 +1,176 @@
+#include "exec/epoch.h"
+
+#include <cstdlib>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace ssr {
+namespace exec {
+namespace {
+
+/// Process-unique id per manager instance. The thread-local slot cache is
+/// keyed by (pointer, id) so a fresh manager reallocated at a dead
+/// manager's address can never inherit a stale cached slot.
+std::uint64_t NextManagerId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct CachedSlot {
+  const void* manager = nullptr;
+  std::uint64_t manager_id = 0;
+  std::size_t slot = 0;
+  bool claimed = false;
+  std::size_t depth = 0;
+};
+
+/// Per-thread pin state. Kept deliberately free of any destructor that
+/// touches a manager: a slot, once claimed, stays claimed (unpinned) after
+/// its thread exits, so thread teardown after a test-scoped manager's
+/// destruction never dereferences the dead manager. The cost is that a
+/// manager supports at most kMaxThreads distinct pinning threads over its
+/// lifetime — thread pools reuse threads, so this is ample.
+thread_local std::vector<CachedSlot> t_slots;
+
+CachedSlot& FindOrAddCache(const void* manager, std::uint64_t id) {
+  for (CachedSlot& c : t_slots) {
+    if (c.manager == manager && c.manager_id == id) return c;
+  }
+  t_slots.push_back(CachedSlot{manager, id, 0, false, 0});
+  return t_slots.back();
+}
+
+}  // namespace
+
+EpochManager::EpochManager() : id_(NextManagerId()), slots_(kMaxThreads) {}
+
+EpochManager::~EpochManager() {
+  // Callers guarantee no reader is pinned at destruction (the same
+  // contract as destroying the guarded structures themselves), so
+  // whatever is still deferred is safe to free now.
+  for (Deferred& d : deferred_) {
+    if (d.free_fn) d.free_fn();
+  }
+}
+
+EpochManager& EpochManager::Default() {
+  static EpochManager* instance = new EpochManager();
+  return *instance;
+}
+
+void EpochManager::Pin() {
+  CachedSlot& cache = FindOrAddCache(this, id_);
+  if (cache.depth++ > 0) return;  // nested guard: slot already published
+  if (!cache.claimed) {
+    // First pin from this thread: claim a free slot with CAS.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      bool expected = false;
+      if (slots_[i].claimed.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        cache.slot = i;
+        cache.claimed = true;
+        break;
+      }
+    }
+    // More than kMaxThreads live pinning threads: crash loudly rather
+    // than silently corrupt reclamation.
+    if (!cache.claimed) std::abort();
+  }
+  // Publish the epoch we read under. seq_cst so this store orders against
+  // the writer's reclaim scan in the single total order (see header).
+  slots_[cache.slot].epoch.store(
+      global_epoch_.load(std::memory_order_seq_cst), std::memory_order_seq_cst);
+}
+
+void EpochManager::Unpin() {
+  CachedSlot& cache = FindOrAddCache(this, id_);
+  if (--cache.depth > 0) return;
+  slots_[cache.slot].epoch.store(0, std::memory_order_seq_cst);
+}
+
+std::uint64_t EpochManager::MinPinnedEpoch() const {
+  std::uint64_t min_epoch = std::numeric_limits<std::uint64_t>::max();
+  for (const Slot& slot : slots_) {
+    const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min_epoch) min_epoch = e;
+  }
+  return min_epoch;
+}
+
+void EpochManager::Advance() {
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void EpochManager::Retire(std::function<void()> free_fn) {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  Deferred d;
+  d.epoch = global_epoch_.load(std::memory_order_seq_cst);
+  d.free_fn = std::move(free_fn);
+  deferred_.push_back(std::move(d));
+  ++retired_total_;
+  Advance();
+  ReclaimLocked();
+}
+
+std::size_t EpochManager::TryReclaim() {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return ReclaimLocked();
+}
+
+std::size_t EpochManager::ReclaimLocked() {
+  if (deferred_.empty()) return 0;
+  const std::uint64_t min_pinned = MinPinnedEpoch();
+  std::size_t freed = 0;
+  std::vector<Deferred> kept;
+  kept.reserve(deferred_.size());
+  for (Deferred& d : deferred_) {
+    if (d.epoch < min_pinned) {
+      if (d.free_fn) d.free_fn();
+      ++freed;
+    } else {
+      kept.push_back(std::move(d));
+    }
+  }
+  deferred_ = std::move(kept);
+  reclaimed_total_ += freed;
+  return freed;
+}
+
+void EpochManager::Quiesce() {
+  for (;;) {
+    Advance();
+    TryReclaim();
+    {
+      std::lock_guard<std::mutex> lock(retire_mu_);
+      if (deferred_.empty()) return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+std::size_t EpochManager::deferred_count() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return deferred_.size();
+}
+
+std::uint64_t EpochManager::retired_total() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_total_;
+}
+
+std::uint64_t EpochManager::reclaimed_total() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return reclaimed_total_;
+}
+
+std::size_t EpochManager::pinned_threads() const {
+  std::size_t pinned = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.epoch.load(std::memory_order_seq_cst) != 0) ++pinned;
+  }
+  return pinned;
+}
+
+}  // namespace exec
+}  // namespace ssr

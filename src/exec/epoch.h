@@ -1,0 +1,153 @@
+// Epoch-based reclamation for the concurrent read path. Readers pin the
+// current global epoch with an `EpochGuard` (RAII) before walking any
+// copy-on-write index structure; writers that swap a published pointer
+// retire the old object with `Retire`, and the manager frees it only once
+// every reader slot has observed a strictly newer epoch — so a reader that
+// pinned before the swap can keep dereferencing the old object for as long
+// as it stays pinned.
+//
+// The design is the classic three-part EBR scheme specialized for this
+// codebase's write model (all writers of one index serialize on a mutex,
+// readers are wait-free):
+//
+//   * a global epoch counter, advanced by writers after each retire batch,
+//   * a fixed array of per-thread slots — each thread lazily claims one on
+//     its first pin and publishes the epoch it is reading under,
+//   * per-manager deferred retire lists tagged with the epoch at retire
+//     time; `TryReclaim` frees every entry whose tag is older than the
+//     minimum epoch any pinned slot still publishes.
+//
+// Memory ordering: slot pin/unpin stores and the reclaim scan are
+// seq_cst, so a reader's pin and a writer's min-epoch scan order against
+// each other without standalone fences (which TSan does not model).
+// Writers are expected to be rare relative to reads; all writer-side cost
+// (retire bookkeeping, reclaim scans) is mutex-guarded and off the read
+// path entirely.
+
+#ifndef SSR_EXEC_EPOCH_H_
+#define SSR_EXEC_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace ssr {
+namespace exec {
+
+/// Coordinates epoch pinning and deferred reclamation. One process-wide
+/// Default() instance serves every index; isolated instances exist for
+/// tests that need to observe reclaim timing deterministically.
+///
+/// Thread-safety: Pin/Unpin (via EpochGuard) are wait-free and may be
+/// called from any thread. Retire/Advance/TryReclaim/Quiesce are
+/// internally mutex-guarded; they are cheap enough to call from every
+/// write, and writers of one structure are serialized anyway.
+class EpochManager {
+ public:
+  /// Hard cap on concurrently pinning threads. Slots are claimed lazily
+  /// and released at thread exit, so this bounds *live* threads that have
+  /// ever pinned, not total threads over the process lifetime.
+  static constexpr std::size_t kMaxThreads = 256;
+
+  EpochManager();
+  ~EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// The process-wide manager every index uses by default. Never destroyed
+  /// (leaked like the metrics registry) so retire callbacks registered by
+  /// static-lifetime objects stay safe during teardown.
+  static EpochManager& Default();
+
+  /// Defers `free_fn` until every epoch pinned at call time has been
+  /// released. Runs `free_fn` inline if no thread is currently pinned and
+  /// the deferred list is empty (the quiescent fast path). Amortizes a
+  /// reclaim scan over the deferred list on every call.
+  void Retire(std::function<void()> free_fn);
+
+  /// Bumps the global epoch. Called internally by Retire; exposed for
+  /// tests that drive the lifecycle by hand.
+  void Advance();
+
+  /// One reclaim pass: frees every deferred entry retired strictly before
+  /// the oldest pinned epoch. Returns the number of entries freed.
+  std::size_t TryReclaim();
+
+  /// Advance + reclaim until the deferred list drains. Requires that no
+  /// thread holds a pin forever; callers use it at shutdown or between
+  /// test phases. Must not be called while the calling thread holds an
+  /// EpochGuard (it would wait on itself).
+  void Quiesce();
+
+  /// Observability for tests and /metrics.
+  std::uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+  std::size_t deferred_count() const;
+  std::uint64_t retired_total() const;
+  std::uint64_t reclaimed_total() const;
+  /// Number of slots currently publishing a pinned epoch.
+  std::size_t pinned_threads() const;
+
+ private:
+  friend class EpochGuard;
+
+  struct alignas(64) Slot {
+    /// 0 = unpinned; otherwise the epoch the owning thread reads under.
+    std::atomic<std::uint64_t> epoch{0};
+    /// Claimed by a live thread (slot ownership, not pin state).
+    std::atomic<bool> claimed{false};
+  };
+
+  struct Deferred {
+    std::uint64_t epoch = 0;
+    std::function<void()> free_fn;
+  };
+
+  /// Pin/unpin for EpochGuard. Re-entrant: nested guards share the slot
+  /// and only the outermost one publishes/clears the epoch.
+  void Pin();
+  void Unpin();
+
+  /// Minimum epoch over all pinned slots; ~0 when nothing is pinned.
+  std::uint64_t MinPinnedEpoch() const;
+
+  /// Reclaim pass with retire_mu_ already held.
+  std::size_t ReclaimLocked();
+
+  const std::uint64_t id_;  // process-unique, keys the thread slot cache
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::vector<Slot> slots_;
+
+  mutable std::mutex retire_mu_;
+  std::vector<Deferred> deferred_;
+  std::uint64_t retired_total_ = 0;
+  std::uint64_t reclaimed_total_ = 0;
+};
+
+/// RAII epoch pin. Every reader of a copy-on-write structure holds one for
+/// the duration of its traversal; construction publishes the current
+/// global epoch in this thread's slot, destruction clears it. Nesting is
+/// cheap (a thread-local depth counter); only the outermost guard touches
+/// the slot.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager& manager = EpochManager::Default())
+      : manager_(&manager) {
+    manager_->Pin();
+  }
+  ~EpochGuard() { manager_->Unpin(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* manager_;
+};
+
+}  // namespace exec
+}  // namespace ssr
+
+#endif  // SSR_EXEC_EPOCH_H_

@@ -1,9 +1,11 @@
 #include "shard/query_router.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <utility>
 
+#include "exec/epoch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/stopwatch.h"
@@ -68,6 +70,13 @@ Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
     ~LatencyGuard() { hist->Observe(watch.ElapsedSeconds() * 1e6); }
   } latency_guard{Stopwatch(), query_latency_};
 
+  // Pin an epoch for the whole scatter/gather: shard slots and routing
+  // tables loaded here stay dereferenceable even if a concurrent rebalance
+  // retires them mid-query. Workers pin their own epochs below.
+  std::optional<exec::EpochGuard> epoch_guard;
+  if (index_->epoch_manager() != nullptr) {
+    epoch_guard.emplace(*index_->epoch_manager());
+  }
   const std::uint32_t num_shards = index_->num_shards();
   obs::TraceSpan span("router_query");
   span.Tag("shards", static_cast<std::uint64_t>(num_shards));
@@ -83,17 +92,31 @@ Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
   {
     obs::TraceSpan scatter("router_scatter");
     pool_.ParallelFor(0, num_shards, 1, [&](std::size_t s, std::size_t) {
-      if (index_->shard_degraded(static_cast<std::uint32_t>(s))) {
+      // The worker's own pin: the shard pointers it loads stay valid even
+      // if a shrink retires the shard before the probe finishes.
+      std::optional<exec::EpochGuard> worker_guard;
+      if (index_->epoch_manager() != nullptr) {
+        worker_guard.emplace(*index_->epoch_manager());
+      }
+      const SetStore* store =
+          index_->shard_store(static_cast<std::uint32_t>(s));
+      const SetSimilarityIndex* shard_index =
+          index_->shard_index(static_cast<std::uint32_t>(s));
+      if (store == nullptr || shard_index == nullptr ||
+          index_->shard_degraded(static_cast<std::uint32_t>(s))) {
         statuses[s] = Status::Unavailable("shard administratively degraded");
         return;
       }
       Stopwatch probe_watch;
-      SetStore::ReadView view(*index_->shard_store(s),
-                              options_.view_buffer_pool_pages);
+      SetStore::ReadView view(*store, options_.view_buffer_pool_pages);
       std::vector<SetId> scratch;
-      auto r = index_->shard_index(s)->QueryThrough(view, query, sigma1,
-                                                    sigma2, &scratch);
-      shard_latency_[s]->Observe(probe_watch.ElapsedSeconds() * 1e6);
+      auto r = shard_index->QueryThrough(view, query, sigma1, sigma2,
+                                         &scratch);
+      // Shards added by a grow rebalance after router construction have no
+      // histogram slot; their latency is uncounted until a new router.
+      if (s < shard_latency_.size()) {
+        shard_latency_[s]->Observe(probe_watch.ElapsedSeconds() * 1e6);
+      }
       if (r.ok()) {
         answers[s] = std::move(r).value();
         answered[s] = 1;
@@ -139,6 +162,13 @@ RoutedBatchResult QueryRouter::RunBatch(
   batches->Increment();
   batch_queries->Add(queries.size());
 
+  // Pinned for the whole batch: shard objects loaded below survive a
+  // concurrent shrink (inner copy-on-write structures are protected by the
+  // per-query pins the executors' workers take themselves).
+  std::optional<exec::EpochGuard> epoch_guard;
+  if (index_->epoch_manager() != nullptr) {
+    epoch_guard.emplace(*index_->epoch_manager());
+  }
   const std::uint32_t num_shards = index_->num_shards();
   Stopwatch wall;
   obs::TraceSpan span("router_batch");
@@ -158,17 +188,21 @@ RoutedBatchResult QueryRouter::RunBatch(
   // shard — the modeled makespan below is the slowest shard, not the sum.
   std::vector<char> shard_ran(num_shards, 0);
   for (std::uint32_t s = 0; s < num_shards; ++s) {
-    if (index_->shard_degraded(s)) continue;
+    const SetSimilarityIndex* shard_index = index_->shard_index(s);
+    if (shard_index == nullptr || index_->shard_degraded(s)) continue;
     obs::TraceSpan shard_span("router_shard_batch");
     shard_span.Tag("shard", static_cast<std::uint64_t>(s));
     exec::BatchExecutorOptions exec_options;
     exec_options.grain = options_.batch_grain;
     exec_options.view_buffer_pool_pages = options_.view_buffer_pool_pages;
-    exec::BatchExecutor executor(*index_->shard_index(s), pool_, exec_options);
+    exec::BatchExecutor executor(*shard_index, pool_, exec_options);
     out.per_shard[s] = executor.Run(queries);
     // One observation per batch: the shard's host wall clock, the honest
-    // per-shard figure the latency histogram tracks in batch mode.
-    shard_latency_[s]->Observe(out.per_shard[s].wall_seconds * 1e6);
+    // per-shard figure the latency histogram tracks in batch mode. Shards
+    // grown after router construction have no histogram slot.
+    if (s < shard_latency_.size()) {
+      shard_latency_[s]->Observe(out.per_shard[s].wall_seconds * 1e6);
+    }
     shard_ran[s] = 1;
     out.modeled_makespan_seconds =
         std::max(out.modeled_makespan_seconds,

@@ -85,8 +85,12 @@ struct RoutedBatchResult {
 };
 
 /// Scatters queries across a ShardedSetSimilarityIndex's shards on a shared
-/// thread pool and gathers deterministically. The index must not be mutated
-/// while a Query/RunBatch is in flight (SetShardDegraded included).
+/// thread pool and gathers deterministically. After the index's
+/// EnableConcurrentWrites, Query/RunBatch may run concurrently with
+/// Insert/Erase and an online rebalance (the router pins epochs around
+/// every scatter; mid-rebalance answers come back tagged rebalancing +
+/// partial). Without it, the index must not be mutated while a
+/// Query/RunBatch is in flight (SetShardDegraded included).
 class QueryRouter {
  public:
   explicit QueryRouter(const ShardedSetSimilarityIndex& index,

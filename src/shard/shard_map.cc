@@ -71,6 +71,43 @@ std::vector<ShardMove> ShardMap::Rebalance(std::uint32_t new_num_shards) {
   return moves;
 }
 
+std::vector<ShardMove> ShardMap::PlanRebalance(
+    std::uint32_t new_num_shards) const {
+  if (new_num_shards == 0) new_num_shards = 1;
+  std::vector<ShardMove> moves;
+  for (SetId sid = 0; sid < assigned_.size(); ++sid) {
+    if (assigned_[sid] == kUnassigned) continue;
+    const std::uint32_t to = HrwShard(sid, new_num_shards);
+    if (to != assigned_[sid]) moves.push_back({sid, assigned_[sid], to});
+  }
+  return moves;
+}
+
+void ShardMap::Reassign(SetId sid, std::uint32_t to) {
+  if (sid >= assigned_.size()) {
+    assigned_.resize(sid + 1, kUnassigned);
+  }
+  if (assigned_[sid] == kUnassigned) ++num_assigned_;
+  assigned_[sid] = to;
+}
+
+void ShardMap::SetNumShards(std::uint32_t n) {
+  num_shards_ = n == 0 ? 1 : n;
+}
+
+std::uint32_t ShardMap::AssignForTarget(SetId sid,
+                                        std::uint32_t target_count) {
+  if (target_count == 0) target_count = 1;
+  if (sid >= assigned_.size()) {
+    assigned_.resize(sid + 1, kUnassigned);
+  }
+  if (assigned_[sid] == kUnassigned) {
+    assigned_[sid] = HrwShard(sid, target_count);
+    ++num_assigned_;
+  }
+  return assigned_[sid];
+}
+
 void ShardMap::WriteTo(BinaryWriter& out) const {
   out.WriteU32(num_shards_);
   out.WriteU64(seed_);

@@ -75,6 +75,28 @@ class ShardMap {
   /// shrinking, every move's source is a removed shard.
   std::vector<ShardMove> Rebalance(std::uint32_t new_num_shards);
 
+  /// The move list Rebalance(new_num_shards) *would* produce, without
+  /// mutating the map. The online rebalance plans with this, then applies
+  /// each move individually (Reassign) as its data migration commits, so
+  /// the map always describes where each sid's data actually lives.
+  std::vector<ShardMove> PlanRebalance(std::uint32_t new_num_shards) const;
+
+  /// Points sid at `to`, recording the assignment when absent (its
+  /// migration committed; recovery may replay a move before the insert
+  /// that created the sid).
+  void Reassign(SetId sid, std::uint32_t to);
+
+  /// Adopts a new shard count without re-voting recorded sids. Grow-side
+  /// BeginRebalance calls this so fresh inserts vote under the target
+  /// topology while the planned moves drain.
+  void SetNumShards(std::uint32_t n);
+
+  /// Records sid's assignment as the HRW vote under `target_count` shards
+  /// (instead of num_shards()). Shrink-side rebalance routes fresh inserts
+  /// through this so nothing new lands on a draining shard. Idempotent like
+  /// Assign.
+  std::uint32_t AssignForTarget(SetId sid, std::uint32_t target_count);
+
   /// Serializes the map (shard count, seed, explicit assignment) into an
   /// open writer / reads it back. Used as a section payload by the sharded
   /// index snapshot; SaveTo/Load below wrap the same bytes for standalone

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -34,6 +35,30 @@ std::string ShardSectionName(std::uint32_t s, const char* kind) {
   return name;
 }
 
+struct RebalanceMetrics {
+  obs::Counter* begun;      // ssr_rebalance_begun_total
+  obs::Counter* finished;   // ssr_rebalance_finished_total
+  obs::Counter* moves;      // ssr_rebalance_moves_total
+  obs::Counter* skipped;    // ssr_rebalance_moves_skipped_total
+  obs::Gauge* active;       // ssr_rebalance_active
+  obs::Gauge* pending;      // ssr_rebalance_pending_moves
+};
+
+RebalanceMetrics& Rebal() {
+  static RebalanceMetrics* m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    auto* metrics = new RebalanceMetrics();
+    metrics->begun = r.GetCounter("ssr_rebalance_begun_total");
+    metrics->finished = r.GetCounter("ssr_rebalance_finished_total");
+    metrics->moves = r.GetCounter("ssr_rebalance_moves_total");
+    metrics->skipped = r.GetCounter("ssr_rebalance_moves_skipped_total");
+    metrics->active = r.GetGauge("ssr_rebalance_active");
+    metrics->pending = r.GetGauge("ssr_rebalance_pending_moves");
+    return metrics;
+  }();
+  return *m;
+}
+
 }  // namespace
 
 std::uint32_t ResolveShardCount(std::uint32_t num_shards) {
@@ -58,15 +83,129 @@ ShardedSetSimilarityIndex::ShardedSetSimilarityIndex(
   base_scope_ = options_.index.metrics_scope.empty()
                     ? obs::MetricsRegistry::Default().NewScope("sharded")
                     : options_.index.metrics_scope;
-  shards_.resize(options_.num_shards);
+  shards_.EnsureCapacity(options_.num_shards);
+  for (std::uint32_t s = 0; s < options_.num_shards; ++s) {
+    owned_shards_.push_back(std::make_unique<Shard>());
+    shards_.Set(s, owned_shards_.back().get());
+  }
+  num_shards_.store(options_.num_shards, std::memory_order_seq_cst);
+}
+
+void ShardedSetSimilarityIndex::FreeShards() {
+  // Slots may still point at the shards; null them before the owners go so
+  // a stale Get during single-threaded teardown cannot dangle.
+  for (std::uint32_t s = 0; s < shards_.capacity(); ++s) {
+    shards_.Set(s, nullptr);
+  }
+  owned_shards_.clear();
+}
+
+ShardedSetSimilarityIndex::~ShardedSetSimilarityIndex() { FreeShards(); }
+
+ShardedSetSimilarityIndex::ShardedSetSimilarityIndex(
+    ShardedSetSimilarityIndex&& other) noexcept
+    : options_(std::move(other.options_)),
+      layout_(std::move(other.layout_)),
+      base_scope_(std::move(other.base_scope_)),
+      map_(std::move(other.map_)),
+      shards_(std::move(other.shards_)),
+      owned_shards_(std::move(other.owned_shards_)),
+      shard_wals_(std::move(other.shard_wals_)),
+      local_of_global_(std::move(other.local_of_global_)),
+      build_stats_(std::move(other.build_stats_)),
+      epoch_manager_(other.epoch_manager_),
+      rebalance_target_(other.rebalance_target_),
+      pending_moves_(std::move(other.pending_moves_)),
+      next_move_(other.next_move_),
+      moves_done_(other.moves_done_),
+      moves_skipped_(other.moves_skipped_) {
+  num_shards_.store(other.num_shards_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  num_live_.store(other.num_live_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  rebalance_active_.store(
+      other.rebalance_active_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.num_shards_.store(0, std::memory_order_relaxed);
+  other.num_live_.store(0, std::memory_order_relaxed);
+  other.rebalance_active_.store(false, std::memory_order_relaxed);
+  other.epoch_manager_ = nullptr;
+  other.next_move_ = other.moves_done_ = other.moves_skipped_ = 0;
+}
+
+ShardedSetSimilarityIndex& ShardedSetSimilarityIndex::operator=(
+    ShardedSetSimilarityIndex&& other) noexcept {
+  if (this != &other) {
+    FreeShards();
+    options_ = std::move(other.options_);
+    layout_ = std::move(other.layout_);
+    base_scope_ = std::move(other.base_scope_);
+    map_ = std::move(other.map_);
+    shards_ = std::move(other.shards_);
+    owned_shards_ = std::move(other.owned_shards_);
+    shard_wals_ = std::move(other.shard_wals_);
+    local_of_global_ = std::move(other.local_of_global_);
+    build_stats_ = std::move(other.build_stats_);
+    epoch_manager_ = other.epoch_manager_;
+    rebalance_target_ = other.rebalance_target_;
+    pending_moves_ = std::move(other.pending_moves_);
+    next_move_ = other.next_move_;
+    moves_done_ = other.moves_done_;
+    moves_skipped_ = other.moves_skipped_;
+    num_shards_.store(other.num_shards_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    num_live_.store(other.num_live_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    rebalance_active_.store(
+        other.rebalance_active_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.num_shards_.store(0, std::memory_order_relaxed);
+    other.num_live_.store(0, std::memory_order_relaxed);
+    other.rebalance_active_.store(false, std::memory_order_relaxed);
+    other.epoch_manager_ = nullptr;
+    other.next_move_ = other.moves_done_ = other.moves_skipped_ = 0;
+  }
+  return *this;
 }
 
 Status ShardedSetSimilarityIndex::CreateShard(std::uint32_t s) {
+  if (shards_.Get(s) == nullptr) {
+    owned_shards_.push_back(std::make_unique<Shard>());
+    shards_.Set(s, owned_shards_.back().get());
+  }
   const std::string scope = ShardScope(base_scope_, s);
   SetStoreOptions store_options = options_.store;
   store_options.metrics_scope = scope + "/store";
-  shards_[s].store = std::make_unique<SetStore>(store_options);
+  ShardAt(s).store = std::make_unique<SetStore>(store_options);
   return Status::OK();
+}
+
+void ShardedSetSimilarityIndex::EnableConcurrentWrites(
+    exec::EpochManager* manager) {
+  if (manager == nullptr) manager = &exec::EpochManager::Default();
+  epoch_manager_ = manager;
+  shards_.SetEpochManager(manager);
+  const std::uint32_t n = num_shards();
+  for (std::uint32_t s = 0; s < n; ++s) {
+    Shard* sh = shards_.Get(s);
+    if (sh == nullptr) continue;
+    sh->global_of_local.SetEpochManager(manager);
+    if (sh->index != nullptr) sh->index->EnableConcurrentWrites(manager);
+  }
+}
+
+std::vector<SetId> ShardedSetSimilarityIndex::global_of_local(
+    std::uint32_t s) const {
+  std::optional<exec::EpochGuard> guard;
+  if (epoch_manager_ != nullptr) guard.emplace(*epoch_manager_);
+  const Shard* sh = shards_.Get(s);
+  if (sh == nullptr) return {};
+  const std::size_t n = sh->local_count.load(std::memory_order_seq_cst);
+  std::vector<SetId> out(n, kInvalidSetId);
+  for (std::size_t local = 0; local < n; ++local) {
+    out[local] = sh->global_of_local.Get(local);
+  }
+  return out;
 }
 
 Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Build(
@@ -93,13 +232,14 @@ Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Build(
   sharded.local_of_global_.resize(sets.size());
   for (SetId gsid = 0; gsid < sets.size(); ++gsid) {
     const std::uint32_t s = sharded.map_.Assign(gsid);
-    Shard& sh = sharded.shards_[s];
+    Shard& sh = sharded.ShardAt(s);
     SetId local = kInvalidSetId;
     SSR_ASSIGN_OR_RETURN(local, sh.store->Add(sets[gsid]));
-    sh.global_of_local.push_back(gsid);
+    sh.global_of_local.Set(local, gsid);
+    sh.local_count.store(local + std::size_t{1}, std::memory_order_seq_cst);
     sharded.local_of_global_[gsid] = LocalRef{s, local};
   }
-  sharded.num_live_ = sets.size();
+  sharded.num_live_.store(sets.size(), std::memory_order_relaxed);
 
   // Phase 2: per-shard index builds (each using the parallel builder).
   // Shards build one after another on this host but deploy independently,
@@ -108,7 +248,7 @@ Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Build(
   for (std::uint32_t s = 0; s < sharded.num_shards(); ++s) {
     obs::TraceSpan shard_span("sharded_build_shard");
     shard_span.Tag("shard", static_cast<std::uint64_t>(s));
-    Shard& sh = sharded.shards_[s];
+    Shard& sh = sharded.ShardAt(s);
     IndexOptions index_options = sharded.options_.index;
     index_options.metrics_scope = ShardScope(sharded.base_scope_, s) + "/index";
     auto built = SetSimilarityIndex::Build(*sh.store, layout, index_options);
@@ -125,7 +265,45 @@ Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Build(
   return sharded;
 }
 
+Status ShardedSetSimilarityIndex::InsertIntoShardLocked(
+    std::uint32_t s, SetId sid, const ElementSet& set) {
+  Shard& sh = ShardAt(s);
+  SetId local = kInvalidSetId;
+  SSR_ASSIGN_OR_RETURN(local, sh.store->Add(set));
+  // Publish the local -> global mapping *before* the index entry: a
+  // concurrent gather that finds the local in the index must be able to
+  // translate it.
+  sh.global_of_local.Set(local, sid);
+  if (local + std::size_t{1} >
+      sh.local_count.load(std::memory_order_seq_cst)) {
+    sh.local_count.store(local + std::size_t{1}, std::memory_order_seq_cst);
+  }
+  Status st = sh.index->Insert(local, set);
+  if (!st.ok()) {
+    (void)sh.store->Delete(local);
+    return st;
+  }
+  if (sid >= local_of_global_.size()) {
+    local_of_global_.resize(sid + 1);
+  }
+  local_of_global_[sid] = LocalRef{s, local};
+  return Status::OK();
+}
+
+Status ShardedSetSimilarityIndex::RemoveFromShardLocked(const LocalRef& ref) {
+  Shard& sh = ShardAt(ref.shard);
+  // Index first, then store: once the index stops returning the local, a
+  // racing reader that already holds it still fetches through its pinned
+  // snapshot (or sees NotFound, tagged by the degrade path). The dead
+  // local's global_of_local entry intentionally stays — the store is the
+  // liveness truth, exactly as it was with the plain vector.
+  SSR_RETURN_IF_ERROR(sh.index->Erase(ref.local));
+  SSR_RETURN_IF_ERROR(sh.store->Delete(ref.local));
+  return Status::OK();
+}
+
 Status ShardedSetSimilarityIndex::Insert(SetId sid, const ElementSet& set) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   if (sid < local_of_global_.size() &&
       local_of_global_[sid].shard != ShardMap::kUnassigned) {
     return Status::AlreadyExists("global sid already live");
@@ -133,7 +311,12 @@ Status ShardedSetSimilarityIndex::Insert(SetId sid, const ElementSet& set) {
   if (!IsNormalizedSet(set)) {
     return Status::InvalidArgument("set must be sorted and duplicate-free");
   }
-  const std::uint32_t s = map_.Assign(sid);
+  // Mid-rebalance inserts vote under the *target* topology so nothing
+  // fresh lands on a draining shard (shrink) and new shards fill (grow).
+  const std::uint32_t s =
+      rebalance_active_.load(std::memory_order_seq_cst)
+          ? map_.AssignForTarget(sid, rebalance_target_)
+          : map_.Assign(sid);
   if (shard_degraded(s)) {
     map_.Forget(sid);
     return Status::Unavailable("shard is degraded");
@@ -149,31 +332,17 @@ Status ShardedSetSimilarityIndex::Insert(SetId sid, const ElementSet& set) {
       return appended.status();
     }
   }
-  Shard& sh = shards_[s];
-  auto local = sh.store->Add(set);
-  if (!local.ok()) {
-    map_.Forget(sid);
-    return local.status();
-  }
-  Status st = sh.index->Insert(*local, set);
+  Status st = InsertIntoShardLocked(s, sid, set);
   if (!st.ok()) {
-    (void)sh.store->Delete(*local);
     map_.Forget(sid);
     return st;
   }
-  if (*local >= sh.global_of_local.size()) {
-    sh.global_of_local.resize(*local + 1, kInvalidSetId);
-  }
-  sh.global_of_local[*local] = sid;
-  if (sid >= local_of_global_.size()) {
-    local_of_global_.resize(sid + 1);
-  }
-  local_of_global_[sid] = LocalRef{s, *local};
-  ++num_live_;
+  num_live_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status ShardedSetSimilarityIndex::Erase(SetId sid) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   if (sid >= local_of_global_.size() ||
       local_of_global_[sid].shard == ShardMap::kUnassigned) {
     return Status::NotFound("sid not indexed");
@@ -185,20 +354,23 @@ Status ShardedSetSimilarityIndex::Erase(SetId sid) {
   if (WalWriter* wal = shard_wal(ref.shard)) {
     SSR_RETURN_IF_ERROR(wal->AppendErase(sid).status());
   }
-  Shard& sh = shards_[ref.shard];
-  SSR_RETURN_IF_ERROR(sh.index->Erase(ref.local));
-  SSR_RETURN_IF_ERROR(sh.store->Delete(ref.local));
+  SSR_RETURN_IF_ERROR(RemoveFromShardLocked(ref));
   local_of_global_[sid] = LocalRef{};
   map_.Forget(sid);
-  --num_live_;
+  num_live_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 void ShardedSetSimilarityIndex::GatherShardAnswer(
     std::uint32_t s, QueryResult&& answer, ShardedQueryResult* result) const {
-  const std::vector<SetId>& to_global = shards_[s].global_of_local;
+  const Shard* sh = shards_.Get(s);
+  if (sh == nullptr) return;  // shrink retired it mid-query; tagged already
   for (SetId local : answer.sids) {
-    result->sids.push_back(to_global[local]);
+    const SetId g = sh->global_of_local.Get(local);
+    // kInvalidSetId cannot surface for a local the index returned (the
+    // mapping publishes before the index entry); guard anyway so a logic
+    // bug degrades to a dropped row, never an invalid sid.
+    if (g != kInvalidSetId) result->sids.push_back(g);
   }
   // Counters and I/O sum across shards; the plan and enclosing points agree
   // on every shard (same layout, same σs) so overwriting is deterministic.
@@ -245,7 +417,7 @@ void ShardedSetSimilarityIndex::GatherShardAnswer(
       result->partial = true;
     }
   }
-  result->per_shard[s] = stats;
+  if (s < result->per_shard.size()) result->per_shard[s] = stats;
 }
 
 Status ShardedSetSimilarityIndex::GatherShardFailure(
@@ -257,7 +429,9 @@ Status ShardedSetSimilarityIndex::GatherShardFailure(
                                " cannot answer: " + status.ToString());
   }
   skipped->Increment();
-  result->shard_status[s] = std::move(status);
+  if (s < result->shard_status.size()) {
+    result->shard_status[s] = std::move(status);
+  }
   result->degraded_shards.push_back(s);
   result->stats.degraded = true;
   result->partial = true;
@@ -265,27 +439,44 @@ Status ShardedSetSimilarityIndex::GatherShardFailure(
 }
 
 void ShardedSetSimilarityIndex::FinishGather(ShardedQueryResult* result) const {
-  // Shard answers are disjoint (shards partition the collection), so the
-  // merge is a sort, no dedup. Sorting also erases any dependence on the
-  // shard iteration order — the output is ascending global sids, always.
+  // Shard answers are disjoint at rest, but a sid whose move commits
+  // mid-scatter can be gathered from both its old and new shard — so the
+  // merge sorts *and* dedups. Sorting also erases any dependence on the
+  // shard iteration order: the output is ascending global sids, always.
   std::sort(result->sids.begin(), result->sids.end());
+  result->sids.erase(std::unique(result->sids.begin(), result->sids.end()),
+                     result->sids.end());
+  if (rebalance_active_.load(std::memory_order_seq_cst)) {
+    // A move's commit window can hide the moving sid from this scatter:
+    // conservative partial tagging, same contract as a degraded shard —
+    // a verified subset, never a wrong member.
+    result->rebalancing = true;
+    result->partial = true;
+  }
   result->stats.results = result->sids.size();
 }
 
 Result<ShardedQueryResult> ShardedSetSimilarityIndex::Query(
     const ElementSet& query, double sigma1, double sigma2) const {
   obs::TraceSpan span("sharded_query");
-  span.Tag("shards", static_cast<std::uint64_t>(num_shards()));
+  std::optional<exec::EpochGuard> guard;
+  if (epoch_manager_ != nullptr) guard.emplace(*epoch_manager_);
+  const std::uint32_t n = num_shards();
+  span.Tag("shards", static_cast<std::uint64_t>(n));
   ShardedQueryResult result;
-  result.per_shard.resize(num_shards());
-  result.shard_status.assign(num_shards(), Status::OK());
-  for (std::uint32_t s = 0; s < num_shards(); ++s) {
+  if (rebalance_active_.load(std::memory_order_seq_cst)) {
+    result.rebalancing = true;
+    result.partial = true;
+  }
+  result.per_shard.resize(n);
+  result.shard_status.assign(n, Status::OK());
+  for (std::uint32_t s = 0; s < n; ++s) {
     if (shard_degraded(s)) {
       SSR_RETURN_IF_ERROR(GatherShardFailure(
           s, Status::Unavailable("shard administratively degraded"), &result));
       continue;
     }
-    auto answer = shards_[s].index->Query(query, sigma1, sigma2);
+    auto answer = ShardAt(s).index->Query(query, sigma1, sigma2);
     if (!answer.ok()) {
       // Validation errors are the caller's bug, not a shard failure — every
       // shard would reject identically, so propagate instead of degrading.
@@ -298,27 +489,283 @@ Result<ShardedQueryResult> ShardedSetSimilarityIndex::Query(
   FinishGather(&result);
   span.Tag("results", static_cast<std::uint64_t>(result.sids.size()));
   if (result.partial) span.Tag("partial", std::uint64_t{1});
+  if (result.rebalancing) span.Tag("rebalancing", std::uint64_t{1});
   return result;
 }
 
 void ShardedSetSimilarityIndex::SetShardDegraded(std::uint32_t s,
                                                  bool degraded) {
-  shards_[s].degraded = degraded;
+  Shard* sh = shards_.Get(s);
+  if (sh != nullptr) sh->degraded.store(degraded, std::memory_order_relaxed);
 }
+
+// --- Online rebalance ---------------------------------------------------
+
+Status ShardedSetSimilarityIndex::BeginRebalance(std::uint32_t new_num_shards) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (rebalance_active_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("a rebalance is already active");
+  }
+  const std::uint32_t target = new_num_shards == 0 ? 1 : new_num_shards;
+  const std::uint32_t current = num_shards();
+  for (std::uint32_t s = 0; s < current; ++s) {
+    if (shard_degraded(s)) {
+      return Status::Unavailable(
+          "cannot rebalance with a degraded shard (restore or drop shard " +
+          std::to_string(s) + " first)");
+    }
+  }
+  obs::TraceSpan span("rebalance_begin");
+  span.Tag("from_shards", static_cast<std::uint64_t>(current));
+  span.Tag("to_shards", static_cast<std::uint64_t>(target));
+
+  pending_moves_ = map_.PlanRebalance(target);
+  next_move_ = moves_done_ = moves_skipped_ = 0;
+  rebalance_target_ = target;
+
+  if (target > current) {
+    // Grow: publish the new, still-empty shards before any mover or fresh
+    // insert can route to them. Each Shard is fully initialized — store,
+    // index, epoch wiring — *before* its slot is set: a reader that pinned
+    // under a wider pre-shrink topology can still load these slots
+    // mid-scatter, so a half-built Shard must never be reachable. Slot
+    // first, count after — a reader that observes the bumped count finds
+    // live slots.
+    for (std::uint32_t s = current; s < target; ++s) {
+      auto fresh = std::make_unique<Shard>();
+      SetStoreOptions store_options = options_.store;
+      store_options.metrics_scope = ShardScope(base_scope_, s) + "/store";
+      fresh->store = std::make_unique<SetStore>(store_options);
+      IndexOptions index_options = options_.index;
+      index_options.metrics_scope = ShardScope(base_scope_, s) + "/index";
+      auto built = SetSimilarityIndex::Build(*fresh->store, layout_,
+                                             index_options);
+      if (!built.ok()) return built.status();
+      fresh->index =
+          std::make_unique<SetSimilarityIndex>(std::move(built).value());
+      if (epoch_manager_ != nullptr) {
+        fresh->global_of_local.SetEpochManager(epoch_manager_);
+        fresh->index->EnableConcurrentWrites(epoch_manager_);
+      }
+      owned_shards_.push_back(std::move(fresh));
+      shards_.Set(s, owned_shards_.back().get());
+    }
+    num_shards_.store(target, std::memory_order_seq_cst);
+    // Fresh inserts now vote under the grown topology (existing recorded
+    // assignments are untouched until their move commits).
+    map_.SetNumShards(target);
+  }
+  // Shrink keeps the old count until FinishRebalance: the draining shards
+  // still hold un-moved sids that queries must keep reaching.
+
+  span.Tag("planned_moves", static_cast<std::uint64_t>(pending_moves_.size()));
+  Rebal().begun->Increment();
+  Rebal().active->Set(1.0);
+  Rebal().pending->Set(static_cast<double>(pending_moves_.size()));
+  rebalance_active_.store(true, std::memory_order_seq_cst);
+  return Status::OK();
+}
+
+Result<bool> ShardedSetSimilarityIndex::ExecuteMoveLocked(
+    const ShardMove& move) {
+  if (move.sid >= local_of_global_.size() ||
+      local_of_global_[move.sid].shard != move.from) {
+    // Erased, or re-placed by an earlier recovery/convergence pass, since
+    // the plan was taken. Nothing to migrate.
+    return false;
+  }
+  if (shard_degraded(move.from) || shard_degraded(move.to)) {
+    return Status::Unavailable("shard degraded mid-rebalance");
+  }
+  const LocalRef ref = local_of_global_[move.sid];
+  Shard& src = ShardAt(move.from);
+  ElementSet set;
+  SSR_ASSIGN_OR_RETURN(set, src.store->Get(ref.local));
+  // Move protocol: advisory kMoveOut to the source log, then kMoveIn — the
+  // commit point — to the destination log carrying the payload. A crash
+  // before the kMoveIn sync leaves the sid fully old; after, recovery's
+  // ApplyMoveIn lands it fully new. Never split.
+  if (WalWriter* wal = shard_wal(move.from)) {
+    SSR_RETURN_IF_ERROR(wal->AppendMoveOut(move.sid, move.to).status());
+  }
+  if (WalWriter* wal = shard_wal(move.to)) {
+    SSR_RETURN_IF_ERROR(wal->AppendMoveIn(move.sid, move.from, set).status());
+  }
+  // Committed. Copy into the destination (readers may briefly see both
+  // copies — FinishGather dedups), cut the routing over, then drop the
+  // source copy.
+  SSR_RETURN_IF_ERROR(InsertIntoShardLocked(move.to, move.sid, set));
+  map_.Reassign(move.sid, move.to);
+  SSR_RETURN_IF_ERROR(RemoveFromShardLocked(ref));
+  return true;
+}
+
+Result<std::size_t> ShardedSetSimilarityIndex::StepRebalance(
+    std::size_t max_moves) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!rebalance_active_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("no rebalance is active");
+  }
+  obs::TraceSpan span("rebalance_step");
+  std::size_t processed = 0;
+  while (processed < max_moves && next_move_ < pending_moves_.size()) {
+    auto moved = ExecuteMoveLocked(pending_moves_[next_move_]);
+    // A failed move is retryable: next_move_ stays, nothing was committed
+    // (WAL appends fail atomically before any state change).
+    if (!moved.ok()) return moved.status();
+    ++next_move_;
+    ++processed;
+    if (*moved) {
+      ++moves_done_;
+      Rebal().moves->Increment();
+    } else {
+      ++moves_skipped_;
+      Rebal().skipped->Increment();
+    }
+  }
+  const std::size_t remaining = pending_moves_.size() - next_move_;
+  Rebal().pending->Set(static_cast<double>(remaining));
+  span.Tag("processed", static_cast<std::uint64_t>(processed));
+  span.Tag("remaining", static_cast<std::uint64_t>(remaining));
+  return remaining;
+}
+
+Status ShardedSetSimilarityIndex::FinishRebalance() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!rebalance_active_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("no rebalance is active");
+  }
+  if (next_move_ < pending_moves_.size()) {
+    return Status::FailedPrecondition("planned moves are still pending");
+  }
+  obs::TraceSpan span("rebalance_finish");
+  const std::uint32_t current = num_shards();
+  const std::uint32_t target = rebalance_target_;
+  span.Tag("to_shards", static_cast<std::uint64_t>(target));
+  if (target < current) {
+    for (std::uint32_t s = target; s < current; ++s) {
+      const Shard* sh = shards_.Get(s);
+      if (sh != nullptr && sh->store != nullptr && sh->store->size() != 0) {
+        return Status::Internal("draining shard still holds live sets");
+      }
+    }
+    // Adopt the shrunk topology, then retire the husks: a reader that
+    // loaded the old count just before the store may find a nulled slot
+    // and tags that shard degraded — partial, never wrong.
+    num_shards_.store(target, std::memory_order_seq_cst);
+    map_.SetNumShards(target);
+    for (std::uint32_t s = target; s < current; ++s) {
+      Shard* victim = shards_.Get(s);
+      shards_.Set(s, nullptr);
+      if (s < shard_wals_.size()) shard_wals_[s] = nullptr;
+      if (victim == nullptr) continue;
+      auto owner = std::find_if(
+          owned_shards_.begin(), owned_shards_.end(),
+          [victim](const std::unique_ptr<Shard>& p) {
+            return p.get() == victim;
+          });
+      if (owner != owned_shards_.end()) {
+        owner->release();
+        owned_shards_.erase(owner);
+      }
+      if (epoch_manager_ != nullptr) {
+        epoch_manager_->Retire([victim] { delete victim; });
+      } else {
+        delete victim;
+      }
+    }
+  }
+  rebalance_active_.store(false, std::memory_order_seq_cst);
+  pending_moves_.clear();
+  next_move_ = 0;
+  rebalance_target_ = 0;
+  Rebal().finished->Increment();
+  Rebal().active->Set(0.0);
+  Rebal().pending->Set(0.0);
+  return Status::OK();
+}
+
+Status ShardedSetSimilarityIndex::RebalanceTo(std::uint32_t new_num_shards) {
+  SSR_RETURN_IF_ERROR(BeginRebalance(new_num_shards));
+  for (;;) {
+    auto remaining = StepRebalance(64);
+    if (!remaining.ok()) return remaining.status();
+    if (*remaining == 0) break;
+  }
+  return FinishRebalance();
+}
+
+RebalanceStatus ShardedSetSimilarityIndex::rebalance_status() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  RebalanceStatus status;
+  status.active = rebalance_active_.load(std::memory_order_seq_cst);
+  status.target_shards = rebalance_target_;
+  status.moves_planned = pending_moves_.size();
+  status.moves_done = moves_done_;
+  status.moves_skipped = moves_skipped_;
+  return status;
+}
+
+Status ShardedSetSimilarityIndex::ApplyMoveInLocked(std::uint32_t dest,
+                                                    SetId sid,
+                                                    const ElementSet& set) {
+  const bool recorded =
+      sid < local_of_global_.size() &&
+      local_of_global_[sid].shard != ShardMap::kUnassigned;
+  if (recorded && local_of_global_[sid].shard == dest) {
+    return Status::AlreadyExists("sid already lives at the destination");
+  }
+  bool removed_live = false;
+  if (recorded) {
+    const LocalRef ref = local_of_global_[sid];
+    if (!shard_degraded(ref.shard)) {
+      SSR_RETURN_IF_ERROR(RemoveFromShardLocked(ref));
+      removed_live = true;
+    }
+    // A degraded source cannot release its copy; the kMoveIn payload is
+    // authoritative, so the relocation proceeds regardless.
+  }
+  if (!IsNormalizedSet(set)) {
+    return Status::Corruption("kMoveIn payload is not a normalized set");
+  }
+  SSR_RETURN_IF_ERROR(InsertIntoShardLocked(dest, sid, set));
+  map_.Reassign(sid, dest);
+  // A sid removed from a live shard nets zero; one that was absent (its
+  // insert replays later / its source shard is dead) counts as new.
+  if (!removed_live) num_live_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedSetSimilarityIndex::ApplyMoveIn(std::uint32_t dest, SetId sid,
+                                              std::uint32_t from_shard,
+                                              const ElementSet& set) {
+  (void)from_shard;  // advisory; local_of_global_ is the routing truth
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (dest >= num_shards()) {
+    return Status::Corruption("kMoveIn destination shard out of range");
+  }
+  if (shard_degraded(dest)) {
+    return Status::Unavailable("kMoveIn destination shard is degraded");
+  }
+  return ApplyMoveInLocked(dest, sid, set);
+}
+
+// --- Persistence --------------------------------------------------------
 
 Status ShardedSetSimilarityIndex::SaveTo(std::ostream& out) const {
   SnapshotWriter snapshot(out, kShardedIndexMagic, kShardedIndexVersion);
+  const std::uint32_t n = num_shards();
 
   {
     BinaryWriter& meta = snapshot.BeginSection("meta");
-    meta.WriteU32(num_shards());
-    meta.WriteU64(num_live_);
+    meta.WriteU32(n);
+    meta.WriteU64(num_live_.load(std::memory_order_relaxed));
     meta.WriteU64(local_of_global_.size());
-    for (const Shard& sh : shards_) {
+    for (std::uint32_t s = 0; s < n; ++s) {
       // A shard that is *dead* (lost in a previous salvage) has nothing to
       // serialize; it round-trips as dead. The administrative degraded flag
       // is runtime-only and intentionally not persisted.
-      meta.WriteBool(sh.index == nullptr);
+      meta.WriteBool(shard_index(s) == nullptr);
     }
     SSR_RETURN_IF_ERROR(snapshot.EndSection());
   }
@@ -329,16 +776,16 @@ Status ShardedSetSimilarityIndex::SaveTo(std::ostream& out) const {
   }
   {
     BinaryWriter& body = snapshot.BeginSection("routing");
-    for (const Shard& sh : shards_) {
-      body.WriteVector(sh.global_of_local);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      body.WriteVector(global_of_local(s));
     }
     SSR_RETURN_IF_ERROR(snapshot.EndSection());
   }
 
   // One nested snapshot pair per shard, each its own checksummed section so
   // damage quarantines one shard while its neighbors stay loadable.
-  for (std::uint32_t s = 0; s < num_shards(); ++s) {
-    const Shard& sh = shards_[s];
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const Shard& sh = ShardAt(s);
     std::string store_bytes, index_bytes;
     if (sh.index != nullptr) {
       std::ostringstream store_out, index_out;
@@ -427,8 +874,11 @@ Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Load(
   RecoveryReport report;
   bool truncated = false;  // DataLoss: everything after this point is gone
   for (std::uint32_t s = 0; s < num_shards; ++s) {
-    Shard& sh = sharded.shards_[s];
-    sh.global_of_local = std::move(routing[s]);
+    Shard& sh = sharded.ShardAt(s);
+    for (SetId local = 0; local < routing[s].size(); ++local) {
+      sh.global_of_local.Set(local, routing[s][local]);
+    }
+    sh.local_count.store(routing[s].size(), std::memory_order_seq_cst);
 
     std::string store_payload, index_payload;
     Status store_st = Status::OK(), index_st = Status::OK();
@@ -462,7 +912,7 @@ Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Load(
     if (sh.index == nullptr) {
       // The whole shard was unrecoverable: its routed sids are lost.
       report.salvaged = true;
-      for (SetId g : sh.global_of_local) {
+      for (SetId g : routing[s]) {
         if (g != kInvalidSetId && sharded.map_.IsAssigned(g) &&
             sharded.map_.ShardOf(g) == s) {
           ++report.records_quarantined;
@@ -487,7 +937,7 @@ Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Load(
     bool have_family = false;
     MinHashFamilyKind family = MinHashFamilyKind::kClassic;
     for (std::uint32_t s = 0; s < num_shards; ++s) {
-      const Shard& sh = sharded.shards_[s];
+      const Shard& sh = sharded.ShardAt(s);
       if (sh.index == nullptr) continue;
       const MinHashFamilyKind shard_family =
           sh.index->embedding().params().minhash.family;
@@ -507,11 +957,11 @@ Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Load(
   // time — they exist but are unavailable until restored).
   sharded.local_of_global_.assign(static_cast<std::size_t>(capacity),
                                   LocalRef{});
-  sharded.num_live_ = 0;
+  std::size_t live_total = 0;
   for (std::uint32_t s = 0; s < num_shards; ++s) {
-    Shard& sh = sharded.shards_[s];
-    for (SetId local = 0; local < sh.global_of_local.size(); ++local) {
-      const SetId g = sh.global_of_local[local];
+    Shard& sh = sharded.ShardAt(s);
+    for (SetId local = 0; local < routing[s].size(); ++local) {
+      const SetId g = routing[s][local];
       if (g == kInvalidSetId || g >= capacity) continue;
       const bool live = sh.store != nullptr
                             ? sh.store->Contains(local)
@@ -519,8 +969,9 @@ Result<ShardedSetSimilarityIndex> ShardedSetSimilarityIndex::Load(
                                sharded.map_.ShardOf(g) == s);
       if (live) sharded.local_of_global_[g] = LocalRef{s, local};
     }
-    if (sh.store != nullptr) sharded.num_live_ += sh.store->size();
+    if (sh.store != nullptr) live_total += sh.store->size();
   }
+  sharded.num_live_.store(live_total, std::memory_order_relaxed);
 
   if (load_options.report != nullptr) {
     load_options.report->MergeFrom(report);
@@ -532,7 +983,7 @@ Status ShardedSetSimilarityIndex::LoadShardFromPayloads(
     std::uint32_t s, const Status& store_st, const std::string& store_payload,
     const Status& index_st, const std::string& index_payload,
     const SnapshotLoadOptions& load_options, RecoveryReport* report) {
-  Shard& sh = shards_[s];
+  Shard& sh = ShardAt(s);
   const std::string scope = ShardScope(base_scope_, s);
 
   SetStoreOptions store_options = options_.store;
@@ -602,12 +1053,14 @@ Status ShardedSetSimilarityIndex::LoadShardFromPayloads(
 
 std::uint64_t ShardedSetSimilarityIndex::ContentDigest() const {
   std::uint64_t h = map_.ContentDigest();
-  h = HashCombine(h, num_live_);
-  for (std::uint32_t s = 0; s < num_shards(); ++s) {
-    const Shard& sh = shards_[s];
+  h = HashCombine(h, num_live_.load(std::memory_order_relaxed));
+  const std::uint32_t n = num_shards();
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const Shard& sh = ShardAt(s);
     h = HashCombine(h, sh.index != nullptr ? sh.index->ContentDigest() : 0);
-    h = HashCombine(h, sh.global_of_local.size());
-    for (SetId g : sh.global_of_local) h = HashCombine(h, g);
+    const std::vector<SetId> to_global = global_of_local(s);
+    h = HashCombine(h, to_global.size());
+    for (SetId g : to_global) h = HashCombine(h, g);
   }
   return h;
 }

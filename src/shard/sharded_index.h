@@ -14,6 +14,24 @@
 // collection — the property the differential harness (tests/difftest/)
 // pins down across P, churn, and degraded shards.
 //
+// Live mutability (see DESIGN.md §16): after EnableConcurrentWrites,
+// Insert/Erase (serialized on an internal writer mutex) run concurrently
+// with any number of Query/QueryRouter readers. Reader-visible state — the
+// shard slot table, each shard's local->global map, and the inner indexes'
+// copy-on-write structures — is epoch-protected (exec/epoch.h): readers
+// pin an epoch for the duration of a scatter/gather and writers retire
+// replaced structures through the manager.
+//
+// Online rebalance: BeginRebalance plans a ShardMap move list toward a new
+// shard count, StepRebalance migrates sids one at a time (each move is
+// WAL-logged — kMoveOut to the source log, then kMoveIn, the commit point,
+// to the destination log — so a crash mid-rebalance recovers each sid
+// fully old or fully new, never split), and FinishRebalance retires the
+// old topology. While a rebalance is active every answer is tagged
+// `rebalancing` (and conservatively `partial`, reusing the degraded-shard
+// tagging): a move's commit window can hide the moving sid from a
+// concurrent scatter, so in-flight answers are partial-but-never-wrong.
+//
 // Failure semantics: a shard can be administratively degraded (operator
 // action or a salvage load that lost it). Under kPartialResults the router
 // and the serial Query skip it and tag the answer (partial, degraded shard
@@ -23,14 +41,18 @@
 #ifndef SSR_SHARD_SHARDED_INDEX_H_
 #define SSR_SHARD_SHARDED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <istream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/set_similarity_index.h"
+#include "exec/atomic_slot_array.h"
+#include "exec/epoch.h"
 #include "shard/shard_map.h"
 #include "storage/set_store.h"
 #include "storage/snapshot.h"
@@ -85,7 +107,11 @@ struct ShardedQueryResult {
   std::vector<QueryStats> per_shard;  // by shard; default-initialized if dead
   std::vector<Status> shard_status;   // by shard
   std::vector<std::uint32_t> degraded_shards;  // shards that did not answer
-  bool partial = false;  // some shard's sids are missing from `sids`
+  bool partial = false;  // some shard's sids may be missing from `sids`
+  /// An online rebalance overlapped this query. The answer is still a
+  /// verified subset of the true answer (never wrong), but a sid whose
+  /// move committed mid-scatter may be missing — so `partial` is set too.
+  bool rebalancing = false;
 };
 
 /// Aggregate build statistics. Shards build one after another on the host,
@@ -97,6 +123,15 @@ struct ShardedBuildStats {
   double modeled_makespan_seconds = 0.0;
 };
 
+/// Progress of the online rebalance state machine.
+struct RebalanceStatus {
+  bool active = false;
+  std::uint32_t target_shards = 0;
+  std::size_t moves_planned = 0;
+  std::size_t moves_done = 0;     // migrations committed (kMoveIn logged)
+  std::size_t moves_skipped = 0;  // sid erased / re-placed before its turn
+};
+
 class ShardedSetSimilarityIndex {
  public:
   /// Partitions `sets` (global sid = position) across the shards and builds
@@ -106,14 +141,24 @@ class ShardedSetSimilarityIndex {
       const SetCollection& sets, const IndexLayout& layout,
       const ShardedIndexOptions& options);
 
+  /// Switches every reader-visible structure (shard slots, local->global
+  /// maps, the inner indexes) to epoch-protected publication under
+  /// `manager` (Default() when null). Call once, after Build/Load and
+  /// before the first concurrent reader or writer. Required before
+  /// BeginRebalance or any mutation that overlaps queries.
+  void EnableConcurrentWrites(exec::EpochManager* manager = nullptr);
+  exec::EpochManager* epoch_manager() const { return epoch_manager_; }
+
   /// Routes the set to its shard's store + index. `sid` is the caller's
   /// global sid (AlreadyExists if live). Global sids must be fresh — the
   /// sharded index never reuses them, mirroring SetStore's dense allocator.
+  /// Thread-safe against queries and other mutations after
+  /// EnableConcurrentWrites (mutations serialize on the writer mutex).
   Status Insert(SetId sid, const ElementSet& set);
 
   /// Erases a global sid from its shard. NotFound when `sid` was never
   /// inserted or is already erased — same contract as
-  /// SetSimilarityIndex::Erase.
+  /// SetSimilarityIndex::Erase. Same thread-safety as Insert.
   Status Erase(SetId sid);
 
   /// Serial reference scatter/gather: queries shards 0..P-1 in order on the
@@ -123,26 +168,31 @@ class ShardedSetSimilarityIndex {
                                    double sigma2) const;
 
   std::uint32_t num_shards() const {
-    return static_cast<std::uint32_t>(shards_.size());
+    return num_shards_.load(std::memory_order_seq_cst);
   }
-  std::size_t num_live_sets() const { return num_live_; }
+  std::size_t num_live_sets() const {
+    return num_live_.load(std::memory_order_relaxed);
+  }
   const ShardMap& shard_map() const { return map_; }
   const ShardedBuildStats& build_stats() const { return build_stats_; }
   const std::string& metrics_scope() const { return base_scope_; }
 
   /// Per-shard access (the router fans out over these). A dead shard (lost
-  /// in a salvage load) has null store/index and degraded == true.
+  /// in a salvage load) has null store/index and degraded == true. Concurrent
+  /// callers hold an exec::EpochGuard across the use of the returned
+  /// pointers (shard objects are epoch-retired when a shrink completes).
   const SetStore* shard_store(std::uint32_t s) const {
-    return shards_[s].store.get();
+    const Shard* sh = shards_.Get(s);
+    return sh == nullptr ? nullptr : sh->store.get();
   }
   const SetSimilarityIndex* shard_index(std::uint32_t s) const {
-    return shards_[s].index.get();
+    const Shard* sh = shards_.Get(s);
+    return sh == nullptr ? nullptr : sh->index.get();
   }
-  /// Local sid -> global sid table for shard `s` (by local sid; dead locals
-  /// keep their entry).
-  const std::vector<SetId>& global_of_local(std::uint32_t s) const {
-    return shards_[s].global_of_local;
-  }
+  /// Local sid -> global sid table for shard `s`, materialized (by local
+  /// sid; dead locals keep their entry). A point-in-time copy: the live
+  /// table is a lock-free slot array that concurrent writers keep extending.
+  std::vector<SetId> global_of_local(std::uint32_t s) const;
 
   /// Attaches shard `s`'s write-ahead log to the mutation path. Records
   /// are appended *here*, at the sharded layer, carrying global sids —
@@ -151,11 +201,12 @@ class ShardedSetSimilarityIndex {
   /// a failed append fails the mutation with the routing tables, store,
   /// and index untouched. Runtime-only, like AttachWal on the inner
   /// index; pass nullptr to detach. The writer must outlive the index or
-  /// be detached first.
+  /// be detached first. Not thread-safe against in-flight mutations —
+  /// attach during setup (or between Begin/Step for a grown shard, from
+  /// the rebalance driver thread).
   void AttachShardWal(std::uint32_t s, WalWriter* wal) {
-    if (shard_wals_.size() < shards_.size()) {
-      shard_wals_.resize(shards_.size(), nullptr);
-    }
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    if (shard_wals_.size() <= s) shard_wals_.resize(s + 1, nullptr);
     shard_wals_[s] = wal;
   }
   WalWriter* shard_wal(std::uint32_t s) const {
@@ -166,12 +217,56 @@ class ShardedSetSimilarityIndex {
   /// tagged) or fails the query, per ShardFailurePolicy.
   void SetShardDegraded(std::uint32_t s, bool degraded);
   bool shard_degraded(std::uint32_t s) const {
-    return shards_[s].degraded || shards_[s].index == nullptr;
+    const Shard* sh = shards_.Get(s);
+    return sh == nullptr || sh->index == nullptr ||
+           sh->degraded.load(std::memory_order_relaxed);
   }
 
   ShardFailurePolicy on_shard_failure() const {
     return options_.on_shard_failure;
   }
+
+  // --- Online rebalance (the move state machine) ---------------------
+  //
+  // Protocol: BeginRebalance(P') plans the ShardMap move list and (when
+  // growing) publishes the new, still-empty shards so fresh inserts and
+  // queries see them. The caller attaches WALs to any new shards, takes a
+  // checkpoint (so recovery knows the new topology), then drains the plan
+  // with StepRebalance while readers and writers keep running, and calls
+  // FinishRebalance to adopt the final shard count (shrink retires the
+  // drained shards through the epoch manager). A crash anywhere in between
+  // recovers to a consistent per-sid assignment — kMoveIn is the commit
+  // point — and a re-run RebalanceTo converges the remainder.
+
+  /// Starts a rebalance toward `new_num_shards`. FailedPrecondition when
+  /// one is already active; Unavailable when any shard is degraded (its
+  /// sids cannot be moved safely).
+  Status BeginRebalance(std::uint32_t new_num_shards);
+
+  /// Executes up to `max_moves` planned migrations; returns the number of
+  /// moves still pending. Call repeatedly (typically from one driver
+  /// thread) until it reports 0, then FinishRebalance.
+  Result<std::size_t> StepRebalance(std::size_t max_moves);
+
+  /// Completes the rebalance: verifies the plan drained, adopts the target
+  /// shard count, and (shrink) epoch-retires the emptied shards.
+  Status FinishRebalance();
+
+  /// Begin + drain + finish in one call (the offline-convenience path;
+  /// still safe under concurrent readers/writers).
+  Status RebalanceTo(std::uint32_t new_num_shards);
+
+  RebalanceStatus rebalance_status() const;
+  bool rebalancing() const {
+    return rebalance_active_.load(std::memory_order_seq_cst);
+  }
+
+  /// Recovery-side replay of a kMoveIn record from shard `dest`'s WAL:
+  /// relocates `sid` (wherever it currently lives, usually `from_shard`)
+  /// into shard `dest` with `set` as its payload. Idempotent —
+  /// AlreadyExists when the sid already lives at `dest`.
+  Status ApplyMoveIn(std::uint32_t dest, SetId sid, std::uint32_t from_shard,
+                     const ElementSet& set);
 
   /// Translates one shard's verified local answer into `result`: maps local
   /// sids to global, appends them, and merges the per-shard stats in shard
@@ -182,8 +277,9 @@ class ShardedSetSimilarityIndex {
   /// Unavailable status to propagate when the policy is kFailFast.
   Status GatherShardFailure(std::uint32_t s, Status status,
                             ShardedQueryResult* result) const;
-  /// Finalizes a gathered result: sorts the merged global sids and settles
-  /// the aggregate stats fields.
+  /// Finalizes a gathered result: sorts + dedups the merged global sids
+  /// (a mid-move sid can surface from both its old and new shard) and
+  /// settles the aggregate stats and rebalance tagging.
   void FinishGather(ShardedQueryResult* result) const;
 
   /// Persists the whole sharded index as one checksummed v2 snapshot: the
@@ -192,7 +288,9 @@ class ShardedSetSimilarityIndex {
   /// SnapshotLoadOptions::salvage, a damaged shard section quarantines
   /// *that shard only* — it comes back dead (degraded, its sids lost) while
   /// every other shard loads intact and keeps serving; the RecoveryReport
-  /// counts the quarantined records.
+  /// counts the quarantined records. The caller quiesces mutations and any
+  /// active rebalance driver for the duration of the save (the durability
+  /// protocol's checkpoint contract).
   Status SaveTo(std::ostream& out) const;
   static Result<ShardedSetSimilarityIndex> Load(
       std::istream& in, const ShardedIndexOptions& options,
@@ -202,12 +300,24 @@ class ShardedSetSimilarityIndex {
   /// index digest; equal iff the sharded structures are bit-identical.
   std::uint64_t ContentDigest() const;
 
+  // Moves happen only while singly-owned (Load/Recover plumbing) — never
+  // concurrently with readers, writers, or an active rebalance.
+  ShardedSetSimilarityIndex(ShardedSetSimilarityIndex&& other) noexcept;
+  ShardedSetSimilarityIndex& operator=(
+      ShardedSetSimilarityIndex&& other) noexcept;
+  ~ShardedSetSimilarityIndex();
+
  private:
   struct Shard {
     std::unique_ptr<SetStore> store;
     std::unique_ptr<SetSimilarityIndex> index;
-    std::vector<SetId> global_of_local;
-    bool degraded = false;
+    /// Local sid -> global sid (kInvalidSetId = never populated). Dead
+    /// locals keep their last entry, exactly like the old vector did — the
+    /// store is the liveness truth.
+    exec::AtomicSlotArray<SetId> global_of_local{kInvalidSetId};
+    /// Logical length of global_of_local (== the store's next local sid).
+    std::atomic<std::size_t> local_count{0};
+    std::atomic<bool> degraded{false};
   };
   struct LocalRef {
     std::uint32_t shard = ShardMap::kUnassigned;
@@ -216,8 +326,29 @@ class ShardedSetSimilarityIndex {
 
   ShardedSetSimilarityIndex(ShardedIndexOptions options, IndexLayout layout);
 
-  /// Allocates shard s's store + (empty-collection) index structures.
+  /// Allocates shard s's Shard object + store and publishes it in the slot
+  /// table (does not bump num_shards_).
   Status CreateShard(std::uint32_t s);
+
+  Shard& ShardAt(std::uint32_t s) const { return *shards_.Get(s); }
+
+  /// One migration, writer lock held. Returns true when the move executed
+  /// (vs. skipped because the sid is no longer at move.from).
+  Result<bool> ExecuteMoveLocked(const ShardMove& move);
+
+  /// ApplyMoveIn body with writer_mu_ held.
+  Status ApplyMoveInLocked(std::uint32_t dest, SetId sid,
+                           const ElementSet& set);
+
+  /// Inserts an already-routed (sid, set) into shard `s`, publishing the
+  /// local->global mapping before the index entry so concurrent gathers
+  /// never see an unmapped local. Writer lock held.
+  Status InsertIntoShardLocked(std::uint32_t s, SetId sid,
+                               const ElementSet& set);
+
+  /// Removes `sid`'s record from its current shard (index + store; the
+  /// local->global entry intentionally stays, dead). Writer lock held.
+  Status RemoveFromShardLocked(const LocalRef& ref);
 
   /// Reconstructs shard `s` from its two nested snapshot payloads (store,
   /// index) during Load. `store_st`/`index_st` are the outer section
@@ -231,15 +362,35 @@ class ShardedSetSimilarityIndex {
                                const SnapshotLoadOptions& load_options,
                                RecoveryReport* report);
 
+  void FreeShards();
+
   ShardedIndexOptions options_;
   IndexLayout layout_;
   std::string base_scope_;
   ShardMap map_;
-  std::vector<Shard> shards_;
+  /// Reader path: shards_.Get(s) for s < num_shards_. Slots are published
+  /// once and stay valid while any reader could hold them (epoch-retired
+  /// on shrink). owned_shards_ is the writer-side ownership list.
+  exec::AtomicSlotArray<Shard*> shards_{nullptr};
+  std::atomic<std::uint32_t> num_shards_{0};
+  std::vector<std::unique_ptr<Shard>> owned_shards_;
   std::vector<WalWriter*> shard_wals_;  // by shard; not owned, runtime-only
-  std::vector<LocalRef> local_of_global_;  // by global sid
-  std::size_t num_live_ = 0;
+  std::vector<LocalRef> local_of_global_;  // by global sid; writer-side only
+  std::atomic<std::size_t> num_live_{0};
   ShardedBuildStats build_stats_;
+
+  /// Serializes Insert/Erase/ApplyMoveIn and the rebalance state machine.
+  mutable std::mutex writer_mu_;
+  exec::EpochManager* epoch_manager_ = nullptr;  // not owned; set once
+
+  // Rebalance state (writer_mu_ except the active flag, which readers tag
+  // answers from).
+  std::atomic<bool> rebalance_active_{false};
+  std::uint32_t rebalance_target_ = 0;
+  std::vector<ShardMove> pending_moves_;
+  std::size_t next_move_ = 0;
+  std::size_t moves_done_ = 0;
+  std::size_t moves_skipped_ = 0;
 };
 
 }  // namespace shard

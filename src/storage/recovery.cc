@@ -100,6 +100,12 @@ Status ReplayRecords(const std::vector<WalRecord>& records,
         ++report->wal_records_replayed;
         break;
       }
+      case WalRecordType::kMoveIn:
+      case WalRecordType::kMoveOut:
+        // Move records exist only in sharded deployments; a single-index
+        // log carrying one is mismatched with its checkpoint.
+        return Status::Corruption("rebalance move record in a single-index "
+                                  "wal");
     }
     *recovered_lsn = record.lsn;
   }
@@ -108,9 +114,13 @@ Status ReplayRecords(const std::vector<WalRecord>& records,
 
 /// Reads shard `s`'s WAL and replays it through the sharded index (records
 /// carry global sids; routing is deterministic, so replay reproduces the
-/// live placement). Returns non-OK only for damage the caller should
-/// translate into quarantine (salvage) or propagation (strict).
-Status ReplayShardWal(std::istream* wal, std::uint64_t checkpoint_lsn,
+/// live placement). Rebalance records: kMoveIn — this shard is the move's
+/// destination — relocates the sid via ApplyMoveIn (idempotent); kMoveOut
+/// is advisory and skipped, so a sid whose kMoveIn never became durable
+/// recovers fully at its source. Returns non-OK only for damage the caller
+/// should translate into quarantine (salvage) or propagation (strict).
+Status ReplayShardWal(std::uint32_t s, std::istream* wal,
+                      std::uint64_t checkpoint_lsn,
                       shard::ShardedSetSimilarityIndex* index,
                       RecoveryReport* report, std::uint64_t* recovered_lsn) {
   *recovered_lsn = checkpoint_lsn;
@@ -130,13 +140,23 @@ Status ReplayShardWal(std::istream* wal, std::uint64_t checkpoint_lsn,
       continue;
     }
     Status st;
-    if (record.type == WalRecordType::kInsert) {
-      st = index->Insert(record.sid, record.set);
-    } else {
-      st = index->Erase(record.sid);
+    switch (record.type) {
+      case WalRecordType::kInsert:
+        st = index->Insert(record.sid, record.set);
+        break;
+      case WalRecordType::kErase:
+        st = index->Erase(record.sid);
+        break;
+      case WalRecordType::kMoveIn:
+        st = index->ApplyMoveIn(s, record.sid, record.peer_shard, record.set);
+        break;
+      case WalRecordType::kMoveOut:
+        // Advisory only: the commit point is the destination's kMoveIn.
+        st = Status::NotFound("advisory move-out record");
+        break;
     }
     if (st.IsAlreadyExists() || st.IsNotFound()) {
-      ++report->wal_records_skipped;  // idempotent re-application
+      ++report->wal_records_skipped;  // idempotent / advisory re-application
     } else if (!st.ok()) {
       return st;
     } else {
@@ -382,7 +402,7 @@ Result<RecoveredShardedIndex> RecoverShardedIndex(
       ++out.report.wal_shards_quarantined;
       continue;
     }
-    Status st = ReplayShardWal(wals[s], out.checkpoint_lsns[s],
+    Status st = ReplayShardWal(s, wals[s], out.checkpoint_lsns[s],
                                out.index.get(), &out.report,
                                &out.recovered_lsns[s]);
     if (!st.ok()) {

@@ -36,10 +36,52 @@ SetStore::SetStore(SetStoreOptions options)
                                             scope, obs::LatencyBoundsMicros());
 }
 
+SetStore::SetStore(SetStore&& other) noexcept
+    : options_(std::move(other.options_)),
+      file_(std::move(other.file_)),
+      btree_(std::move(other.btree_)),
+      pool_(std::move(other.pool_)),
+      io_(std::move(other.io_)),
+      sets_added_(other.sets_added_),
+      gets_(other.gets_),
+      scans_(other.scans_),
+      fetch_failures_(other.fetch_failures_),
+      live_sets_(other.live_sets_),
+      heap_pages_(other.heap_pages_),
+      get_latency_hist_(other.get_latency_hist_),
+      next_sid_(other.next_sid_),
+      live_bytes_(other.live_bytes_) {
+  other.next_sid_ = 0;
+  other.live_bytes_ = 0;
+}
+
+SetStore& SetStore::operator=(SetStore&& other) noexcept {
+  if (this != &other) {
+    options_ = std::move(other.options_);
+    file_ = std::move(other.file_);
+    btree_ = std::move(other.btree_);
+    pool_ = std::move(other.pool_);
+    io_ = std::move(other.io_);
+    sets_added_ = other.sets_added_;
+    gets_ = other.gets_;
+    scans_ = other.scans_;
+    fetch_failures_ = other.fetch_failures_;
+    live_sets_ = other.live_sets_;
+    heap_pages_ = other.heap_pages_;
+    get_latency_hist_ = other.get_latency_hist_;
+    next_sid_ = other.next_sid_;
+    live_bytes_ = other.live_bytes_;
+    other.next_sid_ = 0;
+    other.live_bytes_ = 0;
+  }
+  return *this;
+}
+
 Result<SetId> SetStore::Add(const ElementSet& set) {
   if (!IsNormalizedSet(set)) {
     return Status::InvalidArgument("set must be sorted and duplicate-free");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const SetId sid = next_sid_++;
   auto loc = file_.Append(sid, set);
   if (!loc.ok()) return loc.status();
@@ -54,6 +96,9 @@ Result<SetId> SetStore::Add(const ElementSet& set) {
 }
 
 Result<ElementSet> SetStore::Get(SetId sid) {
+  // Exclusive: the fetch mutates the shared pool's LRU state and the I/O
+  // counters. Concurrent readers use ReadView (private pool, shared lock).
+  std::unique_lock<std::shared_mutex> lock(mu_);
   gets_->Increment();
   Stopwatch watch;
   std::size_t nodes = 0;
@@ -96,7 +141,9 @@ SetStore::ReadView::ReadView(const SetStore& store,
 
 Result<ElementSet> SetStore::ReadView::Get(SetId sid) {
   // Mirrors SetStore::Get, but every mutable touch lands on this view's
-  // private pool_/io_; the shared structures (btree_, file_) are only read.
+  // private pool_/io_; the shared structures (btree_, file_) are only
+  // read, under the store's shared lock so writers are excluded.
+  std::shared_lock<std::shared_mutex> lock(store_->mu_);
   store_->gets_->Increment();
   Stopwatch watch;
   std::size_t nodes = 0;
@@ -128,6 +175,7 @@ Result<ElementSet> SetStore::ReadView::Get(SetId sid) {
 }
 
 Status SetStore::Delete(SetId sid) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::size_t dummy = 0;
   auto loc = btree_.Find(sid, &dummy);
   if (!loc.ok()) return loc.status();
@@ -178,17 +226,20 @@ void ScanAllImpl(const HeapFile& file, const BPlusTree& btree, IoCostModel& io,
 
 void SetStore::ScanAll(
     const std::function<bool(SetId, const ElementSet&)>& visitor) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   scans_->Increment();
   ScanAllImpl(file_, btree_, io_, visitor);
 }
 
 void SetStore::ReadView::ScanAll(
     const std::function<bool(SetId, const ElementSet&)>& visitor) {
+  std::shared_lock<std::shared_mutex> lock(store_->mu_);
   store_->scans_->Increment();
   ScanAllImpl(store_->file_, store_->btree_, io_, visitor);
 }
 
 double SetStore::AvgSetPages() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (btree_.empty()) return 0.0;
   const double bytes_per_set =
       static_cast<double>(live_bytes_) / static_cast<double>(next_sid_);
@@ -204,6 +255,7 @@ Status SetStore::SaveTo(std::ostream& out) const {
   // Store-level snapshot (meta + live index), then the heap file's own
   // snapshot. Two framed snapshots back to back: each is independently
   // checksummed and footer-pinned, and both read back sequentially.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   SnapshotWriter snapshot(out, kSetStoreMagic, kSetStoreVersion);
 
   BinaryWriter& meta = snapshot.BeginSection("meta");
@@ -306,6 +358,7 @@ Result<SetStore> SetStore::Load(std::istream& in, SetStoreOptions options,
 }
 
 void SetStore::ResetIoAccounting() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   pool_.Clear();
   pool_.ResetStats();
   io_.Reset();

@@ -11,6 +11,7 @@
 #include <functional>
 #include <istream>
 #include <ostream>
+#include <shared_mutex>
 #include <string>
 
 #include "fault/retry.h"
@@ -53,8 +54,12 @@ struct SetStoreOptions {
 };
 
 /// Mutable collection of sets with paged storage and I/O accounting.
-/// Not thread-safe: Get() mutates the shared buffer pool's LRU state and
-/// the I/O counters. Concurrent readers go through ReadView instead.
+/// Internally synchronized: Add/Delete/Get/ScanAll take the store's
+/// exclusive lock (Get mutates the shared buffer pool's LRU state and the
+/// I/O counters), while Contains and ReadView reads share it — so any
+/// number of ReadViews may run concurrently with writers. High-throughput
+/// concurrent readers still prefer ReadView (private pool, no contention
+/// on the store's own pool).
 class SetStore {
  public:
   explicit SetStore(SetStoreOptions options = SetStoreOptions());
@@ -109,7 +114,10 @@ class SetStore {
   Status Delete(SetId sid);
 
   /// True iff sid currently maps to a live record.
-  bool Contains(SetId sid) const { return btree_.Contains(sid); }
+  bool Contains(SetId sid) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return btree_.Contains(sid);
+  }
 
   /// Visits every live set in file order, charging one sequential read per
   /// distinct page in file order (the cost of a full-file scan). Returning
@@ -118,10 +126,16 @@ class SetStore {
   void ScanAll(const std::function<bool(SetId, const ElementSet&)>& visitor);
 
   /// Number of live sets.
-  std::size_t size() const { return btree_.size(); }
+  std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return btree_.size();
+  }
 
   /// Total heap-file pages (the sequential-scan cost in pages).
-  std::size_t num_pages() const { return file_.num_pages(); }
+  std::size_t num_pages() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return file_.num_pages();
+  }
 
   /// Average live-record size in pages (fractional); the paper's crossover
   /// bound |Q| < |S| * a / rtn uses this "a".
@@ -158,7 +172,18 @@ class SetStore {
                                SetStoreOptions options = SetStoreOptions(),
                                const SnapshotLoadOptions& load_options = {});
 
+  // Moves happen only while singly-owned (Load plumbing, shard setup) —
+  // never concurrently with readers or writers; the lock is not moved.
+  SetStore(SetStore&& other) noexcept;
+  SetStore& operator=(SetStore&& other) noexcept;
+  ~SetStore() = default;
+
  private:
+  // Guards file_/btree_/pool_/io_/next_sid_/live_bytes_: exclusive for
+  // mutations and pool-touching reads, shared for ReadView fetches and
+  // pure lookups. Declared first so it outlives every guarded member
+  // during destruction.
+  mutable std::shared_mutex mu_;
   SetStoreOptions options_;
   HeapFile file_;
   BPlusTree btree_;

@@ -60,8 +60,20 @@ Result<std::uint64_t> WalWriter::AppendErase(SetId sid) {
   return Append(WalRecordType::kErase, sid, nullptr);
 }
 
+Result<std::uint64_t> WalWriter::AppendMoveIn(SetId sid,
+                                              std::uint32_t from_shard,
+                                              const ElementSet& set) {
+  return Append(WalRecordType::kMoveIn, sid, &set, from_shard);
+}
+
+Result<std::uint64_t> WalWriter::AppendMoveOut(SetId sid,
+                                               std::uint32_t to_shard) {
+  return Append(WalRecordType::kMoveOut, sid, nullptr, to_shard);
+}
+
 Result<std::uint64_t> WalWriter::Append(WalRecordType type, SetId sid,
-                                        const ElementSet* set) {
+                                        const ElementSet* set,
+                                        std::uint32_t peer_shard) {
   if (crashed_) return Status::Unavailable("wal writer crashed");
   // The record-boundary crash site: a kCrashPoint fire here is the power
   // cut the crash harness schedules between two appends — the log keeps
@@ -81,7 +93,10 @@ Result<std::uint64_t> WalWriter::Append(WalRecordType type, SetId sid,
   {
     BinaryWriter payload_writer(payload_buf);
     payload_writer.WriteU32(sid);
-    if (type == WalRecordType::kInsert) payload_writer.WriteVector(*set);
+    if (type == WalRecordType::kMoveIn || type == WalRecordType::kMoveOut) {
+      payload_writer.WriteU32(peer_shard);
+    }
+    if (set != nullptr) payload_writer.WriteVector(*set);
   }
   const std::string payload = payload_buf.str();
 
@@ -255,8 +270,8 @@ Status ReadWal(std::istream& in, std::vector<WalRecord>* records,
       SSR_RETURN_IF_ERROR(header_reader.ReadU32(&payload_size));
       SSR_RETURN_IF_ERROR(header_reader.ReadU32(&payload_crc));
     }
-    if (type_byte != static_cast<std::uint8_t>(WalRecordType::kInsert) &&
-        type_byte != static_cast<std::uint8_t>(WalRecordType::kErase)) {
+    if (type_byte < static_cast<std::uint8_t>(WalRecordType::kInsert) ||
+        type_byte > static_cast<std::uint8_t>(WalRecordType::kMoveOut)) {
       return Status::Corruption("unknown wal record type");
     }
     record.type = static_cast<WalRecordType>(type_byte);
@@ -290,7 +305,12 @@ Status ReadWal(std::istream& in, std::vector<WalRecord>* records,
       std::istringstream payload_stream{std::move(payload)};
       BinaryReader payload_reader(payload_stream);
       SSR_RETURN_IF_ERROR(payload_reader.ReadU32(&record.sid));
-      if (record.type == WalRecordType::kInsert) {
+      if (record.type == WalRecordType::kMoveIn ||
+          record.type == WalRecordType::kMoveOut) {
+        SSR_RETURN_IF_ERROR(payload_reader.ReadU32(&record.peer_shard));
+      }
+      if (record.type == WalRecordType::kInsert ||
+          record.type == WalRecordType::kMoveIn) {
         SSR_RETURN_IF_ERROR(payload_reader.ReadVector(&record.set));
       }
     }

@@ -81,6 +81,15 @@ struct WalOptions {
 enum class WalRecordType : std::uint8_t {
   kInsert = 1,  // payload: u32 sid, u64-length-prefixed element vector
   kErase = 2,   // payload: u32 sid
+  // Online-rebalance move records (sharded indexes only; see
+  // shard/sharded_index.h). A move writes kMoveOut to the *source* shard's
+  // log (advisory: the sid is leaving toward peer_shard) and then kMoveIn
+  // to the *destination* shard's log — the commit point. Crash recovery
+  // applies kMoveIn idempotently and ignores kMoveOut, so a sid recovers
+  // fully old (no kMoveIn durable) or fully new (kMoveIn durable), never
+  // split.
+  kMoveIn = 3,   // payload: u32 sid, u32 peer_shard (source), element vector
+  kMoveOut = 4,  // payload: u32 sid, u32 peer_shard (destination)
 };
 
 /// One decoded mutation record.
@@ -88,7 +97,8 @@ struct WalRecord {
   std::uint64_t lsn = 0;
   WalRecordType type = WalRecordType::kInsert;
   SetId sid = kInvalidSetId;
-  ElementSet set;  // empty for kErase
+  std::uint32_t peer_shard = 0;  // kMoveIn: source; kMoveOut: destination
+  ElementSet set;  // empty for kErase/kMoveOut
 };
 
 /// What ReadWal consumed and what it had to drop.
@@ -122,6 +132,13 @@ class WalWriter {
   Result<std::uint64_t> AppendInsert(SetId sid, const ElementSet& set);
   Result<std::uint64_t> AppendErase(SetId sid);
 
+  /// Online-rebalance move records. AppendMoveIn goes to the destination
+  /// shard's log and is the move's commit point; AppendMoveOut goes to the
+  /// source shard's log before it (advisory). See WalRecordType.
+  Result<std::uint64_t> AppendMoveIn(SetId sid, std::uint32_t from_shard,
+                                     const ElementSet& set);
+  Result<std::uint64_t> AppendMoveOut(SetId sid, std::uint32_t to_shard);
+
   /// Flushes appended records to stable storage (stream flush here; fsync
   /// in a file-backed deployment). Advances synced_lsn to last_lsn.
   Status Sync();
@@ -138,7 +155,8 @@ class WalWriter {
 
  private:
   Result<std::uint64_t> Append(WalRecordType type, SetId sid,
-                               const ElementSet* set);
+                               const ElementSet* set,
+                               std::uint32_t peer_shard = 0);
 
   std::ostream* out_;
   WalOptions options_;

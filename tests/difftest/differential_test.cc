@@ -40,10 +40,13 @@
 // list, so the failing workload runs alone).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -52,6 +55,7 @@
 #include "baseline/sequential_scan.h"
 #include "core/set_similarity_index.h"
 #include "exec/batch_executor.h"
+#include "exec/epoch.h"
 #include "shard/query_router.h"
 #include "shard/sharded_index.h"
 #include "storage/recovery.h"
@@ -491,6 +495,260 @@ class Workload {
   std::vector<JournalOp> journal_;
 };
 
+// The concurrent-churn schedule: W writer threads mutate the oracle store,
+// the single index, and one sharded index in lockstep (each op under one
+// op mutex, so the executors apply the identical op sequence), R reader
+// threads query both executors continuously, and one driver thread runs
+// online rebalances (grow P=3 -> 5, shrink back to 3, repeating) — all
+// concurrently. While the churn runs, readers hold the weak contracts the
+// live system guarantees: every answer is well-formed (sorted, unique, no
+// invented sid), queries never error, and an answer that overlapped a
+// rebalance is tagged. After the threads quiesce (joins + epoch Quiesce)
+// the full differential contract must hold again on the settled state.
+class ChurnSchedule {
+ public:
+  explicit ChurnSchedule(std::uint64_t seed)
+      : seed_(seed), rng_(seed ^ 0xc4u) {}
+
+  Status Build() {
+    const std::size_t n = 100 + rng_.Uniform(60);
+    layout_.delta = 0.4;
+    layout_.points = {{0.15, FilterKind::kDissimilarity, 8, 0},
+                      {0.4, FilterKind::kDissimilarity, 8, 0},
+                      {0.4, FilterKind::kSimilarity, 8, 0},
+                      {0.75, FilterKind::kSimilarity, 8, 0}};
+    store_ = std::make_unique<SetStore>();
+    for (std::size_t i = 0; i < n; ++i) {
+      sets_.push_back(RandomSet(rng_));
+      auto sid = store_->Add(sets_.back());
+      if (!sid.ok()) return sid.status();
+    }
+    live_.assign(n, true);
+    bound_.store(n);
+
+    IndexOptions index_options;
+    index_options.embedding.minhash.num_hashes = 80;
+    index_options.embedding.minhash.seed = 777;
+    index_options.embedding.minhash.family = DifftestFamily();
+    index_options.seed = 4242;
+    auto single = SetSimilarityIndex::Build(*store_, layout_, index_options);
+    if (!single.ok()) return single.status();
+    index_ = std::make_unique<SetSimilarityIndex>(std::move(single).value());
+    index_->EnableConcurrentWrites(&em_);
+
+    shard::ShardedIndexOptions sharded_options;
+    sharded_options.num_shards = 3;
+    sharded_options.index = index_options;
+    auto sharded =
+        shard::ShardedSetSimilarityIndex::Build(sets_, layout_,
+                                                sharded_options);
+    if (!sharded.ok()) return sharded.status();
+    sharded_ = std::make_unique<shard::ShardedSetSimilarityIndex>(
+        std::move(sharded).value());
+    sharded_->EnableConcurrentWrites(&em_);
+    return Status::OK();
+  }
+
+  // W writers + R readers + one rebalance driver, all concurrent. Joins
+  // everything and quiesces the epoch manager before returning.
+  void Run(int writers, int readers, std::size_t ops_per_writer) {
+    std::atomic<bool> readers_stop{false};
+    std::atomic<int> writers_live{writers};
+    std::vector<std::thread> threads;
+
+    for (int w = 0; w < writers; ++w) {
+      threads.emplace_back([&, w] {
+        Rng wrng(seed_ * 31 + w);
+        for (std::size_t i = 0; i < ops_per_writer; ++i) {
+          ApplyOneOp(wrng);
+          if (::testing::Test::HasFatalFailure()) break;
+        }
+        writers_live.fetch_sub(1);
+      });
+    }
+
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        Rng rrng(seed_ * 77 + r);
+        shard::QueryRouterOptions router_options;
+        router_options.num_threads = 2;
+        shard::QueryRouter router(*sharded_, router_options);
+        while (!readers_stop.load(std::memory_order_relaxed)) {
+          const ElementSet probe = RandomSet(rrng);
+          const double lo =
+              rrng.Bernoulli(0.4) ? 0.0 : rrng.NextDouble() * 0.7;
+
+          auto serial = index_->Query(probe, lo, 1.0);
+          ASSERT_TRUE(serial.ok()) << serial.status().ToString() << "\n"
+                                   << Repro(seed_);
+          CheckWellFormed(serial->sids);
+
+          auto sharded = sharded_->Query(probe, lo, 1.0);
+          auto routed = router.Query(probe, lo, 1.0);
+          for (const auto* res : {&sharded, &routed}) {
+            ASSERT_TRUE(res->ok()) << res->status().ToString() << "\n"
+                                   << Repro(seed_);
+            CheckWellFormed((*res)->sids);
+            if ((*res)->rebalancing) {
+              ASSERT_TRUE((*res)->partial)
+                  << "rebalancing answers must also be tagged partial\n"
+                  << Repro(seed_);
+              tagged_answers_.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      });
+    }
+
+    // The rebalance driver: grow/shrink cycles while the writers churn (at
+    // least one full cycle, bounded so a fast churn cannot spin forever).
+    threads.emplace_back([&] {
+      for (int cycle = 0; cycle < 6; ++cycle) {
+        for (std::uint32_t target : {5u, 3u}) {
+          ASSERT_TRUE(sharded_->BeginRebalance(target).ok()) << Repro(seed_);
+          for (;;) {
+            auto remaining = sharded_->StepRebalance(2);
+            ASSERT_TRUE(remaining.ok()) << remaining.status().ToString()
+                                        << "\n" << Repro(seed_);
+            if (*remaining == 0) break;
+            std::this_thread::yield();
+          }
+          ASSERT_TRUE(sharded_->FinishRebalance().ok()) << Repro(seed_);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+        if (writers_live.load() == 0) break;
+      }
+    });
+
+    for (int w = 0; w < writers; ++w) threads[w].join();
+    threads.back().join();  // the driver
+    readers_stop.store(true);
+    for (std::size_t t = writers; t + 1 < threads.size(); ++t) {
+      threads[t].join();
+    }
+    em_.Quiesce();
+  }
+
+  // The settled re-check: the full differential contract on the artifacts
+  // the churn left behind — identity across executors, precision against
+  // the sequential-scan oracle, full-range exactness, no stray tags.
+  void CheckSettled(std::size_t num_queries) {
+    EXPECT_FALSE(sharded_->rebalancing()) << Repro(seed_);
+    EXPECT_EQ(sharded_->num_shards(), 3u) << Repro(seed_);
+    std::size_t live_count = 0;
+    for (bool alive : live_) live_count += alive ? 1 : 0;
+    EXPECT_EQ(index_->num_live_sets(), live_count) << Repro(seed_);
+    EXPECT_EQ(sharded_->num_live_sets(), live_count) << Repro(seed_);
+
+    shard::QueryRouter router(*sharded_, {});
+    for (std::size_t i = 0; i < num_queries; ++i) {
+      const ElementSet probe = rng_.Bernoulli(0.7)
+                                   ? sets_[rng_.Uniform(sets_.size())]
+                                   : RandomSet(rng_);
+      const double lo = rng_.Bernoulli(0.4) ? 0.0 : rng_.NextDouble() * 0.7;
+      const double hi =
+          lo == 0.0 ? 1.0 : lo + rng_.NextDouble() * (1.0 - lo);
+
+      auto oracle = SequentialScanQuery(*store_, probe, lo, hi);
+      ASSERT_TRUE(oracle.ok()) << Repro(seed_);
+      auto serial = index_->Query(probe, lo, hi);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString() << "\n"
+                               << Repro(seed_);
+      const std::vector<SetId>& reference = serial->sids;
+      ASSERT_TRUE(std::includes(oracle->sids.begin(), oracle->sids.end(),
+                                reference.begin(), reference.end()))
+          << "false positive after churn quiesced, query " << i << "\n"
+          << Repro(seed_);
+      if (serial->stats.plan == QueryPlanKind::kFullCollection) {
+        ASSERT_EQ(reference, oracle->sids)
+            << "full-range inexact after churn quiesced, query " << i << "\n"
+            << Repro(seed_);
+      }
+
+      auto sharded = sharded_->Query(probe, lo, hi);
+      auto routed = router.Query(probe, lo, hi);
+      for (const auto* res : {&sharded, &routed}) {
+        ASSERT_TRUE(res->ok()) << res->status().ToString() << "\n"
+                               << Repro(seed_);
+        ASSERT_EQ((*res)->sids, reference)
+            << "sharded executor diverged after churn quiesced, query " << i
+            << "\n" << Repro(seed_);
+        ASSERT_FALSE((*res)->partial) << Repro(seed_);
+        ASSERT_FALSE((*res)->rebalancing) << Repro(seed_);
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  std::uint64_t tagged_answers() const { return tagged_answers_.load(); }
+
+ private:
+  // One lockstep mutation: ~60% fresh insert, else erase a random live
+  // sid. Status agreement across executors is itself a differential
+  // assertion.
+  void ApplyOneOp(Rng& wrng) {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    std::size_t live_count = 0;
+    for (bool alive : live_) live_count += alive ? 1 : 0;
+    if (live_count <= 10 || wrng.Bernoulli(0.6)) {
+      const SetId sid = static_cast<SetId>(sets_.size());
+      sets_.push_back(RandomSet(wrng));
+      live_.push_back(true);
+      // Publish the bound before the sid can surface in any answer.
+      bound_.store(sets_.size(), std::memory_order_seq_cst);
+      auto stored = store_->Add(sets_.back());
+      ASSERT_TRUE(stored.ok()) << Repro(seed_);
+      ASSERT_EQ(*stored, sid) << Repro(seed_);
+      ASSERT_TRUE(index_->Insert(sid, sets_.back()).ok()) << Repro(seed_);
+      ASSERT_TRUE(sharded_->Insert(sid, sets_.back()).ok()) << Repro(seed_);
+    } else {
+      SetId sid = static_cast<SetId>(wrng.Uniform(sets_.size()));
+      while (!live_[sid]) sid = static_cast<SetId>(wrng.Uniform(sets_.size()));
+      ASSERT_TRUE(index_->Erase(sid).ok()) << Repro(seed_);
+      ASSERT_TRUE(store_->Delete(sid).ok()) << Repro(seed_);
+      ASSERT_TRUE(sharded_->Erase(sid).ok()) << Repro(seed_);
+      live_[sid] = false;
+    }
+  }
+
+  // Weak reader contract under live churn: sorted, unique, and no sid
+  // beyond the allocation bound at answer time (an invented sid).
+  void CheckWellFormed(const std::vector<SetId>& sids) {
+    ASSERT_TRUE(std::is_sorted(sids.begin(), sids.end())) << Repro(seed_);
+    ASSERT_TRUE(std::adjacent_find(sids.begin(), sids.end()) == sids.end())
+        << "duplicate sid in a concurrent answer\n" << Repro(seed_);
+    const std::size_t bound = bound_.load(std::memory_order_seq_cst);
+    if (!sids.empty()) {
+      ASSERT_LT(sids.back(), bound)
+          << "answer invented a sid that was never allocated\n"
+          << Repro(seed_);
+    }
+  }
+
+  static ElementSet RandomSet(Rng& rng) {
+    ElementSet s;
+    const std::size_t size = 8 + rng.Uniform(64);
+    for (std::size_t j = 0; j < size; ++j) s.push_back(rng.Uniform(5000));
+    NormalizeSet(s);
+    if (s.empty()) s.push_back(1);
+    return s;
+  }
+
+  const std::uint64_t seed_;
+  Rng rng_;
+  exec::EpochManager em_;  // declared before the indexes it outlives
+  IndexLayout layout_;
+  SetCollection sets_;        // op_mu_ during Run
+  std::vector<bool> live_;    // op_mu_ during Run
+  std::atomic<std::size_t> bound_{0};
+  std::unique_ptr<SetStore> store_;
+  std::unique_ptr<SetSimilarityIndex> index_;
+  std::unique_ptr<shard::ShardedSetSimilarityIndex> sharded_;
+  std::mutex op_mu_;
+  std::atomic<std::uint64_t> tagged_answers_{0};
+};
+
 class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DifferentialTest, AllExecutorsAgreeAcrossBuildChurnAndDegradation) {
@@ -541,6 +799,31 @@ TEST_P(DifferentialTest, CrashRecoveryPreservesTheDifferentialContract) {
   w.CheckAll(w.MakeQueries(10));
   if (::testing::Test::HasFatalFailure()) return;
   w.CheckDegraded(w.MakeQueries(6));
+}
+
+// The concurrent-churn schedule: writers, readers, and a rebalance driver
+// race for real, then the harness quiesces and re-checks the full
+// differential contract. This is the live-mutability pin: epoch-guarded
+// readers never see a torn structure (TSan/ASan enforce that), never an
+// invented or duplicated sid (asserted live), and the settled state is
+// indistinguishable from having applied the same ops serially.
+TEST_P(DifferentialTest, ConcurrentChurnWithRebalanceSettlesToTheContract) {
+  const std::uint64_t seed = GetParam();
+  ChurnSchedule schedule(seed);
+  ASSERT_TRUE(schedule.Build().ok()) << Repro(seed);
+
+  schedule.Run(/*writers=*/2, /*readers=*/2, /*ops_per_writer=*/45);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  schedule.CheckSettled(12);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // A second churn round against the settled (post-rebalance) topology,
+  // then the contract again: mutability keeps working after the shard set
+  // has been grown and shrunk under load.
+  schedule.Run(/*writers=*/2, /*readers=*/2, /*ops_per_writer=*/25);
+  if (::testing::Test::HasFatalFailure()) return;
+  schedule.CheckSettled(8);
 }
 
 // One seed under every signing family, including the durability schedule:

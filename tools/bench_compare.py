@@ -68,6 +68,12 @@ def direction(key):
     # depend on list order.
     if k.endswith("_sign_ns"):
         return -1
+    # The churn suite's rebalance migration rate is a throughput: fewer
+    # moves per second means a live reshard holds the index in its tagged
+    # mid-rebalance state for longer. Explicit suffix so the rate can never
+    # be mistaken for a neutral scalar (no generic substring matches it).
+    if k.endswith("_moves_per_sec"):
+        return +1
     if any(s in k for s in LOWER_IS_BETTER):
         return -1
     if any(s in k for s in HIGHER_IS_BETTER):

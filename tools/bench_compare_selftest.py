@@ -16,6 +16,8 @@ Exercises the exit-code contract on synthetic trajectory points:
   * *_p50_micros / *_p99_micros doubled -> exit 1 (SLO latency suffixes,
     lower-is-better even when the name contains a throughput substring)
   * *_burn_rate tripled -> exit 1 (error-budget burn, lower-is-better)
+  * churn suite directions: mutation ops/sec and rebalance *_moves_per_sec
+    halved -> exit 1 (throughputs), reader *_p99_micros doubled -> exit 1
   * legacy point (no schema_version/env, missing scalar) -> exit 0
 """
 
@@ -52,6 +54,9 @@ BASE = {
         "signing_superminhash_sign_large_ns": 30000.0,
         "qps_weighted_sign_ns": 40.0,
         "signing_classic_recall": 0.75,
+        "churn_mutation_ops_per_sec": 8000.0,
+        "churn_reader_p99_micros": 900.0,
+        "churn_rebalance_moves_per_sec": 1200.0,
     },
 }
 
@@ -198,6 +203,29 @@ def main():
         rc, out = run(compare, base,
                       write(tmp, "fam_recall.json", worse_fam_recall))
         check("family ablation recall drop", 1, rc, out)
+
+        # Churn suite direction contract: both rates are throughputs
+        # (higher-is-better — _moves_per_sec by explicit suffix, since no
+        # generic substring matches it), the reader quantile rides the
+        # existing *_p99_micros latency suffix.
+        slow_mutate = json.loads(json.dumps(BASE))
+        slow_mutate["scalars"]["churn_mutation_ops_per_sec"] = 3000.0
+        slow_mutate["scalars"]["churn_rebalance_moves_per_sec"] = 400.0
+        rc, out = run(compare, base,
+                      write(tmp, "mutate.json", slow_mutate))
+        check("churn throughput drop", 1, rc, out)
+
+        slow_reader = json.loads(json.dumps(BASE))
+        slow_reader["scalars"]["churn_reader_p99_micros"] = 2500.0
+        rc, out = run(compare, base,
+                      write(tmp, "reader.json", slow_reader))
+        check("churn reader p99 growth", 1, rc, out)
+
+        faster_moves = json.loads(json.dumps(BASE))
+        faster_moves["scalars"]["churn_rebalance_moves_per_sec"] = 3000.0
+        rc, out = run(compare, base,
+                      write(tmp, "moves_up.json", faster_moves))
+        check("rebalance rate gain is an improvement", 0, rc, out)
 
         faster_sign = json.loads(json.dumps(BASE))
         faster_sign["scalars"]["signing_classic_sign_ns"] = 6000.0
