@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <limits>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 namespace ssr {
@@ -17,41 +18,96 @@ std::uint64_t NextManagerId() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// Registry of live managers, keyed by address with the process-unique id
+/// as the liveness check. The thread-exit slot release consults it under
+/// the lock so a thread that outlives a test-scoped manager skips the dead
+/// manager instead of dereferencing it; a manager's destructor blocks on
+/// the same lock, so a release that found it live completes before the
+/// manager's memory goes away. Leaked (like Default()) so thread-exit
+/// destructors can run during process teardown.
+struct ManagerRegistry {
+  std::mutex mu;
+  std::unordered_map<const void*, std::uint64_t> live;  // address -> id
+
+  static ManagerRegistry& Get() {
+    static ManagerRegistry* registry = new ManagerRegistry();
+    return *registry;
+  }
+};
+
 struct CachedSlot {
-  const void* manager = nullptr;
+  EpochManager* manager = nullptr;
   std::uint64_t manager_id = 0;
   std::size_t slot = 0;
   bool claimed = false;
   std::size_t depth = 0;
 };
 
-/// Per-thread pin state. Kept deliberately free of any destructor that
-/// touches a manager: a slot, once claimed, stays claimed (unpinned) after
-/// its thread exits, so thread teardown after a test-scoped manager's
-/// destruction never dereferences the dead manager. The cost is that a
-/// manager supports at most kMaxThreads distinct pinning threads over its
-/// lifetime — thread pools reuse threads, so this is ample.
-thread_local std::vector<CachedSlot> t_slots;
+}  // namespace
 
-CachedSlot& FindOrAddCache(const void* manager, std::uint64_t id) {
-  for (CachedSlot& c : t_slots) {
+/// Per-thread pin state. The destructor hands every claimed slot back to
+/// its manager (when the manager is still live) so slots bound *live*
+/// pinning threads, not total threads over the process lifetime — a
+/// thread-per-request deployment never exhausts kMaxThreads.
+struct ThreadSlotCache {
+  std::vector<CachedSlot> slots;
+
+  ~ThreadSlotCache() {
+    ManagerRegistry& registry = ManagerRegistry::Get();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const CachedSlot& c : slots) {
+      if (!c.claimed) continue;
+      auto it = registry.live.find(c.manager);
+      if (it == registry.live.end() || it->second != c.manager_id) {
+        continue;  // the manager died first; its slots died with it
+      }
+      c.manager->ReleaseSlot(c.slot);
+    }
+  }
+};
+
+namespace {
+
+thread_local ThreadSlotCache t_cache;
+
+CachedSlot& FindOrAddCache(EpochManager* manager, std::uint64_t id) {
+  for (CachedSlot& c : t_cache.slots) {
     if (c.manager == manager && c.manager_id == id) return c;
   }
-  t_slots.push_back(CachedSlot{manager, id, 0, false, 0});
-  return t_slots.back();
+  t_cache.slots.push_back(CachedSlot{manager, id, 0, false, 0});
+  return t_cache.slots.back();
 }
 
 }  // namespace
 
-EpochManager::EpochManager() : id_(NextManagerId()), slots_(kMaxThreads) {}
+EpochManager::EpochManager() : id_(NextManagerId()), slots_(kMaxThreads) {
+  ManagerRegistry& registry = ManagerRegistry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.live.emplace(this, id_);
+}
 
 EpochManager::~EpochManager() {
+  {
+    // After this no exiting thread will touch our slots (see
+    // ManagerRegistry): one in flight holds the lock we are waiting on.
+    ManagerRegistry& registry = ManagerRegistry::Get();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.live.erase(this);
+  }
   // Callers guarantee no reader is pinned at destruction (the same
   // contract as destroying the guarded structures themselves), so
   // whatever is still deferred is safe to free now.
   for (Deferred& d : deferred_) {
     if (d.free_fn) d.free_fn();
   }
+}
+
+void EpochManager::ReleaseSlot(std::size_t slot) {
+  // The owning thread is exiting with no guard held (depth 0), so the
+  // epoch store is already 0; clear it anyway for robustness, then return
+  // the claim so a future thread's CAS can take the slot.
+  slots_[slot].epoch.store(0, std::memory_order_seq_cst);
+  slots_[slot].claimed.store(false, std::memory_order_seq_cst);
 }
 
 EpochManager& EpochManager::Default() {
@@ -170,6 +226,14 @@ std::size_t EpochManager::pinned_threads() const {
     if (slot.epoch.load(std::memory_order_seq_cst) != 0) ++pinned;
   }
   return pinned;
+}
+
+std::size_t EpochManager::claimed_slots() const {
+  std::size_t claimed = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.claimed.load(std::memory_order_seq_cst)) ++claimed;
+  }
+  return claimed;
 }
 
 }  // namespace exec

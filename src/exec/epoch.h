@@ -48,8 +48,11 @@ namespace exec {
 class EpochManager {
  public:
   /// Hard cap on concurrently pinning threads. Slots are claimed lazily
-  /// and released at thread exit, so this bounds *live* threads that have
-  /// ever pinned, not total threads over the process lifetime.
+  /// (first pin) and released at thread exit while the manager is live, so
+  /// this bounds *live* threads that have ever pinned, not total threads
+  /// over the process lifetime. The 257th concurrent pinning thread aborts
+  /// loudly rather than silently corrupting reclamation; claimed_slots()
+  /// tracks how close a deployment runs to the cap.
   static constexpr std::size_t kMaxThreads = 256;
 
   EpochManager();
@@ -91,9 +94,13 @@ class EpochManager {
   std::uint64_t reclaimed_total() const;
   /// Number of slots currently publishing a pinned epoch.
   std::size_t pinned_threads() const;
+  /// Number of slots claimed by live threads (pinned or not). Claims are
+  /// released at thread exit, so this tracks the kMaxThreads headroom.
+  std::size_t claimed_slots() const;
 
  private:
   friend class EpochGuard;
+  friend struct ThreadSlotCache;
 
   struct alignas(64) Slot {
     /// 0 = unpinned; otherwise the epoch the owning thread reads under.
@@ -111,6 +118,11 @@ class EpochManager {
   /// and only the outermost one publishes/clears the epoch.
   void Pin();
   void Unpin();
+
+  /// Returns a dead thread's claimed slot to the free pool. Called only
+  /// from the thread-exit cache destructor, under the live-manager
+  /// registry lock (so the manager cannot be mid-destruction).
+  void ReleaseSlot(std::size_t slot);
 
   /// Minimum epoch over all pinned slots; ~0 when nothing is pinned.
   std::uint64_t MinPinnedEpoch() const;

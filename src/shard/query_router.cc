@@ -89,6 +89,7 @@ Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
   std::vector<QueryResult> answers(num_shards);
   std::vector<Status> statuses(num_shards, Status::OK());
   std::vector<char> answered(num_shards, 0);
+  std::vector<char> retired(num_shards, 0);
   {
     obs::TraceSpan scatter("router_scatter");
     pool_.ParallelFor(0, num_shards, 1, [&](std::size_t s, std::size_t) {
@@ -104,6 +105,13 @@ Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
           index_->shard_index(static_cast<std::uint32_t>(s));
       if (store == nullptr || shard_index == nullptr ||
           index_->shard_degraded(static_cast<std::uint32_t>(s))) {
+        // A slot nulled by a completed shrink is not a failed shard: the
+        // shard was provably empty when retired, so it is skipped (and
+        // tagged at gather) instead of tripping the failure policy.
+        if (index_->shard_retired(static_cast<std::uint32_t>(s))) {
+          retired[s] = 1;
+          return;
+        }
         statuses[s] = Status::Unavailable("shard administratively degraded");
         return;
       }
@@ -135,6 +143,14 @@ Result<ShardedQueryResult> QueryRouter::Query(const ElementSet& query,
   for (std::uint32_t s = 0; s < num_shards; ++s) {
     if (answered[s]) {
       index_->GatherShardAnswer(s, std::move(answers[s]), &result);
+      continue;
+    }
+    if (retired[s]) {
+      // Shrink finished mid-scatter: nothing was dropped (the shard was
+      // empty), but the overlap can hide a moved sid — conservative tag,
+      // same contract as a query under an active rebalance.
+      result.rebalancing = true;
+      result.partial = true;
       continue;
     }
     // A malformed query is the caller's bug, not a shard failure: every
@@ -187,9 +203,15 @@ RoutedBatchResult QueryRouter::RunBatch(
   // this host (the pool is not reentrant), but deploy to one machine per
   // shard — the modeled makespan below is the slowest shard, not the sum.
   std::vector<char> shard_ran(num_shards, 0);
+  std::vector<char> shard_retired(num_shards, 0);
   for (std::uint32_t s = 0; s < num_shards; ++s) {
     const SetSimilarityIndex* shard_index = index_->shard_index(s);
-    if (shard_index == nullptr || index_->shard_degraded(s)) continue;
+    if (shard_index == nullptr || index_->shard_degraded(s)) {
+      // Retired by a completed shrink vs. genuinely degraded: the former
+      // is skipped silently (it was empty), the latter per failure policy.
+      if (index_->shard_retired(s)) shard_retired[s] = 1;
+      continue;
+    }
     obs::TraceSpan shard_span("router_shard_batch");
     shard_span.Tag("shard", static_cast<std::uint64_t>(s));
     exec::BatchExecutorOptions exec_options;
@@ -221,6 +243,11 @@ RoutedBatchResult QueryRouter::RunBatch(
       Status failure = Status::OK();
       for (std::uint32_t s = 0; s < num_shards && failure.ok(); ++s) {
         if (!shard_ran[s]) {
+          if (shard_retired[s]) {
+            merged.rebalancing = true;
+            merged.partial = true;
+            continue;
+          }
           failure = index_->GatherShardFailure(
               s, Status::Unavailable("shard administratively degraded"),
               &merged);

@@ -118,7 +118,10 @@ ShardedSetSimilarityIndex::ShardedSetSimilarityIndex(
       pending_moves_(std::move(other.pending_moves_)),
       next_move_(other.next_move_),
       moves_done_(other.moves_done_),
-      moves_skipped_(other.moves_skipped_) {
+      moves_skipped_(other.moves_skipped_),
+      rebalance_checkpointed_(other.rebalance_checkpointed_),
+      rebalance_wedged_(other.rebalance_wedged_),
+      checkpoint_hook_(std::move(other.checkpoint_hook_)) {
   num_shards_.store(other.num_shards_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
   num_live_.store(other.num_live_.load(std::memory_order_relaxed),
@@ -152,6 +155,9 @@ ShardedSetSimilarityIndex& ShardedSetSimilarityIndex::operator=(
     next_move_ = other.next_move_;
     moves_done_ = other.moves_done_;
     moves_skipped_ = other.moves_skipped_;
+    rebalance_checkpointed_ = other.rebalance_checkpointed_;
+    rebalance_wedged_ = other.rebalance_wedged_;
+    checkpoint_hook_ = std::move(other.checkpoint_hook_);
     num_shards_.store(other.num_shards_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     num_live_.store(other.num_live_.load(std::memory_order_relaxed),
@@ -471,12 +477,31 @@ Result<ShardedQueryResult> ShardedSetSimilarityIndex::Query(
   result.per_shard.resize(n);
   result.shard_status.assign(n, Status::OK());
   for (std::uint32_t s = 0; s < n; ++s) {
-    if (shard_degraded(s)) {
+    // Load the slot exactly once: a concurrent shrink can null it between
+    // a degraded check and the probe (the epoch guard defers the *free*,
+    // not the null store), so every dereference below goes through `sh`.
+    const Shard* sh = shards_.Get(s);
+    if (sh == nullptr) {
+      if (s >= num_shards()) {
+        // Shrink-retired mid-query: the shard was verified empty before
+        // its slot was nulled, so skipping it drops nothing — but the
+        // overlap means a moved sid may be hidden from this scatter, so
+        // tag conservatively (same contract as an active rebalance).
+        result.rebalancing = true;
+        result.partial = true;
+        continue;
+      }
       SSR_RETURN_IF_ERROR(GatherShardFailure(
           s, Status::Unavailable("shard administratively degraded"), &result));
       continue;
     }
-    auto answer = ShardAt(s).index->Query(query, sigma1, sigma2);
+    if (sh->index == nullptr ||
+        sh->degraded.load(std::memory_order_relaxed)) {
+      SSR_RETURN_IF_ERROR(GatherShardFailure(
+          s, Status::Unavailable("shard administratively degraded"), &result));
+      continue;
+    }
+    auto answer = sh->index->Query(query, sigma1, sigma2);
     if (!answer.ok()) {
       // Validation errors are the caller's bug, not a shard failure — every
       // shard would reject identically, so propagate instead of degrading.
@@ -502,6 +527,20 @@ void ShardedSetSimilarityIndex::SetShardDegraded(std::uint32_t s,
 // --- Online rebalance ---------------------------------------------------
 
 Status ShardedSetSimilarityIndex::BeginRebalance(std::uint32_t new_num_shards) {
+  SSR_RETURN_IF_ERROR(BeginRebalanceImpl(new_num_shards));
+  // The hook runs without writer_mu_: it typically attaches WALs to the
+  // freshly published shards (AttachShardWal locks) and writes the
+  // post-Begin checkpoint. On hook failure the rebalance stays active but
+  // un-checkpointed, so StepRebalance refuses until the caller recovers.
+  if (checkpoint_hook_) {
+    SSR_RETURN_IF_ERROR(checkpoint_hook_());
+    return MarkRebalanceCheckpointed();
+  }
+  return Status::OK();
+}
+
+Status ShardedSetSimilarityIndex::BeginRebalanceImpl(
+    std::uint32_t new_num_shards) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   if (rebalance_active_.load(std::memory_order_seq_cst)) {
     return Status::FailedPrecondition("a rebalance is already active");
@@ -562,7 +601,25 @@ Status ShardedSetSimilarityIndex::BeginRebalance(std::uint32_t new_num_shards) {
   Rebal().begun->Increment();
   Rebal().active->Set(1.0);
   Rebal().pending->Set(static_cast<double>(pending_moves_.size()));
+  // With any WAL attached, moves must wait for the post-Begin checkpoint:
+  // without one, a crash replays move records against the pre-Begin cut,
+  // where a sid's records from an older topology can interleave across
+  // logs with no consistent replay order. WAL-less (in-memory) callers owe
+  // nothing.
+  bool any_wal = false;
+  for (const WalWriter* wal : shard_wals_) any_wal = any_wal || wal != nullptr;
+  rebalance_checkpointed_ = !any_wal;
+  rebalance_wedged_ = false;
   rebalance_active_.store(true, std::memory_order_seq_cst);
+  return Status::OK();
+}
+
+Status ShardedSetSimilarityIndex::MarkRebalanceCheckpointed() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!rebalance_active_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("no rebalance is active");
+  }
+  rebalance_checkpointed_ = true;
   return Status::OK();
 }
 
@@ -593,10 +650,23 @@ Result<bool> ShardedSetSimilarityIndex::ExecuteMoveLocked(
   }
   // Committed. Copy into the destination (readers may briefly see both
   // copies — FinishGather dedups), cut the routing over, then drop the
-  // source copy.
-  SSR_RETURN_IF_ERROR(InsertIntoShardLocked(move.to, move.sid, set));
-  map_.Reassign(move.sid, move.to);
-  SSR_RETURN_IF_ERROR(RemoveFromShardLocked(ref));
+  // source copy. A failure past this point is NOT retryable: the log
+  // already says the move happened, so re-running it would diverge from
+  // what recovery replays — and a lingering source copy would keep
+  // answering after a later erase. Wedge the state machine instead; the
+  // durable truth is checkpoint + WALs.
+  Status applied = InsertIntoShardLocked(move.to, move.sid, set);
+  if (applied.ok()) {
+    map_.Reassign(move.sid, move.to);
+    applied = RemoveFromShardLocked(ref);
+  }
+  if (!applied.ok()) {
+    rebalance_wedged_ = true;
+    return Status::Internal(
+        "move apply failed after its WAL commit point (" +
+        applied.message() +
+        "); rebalance wedged — recover from checkpoint + WALs");
+  }
   return true;
 }
 
@@ -606,12 +676,24 @@ Result<std::size_t> ShardedSetSimilarityIndex::StepRebalance(
   if (!rebalance_active_.load(std::memory_order_seq_cst)) {
     return Status::FailedPrecondition("no rebalance is active");
   }
+  if (rebalance_wedged_) {
+    return Status::FailedPrecondition(
+        "rebalance is wedged: a move failed after its WAL commit point — "
+        "recover from checkpoint + WALs");
+  }
+  if (!rebalance_checkpointed_) {
+    return Status::FailedPrecondition(
+        "rebalance moves require the post-Begin checkpoint: write one and "
+        "call MarkRebalanceCheckpointed (or install a checkpoint hook)");
+  }
   obs::TraceSpan span("rebalance_step");
   std::size_t processed = 0;
   while (processed < max_moves && next_move_ < pending_moves_.size()) {
     auto moved = ExecuteMoveLocked(pending_moves_[next_move_]);
-    // A failed move is retryable: next_move_ stays, nothing was committed
-    // (WAL appends fail atomically before any state change).
+    // Unavailable/NotFound before the kMoveIn append is retryable:
+    // next_move_ stays and nothing was committed. A post-commit failure
+    // comes back Internal with rebalance_wedged_ set — every further Step
+    // and Finish then refuses.
     if (!moved.ok()) return moved.status();
     ++next_move_;
     ++processed;
@@ -635,6 +717,16 @@ Status ShardedSetSimilarityIndex::FinishRebalance() {
   if (!rebalance_active_.load(std::memory_order_seq_cst)) {
     return Status::FailedPrecondition("no rebalance is active");
   }
+  if (rebalance_wedged_) {
+    return Status::FailedPrecondition(
+        "rebalance is wedged: a move failed after its WAL commit point — "
+        "recover from checkpoint + WALs");
+  }
+  if (!rebalance_checkpointed_ && next_move_ < pending_moves_.size()) {
+    return Status::FailedPrecondition(
+        "rebalance moves require the post-Begin checkpoint: write one and "
+        "call MarkRebalanceCheckpointed (or install a checkpoint hook)");
+  }
   if (next_move_ < pending_moves_.size()) {
     return Status::FailedPrecondition("planned moves are still pending");
   }
@@ -649,9 +741,12 @@ Status ShardedSetSimilarityIndex::FinishRebalance() {
         return Status::Internal("draining shard still holds live sets");
       }
     }
-    // Adopt the shrunk topology, then retire the husks: a reader that
-    // loaded the old count just before the store may find a nulled slot
-    // and tags that shard degraded — partial, never wrong.
+    // Adopt the shrunk topology, then retire the husks. Count first, slots
+    // after: a reader that loaded the old count just before the store may
+    // find a nulled slot, and shard_retired() classifies exactly that case
+    // (null at/past the new count) as shrink-retired — provably empty, so
+    // the reader tags rebalancing+partial instead of tripping the failure
+    // policy.
     num_shards_.store(target, std::memory_order_seq_cst);
     map_.SetNumShards(target);
     for (std::uint32_t s = target; s < current; ++s) {
@@ -679,6 +774,7 @@ Status ShardedSetSimilarityIndex::FinishRebalance() {
   pending_moves_.clear();
   next_move_ = 0;
   rebalance_target_ = 0;
+  rebalance_checkpointed_ = true;
   Rebal().finished->Increment();
   Rebal().active->Set(0.0);
   Rebal().pending->Set(0.0);
@@ -703,6 +799,8 @@ RebalanceStatus ShardedSetSimilarityIndex::rebalance_status() const {
   status.moves_planned = pending_moves_.size();
   status.moves_done = moves_done_;
   status.moves_skipped = moves_skipped_;
+  status.checkpointed = rebalance_checkpointed_;
+  status.wedged = rebalance_wedged_;
   return status;
 }
 

@@ -43,11 +43,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/set_similarity_index.h"
@@ -130,6 +132,12 @@ struct RebalanceStatus {
   std::size_t moves_planned = 0;
   std::size_t moves_done = 0;     // migrations committed (kMoveIn logged)
   std::size_t moves_skipped = 0;  // sid erased / re-placed before its turn
+  /// The post-Begin checkpoint has been taken (or is not needed because no
+  /// shard WAL is attached); StepRebalance refuses moves until it is.
+  bool checkpointed = false;
+  /// A move failed *after* its WAL commit point: in-memory state is behind
+  /// the log and the rebalance is frozen — recover from checkpoint + WALs.
+  bool wedged = false;
 };
 
 class ShardedSetSimilarityIndex {
@@ -221,6 +229,15 @@ class ShardedSetSimilarityIndex {
     return sh == nullptr || sh->index == nullptr ||
            sh->degraded.load(std::memory_order_relaxed);
   }
+  /// True when slot `s` was nulled by a completed shrink: the shard was
+  /// verified empty before FinishRebalance retired it, so a query that
+  /// loaded the pre-shrink count skips it silently (a retired slot is not
+  /// a failed shard — it must not trip ShardFailurePolicy::kFailFast).
+  /// Slots below the live count are published before the count, so a null
+  /// slot at or past the current count is the only way this reads true.
+  bool shard_retired(std::uint32_t s) const {
+    return shards_.Get(s) == nullptr && s >= num_shards();
+  }
 
   ShardFailurePolicy on_shard_failure() const {
     return options_.on_shard_failure;
@@ -231,17 +248,45 @@ class ShardedSetSimilarityIndex {
   // Protocol: BeginRebalance(P') plans the ShardMap move list and (when
   // growing) publishes the new, still-empty shards so fresh inserts and
   // queries see them. The caller attaches WALs to any new shards, takes a
-  // checkpoint (so recovery knows the new topology), then drains the plan
-  // with StepRebalance while readers and writers keep running, and calls
+  // checkpoint (so recovery knows the new topology and every log's records
+  // are anchored to one consistent cut), then drains the plan with
+  // StepRebalance while readers and writers keep running, and calls
   // FinishRebalance to adopt the final shard count (shrink retires the
   // drained shards through the epoch manager). A crash anywhere in between
   // recovers to a consistent per-sid assignment — kMoveIn is the commit
   // point — and a re-run RebalanceTo converges the remainder.
+  //
+  // The post-Begin checkpoint is *enforced*, not advisory: with any shard
+  // WAL attached, StepRebalance and FinishRebalance refuse until the
+  // caller either declares the checkpoint via MarkRebalanceCheckpointed
+  // or installs a SetRebalanceCheckpointHook (which BeginRebalance and
+  // RebalanceTo invoke automatically). Without it, a crash could leave
+  // move records from two topologies interleaved across logs with no
+  // consistent replay cut.
 
   /// Starts a rebalance toward `new_num_shards`. FailedPrecondition when
   /// one is already active; Unavailable when any shard is degraded (its
-  /// sids cannot be moved safely).
+  /// sids cannot be moved safely). When a checkpoint hook is installed it
+  /// runs here — after the target topology is published, before any move
+  /// can execute; its failure is returned and the rebalance stays active
+  /// but un-checkpointed (StepRebalance refuses until the caller marks).
   Status BeginRebalance(std::uint32_t new_num_shards);
+
+  /// Declares that the post-Begin checkpoint is durably written. With any
+  /// shard WAL attached this is required before the first StepRebalance;
+  /// without WALs it is implicit. FailedPrecondition when no rebalance is
+  /// active.
+  Status MarkRebalanceCheckpointed();
+
+  /// Installs the durability callback BeginRebalance runs (without the
+  /// writer lock, so it may AttachShardWal to grown shards) right after
+  /// publishing the target topology: typically attach-WALs + write a
+  /// sharded checkpoint. Success marks the rebalance checkpointed, which
+  /// makes RebalanceTo safe end-to-end in durable deployments. Set during
+  /// setup; not thread-safe against an in-flight BeginRebalance.
+  void SetRebalanceCheckpointHook(std::function<Status()> hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
 
   /// Executes up to `max_moves` planned migrations; returns the number of
   /// moves still pending. Call repeatedly (typically from one driver
@@ -332,6 +377,12 @@ class ShardedSetSimilarityIndex {
 
   Shard& ShardAt(std::uint32_t s) const { return *shards_.Get(s); }
 
+  /// BeginRebalance minus the checkpoint hook: plans the move list and
+  /// publishes the target topology under the writer lock. The hook runs in
+  /// the public wrapper, outside writer_mu_, because it typically calls
+  /// AttachShardWal (which takes the lock).
+  Status BeginRebalanceImpl(std::uint32_t new_num_shards);
+
   /// One migration, writer lock held. Returns true when the move executed
   /// (vs. skipped because the sid is no longer at move.from).
   Result<bool> ExecuteMoveLocked(const ShardMove& move);
@@ -391,6 +442,14 @@ class ShardedSetSimilarityIndex {
   std::size_t next_move_ = 0;
   std::size_t moves_done_ = 0;
   std::size_t moves_skipped_ = 0;
+  /// True once the post-Begin checkpoint is declared (or vacuously, when
+  /// no shard WAL is attached at Begin). StepRebalance and FinishRebalance
+  /// refuse while false.
+  bool rebalance_checkpointed_ = true;
+  /// Set when a move fails after its kMoveIn append: the log says the move
+  /// committed but memory disagrees, so no further rebalance work is safe.
+  bool rebalance_wedged_ = false;
+  std::function<Status()> checkpoint_hook_;
 };
 
 }  // namespace shard

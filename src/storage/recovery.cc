@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -112,28 +113,51 @@ Status ReplayRecords(const std::vector<WalRecord>& records,
   return Status::OK();
 }
 
-/// Reads shard `s`'s WAL and replays it through the sharded index (records
+/// One shard's log, decoded but not yet applied. Sharded replay is
+/// two-pass (decode everything, then apply) because a sid's lifetime can
+/// span logs: a rebalance moves its records into another shard's log and a
+/// later erase lands wherever the sid lives *now*, so per-log replay alone
+/// cannot see that an old kInsert/kMoveIn is already dead.
+struct DecodedShardWal {
+  std::vector<WalRecord> records;
+  WalReadStats stats;
+};
+
+/// Reads shard `s`'s WAL into `decoded`. Returns non-OK only for damage
+/// the caller should translate into quarantine (salvage) or propagation
+/// (strict). Stats are merged into the report at replay time, not here, so
+/// a quarantined log contributes nothing.
+Status DecodeShardWal(std::istream* wal, std::uint64_t checkpoint_lsn,
+                      DecodedShardWal* decoded) {
+  if (wal == nullptr) return Status::OK();
+  SSR_RETURN_IF_ERROR(ReadWal(*wal, &decoded->records, &decoded->stats));
+  if (decoded->stats.start_lsn > checkpoint_lsn + 1) {
+    return Status::DataLoss("wal starts past the checkpoint lsn");
+  }
+  return Status::OK();
+}
+
+/// Replays shard `s`'s decoded WAL through the sharded index (records
 /// carry global sids; routing is deterministic, so replay reproduces the
 /// live placement). Rebalance records: kMoveIn — this shard is the move's
 /// destination — relocates the sid via ApplyMoveIn (idempotent); kMoveOut
 /// is advisory and skipped, so a sid whose kMoveIn never became durable
-/// recovers fully at its source. Returns non-OK only for damage the caller
-/// should translate into quarantine (salvage) or propagation (strict).
-Status ReplayShardWal(std::uint32_t s, std::istream* wal,
-                      std::uint64_t checkpoint_lsn,
-                      shard::ShardedSetSimilarityIndex* index,
-                      RecoveryReport* report, std::uint64_t* recovered_lsn) {
+/// recovers fully at its source. `erased_in` maps sids to the shard whose
+/// log holds their terminal kErase (global sids are never reused, so one
+/// erase anywhere ends the sid for good): a kInsert/kMoveIn for such a sid
+/// in a *different* shard's log is a stale copy the erase outlived — replay
+/// order across logs must not resurrect it. Same-log records are exempt so
+/// within-log insert-then-erase semantics are untouched.
+Status ReplayShardRecords(
+    std::uint32_t s, const DecodedShardWal& decoded,
+    std::uint64_t checkpoint_lsn,
+    const std::unordered_map<SetId, std::uint32_t>& erased_in,
+    shard::ShardedSetSimilarityIndex* index, RecoveryReport* report,
+    std::uint64_t* recovered_lsn) {
   *recovered_lsn = checkpoint_lsn;
-  if (wal == nullptr) return Status::OK();
-  std::vector<WalRecord> records;
-  WalReadStats stats;
-  SSR_RETURN_IF_ERROR(ReadWal(*wal, &records, &stats));
-  if (stats.start_lsn > checkpoint_lsn + 1) {
-    return Status::DataLoss("wal starts past the checkpoint lsn");
-  }
-  report->wal_bytes_truncated += stats.bytes_truncated;
-  report->wal_tail_truncated |= stats.tail_truncated;
-  for (const WalRecord& record : records) {
+  report->wal_bytes_truncated += decoded.stats.bytes_truncated;
+  report->wal_tail_truncated |= decoded.stats.tail_truncated;
+  for (const WalRecord& record : decoded.records) {
     if (record.lsn <= checkpoint_lsn) {
       ++report->wal_records_skipped;
       *recovered_lsn = record.lsn;
@@ -142,13 +166,21 @@ Status ReplayShardWal(std::uint32_t s, std::istream* wal,
     Status st;
     switch (record.type) {
       case WalRecordType::kInsert:
-        st = index->Insert(record.sid, record.set);
+      case WalRecordType::kMoveIn: {
+        const auto tomb = erased_in.find(record.sid);
+        if (tomb != erased_in.end() && tomb->second != s) {
+          // Erased through another shard's log after this copy was written.
+          st = Status::NotFound("sid erased in another shard's log");
+          break;
+        }
+        st = record.type == WalRecordType::kInsert
+                 ? index->Insert(record.sid, record.set)
+                 : index->ApplyMoveIn(s, record.sid, record.peer_shard,
+                                      record.set);
         break;
+      }
       case WalRecordType::kErase:
         st = index->Erase(record.sid);
-        break;
-      case WalRecordType::kMoveIn:
-        st = index->ApplyMoveIn(s, record.sid, record.peer_shard, record.set);
         break;
       case WalRecordType::kMoveOut:
         // Advisory only: the commit point is the destination's kMoveIn.
@@ -156,7 +188,7 @@ Status ReplayShardWal(std::uint32_t s, std::istream* wal,
         break;
     }
     if (st.IsAlreadyExists() || st.IsNotFound()) {
-      ++report->wal_records_skipped;  // idempotent / advisory re-application
+      ++report->wal_records_skipped;  // idempotent / advisory / tombstoned
     } else if (!st.ok()) {
       return st;
     } else {
@@ -392,24 +424,55 @@ Result<RecoveredShardedIndex> RecoverShardedIndex(
                               "mismatch");
   }
 
+  // Pass 1: decode every healthy shard's log up front and index the erases
+  // past each log's checkpoint cut. A sid whose records span logs (it was
+  // rebalanced) can be erased through a *different* log than the one holding
+  // its insert; shard-order replay alone would re-apply that stale copy
+  // after the erase and resurrect the sid. Global sids are never reused, so
+  // one erase anywhere is terminal — pass 2 suppresses dead cross-log
+  // copies against this map.
   out.recovered_lsns.assign(num_shards, 0);
+  std::vector<DecodedShardWal> decoded(num_shards);
+  std::vector<char> replayable(num_shards, 1);
+  std::unordered_map<SetId, std::uint32_t> erased_in;
   for (std::uint32_t s = 0; s < num_shards; ++s) {
     out.recovered_lsns[s] = out.checkpoint_lsns[s];
     if (out.index->shard_degraded(s)) {
       // The salvage load already lost this shard; its log has nowhere to
       // replay into. It stays quarantined — the router serves the rest.
+      replayable[s] = 0;
       out.quarantined_shards.push_back(s);
       ++out.report.wal_shards_quarantined;
       continue;
     }
-    Status st = ReplayShardWal(s, wals[s], out.checkpoint_lsns[s],
-                               out.index.get(), &out.report,
-                               &out.recovered_lsns[s]);
+    Status st = DecodeShardWal(wals[s], out.checkpoint_lsns[s], &decoded[s]);
     if (!st.ok()) {
       if (!load_options.salvage) return st;
       // Mid-log damage (or a log that lost acknowledged records): this
       // shard's recovered state cannot be trusted past its checkpoint, so
-      // quarantine it — and only it.
+      // quarantine it — and only it. Its erases are not trusted as
+      // tombstones either.
+      out.index->SetShardDegraded(s, true);
+      replayable[s] = 0;
+      out.quarantined_shards.push_back(s);
+      ++out.report.wal_shards_quarantined;
+      continue;
+    }
+    for (const WalRecord& record : decoded[s].records) {
+      if (record.lsn > out.checkpoint_lsns[s] &&
+          record.type == WalRecordType::kErase) {
+        erased_in[record.sid] = s;
+      }
+    }
+  }
+  // Pass 2: replay in shard order with cross-log tombstone suppression.
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (!replayable[s]) continue;
+    Status st = ReplayShardRecords(s, decoded[s], out.checkpoint_lsns[s],
+                                   erased_in, out.index.get(), &out.report,
+                                   &out.recovered_lsns[s]);
+    if (!st.ok()) {
+      if (!load_options.salvage) return st;
       out.index->SetShardDegraded(s, true);
       out.quarantined_shards.push_back(s);
       ++out.report.wal_shards_quarantined;

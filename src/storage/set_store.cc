@@ -82,6 +82,10 @@ Result<SetId> SetStore::Add(const ElementSet& set) {
     return Status::InvalidArgument("set must be sorted and duplicate-free");
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // Appends hit the device too ("store/add" site). Fault before the sid is
+  // allocated so a failed Add leaves the store bit-identical.
+  SSR_RETURN_IF_ERROR(
+      fault::FaultInjector::Default().CheckStatus("store/add"));
   const SetId sid = next_sid_++;
   auto loc = file_.Append(sid, set);
   if (!loc.ok()) return loc.status();

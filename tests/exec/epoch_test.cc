@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -161,6 +162,66 @@ TEST(EpochManagerTest, DefaultIsSharedAndUsable) {
   }
   em.Quiesce();
   EXPECT_TRUE(freed);
+}
+
+// Slots are handed back when a thread exits, so short-lived threads reuse
+// them: far more threads than kMaxThreads can pin over a manager's
+// lifetime as long as no more than kMaxThreads are alive at once (a
+// thread-per-request deployment must not hit the 257th-thread abort).
+TEST(EpochManagerTest, ThreadExitReleasesSlotsForReuse) {
+  EpochManager em;
+  for (std::size_t i = 0; i < EpochManager::kMaxThreads + 16; ++i) {
+    std::thread t([&em] {
+      EpochGuard guard(em);
+      EXPECT_GE(em.pinned_threads(), 1u);
+    });
+    t.join();
+    // Joined => its thread-exit destructors ran => the slot is free again.
+    EXPECT_LE(em.claimed_slots(), 1u) << "slot leaked by dead thread " << i;
+  }
+  EXPECT_EQ(em.pinned_threads(), 0u);
+  EXPECT_EQ(em.claimed_slots(), 0u);
+}
+
+// A thread that outlives a test-scoped manager must skip the dead manager
+// at exit instead of dereferencing it (the registry keyed by (address, id)
+// makes the release conditional on the manager still being live).
+TEST(EpochManagerTest, ThreadOutlivingManagerExitsSafely) {
+  std::atomic<bool> pinned_once{false};
+  std::atomic<bool> manager_gone{false};
+  auto em = std::make_unique<EpochManager>();
+  std::thread t([&] {
+    {
+      EpochGuard guard(*em);
+    }
+    pinned_once.store(true);
+    while (!manager_gone.load()) std::this_thread::yield();
+    // Thread exit now runs the slot-cache destructor against a manager
+    // that no longer exists; the registry must make this a no-op.
+  });
+  while (!pinned_once.load()) std::this_thread::yield();
+  em.reset();
+  manager_gone.store(true);
+  t.join();
+}
+
+// A fresh manager that happens to land at a dead manager's address must
+// not inherit its slot claims: the process-unique id disambiguates.
+TEST(EpochManagerTest, SlotCacheIsKeyedByManagerIdentityNotAddress) {
+  alignas(EpochManager) unsigned char storage[sizeof(EpochManager)];
+  auto* first = new (storage) EpochManager();
+  {
+    EpochGuard guard(*first);
+    EXPECT_EQ(first->claimed_slots(), 1u);
+  }
+  first->~EpochManager();
+  auto* second = new (storage) EpochManager();  // same address, new id
+  EXPECT_EQ(second->claimed_slots(), 0u);
+  {
+    EpochGuard guard(*second);
+    EXPECT_EQ(second->pinned_threads(), 1u);
+  }
+  second->~EpochManager();
 }
 
 // The TSan workhorse: readers chase a published copy-on-write pointer

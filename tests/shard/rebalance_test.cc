@@ -355,6 +355,68 @@ TEST_F(RebalanceTest, ConcurrentReadersDuringRebalanceNeverSeeAWrongAnswer) {
   EXPECT_EQ(index.num_shards(), 3u);
 }
 
+// A shrink-retired slot is not a failed shard: it was verified empty before
+// FinishRebalance nulled it, so a reader that raced the shrink (holding the
+// pre-shrink count) must keep succeeding even under kFailFast — the
+// strictest policy, where a genuinely degraded shard fails the whole query.
+TEST_F(RebalanceTest, ShrinkRetiredSlotsDoNotTripFailFastReaders) {
+  const SetCollection sets = MakeSets(80, 1357);
+  exec::EpochManager em;
+  ShardedIndexOptions options = TestOptions(5);
+  options.on_shard_failure = ShardFailurePolicy::kFailFast;
+  auto built = ShardedSetSimilarityIndex::Build(sets, TestLayout(), options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ShardedSetSimilarityIndex index = std::move(built).value();
+  index.EnableConcurrentWrites(&em);
+  const std::vector<SetId> truth = AllSids(sets.size());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(7100 + r);
+      QueryRouterOptions router_options;
+      router_options.num_threads = 2;
+      QueryRouter router(index, router_options);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ElementSet q = sets[rng.Uniform(sets.size())];
+        auto serial = index.Query(q, 0.0, 1.0);
+        auto routed = router.Query(q, 0.0, 1.0);
+        for (const auto* res : {&serial, &routed}) {
+          // No shard is ever degraded here, so kFailFast must never fire:
+          // a nulled slot a racing reader finds past the shrink is retired
+          // (provably empty), not failed.
+          ASSERT_TRUE(res->ok())
+              << "kFailFast tripped by a shrink-retired slot: "
+              << res->status().ToString();
+          ASSERT_TRUE(std::includes(truth.begin(), truth.end(),
+                                    (*res)->sids.begin(), (*res)->sids.end()));
+        }
+      }
+    });
+  }
+
+  // Repeated shrinks maximize the race window readers must survive.
+  for (std::uint32_t target : {3u, 2u, 1u}) {
+    ASSERT_TRUE(index.BeginRebalance(target).ok());
+    for (;;) {
+      auto remaining = index.StepRebalance(2);
+      ASSERT_TRUE(remaining.ok()) << remaining.status().ToString();
+      if (*remaining == 0) break;
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(index.FinishRebalance().ok());
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  em.Quiesce();
+
+  auto final_answer = index.Query(sets[0], 0.0, 1.0);
+  ASSERT_TRUE(final_answer.ok());
+  EXPECT_EQ(final_answer->sids, truth);
+  EXPECT_EQ(index.num_shards(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Writers during a rebalance: fresh inserts route under the target
 // topology, and erasing a planned-but-unmoved sid skips its move.
@@ -487,6 +549,7 @@ void RunCrashMatrix(std::uint32_t from, std::uint32_t to) {
                     std::vector<std::uint64_t>(checkpoint_shards, 0),
                     ckpt_out)
                     .ok());
+    ASSERT_TRUE(index.MarkRebalanceCheckpointed().ok());
 
     // Drive moves one at a time until the armed crash point kills the k-th
     // append — a process death at that exact record boundary.
@@ -562,6 +625,254 @@ TEST_F(RebalanceTest, CrashAtEveryMoveRecordBoundaryDuringGrow) {
 TEST_F(RebalanceTest, CrashAtEveryMoveRecordBoundaryDuringShrink) {
   SKIP_WITHOUT_INJECTION();
   RunCrashMatrix(3, 2);
+}
+
+// ---------------------------------------------------------------------------
+// The post-Begin checkpoint is enforced, not advisory: with a WAL attached,
+// moves refuse to run until the caller declares the checkpoint (directly or
+// through the hook). And a move that fails *after* its kMoveIn commit point
+// wedges the state machine instead of pretending to be retryable.
+// ---------------------------------------------------------------------------
+
+TEST_F(RebalanceTest, StepWithoutPostBeginCheckpointIsRefused) {
+  const SetCollection sets = MakeSets(30, 5151);
+  ShardedSetSimilarityIndex index = BuildAt(sets, 2);
+  index.EnableConcurrentWrites();
+  std::ostringstream wal_stream;
+  WalWriter writer(wal_stream, kWalFirstLsn);
+  index.AttachShardWal(0, &writer);
+
+  ASSERT_TRUE(index.BeginRebalance(3).ok());
+  EXPECT_FALSE(index.rebalance_status().checkpointed);
+  auto refused = index.StepRebalance(1);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsFailedPrecondition());
+
+  // Write the checkpoint the protocol demands, declare it, and the drain
+  // proceeds normally.
+  std::ostringstream ckpt_out;
+  ASSERT_TRUE(WriteShardedCheckpoint(
+                  index, std::vector<std::uint64_t>(index.num_shards(), 0),
+                  ckpt_out)
+                  .ok());
+  ASSERT_TRUE(index.MarkRebalanceCheckpointed().ok());
+  EXPECT_TRUE(index.rebalance_status().checkpointed);
+  for (;;) {
+    auto remaining = index.StepRebalance(8);
+    ASSERT_TRUE(remaining.ok());
+    if (*remaining == 0) break;
+  }
+  ASSERT_TRUE(index.FinishRebalance().ok());
+  // Outside a rebalance there is nothing to declare.
+  EXPECT_TRUE(index.MarkRebalanceCheckpointed().IsFailedPrecondition());
+  index.epoch_manager()->Quiesce();
+}
+
+TEST_F(RebalanceTest, WalLessRebalanceOwesNoCheckpoint) {
+  const SetCollection sets = MakeSets(30, 5252);
+  ShardedSetSimilarityIndex index = BuildAt(sets, 2);
+  index.EnableConcurrentWrites();
+  // In-memory deployments (the differential harness, the benchrunner) have
+  // nothing to replay, so the checkpoint requirement is vacuous.
+  ASSERT_TRUE(index.BeginRebalance(3).ok());
+  EXPECT_TRUE(index.rebalance_status().checkpointed);
+  for (;;) {
+    auto remaining = index.StepRebalance(8);
+    ASSERT_TRUE(remaining.ok());
+    if (*remaining == 0) break;
+  }
+  ASSERT_TRUE(index.FinishRebalance().ok());
+  index.epoch_manager()->Quiesce();
+}
+
+TEST_F(RebalanceTest, CheckpointHookMakesRebalanceToDurable) {
+  const SetCollection sets = MakeSets(30, 6161);
+  ShardedSetSimilarityIndex index = BuildAt(sets, 2);
+  index.EnableConcurrentWrites();
+
+  std::vector<std::unique_ptr<std::ostringstream>> wal_streams;
+  std::vector<std::unique_ptr<WalWriter>> writers;
+  auto attach = [&](std::uint32_t s) {
+    wal_streams.push_back(std::make_unique<std::ostringstream>());
+    writers.push_back(
+        std::make_unique<WalWriter>(*wal_streams.back(), kWalFirstLsn));
+    index.AttachShardWal(s, writers.back().get());
+  };
+  for (std::uint32_t s = 0; s < 2; ++s) attach(s);
+
+  // The hook is the durable deployment's one-stop Begin callback: it runs
+  // after the grown topology is published, attaches logs to the new
+  // shards, and writes the post-Begin checkpoint — success marks the
+  // rebalance checkpointed, so RebalanceTo is safe end to end.
+  std::ostringstream ckpt_out;
+  int hook_runs = 0;
+  index.SetRebalanceCheckpointHook([&]() -> Status {
+    ++hook_runs;
+    for (std::uint32_t s = 2; s < index.num_shards(); ++s) attach(s);
+    return WriteShardedCheckpoint(
+        index, std::vector<std::uint64_t>(index.num_shards(), 0), ckpt_out);
+  });
+  ASSERT_TRUE(index.RebalanceTo(4).ok());
+  EXPECT_EQ(hook_runs, 1);
+
+  // The hook's checkpoint + the captured logs round-trip every sid.
+  std::istringstream ckpt_in(ckpt_out.str());
+  std::vector<std::unique_ptr<std::istringstream>> wal_in;
+  std::vector<std::istream*> wal_ptrs;
+  for (auto& stream : wal_streams) {
+    wal_in.push_back(std::make_unique<std::istringstream>(stream->str()));
+    wal_ptrs.push_back(wal_in.back().get());
+  }
+  auto rec = RecoverShardedIndex(ckpt_in, wal_ptrs, TestOptions(2));
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->index->num_live_sets(), sets.size());
+  auto answer = rec->index->Query(sets[0], 0.0, 1.0);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->sids, AllSids(sets.size()));
+  index.epoch_manager()->Quiesce();
+}
+
+TEST_F(RebalanceTest, CheckpointHookFailureLeavesRebalanceUncheckpointed) {
+  const SetCollection sets = MakeSets(30, 6262);
+  ShardedSetSimilarityIndex index = BuildAt(sets, 2);
+  index.EnableConcurrentWrites();
+  std::ostringstream wal_stream;
+  WalWriter writer(wal_stream, kWalFirstLsn);
+  index.AttachShardWal(0, &writer);
+
+  index.SetRebalanceCheckpointHook(
+      [] { return Status::Unavailable("checkpoint device offline"); });
+  EXPECT_TRUE(index.BeginRebalance(3).IsUnavailable());
+  // The rebalance stays active (the topology is already published) but
+  // un-checkpointed, so moves keep refusing until the caller recovers.
+  RebalanceStatus status = index.rebalance_status();
+  EXPECT_TRUE(status.active);
+  EXPECT_FALSE(status.checkpointed);
+  EXPECT_TRUE(index.StepRebalance(1).status().IsFailedPrecondition());
+
+  // Recovery path: the caller retries durability out of band and declares.
+  ASSERT_TRUE(index.MarkRebalanceCheckpointed().ok());
+  for (;;) {
+    auto remaining = index.StepRebalance(8);
+    ASSERT_TRUE(remaining.ok());
+    if (*remaining == 0) break;
+  }
+  ASSERT_TRUE(index.FinishRebalance().ok());
+  index.epoch_manager()->Quiesce();
+}
+
+TEST_F(RebalanceTest, MoveApplyFailureAfterCommitPointWedgesTheRebalance) {
+  SKIP_WITHOUT_INJECTION();
+  const SetCollection sets = MakeSets(30, 8282);
+  auto& fi = fault::FaultInjector::Default();
+  ShardedSetSimilarityIndex index = BuildAt(sets, 2);
+  index.EnableConcurrentWrites();
+
+  std::vector<std::unique_ptr<std::ostringstream>> wal_streams;
+  std::vector<std::unique_ptr<WalWriter>> writers;
+  auto attach = [&](std::uint32_t s) {
+    wal_streams.push_back(std::make_unique<std::ostringstream>());
+    writers.push_back(
+        std::make_unique<WalWriter>(*wal_streams.back(), kWalFirstLsn));
+    index.AttachShardWal(s, writers.back().get());
+  };
+  for (std::uint32_t s = 0; s < 2; ++s) attach(s);
+  ASSERT_TRUE(index.BeginRebalance(3).ok());
+  for (std::uint32_t s = 2; s < index.num_shards(); ++s) attach(s);
+  std::ostringstream ckpt_out;
+  ASSERT_TRUE(WriteShardedCheckpoint(
+                  index, std::vector<std::uint64_t>(index.num_shards(), 0),
+                  ckpt_out)
+                  .ok());
+  ASSERT_TRUE(index.MarkRebalanceCheckpointed().ok());
+
+  // Fail the first destination-store append: by then the move's kMoveIn is
+  // already durable, so the log and memory disagree — the failure must NOT
+  // be treated as retryable (re-running would diverge from what recovery
+  // replays). The state machine wedges instead.
+  fi.Enable(fault::SeedFromEnv(7));
+  fi.Arm("store/add", fault::FaultKind::kWriteError,
+         fault::FaultSchedule::Once(/*after_hits=*/0));
+  auto stepped = index.StepRebalance(1);
+  fi.Reset();
+  ASSERT_FALSE(stepped.ok());
+  EXPECT_TRUE(stepped.status().IsInternal()) << stepped.status().ToString();
+
+  RebalanceStatus status = index.rebalance_status();
+  EXPECT_TRUE(status.wedged);
+  // Terminal: Step and Finish keep refusing even though the fault cleared —
+  // the durable truth is checkpoint + WALs, not this process's memory.
+  EXPECT_TRUE(index.StepRebalance(1).status().IsFailedPrecondition());
+  EXPECT_TRUE(index.FinishRebalance().IsFailedPrecondition());
+  index.epoch_manager()->Quiesce();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-log resurrection: a sid whose records span logs (insert in one
+// shard's log, then rebalanced away, then erased wherever it lives now)
+// must stay erased through recovery even when the erase's log replays
+// before the insert's.
+// ---------------------------------------------------------------------------
+
+TEST_F(RebalanceTest, RecoveryDoesNotResurrectSidsErasedAcrossLogs) {
+  const SetCollection sets = MakeSets(24, 7777);
+  Rng rng(4242);
+  ShardedSetSimilarityIndex index = BuildAt(sets, 2);
+  index.EnableConcurrentWrites();
+
+  std::vector<std::unique_ptr<std::ostringstream>> wal_streams;
+  std::vector<std::unique_ptr<WalWriter>> writers;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    wal_streams.push_back(std::make_unique<std::ostringstream>());
+    writers.push_back(
+        std::make_unique<WalWriter>(*wal_streams.back(), kWalFirstLsn));
+    index.AttachShardWal(s, writers.back().get());
+  }
+  // T0: the recovery cut. Everything after lives only in the logs.
+  std::ostringstream ckpt_out;
+  ASSERT_TRUE(
+      WriteShardedCheckpoint(index, {0, 0}, ckpt_out).ok());
+
+  // A fresh sid that routes to shard 1, so its kInsert lands in log 1.
+  ShardMap probe(2);
+  SetId x = static_cast<SetId>(sets.size());
+  while (probe.ShardOf(x) != 1) ++x;
+  ASSERT_TRUE(index.Insert(x, RandomSet(rng)).ok());
+
+  // Shrink 2 -> 1: x's kMoveOut lands in log 1, its kMoveIn (the commit
+  // point) in log 0. The caller here deliberately declares the checkpoint
+  // without re-writing it — the undisciplined caller the tombstone pass
+  // must survive.
+  ASSERT_TRUE(index.BeginRebalance(1).ok());
+  ASSERT_TRUE(index.MarkRebalanceCheckpointed().ok());
+  for (;;) {
+    auto remaining = index.StepRebalance(8);
+    ASSERT_TRUE(remaining.ok());
+    if (*remaining == 0) break;
+  }
+  ASSERT_TRUE(index.FinishRebalance().ok());
+  // x now lives at shard 0; the erase's kErase lands in log 0 — a
+  // *different* log from the kInsert, and one that replays first.
+  ASSERT_TRUE(index.Erase(x).ok());
+
+  std::istringstream ckpt_in(ckpt_out.str());
+  std::istringstream wal0_in(wal_streams[0]->str());
+  std::istringstream wal1_in(wal_streams[1]->str());
+  std::vector<std::istream*> wal_ptrs = {&wal0_in, &wal1_in};
+  auto rec = RecoverShardedIndex(ckpt_in, wal_ptrs, TestOptions(2));
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // Shard-order replay applies log 0's kMoveIn + kErase before it ever
+  // sees log 1's kInsert; without cross-log tombstones that stale insert
+  // would resurrect the erased sid.
+  EXPECT_TRUE(LocationsOf(*rec->index, x).empty())
+      << "erased sid resurrected by cross-log replay";
+  EXPECT_EQ(rec->index->num_live_sets(), sets.size());
+  auto answer = rec->index->Query(sets[0], 0.0, 1.0);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(
+      std::binary_search(answer->sids.begin(), answer->sids.end(), x));
+  EXPECT_EQ(answer->sids, AllSids(sets.size()));
+  index.epoch_manager()->Quiesce();
 }
 
 }  // namespace
